@@ -1,0 +1,305 @@
+//! Free references and correlation analysis (Sections 2.1 and 3.2).
+//!
+//! The analysis is syntactic over qualifiers, matching the paper's usage:
+//! every attribute reference is qualifier-dotted, and a reference is *free*
+//! in a query block when its qualifier is not introduced by that block's
+//! own FROM. A selection predicate containing a free reference is a
+//! *correlation predicate*.
+//!
+//! Section 3.2 further distinguishes **neighboring** predicates (all free
+//! references resolve one level up, in the immediately enclosing query
+//! expression) from **non-neighboring** ones (some reference reaches
+//! further out). Non-neighboring predicates are the only case where the
+//! GMDJ translation must introduce supplementary joins (Theorems 3.3/3.4).
+
+use gmdj_relation::schema::ColumnRef;
+
+use crate::ast::{NestedPredicate, QueryExpr, SubqueryPred};
+
+/// A free attribute reference found inside a query block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreeRef {
+    /// The reference as written.
+    pub column: ColumnRef,
+    /// Number of enclosing blocks between the reference and the block that
+    /// introduces its qualifier: `Some(1)` = immediately enclosing block
+    /// (neighboring), `Some(n>1)` = non-neighboring, `None` = the
+    /// qualifier is introduced nowhere in scope (a malformed query).
+    pub levels_up: Option<usize>,
+}
+
+/// Correlation classification of a subquery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrelationClass {
+    /// No free references: the subquery is independent of the outer query.
+    Uncorrelated,
+    /// All free references resolve in the immediately enclosing block.
+    Neighboring,
+    /// At least one free reference reaches past the immediately enclosing
+    /// block (Example 3.3's `F.SourceIP = U.IPAddress`).
+    NonNeighboring,
+}
+
+/// Compute the free references of `query`, treating `enclosing` as the
+/// stack of enclosing blocks' local qualifier sets (outermost first).
+///
+/// References inside nested subqueries of `query` are analyzed in their
+/// own scopes and reported here only if they reach *past* `query` itself —
+/// i.e. the result is exactly the set of references that make `query`
+/// correlated with its enclosing blocks.
+pub fn free_references(query: &QueryExpr, enclosing: &[Vec<String>]) -> Vec<FreeRef> {
+    let mut scopes: Vec<Vec<String>> = enclosing.to_vec();
+    let mut out = Vec::new();
+    walk_query(query, &mut scopes, &mut out);
+    // Keep only references escaping `query` itself: those whose qualifier
+    // is not introduced at any depth at or below `query`. `walk_query`
+    // already resolves against the full stack; filter to ones reaching
+    // into `enclosing`.
+    // A reference escapes `query` iff the scope that introduces its
+    // qualifier is one of the `enclosing` scopes: the resolving scope's
+    // stack index is `depth_of_block - levels_up`.
+    out.retain(|(depth_of_block, fr)| match fr.levels_up {
+        Some(levels) => depth_of_block
+            .checked_sub(levels)
+            .is_none_or(|resolved_idx| resolved_idx < enclosing.len()),
+        None => true,
+    });
+    out.into_iter().map(|(_, fr)| fr).collect()
+}
+
+/// Classify the correlation of `query` against its enclosing scopes.
+pub fn classify_correlations(query: &QueryExpr, enclosing: &[Vec<String>]) -> CorrelationClass {
+    let refs = free_references(query, enclosing);
+    if refs.is_empty() {
+        return CorrelationClass::Uncorrelated;
+    }
+    // A reference is neighboring iff it resolves exactly one block up from
+    // the block it occurs in. `free_references` returns levels relative to
+    // the occurrence block, so Some(1) is neighboring regardless of how
+    // deep the occurrence sits inside `query`.
+    if refs.iter().all(|r| r.levels_up == Some(1)) {
+        CorrelationClass::Neighboring
+    } else {
+        CorrelationClass::NonNeighboring
+    }
+}
+
+/// Walk a query: `scopes` holds qualifier sets of all enclosing blocks
+/// plus, while visiting selection predicates, the current block's own
+/// qualifiers as the last entry. Records `(depth_of_block, FreeRef)` where
+/// `depth_of_block` is the number of scopes enclosing the *occurrence*.
+fn walk_query(
+    query: &QueryExpr,
+    scopes: &mut Vec<Vec<String>>,
+    out: &mut Vec<(usize, FreeRef)>,
+) {
+    let local: Vec<String> =
+        query.local_qualifiers().into_iter().map(str::to_string).collect();
+    scopes.push(local);
+    collect_from_query(query, scopes, out);
+    scopes.pop();
+}
+
+fn collect_from_query(
+    query: &QueryExpr,
+    scopes: &mut Vec<Vec<String>>,
+    out: &mut Vec<(usize, FreeRef)>,
+) {
+    match query {
+        QueryExpr::Table { .. } => {}
+        QueryExpr::Select { input, predicate } => {
+            collect_from_query(input, scopes, out);
+            collect_from_predicate(predicate, scopes, out);
+        }
+        QueryExpr::Project { input, .. }
+        | QueryExpr::AggProject { input, .. }
+        | QueryExpr::OrderBy { input, .. }
+        | QueryExpr::Limit { input, .. } => {
+            collect_from_query(input, scopes, out);
+        }
+        QueryExpr::GroupBy { input, keys, aggs } => {
+            collect_from_query(input, scopes, out);
+            record_columns(keys, scopes, out);
+            for a in aggs {
+                if let Some(e) = &a.input {
+                    let mut cols = Vec::new();
+                    e.collect_columns(&mut cols);
+                    record_columns(&cols, scopes, out);
+                }
+            }
+        }
+        QueryExpr::Join { left, right, on } => {
+            collect_from_query(left, scopes, out);
+            collect_from_query(right, scopes, out);
+            record_columns(&on.columns(), scopes, out);
+        }
+    }
+}
+
+fn collect_from_predicate(
+    pred: &NestedPredicate,
+    scopes: &mut Vec<Vec<String>>,
+    out: &mut Vec<(usize, FreeRef)>,
+) {
+    match pred {
+        NestedPredicate::Atom(p) => record_columns(&p.columns(), scopes, out),
+        NestedPredicate::Subquery(s) => {
+            // The left operand (if any) belongs to the *current* block.
+            match s {
+                SubqueryPred::Cmp { left, .. }
+                | SubqueryPred::Quantified { left, .. }
+                | SubqueryPred::In { left, .. } => {
+                    let mut cols = Vec::new();
+                    left.collect_columns(&mut cols);
+                    record_columns(&cols, scopes, out);
+                }
+                SubqueryPred::Exists { .. } => {}
+            }
+            walk_query(s.query(), scopes, out);
+        }
+        NestedPredicate::And(a, b) | NestedPredicate::Or(a, b) => {
+            collect_from_predicate(a, scopes, out);
+            collect_from_predicate(b, scopes, out);
+        }
+        NestedPredicate::Not(p) => collect_from_predicate(p, scopes, out),
+    }
+}
+
+fn record_columns(
+    cols: &[ColumnRef],
+    scopes: &[Vec<String>],
+    out: &mut Vec<(usize, FreeRef)>,
+) {
+    let depth_of_block = scopes.len() - 1; // number of *enclosing* scopes
+    let current = scopes.last().expect("scope stack never empty here");
+    for c in cols {
+        let Some(q) = &c.qualifier else { continue }; // unqualified = local
+        if current.iter().any(|s| s == q) {
+            continue; // bound locally
+        }
+        let mut levels_up = None;
+        for (dist, scope) in scopes[..scopes.len() - 1].iter().rev().enumerate() {
+            if scope.iter().any(|s| s == q) {
+                levels_up = Some(dist + 1);
+                break;
+            }
+        }
+        out.push((depth_of_block, FreeRef { column: c.clone(), levels_up }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{exists, not_exists, QueryExpr};
+    use gmdj_relation::expr::{col, lit};
+
+    /// Example 2.2's B: σ[∃ σ[... H refs ...](Flow→FI)](Hours→H)
+    fn example_2_2_base() -> QueryExpr {
+        let inner = QueryExpr::table("Flow", "FI").select_flat(
+            col("FI.DestIP")
+                .eq(lit("167.167.167.0"))
+                .and(col("FI.StartTime").ge(col("H.StartInterval")))
+                .and(col("FI.StartTime").lt(col("H.EndInterval"))),
+        );
+        QueryExpr::table("Hours", "H").select(exists(inner))
+    }
+
+    #[test]
+    fn neighboring_correlation_detected() {
+        let q = example_2_2_base();
+        // Analyze the inner subquery in the context of the Hours block.
+        let NestedPredicate::Subquery(sq) = (match &q {
+            QueryExpr::Select { predicate, .. } => predicate.clone(),
+            _ => unreachable!(),
+        }) else {
+            unreachable!()
+        };
+        let refs = free_references(sq.query(), &[vec!["H".into()]]);
+        assert_eq!(refs.len(), 2);
+        assert!(refs.iter().all(|r| r.levels_up == Some(1)));
+        assert_eq!(
+            classify_correlations(sq.query(), &[vec!["H".into()]]),
+            CorrelationClass::Neighboring
+        );
+    }
+
+    #[test]
+    fn uncorrelated_subquery() {
+        let inner = QueryExpr::table("Flow", "F").select_flat(col("F.a").eq(lit(1)));
+        assert_eq!(
+            classify_correlations(&inner, &[vec!["B".into()]]),
+            CorrelationClass::Uncorrelated
+        );
+    }
+
+    /// Example 3.3: σ[∄ σ[θH ∧ ∄σ[θF](Flow→F)](Hours→H)](User→U) where θF
+    /// references U — a non-neighboring predicate.
+    fn example_3_3() -> QueryExpr {
+        let theta_f = col("F.StartTime")
+            .ge(col("H.StartInterval"))
+            .and(col("F.StartTime").lt(col("H.EndInterval")))
+            .and(col("F.SourceIP").eq(col("U.IPAddress")));
+        let inner_flow = QueryExpr::table("Flow", "F").select_flat(theta_f);
+        let theta_h = col("H.StartInterval").gt(lit(0));
+        let hours = QueryExpr::table("Hours", "H")
+            .select(NestedPredicate::atom(theta_h).and(not_exists(inner_flow)));
+        QueryExpr::table("User", "U").select(not_exists(hours))
+    }
+
+    #[test]
+    fn non_neighboring_correlation_detected() {
+        let q = example_3_3();
+        let QueryExpr::Select { predicate, .. } = &q else { unreachable!() };
+        let NestedPredicate::Subquery(sq) = predicate else { unreachable!() };
+        // The Hours subquery, in the scope of User→U: the F.SourceIP =
+        // U.IPAddress reference reaches 2 levels up from the Flow block.
+        let refs = free_references(sq.query(), &[vec!["U".into()]]);
+        assert!(refs.iter().any(|r| r.levels_up == Some(2)));
+        assert_eq!(
+            classify_correlations(sq.query(), &[vec!["U".into()]]),
+            CorrelationClass::NonNeighboring
+        );
+        // The innermost Flow subquery, analyzed against [U, H] scopes, is
+        // neighboring w.r.t. H but non-neighboring overall.
+        let QueryExpr::Select { predicate: hours_pred, .. } = sq.query() else {
+            unreachable!()
+        };
+        let subs = hours_pred.top_level_subqueries();
+        assert_eq!(subs.len(), 1);
+        let refs =
+            free_references(subs[0].query(), &[vec!["U".into()], vec!["H".into()]]);
+        let ups: Vec<_> = refs.iter().filter_map(|r| r.levels_up).collect();
+        assert!(ups.contains(&1)); // H references
+        assert!(ups.contains(&2)); // U reference
+    }
+
+    #[test]
+    fn unresolvable_reference_reported() {
+        let inner = QueryExpr::table("Flow", "F").select_flat(col("Z.a").eq(col("F.a")));
+        let refs = free_references(&inner, &[vec!["B".into()]]);
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].levels_up, None);
+        assert_eq!(
+            classify_correlations(&inner, &[vec!["B".into()]]),
+            CorrelationClass::NonNeighboring
+        );
+    }
+
+    #[test]
+    fn left_operand_of_subquery_cmp_is_not_free_in_subquery() {
+        // σ[B.x =some π[y](R)] — B.x belongs to the outer block.
+        let sub = QueryExpr::table("R", "R")
+            .project(vec![gmdj_relation::schema::ColumnRef::parse("R.y")]);
+        let pred = NestedPredicate::Subquery(crate::ast::SubqueryPred::Quantified {
+            left: col("B.x"),
+            op: gmdj_relation::expr::CmpOp::Eq,
+            quantifier: crate::ast::Quantifier::Some,
+            query: Box::new(sub),
+        });
+        let outer = QueryExpr::table("Base", "B").select(pred);
+        // Analyzed as a whole (no enclosing scopes), nothing is free.
+        let refs = free_references(&outer, &[]);
+        assert!(refs.is_empty());
+    }
+}

@@ -1,0 +1,510 @@
+//! AST for nested query expressions.
+//!
+//! A [`QueryExpr`] is an algebraic expression whose selections may carry a
+//! [`NestedPredicate`]: a boolean combination of ordinary comparison atoms
+//! and [`SubqueryPred`] subquery constructs, each of which embeds a further
+//! `QueryExpr`. This is exactly the grammar of Theorem 3.5:
+//! `W := ¬(W) | W ∧ W | W ∨ W | P` with `P` a comparison predicate or a
+//! subquery expression.
+
+use std::fmt;
+
+use gmdj_relation::agg::NamedAgg;
+use gmdj_relation::expr::{CmpOp, Predicate, ScalarExpr};
+use gmdj_relation::schema::ColumnRef;
+
+/// An algebraic query expression (possibly containing nested subqueries in
+/// its selection predicates).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryExpr {
+    /// Base table scan with renaming: the paper's `Flow → F`. All
+    /// attributes of the scan are qualified with `qualifier`.
+    Table { name: String, qualifier: String },
+    /// `σ[W](input)` — selection whose predicate may embed subqueries.
+    Select { input: Box<QueryExpr>, predicate: NestedPredicate },
+    /// `π[columns](input)` — projection; `distinct` selects set semantics
+    /// (the paper's base-values tables, e.g. `π[SourceIP]Flow` in
+    /// Example 2.3, are distinct projections).
+    Project { input: Box<QueryExpr>, columns: Vec<ColumnRef>, distinct: bool },
+    /// `π[f(y)](input)` — ungrouped scalar aggregate, always exactly one
+    /// row (NULL-valued for empty input except COUNT). The inner block of
+    /// an aggregate comparison subquery `σ[B.x φ π[f(R.y)]σ[θ](R)]B`.
+    AggProject { input: Box<QueryExpr>, agg: NamedAgg },
+    /// `left ⋈_on right` — ordinary θ-join with a flat condition. Appears
+    /// in source expressions and is introduced by the push-down rules for
+    /// non-neighboring predicates (Theorems 3.3/3.4).
+    Join { left: Box<QueryExpr>, right: Box<QueryExpr>, on: Predicate },
+    /// γ\[keys; aggs\](input) — SQL GROUP BY. The output schema is the key
+    /// columns followed by the aggregate outputs. Not a subquery
+    /// construct; appears in source positions and at the top of OLAP
+    /// queries.
+    GroupBy { input: Box<QueryExpr>, keys: Vec<ColumnRef>, aggs: Vec<NamedAgg> },
+    /// SQL ORDER BY — presentation only (relations are multisets). Keys
+    /// are `(column, ascending)`.
+    OrderBy { input: Box<QueryExpr>, keys: Vec<(ColumnRef, bool)> },
+    /// SQL LIMIT — keep the first `n` tuples of the (ordered) input.
+    Limit { input: Box<QueryExpr>, n: usize },
+}
+
+impl QueryExpr {
+    /// `Table { name, qualifier }` builder.
+    pub fn table(name: impl Into<String>, qualifier: impl Into<String>) -> QueryExpr {
+        QueryExpr::Table { name: name.into(), qualifier: qualifier.into() }
+    }
+
+    /// Wrap in a selection.
+    pub fn select(self, predicate: NestedPredicate) -> QueryExpr {
+        QueryExpr::Select { input: Box::new(self), predicate }
+    }
+
+    /// Wrap in a selection over a flat (non-nested) predicate.
+    pub fn select_flat(self, predicate: Predicate) -> QueryExpr {
+        self.select(NestedPredicate::Atom(predicate))
+    }
+
+    /// Duplicate-preserving projection.
+    pub fn project(self, columns: Vec<ColumnRef>) -> QueryExpr {
+        QueryExpr::Project { input: Box::new(self), columns, distinct: false }
+    }
+
+    /// Distinct projection.
+    pub fn project_distinct(self, columns: Vec<ColumnRef>) -> QueryExpr {
+        QueryExpr::Project { input: Box::new(self), columns, distinct: true }
+    }
+
+    /// Scalar aggregate projection.
+    pub fn agg_project(self, agg: NamedAgg) -> QueryExpr {
+        QueryExpr::AggProject { input: Box::new(self), agg }
+    }
+
+    /// θ-join builder.
+    pub fn join(self, right: QueryExpr, on: Predicate) -> QueryExpr {
+        QueryExpr::Join { left: Box::new(self), right: Box::new(right), on }
+    }
+
+    /// GROUP BY builder.
+    pub fn group_by(self, keys: Vec<ColumnRef>, aggs: Vec<NamedAgg>) -> QueryExpr {
+        QueryExpr::GroupBy { input: Box::new(self), keys, aggs }
+    }
+
+    /// ORDER BY builder.
+    pub fn order_by(self, keys: Vec<(ColumnRef, bool)>) -> QueryExpr {
+        QueryExpr::OrderBy { input: Box::new(self), keys }
+    }
+
+    /// LIMIT builder.
+    pub fn limit(self, n: usize) -> QueryExpr {
+        QueryExpr::Limit { input: Box::new(self), n }
+    }
+
+    /// The qualifiers introduced by this expression's own FROM — i.e. the
+    /// *local scope* of its selection predicates. References to any other
+    /// qualifier are free (Section 2.1).
+    pub fn local_qualifiers(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_local_qualifiers(&mut out);
+        out
+    }
+
+    fn collect_local_qualifiers<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            QueryExpr::Table { qualifier, .. } => {
+                if !out.contains(&qualifier.as_str()) {
+                    out.push(qualifier);
+                }
+            }
+            QueryExpr::Select { input, .. }
+            | QueryExpr::Project { input, .. }
+            | QueryExpr::AggProject { input, .. }
+            | QueryExpr::GroupBy { input, .. }
+            | QueryExpr::OrderBy { input, .. }
+            | QueryExpr::Limit { input, .. } => input.collect_local_qualifiers(out),
+            QueryExpr::Join { left, right, .. } => {
+                left.collect_local_qualifiers(out);
+                right.collect_local_qualifiers(out);
+            }
+        }
+    }
+
+    /// Count of subquery predicates anywhere in the expression (used by
+    /// tests and by the engine's plan statistics).
+    pub fn subquery_count(&self) -> usize {
+        match self {
+            QueryExpr::Table { .. } => 0,
+            QueryExpr::Select { input, predicate } => {
+                input.subquery_count() + predicate.subquery_count()
+            }
+            QueryExpr::Project { input, .. }
+            | QueryExpr::AggProject { input, .. }
+            | QueryExpr::GroupBy { input, .. }
+            | QueryExpr::OrderBy { input, .. }
+            | QueryExpr::Limit { input, .. } => input.subquery_count(),
+            QueryExpr::Join { left, right, .. } => left.subquery_count() + right.subquery_count(),
+        }
+    }
+
+    /// Maximum nesting depth of subqueries (0 = flat query).
+    pub fn nesting_depth(&self) -> usize {
+        match self {
+            QueryExpr::Table { .. } => 0,
+            QueryExpr::Select { input, predicate } => {
+                input.nesting_depth().max(predicate.nesting_depth())
+            }
+            QueryExpr::Project { input, .. }
+            | QueryExpr::AggProject { input, .. }
+            | QueryExpr::GroupBy { input, .. }
+            | QueryExpr::OrderBy { input, .. }
+            | QueryExpr::Limit { input, .. } => input.nesting_depth(),
+            QueryExpr::Join { left, right, .. } => {
+                left.nesting_depth().max(right.nesting_depth())
+            }
+        }
+    }
+}
+
+/// Quantifier of a quantified comparison predicate. `ANY` is a synonym for
+/// `SOME` and is desugared by the SQL front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    Some,
+    All,
+}
+
+impl Quantifier {
+    /// Dual quantifier under negation: `¬(φ_some) = φ̄_all` and vice versa.
+    pub fn dual(self) -> Quantifier {
+        match self {
+            Quantifier::Some => Quantifier::All,
+            Quantifier::All => Quantifier::Some,
+        }
+    }
+}
+
+impl fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quantifier::Some => write!(f, "some"),
+            Quantifier::All => write!(f, "all"),
+        }
+    }
+}
+
+/// A subquery predicate — one of the SQL subquery constructs of
+/// Section 2.1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubqueryPred {
+    /// Nested comparison selection `x φ S`: `S` must be a single-tuple,
+    /// single-attribute expression at run time (scalar subquery).
+    Cmp { left: ScalarExpr, op: CmpOp, query: Box<QueryExpr> },
+    /// Quantified nested comparison `x φ_some S` / `x φ_all S`.
+    Quantified { left: ScalarExpr, op: CmpOp, quantifier: Quantifier, query: Box<QueryExpr> },
+    /// `x IN S` / `x NOT IN S` — desugars to `=some` / `≠all`.
+    In { left: ScalarExpr, query: Box<QueryExpr>, negated: bool },
+    /// `∃S` / `∄S`.
+    Exists { query: Box<QueryExpr>, negated: bool },
+}
+
+impl SubqueryPred {
+    /// The embedded query.
+    pub fn query(&self) -> &QueryExpr {
+        match self {
+            SubqueryPred::Cmp { query, .. }
+            | SubqueryPred::Quantified { query, .. }
+            | SubqueryPred::In { query, .. }
+            | SubqueryPred::Exists { query, .. } => query,
+        }
+    }
+
+    /// Mutable access to the embedded query.
+    pub fn query_mut(&mut self) -> &mut QueryExpr {
+        match self {
+            SubqueryPred::Cmp { query, .. }
+            | SubqueryPred::Quantified { query, .. }
+            | SubqueryPred::In { query, .. }
+            | SubqueryPred::Exists { query, .. } => query,
+        }
+    }
+}
+
+/// `∃ S` builder.
+pub fn exists(query: QueryExpr) -> NestedPredicate {
+    NestedPredicate::Subquery(SubqueryPred::Exists { query: Box::new(query), negated: false })
+}
+
+/// `∄ S` builder.
+pub fn not_exists(query: QueryExpr) -> NestedPredicate {
+    NestedPredicate::Subquery(SubqueryPred::Exists { query: Box::new(query), negated: true })
+}
+
+/// A predicate that may contain subquery constructs (the `W` grammar of
+/// Theorem 3.5).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NestedPredicate {
+    /// A flat comparison predicate (possibly with free references —
+    /// correlation predicates are atoms here).
+    Atom(Predicate),
+    /// A subquery construct.
+    Subquery(SubqueryPred),
+    And(Box<NestedPredicate>, Box<NestedPredicate>),
+    Or(Box<NestedPredicate>, Box<NestedPredicate>),
+    Not(Box<NestedPredicate>),
+}
+
+impl NestedPredicate {
+    /// Atom builder.
+    pub fn atom(p: Predicate) -> NestedPredicate {
+        NestedPredicate::Atom(p)
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: NestedPredicate) -> NestedPredicate {
+        NestedPredicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: NestedPredicate) -> NestedPredicate {
+        NestedPredicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> NestedPredicate {
+        NestedPredicate::Not(Box::new(self))
+    }
+
+    /// True when no subquery constructs occur anywhere below.
+    pub fn is_flat(&self) -> bool {
+        self.subquery_count() == 0
+    }
+
+    /// Convert to a flat [`Predicate`], which requires that no subqueries
+    /// occur. Used after all subqueries have been translated away.
+    pub fn to_flat(&self) -> Option<Predicate> {
+        match self {
+            NestedPredicate::Atom(p) => Some(p.clone()),
+            NestedPredicate::Subquery(_) => None,
+            NestedPredicate::And(a, b) => Some(a.to_flat()?.and(b.to_flat()?)),
+            NestedPredicate::Or(a, b) => Some(a.to_flat()?.or(b.to_flat()?)),
+            NestedPredicate::Not(p) => Some(p.to_flat()?.not()),
+        }
+    }
+
+    /// Number of subquery constructs at this predicate level and inside
+    /// any embedded queries.
+    pub fn subquery_count(&self) -> usize {
+        match self {
+            NestedPredicate::Atom(_) => 0,
+            NestedPredicate::Subquery(s) => 1 + s.query().subquery_count(),
+            NestedPredicate::And(a, b) | NestedPredicate::Or(a, b) => {
+                a.subquery_count() + b.subquery_count()
+            }
+            NestedPredicate::Not(p) => p.subquery_count(),
+        }
+    }
+
+    /// Nesting depth contributed by this predicate (1 + depth of embedded
+    /// queries, for each subquery construct).
+    pub fn nesting_depth(&self) -> usize {
+        match self {
+            NestedPredicate::Atom(_) => 0,
+            NestedPredicate::Subquery(s) => 1 + s.query().nesting_depth(),
+            NestedPredicate::And(a, b) | NestedPredicate::Or(a, b) => {
+                a.nesting_depth().max(b.nesting_depth())
+            }
+            NestedPredicate::Not(p) => p.nesting_depth(),
+        }
+    }
+
+    /// The subquery predicates at *this* level (not descending into
+    /// embedded queries), in left-to-right order.
+    pub fn top_level_subqueries(&self) -> Vec<&SubqueryPred> {
+        let mut out = Vec::new();
+        fn walk<'a>(p: &'a NestedPredicate, out: &mut Vec<&'a SubqueryPred>) {
+            match p {
+                NestedPredicate::Atom(_) => {}
+                NestedPredicate::Subquery(s) => out.push(s),
+                NestedPredicate::And(a, b) | NestedPredicate::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                NestedPredicate::Not(q) => walk(q, out),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+/// Shape of a subquery's output, used when decomposing a subquery block
+/// for translation (Table 1 distinguishes `π[R.y]`, `π[f(R.y)]`, and bare
+/// existential blocks).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubqueryOutput {
+    /// Whole rows — existential subqueries.
+    Row,
+    /// A single projected attribute `R.y`.
+    Column(ColumnRef),
+    /// A scalar aggregate `f(R.y)`.
+    Agg(NamedAgg),
+}
+
+/// Peel a query block into (source expression, accumulated selection
+/// predicate, output shape). Projection and selection layers interleave
+/// freely; the source is whatever remains (a table, join, or nested
+/// structure). Used both by the GMDJ translation (to extract θ and the
+/// compared attribute per Table 1) and by the baseline evaluators.
+pub fn peel_block(q: &QueryExpr) -> (QueryExpr, NestedPredicate, SubqueryOutput) {
+    let mut output = SubqueryOutput::Row;
+    let mut preds: Vec<NestedPredicate> = Vec::new();
+    let mut cur = q;
+    loop {
+        match cur {
+            QueryExpr::Project { input, columns, .. } => {
+                if matches!(output, SubqueryOutput::Row) && columns.len() == 1 {
+                    output = SubqueryOutput::Column(columns[0].clone());
+                }
+                cur = input;
+            }
+            QueryExpr::AggProject { input, agg } => {
+                output = SubqueryOutput::Agg(agg.clone());
+                cur = input;
+            }
+            QueryExpr::Select { input, predicate } => {
+                preds.push(predicate.clone());
+                cur = input;
+            }
+            other => {
+                let body = preds
+                    .into_iter()
+                    .rev()
+                    .reduce(|a, b| a.and(b))
+                    .unwrap_or(NestedPredicate::Atom(Predicate::true_()));
+                return (other.clone(), body, output);
+            }
+        }
+    }
+}
+
+impl fmt::Display for QueryExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryExpr::Table { name, qualifier } => {
+                if name == qualifier {
+                    write!(f, "{name}")
+                } else {
+                    write!(f, "{name}→{qualifier}")
+                }
+            }
+            QueryExpr::Select { input, predicate } => write!(f, "σ[{predicate}]({input})"),
+            QueryExpr::Project { input, columns, distinct } => {
+                let cols: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+                let pi = if *distinct { "πᵈ" } else { "π" };
+                write!(f, "{pi}[{}]({input})", cols.join(", "))
+            }
+            QueryExpr::AggProject { input, agg } => write!(f, "π[{agg}]({input})"),
+            QueryExpr::Join { left, right, on } => write!(f, "({left} ⋈[{on}] {right})"),
+            QueryExpr::GroupBy { input, keys, aggs } => {
+                let ks: Vec<String> = keys.iter().map(|c| c.to_string()).collect();
+                let ags: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                write!(f, "γ[{}; {}]({input})", ks.join(", "), ags.join(", "))
+            }
+            QueryExpr::OrderBy { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(c, asc)| format!("{c}{}", if *asc { "" } else { "↓" }))
+                    .collect();
+                write!(f, "sort[{}]({input})", ks.join(", "))
+            }
+            QueryExpr::Limit { input, n } => write!(f, "limit[{n}]({input})"),
+        }
+    }
+}
+
+impl fmt::Display for SubqueryPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubqueryPred::Cmp { left, op, query } => write!(f, "{left} {op} ({query})"),
+            SubqueryPred::Quantified { left, op, quantifier, query } => {
+                write!(f, "{left} {op}_{quantifier} ({query})")
+            }
+            SubqueryPred::In { left, query, negated } => {
+                write!(f, "{left} {} ({query})", if *negated { "∉" } else { "∈" })
+            }
+            SubqueryPred::Exists { query, negated } => {
+                write!(f, "{}({query})", if *negated { "∄" } else { "∃" })
+            }
+        }
+    }
+}
+
+impl fmt::Display for NestedPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NestedPredicate::Atom(p) => write!(f, "{p}"),
+            NestedPredicate::Subquery(s) => write!(f, "{s}"),
+            NestedPredicate::And(a, b) => write!(f, "({a} ∧ {b})"),
+            NestedPredicate::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            NestedPredicate::Not(p) => write!(f, "¬({p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmdj_relation::expr::{col, lit};
+
+    fn flow(q: &str) -> QueryExpr {
+        QueryExpr::table("Flow", q)
+    }
+
+    #[test]
+    fn local_qualifiers_cover_joins_and_dedupe() {
+        let q = flow("F1").join(flow("F2"), col("F1.k").eq(col("F2.k")));
+        assert_eq!(q.local_qualifiers(), vec!["F1", "F2"]);
+        let q = flow("F").select_flat(col("F.a").eq(lit(1)));
+        assert_eq!(q.local_qualifiers(), vec!["F"]);
+    }
+
+    #[test]
+    fn subquery_count_and_depth() {
+        // σ[∃ σ[∄ σ[θ](Flow→F)](Hours→H)](User→U): two subqueries, depth 2.
+        let inner = flow("F").select_flat(col("F.x").eq(col("H.y")));
+        let mid = QueryExpr::table("Hours", "H").select(not_exists(inner));
+        let outer = QueryExpr::table("User", "U").select(exists(mid));
+        assert_eq!(outer.subquery_count(), 2);
+        assert_eq!(outer.nesting_depth(), 2);
+    }
+
+    #[test]
+    fn to_flat_requires_no_subqueries() {
+        let p = NestedPredicate::atom(col("a").eq(lit(1)))
+            .and(NestedPredicate::atom(col("b").gt(lit(2))));
+        assert!(p.to_flat().is_some());
+        let q = p.and(exists(flow("F")));
+        assert!(q.to_flat().is_none());
+        assert!(!q.is_flat());
+    }
+
+    #[test]
+    fn top_level_subqueries_do_not_descend() {
+        let inner = flow("F2").select(exists(flow("F3")));
+        let p = exists(inner).and(not_exists(flow("F1")));
+        // Two at top level; the one inside F2's selection is not listed.
+        assert_eq!(p.top_level_subqueries().len(), 2);
+        assert_eq!(p.subquery_count(), 3);
+    }
+
+    #[test]
+    fn quantifier_duality() {
+        assert_eq!(Quantifier::Some.dual(), Quantifier::All);
+        assert_eq!(Quantifier::All.dual(), Quantifier::Some);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let q = flow("F").select_flat(col("F.DestIP").eq(lit("167.167.167.0")));
+        let p = not_exists(q);
+        assert_eq!(p.to_string(), "∄(σ[F.DestIP = \"167.167.167.0\"](Flow→F))");
+    }
+}

@@ -1,0 +1,38 @@
+//! # gmdj-algebra
+//!
+//! The nested query algebra of Section 2.1 of the paper: an extended
+//! version of the algebra of Bækgaard & Mark whose selection predicates may
+//! embed SQL subquery constructs.
+//!
+//! The algebra mirrors SQL's subquery vocabulary exactly:
+//!
+//! * nested comparison selection `σ[x φ S]B` — scalar subquery;
+//! * quantified nested comparison `σ[x φ_some S]B` / `σ[x φ_all S]B`;
+//! * nested existential selection `σ[∃S]B` / `σ[∄S]B`;
+//! * `IN` / `NOT IN` as the standard synonyms for `=some` / `≠all`.
+//!
+//! This crate owns:
+//!
+//! * [`ast`] — the query-expression and nested-predicate AST, with
+//!   builders that read like the paper's notation;
+//! * [`analysis`] — scope computation, *free references* and *correlation
+//!   predicates*, and the neighboring / non-neighboring classification of
+//!   Section 3.2;
+//! * [`normalize`] — the preamble of Algorithm SubqueryToGMDJ: desugaring
+//!   `IN`/`NOT IN`, pushing negations down by De Morgan's laws, and
+//!   eliminating negations in front of subqueries with
+//!   `¬(t φ S) ⇒ t φ̄ S`, `¬(t φ_some S) ⇒ t φ̄_all S`,
+//!   `¬(t φ_all S) ⇒ t φ̄_some S`, `¬∃ ⇒ ∄`, `¬∄ ⇒ ∃`.
+//!
+//! Evaluation of the algebra lives elsewhere: reference (tuple-iteration)
+//! semantics in `gmdj-engine`, and the GMDJ translation in `gmdj-core`.
+
+pub mod analysis;
+pub mod ast;
+pub mod normalize;
+
+pub use analysis::{classify_correlations, free_references, CorrelationClass, FreeRef};
+pub use ast::{
+    exists, not_exists, NestedPredicate, Quantifier, QueryExpr, SubqueryOutput, SubqueryPred,
+};
+pub use normalize::normalize_negations;

@@ -1,0 +1,327 @@
+//! Negation normalization — the preamble of Algorithm SubqueryToGMDJ.
+//!
+//! Before translating, the algorithm (Section 3.3):
+//!
+//! 1. applies De Morgan's laws to push negations down to atomic
+//!    predicates, and
+//! 2. eliminates negations in front of subqueries with the rules
+//!    `¬(t φ S) ⇒ t φ̄ S`, `¬(t φ_some S) ⇒ t φ̄_all S`,
+//!    `¬(t φ_all S) ⇒ t φ̄_some S`, `¬∃S ⇒ ∄S`, `¬∄S ⇒ ∃S`.
+//!
+//! `IN` / `NOT IN` are desugared first (`x ∈ S ≡ x =_some S`,
+//! `x ∉ S ≡ x ≠_all S`, the definitions in Section 2.1).
+//!
+//! Negations on comparison *atoms* are also eliminated (`¬(x φ y) ⇒ x φ̄ y`)
+//! — exact under 3VL because both sides are unknown when an operand is
+//! NULL. `IS NULL` atoms are two-valued, so `¬(e IS NULL) ⇒ e IS NOT NULL`
+//! is exact as well. Pushing down and eliminating negations ensures NULL
+//! values are handled correctly by the count-based translation.
+
+use gmdj_relation::expr::Predicate;
+
+use crate::ast::{NestedPredicate, QueryExpr, SubqueryPred};
+
+/// Normalize a whole query expression: desugar `IN`/`NOT IN` and eliminate
+/// every negation in every selection predicate, recursively including the
+/// subquery bodies.
+pub fn normalize_negations(query: &QueryExpr) -> QueryExpr {
+    match query {
+        QueryExpr::Table { .. } => query.clone(),
+        QueryExpr::Select { input, predicate } => QueryExpr::Select {
+            input: Box::new(normalize_negations(input)),
+            predicate: normalize_predicate(predicate, false),
+        },
+        QueryExpr::Project { input, columns, distinct } => QueryExpr::Project {
+            input: Box::new(normalize_negations(input)),
+            columns: columns.clone(),
+            distinct: *distinct,
+        },
+        QueryExpr::AggProject { input, agg } => QueryExpr::AggProject {
+            input: Box::new(normalize_negations(input)),
+            agg: agg.clone(),
+        },
+        QueryExpr::Join { left, right, on } => QueryExpr::Join {
+            left: Box::new(normalize_negations(left)),
+            right: Box::new(normalize_negations(right)),
+            on: on.clone(),
+        },
+        QueryExpr::GroupBy { input, keys, aggs } => QueryExpr::GroupBy {
+            input: Box::new(normalize_negations(input)),
+            keys: keys.clone(),
+            aggs: aggs.clone(),
+        },
+        QueryExpr::OrderBy { input, keys } => QueryExpr::OrderBy {
+            input: Box::new(normalize_negations(input)),
+            keys: keys.clone(),
+        },
+        QueryExpr::Limit { input, n } => {
+            QueryExpr::Limit { input: Box::new(normalize_negations(input)), n: *n }
+        }
+    }
+}
+
+/// Normalize a nested predicate, tracking the parity of enclosing
+/// negations (`negated` = under an odd number of ¬).
+fn normalize_predicate(pred: &NestedPredicate, negated: bool) -> NestedPredicate {
+    match pred {
+        NestedPredicate::Not(inner) => normalize_predicate(inner, !negated),
+        NestedPredicate::And(a, b) => {
+            let na = normalize_predicate(a, negated);
+            let nb = normalize_predicate(b, negated);
+            if negated {
+                // ¬(a ∧ b) = ¬a ∨ ¬b
+                NestedPredicate::Or(Box::new(na), Box::new(nb))
+            } else {
+                NestedPredicate::And(Box::new(na), Box::new(nb))
+            }
+        }
+        NestedPredicate::Or(a, b) => {
+            let na = normalize_predicate(a, negated);
+            let nb = normalize_predicate(b, negated);
+            if negated {
+                NestedPredicate::And(Box::new(na), Box::new(nb))
+            } else {
+                NestedPredicate::Or(Box::new(na), Box::new(nb))
+            }
+        }
+        NestedPredicate::Atom(p) => NestedPredicate::Atom(if negated {
+            negate_flat(p)
+        } else {
+            eliminate_flat_negations(p, false)
+        }),
+        NestedPredicate::Subquery(s) => normalize_subquery(s, negated),
+    }
+}
+
+fn normalize_subquery(s: &SubqueryPred, negated: bool) -> NestedPredicate {
+    let norm = |q: &QueryExpr| Box::new(normalize_negations(q));
+    let out = match s {
+        SubqueryPred::In { left, query, negated: in_neg } => {
+            // x ∈ S ≡ x =some S; x ∉ S ≡ x ≠all S — then apply the outer ¬.
+            let effective_neg = *in_neg != negated;
+            if effective_neg {
+                SubqueryPred::Quantified {
+                    left: left.clone(),
+                    op: gmdj_relation::expr::CmpOp::Ne,
+                    quantifier: crate::ast::Quantifier::All,
+                    query: norm(query),
+                }
+            } else {
+                SubqueryPred::Quantified {
+                    left: left.clone(),
+                    op: gmdj_relation::expr::CmpOp::Eq,
+                    quantifier: crate::ast::Quantifier::Some,
+                    query: norm(query),
+                }
+            }
+        }
+        SubqueryPred::Cmp { left, op, query } => SubqueryPred::Cmp {
+            left: left.clone(),
+            op: if negated { op.negate() } else { *op },
+            query: norm(query),
+        },
+        SubqueryPred::Quantified { left, op, quantifier, query } => {
+            SubqueryPred::Quantified {
+                left: left.clone(),
+                op: if negated { op.negate() } else { *op },
+                quantifier: if negated { quantifier.dual() } else { *quantifier },
+                query: norm(query),
+            }
+        }
+        SubqueryPred::Exists { query, negated: ex_neg } => SubqueryPred::Exists {
+            query: norm(query),
+            negated: *ex_neg != negated,
+        },
+    };
+    NestedPredicate::Subquery(out)
+}
+
+/// Apply `¬` to a flat predicate, pushing it to the leaves.
+fn negate_flat(p: &Predicate) -> Predicate {
+    match p {
+        Predicate::Literal(t) => Predicate::Literal(t.not()),
+        Predicate::Cmp { op, left, right } => {
+            Predicate::Cmp { op: op.negate(), left: left.clone(), right: right.clone() }
+        }
+        Predicate::IsNull(e) => Predicate::IsNotNull(e.clone()),
+        Predicate::IsNotNull(e) => Predicate::IsNull(e.clone()),
+        Predicate::And(a, b) => Predicate::Or(Box::new(negate_flat(a)), Box::new(negate_flat(b))),
+        Predicate::Or(a, b) => Predicate::And(Box::new(negate_flat(a)), Box::new(negate_flat(b))),
+        Predicate::Not(inner) => eliminate_flat_negations(inner, false),
+    }
+}
+
+/// Remove all `Not` nodes from a flat predicate.
+fn eliminate_flat_negations(p: &Predicate, negated: bool) -> Predicate {
+    if negated {
+        return negate_flat(p);
+    }
+    match p {
+        Predicate::Not(inner) => eliminate_flat_negations(inner, true),
+        Predicate::And(a, b) => Predicate::And(
+            Box::new(eliminate_flat_negations(a, false)),
+            Box::new(eliminate_flat_negations(b, false)),
+        ),
+        Predicate::Or(a, b) => Predicate::Or(
+            Box::new(eliminate_flat_negations(a, false)),
+            Box::new(eliminate_flat_negations(b, false)),
+        ),
+        leaf => leaf.clone(),
+    }
+}
+
+/// True when no negation nodes remain anywhere (the postcondition of
+/// [`normalize_negations`]).
+pub fn is_negation_free(query: &QueryExpr) -> bool {
+    fn pred_free(p: &NestedPredicate) -> bool {
+        match p {
+            NestedPredicate::Not(_) => false,
+            NestedPredicate::Atom(f) => flat_free(f),
+            NestedPredicate::Subquery(s) => query_free(s.query()),
+            NestedPredicate::And(a, b) | NestedPredicate::Or(a, b) => {
+                pred_free(a) && pred_free(b)
+            }
+        }
+    }
+    fn flat_free(p: &Predicate) -> bool {
+        match p {
+            Predicate::Not(_) => false,
+            Predicate::And(a, b) | Predicate::Or(a, b) => flat_free(a) && flat_free(b),
+            _ => true,
+        }
+    }
+    fn query_free(q: &QueryExpr) -> bool {
+        match q {
+            QueryExpr::Table { .. } => true,
+            QueryExpr::Select { input, predicate } => query_free(input) && pred_free(predicate),
+            QueryExpr::Project { input, .. }
+            | QueryExpr::AggProject { input, .. }
+            | QueryExpr::GroupBy { input, .. }
+            | QueryExpr::OrderBy { input, .. }
+            | QueryExpr::Limit { input, .. } => query_free(input),
+            QueryExpr::Join { left, right, on } => {
+                query_free(left) && query_free(right) && flat_free(on)
+            }
+        }
+    }
+    query_free(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{exists, not_exists, Quantifier};
+    use gmdj_relation::expr::{col, lit, CmpOp};
+
+    fn table() -> QueryExpr {
+        QueryExpr::table("R", "R")
+    }
+
+    #[test]
+    fn not_exists_flips() {
+        let q = QueryExpr::table("B", "B").select(exists(table()).not());
+        let n = normalize_negations(&q);
+        let QueryExpr::Select { predicate, .. } = &n else { unreachable!() };
+        assert_eq!(predicate, &not_exists(table()));
+        assert!(is_negation_free(&n));
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let q = QueryExpr::table("B", "B").select(exists(table()).not().not());
+        let n = normalize_negations(&q);
+        let QueryExpr::Select { predicate, .. } = &n else { unreachable!() };
+        assert_eq!(predicate, &exists(table()));
+    }
+
+    #[test]
+    fn de_morgan_over_and() {
+        let p = exists(table()).and(NestedPredicate::atom(col("B.a").eq(lit(1)))).not();
+        let q = QueryExpr::table("B", "B").select(p);
+        let n = normalize_negations(&q);
+        let QueryExpr::Select { predicate, .. } = &n else { unreachable!() };
+        // ¬(∃S ∧ a=1) = ∄S ∨ a<>1
+        match predicate {
+            NestedPredicate::Or(l, r) => {
+                assert_eq!(**l, not_exists(table()));
+                assert_eq!(
+                    **r,
+                    NestedPredicate::atom(col("B.a").ne(lit(1)))
+                );
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_quantifier_dualizes() {
+        let sub = SubqueryPred::Quantified {
+            left: col("B.x"),
+            op: CmpOp::Gt,
+            quantifier: Quantifier::All,
+            query: Box::new(table()),
+        };
+        let q = QueryExpr::table("B", "B")
+            .select(NestedPredicate::Subquery(sub).not());
+        let n = normalize_negations(&q);
+        let QueryExpr::Select { predicate, .. } = &n else { unreachable!() };
+        match predicate {
+            NestedPredicate::Subquery(SubqueryPred::Quantified { op, quantifier, .. }) => {
+                assert_eq!(*op, CmpOp::Le);
+                assert_eq!(*quantifier, Quantifier::Some);
+            }
+            other => panic!("expected quantified, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_desugars_to_some_and_not_in_to_all() {
+        let mk = |negated| SubqueryPred::In {
+            left: col("B.x"),
+            query: Box::new(table()),
+            negated,
+        };
+        let q = QueryExpr::table("B", "B").select(NestedPredicate::Subquery(mk(false)));
+        let n = normalize_negations(&q);
+        let QueryExpr::Select { predicate, .. } = &n else { unreachable!() };
+        match predicate {
+            NestedPredicate::Subquery(SubqueryPred::Quantified { op, quantifier, .. }) => {
+                assert_eq!(*op, CmpOp::Eq);
+                assert_eq!(*quantifier, Quantifier::Some);
+            }
+            other => panic!("{other:?}"),
+        }
+        // ¬(x ∈ S) and x ∉ S both become ≠all.
+        let q = QueryExpr::table("B", "B")
+            .select(NestedPredicate::Subquery(mk(false)).not());
+        let n = normalize_negations(&q);
+        let QueryExpr::Select { predicate, .. } = &n else { unreachable!() };
+        match predicate {
+            NestedPredicate::Subquery(SubqueryPred::Quantified { op, quantifier, .. }) => {
+                assert_eq!(*op, CmpOp::Ne);
+                assert_eq!(*quantifier, Quantifier::All);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negation_inside_subquery_body_is_normalized() {
+        let inner = table().select(exists(QueryExpr::table("S", "S")).not());
+        let q = QueryExpr::table("B", "B").select(exists(inner));
+        let n = normalize_negations(&q);
+        assert!(is_negation_free(&n));
+    }
+
+    #[test]
+    fn flat_negations_eliminated() {
+        let p = NestedPredicate::atom(col("a").eq(lit(1)).and(col("b").lt(lit(2)).not()).not());
+        let q = QueryExpr::table("B", "B").select(p);
+        let n = normalize_negations(&q);
+        assert!(is_negation_free(&n));
+        let QueryExpr::Select { predicate, .. } = &n else { unreachable!() };
+        // ¬(a=1 ∧ ¬(b<2)) = a≠1 ∨ b<2
+        let NestedPredicate::Atom(flat) = predicate else { panic!() };
+        assert_eq!(flat.to_string(), "(a <> 1 ∨ b < 2)");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for negation normalization: the postconditions of the
+//! SubqueryToGMDJ preamble hold for arbitrary predicate trees.
+
+use proptest::prelude::*;
+
+use gmdj_algebra::ast::{NestedPredicate, Quantifier, QueryExpr, SubqueryPred};
+use gmdj_algebra::normalize::{is_negation_free, normalize_negations};
+use gmdj_relation::expr::{col, lit, CmpOp, ScalarExpr};
+use gmdj_relation::schema::ColumnRef;
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn leaf() -> impl Strategy<Value = NestedPredicate> {
+    let atom = (cmp_op(), 0i64..5).prop_map(|(op, k)| {
+        NestedPredicate::Atom(
+            ScalarExpr::Column(ColumnRef::qualified("B", "a")).cmp_with(op, lit(k)),
+        )
+    });
+    let exists = (proptest::bool::ANY, cmp_op()).prop_map(|(negated, op)| {
+        NestedPredicate::Subquery(SubqueryPred::Exists {
+            query: Box::new(QueryExpr::table("R", "R1").select_flat(
+                ScalarExpr::Column(ColumnRef::qualified("R1", "a")).cmp_with(op, col("B.a")),
+            )),
+            negated,
+        })
+    });
+    let quantified = (cmp_op(), proptest::bool::ANY).prop_map(|(op, all)| {
+        NestedPredicate::Subquery(SubqueryPred::Quantified {
+            left: col("B.a"),
+            op,
+            quantifier: if all { Quantifier::All } else { Quantifier::Some },
+            query: Box::new(
+                QueryExpr::table("R", "R1").project(vec![ColumnRef::parse("R1.b")]),
+            ),
+        })
+    });
+    let in_pred = proptest::bool::ANY.prop_map(|negated| {
+        NestedPredicate::Subquery(SubqueryPred::In {
+            left: col("B.a"),
+            query: Box::new(
+                QueryExpr::table("R", "R1").project(vec![ColumnRef::parse("R1.a")]),
+            ),
+            negated,
+        })
+    });
+    prop_oneof![atom, exists, quantified, in_pred]
+}
+
+fn predicate() -> impl Strategy<Value = NestedPredicate> {
+    leaf().prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|p| p.not()),
+        ]
+    })
+}
+
+fn count_subqueries(p: &NestedPredicate) -> usize {
+    p.subquery_count()
+}
+
+fn count_in_preds(p: &NestedPredicate) -> usize {
+    match p {
+        NestedPredicate::Atom(_) => 0,
+        NestedPredicate::Subquery(SubqueryPred::In { .. }) => 1,
+        NestedPredicate::Subquery(_) => 0,
+        NestedPredicate::And(a, b) | NestedPredicate::Or(a, b) => {
+            count_in_preds(a) + count_in_preds(b)
+        }
+        NestedPredicate::Not(inner) => count_in_preds(inner),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The output never contains a negation node.
+    #[test]
+    fn output_is_negation_free(p in predicate()) {
+        let q = QueryExpr::table("B", "B").select(p);
+        let n = normalize_negations(&q);
+        prop_assert!(is_negation_free(&n));
+    }
+
+    /// Normalization is idempotent.
+    #[test]
+    fn normalization_is_idempotent(p in predicate()) {
+        let q = QueryExpr::table("B", "B").select(p);
+        let once = normalize_negations(&q);
+        let twice = normalize_negations(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The number of subquery constructs is preserved (IN desugars to a
+    /// quantified comparison, one for one).
+    #[test]
+    fn subquery_count_preserved(p in predicate()) {
+        let before = count_subqueries(&p);
+        let q = QueryExpr::table("B", "B").select(p);
+        let n = normalize_negations(&q);
+        let QueryExpr::Select { predicate, .. } = &n else {
+            return Err(TestCaseError::fail("normalization changed the root shape"));
+        };
+        prop_assert_eq!(count_subqueries(predicate), before);
+        // No IN predicates survive.
+        prop_assert_eq!(count_in_preds(predicate), 0);
+    }
+
+    /// Double negation cancels exactly.
+    #[test]
+    fn double_negation_cancels(p in predicate()) {
+        let q1 = QueryExpr::table("B", "B").select(p.clone());
+        let q2 = QueryExpr::table("B", "B").select(p.not().not());
+        prop_assert_eq!(normalize_negations(&q1), normalize_negations(&q2));
+    }
+}

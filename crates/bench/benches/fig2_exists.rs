@@ -1,0 +1,30 @@
+//! Figure 2 — query evaluation time for an EXISTS subquery.
+//!
+//! Paper sweep: outer 1000 rows, inner 300k–1.2M; series Native,
+//! Unnesting, GMDJ. Criterion runs a 1/10-scale sweep; the `repro` binary
+//! runs the full sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmdj_bench::{bench_instance, FigureId};
+use gmdj_engine::strategy::{run, Strategy};
+
+fn fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_exists");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (outer, inner) in [(100, 30_000), (100, 60_000), (100, 90_000), (100, 120_000)] {
+        let (catalog, query) = bench_instance(FigureId::Fig2, outer, inner, 42);
+        for strat in [Strategy::NativeSmart, Strategy::JoinUnnest, Strategy::GmdjBasic] {
+            group.bench_with_input(
+                BenchmarkId::new(strat.label(), format!("{outer}x{inner}")),
+                &inner,
+                |b, _| b.iter(|| run(&query, &catalog, strat).unwrap().relation.len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 3 — comparison predicate over an aggregate subquery.
+//!
+//! Paper sweep: outer 500–2000 rows, inner 300k–1.2M; series Native
+//! (simple nested loop), Optimized GMDJ, Unnesting (aggregate + outer
+//! join). Criterion runs a reduced sweep so the quadratic native baseline
+//! stays measurable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmdj_bench::{bench_instance, FigureId};
+use gmdj_engine::strategy::{run, Strategy};
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_agg_compare");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (outer, inner) in [(50, 15_000), (100, 30_000), (150, 45_000), (200, 60_000)] {
+        let (catalog, query) = bench_instance(FigureId::Fig3, outer, inner, 42);
+        for strat in
+            [Strategy::NaiveNestedLoop, Strategy::GmdjOptimized, Strategy::JoinUnnest]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(strat.label(), format!("{outer}x{inner}")),
+                &inner,
+                |b, _| b.iter(|| run(&query, &catalog, strat).unwrap().relation.len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

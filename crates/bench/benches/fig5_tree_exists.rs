@@ -1,0 +1,41 @@
+//! Figure 5 — two tree-nested EXISTS predicates with disjoint conditions.
+//!
+//! Paper sweep: outer 1000 rows, inner 300k–1.2M; series native and join
+//! unnesting with and without indexes, plus basic and
+//! coalesced/completed GMDJ. The unindexed baselines are quadratic, so
+//! Criterion measures them at the smallest size only.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmdj_bench::{bench_instance, FigureId};
+use gmdj_engine::strategy::{run, Strategy};
+
+fn fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_tree_exists");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (outer, inner) in [(100, 30_000), (100, 60_000), (100, 90_000), (100, 120_000)] {
+        let (catalog, query) = bench_instance(FigureId::Fig5, outer, inner, 42);
+        let mut strategies = vec![
+            Strategy::NativeSmart,
+            Strategy::JoinUnnest,
+            Strategy::GmdjBasic,
+            Strategy::GmdjOptimized,
+        ];
+        if inner <= 30_000 {
+            strategies.push(Strategy::NativeSmartNoIndex);
+            strategies.push(Strategy::JoinUnnestNoIndex);
+        }
+        for strat in strategies {
+            group.bench_with_input(
+                BenchmarkId::new(strat.label(), format!("{outer}x{inner}")),
+                &inner,
+                |b, _| b.iter(|| run(&query, &catalog, strat).unwrap().relation.len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

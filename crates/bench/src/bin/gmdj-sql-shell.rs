@@ -1,0 +1,345 @@
+//! An SQL shell over the GMDJ engine.
+//!
+//! ```text
+//! gmdj-sql-shell [--csv name=path ...] [--tpcr SF] [--netflow N]
+//!                [--strategy S] [-e "SQL"]
+//! ```
+//!
+//! Loads tables from CSV files (schema inferred) and/or generated
+//! datasets, then evaluates SQL queries — interactively from stdin or
+//! one-shot with `-e`. Meta commands:
+//!
+//! ```text
+//! \tables                 list tables and row counts
+//! \strategy [name]        show / set the evaluation strategy
+//! \explain SQL            show the (optimized) GMDJ plan
+//! \dot SQL                emit the optimized plan as Graphviz dot
+//! \compare SQL            run under every strategy and compare
+//! \timing on|off          toggle per-query timing
+//! \q                      quit
+//! ```
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+use gmdj_core::exec::{MemoryCatalog, TableProvider};
+use gmdj_datagen::netflow::{NetflowConfig, NetflowData};
+use gmdj_datagen::tpcr::{TpcrConfig, TpcrData};
+use gmdj_engine::strategy::{explain_gmdj, run, Strategy};
+use gmdj_sql::parse_query;
+
+const STRATEGIES: [Strategy; 10] = [
+    Strategy::NaiveNestedLoop,
+    Strategy::NativeSmart,
+    Strategy::NativeSmartNoIndex,
+    Strategy::JoinUnnest,
+    Strategy::JoinUnnestNoIndex,
+    Strategy::GmdjBasic,
+    Strategy::GmdjOptimized,
+    Strategy::GmdjOptimizedNoProbeIndex,
+    Strategy::GmdjBasicNoProbeIndex,
+    Strategy::GmdjCostBased,
+];
+
+fn strategy_by_label(label: &str) -> Option<Strategy> {
+    STRATEGIES.into_iter().find(|s| s.label() == label)
+}
+
+struct Shell {
+    catalog: MemoryCatalog,
+    strategy: Strategy,
+    timing: bool,
+}
+
+impl Shell {
+    fn run_sql(&self, sql: &str) {
+        let query = match parse_query(sql) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("parse error: {e}");
+                return;
+            }
+        };
+        match run(&query, &self.catalog, self.strategy) {
+            Ok(result) => {
+                const DISPLAY_CAP: usize = 50;
+                if result.relation.len() > DISPLAY_CAP {
+                    print!("{}", gmdj_relation::ops::limit(&result.relation, DISPLAY_CAP));
+                    println!(
+                        "… {} more rows not shown (add LIMIT to the query)",
+                        result.relation.len() - DISPLAY_CAP
+                    );
+                } else {
+                    print!("{}", result.relation);
+                }
+                if self.timing {
+                    println!(
+                        "({:.2} ms, {} work units, strategy {})",
+                        result.wall.as_secs_f64() * 1e3,
+                        result.stats.work(),
+                        self.strategy.label()
+                    );
+                }
+            }
+            Err(e) => eprintln!("execution error: {e}"),
+        }
+    }
+
+    fn explain(&self, sql: &str) {
+        match parse_query(sql) {
+            Ok(q) => {
+                println!("nested algebra:\n  {q}\n");
+                match explain_gmdj(&q, &self.catalog, true) {
+                    Ok(plan) => println!("optimized GMDJ plan:\n{plan}"),
+                    Err(e) => eprintln!("translation error: {e}"),
+                }
+            }
+            Err(e) => eprintln!("parse error: {e}"),
+        }
+    }
+
+    fn compare(&self, sql: &str) {
+        let query = match parse_query(sql) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("parse error: {e}");
+                return;
+            }
+        };
+        let mut baseline = None;
+        for strategy in STRATEGIES {
+            match run(&query, &self.catalog, strategy) {
+                Ok(result) => {
+                    let agree = match &baseline {
+                        None => {
+                            baseline = Some(result.relation.clone());
+                            "  "
+                        }
+                        Some(b) if b.multiset_eq(&result.relation) => "  ",
+                        Some(_) => "✗ DISAGREES",
+                    };
+                    println!(
+                        "  {:<16} {:>10.2} ms {:>14} work units {:>8} rows {agree}",
+                        strategy.label(),
+                        result.wall.as_secs_f64() * 1e3,
+                        result.stats.work(),
+                        result.relation.len()
+                    );
+                }
+                Err(e) => println!("  {:<16} error: {e}", strategy.label()),
+            }
+        }
+    }
+
+    fn meta(&mut self, line: &str) -> bool {
+        let mut parts = line.splitn(2, ' ');
+        let cmd = parts.next().unwrap_or("");
+        let rest = parts.next().unwrap_or("").trim();
+        match cmd {
+            "\\q" | "\\quit" => return false,
+            "\\tables" => {
+                for name in self.catalog.table_names() {
+                    let rows = self.catalog.table(name).map(|r| r.len()).unwrap_or(0);
+                    println!("  {name:<16} {rows} rows");
+                }
+            }
+            "\\strategy" => {
+                if rest.is_empty() {
+                    println!("  current: {}", self.strategy.label());
+                    println!(
+                        "  available: {}",
+                        STRATEGIES.map(|s| s.label()).join(", ")
+                    );
+                } else {
+                    match strategy_by_label(rest) {
+                        Some(s) => {
+                            self.strategy = s;
+                            println!("  strategy set to {}", s.label());
+                        }
+                        None => eprintln!("unknown strategy `{rest}`"),
+                    }
+                }
+            }
+            "\\explain" => self.explain(rest),
+            "\\dot" => match gmdj_sql::parse_query(rest) {
+                Ok(q) => {
+                    match gmdj_core::translate::subquery_to_gmdj(&q, &self.catalog) {
+                        Ok(plan) => {
+                            let optimized = gmdj_core::optimize::optimize(&plan);
+                            println!("{}", optimized.to_dot());
+                        }
+                        Err(e) => eprintln!("translation error: {e}"),
+                    }
+                }
+                Err(e) => eprintln!("parse error: {e}"),
+            },
+            "\\compare" => self.compare(rest),
+            "\\timing" => {
+                self.timing = rest != "off";
+                println!("  timing {}", if self.timing { "on" } else { "off" });
+            }
+            other => eprintln!("unknown meta command `{other}` (try \\tables, \\strategy, \\explain, \\compare, \\timing, \\q)"),
+        }
+        true
+    }
+}
+
+fn main() -> ExitCode {
+    let mut catalog = MemoryCatalog::new();
+    let mut strategy = Strategy::GmdjOptimized;
+    let mut one_shot: Vec<String> = Vec::new();
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--csv" => {
+                let Some(spec) = argv.next() else {
+                    eprintln!("--csv needs name=path");
+                    return ExitCode::FAILURE;
+                };
+                let Some((name, path)) = spec.split_once('=') else {
+                    eprintln!("--csv needs name=path, got `{spec}`");
+                    return ExitCode::FAILURE;
+                };
+                let file = match std::fs::File::open(path) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("cannot open {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let mut reader = std::io::BufReader::new(file);
+                match gmdj_relation::csv::read_csv_infer(&mut reader, name) {
+                    Ok(rel) => {
+                        println!("loaded {name}: {} rows", rel.len());
+                        catalog.register(name.to_string(), rel);
+                    }
+                    Err(e) => {
+                        eprintln!("cannot parse {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--tpcr" => {
+                let sf: f64 = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0.01);
+                let data = TpcrData::generate(&TpcrConfig::scale(sf, 42));
+                for (name, rel) in [
+                    ("customer", data.customer),
+                    ("orders", data.orders),
+                    ("lineitem", data.lineitem),
+                    ("part", data.part),
+                    ("supplier", data.supplier),
+                    ("nation", data.nation),
+                ] {
+                    println!("generated {name}: {} rows", rel.len());
+                    catalog.register(name, rel);
+                }
+            }
+            "--netflow" => {
+                let flows: usize = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(10_000);
+                let data = NetflowData::generate(&NetflowConfig {
+                    hours: 24,
+                    flows,
+                    users: 50,
+                    source_ips: 64,
+                    seed: 42,
+                });
+                for (name, rel) in
+                    [("Flow", data.flow), ("Hours", data.hours), ("User", data.user)]
+                {
+                    println!("generated {name}: {} rows", rel.len());
+                    catalog.register(name, rel);
+                }
+            }
+            "--strategy" => {
+                let Some(label) = argv.next() else {
+                    eprintln!("--strategy needs a name");
+                    return ExitCode::FAILURE;
+                };
+                match strategy_by_label(&label) {
+                    Some(s) => strategy = s,
+                    None => {
+                        eprintln!("unknown strategy `{label}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "-e" => {
+                let Some(sql) = argv.next() else {
+                    eprintln!("-e needs an SQL string");
+                    return ExitCode::FAILURE;
+                };
+                one_shot.push(sql);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "gmdj-sql-shell — SQL over the GMDJ subquery engine\n\n\
+                     --csv name=path   load a CSV file as table `name`\n\
+                     --tpcr SF         generate TPC-R-style tables at scale factor SF\n\
+                     --netflow N       generate the IP-flow warehouse with N flows\n\
+                     --strategy S      evaluation strategy (default gmdj-opt)\n\
+                     -e SQL            run one query and exit (repeatable)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut shell = Shell { catalog, strategy, timing: true };
+    if !one_shot.is_empty() {
+        for sql in one_shot {
+            shell.run_sql(&sql);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    println!("gmdj-sql-shell — \\q to quit, \\tables, \\strategy, \\explain, \\dot, \\compare");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("gmdj> ");
+        } else {
+            print!("   -> ");
+        }
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            if !shell.meta(trimmed) {
+                break;
+            }
+            continue;
+        }
+        buffer.push_str(trimmed);
+        buffer.push(' ');
+        // Statements end with `;`.
+        if trimmed.ends_with(';') {
+            let sql = buffer.trim_end().trim_end_matches(';').to_string();
+            buffer.clear();
+            shell.run_sql(&sql);
+        }
+    }
+    ExitCode::SUCCESS
+}

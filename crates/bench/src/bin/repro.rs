@@ -1,0 +1,140 @@
+//! Regenerate the paper's figures.
+//!
+//! ```text
+//! repro [--figure 2|3|4|5] [--scale F] [--seed N] [--full]
+//! ```
+//!
+//! Prints, per figure, the measurement table (one row per size point, one
+//! column per strategy — milliseconds and work units) followed by the
+//! shape checks encoding Section 5's claims. `--scale 1.0` (or `--full`)
+//! uses the paper's exact row counts; the default 0.05 finishes in a few
+//! minutes on a laptop while preserving every shape.
+
+use std::process::ExitCode;
+
+use gmdj_bench::{render_table, run_figure, shape, FigureId};
+
+struct Args {
+    figures: Vec<FigureId>,
+    scale: f64,
+    seed: u64,
+    csv_dir: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut figures: Vec<FigureId> = Vec::new();
+    let mut scale = 0.05;
+    let mut seed = 42;
+    let mut csv_dir: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--figure" | "-f" => {
+                let v = argv.next().ok_or("--figure needs a value (2..5)")?;
+                figures.push(FigureId::parse(&v).ok_or(format!("unknown figure `{v}`"))?);
+            }
+            "--scale" | "-s" => {
+                let v = argv.next().ok_or("--scale needs a value")?;
+                scale = v.parse().map_err(|_| format!("bad scale `{v}`"))?;
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--full" => scale = 1.0,
+            "--csv" => {
+                csv_dir = Some(argv.next().ok_or("--csv needs a directory")?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro — regenerate the figures of 'Efficient Computation of \
+                     Subqueries in Complex OLAP' (ICDE 2003)\n\n\
+                     options:\n  \
+                     --figure N   regenerate only figure N (2..5; repeatable)\n  \
+                     --scale F    multiply the paper's row counts by F (default 0.05)\n  \
+                     --full       shorthand for --scale 1.0 (the paper's sizes)\n  \
+                     --seed N     data generation seed (default 42)\n  \
+                     --csv DIR    also write the measurement grid as DIR/figN.csv"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if figures.is_empty() {
+        figures = FigureId::all().to_vec();
+    }
+    Ok(Args { figures, scale, seed, csv_dir })
+}
+
+/// Write one figure's measurements as CSV (for external plotting).
+fn write_csv(dir: &str, fig: FigureId, figure: &gmdj_bench::Figure) -> std::io::Result<()> {
+    use std::io::Write;
+    std::fs::create_dir_all(dir)?;
+    let n = match fig {
+        FigureId::Fig2 => 2,
+        FigureId::Fig3 => 3,
+        FigureId::Fig4 => 4,
+        FigureId::Fig5 => 5,
+    };
+    let path = format!("{dir}/fig{n}.csv");
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "size,outer,inner,strategy,wall_ms,work,rows")?;
+    for p in &figure.points {
+        for m in &p.measurements {
+            writeln!(
+                f,
+                "{},{},{},{},{:.3},{},{}",
+                p.label,
+                p.outer,
+                p.inner,
+                m.strategy.label(),
+                m.wall.as_secs_f64() * 1e3,
+                m.work,
+                m.rows
+            )?;
+        }
+    }
+    eprintln!("wrote {path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "Reproducing Akinde & Böhlen (ICDE 2003), scale {} of the paper's sizes, seed {}\n",
+        args.scale, args.seed
+    );
+    let mut all_passed = true;
+    for fig in &args.figures {
+        let figure = match run_figure(*fig, args.scale, args.seed) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error while running {fig:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", render_table(&figure));
+        if let Some(dir) = &args.csv_dir {
+            if let Err(e) = write_csv(dir, *fig, &figure) {
+                eprintln!("csv write failed: {e}");
+            }
+        }
+        let checks = shape::check(*fig, &figure);
+        println!("{}", shape::render(&checks));
+        all_passed &= checks.iter().all(|c| c.passed);
+    }
+    if all_passed {
+        println!("All shape checks passed.");
+        ExitCode::SUCCESS
+    } else {
+        println!("Some shape checks FAILED — see above.");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,1132 @@
+//! GMDJ evaluation (Definition 2.1), in a single scan of the detail
+//! relation.
+//!
+//! The evaluator keeps the base-values relation (plus one accumulator per
+//! base tuple per aggregate) in memory and streams the detail relation past
+//! it. Per condition θᵢ it builds a *probe plan*:
+//!
+//! * equality conjuncts `B.x = R.y` → a [`HashIndex`] on the base rows —
+//!   the "indexing mechanism intrinsic to GMDJ evaluation";
+//! * band conjuncts `R.t ≥ B.lo ∧ R.t < B.hi` → an [`IntervalIndex`]
+//!   (the Hours dimension of the motivating example);
+//! * anything else → a scan of the *active* base tuples, which for
+//!   conditions like the `<>` correlation of Figure 4 "essentially mimics
+//!   tuple-iteration semantics" — unless base-tuple completion
+//!   ([`crate::completion`]) keeps shrinking the active set.
+//!
+//! When the base-values relation does not fit the memory budget, the
+//! evaluator partitions it and performs one detail scan per partition
+//! ("simple memory management techniques … compute the GMDJ at a
+//! well-defined cost"). Machine-independent work counters ([`EvalStats`])
+//! make the benchmark shapes reproducible across hardware.
+
+use gmdj_relation::agg::{Accumulator, BoundAgg};
+use gmdj_relation::error::{Error, Result};
+use gmdj_relation::expr::{BoundPredicate, CmpOp, Predicate, ScalarExpr};
+use gmdj_relation::index::{key_of, HashIndex, IntervalIndex};
+use gmdj_relation::relation::{Relation, Tuple};
+use gmdj_relation::schema::Schema;
+use gmdj_relation::value::Value;
+
+use crate::completion::CompletionPlan;
+use crate::spec::GmdjSpec;
+
+/// How probe plans may be chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeStrategy {
+    /// Hash / interval indexes when the condition allows, scan otherwise.
+    #[default]
+    Auto,
+    /// Always scan the active base tuples (an ablation: GMDJ without its
+    /// intrinsic indexing).
+    ForceScan,
+}
+
+/// Which columns the (possibly filtered) GMDJ returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keep {
+    /// **B**'s attributes followed by all aggregate outputs.
+    All,
+    /// Only **B**'s attributes — the π\[A\] of Table 1's ∄ row and the
+    /// precondition of Theorem 4.1.
+    BaseOnly,
+}
+
+/// Evaluation options.
+#[derive(Debug, Clone, Default)]
+pub struct GmdjOptions {
+    /// Probe plan selection.
+    pub probe: ProbeStrategy,
+    /// Maximum number of base tuples resident per detail scan. `None`
+    /// keeps the whole base-values relation in memory (single scan).
+    pub partition_rows: Option<usize>,
+}
+
+/// Machine-independent work counters, accumulated across an evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Detail tuples consumed (per partition scan).
+    pub detail_scanned: u64,
+    /// Candidate (base tuple, block) pairs produced by probe plans.
+    pub probe_candidates: u64,
+    /// Residual / full θ evaluations.
+    pub theta_evals: u64,
+    /// Aggregate accumulator updates.
+    pub agg_updates: u64,
+    /// Base tuples processed.
+    pub base_rows: u64,
+    /// Base tuples completed as rejected mid-scan (Theorem 4.2).
+    pub dead_early: u64,
+    /// Base tuples completed as accepted mid-scan (Theorem 4.1).
+    pub done_early: u64,
+    /// Probe indexes built.
+    pub index_builds: u64,
+    /// Detail scans performed (= number of base partitions).
+    pub partitions: u64,
+}
+
+impl EvalStats {
+    /// Fold another stats block into this one.
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.detail_scanned += other.detail_scanned;
+        self.probe_candidates += other.probe_candidates;
+        self.theta_evals += other.theta_evals;
+        self.agg_updates += other.agg_updates;
+        self.base_rows += other.base_rows;
+        self.dead_early += other.dead_early;
+        self.done_early += other.done_early;
+        self.index_builds += other.index_builds;
+        self.partitions += other.partitions;
+    }
+
+    /// A single scalar "work" figure: the dominant per-tuple costs.
+    pub fn work(&self) -> u64 {
+        self.detail_scanned + self.probe_candidates + self.theta_evals + self.agg_updates
+    }
+}
+
+/// Plain GMDJ: `MD(base, detail, spec)`.
+pub fn eval_gmdj(
+    base: &Relation,
+    detail: &Relation,
+    spec: &GmdjSpec,
+    opts: &GmdjOptions,
+    stats: &mut EvalStats,
+) -> Result<Relation> {
+    eval_gmdj_filtered(base, detail, spec, None, Keep::All, None, opts, stats)
+}
+
+/// Filtered GMDJ: `π[keep](σ[selection](MD(base, detail, spec)))`, with an
+/// optional base-tuple completion plan derived from `selection`.
+///
+/// * `selection` is over the GMDJ output schema (base attributes plus
+///   aggregate outputs); `None` keeps every base tuple.
+/// * `completion` requires `selection`; its dead rules drop base tuples
+///   mid-scan and its finish-early rule emits them mid-scan.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_gmdj_filtered(
+    base: &Relation,
+    detail: &Relation,
+    spec: &GmdjSpec,
+    selection: Option<&Predicate>,
+    keep: Keep,
+    completion: Option<&CompletionPlan>,
+    opts: &GmdjOptions,
+    stats: &mut EvalStats,
+) -> Result<Relation> {
+    if completion.is_some() && selection.is_none() {
+        return Err(Error::invalid("completion plan requires a selection"));
+    }
+    let out_schema = spec.output_schema(base.schema());
+    let result_schema = match keep {
+        Keep::All => out_schema.clone(),
+        Keep::BaseOnly => base.schema().clone(),
+    };
+    let bound_selection = match selection {
+        Some(p) => Some(p.bind(&[&out_schema])?),
+        None => None,
+    };
+
+    let partition = opts.partition_rows.unwrap_or(usize::MAX).max(1);
+    let mut out_rows: Vec<Tuple> = Vec::new();
+    let mut start = 0usize;
+    while start < base.len() || (base.is_empty() && start == 0) {
+        let end = (start + partition).min(base.len());
+        let chunk = &base.rows()[start..end];
+        run_partition(
+            chunk,
+            base.schema(),
+            detail,
+            spec,
+            bound_selection.as_ref(),
+            keep,
+            completion,
+            opts,
+            stats,
+            &mut out_rows,
+        )?;
+        start = end;
+        if base.is_empty() {
+            break;
+        }
+    }
+    Ok(Relation::from_parts(result_schema, out_rows))
+}
+
+/// Parallel GMDJ evaluation (Section 6: "the GMDJ operator is well-suited
+/// to evaluation in a parallel or distributed DBMS environment").
+///
+/// The detail relation is range-partitioned across `threads` workers; the
+/// base-values relation and every probe structure are built once and
+/// shared read-only. Each worker folds its partition into private
+/// accumulators, which merge exactly afterwards
+/// ([`Accumulator::merge`] — all supported aggregates are decomposable).
+///
+/// Completion is not applied here: base-tuple completion is a sequential
+/// optimization (a tuple's fate depends on scan order), so parallel
+/// evaluation targets the plain `MD(B, R, spec)` form. Results are
+/// identical to [`eval_gmdj`] for any thread count.
+pub fn eval_gmdj_parallel(
+    base: &Relation,
+    detail: &Relation,
+    spec: &GmdjSpec,
+    threads: usize,
+    opts: &GmdjOptions,
+    stats: &mut EvalStats,
+) -> Result<Relation> {
+    let threads = threads.max(1);
+    if threads == 1 || detail.len() < 2 * threads {
+        return eval_gmdj(base, detail, spec, opts, stats);
+    }
+    stats.partitions += 1;
+    stats.base_rows += base.len() as u64;
+    let base_rows = base.rows();
+    let plans = plan_blocks(base_rows, base.schema(), detail.schema(), spec, opts, stats)?;
+    let total_aggs = spec.agg_count();
+    let n = base_rows.len();
+
+    let chunk_len = detail.len().div_ceil(threads);
+    let chunks: Vec<&[Tuple]> = detail.rows().chunks(chunk_len.max(1)).collect();
+
+    let results: Vec<Result<(Vec<Accumulator>, EvalStats)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in &chunks {
+            let plans = &plans;
+            let chunk: &[Tuple] = chunk;
+            handles.push(scope.spawn(move || {
+                let mut accs: Vec<Accumulator> = Vec::with_capacity(n * total_aggs);
+                for _ in 0..n {
+                    for plan in plans {
+                        for a in &plan.aggs {
+                            accs.push(a.accumulator());
+                        }
+                    }
+                }
+                let mut local = EvalStats::default();
+                scan_detail_plain(chunk, plans, base_rows, total_aggs, &mut accs, &mut local)?;
+                Ok((accs, local))
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    // Merge partial accumulators in order.
+    let mut merged: Option<Vec<Accumulator>> = None;
+    for r in results {
+        let (accs, local) = r?;
+        stats.merge(&local);
+        match &mut merged {
+            None => merged = Some(accs),
+            Some(m) => {
+                for (a, b) in m.iter_mut().zip(&accs) {
+                    a.merge(b);
+                }
+            }
+        }
+    }
+    let merged = merged.expect("at least one detail chunk");
+
+    let out_schema = spec.output_schema(base.schema());
+    let mut rows = Vec::with_capacity(n);
+    for (b_idx, b_row) in base_rows.iter().enumerate() {
+        let mut full: Vec<Value> = Vec::with_capacity(b_row.len() + total_aggs);
+        full.extend(b_row.iter().cloned());
+        let acc_base = b_idx * total_aggs;
+        for acc in &merged[acc_base..acc_base + total_aggs] {
+            full.push(acc.finish());
+        }
+        rows.push(full.into_boxed_slice());
+    }
+    Ok(Relation::from_parts(out_schema, rows))
+}
+
+/// The probe loop without completion: fold one detail slice into `accs`.
+fn scan_detail_plain(
+    chunk: &[Tuple],
+    plans: &[BlockPlan],
+    base_rows: &[Tuple],
+    total_aggs: usize,
+    accs: &mut [Accumulator],
+    stats: &mut EvalStats,
+) -> Result<()> {
+    let all_base: Vec<u32> = (0..base_rows.len() as u32).collect();
+    let mut stab_scratch: Vec<u32> = Vec::new();
+    for r in chunk {
+        let r: &[Value] = r;
+        stats.detail_scanned += 1;
+        for plan in plans {
+            let candidates: &[u32] = match &plan.access {
+                Access::Hash { index, detail_cols } => {
+                    let key = key_of(r, detail_cols);
+                    stab_scratch.clear();
+                    stab_scratch.extend_from_slice(index.probe(&key));
+                    &stab_scratch
+                }
+                Access::Interval { index, detail_col } => {
+                    index.stab(&r[*detail_col], &mut stab_scratch);
+                    &stab_scratch
+                }
+                Access::Scan => &all_base,
+            };
+            for &b_idx in candidates {
+                let b_idx = b_idx as usize;
+                stats.probe_candidates += 1;
+                let b_row: &[Value] = &base_rows[b_idx];
+                let passes = match &plan.residual {
+                    Some(res) => {
+                        stats.theta_evals += 1;
+                        res.eval(&[b_row, r])?.passes()
+                    }
+                    None => true,
+                };
+                if passes {
+                    update_aggs(plan, b_idx, total_aggs, accs, b_row, r, stats)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Status of a base tuple during the scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Active,
+    /// Completed as rejected (Theorem 4.2) — excluded from output.
+    Dead,
+    /// Completed as accepted (Theorem 4.1) — emitted, no more updates.
+    Done,
+}
+
+/// Per-condition probe plan.
+struct BlockPlan {
+    /// Full θᵢ bound against `[base, detail]` (used by dead-rule
+    /// `unless_also` checks).
+    full_theta: BoundPredicate,
+    /// Residual after removing the conjuncts the access path enforces;
+    /// `None` means the access path is exact.
+    residual: Option<BoundPredicate>,
+    access: Access,
+    aggs: Vec<BoundAgg>,
+    /// Offset of this block's accumulators within a base tuple's flat
+    /// accumulator array.
+    agg_offset: usize,
+}
+
+enum Access {
+    /// Iterate all active base tuples.
+    Scan,
+    /// Hash probe: key extracted from the detail row.
+    Hash { index: HashIndex, detail_cols: Vec<usize> },
+    /// Interval stab: point extracted from the detail row.
+    Interval { index: IntervalIndex, detail_col: usize },
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_partition(
+    base_rows: &[Tuple],
+    base_schema: &Schema,
+    detail: &Relation,
+    spec: &GmdjSpec,
+    bound_selection: Option<&BoundPredicate>,
+    keep: Keep,
+    completion: Option<&CompletionPlan>,
+    opts: &GmdjOptions,
+    stats: &mut EvalStats,
+    out_rows: &mut Vec<Tuple>,
+) -> Result<()> {
+    stats.partitions += 1;
+    stats.base_rows += base_rows.len() as u64;
+
+    let blocks = plan_blocks(base_rows, base_schema, detail.schema(), spec, opts, stats)?;
+    let total_aggs: usize = spec.agg_count();
+
+    // Completion bookkeeping.
+    let mut dead_rule_of_block: Vec<Option<Option<usize>>> = vec![None; blocks.len()];
+    let mut need_mask: u64 = 0;
+    let mut finish_early = false;
+    if let Some(plan) = completion {
+        for rule in &plan.dead_rules {
+            dead_rule_of_block[rule.on_block] = Some(rule.unless_also);
+        }
+        if plan.finish_early && blocks.len() <= 64 {
+            finish_early = true;
+            for &b in &plan.need_match {
+                need_mask |= 1u64 << b;
+            }
+        }
+    }
+
+    let n = base_rows.len();
+    let mut accs: Vec<Accumulator> = Vec::with_capacity(n * total_aggs);
+    for _ in 0..n {
+        for block in &blocks {
+            for a in &block.aggs {
+                accs.push(a.accumulator());
+            }
+        }
+    }
+    let mut status: Vec<Status> = vec![Status::Active; n];
+    let mut matched: Vec<u64> = vec![0; if finish_early { n } else { 0 }];
+    // Active list for Scan access; rebuilt lazily after deaths.
+    let has_scan_block = blocks.iter().any(|b| matches!(b.access, Access::Scan));
+    let mut scan_list: Vec<u32> = if has_scan_block { (0..n as u32).collect() } else { Vec::new() };
+    let mut inactive_since_compact = 0usize;
+    let mut stab_scratch: Vec<u32> = Vec::new();
+
+    for r in detail.rows() {
+        let r: &[Value] = r;
+        stats.detail_scanned += 1;
+        for (bi, block) in blocks.iter().enumerate() {
+            // Collect candidates per access path and process them.
+            macro_rules! process {
+                ($b_idx:expr, $exact:expr) => {{
+                    let b_idx = $b_idx as usize;
+                    if status[b_idx] == Status::Active {
+                        stats.probe_candidates += 1;
+                        let b_row: &[Value] = &base_rows[b_idx];
+                        let passes = match (&block.residual, $exact) {
+                            (Some(res), _) => {
+                                stats.theta_evals += 1;
+                                res.eval(&[b_row, r])?.passes()
+                            }
+                            (None, true) => true,
+                            (None, false) => unreachable!("scan access always has residual"),
+                        };
+                        if passes {
+                            match dead_rule_of_block[bi] {
+                                Some(unless_also) => {
+                                    let survives = match unless_also {
+                                        Some(sub) => {
+                                            stats.theta_evals += 1;
+                                            blocks[sub].full_theta.eval(&[b_row, r])?.passes()
+                                        }
+                                        None => false,
+                                    };
+                                    if survives {
+                                        update_aggs(
+                                            block, b_idx, total_aggs, &mut accs, b_row, r, stats,
+                                        )?;
+                                    } else {
+                                        status[b_idx] = Status::Dead;
+                                        stats.dead_early += 1;
+                                        inactive_since_compact += 1;
+                                    }
+                                }
+                                None => {
+                                    update_aggs(
+                                        block, b_idx, total_aggs, &mut accs, b_row, r, stats,
+                                    )?;
+                                    if finish_early {
+                                        matched[b_idx] |= 1u64 << bi;
+                                        if matched[b_idx] & need_mask == need_mask {
+                                            status[b_idx] = Status::Done;
+                                            stats.done_early += 1;
+                                            inactive_since_compact += 1;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }};
+            }
+
+            match &block.access {
+                Access::Hash { index, detail_cols } => {
+                    let key = key_of(r, detail_cols);
+                    for &b_idx in index.probe(&key) {
+                        process!(b_idx, true);
+                    }
+                }
+                Access::Interval { index, detail_col } => {
+                    index.stab(&r[*detail_col], &mut stab_scratch);
+                    // `stab` fills the scratch; move it out to satisfy the
+                    // borrow checker, then put it back.
+                    let scratch = std::mem::take(&mut stab_scratch);
+                    for &b_idx in &scratch {
+                        process!(b_idx, true);
+                    }
+                    stab_scratch = scratch;
+                }
+                Access::Scan => {
+                    let list = std::mem::take(&mut scan_list);
+                    for &b_idx in &list {
+                        process!(b_idx, false);
+                    }
+                    scan_list = list;
+                }
+            }
+        }
+        // Lazily compact the scan list once enough tuples completed.
+        if has_scan_block && inactive_since_compact > 0 && inactive_since_compact * 8 >= scan_list.len().max(8)
+        {
+            scan_list.retain(|&b| status[b as usize] == Status::Active);
+            inactive_since_compact = 0;
+        }
+    }
+
+    // Materialize output in base order.
+    for (b_idx, b_row) in base_rows.iter().enumerate() {
+        match status[b_idx] {
+            Status::Dead => continue,
+            Status::Done => {
+                debug_assert!(matches!(keep, Keep::BaseOnly));
+                out_rows.push(b_row.clone());
+            }
+            Status::Active => {
+                let mut full: Vec<Value> = Vec::with_capacity(b_row.len() + total_aggs);
+                full.extend(b_row.iter().cloned());
+                let acc_base = b_idx * total_aggs;
+                for acc in &accs[acc_base..acc_base + total_aggs] {
+                    full.push(acc.finish());
+                }
+                if let Some(sel) = bound_selection {
+                    if !sel.eval(&[&full])?.passes() {
+                        continue;
+                    }
+                }
+                match keep {
+                    Keep::All => out_rows.push(full.into_boxed_slice()),
+                    Keep::BaseOnly => out_rows.push(b_row.clone()),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[inline]
+fn update_aggs(
+    block: &BlockPlan,
+    b_idx: usize,
+    total_aggs: usize,
+    accs: &mut [Accumulator],
+    b_row: &[Value],
+    r: &[Value],
+    stats: &mut EvalStats,
+) -> Result<()> {
+    let base = b_idx * total_aggs + block.agg_offset;
+    for (k, agg) in block.aggs.iter().enumerate() {
+        agg.update(&mut accs[base + k], &[b_row, r])?;
+        stats.agg_updates += 1;
+    }
+    Ok(())
+}
+
+/// Build one probe plan per (lᵢ, θᵢ) block.
+fn plan_blocks(
+    base_rows: &[Tuple],
+    base_schema: &Schema,
+    detail_schema: &Schema,
+    spec: &GmdjSpec,
+    opts: &GmdjOptions,
+    stats: &mut EvalStats,
+) -> Result<Vec<BlockPlan>> {
+    let mut plans = Vec::with_capacity(spec.blocks.len());
+    let mut agg_offset = 0usize;
+    for block in &spec.blocks {
+        let full_theta = block.theta.bind(&[base_schema, detail_schema])?;
+        let aggs: Vec<BoundAgg> = block
+            .aggs
+            .iter()
+            .map(|a| a.bind(&[base_schema, detail_schema]))
+            .collect::<Result<Vec<_>>>()?;
+
+        let (access, residual) = if opts.probe == ProbeStrategy::ForceScan {
+            (Access::Scan, Some(block.theta.clone()))
+        } else {
+            choose_access(base_rows, base_schema, detail_schema, &block.theta, stats)?
+        };
+        let residual = match residual {
+            Some(p) => Some(p.bind(&[base_schema, detail_schema])?),
+            None => None,
+        };
+        plans.push(BlockPlan { full_theta, residual, access, aggs, agg_offset });
+        agg_offset += block.aggs.len();
+    }
+    Ok(plans)
+}
+
+/// Pick the best access path for θ and return it with the residual
+/// predicate the path does not enforce.
+fn choose_access(
+    base_rows: &[Tuple],
+    base_schema: &Schema,
+    detail_schema: &Schema,
+    theta: &Predicate,
+    stats: &mut EvalStats,
+) -> Result<(Access, Option<Predicate>)> {
+    let conjuncts = theta.split_conjuncts();
+
+    // 1. Equality pairs B.x = R.y.
+    let mut base_cols = Vec::new();
+    let mut detail_cols = Vec::new();
+    let mut used = vec![false; conjuncts.len()];
+    for (i, c) in conjuncts.iter().enumerate() {
+        if let Predicate::Cmp { op: CmpOp::Eq, left, right } = c {
+            if let Some((bc, dc)) = split_sides(left, right, base_schema, detail_schema)? {
+                base_cols.push(bc);
+                detail_cols.push(dc);
+                used[i] = true;
+            }
+        }
+    }
+    if !base_cols.is_empty() {
+        let index = HashIndex::build_rows(base_rows.iter().map(|r| r.as_ref()), &base_cols);
+        stats.index_builds += 1;
+        let residual = residual_of(&conjuncts, &used);
+        return Ok((Access::Hash { index, detail_cols }, residual));
+    }
+
+    // 2. Band pair: R.t >= B.lo ∧ R.t (< | <=) B.hi.
+    if let Some((lo_i, hi_i, detail_col, lo_col, hi_col, hi_inclusive)) =
+        find_band(&conjuncts, base_schema, detail_schema)?
+    {
+        let index = IntervalIndex::build(
+            base_rows.iter().map(|r| (r[lo_col].clone(), r[hi_col].clone())),
+            hi_inclusive,
+        );
+        stats.index_builds += 1;
+        used[lo_i] = true;
+        used[hi_i] = true;
+        let residual = residual_of(&conjuncts, &used);
+        return Ok((Access::Interval { index, detail_col }, residual));
+    }
+
+    // 3. Fall back to scanning active base tuples.
+    Ok((Access::Scan, Some(theta.clone())))
+}
+
+/// If `left`/`right` are single columns on opposite sides of the
+/// (base, detail) divide, return `(base_col, detail_col)` positions.
+fn split_sides(
+    left: &ScalarExpr,
+    right: &ScalarExpr,
+    base: &Schema,
+    detail: &Schema,
+) -> Result<Option<(usize, usize)>> {
+    let (ScalarExpr::Column(l), ScalarExpr::Column(r)) = (left, right) else {
+        return Ok(None);
+    };
+    let l_base = l.resolve_in(base).ok();
+    let l_detail = l.resolve_in(detail).ok();
+    let r_base = r.resolve_in(base).ok();
+    let r_detail = r.resolve_in(detail).ok();
+    match (l_base, l_detail, r_base, r_detail) {
+        (Some(b), None, None, Some(d)) => Ok(Some((b, d))),
+        (None, Some(d), Some(b), None) => Ok(Some((b, d))),
+        _ => Ok(None),
+    }
+}
+
+type Band = (usize, usize, usize, usize, usize, bool);
+
+/// Find a pair of conjuncts forming `R.t ≥ B.lo ∧ R.t < B.hi` (or `≤`).
+/// Returns (lo conjunct idx, hi conjunct idx, detail col t, base col lo,
+/// base col hi, hi_inclusive).
+fn find_band(
+    conjuncts: &[&Predicate],
+    base: &Schema,
+    detail: &Schema,
+) -> Result<Option<Band>> {
+    // Normalized single-sided comparisons: (conjunct idx, detail col,
+    // base col, op with detail on the left).
+    let mut lowers: Vec<(usize, usize, usize)> = Vec::new(); // R.t >= B.lo
+    let mut uppers: Vec<(usize, usize, usize, bool)> = Vec::new(); // R.t < B.hi (incl?)
+    for (i, c) in conjuncts.iter().enumerate() {
+        let Predicate::Cmp { op, left, right } = c else { continue };
+        let (ScalarExpr::Column(l), ScalarExpr::Column(r)) = (left, right) else { continue };
+        // Orient so the detail column is on the left.
+        let (detail_col, base_col, op) = if let (Ok(d), Ok(b)) =
+            (l.resolve_in(detail), r.resolve_in(base))
+        {
+            if l.resolve_in(base).is_ok() || r.resolve_in(detail).is_ok() {
+                continue; // ambiguous sides
+            }
+            (d, b, *op)
+        } else if let (Ok(d), Ok(b)) = (r.resolve_in(detail), l.resolve_in(base)) {
+            if r.resolve_in(base).is_ok() || l.resolve_in(detail).is_ok() {
+                continue;
+            }
+            (d, b, op.flip())
+        } else {
+            continue;
+        };
+        match op {
+            CmpOp::Ge => lowers.push((i, detail_col, base_col)),
+            CmpOp::Lt => uppers.push((i, detail_col, base_col, false)),
+            CmpOp::Le => uppers.push((i, detail_col, base_col, true)),
+            _ => {}
+        }
+    }
+    for &(li, lt, lb) in &lowers {
+        for &(ui, ut, ub, inclusive) in &uppers {
+            if lt == ut {
+                return Ok(Some((li, ui, lt, lb, ub, inclusive)));
+            }
+        }
+    }
+    Ok(None)
+}
+
+fn residual_of(conjuncts: &[&Predicate], used: &[bool]) -> Option<Predicate> {
+    let rest: Vec<Predicate> = conjuncts
+        .iter()
+        .zip(used)
+        .filter(|(_, &u)| !u)
+        .map(|(c, _)| (*c).clone())
+        .collect();
+    if rest.is_empty() {
+        None
+    } else {
+        Some(Predicate::conjoin(rest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AggBlock;
+    use gmdj_relation::agg::NamedAgg;
+    use gmdj_relation::expr::{col, lit};
+    use gmdj_relation::relation::RelationBuilder;
+    use gmdj_relation::schema::DataType;
+
+    fn hours() -> Relation {
+        RelationBuilder::new("H")
+            .column("HourDsc", DataType::Int)
+            .column("StartInterval", DataType::Int)
+            .column("EndInterval", DataType::Int)
+            .row(vec![1.into(), 0.into(), 60.into()])
+            .row(vec![2.into(), 61.into(), 120.into()])
+            .row(vec![3.into(), 121.into(), 180.into()])
+            .build()
+            .unwrap()
+    }
+
+    fn flows() -> Relation {
+        RelationBuilder::new("F")
+            .column("StartTime", DataType::Int)
+            .column("Protocol", DataType::Str)
+            .column("NumBytes", DataType::Int)
+            .row(vec![43.into(), "HTTP".into(), 12.into()])
+            .row(vec![86.into(), "HTTP".into(), 36.into()])
+            .row(vec![99.into(), "FTP".into(), 48.into()])
+            .row(vec![132.into(), "HTTP".into(), 24.into()])
+            .row(vec![156.into(), "HTTP".into(), 24.into()])
+            .row(vec![161.into(), "FTP".into(), 48.into()])
+            .build()
+            .unwrap()
+    }
+
+    /// Example 2.1 / Figure 1: the GMDJ with two sum blocks.
+    fn example_2_1_spec() -> GmdjSpec {
+        let in_hour = col("F.StartTime")
+            .ge(col("H.StartInterval"))
+            .and(col("F.StartTime").lt(col("H.EndInterval")));
+        GmdjSpec::new(vec![
+            AggBlock::new(
+                in_hour.clone().and(col("F.Protocol").eq(lit("HTTP"))),
+                vec![NamedAgg::sum(col("F.NumBytes"), "sum1")],
+            ),
+            AggBlock::new(in_hour, vec![NamedAgg::sum(col("F.NumBytes"), "sum2")]),
+        ])
+    }
+
+    #[test]
+    fn figure_1_output() {
+        let mut stats = EvalStats::default();
+        let out = eval_gmdj(
+            &hours(),
+            &flows(),
+            &example_2_1_spec(),
+            &GmdjOptions::default(),
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(out.schema().qualified_names(), vec![
+            "H.HourDsc", "H.StartInterval", "H.EndInterval", "sum1", "sum2"
+        ]);
+        let rows = out.sorted_rows();
+        // Figure 1: 12/12, 36/84, 48/96.
+        assert_eq!(rows[0][3], Value::Int(12));
+        assert_eq!(rows[0][4], Value::Int(12));
+        assert_eq!(rows[1][3], Value::Int(36));
+        assert_eq!(rows[1][4], Value::Int(84));
+        assert_eq!(rows[2][3], Value::Int(48));
+        assert_eq!(rows[2][4], Value::Int(96));
+        // Single scan of the detail table per partition.
+        assert_eq!(stats.partitions, 1);
+        assert_eq!(stats.detail_scanned, 6);
+        // Interval index was used for both blocks.
+        assert_eq!(stats.index_builds, 2);
+    }
+
+    #[test]
+    fn inclusive_band_uses_interval_index_and_matches_scan() {
+        // R.t >= B.lo ∧ R.t <= B.hi (BETWEEN-style, inclusive upper).
+        let spec = GmdjSpec::new(vec![AggBlock::count(
+            col("F.StartTime")
+                .ge(col("H.StartInterval"))
+                .and(col("F.StartTime").le(col("H.EndInterval"))),
+            "cnt",
+        )]);
+        let mut s1 = EvalStats::default();
+        let mut s2 = EvalStats::default();
+        let indexed =
+            eval_gmdj(&hours(), &flows(), &spec, &GmdjOptions::default(), &mut s1).unwrap();
+        let scanned = eval_gmdj(
+            &hours(),
+            &flows(),
+            &spec,
+            &GmdjOptions { probe: ProbeStrategy::ForceScan, partition_rows: None },
+            &mut s2,
+        )
+        .unwrap();
+        assert!(indexed.multiset_eq(&scanned));
+        assert_eq!(s1.index_builds, 1, "band condition should build an interval index");
+        // A boundary point: StartTime 120 would fall in hour 1's closed
+        // interval [61, 120] — check the inclusive edge via hour 2's
+        // upper bound.
+        let rows = indexed.sorted_rows();
+        assert_eq!(rows[1][3], Value::Int(2)); // 86 and 99 in [61,120]
+    }
+
+    #[test]
+    fn force_scan_matches_indexed_result() {
+        let mut s1 = EvalStats::default();
+        let mut s2 = EvalStats::default();
+        let indexed = eval_gmdj(
+            &hours(),
+            &flows(),
+            &example_2_1_spec(),
+            &GmdjOptions::default(),
+            &mut s1,
+        )
+        .unwrap();
+        let scanned = eval_gmdj(
+            &hours(),
+            &flows(),
+            &example_2_1_spec(),
+            &GmdjOptions { probe: ProbeStrategy::ForceScan, partition_rows: None },
+            &mut s2,
+        )
+        .unwrap();
+        assert!(indexed.multiset_eq(&scanned));
+        assert!(s2.probe_candidates > s1.probe_candidates);
+    }
+
+    #[test]
+    fn partitioned_evaluation_matches_single_scan() {
+        let mut s1 = EvalStats::default();
+        let mut s2 = EvalStats::default();
+        let single = eval_gmdj(
+            &hours(),
+            &flows(),
+            &example_2_1_spec(),
+            &GmdjOptions::default(),
+            &mut s1,
+        )
+        .unwrap();
+        let parts = eval_gmdj(
+            &hours(),
+            &flows(),
+            &example_2_1_spec(),
+            &GmdjOptions { probe: ProbeStrategy::Auto, partition_rows: Some(1) },
+            &mut s2,
+        )
+        .unwrap();
+        assert!(single.multiset_eq(&parts));
+        assert_eq!(s2.partitions, 3);
+        assert_eq!(s2.detail_scanned, 18); // one detail scan per partition
+    }
+
+    #[test]
+    fn empty_detail_yields_zero_counts_and_null_sums() {
+        let empty = RelationBuilder::new("F")
+            .column("StartTime", DataType::Int)
+            .column("Protocol", DataType::Str)
+            .column("NumBytes", DataType::Int)
+            .build()
+            .unwrap();
+        let spec = GmdjSpec::new(vec![AggBlock::new(
+            Predicate::true_(),
+            vec![NamedAgg::count_star("cnt"), NamedAgg::sum(col("F.NumBytes"), "s")],
+        )]);
+        let mut stats = EvalStats::default();
+        let out =
+            eval_gmdj(&hours(), &empty, &spec, &GmdjOptions::default(), &mut stats).unwrap();
+        assert_eq!(out.len(), 3);
+        for row in out.rows() {
+            assert_eq!(row[3], Value::Int(0));
+            assert!(row[4].is_null());
+        }
+    }
+
+    #[test]
+    fn empty_base_yields_empty_output() {
+        let empty_base = RelationBuilder::new("H")
+            .column("HourDsc", DataType::Int)
+            .column("StartInterval", DataType::Int)
+            .column("EndInterval", DataType::Int)
+            .build()
+            .unwrap();
+        let mut stats = EvalStats::default();
+        let out = eval_gmdj(
+            &empty_base,
+            &flows(),
+            &example_2_1_spec(),
+            &GmdjOptions::default(),
+            &mut stats,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    fn exists_spec() -> GmdjSpec {
+        GmdjSpec::new(vec![AggBlock::count(
+            col("F.StartTime")
+                .ge(col("H.StartInterval"))
+                .and(col("F.StartTime").lt(col("H.EndInterval")))
+                .and(col("F.Protocol").eq(lit("FTP"))),
+            "cnt",
+        )])
+    }
+
+    #[test]
+    fn filtered_exists_with_finish_early() {
+        let spec = exists_spec();
+        let sel = col("cnt").gt(lit(0));
+        let plan = crate::completion::derive_completion(&sel, &spec, true).unwrap();
+        assert!(plan.finish_early);
+        let mut stats = EvalStats::default();
+        let out = eval_gmdj_filtered(
+            &hours(),
+            &flows(),
+            &spec,
+            Some(&sel),
+            Keep::BaseOnly,
+            Some(&plan),
+            &GmdjOptions::default(),
+            &mut stats,
+        )
+        .unwrap();
+        // Hours 2 and 3 contain FTP flows.
+        let rows = out.sorted_rows();
+        assert_eq!(out.len(), 2);
+        assert_eq!(rows[0][0], Value::Int(2));
+        assert_eq!(rows[1][0], Value::Int(3));
+        assert_eq!(out.schema().len(), 3); // base attributes only
+        assert_eq!(stats.done_early, 2);
+    }
+
+    #[test]
+    fn filtered_not_exists_with_dead_rule() {
+        let spec = exists_spec();
+        let sel = col("cnt").eq(lit(0));
+        let plan = crate::completion::derive_completion(&sel, &spec, true).unwrap();
+        let mut stats = EvalStats::default();
+        let out = eval_gmdj_filtered(
+            &hours(),
+            &flows(),
+            &spec,
+            Some(&sel),
+            Keep::BaseOnly,
+            Some(&plan),
+            &GmdjOptions::default(),
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::Int(1));
+        assert_eq!(stats.dead_early, 2);
+        // Same result without completion.
+        let mut stats2 = EvalStats::default();
+        let out2 = eval_gmdj_filtered(
+            &hours(),
+            &flows(),
+            &spec,
+            Some(&sel),
+            Keep::BaseOnly,
+            None,
+            &GmdjOptions::default(),
+            &mut stats2,
+        )
+        .unwrap();
+        assert!(out.multiset_eq(&out2));
+        assert_eq!(stats2.dead_early, 0);
+    }
+
+    #[test]
+    fn pair_dead_rule_mimics_smart_nested_loop() {
+        // ALL-style: cnt1 counts θ ∧ B.v > F.NumBytes, cnt2 counts θ, with
+        // θ a non-indexable <>; selection cnt1 = cnt2.
+        let base = RelationBuilder::new("B")
+            .column("k", DataType::Int)
+            .column("v", DataType::Int)
+            .row(vec![1.into(), 1000.into()]) // > all bytes from other keys
+            .row(vec![2.into(), 0.into()]) // fails immediately
+            .build()
+            .unwrap();
+        let theta = col("B.k").ne(col("F.k"));
+        let detail = RelationBuilder::new("F")
+            .column("k", DataType::Int)
+            .column("NumBytes", DataType::Int)
+            .row(vec![1.into(), 12.into()])
+            .row(vec![2.into(), 36.into()])
+            .row(vec![3.into(), 48.into()])
+            .build()
+            .unwrap();
+        let spec = GmdjSpec::new(vec![
+            AggBlock::count(theta.clone().and(col("B.v").gt(col("F.NumBytes"))), "cnt1"),
+            AggBlock::count(theta, "cnt2"),
+        ]);
+        let sel = col("cnt1").eq(col("cnt2"));
+        let plan = crate::completion::derive_completion(&sel, &spec, true).unwrap();
+        let mut stats = EvalStats::default();
+        let out = eval_gmdj_filtered(
+            &base,
+            &detail,
+            &spec,
+            Some(&sel),
+            Keep::BaseOnly,
+            Some(&plan),
+            &GmdjOptions::default(),
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::Int(1));
+        assert_eq!(stats.dead_early, 1);
+    }
+
+    #[test]
+    fn null_correlation_keys_never_match() {
+        let base = RelationBuilder::new("B")
+            .column("k", DataType::Int)
+            .row(vec![Value::Null])
+            .row(vec![1.into()])
+            .build()
+            .unwrap();
+        let detail = RelationBuilder::new("R")
+            .column("k", DataType::Int)
+            .row(vec![Value::Null])
+            .row(vec![1.into()])
+            .build()
+            .unwrap();
+        let spec = GmdjSpec::new(vec![AggBlock::count(col("B.k").eq(col("R.k")), "cnt")]);
+        let mut stats = EvalStats::default();
+        let out =
+            eval_gmdj(&base, &detail, &spec, &GmdjOptions::default(), &mut stats).unwrap();
+        let rows = out.sorted_rows();
+        // NULL base row: count 0 (NULL = anything is unknown).
+        assert!(rows[0][0].is_null());
+        assert_eq!(rows[0][1], Value::Int(0));
+        assert_eq!(rows[1][1], Value::Int(1));
+        // Scan path agrees (3VL handled by predicate evaluation).
+        let mut s2 = EvalStats::default();
+        let scanned = eval_gmdj(
+            &base,
+            &detail,
+            &spec,
+            &GmdjOptions { probe: ProbeStrategy::ForceScan, partition_rows: None },
+            &mut s2,
+        )
+        .unwrap();
+        assert!(out.multiset_eq(&scanned));
+    }
+
+    #[test]
+    fn duplicate_base_tuples_each_get_results() {
+        let base = RelationBuilder::new("B")
+            .column("k", DataType::Int)
+            .row(vec![1.into()])
+            .row(vec![1.into()])
+            .build()
+            .unwrap();
+        let detail = RelationBuilder::new("R")
+            .column("k", DataType::Int)
+            .row(vec![1.into()])
+            .row(vec![1.into()])
+            .row(vec![2.into()])
+            .build()
+            .unwrap();
+        let spec = GmdjSpec::new(vec![AggBlock::count(col("B.k").eq(col("R.k")), "cnt")]);
+        let mut stats = EvalStats::default();
+        let out =
+            eval_gmdj(&base, &detail, &spec, &GmdjOptions::default(), &mut stats).unwrap();
+        assert_eq!(out.len(), 2);
+        for row in out.rows() {
+            assert_eq!(row[1], Value::Int(2));
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        for threads in [1usize, 2, 3, 5] {
+            let mut s1 = EvalStats::default();
+            let mut s2 = EvalStats::default();
+            let sequential = eval_gmdj(
+                &hours(),
+                &flows(),
+                &example_2_1_spec(),
+                &GmdjOptions::default(),
+                &mut s1,
+            )
+            .unwrap();
+            let parallel = eval_gmdj_parallel(
+                &hours(),
+                &flows(),
+                &example_2_1_spec(),
+                threads,
+                &GmdjOptions::default(),
+                &mut s2,
+            )
+            .unwrap();
+            assert!(sequential.multiset_eq(&parallel), "threads = {threads}");
+            // Exactly one pass over the detail relation in total.
+            assert_eq!(s2.detail_scanned, 6, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn selection_without_completion_keeps_aggregates() {
+        let spec = exists_spec();
+        let sel = col("cnt").gt(lit(0));
+        let mut stats = EvalStats::default();
+        let out = eval_gmdj_filtered(
+            &hours(),
+            &flows(),
+            &spec,
+            Some(&sel),
+            Keep::All,
+            None,
+            &GmdjOptions::default(),
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(out.schema().len(), 4);
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,255 @@
+//! Executor for GMDJ expressions against a table catalog.
+
+use gmdj_relation::error::{Error, Result};
+use gmdj_relation::ops;
+use gmdj_relation::relation::Relation;
+
+use crate::eval::{eval_gmdj, eval_gmdj_filtered, EvalStats, GmdjOptions};
+use crate::plan::GmdjExpr;
+use crate::translate::SchemaInfo;
+
+/// Source of base tables. The engine crate implements this for its
+/// catalog; tests implement it over ad-hoc maps.
+pub trait TableProvider {
+    /// The named base relation.
+    fn table(&self, name: &str) -> Result<&Relation>;
+}
+
+/// Every [`TableProvider`] can answer the translation's schema questions.
+impl<T: TableProvider + ?Sized> SchemaInfo for T {
+    fn table_columns(&self, table: &str) -> Result<Vec<String>> {
+        Ok(self
+            .table(table)?
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect())
+    }
+}
+
+/// Execution context: evaluation options plus accumulated statistics.
+#[derive(Debug, Default)]
+pub struct ExecContext {
+    /// Options forwarded to every GMDJ evaluation.
+    pub opts: GmdjOptions,
+    /// Work counters accumulated across the plan.
+    pub stats: EvalStats,
+}
+
+impl ExecContext {
+    /// Fresh context with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fresh context with specific GMDJ options.
+    pub fn with_opts(opts: GmdjOptions) -> Self {
+        ExecContext { opts, stats: EvalStats::default() }
+    }
+}
+
+/// Evaluate a GMDJ expression.
+pub fn execute(
+    expr: &GmdjExpr,
+    tables: &dyn TableProvider,
+    ctx: &mut ExecContext,
+) -> Result<Relation> {
+    match expr {
+        GmdjExpr::Table { name, qualifier } => {
+            Ok(tables.table(name)?.renamed(qualifier))
+        }
+        GmdjExpr::Select { input, predicate } => {
+            let rel = execute(input, tables, ctx)?;
+            ops::select(&rel, predicate)
+        }
+        GmdjExpr::Project { input, columns, distinct } => {
+            let rel = execute(input, tables, ctx)?;
+            let projected = ops::project_columns(&rel, columns)?;
+            Ok(if *distinct { ops::distinct(&projected) } else { projected })
+        }
+        GmdjExpr::AggProject { input, agg } => {
+            let rel = execute(input, tables, ctx)?;
+            ops::group_by(&rel, &[], std::slice::from_ref(agg))
+        }
+        GmdjExpr::Join { left, right, on } => {
+            let l = execute(left, tables, ctx)?;
+            let r = execute(right, tables, ctx)?;
+            ops::theta_join(&l, &r, on)
+        }
+        GmdjExpr::DropComputed { input, names } => {
+            let rel = execute(input, tables, ctx)?;
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            ops::drop_columns(&rel, &refs)
+        }
+        GmdjExpr::GroupBy { input, keys, aggs } => {
+            let rel = execute(input, tables, ctx)?;
+            ops::group_by(&rel, keys, aggs)
+        }
+        GmdjExpr::OrderBy { input, keys } => {
+            let rel = execute(input, tables, ctx)?;
+            ops::sort_by(&rel, keys)
+        }
+        GmdjExpr::Limit { input, n } => {
+            let rel = execute(input, tables, ctx)?;
+            Ok(ops::limit(&rel, *n))
+        }
+        GmdjExpr::Gmdj { base, detail, spec } => {
+            let b = execute(base, tables, ctx)?;
+            let d = execute(detail, tables, ctx)?;
+            eval_gmdj(&b, &d, spec, &ctx.opts, &mut ctx.stats)
+        }
+        GmdjExpr::FilteredGmdj { base, detail, spec, selection, keep, completion } => {
+            let b = execute(base, tables, ctx)?;
+            let d = execute(detail, tables, ctx)?;
+            eval_gmdj_filtered(
+                &b,
+                &d,
+                spec,
+                Some(selection),
+                *keep,
+                completion.as_ref(),
+                &ctx.opts,
+                &mut ctx.stats,
+            )
+        }
+    }
+}
+
+/// A trivial catalog over owned relations, for tests and examples.
+#[derive(Debug, Default)]
+pub struct MemoryCatalog {
+    tables: Vec<(String, Relation)>,
+}
+
+impl MemoryCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn register(&mut self, name: impl Into<String>, relation: Relation) {
+        let name = name.into();
+        if let Some(slot) = self.tables.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = relation;
+        } else {
+            self.tables.push((name, relation));
+        }
+    }
+
+    /// Builder-style registration.
+    pub fn with(mut self, name: impl Into<String>, relation: Relation) -> Self {
+        self.register(name, relation);
+        self
+    }
+
+    /// Names of registered tables.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+impl TableProvider for MemoryCatalog {
+    fn table(&self, name: &str) -> Result<&Relation> {
+        self.tables
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| r)
+            .ok_or_else(|| Error::UnknownTable { name: name.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AggBlock, GmdjSpec};
+    use gmdj_relation::expr::{col, lit};
+    use gmdj_relation::relation::RelationBuilder;
+    use gmdj_relation::schema::DataType;
+    use gmdj_relation::value::Value;
+
+    fn catalog() -> MemoryCatalog {
+        let hours = RelationBuilder::new("Hours")
+            .column("HourDsc", DataType::Int)
+            .column("StartInterval", DataType::Int)
+            .column("EndInterval", DataType::Int)
+            .row(vec![1.into(), 0.into(), 60.into()])
+            .row(vec![2.into(), 61.into(), 120.into()])
+            .build()
+            .unwrap();
+        let flow = RelationBuilder::new("Flow")
+            .column("StartTime", DataType::Int)
+            .column("NumBytes", DataType::Int)
+            .row(vec![43.into(), 12.into()])
+            .row(vec![86.into(), 36.into()])
+            .build()
+            .unwrap();
+        MemoryCatalog::new().with("Hours", hours).with("Flow", flow)
+    }
+
+    #[test]
+    fn executes_full_pipeline() {
+        let expr = GmdjExpr::table("Hours", "H")
+            .gmdj(
+                GmdjExpr::table("Flow", "F"),
+                GmdjSpec::new(vec![AggBlock::count(
+                    col("F.StartTime")
+                        .ge(col("H.StartInterval"))
+                        .and(col("F.StartTime").lt(col("H.EndInterval"))),
+                    "cnt",
+                )]),
+            )
+            .select(col("cnt").gt(lit(0)));
+        let mut ctx = ExecContext::new();
+        let out = execute(&expr, &catalog(), &mut ctx).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(ctx.stats.detail_scanned > 0);
+        // DropComputed strips the count.
+        let dropped = execute(
+            &GmdjExpr::DropComputed { input: Box::new(expr), names: vec!["cnt".into()] },
+            &catalog(),
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(dropped.schema().len(), 3);
+    }
+
+    #[test]
+    fn table_rename_applies_qualifier() {
+        let mut ctx = ExecContext::new();
+        let out = execute(&GmdjExpr::table("Flow", "FX"), &catalog(), &mut ctx).unwrap();
+        assert_eq!(out.schema().field(0).qualifier, "FX");
+    }
+
+    #[test]
+    fn missing_table_is_reported() {
+        let mut ctx = ExecContext::new();
+        let err = execute(&GmdjExpr::table("Nope", "N"), &catalog(), &mut ctx).unwrap_err();
+        assert!(matches!(err, Error::UnknownTable { .. }));
+    }
+
+    #[test]
+    fn agg_project_returns_single_row() {
+        let expr = GmdjExpr::AggProject {
+            input: Box::new(GmdjExpr::table("Flow", "F")),
+            agg: gmdj_relation::agg::NamedAgg::new(
+                gmdj_relation::agg::AggFunc::Max,
+                col("F.NumBytes"),
+                "m",
+            ),
+        };
+        let mut ctx = ExecContext::new();
+        let out = execute(&expr, &catalog(), &mut ctx).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::Int(36));
+    }
+
+    #[test]
+    fn schema_info_via_table_provider() {
+        use crate::translate::SchemaInfo;
+        let cat = catalog();
+        let cols = cat.table_columns("Hours").unwrap();
+        assert_eq!(cols, vec!["HourDsc", "StartInterval", "EndInterval"]);
+    }
+}

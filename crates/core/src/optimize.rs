@@ -1,0 +1,523 @@
+//! GMDJ optimizations for subquery expressions (Section 4).
+//!
+//! Three rewrite families, applied bottom-up to a fixpoint:
+//!
+//! 1. **Hoisting** — selections and column drops commute upward past GMDJ
+//!    operators ("the GMDJ can commute with other algebraic operators …
+//!    under the appropriate conditions"). Hoisting brings consecutive
+//!    GMDJs over the same detail table adjacent to each other, the shape
+//!    Example 4.1 reaches by "pushing up the selections".
+//! 2. **Coalescing** (Proposition 4.1) — adjacent GMDJs over the same
+//!    underlying detail table with independent conditions merge into a
+//!    single GMDJ, evaluating *multiple subqueries over the same table in
+//!    one scan of that table*.
+//! 3. **Completion annotation** — `σ[C](MD(…))` (optionally under the
+//!    final π\[A\] drop) fuses into a [`GmdjExpr::FilteredGmdj`] carrying
+//!    the base-tuple completion plan derived by
+//!    [`crate::completion::derive_completion`] (Theorems 4.1/4.2).
+
+use gmdj_relation::expr::Predicate;
+
+use crate::completion::derive_completion;
+use crate::eval::Keep;
+use crate::plan::GmdjExpr;
+use crate::spec::GmdjSpec;
+
+/// Which rewrites to run. The engine's "basic GMDJ" strategy uses none of
+/// them; the "optimized GMDJ" strategy uses all.
+#[derive(Debug, Clone, Copy)]
+pub struct OptFlags {
+    /// Hoist selections/drops above GMDJs and merge adjacent ones.
+    pub hoist: bool,
+    /// Coalesce adjacent GMDJs over the same detail table (Prop. 4.1).
+    pub coalesce: bool,
+    /// Fuse count-selections into GMDJs with completion plans (§4.2).
+    pub completion: bool,
+}
+
+impl Default for OptFlags {
+    fn default() -> Self {
+        OptFlags { hoist: true, coalesce: true, completion: true }
+    }
+}
+
+/// Optimize with all rewrites enabled.
+pub fn optimize(expr: &GmdjExpr) -> GmdjExpr {
+    optimize_with(expr, &OptFlags::default())
+}
+
+/// Optimize with a specific rewrite set (used by the ablation benches).
+pub fn optimize_with(expr: &GmdjExpr, flags: &OptFlags) -> GmdjExpr {
+    let mut cur = expr.clone();
+    // Structural rewrites to fixpoint (hoist + coalesce interact).
+    for _ in 0..64 {
+        let (next, changed) = rewrite(&cur, flags, /*structural_only=*/ true);
+        cur = next;
+        if !changed {
+            break;
+        }
+    }
+    // Completion fusion last (it consumes the Select/Drop shapes the
+    // structural pass normalizes).
+    if flags.completion {
+        let (next, _) = rewrite(&cur, flags, /*structural_only=*/ false);
+        cur = next;
+    }
+    cur
+}
+
+/// One bottom-up pass. Returns the rewritten node and whether anything
+/// changed.
+fn rewrite(e: &GmdjExpr, flags: &OptFlags, structural_only: bool) -> (GmdjExpr, bool) {
+    // Rewrite children first.
+    let (node, mut changed) = match e {
+        GmdjExpr::Table { .. } => (e.clone(), false),
+        GmdjExpr::Select { input, predicate } => {
+            let (i, c) = rewrite(input, flags, structural_only);
+            (GmdjExpr::Select { input: Box::new(i), predicate: predicate.clone() }, c)
+        }
+        GmdjExpr::Project { input, columns, distinct } => {
+            let (i, c) = rewrite(input, flags, structural_only);
+            (
+                GmdjExpr::Project {
+                    input: Box::new(i),
+                    columns: columns.clone(),
+                    distinct: *distinct,
+                },
+                c,
+            )
+        }
+        GmdjExpr::AggProject { input, agg } => {
+            let (i, c) = rewrite(input, flags, structural_only);
+            (GmdjExpr::AggProject { input: Box::new(i), agg: agg.clone() }, c)
+        }
+        GmdjExpr::DropComputed { input, names } => {
+            let (i, c) = rewrite(input, flags, structural_only);
+            (GmdjExpr::DropComputed { input: Box::new(i), names: names.clone() }, c)
+        }
+        GmdjExpr::GroupBy { input, keys, aggs } => {
+            let (i, c) = rewrite(input, flags, structural_only);
+            (
+                GmdjExpr::GroupBy {
+                    input: Box::new(i),
+                    keys: keys.clone(),
+                    aggs: aggs.clone(),
+                },
+                c,
+            )
+        }
+        GmdjExpr::OrderBy { input, keys } => {
+            let (i, c) = rewrite(input, flags, structural_only);
+            (GmdjExpr::OrderBy { input: Box::new(i), keys: keys.clone() }, c)
+        }
+        GmdjExpr::Limit { input, n } => {
+            let (i, c) = rewrite(input, flags, structural_only);
+            (GmdjExpr::Limit { input: Box::new(i), n: *n }, c)
+        }
+        GmdjExpr::Join { left, right, on } => {
+            let (l, cl) = rewrite(left, flags, structural_only);
+            let (r, cr) = rewrite(right, flags, structural_only);
+            (
+                GmdjExpr::Join { left: Box::new(l), right: Box::new(r), on: on.clone() },
+                cl || cr,
+            )
+        }
+        GmdjExpr::Gmdj { base, detail, spec } => {
+            let (b, cb) = rewrite(base, flags, structural_only);
+            let (d, cd) = rewrite(detail, flags, structural_only);
+            (
+                GmdjExpr::Gmdj { base: Box::new(b), detail: Box::new(d), spec: spec.clone() },
+                cb || cd,
+            )
+        }
+        GmdjExpr::FilteredGmdj { base, detail, spec, selection, keep, completion } => {
+            let (b, cb) = rewrite(base, flags, structural_only);
+            let (d, cd) = rewrite(detail, flags, structural_only);
+            (
+                GmdjExpr::FilteredGmdj {
+                    base: Box::new(b),
+                    detail: Box::new(d),
+                    spec: spec.clone(),
+                    selection: selection.clone(),
+                    keep: *keep,
+                    completion: completion.clone(),
+                },
+                cb || cd,
+            )
+        }
+    };
+    // Then try local rules at this node.
+    let (node, local_changed) = if structural_only {
+        apply_structural(node, flags)
+    } else {
+        apply_completion(node)
+    };
+    changed |= local_changed;
+    (node, changed)
+}
+
+fn apply_structural(e: GmdjExpr, flags: &OptFlags) -> (GmdjExpr, bool) {
+    if flags.hoist {
+        // Select(Select(X)) → Select(X, p1 ∧ p2).
+        if let GmdjExpr::Select { input, predicate } = &e {
+            if let GmdjExpr::Select { input: inner, predicate: p1 } = input.as_ref() {
+                return (
+                    GmdjExpr::Select {
+                        input: inner.clone(),
+                        predicate: p1.clone().and(predicate.clone()),
+                    },
+                    true,
+                );
+            }
+            // Select(DropComputed(X)) → DropComputed(Select(X)) when the
+            // selection does not reference the dropped names.
+            if let GmdjExpr::DropComputed { input: inner, names } = input.as_ref() {
+                if pred_avoids_names(predicate, names) {
+                    return (
+                        GmdjExpr::DropComputed {
+                            input: Box::new(GmdjExpr::Select {
+                                input: inner.clone(),
+                                predicate: predicate.clone(),
+                            }),
+                            names: names.clone(),
+                        },
+                        true,
+                    );
+                }
+            }
+        }
+        // DropComputed(DropComputed(X)) → DropComputed(X, n1 ∪ n2).
+        if let GmdjExpr::DropComputed { input, names } = &e {
+            if let GmdjExpr::DropComputed { input: inner, names: n1 } = input.as_ref() {
+                let mut all = n1.clone();
+                all.extend(names.iter().cloned());
+                return (GmdjExpr::DropComputed { input: inner.clone(), names: all }, true);
+            }
+        }
+        // MD(σ[p](X), R, s) → σ[p](MD(X, R, s)) and likewise for drops.
+        if let GmdjExpr::Gmdj { base, detail, spec } = &e {
+            if let GmdjExpr::Select { input, predicate } = base.as_ref() {
+                if pred_avoids_names(predicate, &spec_output_names(spec)) {
+                    return (
+                        GmdjExpr::Select {
+                            input: Box::new(GmdjExpr::Gmdj {
+                                base: input.clone(),
+                                detail: detail.clone(),
+                                spec: spec.clone(),
+                            }),
+                            predicate: predicate.clone(),
+                        },
+                        true,
+                    );
+                }
+            }
+            if let GmdjExpr::DropComputed { input, names } = base.as_ref() {
+                if spec_avoids_names(spec, names) {
+                    return (
+                        GmdjExpr::DropComputed {
+                            input: Box::new(GmdjExpr::Gmdj {
+                                base: input.clone(),
+                                detail: detail.clone(),
+                                spec: spec.clone(),
+                            }),
+                            names: names.clone(),
+                        },
+                        true,
+                    );
+                }
+            }
+        }
+    }
+    if flags.coalesce {
+        // MD(MD(B, R, s1), R, s2) → MD(B, R, s1 ++ s2)  (Prop. 4.1).
+        if let GmdjExpr::Gmdj { base, detail, spec } = &e {
+            if let GmdjExpr::Gmdj { base: b0, detail: d1, spec: s1 } = base.as_ref() {
+                if let Some(s2) = unify_details(d1, detail, spec) {
+                    if spec_avoids_names(&s2, &spec_output_names(s1)) {
+                        return (
+                            GmdjExpr::Gmdj {
+                                base: b0.clone(),
+                                detail: d1.clone(),
+                                spec: s1.extended_with(&s2),
+                            },
+                            true,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    (e, false)
+}
+
+/// Fuse `σ[C](MD(…))`, optionally under the final drop, into a
+/// [`GmdjExpr::FilteredGmdj`] with a derived completion plan.
+fn apply_completion(e: GmdjExpr) -> (GmdjExpr, bool) {
+    // Pattern 1: DropComputed(Select(Gmdj)) with names ⊇ aggregate outputs.
+    if let GmdjExpr::DropComputed { input, names } = &e {
+        if let GmdjExpr::Select { input: sel_in, predicate } = input.as_ref() {
+            if let GmdjExpr::Gmdj { base, detail, spec } = sel_in.as_ref() {
+                let outputs: Vec<String> =
+                    spec.output_names().iter().map(|s| s.to_string()).collect();
+                if outputs.iter().all(|o| names.contains(o)) {
+                    let completion = derive_completion(predicate, spec, true);
+                    let fused = GmdjExpr::FilteredGmdj {
+                        base: base.clone(),
+                        detail: detail.clone(),
+                        spec: spec.clone(),
+                        selection: predicate.clone(),
+                        keep: Keep::BaseOnly,
+                        completion,
+                    };
+                    // Names beyond the spec outputs are base columns that
+                    // still need dropping.
+                    let extra: Vec<String> =
+                        names.iter().filter(|n| !outputs.contains(n)).cloned().collect();
+                    let out = if extra.is_empty() {
+                        fused
+                    } else {
+                        GmdjExpr::DropComputed { input: Box::new(fused), names: extra }
+                    };
+                    return (out, true);
+                }
+            }
+        }
+    }
+    // Pattern 1b: the bottom-up pass may already have fused Select(Gmdj)
+    // into a keep-all FilteredGmdj before the enclosing drop is visited;
+    // upgrade it to keep-base-only with the stronger completion plan.
+    if let GmdjExpr::DropComputed { input, names } = &e {
+        if let GmdjExpr::FilteredGmdj { base, detail, spec, selection, keep: Keep::All, .. } =
+            input.as_ref()
+        {
+            let outputs: Vec<String> =
+                spec.output_names().iter().map(|s| s.to_string()).collect();
+            if outputs.iter().all(|o| names.contains(o)) {
+                let completion = derive_completion(selection, spec, true);
+                let fused = GmdjExpr::FilteredGmdj {
+                    base: base.clone(),
+                    detail: detail.clone(),
+                    spec: spec.clone(),
+                    selection: selection.clone(),
+                    keep: Keep::BaseOnly,
+                    completion,
+                };
+                let extra: Vec<String> =
+                    names.iter().filter(|n| !outputs.contains(n)).cloned().collect();
+                let out = if extra.is_empty() {
+                    fused
+                } else {
+                    GmdjExpr::DropComputed { input: Box::new(fused), names: extra }
+                };
+                return (out, true);
+            }
+        }
+    }
+    // Pattern 2: bare Select(Gmdj) — fold the selection; only fail-fast
+    // rules apply because the aggregates stay in the output.
+    if let GmdjExpr::Select { input, predicate } = &e {
+        if let GmdjExpr::Gmdj { base, detail, spec } = input.as_ref() {
+            let completion = derive_completion(predicate, spec, false);
+            return (
+                GmdjExpr::FilteredGmdj {
+                    base: base.clone(),
+                    detail: detail.clone(),
+                    spec: spec.clone(),
+                    selection: predicate.clone(),
+                    keep: Keep::All,
+                    completion,
+                },
+                true,
+            );
+        }
+    }
+    (e, false)
+}
+
+fn spec_output_names(spec: &GmdjSpec) -> Vec<String> {
+    spec.output_names().iter().map(|s| s.to_string()).collect()
+}
+
+/// True when no *unqualified* column of `p` matches one of `names`
+/// (qualified references denote base-table attributes and cannot clash
+/// with computed columns).
+fn pred_avoids_names(p: &Predicate, names: &[String]) -> bool {
+    p.columns()
+        .iter()
+        .all(|c| c.qualifier.is_some() || !names.contains(&c.name))
+}
+
+/// True when no condition or aggregate input of `spec` references one of
+/// `names` unqualified.
+fn spec_avoids_names(spec: &GmdjSpec, names: &[String]) -> bool {
+    spec.blocks.iter().all(|b| {
+        pred_avoids_names(&b.theta, names)
+            && b.aggs.iter().all(|a| match &a.input {
+                Some(e) => {
+                    let mut cols = Vec::new();
+                    e.collect_columns(&mut cols);
+                    cols.iter().all(|c| c.qualifier.is_some() || !names.contains(&c.name))
+                }
+                None => true,
+            })
+    })
+}
+
+/// Check coalescing compatibility of two detail expressions. Returns the
+/// second spec rewritten to reference the first detail's qualifier, or
+/// `None` when the details differ.
+fn unify_details(d1: &GmdjExpr, d2: &GmdjExpr, s2: &GmdjSpec) -> Option<GmdjSpec> {
+    if d1 == d2 {
+        return Some(s2.clone());
+    }
+    // Same base table under different qualifiers: rename the second
+    // spec's references (`Flow → F_S` vs `Flow → F`, Example 4.1).
+    if let (
+        GmdjExpr::Table { name: n1, qualifier: q1 },
+        GmdjExpr::Table { name: n2, qualifier: q2 },
+    ) = (d1, d2)
+    {
+        if n1 == n2 {
+            let map = |c: &gmdj_relation::schema::ColumnRef| {
+                if c.qualifier.as_deref() == Some(q2.as_str()) {
+                    gmdj_relation::schema::ColumnRef::qualified(q1, &c.name)
+                } else {
+                    c.clone()
+                }
+            };
+            let blocks = s2
+                .blocks
+                .iter()
+                .map(|b| crate::spec::AggBlock {
+                    theta: b.theta.map_columns(&map),
+                    aggs: b
+                        .aggs
+                        .iter()
+                        .map(|a| gmdj_relation::agg::NamedAgg {
+                            func: a.func,
+                            input: a.input.as_ref().map(|e| e.map_columns(&map)),
+                            output: a.output.clone(),
+                        })
+                        .collect(),
+                })
+                .collect();
+            return Some(GmdjSpec::new(blocks));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AggBlock;
+    use gmdj_relation::expr::{col, lit};
+
+    fn count_block(theta: Predicate, name: &str) -> GmdjSpec {
+        GmdjSpec::new(vec![AggBlock::count(theta, name.to_string())])
+    }
+
+    /// Three chained GMDJs over the same detail table (Example 3.2's B)
+    /// coalesce into one (Example 4.1).
+    #[test]
+    fn example_4_1_coalesces_to_single_gmdj() {
+        let base = GmdjExpr::Project {
+            input: Box::new(GmdjExpr::table("Flow", "F0")),
+            columns: vec![gmdj_relation::schema::ColumnRef::parse("F0.SourceIP")],
+            distinct: true,
+        };
+        let mk_theta = |q: &str, ip: &str| {
+            col("F0.SourceIP")
+                .eq(col(&format!("{q}.SourceIP")))
+                .and(col(&format!("{q}.DestIP")).eq(lit(ip)))
+        };
+        let chained = base
+            .gmdj(GmdjExpr::table("Flow", "F1"), count_block(mk_theta("F1", "167"), "c1"))
+            .gmdj(GmdjExpr::table("Flow", "F2"), count_block(mk_theta("F2", "168"), "c2"))
+            .gmdj(GmdjExpr::table("Flow", "F3"), count_block(mk_theta("F3", "169"), "c3"))
+            .select(col("c1").eq(lit(0)).and(col("c2").gt(lit(0))).and(col("c3").eq(lit(0))));
+        let expr = GmdjExpr::DropComputed {
+            input: Box::new(chained),
+            names: vec!["c1".into(), "c2".into(), "c3".into()],
+        };
+        assert_eq!(expr.gmdj_count(), 3);
+        let opt = optimize(&expr);
+        assert_eq!(opt.gmdj_count(), 1, "{opt}");
+        // Completion fused: dead rules for c1 and c3.
+        assert!(opt.uses_completion(), "{opt}");
+        let GmdjExpr::FilteredGmdj { spec, completion, keep, .. } = &opt else {
+            panic!("expected FilteredGmdj at root: {opt}");
+        };
+        assert_eq!(spec.blocks.len(), 3);
+        assert_eq!(*keep, Keep::BaseOnly);
+        let plan = completion.as_ref().unwrap();
+        assert_eq!(plan.dead_rules.len(), 2);
+        // All θ now reference the first GMDJ's detail qualifier.
+        for b in &spec.blocks {
+            assert!(b.theta.to_string().contains("F1."), "{}", b.theta);
+        }
+    }
+
+    #[test]
+    fn hoist_moves_selection_above_gmdj() {
+        let inner = GmdjExpr::table("Hours", "H")
+            .gmdj(GmdjExpr::table("Flow", "F1"), count_block(Predicate::true_(), "c1"))
+            .select(col("c1").gt(lit(0)));
+        let outer =
+            inner.gmdj(GmdjExpr::table("Flow", "F2"), count_block(Predicate::true_(), "c2"));
+        let opt = optimize_with(
+            &outer,
+            &OptFlags { hoist: true, coalesce: false, completion: false },
+        );
+        // Selection is now above the outer GMDJ.
+        assert!(matches!(opt, GmdjExpr::Select { .. }), "{opt}");
+    }
+
+    #[test]
+    fn coalescing_requires_independence() {
+        // Second spec references the first's output: must NOT coalesce.
+        let expr = GmdjExpr::table("B", "B")
+            .gmdj(GmdjExpr::table("R", "R"), count_block(Predicate::true_(), "c1"))
+            .gmdj(GmdjExpr::table("R", "R"), count_block(col("c1").gt(lit(0)), "c2"));
+        let opt = optimize_with(
+            &expr,
+            &OptFlags { hoist: true, coalesce: true, completion: false },
+        );
+        assert_eq!(opt.gmdj_count(), 2);
+    }
+
+    #[test]
+    fn coalescing_requires_same_detail_table() {
+        let expr = GmdjExpr::table("B", "B")
+            .gmdj(GmdjExpr::table("R", "R1"), count_block(Predicate::true_(), "c1"))
+            .gmdj(GmdjExpr::table("S", "S1"), count_block(Predicate::true_(), "c2"));
+        let opt = optimize(&expr);
+        assert_eq!(opt.gmdj_count(), 2);
+    }
+
+    #[test]
+    fn select_gmdj_fuses_even_without_drop() {
+        let expr = GmdjExpr::table("B", "B")
+            .gmdj(GmdjExpr::table("R", "R"), count_block(Predicate::true_(), "c1"))
+            .select(col("c1").gt(lit(0)));
+        let opt = optimize(&expr);
+        let GmdjExpr::FilteredGmdj { keep, completion, .. } = &opt else {
+            panic!("{opt}");
+        };
+        assert_eq!(*keep, Keep::All);
+        // Aggregates kept → Theorem 4.1 does not apply → no plan.
+        assert!(completion.is_none());
+    }
+
+    #[test]
+    fn basic_flags_leave_plan_untouched() {
+        let expr = GmdjExpr::table("B", "B")
+            .gmdj(GmdjExpr::table("R", "R"), count_block(Predicate::true_(), "c1"))
+            .select(col("c1").gt(lit(0)));
+        let opt = optimize_with(
+            &expr,
+            &OptFlags { hoist: false, coalesce: false, completion: false },
+        );
+        assert_eq!(opt, expr);
+    }
+}

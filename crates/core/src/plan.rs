@@ -1,0 +1,405 @@
+//! The flat GMDJ expression language.
+//!
+//! Algorithm SubqueryToGMDJ targets this language: "the resulting GMDJ
+//! expressions are regular algebraic expressions and **not** nested query
+//! expressions". A [`GmdjExpr`] composes GMDJs with selections,
+//! projections, joins and column dropping; like a join, the GMDJ is a
+//! binary operator over two table-valued operands.
+
+use std::fmt;
+
+use gmdj_relation::agg::NamedAgg;
+use gmdj_relation::expr::Predicate;
+use gmdj_relation::schema::ColumnRef;
+
+use crate::completion::CompletionPlan;
+use crate::eval::Keep;
+use crate::spec::GmdjSpec;
+
+/// A flat algebraic expression with GMDJ operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GmdjExpr {
+    /// Base table scan with renaming (`Flow → F`).
+    Table { name: String, qualifier: String },
+    /// σ\[predicate\](input) over a flat predicate.
+    Select { input: Box<GmdjExpr>, predicate: Predicate },
+    /// π\[columns\](input), optionally distinct.
+    Project { input: Box<GmdjExpr>, columns: Vec<ColumnRef>, distinct: bool },
+    /// Ungrouped scalar aggregate (always one row).
+    AggProject { input: Box<GmdjExpr>, agg: NamedAgg },
+    /// Ordinary θ-join (introduced only for non-neighboring predicates).
+    Join { left: Box<GmdjExpr>, right: Box<GmdjExpr>, on: Predicate },
+    /// Drop named computed columns — the final π\[A\] of the translation,
+    /// stripping the auxiliary count columns.
+    DropComputed { input: Box<GmdjExpr>, names: Vec<String> },
+    /// γ\[keys; aggs\](input) — SQL GROUP BY.
+    GroupBy {
+        input: Box<GmdjExpr>,
+        keys: Vec<ColumnRef>,
+        aggs: Vec<NamedAgg>,
+    },
+    /// SQL ORDER BY (presentation).
+    OrderBy { input: Box<GmdjExpr>, keys: Vec<(ColumnRef, bool)> },
+    /// SQL LIMIT.
+    Limit { input: Box<GmdjExpr>, n: usize },
+    /// `MD(base, detail, spec)` (Definition 2.1).
+    Gmdj { base: Box<GmdjExpr>, detail: Box<GmdjExpr>, spec: GmdjSpec },
+    /// `π[keep](σ[selection](MD(base, detail, spec)))` fused into the
+    /// evaluator, optionally with a base-tuple completion plan — the form
+    /// the optimizer produces (Section 4).
+    FilteredGmdj {
+        base: Box<GmdjExpr>,
+        detail: Box<GmdjExpr>,
+        spec: GmdjSpec,
+        selection: Predicate,
+        keep: Keep,
+        completion: Option<CompletionPlan>,
+    },
+}
+
+impl GmdjExpr {
+    /// Table scan builder.
+    pub fn table(name: impl Into<String>, qualifier: impl Into<String>) -> GmdjExpr {
+        GmdjExpr::Table { name: name.into(), qualifier: qualifier.into() }
+    }
+
+    /// Selection builder.
+    pub fn select(self, predicate: Predicate) -> GmdjExpr {
+        GmdjExpr::Select { input: Box::new(self), predicate }
+    }
+
+    /// GMDJ builder.
+    pub fn gmdj(self, detail: GmdjExpr, spec: GmdjSpec) -> GmdjExpr {
+        GmdjExpr::Gmdj { base: Box::new(self), detail: Box::new(detail), spec }
+    }
+
+    /// Number of GMDJ nodes (plain and filtered).
+    pub fn gmdj_count(&self) -> usize {
+        match self {
+            GmdjExpr::Table { .. } => 0,
+            GmdjExpr::Select { input, .. }
+            | GmdjExpr::Project { input, .. }
+            | GmdjExpr::AggProject { input, .. }
+            | GmdjExpr::GroupBy { input, .. }
+            | GmdjExpr::OrderBy { input, .. }
+            | GmdjExpr::Limit { input, .. }
+            | GmdjExpr::DropComputed { input, .. } => input.gmdj_count(),
+            GmdjExpr::Join { left, right, .. } => left.gmdj_count() + right.gmdj_count(),
+            GmdjExpr::Gmdj { base, detail, .. } => 1 + base.gmdj_count() + detail.gmdj_count(),
+            GmdjExpr::FilteredGmdj { base, detail, .. } => {
+                1 + base.gmdj_count() + detail.gmdj_count()
+            }
+        }
+    }
+
+    /// Number of join nodes.
+    pub fn join_count(&self) -> usize {
+        match self {
+            GmdjExpr::Table { .. } => 0,
+            GmdjExpr::Select { input, .. }
+            | GmdjExpr::Project { input, .. }
+            | GmdjExpr::AggProject { input, .. }
+            | GmdjExpr::GroupBy { input, .. }
+            | GmdjExpr::OrderBy { input, .. }
+            | GmdjExpr::Limit { input, .. }
+            | GmdjExpr::DropComputed { input, .. } => input.join_count(),
+            GmdjExpr::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
+            GmdjExpr::Gmdj { base, detail, .. }
+            | GmdjExpr::FilteredGmdj { base, detail, .. } => {
+                base.join_count() + detail.join_count()
+            }
+        }
+    }
+
+    /// True when a completion plan is attached anywhere in the expression.
+    pub fn uses_completion(&self) -> bool {
+        match self {
+            GmdjExpr::Table { .. } => false,
+            GmdjExpr::Select { input, .. }
+            | GmdjExpr::Project { input, .. }
+            | GmdjExpr::AggProject { input, .. }
+            | GmdjExpr::GroupBy { input, .. }
+            | GmdjExpr::OrderBy { input, .. }
+            | GmdjExpr::Limit { input, .. }
+            | GmdjExpr::DropComputed { input, .. } => input.uses_completion(),
+            GmdjExpr::Join { left, right, .. } => left.uses_completion() || right.uses_completion(),
+            GmdjExpr::Gmdj { base, detail, .. } => {
+                base.uses_completion() || detail.uses_completion()
+            }
+            GmdjExpr::FilteredGmdj { base, detail, completion, .. } => {
+                completion.is_some() || base.uses_completion() || detail.uses_completion()
+            }
+        }
+    }
+
+    /// Graphviz rendering of the plan DAG (`dot -Tsvg`-ready). GMDJ nodes
+    /// are boxes listing their aggregate blocks; scans are ellipses.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from(
+            "digraph gmdj_plan {\n  rankdir=BT;\n  node [fontname=\"monospace\", fontsize=10];\n",
+        );
+        let mut counter = 0usize;
+        self.dot_node(&mut out, &mut counter);
+        out.push_str("}\n");
+        let _ = write!(out, "");
+        out
+    }
+
+    /// Emit this node; returns its dot identifier.
+    fn dot_node(&self, out: &mut String, counter: &mut usize) -> String {
+        use std::fmt::Write;
+        let id = format!("n{}", *counter);
+        *counter += 1;
+        let esc = |s: String| s.replace('"', "\\\"").replace('\n', "\\l");
+        match self {
+            GmdjExpr::Table { name, qualifier } => {
+                let _ = writeln!(
+                    out,
+                    "  {id} [shape=ellipse, label=\"{}\"];",
+                    esc(format!("{name} → {qualifier}"))
+                );
+            }
+            GmdjExpr::Select { input, predicate } => {
+                let child = input.dot_node(out, counter);
+                let _ = writeln!(
+                    out,
+                    "  {id} [shape=box, label=\"σ {}\"];",
+                    esc(predicate.to_string())
+                );
+                let _ = writeln!(out, "  {child} -> {id};");
+            }
+            GmdjExpr::Project { input, columns, distinct } => {
+                let child = input.dot_node(out, counter);
+                let cols: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+                let pi = if *distinct { "πᵈ" } else { "π" };
+                let _ = writeln!(
+                    out,
+                    "  {id} [shape=box, label=\"{pi} {}\"];",
+                    esc(cols.join(", "))
+                );
+                let _ = writeln!(out, "  {child} -> {id};");
+            }
+            GmdjExpr::AggProject { input, agg } => {
+                let child = input.dot_node(out, counter);
+                let _ = writeln!(out, "  {id} [shape=box, label=\"γ {}\"];", esc(agg.to_string()));
+                let _ = writeln!(out, "  {child} -> {id};");
+            }
+            GmdjExpr::Join { left, right, on } => {
+                let l = left.dot_node(out, counter);
+                let r = right.dot_node(out, counter);
+                let _ = writeln!(out, "  {id} [shape=box, label=\"⋈ {}\"];", esc(on.to_string()));
+                let _ = writeln!(out, "  {l} -> {id};");
+                let _ = writeln!(out, "  {r} -> {id};");
+            }
+            GmdjExpr::DropComputed { input, names } => {
+                let child = input.dot_node(out, counter);
+                let _ = writeln!(
+                    out,
+                    "  {id} [shape=box, label=\"π∖ {}\"];",
+                    esc(names.join(", "))
+                );
+                let _ = writeln!(out, "  {child} -> {id};");
+            }
+            GmdjExpr::GroupBy { input, keys, aggs } => {
+                let child = input.dot_node(out, counter);
+                let ks: Vec<String> = keys.iter().map(|c| c.to_string()).collect();
+                let ags: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "  {id} [shape=box, label=\"γ[{}; {}]\"];",
+                    esc(ks.join(", ")),
+                    esc(ags.join(", "))
+                );
+                let _ = writeln!(out, "  {child} -> {id};");
+            }
+            GmdjExpr::OrderBy { input, .. } => {
+                let child = input.dot_node(out, counter);
+                let _ = writeln!(out, "  {id} [shape=box, label=\"sort\"];");
+                let _ = writeln!(out, "  {child} -> {id};");
+            }
+            GmdjExpr::Limit { input, n } => {
+                let child = input.dot_node(out, counter);
+                let _ = writeln!(out, "  {id} [shape=box, label=\"limit {n}\"];");
+                let _ = writeln!(out, "  {child} -> {id};");
+            }
+            GmdjExpr::Gmdj { base, detail, spec } => {
+                let b = base.dot_node(out, counter);
+                let d = detail.dot_node(out, counter);
+                let blocks: Vec<String> = spec.blocks.iter().map(|blk| blk.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "  {id} [shape=box, style=bold, label=\"GMDJ\\l{}\\l\"];",
+                    esc(blocks.join("\n"))
+                );
+                let _ = writeln!(out, "  {b} -> {id} [label=\"base\"];");
+                let _ = writeln!(out, "  {d} -> {id} [label=\"detail\"];");
+            }
+            GmdjExpr::FilteredGmdj { base, detail, spec, selection, completion, .. } => {
+                let b = base.dot_node(out, counter);
+                let d = detail.dot_node(out, counter);
+                let blocks: Vec<String> = spec.blocks.iter().map(|blk| blk.to_string()).collect();
+                let comp = match completion {
+                    Some(c) if c.finish_early => "\ncompletion: finish-early",
+                    Some(_) => "\ncompletion: fail-fast",
+                    None => "",
+                };
+                let _ = writeln!(
+                    out,
+                    "  {id} [shape=box, style=bold, label=\"GMDJ σ {}{}\\l{}\\l\"];",
+                    esc(selection.to_string()),
+                    esc(comp.to_string()),
+                    esc(blocks.join("\n"))
+                );
+                let _ = writeln!(out, "  {b} -> {id} [label=\"base\"];");
+                let _ = writeln!(out, "  {d} -> {id} [label=\"detail\"];");
+            }
+        }
+        id
+    }
+
+    /// Multi-line indented rendering (EXPLAIN output).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            GmdjExpr::Table { name, qualifier } => {
+                let _ = writeln!(out, "{pad}Scan {name} → {qualifier}");
+            }
+            GmdjExpr::Select { input, predicate } => {
+                let _ = writeln!(out, "{pad}Select [{predicate}]");
+                input.explain_into(out, depth + 1);
+            }
+            GmdjExpr::Project { input, columns, distinct } => {
+                let cols: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+                let d = if *distinct { " DISTINCT" } else { "" };
+                let _ = writeln!(out, "{pad}Project{d} [{}]", cols.join(", "));
+                input.explain_into(out, depth + 1);
+            }
+            GmdjExpr::AggProject { input, agg } => {
+                let _ = writeln!(out, "{pad}AggProject [{agg}]");
+                input.explain_into(out, depth + 1);
+            }
+            GmdjExpr::Join { left, right, on } => {
+                let _ = writeln!(out, "{pad}Join [{on}]");
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            GmdjExpr::DropComputed { input, names } => {
+                let _ = writeln!(out, "{pad}DropComputed [{}]", names.join(", "));
+                input.explain_into(out, depth + 1);
+            }
+            GmdjExpr::GroupBy { input, keys, aggs } => {
+                let ks: Vec<String> = keys.iter().map(|c| c.to_string()).collect();
+                let ags: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                let _ = writeln!(out, "{pad}GroupBy [{}; {}]", ks.join(", "), ags.join(", "));
+                input.explain_into(out, depth + 1);
+            }
+            GmdjExpr::OrderBy { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(c, asc)| format!("{c} {}", if *asc { "ASC" } else { "DESC" }))
+                    .collect();
+                let _ = writeln!(out, "{pad}OrderBy [{}]", ks.join(", "));
+                input.explain_into(out, depth + 1);
+            }
+            GmdjExpr::Limit { input, n } => {
+                let _ = writeln!(out, "{pad}Limit [{n}]");
+                input.explain_into(out, depth + 1);
+            }
+            GmdjExpr::Gmdj { base, detail, spec } => {
+                let _ = writeln!(out, "{pad}GMDJ ({} blocks)", spec.blocks.len());
+                for b in &spec.blocks {
+                    let _ = writeln!(out, "{pad}  · {b}");
+                }
+                let _ = writeln!(out, "{pad}  base:");
+                base.explain_into(out, depth + 2);
+                let _ = writeln!(out, "{pad}  detail:");
+                detail.explain_into(out, depth + 2);
+            }
+            GmdjExpr::FilteredGmdj { base, detail, spec, selection, keep, completion } => {
+                let keep = match keep {
+                    Keep::All => "all",
+                    Keep::BaseOnly => "base-only",
+                };
+                let comp = match completion {
+                    Some(c) if c.finish_early => " +completion(finish-early)",
+                    Some(_) => " +completion(fail-fast)",
+                    None => "",
+                };
+                let _ = writeln!(
+                    out,
+                    "{pad}FilteredGMDJ ({} blocks) σ[{selection}] keep={keep}{comp}",
+                    spec.blocks.len()
+                );
+                for b in &spec.blocks {
+                    let _ = writeln!(out, "{pad}  · {b}");
+                }
+                let _ = writeln!(out, "{pad}  base:");
+                base.explain_into(out, depth + 2);
+                let _ = writeln!(out, "{pad}  detail:");
+                detail.explain_into(out, depth + 2);
+            }
+        }
+    }
+}
+
+impl fmt::Display for GmdjExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.explain().trim_end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AggBlock;
+    use gmdj_relation::expr::{col, lit};
+
+    fn sample() -> GmdjExpr {
+        GmdjExpr::table("Flow", "F0")
+            .gmdj(
+                GmdjExpr::table("Flow", "F1"),
+                GmdjSpec::new(vec![AggBlock::count(col("F0.k").eq(col("F1.k")), "cnt")]),
+            )
+            .select(col("cnt").gt(lit(0)))
+    }
+
+    #[test]
+    fn counts_nodes() {
+        let e = sample();
+        assert_eq!(e.gmdj_count(), 1);
+        assert_eq!(e.join_count(), 0);
+        assert!(!e.uses_completion());
+    }
+
+    #[test]
+    fn explain_is_structured() {
+        let text = sample().explain();
+        assert!(text.contains("Select [cnt > 0]"));
+        assert!(text.contains("GMDJ (1 blocks)"));
+        assert!(text.contains("Scan Flow → F0"));
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let dot = sample().to_dot();
+        assert!(dot.starts_with("digraph gmdj_plan {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("label=\"GMDJ"));
+        assert!(dot.contains("[label=\"base\"]"));
+        assert!(dot.contains("[label=\"detail\"]"));
+        // One node id per operator: 1 select + 1 gmdj + 2 scans.
+        assert_eq!(dot.matches("shape=").count(), 4);
+        // Quotes inside labels are escaped.
+        let quoted = GmdjExpr::table("T", "T")
+            .select(col("T.s").eq(lit("x\"y")));
+        assert!(quoted.to_dot().contains("\\\""));
+    }
+}

@@ -1,0 +1,173 @@
+//! The GMDJ operator specification (Definition 2.1).
+
+use std::fmt;
+use std::sync::Arc;
+
+use gmdj_relation::agg::NamedAgg;
+use gmdj_relation::expr::Predicate;
+use gmdj_relation::schema::Schema;
+
+/// One (lᵢ, θᵢ) pair of a GMDJ: a list of aggregate functions computed
+/// over the tuples of the detail relation satisfying θᵢ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggBlock {
+    /// The condition θᵢ over **B** ∪ **R**.
+    pub theta: Predicate,
+    /// The aggregate list lᵢ = (fᵢ₁ cᵢ₁ → name, …).
+    pub aggs: Vec<NamedAgg>,
+}
+
+impl AggBlock {
+    /// Construct a block.
+    pub fn new(theta: Predicate, aggs: Vec<NamedAgg>) -> Self {
+        AggBlock { theta, aggs }
+    }
+
+    /// The ubiquitous `count(*) → name` block of the subquery translation.
+    pub fn count(theta: Predicate, output: impl Into<String>) -> Self {
+        AggBlock { theta, aggs: vec![NamedAgg::count_star(output)] }
+    }
+}
+
+impl fmt::Display for AggBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let aggs: Vec<String> = self.aggs.iter().map(|a| a.to_string()).collect();
+        write!(f, "({}) | θ: {}", aggs.join(", "), self.theta)
+    }
+}
+
+/// The aggregate/condition part of a GMDJ,
+/// `MD(B, R, (l₁,…,lₘ), (θ₁,…,θₘ))`.
+///
+/// The base-values relation `B` and detail relation `R` are supplied at
+/// evaluation time; a `GmdjSpec` is the reusable (l⃗, θ⃗) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GmdjSpec {
+    /// The (lᵢ, θᵢ) blocks, in output-column order.
+    pub blocks: Vec<AggBlock>,
+}
+
+impl GmdjSpec {
+    /// Construct from blocks.
+    pub fn new(blocks: Vec<AggBlock>) -> Self {
+        GmdjSpec { blocks }
+    }
+
+    /// Output schema: **B**'s attributes followed by every block's
+    /// aggregate output columns (renamed on collision, footnote 1).
+    pub fn output_schema(&self, base: &Schema) -> Arc<Schema> {
+        let extra: Vec<_> = self
+            .blocks
+            .iter()
+            .flat_map(|b| b.aggs.iter().map(NamedAgg::output_field))
+            .collect();
+        base.extend_computed(&extra)
+    }
+
+    /// Output names of every aggregate, in schema order.
+    pub fn output_names(&self) -> Vec<&str> {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.aggs.iter().map(|a| a.output.as_str()))
+            .collect()
+    }
+
+    /// Total number of aggregate output columns.
+    pub fn agg_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.aggs.len()).sum()
+    }
+
+    /// Index of the block producing the named output, if any.
+    pub fn block_of_output(&self, name: &str) -> Option<usize> {
+        self.blocks
+            .iter()
+            .position(|b| b.aggs.iter().any(|a| a.output == name))
+    }
+
+    /// True when the named output is a `count(*)` (the completion
+    /// derivation only reasons about counts).
+    pub fn output_is_count_star(&self, name: &str) -> bool {
+        self.blocks.iter().any(|b| {
+            b.aggs
+                .iter()
+                .any(|a| a.output == name && a.func == gmdj_relation::agg::AggFunc::CountStar)
+        })
+    }
+
+    /// Append the blocks of another spec (coalescing, Proposition 4.1).
+    pub fn extended_with(&self, other: &GmdjSpec) -> GmdjSpec {
+        let mut blocks = self.blocks.clone();
+        blocks.extend(other.blocks.iter().cloned());
+        GmdjSpec { blocks }
+    }
+}
+
+impl fmt::Display for GmdjSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, b) in self.blocks.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "l{} {b}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmdj_relation::expr::{col, lit};
+    use gmdj_relation::schema::DataType;
+
+    fn spec() -> GmdjSpec {
+        GmdjSpec::new(vec![
+            AggBlock::count(col("B.k").eq(col("R.k")), "cnt1"),
+            AggBlock::new(
+                col("B.k").eq(col("R.k")).and(col("R.p").eq(lit("HTTP"))),
+                vec![
+                    NamedAgg::sum(col("R.bytes"), "sum1"),
+                    NamedAgg::count_star("cnt2"),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn output_schema_appends_aggregates() {
+        let base = Schema::qualified("B", &[("k", DataType::Int)]);
+        let out = spec().output_schema(&base);
+        assert_eq!(out.qualified_names(), vec!["B.k", "cnt1", "sum1", "cnt2"]);
+    }
+
+    #[test]
+    fn output_lookup() {
+        let s = spec();
+        assert_eq!(s.output_names(), vec!["cnt1", "sum1", "cnt2"]);
+        assert_eq!(s.agg_count(), 3);
+        assert_eq!(s.block_of_output("cnt1"), Some(0));
+        assert_eq!(s.block_of_output("sum1"), Some(1));
+        assert_eq!(s.block_of_output("cnt2"), Some(1));
+        assert_eq!(s.block_of_output("nope"), None);
+        assert!(s.output_is_count_star("cnt1"));
+        assert!(s.output_is_count_star("cnt2"));
+        assert!(!s.output_is_count_star("sum1"));
+    }
+
+    #[test]
+    fn coalescing_concatenates_blocks() {
+        let s = spec().extended_with(&spec());
+        assert_eq!(s.blocks.len(), 4);
+    }
+
+    #[test]
+    fn output_schema_renames_collisions() {
+        let base = Schema::qualified("B", &[("k", DataType::Int)]);
+        let s = GmdjSpec::new(vec![
+            AggBlock::count(Predicate::true_(), "cnt"),
+            AggBlock::count(Predicate::true_(), "cnt"),
+        ]);
+        let out = s.output_schema(&base);
+        assert_eq!(out.qualified_names(), vec!["B.k", "cnt", "cnt_2"]);
+    }
+}

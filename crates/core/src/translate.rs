@@ -1,0 +1,835 @@
+//! Algorithm SubqueryToGMDJ (Section 3): translating nested query
+//! expressions into flat GMDJ expressions.
+//!
+//! The pipeline is exactly the paper's integrated algorithm (Theorem 3.5):
+//!
+//! 1. **Normalize negations** — De Morgan push-down and elimination of
+//!    negations in front of subqueries ([`gmdj_algebra::normalize`]).
+//! 2. **Push down tables for non-neighboring predicates**
+//!    (Theorems 3.3/3.4): when a correlation predicate references a block
+//!    further out than the immediately enclosing one (Example 3.3), a copy
+//!    of the far table is joined into the subquery's source under a fresh
+//!    qualifier, the offending references are redirected to the copy, and
+//!    the subquery's selection gains null-safe equality conjuncts tying
+//!    the copy to the original. This introduces exactly the n−1
+//!    supplementary joins the paper proves necessary, and nothing else.
+//! 3. **Translate** (Theorems 3.1/3.2, Table 1): each subquery predicate
+//!    becomes one or two `count(*)`/aggregate blocks of a GMDJ over the
+//!    enclosing base expression, and the subquery predicate itself is
+//!    replaced by a flat condition over the new count columns. Linearly
+//!    nested subqueries recurse: the inner block's source becomes the
+//!    base-values table of an inner GMDJ whose count condition joins the
+//!    outer θ (Theorem 3.2).
+//!
+//! The auxiliary count columns are dropped by a final
+//! [`GmdjExpr::DropComputed`] — the π\[A\] of Table 1.
+
+use gmdj_algebra::ast::{NestedPredicate, Quantifier, QueryExpr, SubqueryOutput, SubqueryPred};
+use gmdj_algebra::normalize::normalize_negations;
+use gmdj_relation::agg::NamedAgg;
+use gmdj_relation::error::{Error, Result};
+use gmdj_relation::expr::{col, lit, Predicate, ScalarExpr};
+use gmdj_relation::schema::ColumnRef;
+
+use crate::plan::GmdjExpr;
+use crate::spec::{AggBlock, GmdjSpec};
+
+/// Minimal catalog knowledge the translation needs: the column names of a
+/// base table, used to build the correlation conjuncts of a push-down.
+pub trait SchemaInfo {
+    /// Column names (unqualified) of a base table.
+    fn table_columns(&self, table: &str) -> Result<Vec<String>>;
+}
+
+/// Forwarding shim so unsized providers (e.g. `&dyn TableProvider`, which
+/// implements [`SchemaInfo`] through a blanket impl) can be passed to the
+/// object-taking internals.
+struct Fwd<'a, S: ?Sized>(&'a S);
+
+impl<S: SchemaInfo + ?Sized> SchemaInfo for Fwd<'_, S> {
+    fn table_columns(&self, table: &str) -> Result<Vec<String>> {
+        self.0.table_columns(table)
+    }
+}
+
+/// Translate a nested query expression into an equivalent flat GMDJ
+/// expression (Algorithm SubqueryToGMDJ).
+pub fn subquery_to_gmdj<S: SchemaInfo + ?Sized>(
+    query: &QueryExpr,
+    schemas: &S,
+) -> Result<GmdjExpr> {
+    subquery_to_gmdj_dyn(query, &Fwd(schemas))
+}
+
+fn subquery_to_gmdj_dyn(query: &QueryExpr, schemas: &dyn SchemaInfo) -> Result<GmdjExpr> {
+    let normalized = normalize_negations(query);
+    let mut counter = 0usize;
+    let pushed = pushdown::rewrite(&normalized, schemas, &mut counter)?;
+    let mut ctx = Ctx { counter };
+    tx(&pushed, &mut ctx)
+}
+
+struct Ctx {
+    counter: usize,
+}
+
+impl Ctx {
+    fn gensym(&mut self, stem: &str) -> String {
+        self.counter += 1;
+        format!("__{stem}{}", self.counter)
+    }
+}
+
+fn tx(q: &QueryExpr, ctx: &mut Ctx) -> Result<GmdjExpr> {
+    match q {
+        QueryExpr::Table { name, qualifier } => Ok(GmdjExpr::table(name, qualifier)),
+        QueryExpr::Project { input, columns, distinct } => Ok(GmdjExpr::Project {
+            input: Box::new(tx(input, ctx)?),
+            columns: columns.clone(),
+            distinct: *distinct,
+        }),
+        QueryExpr::AggProject { input, agg } => Ok(GmdjExpr::AggProject {
+            input: Box::new(tx(input, ctx)?),
+            agg: agg.clone(),
+        }),
+        QueryExpr::Join { left, right, on } => Ok(GmdjExpr::Join {
+            left: Box::new(tx(left, ctx)?),
+            right: Box::new(tx(right, ctx)?),
+            on: on.clone(),
+        }),
+        QueryExpr::GroupBy { input, keys, aggs } => Ok(GmdjExpr::GroupBy {
+            input: Box::new(tx(input, ctx)?),
+            keys: keys.clone(),
+            aggs: aggs.clone(),
+        }),
+        QueryExpr::OrderBy { input, keys } => Ok(GmdjExpr::OrderBy {
+            input: Box::new(tx(input, ctx)?),
+            keys: keys.clone(),
+        }),
+        QueryExpr::Limit { input, n } => {
+            Ok(GmdjExpr::Limit { input: Box::new(tx(input, ctx)?), n: *n })
+        }
+        QueryExpr::Select { input, predicate } => {
+            let base = tx(input, ctx)?;
+            tx_select(base, predicate, ctx)
+        }
+    }
+}
+
+/// Translate σ\[W\](base) where W may contain subqueries: chain one GMDJ
+/// per subquery onto `base`, select on the rewritten flat predicate, and
+/// drop the auxiliary columns.
+fn tx_select(base: GmdjExpr, w: &NestedPredicate, ctx: &mut Ctx) -> Result<GmdjExpr> {
+    if let Some(flat) = w.to_flat() {
+        return Ok(base.select(flat));
+    }
+    let mut chain: Vec<(GmdjExpr, GmdjSpec)> = Vec::new();
+    let mut introduced: Vec<String> = Vec::new();
+    let w2 = replace_subqueries(w, &mut chain, &mut introduced, ctx)?;
+    let mut cur = base;
+    for (detail, spec) in chain {
+        cur = cur.gmdj(detail, spec);
+    }
+    Ok(GmdjExpr::DropComputed { input: Box::new(cur.select(w2)), names: introduced })
+}
+
+/// Rewrite a nested predicate into a flat one, emitting the GMDJ blocks
+/// each subquery requires.
+fn replace_subqueries(
+    w: &NestedPredicate,
+    chain: &mut Vec<(GmdjExpr, GmdjSpec)>,
+    introduced: &mut Vec<String>,
+    ctx: &mut Ctx,
+) -> Result<Predicate> {
+    match w {
+        NestedPredicate::Atom(p) => Ok(p.clone()),
+        NestedPredicate::And(a, b) => Ok(replace_subqueries(a, chain, introduced, ctx)?
+            .and(replace_subqueries(b, chain, introduced, ctx)?)),
+        NestedPredicate::Or(a, b) => Ok(replace_subqueries(a, chain, introduced, ctx)?
+            .or(replace_subqueries(b, chain, introduced, ctx)?)),
+        NestedPredicate::Not(_) => Err(Error::invalid(
+            "negations must be eliminated before translation (normalize_negations)",
+        )),
+        NestedPredicate::Subquery(s) => tx_subquery(s, chain, introduced, ctx),
+    }
+}
+
+/// Translate one subquery predicate per Table 1, pushing its GMDJ blocks
+/// onto `chain` and returning the replacement condition Cᵢ.
+fn tx_subquery(
+    s: &SubqueryPred,
+    chain: &mut Vec<(GmdjExpr, GmdjSpec)>,
+    introduced: &mut Vec<String>,
+    ctx: &mut Ctx,
+) -> Result<Predicate> {
+    // IN / NOT IN should have been desugared; accept them defensively.
+    if let SubqueryPred::In { left, query, negated } = s {
+        let desugared = SubqueryPred::Quantified {
+            left: left.clone(),
+            op: if *negated {
+                gmdj_relation::expr::CmpOp::Ne
+            } else {
+                gmdj_relation::expr::CmpOp::Eq
+            },
+            quantifier: if *negated { Quantifier::All } else { Quantifier::Some },
+            query: query.clone(),
+        };
+        return tx_subquery(&desugared, chain, introduced, ctx);
+    }
+
+    let (source, body_pred, output) = peel(s.query());
+    let src = tx(&source, ctx)?;
+
+    // Theorem 3.2 — linearly nested subqueries: inner subqueries of the
+    // body become GMDJs over the subquery's own source; their count
+    // conditions join the θ of the enclosing block's GMDJ
+    // (`θ₂' ⋈ C₁`). The inner auxiliary columns live in the detail
+    // relation and are referenced only by θ, so they are not dropped.
+    let (detail, theta) = match body_pred.to_flat() {
+        Some(flat) => (src, flat),
+        None => {
+            let mut inner_chain = Vec::new();
+            let mut inner_names = Vec::new();
+            let w2 = replace_subqueries(&body_pred, &mut inner_chain, &mut inner_names, ctx)?;
+            let mut cur = src;
+            for (d, spec) in inner_chain {
+                cur = cur.gmdj(d, spec);
+            }
+            (cur, w2)
+        }
+    };
+
+    // Table 1.
+    match s {
+        SubqueryPred::Exists { negated, .. } => {
+            let g = ctx.gensym("cnt");
+            chain.push((detail, GmdjSpec::new(vec![AggBlock::count(theta, g.clone())])));
+            introduced.push(g.clone());
+            Ok(if *negated {
+                col(&g).eq(lit(0))
+            } else {
+                col(&g).gt(lit(0))
+            })
+        }
+        SubqueryPred::Quantified { left, op, quantifier, .. } => {
+            let y = output_column(&output, "quantified comparison")?;
+            let cmp = left.clone().cmp_with(*op, ScalarExpr::Column(y));
+            match quantifier {
+                Quantifier::Some => {
+                    let g = ctx.gensym("cnt");
+                    chain.push((
+                        detail,
+                        GmdjSpec::new(vec![AggBlock::count(theta.and(cmp), g.clone())]),
+                    ));
+                    introduced.push(g.clone());
+                    Ok(col(&g).gt(lit(0)))
+                }
+                Quantifier::All => {
+                    let g1 = ctx.gensym("cnt");
+                    let g2 = ctx.gensym("cnt");
+                    chain.push((
+                        detail,
+                        GmdjSpec::new(vec![
+                            AggBlock::count(theta.clone().and(cmp), g1.clone()),
+                            AggBlock::count(theta, g2.clone()),
+                        ]),
+                    ));
+                    introduced.push(g1.clone());
+                    introduced.push(g2.clone());
+                    Ok(col(&g1).eq(col(&g2)))
+                }
+            }
+        }
+        SubqueryPred::Cmp { left, op, .. } => match &output {
+            SubqueryOutput::Agg(agg) => {
+                let g = ctx.gensym("agg");
+                let renamed = NamedAgg { func: agg.func, input: agg.input.clone(), output: g.clone() };
+                chain.push((detail, GmdjSpec::new(vec![AggBlock::new(theta, vec![renamed])])));
+                introduced.push(g.clone());
+                Ok(left.clone().cmp_with(*op, col(&g)))
+            }
+            _ => {
+                let y = output_column(&output, "scalar comparison")?;
+                let cmp = left.clone().cmp_with(*op, ScalarExpr::Column(y));
+                let g = ctx.gensym("cnt");
+                chain.push((
+                    detail,
+                    GmdjSpec::new(vec![AggBlock::count(theta.and(cmp), g.clone())]),
+                ));
+                introduced.push(g.clone());
+                Ok(col(&g).eq(lit(1)))
+            }
+        },
+        SubqueryPred::In { .. } => unreachable!("desugared above"),
+    }
+}
+
+fn output_column(output: &SubqueryOutput, context: &str) -> Result<ColumnRef> {
+    match output {
+        SubqueryOutput::Column(c) => Ok(c.clone()),
+        SubqueryOutput::Agg(a) => Err(Error::invalid(format!(
+            "{context} subquery needs a single projected attribute, found aggregate {a}"
+        ))),
+        SubqueryOutput::Row => Err(Error::invalid(format!(
+            "{context} subquery needs a single projected attribute"
+        ))),
+    }
+}
+
+/// Peel a subquery body into (source expression, selection predicate,
+/// output shape). Projection and selection layers interleave freely; the
+/// source is whatever remains (a table, join, or nested structure).
+fn peel(q: &QueryExpr) -> (QueryExpr, NestedPredicate, SubqueryOutput) {
+    let mut output = SubqueryOutput::Row;
+    let mut preds: Vec<NestedPredicate> = Vec::new();
+    let mut cur = q;
+    loop {
+        match cur {
+            QueryExpr::Project { input, columns, .. } => {
+                if matches!(output, SubqueryOutput::Row) && columns.len() == 1 {
+                    output = SubqueryOutput::Column(columns[0].clone());
+                }
+                cur = input;
+            }
+            QueryExpr::AggProject { input, agg } => {
+                output = SubqueryOutput::Agg(agg.clone());
+                cur = input;
+            }
+            QueryExpr::Select { input, predicate } => {
+                preds.push(predicate.clone());
+                cur = input;
+            }
+            other => {
+                let body = preds
+                    .into_iter()
+                    .rev()
+                    .reduce(|a, b| a.and(b))
+                    .unwrap_or(NestedPredicate::Atom(Predicate::true_()));
+                return (other.clone(), body, output);
+            }
+        }
+    }
+}
+
+/// Push-down of base tables for non-neighboring correlation predicates
+/// (Theorems 3.3/3.4, Examples 3.3/3.4).
+mod pushdown {
+    use super::*;
+    use gmdj_algebra::analysis::free_references;
+
+    /// Entry point: rewrite the whole query so that every correlation
+    /// predicate is neighboring.
+    pub fn rewrite(
+        q: &QueryExpr,
+        schemas: &dyn SchemaInfo,
+        counter: &mut usize,
+    ) -> Result<QueryExpr> {
+        let mut env: Vec<Vec<(String, String)>> = Vec::new();
+        rewrite_block(q, &mut env, schemas, counter)
+    }
+
+    /// Rewrite a query block: record its local (qualifier → table) pairs
+    /// and process its nodes.
+    fn rewrite_block(
+        q: &QueryExpr,
+        env: &mut Vec<Vec<(String, String)>>,
+        schemas: &dyn SchemaInfo,
+        counter: &mut usize,
+    ) -> Result<QueryExpr> {
+        env.push(collect_tables(q));
+        let out = rewrite_node(q, env, schemas, counter);
+        env.pop();
+        out
+    }
+
+    fn rewrite_node(
+        q: &QueryExpr,
+        env: &mut Vec<Vec<(String, String)>>,
+        schemas: &dyn SchemaInfo,
+        counter: &mut usize,
+    ) -> Result<QueryExpr> {
+        match q {
+            QueryExpr::Table { .. } => Ok(q.clone()),
+            QueryExpr::Project { input, columns, distinct } => Ok(QueryExpr::Project {
+                input: Box::new(rewrite_node(input, env, schemas, counter)?),
+                columns: columns.clone(),
+                distinct: *distinct,
+            }),
+            QueryExpr::AggProject { input, agg } => Ok(QueryExpr::AggProject {
+                input: Box::new(rewrite_node(input, env, schemas, counter)?),
+                agg: agg.clone(),
+            }),
+            QueryExpr::Join { left, right, on } => Ok(QueryExpr::Join {
+                left: Box::new(rewrite_node(left, env, schemas, counter)?),
+                right: Box::new(rewrite_node(right, env, schemas, counter)?),
+                on: on.clone(),
+            }),
+            QueryExpr::GroupBy { input, keys, aggs } => Ok(QueryExpr::GroupBy {
+                input: Box::new(rewrite_node(input, env, schemas, counter)?),
+                keys: keys.clone(),
+                aggs: aggs.clone(),
+            }),
+            QueryExpr::OrderBy { input, keys } => Ok(QueryExpr::OrderBy {
+                input: Box::new(rewrite_node(input, env, schemas, counter)?),
+                keys: keys.clone(),
+            }),
+            QueryExpr::Limit { input, n } => Ok(QueryExpr::Limit {
+                input: Box::new(rewrite_node(input, env, schemas, counter)?),
+                n: *n,
+            }),
+            QueryExpr::Select { input, predicate } => {
+                let input2 = rewrite_node(input, env, schemas, counter)?;
+                let predicate2 = rewrite_pred(predicate, env, schemas, counter)?;
+                Ok(QueryExpr::Select { input: Box::new(input2), predicate: predicate2 })
+            }
+        }
+    }
+
+    fn rewrite_pred(
+        p: &NestedPredicate,
+        env: &mut Vec<Vec<(String, String)>>,
+        schemas: &dyn SchemaInfo,
+        counter: &mut usize,
+    ) -> Result<NestedPredicate> {
+        match p {
+            NestedPredicate::Atom(_) => Ok(p.clone()),
+            NestedPredicate::And(a, b) => Ok(NestedPredicate::And(
+                Box::new(rewrite_pred(a, env, schemas, counter)?),
+                Box::new(rewrite_pred(b, env, schemas, counter)?),
+            )),
+            NestedPredicate::Or(a, b) => Ok(NestedPredicate::Or(
+                Box::new(rewrite_pred(a, env, schemas, counter)?),
+                Box::new(rewrite_pred(b, env, schemas, counter)?),
+            )),
+            NestedPredicate::Not(inner) => Ok(NestedPredicate::Not(Box::new(rewrite_pred(
+                inner, env, schemas, counter,
+            )?))),
+            NestedPredicate::Subquery(s) => {
+                let fixed = fix_subquery(s.query().clone(), env, schemas, counter)?;
+                let rewritten = rewrite_block(&fixed, env, schemas, counter)?;
+                let mut s2 = s.clone();
+                *s2.query_mut() = rewritten;
+                Ok(NestedPredicate::Subquery(s2))
+            }
+        }
+    }
+
+    /// Apply Theorems 3.3/3.4 to one subquery body until all of its free
+    /// references are neighboring (resolve one level up from where they
+    /// occur).
+    fn fix_subquery(
+        mut body: QueryExpr,
+        env: &[Vec<(String, String)>],
+        schemas: &dyn SchemaInfo,
+        counter: &mut usize,
+    ) -> Result<QueryExpr> {
+        let scopes: Vec<Vec<String>> = env
+            .iter()
+            .map(|block| block.iter().map(|(q, _)| q.clone()).collect())
+            .collect();
+        loop {
+            let refs = free_references(&body, &scopes);
+            let Some(bad) = refs
+                .iter()
+                .find(|r| matches!(r.levels_up, Some(l) if l >= 2))
+            else {
+                break;
+            };
+            let q_far = bad
+                .column
+                .qualifier
+                .clone()
+                .expect("free references are always qualified");
+            // Top-down processing guarantees the qualifier is local to the
+            // immediately enclosing block; anything else is malformed.
+            let current = env.last().expect("fix_subquery called with enclosing scope");
+            let Some((_, table_name)) =
+                current.iter().find(|(q, _)| *q == q_far).cloned()
+            else {
+                return Err(Error::invalid(format!(
+                    "non-neighboring reference {} does not resolve in the \
+                     immediately enclosing block",
+                    bad.column
+                )));
+            };
+            *counter += 1;
+            let fresh = format!("{q_far}__pd{counter}");
+            // 1. Redirect every reference to the far qualifier inside the
+            //    body to the pushed-down copy.
+            body = rename_qualifier(&body, &q_far, &fresh);
+            // 2. Join a copy of the far table into the body's source
+            //    (Theorem 3.3: MD(B,R,l,θ) = MD(B, B⋈R, l, θ) applied at
+            //    the inner base).
+            body = attach_source(body, QueryExpr::table(&table_name, &fresh));
+            // 3. Correlate the copy with the original via null-safe
+            //    equality on every column, so each outer tuple ranges only
+            //    over detail tuples built from its own copy.
+            let cols = schemas.table_columns(&table_name)?;
+            if cols.is_empty() {
+                return Err(Error::invalid(format!(
+                    "cannot push down table {table_name} with no columns"
+                )));
+            }
+            let conj = Predicate::conjoin(cols.iter().map(|c| {
+                let orig = ScalarExpr::Column(ColumnRef::qualified(&q_far, c));
+                let copy = ScalarExpr::Column(ColumnRef::qualified(&fresh, c));
+                orig.clone().eq(copy.clone()).or(Predicate::IsNull(orig)
+                    .and(Predicate::IsNull(copy)))
+            }));
+            body = add_selection(body, conj);
+        }
+        Ok(body)
+    }
+
+    /// (qualifier, table name) pairs of the Table nodes in this block's
+    /// source region (not descending into subquery predicates).
+    fn collect_tables(q: &QueryExpr) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        fn walk(q: &QueryExpr, out: &mut Vec<(String, String)>) {
+            match q {
+                QueryExpr::Table { name, qualifier } => {
+                    out.push((qualifier.clone(), name.clone()))
+                }
+                QueryExpr::Select { input, .. }
+                | QueryExpr::Project { input, .. }
+                | QueryExpr::AggProject { input, .. }
+                | QueryExpr::GroupBy { input, .. }
+                | QueryExpr::OrderBy { input, .. }
+                | QueryExpr::Limit { input, .. } => walk(input, out),
+                QueryExpr::Join { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+            }
+        }
+        walk(q, &mut out);
+        out
+    }
+
+    /// Replace qualifier `from` with `to` in every attribute reference of
+    /// the subtree (predicates, projections, aggregate inputs, and nested
+    /// subqueries). Table nodes keep their qualifiers: `from` is free in
+    /// the subtree, so no Table introduces it.
+    fn rename_qualifier(q: &QueryExpr, from: &str, to: &str) -> QueryExpr {
+        let map = |c: &ColumnRef| -> ColumnRef {
+            if c.qualifier.as_deref() == Some(from) {
+                ColumnRef::qualified(to, &c.name)
+            } else {
+                c.clone()
+            }
+        };
+        fn go(
+            q: &QueryExpr,
+            map: &impl Fn(&ColumnRef) -> ColumnRef,
+            from: &str,
+            to: &str,
+        ) -> QueryExpr {
+            match q {
+                QueryExpr::Table { .. } => q.clone(),
+                QueryExpr::Select { input, predicate } => QueryExpr::Select {
+                    input: Box::new(go(input, map, from, to)),
+                    predicate: go_pred(predicate, map, from, to),
+                },
+                QueryExpr::Project { input, columns, distinct } => QueryExpr::Project {
+                    input: Box::new(go(input, map, from, to)),
+                    columns: columns.iter().map(map).collect(),
+                    distinct: *distinct,
+                },
+                QueryExpr::AggProject { input, agg } => QueryExpr::AggProject {
+                    input: Box::new(go(input, map, from, to)),
+                    agg: NamedAgg {
+                        func: agg.func,
+                        input: agg.input.as_ref().map(|e| e.map_columns(map)),
+                        output: agg.output.clone(),
+                    },
+                },
+                QueryExpr::Join { left, right, on } => QueryExpr::Join {
+                    left: Box::new(go(left, map, from, to)),
+                    right: Box::new(go(right, map, from, to)),
+                    on: on.map_columns(map),
+                },
+                QueryExpr::GroupBy { input, keys, aggs } => QueryExpr::GroupBy {
+                    input: Box::new(go(input, map, from, to)),
+                    keys: keys.iter().map(map).collect(),
+                    aggs: aggs
+                        .iter()
+                        .map(|a| NamedAgg {
+                            func: a.func,
+                            input: a.input.as_ref().map(|e| e.map_columns(map)),
+                            output: a.output.clone(),
+                        })
+                        .collect(),
+                },
+                QueryExpr::OrderBy { input, keys } => QueryExpr::OrderBy {
+                    input: Box::new(go(input, map, from, to)),
+                    keys: keys.iter().map(|(c, asc)| (map(c), *asc)).collect(),
+                },
+                QueryExpr::Limit { input, n } => {
+                    QueryExpr::Limit { input: Box::new(go(input, map, from, to)), n: *n }
+                }
+            }
+        }
+        fn go_pred(
+            p: &NestedPredicate,
+            map: &impl Fn(&ColumnRef) -> ColumnRef,
+            from: &str,
+            to: &str,
+        ) -> NestedPredicate {
+            match p {
+                NestedPredicate::Atom(flat) => NestedPredicate::Atom(flat.map_columns(map)),
+                NestedPredicate::And(a, b) => NestedPredicate::And(
+                    Box::new(go_pred(a, map, from, to)),
+                    Box::new(go_pred(b, map, from, to)),
+                ),
+                NestedPredicate::Or(a, b) => NestedPredicate::Or(
+                    Box::new(go_pred(a, map, from, to)),
+                    Box::new(go_pred(b, map, from, to)),
+                ),
+                NestedPredicate::Not(inner) => {
+                    NestedPredicate::Not(Box::new(go_pred(inner, map, from, to)))
+                }
+                NestedPredicate::Subquery(s) => {
+                    let mut s2 = s.clone();
+                    match &mut s2 {
+                        SubqueryPred::Cmp { left, .. }
+                        | SubqueryPred::Quantified { left, .. }
+                        | SubqueryPred::In { left, .. } => *left = left.map_columns(map),
+                        SubqueryPred::Exists { .. } => {}
+                    }
+                    *s2.query_mut() = go(s.query(), map, from, to);
+                    NestedPredicate::Subquery(s2)
+                }
+            }
+        }
+        go(q, &map, from, to)
+    }
+
+    /// Cross-join `extra` into the source of the block at the root of `q`.
+    fn attach_source(q: QueryExpr, extra: QueryExpr) -> QueryExpr {
+        match q {
+            QueryExpr::Select { input, predicate } => QueryExpr::Select {
+                input: Box::new(attach_source(*input, extra)),
+                predicate,
+            },
+            QueryExpr::Project { input, columns, distinct } => QueryExpr::Project {
+                input: Box::new(attach_source(*input, extra)),
+                columns,
+                distinct,
+            },
+            QueryExpr::AggProject { input, agg } => QueryExpr::AggProject {
+                input: Box::new(attach_source(*input, extra)),
+                agg,
+            },
+            source => source.join(extra, Predicate::true_()),
+        }
+    }
+
+    /// Conjoin `pred` into the selection of the block at the root of `q`
+    /// (inserting a selection above the source if none exists).
+    fn add_selection(q: QueryExpr, pred: Predicate) -> QueryExpr {
+        match q {
+            QueryExpr::Project { input, columns, distinct } => QueryExpr::Project {
+                input: Box::new(add_selection(*input, pred)),
+                columns,
+                distinct,
+            },
+            QueryExpr::AggProject { input, agg } => QueryExpr::AggProject {
+                input: Box::new(add_selection(*input, pred)),
+                agg,
+            },
+            QueryExpr::Select { input, predicate } => QueryExpr::Select {
+                input,
+                predicate: predicate.and(NestedPredicate::Atom(pred)),
+            },
+            source => source.select_flat(pred),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmdj_algebra::ast::{exists, not_exists};
+    use std::collections::HashMap;
+
+    struct FakeSchemas(HashMap<&'static str, Vec<&'static str>>);
+
+    impl SchemaInfo for FakeSchemas {
+        fn table_columns(&self, table: &str) -> Result<Vec<String>> {
+            self.0
+                .get(table)
+                .map(|v| v.iter().map(|s| s.to_string()).collect())
+                .ok_or_else(|| Error::UnknownTable { name: table.to_string() })
+        }
+    }
+
+    fn schemas() -> FakeSchemas {
+        let mut m = HashMap::new();
+        m.insert("Flow", vec!["SourceIP", "DestIP", "StartTime", "NumBytes", "Protocol"]);
+        m.insert("Hours", vec!["HourDsc", "StartInterval", "EndInterval"]);
+        m.insert("User", vec!["Name", "IPAddress"]);
+        FakeSchemas(m)
+    }
+
+    /// Example 2.2's base table B: EXISTS over a correlated flow selection.
+    fn example_2_2_base() -> QueryExpr {
+        let inner = QueryExpr::table("Flow", "FI").select_flat(
+            col("FI.DestIP")
+                .eq(lit("167.167.167.0"))
+                .and(col("FI.StartTime").ge(col("H.StartInterval")))
+                .and(col("FI.StartTime").lt(col("H.EndInterval"))),
+        );
+        QueryExpr::table("Hours", "H").select(exists(inner))
+    }
+
+    #[test]
+    fn example_3_1_translation_shape() {
+        let plan = subquery_to_gmdj(&example_2_2_base(), &schemas()).unwrap();
+        // σ[cnt > 0](MD(Hours→H, Flow→FI, count(*)→cnt, θS)), counts dropped.
+        assert_eq!(plan.gmdj_count(), 1);
+        assert_eq!(plan.join_count(), 0);
+        let GmdjExpr::DropComputed { input, names } = &plan else {
+            panic!("expected DropComputed at root, got:\n{plan}")
+        };
+        assert_eq!(names.len(), 1);
+        let GmdjExpr::Select { input, predicate } = input.as_ref() else {
+            panic!("expected Select")
+        };
+        assert_eq!(predicate.to_string(), format!("{} > 0", names[0]));
+        let GmdjExpr::Gmdj { base, detail, spec } = input.as_ref() else {
+            panic!("expected Gmdj")
+        };
+        assert_eq!(**base, GmdjExpr::table("Hours", "H"));
+        assert_eq!(**detail, GmdjExpr::table("Flow", "FI"));
+        assert_eq!(spec.blocks.len(), 1);
+        assert_eq!(spec.blocks[0].aggs[0].func, gmdj_relation::agg::AggFunc::CountStar);
+    }
+
+    /// Example 2.3 / 3.2: three same-level EXISTS subqueries become a
+    /// chain of three GMDJs (before coalescing).
+    #[test]
+    fn example_3_2_same_level_subqueries_chain() {
+        let flow_sel = |q: &str, ip: &str| {
+            QueryExpr::table("Flow", q).select_flat(
+                col("F0.SourceIP")
+                    .eq(col(&format!("{q}.SourceIP")))
+                    .and(col(&format!("{q}.DestIP")).eq(lit(ip))),
+            )
+        };
+        let base = QueryExpr::table("Flow", "F0")
+            .project_distinct(vec![ColumnRef::parse("F0.SourceIP")])
+            .select(
+                not_exists(flow_sel("F1", "167.167.167.0"))
+                    .and(exists(flow_sel("F2", "168.168.168.0")))
+                    .and(not_exists(flow_sel("F3", "169.169.169.0"))),
+            );
+        let plan = subquery_to_gmdj(&base, &schemas()).unwrap();
+        assert_eq!(plan.gmdj_count(), 3);
+        assert_eq!(plan.join_count(), 0);
+        // Selection is cnt1 = 0 ∧ cnt2 > 0 ∧ cnt3 = 0 over the chain.
+        let text = plan.explain();
+        assert!(text.contains("= 0"), "{text}");
+        assert!(text.contains("> 0"), "{text}");
+    }
+
+    /// Example 3.3/3.4: the double NOT EXISTS with a non-neighboring
+    /// predicate needs exactly one supplementary join.
+    fn example_3_3() -> QueryExpr {
+        let theta_f = col("F.StartTime")
+            .ge(col("H.StartInterval"))
+            .and(col("F.StartTime").lt(col("H.EndInterval")))
+            .and(col("F.SourceIP").eq(col("U.IPAddress")));
+        let inner_flow = QueryExpr::table("Flow", "F").select_flat(theta_f);
+        let theta_h = col("H.StartInterval").gt(lit(0));
+        let hours = QueryExpr::table("Hours", "H").select(
+            NestedPredicate::Atom(theta_h).and(not_exists(inner_flow)),
+        );
+        QueryExpr::table("User", "U").select(not_exists(hours))
+    }
+
+    #[test]
+    fn example_3_4_pushdown_adds_single_join() {
+        let plan = subquery_to_gmdj(&example_3_3(), &schemas()).unwrap();
+        assert_eq!(plan.gmdj_count(), 2);
+        assert_eq!(plan.join_count(), 1);
+        let text = plan.explain();
+        // The pushed-down copy of User appears under a fresh qualifier.
+        assert!(text.contains("Scan User → U__pd"), "{text}");
+    }
+
+    #[test]
+    fn linear_nesting_inner_counts_join_theta() {
+        // σ[∃ σ[θ2 ∧ ∃σ[θ1](R1)](R2)](B): the inner count condition must
+        // appear in the outer GMDJ's θ, with the inner GMDJ as detail.
+        let inner = QueryExpr::table("R1", "R1")
+            .select_flat(col("R1.x").eq(col("R2.x")));
+        let mid = QueryExpr::table("R2", "R2").select(
+            NestedPredicate::Atom(col("R2.y").eq(col("B.y"))).and(exists(inner)),
+        );
+        let q = QueryExpr::table("B", "B").select(exists(mid));
+        let mut m = HashMap::new();
+        m.insert("R1", vec!["x"]);
+        m.insert("R2", vec!["x", "y"]);
+        m.insert("B", vec!["y"]);
+        let plan = subquery_to_gmdj(&q, &FakeSchemas(m)).unwrap();
+        assert_eq!(plan.gmdj_count(), 2);
+        let GmdjExpr::DropComputed { input, .. } = &plan else { panic!() };
+        let GmdjExpr::Select { input, .. } = input.as_ref() else { panic!() };
+        let GmdjExpr::Gmdj { detail, spec, .. } = input.as_ref() else { panic!() };
+        // Outer θ contains the inner count condition.
+        assert!(spec.blocks[0].theta.to_string().contains("__cnt"), "{}", spec.blocks[0].theta);
+        // Detail is itself a GMDJ (not filtered — Theorem 3.2 form).
+        assert!(matches!(detail.as_ref(), GmdjExpr::Gmdj { .. }));
+    }
+
+    #[test]
+    fn flat_queries_pass_through() {
+        let q = QueryExpr::table("Flow", "F").select_flat(col("F.NumBytes").gt(lit(100)));
+        let plan = subquery_to_gmdj(&q, &schemas()).unwrap();
+        assert_eq!(plan.gmdj_count(), 0);
+        assert!(matches!(plan, GmdjExpr::Select { .. }));
+    }
+
+    #[test]
+    fn aggregate_comparison_produces_agg_block() {
+        // B.x > π[max(R.y)]σ[θ](R)
+        let sub = QueryExpr::table("R", "R")
+            .select_flat(col("R.k").eq(col("B.k")))
+            .agg_project(NamedAgg::new(
+                gmdj_relation::agg::AggFunc::Max,
+                col("R.y"),
+                "m",
+            ));
+        let pred = NestedPredicate::Subquery(SubqueryPred::Cmp {
+            left: col("B.x"),
+            op: gmdj_relation::expr::CmpOp::Gt,
+            query: Box::new(sub),
+        });
+        let q = QueryExpr::table("B", "B").select(pred);
+        let mut m = HashMap::new();
+        m.insert("R", vec!["k", "y"]);
+        m.insert("B", vec!["k", "x"]);
+        let plan = subquery_to_gmdj(&q, &FakeSchemas(m)).unwrap();
+        let text = plan.explain();
+        assert!(text.contains("max"), "{text}");
+        assert!(text.contains("B.x > __agg"), "{text}");
+    }
+
+    #[test]
+    fn in_predicate_translates_via_some() {
+        let sub = QueryExpr::table("R", "R").project(vec![ColumnRef::parse("R.y")]);
+        let pred = NestedPredicate::Subquery(SubqueryPred::In {
+            left: col("B.x"),
+            query: Box::new(sub),
+            negated: false,
+        });
+        let q = QueryExpr::table("B", "B").select(pred);
+        let mut m = HashMap::new();
+        m.insert("R", vec!["y"]);
+        m.insert("B", vec!["x"]);
+        let plan = subquery_to_gmdj(&q, &FakeSchemas(m)).unwrap();
+        let text = plan.explain();
+        assert!(text.contains("B.x = R.y"), "{text}");
+        assert!(text.contains("> 0"), "{text}");
+    }
+}

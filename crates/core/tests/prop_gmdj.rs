@@ -1,0 +1,329 @@
+//! Property tests for the GMDJ evaluator and optimizer: every evaluation
+//! strategy variant (probe plans, partitioning, coalescing, completion)
+//! computes the same relation.
+
+use proptest::prelude::*;
+
+use gmdj_core::completion::derive_completion;
+use gmdj_core::eval::{
+    eval_gmdj, eval_gmdj_filtered, EvalStats, GmdjOptions, Keep, ProbeStrategy,
+};
+use gmdj_core::exec::{execute, ExecContext, MemoryCatalog};
+use gmdj_core::optimize::{optimize_with, OptFlags};
+use gmdj_core::plan::GmdjExpr;
+use gmdj_core::spec::{AggBlock, GmdjSpec};
+use gmdj_relation::agg::{AggFunc, NamedAgg};
+use gmdj_relation::expr::{col, lit, CmpOp, Predicate, ScalarExpr};
+use gmdj_relation::relation::Relation;
+use gmdj_relation::schema::{ColumnRef, DataType, Schema};
+use gmdj_relation::value::Value;
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        4 => (0i64..5).prop_map(Value::Int),
+        1 => Just(Value::Null),
+    ]
+}
+
+fn relation(qualifier: &'static str, max_rows: usize) -> impl Strategy<Value = Relation> {
+    let schema =
+        Schema::qualified(qualifier, &[("k", DataType::Int), ("v", DataType::Int)]);
+    proptest::collection::vec((value(), value()), 0..max_rows).prop_map(move |rows| {
+        Relation::from_parts(
+            schema.clone(),
+            rows.into_iter().map(|(k, v)| vec![k, v].into_boxed_slice()).collect(),
+        )
+    })
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// θ conditions of the shapes the translation produces: correlation
+/// equality, inequality correlation, band-ish comparisons, local filters.
+fn theta() -> impl Strategy<Value = Predicate> {
+    let conjunct = prop_oneof![
+        2 => Just(col("B.k").eq(col("R.k"))),
+        1 => (cmp_op()).prop_map(|op| {
+            ScalarExpr::Column(ColumnRef::qualified("B", "k")).cmp_with(op, col("R.k"))
+        }),
+        1 => (cmp_op(), 0i64..5).prop_map(|(op, c)| {
+            ScalarExpr::Column(ColumnRef::qualified("R", "v")).cmp_with(op, lit(c))
+        }),
+        1 => Just(col("R.v").ge(col("B.k")).and(col("R.v").lt(col("B.v")))),
+        1 => Just(Predicate::true_()),
+    ];
+    proptest::collection::vec(conjunct, 1..3).prop_map(Predicate::conjoin)
+}
+
+fn agg_func() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::CountStar),
+        Just(AggFunc::Count),
+        Just(AggFunc::CountDistinct),
+        Just(AggFunc::Sum),
+        Just(AggFunc::Min),
+        Just(AggFunc::Max),
+        Just(AggFunc::Avg),
+    ]
+}
+
+fn spec() -> impl Strategy<Value = GmdjSpec> {
+    proptest::collection::vec((theta(), agg_func()), 1..4).prop_map(|blocks| {
+        GmdjSpec::new(
+            blocks
+                .into_iter()
+                .enumerate()
+                .map(|(i, (t, f))| {
+                    let agg = if f == AggFunc::CountStar {
+                        NamedAgg::count_star(format!("a{i}"))
+                    } else {
+                        NamedAgg::new(f, col("R.v"), format!("a{i}"))
+                    };
+                    AggBlock::new(t, vec![agg])
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Probe plans are an optimization, never a semantics change: Auto
+    /// (hash/interval/scan) equals ForceScan.
+    #[test]
+    fn probe_plans_are_semantics_preserving(
+        b in relation("B", 10),
+        r in relation("R", 14),
+        s in spec(),
+    ) {
+        let mut st1 = EvalStats::default();
+        let mut st2 = EvalStats::default();
+        let auto = eval_gmdj(&b, &r, &s, &GmdjOptions::default(), &mut st1).unwrap();
+        let scan = eval_gmdj(
+            &b,
+            &r,
+            &s,
+            &GmdjOptions { probe: ProbeStrategy::ForceScan, partition_rows: None },
+            &mut st2,
+        )
+        .unwrap();
+        prop_assert!(auto.multiset_eq(&scan));
+    }
+
+    /// Memory-partitioned evaluation (k base tuples per detail scan)
+    /// equals the single-scan evaluation for every partition size.
+    #[test]
+    fn partitioning_is_semantics_preserving(
+        b in relation("B", 12),
+        r in relation("R", 12),
+        s in spec(),
+        partition in 1usize..6,
+    ) {
+        let mut st1 = EvalStats::default();
+        let mut st2 = EvalStats::default();
+        let single = eval_gmdj(&b, &r, &s, &GmdjOptions::default(), &mut st1).unwrap();
+        let parts = eval_gmdj(
+            &b,
+            &r,
+            &s,
+            &GmdjOptions { probe: ProbeStrategy::Auto, partition_rows: Some(partition) },
+            &mut st2,
+        )
+        .unwrap();
+        prop_assert!(single.multiset_eq(&parts));
+        // The partitioned run scans the detail once per partition.
+        let expected_partitions = if b.is_empty() { 1 } else { b.len().div_ceil(partition) };
+        prop_assert_eq!(st2.partitions as usize, expected_partitions);
+        prop_assert_eq!(st2.detail_scanned as usize, expected_partitions * r.len());
+    }
+
+    /// Section 6: range-partitioned parallel evaluation over the detail
+    /// relation equals the sequential single scan for any worker count.
+    #[test]
+    fn parallel_is_semantics_preserving(
+        b in relation("B", 10),
+        r in relation("R", 16),
+        s in spec(),
+        threads in 1usize..5,
+    ) {
+        let mut st1 = EvalStats::default();
+        let mut st2 = EvalStats::default();
+        let sequential = eval_gmdj(&b, &r, &s, &GmdjOptions::default(), &mut st1).unwrap();
+        let parallel = gmdj_core::eval::eval_gmdj_parallel(
+            &b, &r, &s, threads, &GmdjOptions::default(), &mut st2,
+        )
+        .unwrap();
+        prop_assert!(sequential.multiset_eq(&parallel));
+        prop_assert_eq!(st2.detail_scanned, r.len() as u64);
+    }
+
+    /// Proposition 4.1: a chain of GMDJs over the same detail table equals
+    /// the single coalesced GMDJ.
+    #[test]
+    fn coalescing_is_semantics_preserving(
+        b in relation("B", 10),
+        r in relation("R", 12),
+        s1 in spec(),
+        s2 in spec(),
+    ) {
+        // Rename the outputs of s2 to avoid collisions.
+        let s2 = GmdjSpec::new(
+            s2.blocks
+                .iter()
+                .enumerate()
+                .map(|(i, blk)| AggBlock::new(
+                    blk.theta.clone(),
+                    blk.aggs
+                        .iter()
+                        .map(|a| NamedAgg { func: a.func, input: a.input.clone(), output: format!("z{i}") })
+                        .collect(),
+                ))
+                .collect(),
+        );
+        let mut st = EvalStats::default();
+        let opts = GmdjOptions::default();
+        // Chained.
+        let step1 = eval_gmdj(&b, &r, &s1, &opts, &mut st).unwrap();
+        let chained = eval_gmdj(&step1, &r, &s2, &opts, &mut st).unwrap();
+        // Coalesced.
+        let merged = s1.extended_with(&s2);
+        let coalesced = eval_gmdj(&b, &r, &merged, &opts, &mut st).unwrap();
+        prop_assert!(chained.multiset_eq(&coalesced));
+    }
+
+    /// Base-tuple completion never changes the answer of a filtered GMDJ
+    /// — for the count-selection shapes the translation produces.
+    #[test]
+    fn completion_is_semantics_preserving(
+        b in relation("B", 10),
+        r in relation("R", 14),
+        t1 in theta(),
+        t2 in theta(),
+        sel_kind in 0usize..4,
+    ) {
+        let s = GmdjSpec::new(vec![
+            AggBlock::count(t1.clone(), "c1"),
+            AggBlock::count(t1.and(t2), "c2"),
+        ]);
+        // Count-selection shapes: exists / not-exists / conjunction / ALL
+        // pair (c2's range ⊆ c1's range by construction).
+        let sel = match sel_kind {
+            0 => col("c1").gt(lit(0)),
+            1 => col("c1").eq(lit(0)),
+            2 => col("c1").gt(lit(0)).and(col("c2").eq(lit(0))),
+            _ => col("c2").eq(col("c1")),
+        };
+        let plan = derive_completion(&sel, &s, true);
+        let opts = GmdjOptions::default();
+        let mut st1 = EvalStats::default();
+        let mut st2 = EvalStats::default();
+        let with = eval_gmdj_filtered(
+            &b, &r, &s, Some(&sel), Keep::BaseOnly, plan.as_ref(), &opts, &mut st1,
+        )
+        .unwrap();
+        let without = eval_gmdj_filtered(
+            &b, &r, &s, Some(&sel), Keep::BaseOnly, None, &opts, &mut st2,
+        )
+        .unwrap();
+        prop_assert!(with.multiset_eq(&without));
+        // And under ForceScan, where completion actually prunes the scan.
+        let scan_opts =
+            GmdjOptions { probe: ProbeStrategy::ForceScan, partition_rows: None };
+        let mut st3 = EvalStats::default();
+        let scanned = eval_gmdj_filtered(
+            &b, &r, &s, Some(&sel), Keep::BaseOnly, plan.as_ref(), &scan_opts, &mut st3,
+        )
+        .unwrap();
+        prop_assert!(scanned.multiset_eq(&without));
+        // And combined with memory partitioning (completion state is
+        // per-partition).
+        let part_opts =
+            GmdjOptions { probe: ProbeStrategy::Auto, partition_rows: Some(3) };
+        let mut st4 = EvalStats::default();
+        let partitioned = eval_gmdj_filtered(
+            &b, &r, &s, Some(&sel), Keep::BaseOnly, plan.as_ref(), &part_opts, &mut st4,
+        )
+        .unwrap();
+        prop_assert!(partitioned.multiset_eq(&without));
+    }
+
+    /// The whole optimizer is semantics-preserving on random GMDJ
+    /// expressions of the translation's shape.
+    #[test]
+    fn optimizer_is_semantics_preserving(
+        b in relation("B", 8),
+        r in relation("R", 12),
+        t1 in theta(),
+        t2 in theta(),
+        zero1 in proptest::bool::ANY,
+        zero2 in proptest::bool::ANY,
+    ) {
+        let catalog = MemoryCatalog::new().with("B", b).with("R", r);
+        let mk_sel = |name: &str, zero: bool| {
+            if zero { col(name).eq(lit(0)) } else { col(name).gt(lit(0)) }
+        };
+        let expr = GmdjExpr::DropComputed {
+            input: Box::new(
+                GmdjExpr::table("B", "B")
+                    .gmdj(
+                        GmdjExpr::table("R", "R"),
+                        GmdjSpec::new(vec![AggBlock::count(t1, "c1")]),
+                    )
+                    .gmdj(
+                        GmdjExpr::table("R", "R"),
+                        GmdjSpec::new(vec![AggBlock::count(t2, "c2")]),
+                    )
+                    .select(mk_sel("c1", zero1).and(mk_sel("c2", zero2))),
+            ),
+            names: vec!["c1".into(), "c2".into()],
+        };
+        let mut ctx1 = ExecContext::new();
+        let baseline = execute(&expr, &catalog, &mut ctx1).unwrap();
+        for flags in [
+            OptFlags { hoist: true, coalesce: false, completion: false },
+            OptFlags { hoist: true, coalesce: true, completion: false },
+            OptFlags { hoist: true, coalesce: true, completion: true },
+            OptFlags { hoist: false, coalesce: false, completion: true },
+        ] {
+            let optimized = optimize_with(&expr, &flags);
+            let mut ctx2 = ExecContext::new();
+            let got = execute(&optimized, &catalog, &mut ctx2).unwrap();
+            prop_assert!(
+                baseline.multiset_eq(&got),
+                "flags {flags:?} changed semantics:\n{expr}\n→\n{optimized}"
+            );
+        }
+    }
+
+    /// Keep::All vs Keep::BaseOnly: the base-only output is the base
+    /// projection of the full output.
+    #[test]
+    fn keep_base_only_is_projection(
+        b in relation("B", 10),
+        r in relation("R", 12),
+        t in theta(),
+    ) {
+        let s = GmdjSpec::new(vec![AggBlock::count(t, "c1")]);
+        let sel = col("c1").gt(lit(0));
+        let opts = GmdjOptions::default();
+        let mut st = EvalStats::default();
+        let all = eval_gmdj_filtered(&b, &r, &s, Some(&sel), Keep::All, None, &opts, &mut st)
+            .unwrap();
+        let base_only = eval_gmdj_filtered(
+            &b, &r, &s, Some(&sel), Keep::BaseOnly, None, &opts, &mut st,
+        )
+        .unwrap();
+        let projected = gmdj_relation::ops::drop_columns(&all, &["c1"]).unwrap();
+        prop_assert!(projected.multiset_eq(&base_only));
+    }
+}

@@ -1,0 +1,23 @@
+//! # gmdj-datagen
+//!
+//! Deterministic data generation for the benchmark and example suites.
+//!
+//! The paper derived its test databases from the TPC(R) `dbgen` program
+//! (50–200 MB). `dbgen` itself is neither redistributable here nor
+//! necessary: the experiments are parameterized only by the outer/inner
+//! block cardinalities and the selectivities of the correlation
+//! predicates. [`tpcr`] generates the classic TPC-R schema (customer,
+//! orders, lineitem, part, supplier, nation) with seeded pseudo-random
+//! distributions, so every run of every figure is reproducible bit for
+//! bit.
+//!
+//! [`netflow`] generates the paper's motivating IP-flow warehouse
+//! (Flow, Hours, User — Section 2.3), and [`workloads`] assembles the
+//! exact catalog + query pairs for Figures 2–5 and the worked examples.
+
+pub mod netflow;
+pub mod tpcr;
+pub mod workloads;
+
+pub use netflow::{NetflowConfig, NetflowData};
+pub use tpcr::{TpcrConfig, TpcrData};

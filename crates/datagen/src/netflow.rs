@@ -1,0 +1,217 @@
+//! The paper's motivating IP-flow warehouse (Section 2.3).
+//!
+//! ```text
+//! Flow  (SourceIP, DestIP, StartTime, EndTime, Protocol, NumBytes, NumPkts)
+//! Hours (HourDsc, StartInterval, EndInterval)
+//! User  (Name, Dept, IPAddress)
+//! ```
+//!
+//! Hours is the time dimension; flows carry seconds-since-epoch-style
+//! integer timestamps that fall inside the covered window. A configurable
+//! set of "hot" destination IPs (167.167.167.0 etc. in the paper's
+//! examples) receives a fixed fraction of the traffic so the example
+//! queries have non-trivial answers.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gmdj_relation::relation::Relation;
+use gmdj_relation::schema::{DataType, Field, Schema};
+use gmdj_relation::value::Value;
+
+/// Configuration for the flow warehouse.
+#[derive(Debug, Clone)]
+pub struct NetflowConfig {
+    /// Number of one-hour buckets in the Hours dimension.
+    pub hours: usize,
+    /// Number of flow records.
+    pub flows: usize,
+    /// Number of user accounts (each owns one source IP).
+    pub users: usize,
+    /// Number of distinct source IPs (≥ users; the surplus are IPs with
+    /// no account, as in the introduction's example query).
+    pub source_ips: usize,
+    pub seed: u64,
+}
+
+impl NetflowConfig {
+    /// Small instance for tests and the quickstart example.
+    pub fn tiny(seed: u64) -> Self {
+        NetflowConfig { hours: 24, flows: 2_000, users: 20, source_ips: 30, seed }
+    }
+}
+
+/// The generated warehouse.
+#[derive(Debug, Clone)]
+pub struct NetflowData {
+    pub flow: Relation,
+    pub hours: Relation,
+    pub user: Relation,
+}
+
+/// The hot destination IPs used by Examples 2.2, 2.3 and 4.1.
+pub const HOT_DEST_IPS: [&str; 3] = ["167.167.167.0", "168.168.168.0", "169.169.169.0"];
+
+const PROTOCOLS: [(&str, u32); 4] = [("HTTP", 55), ("FTP", 20), ("SMTP", 15), ("DNS", 10)];
+
+fn ip(i: usize) -> String {
+    format!("10.0.{}.{}", (i / 250) % 250, i % 250 + 1)
+}
+
+impl NetflowData {
+    /// Generate a warehouse.
+    pub fn generate(cfg: &NetflowConfig) -> NetflowData {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let horizon = (cfg.hours as i64) * 3600;
+
+        let hours_schema = Schema::new(vec![
+            Field::new("Hours", "HourDsc", DataType::Int),
+            Field::new("Hours", "StartInterval", DataType::Int),
+            Field::new("Hours", "EndInterval", DataType::Int),
+        ]);
+        let hours_rows = (0..cfg.hours as i64)
+            .map(|h| {
+                vec![Value::Int(h + 1), Value::Int(h * 3600), Value::Int((h + 1) * 3600)]
+                    .into_boxed_slice()
+            })
+            .collect();
+        let hours = Relation::from_parts(hours_schema, hours_rows);
+
+        let user_schema = Schema::new(vec![
+            Field::new("User", "Name", DataType::Str),
+            Field::new("User", "Dept", DataType::Str),
+            Field::new("User", "IPAddress", DataType::Str),
+        ]);
+        let depts = ["research", "ops", "sales", "support"];
+        let user_rows = (0..cfg.users)
+            .map(|u| {
+                vec![
+                    Value::str(format!("user{u:04}")),
+                    Value::str(depts[u % depts.len()]),
+                    Value::str(ip(u)),
+                ]
+                .into_boxed_slice()
+            })
+            .collect();
+        let user = Relation::from_parts(user_schema, user_rows);
+
+        let flow_schema = Schema::new(vec![
+            Field::new("Flow", "SourceIP", DataType::Str),
+            Field::new("Flow", "DestIP", DataType::Str),
+            Field::new("Flow", "StartTime", DataType::Int),
+            Field::new("Flow", "EndTime", DataType::Int),
+            Field::new("Flow", "Protocol", DataType::Str),
+            Field::new("Flow", "NumBytes", DataType::Int),
+            Field::new("Flow", "NumPkts", DataType::Int),
+        ]);
+        let flow_rows = (0..cfg.flows)
+            .map(|_| {
+                let src = ip(rng.gen_range(0..cfg.source_ips.max(1)));
+                // ~6% of traffic goes to each hot destination.
+                let dest = if rng.gen_ratio(18, 100) {
+                    HOT_DEST_IPS[rng.gen_range(0..HOT_DEST_IPS.len())].to_string()
+                } else {
+                    ip(cfg.source_ips + rng.gen_range(0..1000))
+                };
+                let start = rng.gen_range(0..horizon.max(1));
+                let dur = rng.gen_range(1..300);
+                let proto = pick_protocol(&mut rng);
+                let pkts = rng.gen_range(1..2_000i64);
+                vec![
+                    Value::str(src),
+                    Value::str(dest),
+                    Value::Int(start),
+                    Value::Int((start + dur).min(horizon)),
+                    Value::str(proto),
+                    Value::Int(pkts * rng.gen_range(40..1500)),
+                    Value::Int(pkts),
+                ]
+                .into_boxed_slice()
+            })
+            .collect();
+        let flow = Relation::from_parts(flow_schema, flow_rows);
+
+        NetflowData { flow, hours, user }
+    }
+
+    /// Register the tables under the paper's names.
+    pub fn into_catalog(self) -> gmdj_core::exec::MemoryCatalog {
+        gmdj_core::exec::MemoryCatalog::new()
+            .with("Flow", self.flow)
+            .with("Hours", self.hours)
+            .with("User", self.user)
+    }
+}
+
+fn pick_protocol(rng: &mut SmallRng) -> &'static str {
+    let total: u32 = PROTOCOLS.iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen_range(0..total);
+    for (name, w) in PROTOCOLS {
+        if x < w {
+            return name;
+        }
+        x -= w;
+    }
+    PROTOCOLS[0].0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hours_partition_the_horizon() {
+        let d = NetflowData::generate(&NetflowConfig::tiny(1));
+        assert_eq!(d.hours.len(), 24);
+        let rows = d.hours.sorted_rows();
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row[1], Value::Int(i as i64 * 3600));
+            assert_eq!(row[2], Value::Int((i as i64 + 1) * 3600));
+        }
+    }
+
+    #[test]
+    fn flows_fall_inside_the_horizon() {
+        let cfg = NetflowConfig::tiny(2);
+        let d = NetflowData::generate(&cfg);
+        let horizon = cfg.hours as i64 * 3600;
+        for row in d.flow.rows() {
+            let t = row[2].as_i64().unwrap();
+            assert!((0..horizon).contains(&t));
+            assert!(row[3].as_i64().unwrap() >= t);
+        }
+    }
+
+    #[test]
+    fn hot_destinations_receive_traffic() {
+        let d = NetflowData::generate(&NetflowConfig::tiny(3));
+        for hot in HOT_DEST_IPS {
+            let n = d
+                .flow
+                .rows()
+                .iter()
+                .filter(|r| r[1].as_str() == Some(hot))
+                .count();
+            assert!(n > 0, "{hot} received no traffic");
+        }
+    }
+
+    #[test]
+    fn users_own_source_ips() {
+        let cfg = NetflowConfig::tiny(4);
+        let d = NetflowData::generate(&cfg);
+        assert_eq!(d.user.len(), cfg.users);
+        // Every user IP is a possible source IP.
+        let srcs: std::collections::HashSet<String> = (0..cfg.source_ips).map(ip).collect();
+        for row in d.user.rows() {
+            assert!(srcs.contains(row[2].as_str().unwrap()));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = NetflowData::generate(&NetflowConfig::tiny(9));
+        let b = NetflowData::generate(&NetflowConfig::tiny(9));
+        assert!(a.flow.multiset_eq(&b.flow));
+    }
+}

@@ -1,0 +1,336 @@
+//! One entry point over the evaluation strategies of Section 5.
+
+use std::time::{Duration, Instant};
+
+use gmdj_algebra::ast::QueryExpr;
+use gmdj_core::exec::{execute, ExecContext, TableProvider};
+use gmdj_core::eval::{EvalStats, GmdjOptions, ProbeStrategy};
+use gmdj_core::optimize::{optimize_with, OptFlags};
+use gmdj_core::translate::subquery_to_gmdj;
+use gmdj_relation::error::Result;
+use gmdj_relation::relation::Relation;
+
+use crate::reference::{self, RefOptions, RefStats};
+use crate::unnest::{self, UnnestOptions, UnnestStats};
+
+/// The strategies the benchmark harness compares. The first five are the
+/// paper's Section 5 contenders; the remainder are ablations of the GMDJ
+/// design choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Pure tuple-iteration semantics (naive nested loop, no index) — the
+    /// worst case the paper's "native" engine degrades to.
+    NaiveNestedLoop,
+    /// The paper's "native" engine: smart nested loop (early-exit
+    /// EXISTS/ALL) with indexes on correlation attributes.
+    NativeSmart,
+    /// Native without indexes (Figure 5's unindexed condition).
+    NativeSmartNoIndex,
+    /// Join/outer-join unnesting with hash joins (indexed).
+    JoinUnnest,
+    /// Join unnesting forced onto block-nested-loop joins (unindexed).
+    JoinUnnestNoIndex,
+    /// Algorithm SubqueryToGMDJ, executed as-is (no Section 4
+    /// optimizations).
+    GmdjBasic,
+    /// SubqueryToGMDJ + coalescing + base-tuple completion.
+    GmdjOptimized,
+    /// Ablation: optimized plan but probe indexes disabled (GMDJ without
+    /// its intrinsic indexing).
+    GmdjOptimizedNoProbeIndex,
+    /// Ablation: basic plan with probe indexes disabled.
+    GmdjBasicNoProbeIndex,
+    /// SubqueryToGMDJ + the Section 6 cost-based rewrite selection
+    /// ([`gmdj_core::cost::cost_based_optimize`]): every flag combination
+    /// is costed against catalog cardinalities and the cheapest plan runs.
+    GmdjCostBased,
+}
+
+impl Strategy {
+    /// All Section 5 contenders (no ablations).
+    pub fn paper_lineup() -> [Strategy; 6] {
+        [
+            Strategy::NaiveNestedLoop,
+            Strategy::NativeSmart,
+            Strategy::NativeSmartNoIndex,
+            Strategy::JoinUnnest,
+            Strategy::JoinUnnestNoIndex,
+            Strategy::GmdjOptimized,
+        ]
+    }
+
+    /// Short label for tables and charts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::NaiveNestedLoop => "naive-nl",
+            Strategy::NativeSmart => "native",
+            Strategy::NativeSmartNoIndex => "native-noidx",
+            Strategy::JoinUnnest => "unnest",
+            Strategy::JoinUnnestNoIndex => "unnest-noidx",
+            Strategy::GmdjBasic => "gmdj",
+            Strategy::GmdjOptimized => "gmdj-opt",
+            Strategy::GmdjOptimizedNoProbeIndex => "gmdj-opt-noidx",
+            Strategy::GmdjBasicNoProbeIndex => "gmdj-noidx",
+            Strategy::GmdjCostBased => "gmdj-cost",
+        }
+    }
+}
+
+/// Strategy-specific work counters.
+#[derive(Debug, Clone, Copy)]
+pub enum StrategyStats {
+    Reference(RefStats),
+    Unnest(UnnestStats),
+    Gmdj(EvalStats),
+}
+
+impl StrategyStats {
+    /// A single machine-independent work figure for shape comparisons.
+    pub fn work(&self) -> u64 {
+        match self {
+            StrategyStats::Reference(s) => s.work(),
+            StrategyStats::Unnest(s) => s.join_input_tuples + s.joins + s.aggregations,
+            StrategyStats::Gmdj(s) => s.work(),
+        }
+    }
+}
+
+/// Result of running a query under one strategy.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The query answer.
+    pub relation: Relation,
+    /// Wall-clock time of the run (excluding translation/compilation for
+    /// the GMDJ strategies, matching the paper's reporting of query
+    /// evaluation time).
+    pub wall: Duration,
+    /// Work counters.
+    pub stats: StrategyStats,
+}
+
+/// Run a nested query expression under a strategy.
+pub fn run(
+    query: &QueryExpr,
+    catalog: &dyn TableProvider,
+    strategy: Strategy,
+) -> Result<RunResult> {
+    match strategy {
+        Strategy::NaiveNestedLoop => {
+            run_reference(query, catalog, RefOptions { smart: false, indexed: false })
+        }
+        Strategy::NativeSmart => {
+            run_reference(query, catalog, RefOptions { smart: true, indexed: true })
+        }
+        Strategy::NativeSmartNoIndex => {
+            run_reference(query, catalog, RefOptions { smart: true, indexed: false })
+        }
+        Strategy::JoinUnnest => run_unnest(query, catalog, UnnestOptions { indexed: true }),
+        Strategy::JoinUnnestNoIndex => {
+            run_unnest(query, catalog, UnnestOptions { indexed: false })
+        }
+        Strategy::GmdjBasic => run_gmdj(query, catalog, false, ProbeStrategy::Auto),
+        Strategy::GmdjOptimized => run_gmdj(query, catalog, true, ProbeStrategy::Auto),
+        Strategy::GmdjOptimizedNoProbeIndex => {
+            run_gmdj(query, catalog, true, ProbeStrategy::ForceScan)
+        }
+        Strategy::GmdjBasicNoProbeIndex => {
+            run_gmdj(query, catalog, false, ProbeStrategy::ForceScan)
+        }
+        Strategy::GmdjCostBased => run_gmdj_cost_based(query, catalog),
+    }
+}
+
+fn run_gmdj_cost_based(
+    query: &QueryExpr,
+    catalog: &dyn TableProvider,
+) -> Result<RunResult> {
+    let plan = subquery_to_gmdj(query, catalog)?;
+    let (best, _estimate) = gmdj_core::cost::cost_based_optimize(&plan, catalog)?;
+    let mut ctx = ExecContext::with_opts(GmdjOptions {
+        probe: ProbeStrategy::Auto,
+        partition_rows: None,
+    });
+    let start = Instant::now();
+    let relation = execute(&best, catalog, &mut ctx)?;
+    Ok(RunResult { relation, wall: start.elapsed(), stats: StrategyStats::Gmdj(ctx.stats) })
+}
+
+fn run_reference(
+    query: &QueryExpr,
+    catalog: &dyn TableProvider,
+    opts: RefOptions,
+) -> Result<RunResult> {
+    let start = Instant::now();
+    let (relation, stats) = reference::eval(query, catalog, &opts)?;
+    Ok(RunResult { relation, wall: start.elapsed(), stats: StrategyStats::Reference(stats) })
+}
+
+fn run_unnest(
+    query: &QueryExpr,
+    catalog: &dyn TableProvider,
+    opts: UnnestOptions,
+) -> Result<RunResult> {
+    let start = Instant::now();
+    let (relation, stats) = unnest::eval(query, catalog, &opts)?;
+    Ok(RunResult { relation, wall: start.elapsed(), stats: StrategyStats::Unnest(stats) })
+}
+
+fn run_gmdj(
+    query: &QueryExpr,
+    catalog: &dyn TableProvider,
+    optimized: bool,
+    probe: ProbeStrategy,
+) -> Result<RunResult> {
+    let plan = subquery_to_gmdj(query, catalog)?;
+    let plan = if optimized {
+        optimize_with(&plan, &OptFlags::default())
+    } else {
+        plan
+    };
+    let mut ctx =
+        ExecContext::with_opts(GmdjOptions { probe, partition_rows: None });
+    let start = Instant::now();
+    let relation = execute(&plan, catalog, &mut ctx)?;
+    Ok(RunResult { relation, wall: start.elapsed(), stats: StrategyStats::Gmdj(ctx.stats) })
+}
+
+/// Translate + optimize and return the plan text — EXPLAIN for the GMDJ
+/// strategies.
+pub fn explain_gmdj(
+    query: &QueryExpr,
+    catalog: &dyn TableProvider,
+    optimized: bool,
+) -> Result<String> {
+    let plan = subquery_to_gmdj(query, catalog)?;
+    let plan = if optimized { gmdj_core::optimize::optimize(&plan) } else { plan };
+    Ok(plan.explain())
+}
+
+/// Run all given strategies and assert they produce the same multiset.
+/// Returns the per-strategy results. Panics on divergence — used by the
+/// integration and property tests.
+pub fn run_all_agree(
+    query: &QueryExpr,
+    catalog: &dyn TableProvider,
+    strategies: &[Strategy],
+) -> Result<Vec<(Strategy, RunResult)>> {
+    let mut out: Vec<(Strategy, RunResult)> = Vec::new();
+    for &s in strategies {
+        let r = run(query, catalog, s)?;
+        if let Some((s0, r0)) = out.first() {
+            assert!(
+                r0.relation.multiset_eq(&r.relation),
+                "strategy {:?} disagrees with {:?} on {query}\n{} rows vs {} rows\nfirst:\n{}\nsecond:\n{}",
+                s,
+                s0,
+                r.relation.len(),
+                r0.relation.len(),
+                r0.relation,
+                r.relation,
+            );
+        }
+        out.push((s, r));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmdj_algebra::ast::{exists, not_exists};
+    use gmdj_core::exec::MemoryCatalog;
+    use gmdj_relation::expr::{col, lit};
+    use gmdj_relation::relation::RelationBuilder;
+    use gmdj_relation::schema::DataType;
+    use gmdj_relation::value::Value;
+
+    fn catalog() -> MemoryCatalog {
+        let customers = RelationBuilder::new("C")
+            .column("id", DataType::Int)
+            .column("score", DataType::Int)
+            .row(vec![1.into(), 10.into()])
+            .row(vec![2.into(), 20.into()])
+            .row(vec![3.into(), 30.into()])
+            .row(vec![4.into(), Value::Null])
+            .build()
+            .unwrap();
+        let orders = RelationBuilder::new("O")
+            .column("cust", DataType::Int)
+            .column("total", DataType::Int)
+            .row(vec![1.into(), 100.into()])
+            .row(vec![1.into(), 50.into()])
+            .row(vec![3.into(), 75.into()])
+            .row(vec![Value::Null, 10.into()])
+            .build()
+            .unwrap();
+        MemoryCatalog::new().with("Customers", customers).with("Orders", orders)
+    }
+
+    fn all_strategies() -> Vec<Strategy> {
+        vec![
+            Strategy::NaiveNestedLoop,
+            Strategy::NativeSmart,
+            Strategy::NativeSmartNoIndex,
+            Strategy::JoinUnnest,
+            Strategy::JoinUnnestNoIndex,
+            Strategy::GmdjBasic,
+            Strategy::GmdjOptimized,
+            Strategy::GmdjOptimizedNoProbeIndex,
+            Strategy::GmdjBasicNoProbeIndex,
+        ]
+    }
+
+    #[test]
+    fn all_strategies_agree_on_exists() {
+        let sub = QueryExpr::table("Orders", "O")
+            .select_flat(col("O.cust").eq(col("C.id")));
+        let q = QueryExpr::table("Customers", "C").select(exists(sub));
+        let results = run_all_agree(&q, &catalog(), &all_strategies()).unwrap();
+        assert_eq!(results[0].1.relation.len(), 2);
+    }
+
+    #[test]
+    fn all_strategies_agree_on_mixed_conjunction() {
+        let has = QueryExpr::table("Orders", "O1")
+            .select_flat(col("O1.cust").eq(col("C.id")));
+        let none_big = QueryExpr::table("Orders", "O2")
+            .select_flat(col("O2.cust").eq(col("C.id")).and(col("O2.total").gt(lit(80))));
+        let q = QueryExpr::table("Customers", "C").select(
+            exists(has)
+                .and(not_exists(none_big))
+                .and(gmdj_algebra::ast::NestedPredicate::Atom(col("C.id").gt(lit(0)))),
+        );
+        run_all_agree(&q, &catalog(), &all_strategies()).unwrap();
+    }
+
+    #[test]
+    fn cost_based_strategy_agrees_and_coalesces() {
+        let a = QueryExpr::table("Orders", "O1")
+            .select_flat(col("O1.cust").eq(col("C.id")));
+        let b = QueryExpr::table("Orders", "O2")
+            .select_flat(col("O2.cust").eq(col("C.id")).and(col("O2.total").gt(lit(80))));
+        let q = QueryExpr::table("Customers", "C").select(exists(a).and(exists(b)));
+        let results = run_all_agree(
+            &q,
+            &catalog(),
+            &[Strategy::NaiveNestedLoop, Strategy::GmdjCostBased, Strategy::GmdjOptimized],
+        )
+        .unwrap();
+        assert!(!results[0].1.relation.is_empty());
+    }
+
+    #[test]
+    fn explain_shows_optimization() {
+        let a = QueryExpr::table("Orders", "O1")
+            .select_flat(col("O1.cust").eq(col("C.id")));
+        let b = QueryExpr::table("Orders", "O2")
+            .select_flat(col("O2.cust").eq(col("C.id")).and(col("O2.total").gt(lit(80))));
+        let q = QueryExpr::table("Customers", "C").select(exists(a).and(not_exists(b)));
+        let basic = explain_gmdj(&q, &catalog(), false).unwrap();
+        let optimized = explain_gmdj(&q, &catalog(), true).unwrap();
+        assert!(basic.matches("GMDJ").count() >= 2);
+        assert!(optimized.contains("FilteredGMDJ"));
+        assert!(optimized.matches("blocks").count() < basic.matches("blocks").count()
+            || optimized.contains("(2 blocks)"));
+    }
+}

@@ -1,0 +1,366 @@
+//! CSV import/export for relations.
+//!
+//! A minimal RFC-4180-style reader/writer (quoted fields, doubled-quote
+//! escapes, CRLF tolerance) so generated datasets and query results can
+//! leave and re-enter the engine. NULL is represented by the empty
+//! unquoted field; the quoted empty string `""` is the empty string.
+
+use std::io::{BufRead, Write};
+
+use crate::error::{Error, Result};
+use crate::relation::{Relation, Tuple};
+use crate::schema::{DataType, Field, Schema};
+use crate::value::Value;
+
+/// Write a relation as CSV, header first (qualified column names).
+pub fn write_csv(relation: &Relation, out: &mut dyn Write) -> Result<()> {
+    let io_err = |e: std::io::Error| Error::invalid(format!("csv write: {e}"));
+    let header: Vec<String> = relation
+        .schema()
+        .qualified_names()
+        .iter()
+        .map(|n| escape(n))
+        .collect();
+    writeln!(out, "{}", header.join(",")).map_err(io_err)?;
+    for row in relation.rows() {
+        let line: Vec<String> = row.iter().map(render_value).collect();
+        writeln!(out, "{}", line.join(",")).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Null => String::new(),
+        Value::Str(s) => escape(s),
+        other => other.to_string(),
+    }
+}
+
+fn escape(s: &str) -> String {
+    if s.is_empty() || s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Read CSV against a known schema. The header row is validated against
+/// the schema's column *names* (qualifiers are taken from the schema —
+/// files written by [`write_csv`] round-trip).
+pub fn read_csv(input: &mut dyn BufRead, schema: std::sync::Arc<Schema>) -> Result<Relation> {
+    let mut lines = CsvRecords::new(input);
+    let Some(header) = lines.next_record()? else {
+        return Ok(Relation::empty(schema));
+    };
+    if header.len() != schema.len() {
+        return Err(Error::ArityMismatch { expected: schema.len(), actual: header.len() });
+    }
+    for (cell, field) in header.iter().zip(schema.fields()) {
+        let name = cell.as_deref().unwrap_or("");
+        if name != field.qualified_name() && name != field.name {
+            return Err(Error::invalid(format!(
+                "csv header `{name}` does not match column `{}`",
+                field.qualified_name()
+            )));
+        }
+    }
+    let mut rows: Vec<Tuple> = Vec::new();
+    while let Some(record) = lines.next_record()? {
+        if record.len() != schema.len() {
+            return Err(Error::ArityMismatch { expected: schema.len(), actual: record.len() });
+        }
+        let row: Vec<Value> = record
+            .into_iter()
+            .zip(schema.fields())
+            .map(|(cell, field)| parse_cell(cell, field))
+            .collect::<Result<_>>()?;
+        rows.push(row.into_boxed_slice());
+    }
+    Ok(Relation::from_parts(schema, rows))
+}
+
+/// Read CSV inferring the schema: a column is `Int` if every non-NULL
+/// value parses as i64, else `Float` if every value parses as f64, else
+/// `Str`. Header names may be qualified (`F.StartTime`) or bare.
+pub fn read_csv_infer(input: &mut dyn BufRead, default_qualifier: &str) -> Result<Relation> {
+    let mut records = CsvRecords::new(input);
+    let Some(header) = records.next_record()? else {
+        return Ok(Relation::empty(Schema::empty()));
+    };
+    let mut raw_rows: Vec<Vec<Option<String>>> = Vec::new();
+    while let Some(r) = records.next_record()? {
+        if r.len() != header.len() {
+            return Err(Error::ArityMismatch { expected: header.len(), actual: r.len() });
+        }
+        raw_rows.push(r);
+    }
+    // Infer per column. Only digit-leading text counts as numeric: `nan`,
+    // `inf` and friends parse as f64 but are almost always labels.
+    let looks_numeric = |cell: &str| {
+        let rest = cell.strip_prefix(['-', '+']).unwrap_or(cell);
+        rest.starts_with(|c: char| c.is_ascii_digit())
+    };
+    let mut types = vec![DataType::Int; header.len()];
+    for (c, t) in types.iter_mut().enumerate() {
+        let mut ty = DataType::Int;
+        for row in &raw_rows {
+            let Some(cell) = &row[c] else { continue };
+            if ty == DataType::Int && (!looks_numeric(cell) || cell.parse::<i64>().is_err()) {
+                ty = DataType::Float;
+            }
+            if ty == DataType::Float
+                && (!looks_numeric(cell) || cell.parse::<f64>().is_err())
+            {
+                ty = DataType::Str;
+                break;
+            }
+        }
+        *t = ty;
+    }
+    let fields: Vec<Field> = header
+        .iter()
+        .zip(&types)
+        .map(|(h, t)| {
+            let name = h.as_deref().unwrap_or("");
+            match name.split_once('.') {
+                Some((q, n)) => Field::new(q, n, *t),
+                None => Field::new(default_qualifier, name, *t),
+            }
+        })
+        .collect();
+    let schema = Schema::new(fields);
+    let rows: Vec<Tuple> = raw_rows
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .zip(schema.fields())
+                .map(|(cell, field)| parse_cell(cell, field))
+                .collect::<Result<Vec<Value>>>()
+                .map(Vec::into_boxed_slice)
+        })
+        .collect::<Result<_>>()?;
+    Ok(Relation::from_parts(schema, rows))
+}
+
+fn parse_cell(cell: Option<String>, field: &Field) -> Result<Value> {
+    let Some(text) = cell else { return Ok(Value::Null) };
+    match field.data_type {
+        DataType::Int => text
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| bad_cell(&text, field)),
+        DataType::Float => text
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| bad_cell(&text, field)),
+        DataType::Bool => match text.as_str() {
+            "true" | "TRUE" | "1" => Ok(Value::Bool(true)),
+            "false" | "FALSE" | "0" => Ok(Value::Bool(false)),
+            _ => Err(bad_cell(&text, field)),
+        },
+        DataType::Str => Ok(Value::from(text)),
+    }
+}
+
+fn bad_cell(text: &str, field: &Field) -> Error {
+    Error::invalid(format!(
+        "cannot parse `{text}` as {} for column {}",
+        field.data_type,
+        field.qualified_name()
+    ))
+}
+
+/// Streaming record reader. A record cell is `None` for the unquoted
+/// empty field (NULL) and `Some` otherwise.
+struct CsvRecords<'a> {
+    input: &'a mut dyn BufRead,
+    buf: String,
+}
+
+impl<'a> CsvRecords<'a> {
+    fn new(input: &'a mut dyn BufRead) -> Self {
+        CsvRecords { input, buf: String::new() }
+    }
+
+    fn next_record(&mut self) -> Result<Option<Vec<Option<String>>>> {
+        self.buf.clear();
+        let n = self
+            .input
+            .read_line(&mut self.buf)
+            .map_err(|e| Error::invalid(format!("csv read: {e}")))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        // A quoted field may contain raw newlines: keep reading lines
+        // until the quotes balance.
+        while self.buf.bytes().filter(|&b| b == b'"').count() % 2 == 1 {
+            let more = self
+                .input
+                .read_line(&mut self.buf)
+                .map_err(|e| Error::invalid(format!("csv read: {e}")))?;
+            if more == 0 {
+                return Err(Error::invalid("unterminated quoted field at end of file"));
+            }
+        }
+        let line = self.buf.trim_end_matches(['\n', '\r']);
+        Ok(Some(parse_record(line)?))
+    }
+}
+
+fn parse_record(line: &str) -> Result<Vec<Option<String>>> {
+    let bytes = line.as_bytes();
+    let mut cells = Vec::new();
+    let mut i = 0;
+    loop {
+        if i < bytes.len() && bytes[i] == b'"' {
+            // Quoted field.
+            let mut s = String::new();
+            i += 1;
+            loop {
+                if i >= bytes.len() {
+                    return Err(Error::invalid("unterminated quoted field"));
+                }
+                if bytes[i] == b'"' {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+                        s.push('"');
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                s.push(bytes[i] as char);
+                i += 1;
+            }
+            cells.push(Some(s));
+        } else {
+            // Unquoted field up to the next comma.
+            let start = i;
+            while i < bytes.len() && bytes[i] != b',' {
+                i += 1;
+            }
+            let text = &line[start..i];
+            cells.push(if text.is_empty() { None } else { Some(text.to_string()) });
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        if bytes[i] != b',' {
+            return Err(Error::invalid(format!("expected `,` at byte {i} of `{line}`")));
+        }
+        i += 1;
+        if i == bytes.len() {
+            cells.push(None); // trailing comma = trailing NULL field
+            break;
+        }
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use std::io::BufReader;
+
+    fn sample() -> Relation {
+        RelationBuilder::new("T")
+            .column("k", DataType::Int)
+            .column("name", DataType::Str)
+            .column("score", DataType::Float)
+            .row(vec![1.into(), "plain".into(), 1.5.into()])
+            .row(vec![2.into(), "with, comma".into(), Value::Null])
+            .row(vec![Value::Null, "say \"hi\"".into(), 2.0.into()])
+            .row(vec![4.into(), "".into(), 0.25.into()])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_with_schema() {
+        let rel = sample();
+        let mut buf = Vec::new();
+        write_csv(&rel, &mut buf).unwrap();
+        let mut reader = BufReader::new(buf.as_slice());
+        let back = read_csv(&mut reader, rel.schema().clone()).unwrap();
+        assert!(rel.multiset_eq(&back), "{rel}\nvs\n{back}");
+    }
+
+    #[test]
+    fn roundtrip_with_inference() {
+        let rel = sample();
+        let mut buf = Vec::new();
+        write_csv(&rel, &mut buf).unwrap();
+        let mut reader = BufReader::new(buf.as_slice());
+        let back = read_csv_infer(&mut reader, "T").unwrap();
+        assert!(rel.multiset_eq(&back));
+        assert_eq!(back.schema().field(0).data_type, DataType::Int);
+        assert_eq!(back.schema().field(1).data_type, DataType::Str);
+        assert_eq!(back.schema().field(2).data_type, DataType::Float);
+        assert_eq!(back.schema().field(0).qualifier, "T");
+    }
+
+    #[test]
+    fn null_vs_empty_string() {
+        let text = "T.a,T.b\n,\"\"\n";
+        let mut reader = BufReader::new(text.as_bytes());
+        let rel = read_csv_infer(&mut reader, "T").unwrap();
+        assert!(rel.rows()[0][0].is_null());
+        assert_eq!(rel.rows()[0][1], Value::str(""));
+    }
+
+    #[test]
+    fn embedded_newline_in_quoted_field() {
+        let text = "a\n\"line1\nline2\"\n";
+        let mut reader = BufReader::new(text.as_bytes());
+        let rel = read_csv_infer(&mut reader, "T").unwrap();
+        assert_eq!(rel.rows()[0][0], Value::str("line1\nline2"));
+    }
+
+    #[test]
+    fn header_mismatch_is_rejected() {
+        let schema = Schema::qualified("T", &[("x", DataType::Int)]);
+        let mut reader = BufReader::new("wrong\n1\n".as_bytes());
+        assert!(read_csv(&mut reader, schema).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let schema = Schema::qualified("T", &[("x", DataType::Int)]);
+        let mut reader = BufReader::new("x\n1,2\n".as_bytes());
+        assert!(read_csv(&mut reader, schema).is_err());
+    }
+
+    #[test]
+    fn bad_typed_cell_is_rejected() {
+        let schema = Schema::qualified("T", &[("x", DataType::Int)]);
+        let mut reader = BufReader::new("x\nnope\n".as_bytes());
+        assert!(read_csv(&mut reader, schema).is_err());
+    }
+
+    #[test]
+    fn empty_file_yields_empty_relation() {
+        let schema = Schema::qualified("T", &[("x", DataType::Int)]);
+        let mut reader = BufReader::new("".as_bytes());
+        let rel = read_csv(&mut reader, schema).unwrap();
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn trailing_comma_is_trailing_null() {
+        let text = "a,b\n1,\n";
+        let mut reader = BufReader::new(text.as_bytes());
+        let rel = read_csv_infer(&mut reader, "T").unwrap();
+        assert_eq!(rel.rows()[0][0], Value::Int(1));
+        assert!(rel.rows()[0][1].is_null());
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let text = "a,b\r\n1,2\r\n";
+        let mut reader = BufReader::new(text.as_bytes());
+        let rel = read_csv_infer(&mut reader, "T").unwrap();
+        assert_eq!(rel.rows()[0][1], Value::Int(2));
+    }
+}

@@ -1,0 +1,68 @@
+//! Error handling for the relational substrate.
+
+use std::fmt;
+
+/// Result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by schema resolution, expression binding, and operator
+/// evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An attribute reference did not resolve against the schemas in scope.
+    UnknownColumn {
+        /// The reference as written (possibly qualified).
+        name: String,
+        /// The columns that were in scope, for diagnostics.
+        in_scope: Vec<String>,
+    },
+    /// An unqualified attribute reference resolved to more than one column.
+    AmbiguousColumn { name: String, candidates: Vec<String> },
+    /// Two schemas produced a duplicate qualified attribute name.
+    DuplicateColumn { name: String },
+    /// A scalar operation was applied to incompatible run-time types.
+    TypeMismatch { context: String, left: String, right: String },
+    /// A scalar subquery (or scalar-producing operator) returned more than
+    /// one row where exactly one was required.
+    CardinalityViolation { context: String, rows: usize },
+    /// Schema arity did not match tuple arity when constructing a relation.
+    ArityMismatch { expected: usize, actual: usize },
+    /// A catalog lookup failed.
+    UnknownTable { name: String },
+    /// Anything else: malformed plan, unsupported construct, etc.
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownColumn { name, in_scope } => {
+                write!(f, "unknown column `{name}`; in scope: {}", in_scope.join(", "))
+            }
+            Error::AmbiguousColumn { name, candidates } => {
+                write!(f, "ambiguous column `{name}`; candidates: {}", candidates.join(", "))
+            }
+            Error::DuplicateColumn { name } => write!(f, "duplicate column name `{name}`"),
+            Error::TypeMismatch { context, left, right } => {
+                write!(f, "type mismatch in {context}: {left} vs {right}")
+            }
+            Error::CardinalityViolation { context, rows } => {
+                write!(f, "scalar expression in {context} produced {rows} rows (expected at most 1)")
+            }
+            Error::ArityMismatch { expected, actual } => {
+                write!(f, "tuple arity {actual} does not match schema arity {expected}")
+            }
+            Error::UnknownTable { name } => write!(f, "unknown table `{name}`"),
+            Error::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Convenience constructor for [`Error::Invalid`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        Error::Invalid(msg.into())
+    }
+}

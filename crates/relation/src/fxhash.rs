@@ -1,0 +1,105 @@
+//! A fast, non-cryptographic hasher for hot hash maps.
+//!
+//! The default std hasher (SipHash 1-3) is robust but slow for the short
+//! integer-dominated keys this engine hashes billions of times in the
+//! benchmark sweeps. This is the well-known Fx algorithm (as used by rustc)
+//! implemented locally to avoid an extra dependency; HashDoS resistance is
+//! irrelevant for a benchmark engine over generated data.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with the Fx hasher.
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fx: multiply-and-rotate word-at-a-time hashing.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+            self.add_to_hash(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinguishes_values() {
+        fn h(x: u64) -> u64 {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(x);
+            hasher.finish()
+        }
+        assert_ne!(h(0), h(1));
+        assert_ne!(h(1), h(2));
+        assert_eq!(h(42), h(42));
+    }
+
+    #[test]
+    fn byte_streams_with_different_lengths_differ() {
+        fn h(b: &[u8]) -> u64 {
+            let mut hasher = FxHasher::default();
+            hasher.write(b);
+            hasher.finish()
+        }
+        assert_ne!(h(b"ab"), h(b"ab\0"));
+        assert_eq!(h(b"hello"), h(b"hello"));
+    }
+
+    #[test]
+    fn usable_as_map() {
+        let mut m: FxHashMap<i64, i64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m[&500], 1000);
+        assert_eq!(m.len(), 1000);
+    }
+}

@@ -1,0 +1,235 @@
+//! Probe-side indexes used by hash joins and the GMDJ evaluator.
+//!
+//! The GMDJ evaluation strategy in the paper keeps the base-values relation
+//! in memory and streams the detail relation past it; per detail tuple it
+//! must find the base tuples whose θ-condition can match. Two access paths
+//! cover the conditions that occur in practice:
+//!
+//! * [`HashIndex`] — equality conjuncts `B.x = R.y` (correlation
+//!   predicates). "The indexing mechanism intrinsic to GMDJ evaluation"
+//!   ([2] in the paper).
+//! * [`IntervalIndex`] — band conjuncts `B.lo ≤ R.t < B.hi` (the Hours
+//!   dimension of the motivating example).
+
+use crate::fxhash::FxHashMap;
+use crate::relation::Relation;
+use crate::value::Value;
+
+/// A multiset key: values compare with grouping equality (NULL = NULL).
+pub type Key = Box<[Value]>;
+
+/// Extract a key from a tuple given column positions.
+#[inline]
+pub fn key_of(row: &[Value], cols: &[usize]) -> Key {
+    cols.iter().map(|&c| row[c].clone()).collect()
+}
+
+/// True if any component of the key is NULL. Equality conjuncts cannot
+/// match NULL keys (the comparison would be unknown), so probe sides skip
+/// them.
+#[inline]
+pub fn key_has_null(key: &[Value]) -> bool {
+    key.iter().any(Value::is_null)
+}
+
+/// Hash index from key columns of a relation to row positions.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    map: FxHashMap<Key, Vec<u32>>,
+    len: usize,
+}
+
+impl HashIndex {
+    /// Build over `relation`, keying on `cols`. Rows with a NULL key
+    /// component are excluded: no equality probe can ever match them.
+    pub fn build(relation: &Relation, cols: &[usize]) -> Self {
+        Self::build_rows(relation.rows().iter().map(|r| r.as_ref()), cols)
+    }
+
+    /// Build from raw rows.
+    pub fn build_rows<'a>(rows: impl Iterator<Item = &'a [Value]>, cols: &[usize]) -> Self {
+        let mut map: FxHashMap<Key, Vec<u32>> = FxHashMap::default();
+        let mut len = 0usize;
+        for (i, row) in rows.enumerate() {
+            len += 1;
+            let key = key_of(row, cols);
+            if key_has_null(&key) {
+                continue;
+            }
+            map.entry(key).or_default().push(i as u32);
+        }
+        HashIndex { map, len }
+    }
+
+    /// Row positions matching a probe key. NULL keys match nothing.
+    #[inline]
+    pub fn probe(&self, key: &[Value]) -> &[u32] {
+        if key_has_null(key) {
+            return &[];
+        }
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of rows indexed over (including NULL-key rows).
+    pub fn source_len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Sorted interval index for band conditions `lo ≤ t (< or ≤) hi`.
+///
+/// Entries are sorted by `lo`; a stab query binary-searches the last entry
+/// with `lo ≤ t` and scans left while intervals can still cover `t`, using
+/// a running maximum of `hi` to stop early. For non-overlapping intervals
+/// (time dimensions like Hours) a stab is O(log n + answers).
+#[derive(Debug, Clone)]
+pub struct IntervalIndex {
+    /// (lo, hi, row) sorted by lo.
+    entries: Vec<(f64, f64, u32)>,
+    /// prefix_max_hi[i] = max of entries[0..=i].hi — allows early exit.
+    prefix_max_hi: Vec<f64>,
+    /// Whether the upper bound is inclusive (`t ≤ hi`) or exclusive
+    /// (`t < hi`).
+    hi_inclusive: bool,
+}
+
+impl IntervalIndex {
+    /// Build from `(lo, hi)` pairs per row; rows with NULL bounds are
+    /// excluded (their band condition is unknown for every t).
+    pub fn build(
+        bounds: impl Iterator<Item = (Value, Value)>,
+        hi_inclusive: bool,
+    ) -> Self {
+        let mut entries: Vec<(f64, f64, u32)> = Vec::new();
+        for (i, (lo, hi)) in bounds.enumerate() {
+            if let (Some(lo), Some(hi)) = (lo.as_f64(), hi.as_f64()) {
+                entries.push((lo, hi, i as u32));
+            }
+        }
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut prefix_max_hi = Vec::with_capacity(entries.len());
+        let mut running = f64::NEG_INFINITY;
+        for e in &entries {
+            running = running.max(e.1);
+            prefix_max_hi.push(running);
+        }
+        IntervalIndex { entries, prefix_max_hi, hi_inclusive }
+    }
+
+    /// Rows whose interval contains `t`.
+    pub fn stab(&self, t: &Value, out: &mut Vec<u32>) {
+        out.clear();
+        let Some(t) = t.as_f64() else { return };
+        // Last index with lo <= t.
+        let mut hi_idx = self.entries.partition_point(|e| e.0 <= t);
+        while hi_idx > 0 {
+            hi_idx -= 1;
+            // If no interval at or before hi_idx can reach t, stop.
+            if self.prefix_max_hi[hi_idx] < t
+                || (!self.hi_inclusive && self.prefix_max_hi[hi_idx] <= t)
+            {
+                break;
+            }
+            let (_, hi, row) = self.entries[hi_idx];
+            let covered = if self.hi_inclusive { t <= hi } else { t < hi };
+            if covered {
+                out.push(row);
+            }
+        }
+    }
+
+    /// Number of indexed intervals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no intervals are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use crate::schema::DataType;
+
+    #[test]
+    fn hash_index_probes() {
+        let r = RelationBuilder::new("T")
+            .column("k", DataType::Int)
+            .column("v", DataType::Int)
+            .row(vec![1.into(), 10.into()])
+            .row(vec![2.into(), 20.into()])
+            .row(vec![1.into(), 30.into()])
+            .row(vec![Value::Null, 40.into()])
+            .build()
+            .unwrap();
+        let idx = HashIndex::build(&r, &[0]);
+        assert_eq!(idx.probe(&[Value::Int(1)]), &[0, 2]);
+        assert_eq!(idx.probe(&[Value::Int(2)]), &[1]);
+        assert_eq!(idx.probe(&[Value::Int(9)]), &[] as &[u32]);
+        // NULL probes and NULL build keys never match.
+        assert_eq!(idx.probe(&[Value::Null]), &[] as &[u32]);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn interval_index_stabs_non_overlapping() {
+        // Hours-style: [0,60), [61,120), [121,180)
+        let idx = IntervalIndex::build(
+            vec![
+                (Value::Int(0), Value::Int(60)),
+                (Value::Int(61), Value::Int(120)),
+                (Value::Int(121), Value::Int(180)),
+            ]
+            .into_iter(),
+            false,
+        );
+        let mut out = Vec::new();
+        idx.stab(&Value::Int(43), &mut out);
+        assert_eq!(out, vec![0]);
+        idx.stab(&Value::Int(60), &mut out);
+        assert!(out.is_empty()); // exclusive upper bound
+        idx.stab(&Value::Int(61), &mut out);
+        assert_eq!(out, vec![1]);
+        idx.stab(&Value::Int(500), &mut out);
+        assert!(out.is_empty());
+        idx.stab(&Value::Null, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn interval_index_overlapping() {
+        let idx = IntervalIndex::build(
+            vec![
+                (Value::Int(0), Value::Int(100)),
+                (Value::Int(10), Value::Int(20)),
+                (Value::Int(15), Value::Int(50)),
+            ]
+            .into_iter(),
+            true,
+        );
+        let mut out = Vec::new();
+        idx.stab(&Value::Int(18), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1, 2]);
+        idx.stab(&Value::Int(60), &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn interval_index_skips_null_bounds() {
+        let idx = IntervalIndex::build(
+            vec![(Value::Null, Value::Int(10)), (Value::Int(0), Value::Int(10))].into_iter(),
+            false,
+        );
+        assert_eq!(idx.len(), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! # gmdj-relation
+//!
+//! In-memory relational substrate for the GMDJ subquery engine.
+//!
+//! This crate implements everything a small analytical query processor needs
+//! below the level of the GMDJ operator itself:
+//!
+//! * [`Value`] — dynamically typed SQL values with a first-class `NULL`, and
+//!   [`Truth`] — SQL three-valued logic (3VL).
+//! * [`Schema`] / [`Field`] — qualified attribute names (`F.StartTime`) with
+//!   resolution rules matching an SQL scope.
+//! * [`Relation`] — a multiset of tuples over a schema. Relations are
+//!   multisets throughout, matching SQL bag semantics; `distinct` is an
+//!   explicit operator.
+//! * [`expr`] — scalar expressions and predicates. Logical expressions are
+//!   *bound* against one or more schemas before evaluation, producing
+//!   [`expr::BoundPredicate`] / [`expr::BoundScalar`] that evaluate against
+//!   tuple slices without any name lookups on the hot path.
+//! * [`agg`] — SQL aggregate functions (`COUNT`, `COUNT(*)`, `SUM`, `MIN`,
+//!   `MAX`, `AVG`) with SQL NULL semantics via the [`agg::Accumulator`]
+//!   state machine.
+//! * [`ops`] — physical operators: selection, projection, distinct, rename,
+//!   union all, multiset difference, cross product, θ-joins (hash and
+//!   block-nested-loop), left outer / semi / anti joins, and hash group-by.
+//! * [`index`] — hash equi-key indexes and sorted interval indexes used by
+//!   joins and by the GMDJ evaluator in `gmdj-core`.
+//! * [`csv`] — RFC-4180-style import/export (schema-checked and
+//!   schema-inferring).
+//! * [`storage`] — paged relations behind an LRU buffer pool with
+//!   logical/physical read counters, the paper's page-I/O cost model made
+//!   executable.
+//!
+//! The substrate deliberately stays row-oriented and simple: the paper's
+//! experiments are dominated by scan, probe, and predicate-evaluation costs,
+//! all of which this representation models faithfully.
+
+pub mod agg;
+pub mod csv;
+pub mod error;
+pub mod expr;
+pub mod fxhash;
+pub mod index;
+pub mod ops;
+pub mod relation;
+pub mod schema;
+pub mod storage;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use relation::{Relation, RelationBuilder, Tuple};
+pub use schema::{ColumnRef, DataType, Field, Schema};
+pub use value::{Truth, Value};

@@ -1,0 +1,157 @@
+//! Hash group-by, the aggregation operator of the join-unnesting baseline.
+//!
+//! The GMDJ operator in `gmdj-core` does *not* use this operator — it keeps
+//! per-base-tuple accumulators instead. `group_by` exists for (a) the
+//! aggregate-then-join unnesting rewrites the paper compares against and
+//! (b) plain grouped queries in the SQL front end.
+
+use crate::agg::NamedAgg;
+use crate::error::Result;
+use crate::fxhash::FxHashMap;
+use crate::index::{key_of, Key};
+use crate::relation::{Relation, Tuple};
+use crate::schema::{ColumnRef, Schema};
+
+/// γ\[keys; aggs\](rel) — SQL GROUP BY with grouping equality (NULL keys
+/// form one group). With no keys, produces exactly one row even over the
+/// empty input (global aggregation).
+pub fn group_by(rel: &Relation, keys: &[ColumnRef], aggs: &[NamedAgg]) -> Result<Relation> {
+    let schema = rel.schema();
+    let key_cols: Vec<usize> =
+        keys.iter().map(|k| k.resolve_in(schema)).collect::<Result<Vec<_>>>()?;
+    let bound: Vec<_> = aggs.iter().map(|a| a.bind(&[schema])).collect::<Result<Vec<_>>>()?;
+
+    let mut out_fields = Vec::with_capacity(keys.len() + aggs.len());
+    for &c in &key_cols {
+        out_fields.push(schema.field(c).clone());
+    }
+    let out_schema = Schema::new(out_fields)
+        .extend_computed(&aggs.iter().map(NamedAgg::output_field).collect::<Vec<_>>());
+
+    // Group index: key -> position in `groups`.
+    let mut index: FxHashMap<Key, usize> = FxHashMap::default();
+    let mut groups: Vec<(Key, Vec<crate::agg::Accumulator>)> = Vec::new();
+
+    if keys.is_empty() {
+        // Global aggregation always yields one group.
+        groups.push((Box::new([]), bound.iter().map(|b| b.accumulator()).collect()));
+    }
+
+    for row in rel.rows() {
+        let gi = if keys.is_empty() {
+            0
+        } else {
+            let key = key_of(row, &key_cols);
+            match index.get(&key) {
+                Some(&gi) => gi,
+                None => {
+                    let gi = groups.len();
+                    index.insert(key.clone(), gi);
+                    groups.push((key, bound.iter().map(|b| b.accumulator()).collect()));
+                    gi
+                }
+            }
+        };
+        let accs = &mut groups[gi].1;
+        for (b, acc) in bound.iter().zip(accs.iter_mut()) {
+            b.update(acc, &[row])?;
+        }
+    }
+
+    let rows: Vec<Tuple> = groups
+        .into_iter()
+        .map(|(key, accs)| {
+            let mut out = Vec::with_capacity(key.len() + accs.len());
+            out.extend(key.iter().cloned());
+            out.extend(accs.iter().map(|a| a.finish()));
+            out.into_boxed_slice()
+        })
+        .collect();
+    Ok(Relation::from_parts(out_schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::{AggFunc, NamedAgg};
+    use crate::expr::col;
+    use crate::relation::RelationBuilder;
+    use crate::schema::DataType;
+    use crate::value::Value;
+
+    fn flows() -> Relation {
+        RelationBuilder::new("F")
+            .column("proto", DataType::Str)
+            .column("bytes", DataType::Int)
+            .row(vec!["HTTP".into(), 12.into()])
+            .row(vec!["HTTP".into(), 36.into()])
+            .row(vec!["FTP".into(), 48.into()])
+            .row(vec![Value::Null, 5.into()])
+            .row(vec![Value::Null, 6.into()])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn groups_by_key_including_null_group() {
+        let r = group_by(
+            &flows(),
+            &[ColumnRef::parse("F.proto")],
+            &[
+                NamedAgg::count_star("cnt"),
+                NamedAgg::sum(col("F.bytes"), "total"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.len(), 3);
+        let rows = r.sorted_rows();
+        // NULL group first under total order.
+        assert!(rows[0][0].is_null());
+        assert_eq!(rows[0][1], Value::Int(2));
+        assert_eq!(rows[0][2], Value::Int(11));
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input_yields_one_row() {
+        let empty = RelationBuilder::new("F")
+            .column("bytes", DataType::Int)
+            .build()
+            .unwrap();
+        let r = group_by(
+            &empty,
+            &[],
+            &[NamedAgg::count_star("cnt"), NamedAgg::new(AggFunc::Max, col("bytes"), "m")],
+        )
+        .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows()[0][0], Value::Int(0));
+        assert!(r.rows()[0][1].is_null());
+    }
+
+    #[test]
+    fn keyed_aggregate_over_empty_input_yields_no_rows() {
+        let empty = RelationBuilder::new("F")
+            .column("proto", DataType::Str)
+            .column("bytes", DataType::Int)
+            .build()
+            .unwrap();
+        let r = group_by(&empty, &[ColumnRef::parse("proto")], &[NamedAgg::count_star("cnt")])
+            .unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn avg_and_min() {
+        let r = group_by(
+            &flows(),
+            &[],
+            &[
+                NamedAgg::new(AggFunc::Avg, col("bytes"), "a"),
+                NamedAgg::new(AggFunc::Min, col("bytes"), "m"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.rows()[0][0], Value::Float((12 + 36 + 48 + 5 + 6) as f64 / 5.0));
+        assert_eq!(r.rows()[0][1], Value::Int(5));
+    }
+}

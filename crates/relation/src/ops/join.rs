@@ -1,0 +1,398 @@
+//! Join operators: cross product, θ-join, left outer join, semi-join and
+//! anti-join — the vocabulary of the join/outer-join unnesting baseline.
+//!
+//! Every join condition is analyzed once ([`analyze_join`]) into hashable
+//! equality key pairs plus a residual predicate; joins pick a hash plan
+//! when at least one equality pair exists and fall back to block
+//! nested-loop otherwise. Callers can force the nested-loop path (the
+//! paper's "no useful indexes" experimental condition) via
+//! [`nested_loop_join`] and the `*_nl` variants.
+
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::expr::{BoundPredicate, CmpOp, Predicate, ScalarExpr};
+use crate::index::{key_of, HashIndex};
+use crate::relation::{Relation, Tuple};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Decomposition of a join condition against (left, right) schemas.
+#[derive(Debug)]
+pub struct JoinAnalysis {
+    /// Positions in the left schema, pairwise with `right_keys`.
+    pub left_keys: Vec<usize>,
+    /// Positions in the right schema.
+    pub right_keys: Vec<usize>,
+    /// Non-equality conjuncts, bound against `[left, right]`; `None` when
+    /// the condition is a pure equi-join.
+    pub residual: Option<BoundPredicate>,
+}
+
+impl JoinAnalysis {
+    /// True when a hash plan is applicable.
+    pub fn has_equi_keys(&self) -> bool {
+        !self.left_keys.is_empty()
+    }
+}
+
+/// Split `pred` into equality column pairs spanning the two schemas plus a
+/// residual predicate.
+///
+/// A conjunct contributes a key pair iff it is `c1 = c2` with one column
+/// resolving only in `left` and the other only in `right`. Everything else
+/// (non-equalities, single-side predicates, expressions) lands in the
+/// residual.
+pub fn analyze_join(pred: &Predicate, left: &Schema, right: &Schema) -> Result<JoinAnalysis> {
+    let mut left_keys = Vec::new();
+    let mut right_keys = Vec::new();
+    let mut residual_parts: Vec<Predicate> = Vec::new();
+    for conjunct in pred.split_conjuncts() {
+        if let Predicate::Cmp { op: CmpOp::Eq, left: l, right: r } = conjunct {
+            if let (ScalarExpr::Column(lc), ScalarExpr::Column(rc)) = (l, r) {
+                let l_in_left = lc.resolve_in(left).is_ok();
+                let l_in_right = lc.resolve_in(right).is_ok();
+                let r_in_left = rc.resolve_in(left).is_ok();
+                let r_in_right = rc.resolve_in(right).is_ok();
+                if l_in_left && !l_in_right && r_in_right && !r_in_left {
+                    left_keys.push(lc.resolve_in(left)?);
+                    right_keys.push(rc.resolve_in(right)?);
+                    continue;
+                }
+                if l_in_right && !l_in_left && r_in_left && !r_in_right {
+                    left_keys.push(rc.resolve_in(left)?);
+                    right_keys.push(lc.resolve_in(right)?);
+                    continue;
+                }
+            }
+        }
+        residual_parts.push(conjunct.clone());
+    }
+    let residual = if residual_parts.is_empty() {
+        None
+    } else {
+        Some(Predicate::conjoin(residual_parts).bind(&[left, right])?)
+    };
+    Ok(JoinAnalysis { left_keys, right_keys, residual })
+}
+
+fn concat_schemas(left: &Relation, right: &Relation) -> Result<Arc<Schema>> {
+    left.schema().concat(right.schema())
+}
+
+fn concat_rows(l: &[Value], r: &[Value]) -> Tuple {
+    let mut out = Vec::with_capacity(l.len() + r.len());
+    out.extend_from_slice(l);
+    out.extend_from_slice(r);
+    out.into_boxed_slice()
+}
+
+/// B × R.
+pub fn cross_product(left: &Relation, right: &Relation) -> Result<Relation> {
+    let schema = concat_schemas(left, right)?;
+    let mut rows = Vec::with_capacity(left.len().saturating_mul(right.len()));
+    for l in left.rows() {
+        for r in right.rows() {
+            rows.push(concat_rows(l, r));
+        }
+    }
+    Ok(Relation::from_parts(schema, rows))
+}
+
+/// θ-join choosing hash vs nested-loop automatically.
+pub fn theta_join(left: &Relation, right: &Relation, pred: &Predicate) -> Result<Relation> {
+    let analysis = analyze_join(pred, left.schema(), right.schema())?;
+    if analysis.has_equi_keys() {
+        hash_join_inner(left, right, &analysis)
+    } else {
+        nested_loop_join(left, right, pred)
+    }
+}
+
+/// Block nested-loop θ-join (the unindexed experimental condition).
+pub fn nested_loop_join(left: &Relation, right: &Relation, pred: &Predicate) -> Result<Relation> {
+    let schema = concat_schemas(left, right)?;
+    let bound = pred.bind(&[left.schema(), right.schema()])?;
+    let mut rows = Vec::new();
+    for l in left.rows() {
+        for r in right.rows() {
+            if bound.eval(&[l, r])?.passes() {
+                rows.push(concat_rows(l, r));
+            }
+        }
+    }
+    Ok(Relation::from_parts(schema, rows))
+}
+
+fn hash_join_inner(
+    left: &Relation,
+    right: &Relation,
+    analysis: &JoinAnalysis,
+) -> Result<Relation> {
+    let schema = concat_schemas(left, right)?;
+    // Build on the right (conventional: probe with the outer/left input).
+    let index = HashIndex::build(right, &analysis.right_keys);
+    let mut rows = Vec::new();
+    for l in left.rows() {
+        let key = key_of(l, &analysis.left_keys);
+        for &ri in index.probe(&key) {
+            let r = &right.rows()[ri as usize];
+            if let Some(res) = &analysis.residual {
+                if !res.eval(&[l, r])?.passes() {
+                    continue;
+                }
+            }
+            rows.push(concat_rows(l, r));
+        }
+    }
+    Ok(Relation::from_parts(schema, rows))
+}
+
+/// Left outer join: every left tuple appears at least once; unmatched left
+/// tuples are padded with NULLs on the right. The aggregate-then-outer-join
+/// unnesting strategy (Kim's COUNT-bug fix) depends on this operator.
+pub fn left_outer_join(left: &Relation, right: &Relation, pred: &Predicate) -> Result<Relation> {
+    let schema = concat_schemas(left, right)?;
+    let analysis = analyze_join(pred, left.schema(), right.schema())?;
+    let nulls: Tuple = vec![Value::Null; right.schema().len()].into_boxed_slice();
+    let mut rows = Vec::new();
+    if analysis.has_equi_keys() {
+        let index = HashIndex::build(right, &analysis.right_keys);
+        for l in left.rows() {
+            let key = key_of(l, &analysis.left_keys);
+            let mut matched = false;
+            for &ri in index.probe(&key) {
+                let r = &right.rows()[ri as usize];
+                if let Some(res) = &analysis.residual {
+                    if !res.eval(&[l, r])?.passes() {
+                        continue;
+                    }
+                }
+                matched = true;
+                rows.push(concat_rows(l, r));
+            }
+            if !matched {
+                rows.push(concat_rows(l, &nulls));
+            }
+        }
+    } else {
+        let bound = pred.bind(&[left.schema(), right.schema()])?;
+        for l in left.rows() {
+            let mut matched = false;
+            for r in right.rows() {
+                if bound.eval(&[l, r])?.passes() {
+                    matched = true;
+                    rows.push(concat_rows(l, r));
+                }
+            }
+            if !matched {
+                rows.push(concat_rows(l, &nulls));
+            }
+        }
+    }
+    Ok(Relation::from_parts(schema, rows))
+}
+
+/// Semi-join: left tuples with at least one right match (EXISTS rewrite).
+pub fn semi_join(left: &Relation, right: &Relation, pred: &Predicate) -> Result<Relation> {
+    Ok(filter_by_match(left, right, pred, true, /*use_hash=*/ true)?.0)
+}
+
+/// Anti-join: left tuples with no right match (NOT EXISTS rewrite).
+pub fn anti_join(left: &Relation, right: &Relation, pred: &Predicate) -> Result<Relation> {
+    Ok(filter_by_match(left, right, pred, false, /*use_hash=*/ true)?.0)
+}
+
+/// Semi-join forced onto the nested-loop path (unindexed condition).
+pub fn semi_join_nl(left: &Relation, right: &Relation, pred: &Predicate) -> Result<Relation> {
+    Ok(filter_by_match(left, right, pred, true, /*use_hash=*/ false)?.0)
+}
+
+/// Anti-join forced onto the nested-loop path (unindexed condition).
+pub fn anti_join_nl(left: &Relation, right: &Relation, pred: &Predicate) -> Result<Relation> {
+    Ok(filter_by_match(left, right, pred, false, /*use_hash=*/ false)?.0)
+}
+
+/// Instrumented semi/anti join: also returns the number of candidate
+/// pairs considered (build-side tuples count once), the cost figure the
+/// benchmark harness reports.
+pub fn semi_or_anti_with_work(
+    left: &Relation,
+    right: &Relation,
+    pred: &Predicate,
+    keep_matched: bool,
+    use_hash: bool,
+) -> Result<(Relation, u64)> {
+    filter_by_match(left, right, pred, keep_matched, use_hash)
+}
+
+fn filter_by_match(
+    left: &Relation,
+    right: &Relation,
+    pred: &Predicate,
+    keep_matched: bool,
+    use_hash: bool,
+) -> Result<(Relation, u64)> {
+    let mut work: u64 = 0;
+    let mut rows = Vec::new();
+    let analysis = analyze_join(pred, left.schema(), right.schema())?;
+    if use_hash && analysis.has_equi_keys() {
+        work += right.len() as u64; // build side
+        let index = HashIndex::build(right, &analysis.right_keys);
+        for l in left.rows() {
+            let key = key_of(l, &analysis.left_keys);
+            let mut matched = false;
+            for &ri in index.probe(&key) {
+                work += 1;
+                let r = &right.rows()[ri as usize];
+                match &analysis.residual {
+                    Some(res) => {
+                        if res.eval(&[l, r])?.passes() {
+                            matched = true;
+                            break;
+                        }
+                    }
+                    None => {
+                        matched = true;
+                        break;
+                    }
+                }
+            }
+            if matched == keep_matched {
+                rows.push(l.clone());
+            }
+        }
+    } else {
+        let bound = pred.bind(&[left.schema(), right.schema()])?;
+        for l in left.rows() {
+            let mut matched = false;
+            for r in right.rows() {
+                work += 1;
+                if bound.eval(&[l, r])?.passes() {
+                    matched = true;
+                    break;
+                }
+            }
+            if matched == keep_matched {
+                rows.push(l.clone());
+            }
+        }
+    }
+    Ok((Relation::from_parts(left.schema().clone(), rows), work))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::relation::RelationBuilder;
+    use crate::schema::DataType;
+
+    fn left() -> Relation {
+        RelationBuilder::new("L")
+            .column("k", DataType::Int)
+            .column("x", DataType::Int)
+            .row(vec![1.into(), 100.into()])
+            .row(vec![2.into(), 200.into()])
+            .row(vec![3.into(), 300.into()])
+            .row(vec![Value::Null, 400.into()])
+            .build()
+            .unwrap()
+    }
+
+    fn right() -> Relation {
+        RelationBuilder::new("R")
+            .column("k", DataType::Int)
+            .column("y", DataType::Int)
+            .row(vec![1.into(), 10.into()])
+            .row(vec![1.into(), 20.into()])
+            .row(vec![3.into(), 5.into()])
+            .row(vec![Value::Null, 7.into()])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn analyze_extracts_equi_pairs_both_orientations() {
+        let l = left();
+        let r = right();
+        let p1 = col("L.k").eq(col("R.k")).and(col("L.x").gt(col("R.y")));
+        let a = analyze_join(&p1, l.schema(), r.schema()).unwrap();
+        assert_eq!(a.left_keys, vec![0]);
+        assert_eq!(a.right_keys, vec![0]);
+        assert!(a.residual.is_some());
+        let p2 = col("R.k").eq(col("L.k"));
+        let a = analyze_join(&p2, l.schema(), r.schema()).unwrap();
+        assert_eq!(a.left_keys, vec![0]);
+        assert_eq!(a.right_keys, vec![0]);
+        assert!(a.residual.is_none());
+    }
+
+    #[test]
+    fn hash_and_nested_loop_joins_agree() {
+        let l = left();
+        let r = right();
+        let p = col("L.k").eq(col("R.k")).and(col("R.y").ge(lit(10)));
+        let h = theta_join(&l, &r, &p).unwrap();
+        let n = nested_loop_join(&l, &r, &p).unwrap();
+        assert!(h.multiset_eq(&n));
+        assert_eq!(h.len(), 2); // k=1 matches y=10 and y=20; k=3 fails residual
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        let l = left();
+        let r = right();
+        let p = col("L.k").eq(col("R.k"));
+        let j = theta_join(&l, &r, &p).unwrap();
+        // NULL on either side joins nothing.
+        assert_eq!(j.len(), 3);
+    }
+
+    #[test]
+    fn left_outer_join_pads_nulls() {
+        let l = left();
+        let r = right();
+        let p = col("L.k").eq(col("R.k"));
+        let j = left_outer_join(&l, &r, &p).unwrap();
+        // k=1 twice, k=2 padded, k=3 once, NULL padded → 5 rows.
+        assert_eq!(j.len(), 5);
+        let padded: Vec<_> = j.rows().iter().filter(|row| row[2].is_null()).collect();
+        assert_eq!(padded.len(), 2);
+    }
+
+    #[test]
+    fn semi_and_anti_partition_left() {
+        let l = left();
+        let r = right();
+        let p = col("L.k").eq(col("R.k"));
+        let s = semi_join(&l, &r, &p).unwrap();
+        let a = anti_join(&l, &r, &p).unwrap();
+        assert_eq!(s.len(), 2); // k=1, k=3
+        assert_eq!(a.len(), 2); // k=2 and the NULL row
+        assert_eq!(s.len() + a.len(), l.len());
+        // Forced nested-loop variants agree.
+        assert!(semi_join_nl(&l, &r, &p).unwrap().multiset_eq(&s));
+        assert!(anti_join_nl(&l, &r, &p).unwrap().multiset_eq(&a));
+    }
+
+    #[test]
+    fn non_equi_condition_falls_back_to_nested_loop() {
+        let l = left();
+        let r = right();
+        let p = col("L.k").ne(col("R.k"));
+        let j = theta_join(&l, &r, &p).unwrap();
+        // NULL keys make the <> unknown → excluded. 3 left × 3 right minus
+        // matches where equal: (1,1)x2, (3,3) → 9 - 3 = 6.
+        assert_eq!(j.len(), 6);
+    }
+
+    #[test]
+    fn cross_product_arity() {
+        let l = left();
+        let r = right();
+        let c = cross_product(&l, &r).unwrap();
+        assert_eq!(c.len(), 16);
+        assert_eq!(c.schema().len(), 4);
+    }
+}

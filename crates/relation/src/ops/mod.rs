@@ -1,0 +1,311 @@
+//! Physical operators over in-memory relations.
+//!
+//! Every operator is a plain function from relations to a relation,
+//! preserving multiset semantics. Joins and grouping live in submodules.
+
+pub mod aggregate;
+pub mod join;
+
+pub use aggregate::group_by;
+pub use join::{
+    analyze_join, anti_join, cross_product, left_outer_join, nested_loop_join, semi_join,
+    theta_join, JoinAnalysis,
+};
+
+use crate::error::{Error, Result};
+use crate::expr::{Predicate, ScalarExpr};
+use crate::fxhash::FxHashMap;
+use crate::relation::{Relation, Tuple};
+use crate::schema::{ColumnRef, DataType, Field, Schema};
+use crate::value::Value;
+
+/// σ\[pred\](rel) — keep tuples whose predicate is *true* (where-clause
+/// truncation: both false and unknown discard).
+pub fn select(rel: &Relation, pred: &Predicate) -> Result<Relation> {
+    let bound = pred.bind(&[rel.schema()])?;
+    let mut rows = Vec::new();
+    for row in rel.rows() {
+        if bound.eval(&[row])?.passes() {
+            rows.push(row.clone());
+        }
+    }
+    Ok(Relation::from_parts(rel.schema().clone(), rows))
+}
+
+/// π\[items\](rel) — duplicate-preserving projection. Each item is an
+/// expression with an optional output name; unnamed column references keep
+/// their field, other unnamed expressions render their text as the name.
+pub fn project(rel: &Relation, items: &[(ScalarExpr, Option<String>)]) -> Result<Relation> {
+    let schema = rel.schema();
+    let mut fields = Vec::with_capacity(items.len());
+    for (expr, name) in items {
+        let field = match (expr, name) {
+            (ScalarExpr::Column(c), None) => {
+                let idx = c.resolve_in(schema)?;
+                schema.field(idx).clone()
+            }
+            (ScalarExpr::Column(c), Some(n)) => {
+                let idx = c.resolve_in(schema)?;
+                Field::unqualified(n.clone(), schema.field(idx).data_type)
+            }
+            (e, Some(n)) => {
+                let _ = e; // type advisory only
+                Field::unqualified(n.clone(), DataType::Int)
+            }
+            (e, None) => Field::unqualified(e.to_string(), DataType::Int),
+        };
+        fields.push(field);
+    }
+    // Reject duplicate output names early.
+    for (i, f) in fields.iter().enumerate() {
+        if fields[..i].iter().any(|g| g.qualifier == f.qualifier && g.name == f.name) {
+            return Err(Error::DuplicateColumn { name: f.qualified_name() });
+        }
+    }
+    let out_schema = Schema::new(fields);
+    let bound: Vec<_> = items
+        .iter()
+        .map(|(e, _)| e.bind(&[schema]))
+        .collect::<Result<Vec<_>>>()?;
+    let mut rows = Vec::with_capacity(rel.len());
+    for row in rel.rows() {
+        let mut out: Vec<Value> = Vec::with_capacity(bound.len());
+        for b in &bound {
+            out.push(b.eval(&[row])?);
+        }
+        rows.push(out.into_boxed_slice());
+    }
+    Ok(Relation::from_parts(out_schema, rows))
+}
+
+/// Projection onto named columns, preserving their fields.
+pub fn project_columns(rel: &Relation, cols: &[ColumnRef]) -> Result<Relation> {
+    let items: Vec<(ScalarExpr, Option<String>)> =
+        cols.iter().map(|c| (ScalarExpr::Column(c.clone()), None)).collect();
+    project(rel, &items)
+}
+
+/// δ(rel) — duplicate elimination under grouping equality (NULLs collapse).
+pub fn distinct(rel: &Relation) -> Relation {
+    let mut seen: FxHashMap<Tuple, ()> = FxHashMap::default();
+    let mut rows = Vec::new();
+    for row in rel.rows() {
+        if seen.insert(row.clone(), ()).is_none() {
+            rows.push(row.clone());
+        }
+    }
+    Relation::from_parts(rel.schema().clone(), rows)
+}
+
+/// Multiset union (UNION ALL). Schemas must have equal arity.
+pub fn union_all(a: &Relation, b: &Relation) -> Result<Relation> {
+    if a.schema().len() != b.schema().len() {
+        return Err(Error::ArityMismatch { expected: a.schema().len(), actual: b.schema().len() });
+    }
+    let mut rows = a.rows().to_vec();
+    rows.extend_from_slice(b.rows());
+    Ok(Relation::from_parts(a.schema().clone(), rows))
+}
+
+/// Multiset difference (monus): each tuple of `a` is removed once per
+/// matching tuple of `b` (SQL `EXCEPT ALL`). Used by the join-unnesting
+/// baseline for set-difference rewrites.
+pub fn difference(a: &Relation, b: &Relation) -> Result<Relation> {
+    if a.schema().len() != b.schema().len() {
+        return Err(Error::ArityMismatch { expected: a.schema().len(), actual: b.schema().len() });
+    }
+    let mut counts: FxHashMap<Tuple, usize> = FxHashMap::default();
+    for row in b.rows() {
+        *counts.entry(row.clone()).or_insert(0) += 1;
+    }
+    let mut rows = Vec::new();
+    for row in a.rows() {
+        match counts.get_mut(row) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => rows.push(row.clone()),
+        }
+    }
+    Ok(Relation::from_parts(a.schema().clone(), rows))
+}
+
+/// Append computed columns to every tuple (generalized extend/map).
+pub fn extend(rel: &Relation, items: &[(ScalarExpr, String)]) -> Result<Relation> {
+    let schema = rel.schema();
+    let extra: Vec<Field> = items
+        .iter()
+        .map(|(_, n)| Field::unqualified(n.clone(), DataType::Int))
+        .collect();
+    let out_schema = schema.extend_computed(&extra);
+    let bound: Vec<_> = items
+        .iter()
+        .map(|(e, _)| e.bind(&[schema]))
+        .collect::<Result<Vec<_>>>()?;
+    let mut rows = Vec::with_capacity(rel.len());
+    for row in rel.rows() {
+        let mut out: Vec<Value> = row.to_vec();
+        for b in &bound {
+            out.push(b.eval(&[row])?);
+        }
+        rows.push(out.into_boxed_slice());
+    }
+    Ok(Relation::from_parts(out_schema, rows))
+}
+
+/// Sort by a list of `(column, ascending)` keys under the total value
+/// order (NULLs first ascending). Relations are multisets — sorting is a
+/// presentation operator (SQL `ORDER BY`); the sort is stable.
+pub fn sort_by(rel: &Relation, keys: &[(ColumnRef, bool)]) -> Result<Relation> {
+    let schema = rel.schema();
+    let cols: Vec<(usize, bool)> = keys
+        .iter()
+        .map(|(c, asc)| c.resolve_in(schema).map(|i| (i, *asc)))
+        .collect::<Result<Vec<_>>>()?;
+    let mut rows = rel.rows().to_vec();
+    rows.sort_by(|a, b| {
+        for &(i, asc) in &cols {
+            let o = a[i].total_cmp(&b[i]);
+            let o = if asc { o } else { o.reverse() };
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(Relation::from_parts(schema.clone(), rows))
+}
+
+/// Keep the first `n` tuples (SQL `LIMIT` — deterministic only after a
+/// sort).
+pub fn limit(rel: &Relation, n: usize) -> Relation {
+    let rows = rel.rows().iter().take(n).cloned().collect();
+    Relation::from_parts(rel.schema().clone(), rows)
+}
+
+/// Drop the named columns (complement of projection). Used to strip
+/// auxiliary count columns after subquery selections, per the π\[A\] step
+/// of Table 1's NOT EXISTS row.
+pub fn drop_columns(rel: &Relation, names: &[&str]) -> Result<Relation> {
+    let schema = rel.schema();
+    let mut keep: Vec<usize> = Vec::new();
+    'outer: for (i, f) in schema.fields().iter().enumerate() {
+        for n in names {
+            if f.qualifier.is_empty() && f.name == *n {
+                continue 'outer;
+            }
+        }
+        keep.push(i);
+    }
+    let out_schema = Schema::new(keep.iter().map(|&i| schema.field(i).clone()).collect());
+    let rows = rel
+        .rows()
+        .iter()
+        .map(|row| keep.iter().map(|&i| row[i].clone()).collect::<Tuple>())
+        .collect();
+    Ok(Relation::from_parts(out_schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::relation::RelationBuilder;
+    use crate::schema::DataType;
+
+    fn t() -> Relation {
+        RelationBuilder::new("T")
+            .column("a", DataType::Int)
+            .column("b", DataType::Int)
+            .row(vec![1.into(), 10.into()])
+            .row(vec![2.into(), 20.into()])
+            .row(vec![2.into(), 20.into()])
+            .row(vec![Value::Null, 30.into()])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn select_truncates_unknown() {
+        let r = select(&t(), &col("a").ge(lit(1))).unwrap();
+        // NULL row is discarded, both duplicates kept.
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn project_computes_and_names() {
+        let r = project(&t(), &[(col("a").add(col("b")), Some("s".into()))]).unwrap();
+        assert_eq!(r.schema().field(0).name, "s");
+        assert_eq!(r.rows()[0][0], Value::Int(11));
+        assert!(r.rows()[3][0].is_null());
+    }
+
+    #[test]
+    fn project_rejects_duplicate_names() {
+        let items = vec![
+            (col("a"), Some("x".to_string())),
+            (col("b"), Some("x".to_string())),
+        ];
+        assert!(project(&t(), &items).is_err());
+    }
+
+    #[test]
+    fn distinct_collapses_duplicates_and_nulls() {
+        let r = distinct(&t());
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn difference_is_monus() {
+        let a = t();
+        let b = RelationBuilder::new("T")
+            .column("a", DataType::Int)
+            .column("b", DataType::Int)
+            .row(vec![2.into(), 20.into()])
+            .build()
+            .unwrap();
+        let d = difference(&a, &b).unwrap();
+        // One of the two duplicate (2,20) rows survives.
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn union_all_keeps_duplicates() {
+        let r = union_all(&t(), &t()).unwrap();
+        assert_eq!(r.len(), 8);
+    }
+
+    #[test]
+    fn extend_appends_columns() {
+        let r = extend(&t(), &[(col("a").mul(lit(2)), "a2".into())]).unwrap();
+        assert_eq!(r.schema().len(), 3);
+        assert_eq!(r.rows()[0][2], Value::Int(2));
+    }
+
+    #[test]
+    fn sort_by_orders_with_nulls_first_and_is_stable() {
+        let r = sort_by(
+            &t(),
+            &[(ColumnRef::parse("T.a"), true), (ColumnRef::parse("T.b"), false)],
+        )
+        .unwrap();
+        let firsts: Vec<_> = r.rows().iter().map(|row| row[0].clone()).collect();
+        assert!(firsts[0].is_null());
+        assert_eq!(firsts[1], Value::Int(1));
+        // Descending secondary key.
+        let r = sort_by(&t(), &[(ColumnRef::parse("T.b"), false)]).unwrap();
+        assert_eq!(r.rows()[0][1], Value::Int(30));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        assert_eq!(limit(&t(), 2).len(), 2);
+        assert_eq!(limit(&t(), 100).len(), 4);
+        assert_eq!(limit(&t(), 0).len(), 0);
+    }
+
+    #[test]
+    fn drop_columns_removes_computed() {
+        let r = extend(&t(), &[(lit(1), "cnt".into())]).unwrap();
+        let r = drop_columns(&r, &["cnt"]).unwrap();
+        assert_eq!(r.schema().len(), 2);
+    }
+}

@@ -1,0 +1,268 @@
+//! Multiset relations (SQL bag semantics).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A tuple is a boxed slice of values, positionally aligned with a
+/// [`Schema`].
+pub type Tuple = Box<[Value]>;
+
+/// An in-memory multiset of tuples over a schema.
+///
+/// SQL relations are bags, not sets; duplicate elimination is an explicit
+/// operator ([`crate::ops::distinct`]). All operators in this workspace
+/// preserve multiset semantics.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Arc<Schema>,
+    rows: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Construct from parts, validating tuple arity.
+    pub fn new(schema: Arc<Schema>, rows: Vec<Tuple>) -> Result<Self> {
+        for row in &rows {
+            if row.len() != schema.len() {
+                return Err(Error::ArityMismatch { expected: schema.len(), actual: row.len() });
+            }
+        }
+        Ok(Relation { schema, rows })
+    }
+
+    /// Construct without validation. Callers must guarantee arity; this is
+    /// the hot path used by operators that build rows against a known
+    /// schema.
+    pub fn from_parts(schema: Arc<Schema>, rows: Vec<Tuple>) -> Self {
+        debug_assert!(rows.iter().all(|r| r.len() == schema.len()));
+        Relation { schema, rows }
+    }
+
+    /// The empty relation over a schema.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    /// Schema accessor.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Row accessor.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Number of tuples (with duplicates).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Consume into rows.
+    pub fn into_rows(self) -> Vec<Tuple> {
+        self.rows
+    }
+
+    /// Re-qualify every attribute: the paper's renaming `Flow → F`.
+    pub fn renamed(&self, qualifier: &str) -> Relation {
+        Relation { schema: self.schema.with_qualifier(qualifier), rows: self.rows.clone() }
+    }
+
+    /// Re-qualify without cloning rows.
+    pub fn into_renamed(self, qualifier: &str) -> Relation {
+        Relation { schema: self.schema.with_qualifier(qualifier), rows: self.rows }
+    }
+
+    /// Multiset equality irrespective of row order: both relations are
+    /// sorted under the total value order and compared. Schemas must have
+    /// the same arity; qualifiers are ignored (derived plans produce
+    /// differently-qualified but equivalent outputs).
+    pub fn multiset_eq(&self, other: &Relation) -> bool {
+        if self.schema.len() != other.schema.len() || self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let mut a: Vec<&Tuple> = self.rows.iter().collect();
+        let mut b: Vec<&Tuple> = other.rows.iter().collect();
+        let cmp = |x: &&Tuple, y: &&Tuple| {
+            for (u, v) in x.iter().zip(y.iter()) {
+                let o = u.total_cmp(v);
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            std::cmp::Ordering::Equal
+        };
+        a.sort_by(cmp);
+        b.sort_by(cmp);
+        a.iter().zip(b.iter()).all(|(x, y)| cmp(x, y) == std::cmp::Ordering::Equal)
+    }
+
+    /// Rows sorted under the total order — deterministic output for
+    /// examples and golden tests.
+    pub fn sorted_rows(&self) -> Vec<Tuple> {
+        let mut rows = self.rows.clone();
+        rows.sort_by(|x, y| {
+            for (u, v) in x.iter().zip(y.iter()) {
+                let o = u.total_cmp(v);
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows
+    }
+}
+
+impl fmt::Display for Relation {
+    /// Render as an aligned ASCII table (used by the examples).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let headers: Vec<String> = self.schema.qualified_names();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let rule = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        rule(f)?;
+        write!(f, "|")?;
+        for (h, w) in headers.iter().zip(&widths) {
+            write!(f, " {h:<w$} |")?;
+        }
+        writeln!(f)?;
+        rule(f)?;
+        for row in &rendered {
+            write!(f, "|")?;
+            for (c, w) in row.iter().zip(&widths) {
+                write!(f, " {c:<w$} |")?;
+            }
+            writeln!(f)?;
+        }
+        rule(f)?;
+        writeln!(f, "({} rows)", self.rows.len())
+    }
+}
+
+/// Ergonomic construction of small relations for tests and examples.
+///
+/// ```
+/// use gmdj_relation::{RelationBuilder, DataType};
+/// let hours = RelationBuilder::new("H")
+///     .column("HourDsc", DataType::Int)
+///     .column("StartInterval", DataType::Int)
+///     .column("EndInterval", DataType::Int)
+///     .row(vec![1.into(), 0.into(), 60.into()])
+///     .row(vec![2.into(), 61.into(), 120.into()])
+///     .build()
+///     .unwrap();
+/// assert_eq!(hours.len(), 2);
+/// ```
+pub struct RelationBuilder {
+    qualifier: String,
+    columns: Vec<(String, crate::schema::DataType)>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl RelationBuilder {
+    /// Start a builder; every column will carry `qualifier`.
+    pub fn new(qualifier: impl Into<String>) -> Self {
+        RelationBuilder { qualifier: qualifier.into(), columns: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Append a column.
+    pub fn column(mut self, name: impl Into<String>, dt: crate::schema::DataType) -> Self {
+        self.columns.push((name.into(), dt));
+        self
+    }
+
+    /// Append a row.
+    pub fn row(mut self, values: Vec<Value>) -> Self {
+        self.rows.push(values);
+        self
+    }
+
+    /// Append many rows.
+    pub fn rows(mut self, rows: impl IntoIterator<Item = Vec<Value>>) -> Self {
+        self.rows.extend(rows);
+        self
+    }
+
+    /// Finalize.
+    pub fn build(self) -> Result<Relation> {
+        let fields = self
+            .columns
+            .iter()
+            .map(|(n, t)| crate::schema::Field::new(self.qualifier.clone(), n.clone(), *t))
+            .collect();
+        let schema = Schema::new(fields);
+        Relation::new(schema, self.rows.into_iter().map(|r| r.into_boxed_slice()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    fn rel(rows: Vec<Vec<Value>>) -> Relation {
+        RelationBuilder::new("T")
+            .column("a", DataType::Int)
+            .column("b", DataType::Int)
+            .rows(rows)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn arity_checked() {
+        let schema = Schema::qualified("T", &[("a", DataType::Int)]);
+        let bad = Relation::new(schema, vec![vec![Value::Int(1), Value::Int(2)].into_boxed_slice()]);
+        assert!(matches!(bad, Err(Error::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn multiset_eq_ignores_order_but_counts_duplicates() {
+        let a = rel(vec![vec![1.into(), 2.into()], vec![3.into(), 4.into()], vec![1.into(), 2.into()]]);
+        let b = rel(vec![vec![3.into(), 4.into()], vec![1.into(), 2.into()], vec![1.into(), 2.into()]]);
+        let c = rel(vec![vec![3.into(), 4.into()], vec![1.into(), 2.into()], vec![3.into(), 4.into()]]);
+        assert!(a.multiset_eq(&b));
+        assert!(!a.multiset_eq(&c));
+    }
+
+    #[test]
+    fn rename_preserves_rows() {
+        let a = rel(vec![vec![1.into(), 2.into()]]);
+        let b = a.renamed("X");
+        assert_eq!(b.schema().field(0).qualifier, "X");
+        assert!(a.multiset_eq(&b));
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let a = rel(vec![vec![1.into(), Value::Null]]);
+        let s = a.to_string();
+        assert!(s.contains("T.a"));
+        assert!(s.contains("NULL"));
+        assert!(s.contains("(1 rows)"));
+    }
+}

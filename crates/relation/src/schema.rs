@@ -1,0 +1,339 @@
+//! Schemas with qualified attribute names.
+//!
+//! Attribute references in the paper are always qualifier-dotted
+//! (`F.StartTime`, `H.EndInterval`). A [`Schema`] stores per-field
+//! qualifiers so that renamed relation instances (`Flow → F`) resolve
+//! correctly, including self-joins of the same base table under different
+//! qualifiers (`Flow → F1`, `Flow → F2` in Example 2.3).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+
+/// Static types carried by schemas. Values are dynamically typed at run
+/// time; the schema type is advisory (used by the data generators and the
+/// SQL front end for diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Int,
+    Float,
+    Str,
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "STR"),
+            DataType::Bool => write!(f, "BOOL"),
+        }
+    }
+}
+
+/// A single attribute of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Relation qualifier, e.g. `F` in `F.StartTime`. Empty string means
+    /// unqualified (computed columns such as aggregate outputs).
+    pub qualifier: String,
+    /// Attribute name.
+    pub name: String,
+    /// Advisory type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Construct a qualified field.
+    pub fn new(qualifier: impl Into<String>, name: impl Into<String>, data_type: DataType) -> Self {
+        Field { qualifier: qualifier.into(), name: name.into(), data_type }
+    }
+
+    /// Construct an unqualified field (computed columns).
+    pub fn unqualified(name: impl Into<String>, data_type: DataType) -> Self {
+        Field { qualifier: String::new(), name: name.into(), data_type }
+    }
+
+    /// `qualifier.name`, or bare `name` when unqualified.
+    pub fn qualified_name(&self) -> String {
+        if self.qualifier.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}.{}", self.qualifier, self.name)
+        }
+    }
+
+    /// Case-sensitive match against a reference that may or may not carry a
+    /// qualifier.
+    fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        match qualifier {
+            Some(q) => self.qualifier == q && self.name == name,
+            None => self.name == name,
+        }
+    }
+}
+
+/// An ordered list of fields describing the tuples of a [`crate::Relation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Arc<Self> {
+        Arc::new(Schema { fields })
+    }
+
+    /// Empty schema (zero attributes). Used for the seed GMDJ
+    /// `MD(B, ∅, {{}}, true)` in Algorithm SubqueryToGMDJ.
+    pub fn empty() -> Arc<Self> {
+        Arc::new(Schema { fields: Vec::new() })
+    }
+
+    /// Convenience: schema where all fields share one qualifier.
+    pub fn qualified(
+        qualifier: &str,
+        columns: &[(&str, DataType)],
+    ) -> Arc<Self> {
+        Schema::new(
+            columns
+                .iter()
+                .map(|(n, t)| Field::new(qualifier, *n, *t))
+                .collect(),
+        )
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Resolve a possibly-qualified reference to a column index.
+    ///
+    /// Unqualified references must be unique across the schema, matching
+    /// SQL scoping rules.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut found: Option<usize> = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.matches(qualifier, name) {
+                if found.is_some() {
+                    return Err(Error::AmbiguousColumn {
+                        name: display_ref(qualifier, name),
+                        candidates: self
+                            .fields
+                            .iter()
+                            .filter(|f| f.matches(qualifier, name))
+                            .map(Field::qualified_name)
+                            .collect(),
+                    });
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| Error::UnknownColumn {
+            name: display_ref(qualifier, name),
+            in_scope: self.fields.iter().map(Field::qualified_name).collect(),
+        })
+    }
+
+    /// True iff the reference resolves (unambiguously) in this schema.
+    pub fn contains(&self, qualifier: Option<&str>, name: &str) -> bool {
+        self.resolve(qualifier, name).is_ok()
+    }
+
+    /// A copy of this schema with every field's qualifier replaced.
+    /// Implements the paper's renaming `Flow → F`.
+    pub fn with_qualifier(&self, qualifier: &str) -> Arc<Schema> {
+        Schema::new(
+            self.fields
+                .iter()
+                .map(|f| Field::new(qualifier, f.name.clone(), f.data_type))
+                .collect(),
+        )
+    }
+
+    /// Concatenate two schemas (join output). Errors on duplicate qualified
+    /// names, which callers must avoid by renaming (footnote 1 in the
+    /// paper).
+    pub fn concat(&self, other: &Schema) -> Result<Arc<Schema>> {
+        let mut fields = self.fields.clone();
+        for f in &other.fields {
+            if fields
+                .iter()
+                .any(|g| g.qualifier == f.qualifier && g.name == f.name)
+            {
+                return Err(Error::DuplicateColumn { name: f.qualified_name() });
+            }
+            fields.push(f.clone());
+        }
+        Ok(Schema::new(fields))
+    }
+
+    /// Extend with computed (unqualified) fields, renaming on collision by
+    /// appending `_2`, `_3`, … as the paper's footnote 1 allows.
+    pub fn extend_computed(&self, extra: &[Field]) -> Arc<Schema> {
+        let mut fields = self.fields.clone();
+        for f in extra {
+            let mut candidate = f.clone();
+            let mut n = 1usize;
+            while fields
+                .iter()
+                .any(|g| g.qualifier == candidate.qualifier && g.name == candidate.name)
+            {
+                n += 1;
+                candidate.name = format!("{}_{n}", f.name);
+            }
+            fields.push(candidate);
+        }
+        Schema::new(fields)
+    }
+
+    /// All qualified names, for diagnostics.
+    pub fn qualified_names(&self) -> Vec<String> {
+        self.fields.iter().map(Field::qualified_name).collect()
+    }
+
+    /// The set of distinct qualifiers appearing in this schema.
+    pub fn qualifiers(&self) -> Vec<&str> {
+        let mut qs: Vec<&str> = Vec::new();
+        for f in &self.fields {
+            if !f.qualifier.is_empty() && !qs.contains(&f.qualifier.as_str()) {
+                qs.push(&f.qualifier);
+            }
+        }
+        qs
+    }
+}
+
+fn display_ref(qualifier: Option<&str>, name: &str) -> String {
+    match qualifier {
+        Some(q) => format!("{q}.{name}"),
+        None => name.to_string(),
+    }
+}
+
+/// A parsed attribute reference (`F.StartTime` or bare `StartTime`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    pub qualifier: Option<String>,
+    pub name: String,
+}
+
+impl ColumnRef {
+    /// Parse `"Q.name"` or `"name"`.
+    pub fn parse(s: &str) -> Self {
+        match s.split_once('.') {
+            Some((q, n)) => ColumnRef { qualifier: Some(q.to_string()), name: n.to_string() },
+            None => ColumnRef { qualifier: None, name: s.to_string() },
+        }
+    }
+
+    /// Fully qualified constructor.
+    pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>) -> Self {
+        ColumnRef { qualifier: Some(qualifier.into()), name: name.into() }
+    }
+
+    /// Unqualified constructor.
+    pub fn bare(name: impl Into<String>) -> Self {
+        ColumnRef { qualifier: None, name: name.into() }
+    }
+
+    /// Resolve in a schema.
+    pub fn resolve_in(&self, schema: &Schema) -> Result<usize> {
+        schema.resolve(self.qualifier.as_deref(), &self.name)
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> Arc<Schema> {
+        Schema::qualified(
+            "F",
+            &[
+                ("SourceIP", DataType::Str),
+                ("DestIP", DataType::Str),
+                ("StartTime", DataType::Int),
+                ("NumBytes", DataType::Int),
+            ],
+        )
+    }
+
+    #[test]
+    fn resolve_qualified_and_bare() {
+        let s = flow();
+        assert_eq!(s.resolve(Some("F"), "DestIP").unwrap(), 1);
+        assert_eq!(s.resolve(None, "NumBytes").unwrap(), 3);
+        assert!(s.resolve(Some("G"), "DestIP").is_err());
+        assert!(s.resolve(None, "Nope").is_err());
+    }
+
+    #[test]
+    fn ambiguous_bare_reference_errors() {
+        let a = flow();
+        let b = flow().with_qualifier("G");
+        let joined = a.concat(&b).unwrap();
+        assert!(matches!(
+            joined.resolve(None, "DestIP"),
+            Err(Error::AmbiguousColumn { .. })
+        ));
+        assert_eq!(joined.resolve(Some("G"), "DestIP").unwrap(), 5);
+    }
+
+    #[test]
+    fn concat_rejects_duplicates() {
+        let a = flow();
+        assert!(matches!(a.concat(&flow()), Err(Error::DuplicateColumn { .. })));
+    }
+
+    #[test]
+    fn rename_changes_qualifier() {
+        let s = flow().with_qualifier("F2");
+        assert!(s.resolve(Some("F"), "DestIP").is_err());
+        assert_eq!(s.resolve(Some("F2"), "DestIP").unwrap(), 1);
+    }
+
+    #[test]
+    fn extend_computed_renames_on_collision() {
+        let s = Schema::new(vec![Field::unqualified("cnt", DataType::Int)]);
+        let s2 = s.extend_computed(&[Field::unqualified("cnt", DataType::Int)]);
+        assert_eq!(s2.field(1).name, "cnt_2");
+    }
+
+    #[test]
+    fn column_ref_parse() {
+        let r = ColumnRef::parse("F.StartTime");
+        assert_eq!(r.qualifier.as_deref(), Some("F"));
+        assert_eq!(r.name, "StartTime");
+        let r = ColumnRef::parse("cnt");
+        assert_eq!(r.qualifier, None);
+    }
+}

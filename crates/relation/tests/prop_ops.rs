@@ -1,0 +1,256 @@
+//! Property tests for the relational substrate: operator equivalences and
+//! algebraic laws over randomized relations (with NULLs and duplicates).
+
+use proptest::prelude::*;
+
+use gmdj_relation::expr::{col, lit, CmpOp, Predicate, ScalarExpr};
+use gmdj_relation::index::IntervalIndex;
+use gmdj_relation::ops::{self, join};
+use gmdj_relation::relation::Relation;
+use gmdj_relation::schema::{ColumnRef, DataType, Schema};
+use gmdj_relation::value::{Truth, Value};
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        4 => (0i64..6).prop_map(Value::Int),
+        1 => Just(Value::Null),
+    ]
+}
+
+fn relation(qualifier: &'static str, max_rows: usize) -> impl Strategy<Value = Relation> {
+    let schema =
+        Schema::qualified(qualifier, &[("k", DataType::Int), ("v", DataType::Int)]);
+    proptest::collection::vec((value(), value()), 0..max_rows).prop_map(move |rows| {
+        Relation::from_parts(
+            schema.clone(),
+            rows.into_iter().map(|(k, v)| vec![k, v].into_boxed_slice()).collect(),
+        )
+    })
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// A join condition mixing an equality pair and a residual comparison.
+fn join_condition() -> impl Strategy<Value = Predicate> {
+    (proptest::bool::ANY, cmp_op(), proptest::bool::ANY).prop_map(|(with_equi, op, extra)| {
+        let mut p = if with_equi {
+            col("L.k").eq(col("R.k"))
+        } else {
+            ScalarExpr::Column(ColumnRef::qualified("L", "k"))
+                .cmp_with(op, col("R.k"))
+        };
+        if extra {
+            p = p.and(col("L.v").cmp_with(op, col("R.v")));
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Hash joins and block nested-loop joins are equivalent.
+    #[test]
+    fn hash_join_equals_nested_loop(
+        l in relation("L", 12),
+        r in relation("R", 12),
+        cond in join_condition(),
+    ) {
+        let h = join::theta_join(&l, &r, &cond).unwrap();
+        let n = join::nested_loop_join(&l, &r, &cond).unwrap();
+        prop_assert!(h.multiset_eq(&n));
+    }
+
+    /// Semi-join and anti-join partition the left input, on both the hash
+    /// and the forced-NL paths.
+    #[test]
+    fn semi_and_anti_partition(
+        l in relation("L", 12),
+        r in relation("R", 12),
+        cond in join_condition(),
+    ) {
+        let s = join::semi_join(&l, &r, &cond).unwrap();
+        let a = join::anti_join(&l, &r, &cond).unwrap();
+        prop_assert_eq!(s.len() + a.len(), l.len());
+        prop_assert!(join::semi_join_nl(&l, &r, &cond).unwrap().multiset_eq(&s));
+        prop_assert!(join::anti_join_nl(&l, &r, &cond).unwrap().multiset_eq(&a));
+        // Semi-join result equals the distinct-free filter of matching
+        // left rows of the inner join.
+        let inner = join::theta_join(&l, &r, &cond).unwrap();
+        for row in s.rows() {
+            prop_assert!(inner.rows().iter().any(|j| j[..2] == row[..]));
+        }
+    }
+
+    /// Left outer join: every left tuple appears; unmatched ones carry
+    /// NULL padding; the matched part is exactly the inner join.
+    #[test]
+    fn left_outer_join_laws(
+        l in relation("L", 10),
+        r in relation("R", 10),
+        cond in join_condition(),
+    ) {
+        let outer = join::left_outer_join(&l, &r, &cond).unwrap();
+        let inner = join::theta_join(&l, &r, &cond).unwrap();
+        let padded: Vec<_> =
+            outer.rows().iter().filter(|row| row[2].is_null() && row[3].is_null()).collect();
+        // inner ⊎ padded covers outer... sizes must tally: every left row
+        // appears max(matches, 1) times.
+        prop_assert!(outer.len() >= l.len());
+        prop_assert_eq!(outer.len(), inner.len() + padded.len());
+        // The non-padded part is the inner join (as multisets).
+        let matched_rows: Vec<_> = outer
+            .rows()
+            .iter()
+            .filter(|row| !(row[2].is_null() && row[3].is_null()))
+            .cloned()
+            .collect();
+        let matched = Relation::from_parts(outer.schema().clone(), matched_rows);
+        prop_assert!(matched.multiset_eq(&inner));
+    }
+
+    /// σ[p] ⊎ σ[¬p] loses exactly the unknown rows; both are subsets of
+    /// the input.
+    #[test]
+    fn select_and_negation_partition_modulo_unknown(
+        t in relation("T", 14),
+        op in cmp_op(),
+        k in 0i64..6,
+    ) {
+        let p = col("T.k").cmp_with(op, lit(k));
+        let yes = ops::select(&t, &p).unwrap();
+        let no = ops::select(&t, &p.clone().not()).unwrap();
+        let unknown = t.rows().iter().filter(|row| row[0].is_null()).count();
+        prop_assert_eq!(yes.len() + no.len() + unknown, t.len());
+    }
+
+    /// distinct is idempotent and bounded by the input.
+    #[test]
+    fn distinct_laws(t in relation("T", 14)) {
+        let d = ops::distinct(&t);
+        prop_assert!(d.len() <= t.len());
+        prop_assert!(ops::distinct(&d).multiset_eq(&d));
+    }
+
+    /// Multiset difference: |A ∖ B| + |A ∩ B|ᵐᵘˡᵗⁱ = |A|.
+    #[test]
+    fn difference_monus(a in relation("T", 12), b in relation("T", 12)) {
+        let d = ops::difference(&a, &b).unwrap();
+        prop_assert!(d.len() <= a.len());
+        // Subtracting twice changes nothing more.
+        let d2 = ops::difference(&d, &b).unwrap();
+        // d2 can only shrink if b had more copies than a at some tuple —
+        // impossible after one subtraction of the same b... unless b has
+        // duplicates that exceeded a's count the first time, in which case
+        // they were already exhausted. Hence idempotence:
+        prop_assert!(d2.multiset_eq(&ops::difference(&d, &b).unwrap()));
+        // Union then difference restores the original.
+        let u = ops::union_all(&a, &b).unwrap();
+        let back = ops::difference(&u, &b).unwrap();
+        prop_assert!(back.multiset_eq(&a));
+    }
+
+    /// Hash group-by: group sizes sum to the input size; global
+    /// aggregation matches a manual fold.
+    #[test]
+    fn group_by_laws(t in relation("T", 14)) {
+        use gmdj_relation::agg::NamedAgg;
+        let grouped = ops::group_by(
+            &t,
+            &[ColumnRef::parse("T.k")],
+            &[NamedAgg::count_star("cnt"), NamedAgg::sum(col("T.v"), "s")],
+        )
+        .unwrap();
+        let total: i64 = grouped.rows().iter().map(|r| r[1].as_i64().unwrap()).sum();
+        prop_assert_eq!(total as usize, t.len());
+        // Global sum agrees with a manual fold skipping NULLs.
+        let global = ops::group_by(&t, &[], &[NamedAgg::sum(col("T.v"), "s")]).unwrap();
+        let manual: Option<i64> = t
+            .rows()
+            .iter()
+            .filter_map(|r| r[1].as_i64())
+            .fold(None, |acc, v| Some(acc.unwrap_or(0) + v));
+        match manual {
+            Some(m) => prop_assert_eq!(global.rows()[0][0].clone(), Value::Int(m)),
+            None => prop_assert!(global.rows()[0][0].is_null()),
+        }
+    }
+
+    /// The interval index agrees with a linear scan of the band
+    /// condition.
+    #[test]
+    fn interval_index_equals_scan(
+        bounds in proptest::collection::vec((0i64..20, 0i64..20), 0..15),
+        probe in 0i64..25,
+        inclusive in proptest::bool::ANY,
+    ) {
+        let idx = IntervalIndex::build(
+            bounds.iter().map(|(lo, hi)| (Value::Int(*lo), Value::Int(*hi))),
+            inclusive,
+        );
+        let mut got = Vec::new();
+        idx.stab(&Value::Int(probe), &mut got);
+        got.sort_unstable();
+        let expected: Vec<u32> = bounds
+            .iter()
+            .enumerate()
+            .filter(|(_, (lo, hi))| {
+                *lo <= probe && if inclusive { probe <= *hi } else { probe < *hi }
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// 3VL laws hold under evaluation: double negation, De Morgan, and
+    /// comparison-operator complement.
+    #[test]
+    fn three_valued_logic_laws(
+        a in value(),
+        b in value(),
+        op in cmp_op(),
+    ) {
+        let schema = Schema::qualified("T", &[("x", DataType::Int), ("y", DataType::Int)]);
+        let row = [a, b];
+        let p = col("T.x").cmp_with(op, col("T.y"));
+        let not_p = Predicate::Not(Box::new(p.clone()));
+        let complement = col("T.x").cmp_with(op.negate(), col("T.y"));
+        let ev = |q: &Predicate| q.eval_row(&schema, &row).unwrap();
+        // ¬¬p = p
+        prop_assert_eq!(ev(&Predicate::Not(Box::new(not_p.clone()))), ev(&p));
+        // ¬(x φ y) = x φ̄ y under 3VL.
+        prop_assert_eq!(ev(&not_p), ev(&complement));
+        // De Morgan on (p ∧ q) with q = IS NULL.
+        let q = Predicate::IsNull(col("T.y"));
+        let lhs = Predicate::Not(Box::new(p.clone().and(q.clone())));
+        let rhs = not_p.or(Predicate::Not(Box::new(q)));
+        prop_assert_eq!(ev(&lhs), ev(&rhs));
+    }
+
+    /// Projection then projection composes; extend-then-drop is identity.
+    #[test]
+    fn project_extend_drop_roundtrip(t in relation("T", 10)) {
+        let extended = ops::extend(&t, &[(col("T.k").add(lit(1)), "k1".into())]).unwrap();
+        let dropped = ops::drop_columns(&extended, &["k1"]).unwrap();
+        prop_assert!(dropped.multiset_eq(&t));
+    }
+
+    /// Where-clause truncation: selected rows all evaluate to true.
+    #[test]
+    fn selection_soundness(t in relation("T", 12), op in cmp_op(), k in 0i64..6) {
+        let p = col("T.v").cmp_with(op, lit(k));
+        let out = ops::select(&t, &p).unwrap();
+        for row in out.rows() {
+            prop_assert_eq!(p.eval_row(t.schema(), row).unwrap(), Truth::True);
+        }
+    }
+}

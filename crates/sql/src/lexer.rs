@@ -1,0 +1,259 @@
+//! SQL tokenizer.
+
+use std::fmt;
+
+use gmdj_relation::error::{Error, Result};
+
+/// A lexical token. Keywords are uppercased identifiers matched against a
+/// fixed list; identifiers preserve their original case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (SELECT, FROM, WHERE, …), stored uppercase.
+    Keyword(String),
+    /// Identifier (table, column, alias).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `+ - /` and comparison symbols.
+    Op(String),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Ident(i) => write!(f, "{i}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Dot => write!(f, "."),
+            Token::Comma => write!(f, ","),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Star => write!(f, "*"),
+            Token::Op(o) => write!(f, "{o}"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "DISTINCT", "FROM", "WHERE", "AS", "AND", "OR", "NOT", "EXISTS", "IN", "ANY",
+    "SOME", "ALL", "IS", "NULL", "TRUE", "FALSE", "COUNT", "SUM", "MIN", "MAX", "AVG",
+    "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END", "GROUP", "BY", "HAVING", "ORDER",
+    "ASC", "DESC", "LIMIT", "JOIN", "INNER", "ON",
+];
+
+/// Tokenize an SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' | '-' | '/' | '=' => {
+                out.push(Token::Op(c.to_string()));
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && (bytes[i + 1] == b'=' || bytes[i + 1] == b'>') {
+                    out.push(Token::Op(format!("<{}", bytes[i + 1] as char)));
+                    i += 2;
+                } else {
+                    out.push(Token::Op("<".into()));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Op(">=".into()));
+                    i += 2;
+                } else {
+                    out.push(Token::Op(">".into()));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Op("<>".into()));
+                    i += 2;
+                } else {
+                    return Err(Error::invalid(format!("unexpected character `!` at {i}")));
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                let mut s = String::new();
+                loop {
+                    if j >= bytes.len() {
+                        return Err(Error::invalid("unterminated string literal"));
+                    }
+                    if bytes[j] == b'\'' {
+                        // '' escapes a quote.
+                        if j + 1 < bytes.len() && bytes[j + 1] == b'\'' {
+                            s.push('\'');
+                            j += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    s.push(bytes[j] as char);
+                    j += 1;
+                }
+                out.push(Token::Str(s));
+                i = j + 1;
+            }
+            '"' => {
+                // Double-quoted identifier.
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(Error::invalid("unterminated quoted identifier"));
+                }
+                out.push(Token::Ident(input[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
+                {
+                    // Don't swallow a dot that isn't followed by a digit
+                    // (qualified names never start with a digit, but be
+                    // strict anyway).
+                    if bytes[j] == b'.'
+                        && !(j + 1 < bytes.len() && (bytes[j + 1] as char).is_ascii_digit())
+                    {
+                        break;
+                    }
+                    j += 1;
+                }
+                let text = &input[start..j];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| Error::invalid(format!("bad number literal `{text}`")))?;
+                out.push(Token::Number(n));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &input[start..j];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    out.push(Token::Keyword(upper));
+                } else {
+                    out.push(Token::Ident(word.to_string()));
+                }
+                i = j;
+            }
+            other => {
+                return Err(Error::invalid(format!("unexpected character `{other}` at {i}")))
+            }
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_query() {
+        let toks = tokenize(
+            "SELECT c.name FROM customer AS c WHERE c.bal >= 10.5 AND c.x <> 'a''b'",
+        )
+        .unwrap();
+        assert!(toks.contains(&Token::Keyword("SELECT".into())));
+        assert!(toks.contains(&Token::Ident("customer".into())));
+        assert!(toks.contains(&Token::Op(">=".into())));
+        assert!(toks.contains(&Token::Number(10.5)));
+        assert!(toks.contains(&Token::Str("a'b".into())));
+        assert!(toks.contains(&Token::Op("<>".into())));
+        assert_eq!(toks.last(), Some(&Token::Eof));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = tokenize("select Select SELECT").unwrap();
+        assert_eq!(
+            toks[..3],
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Keyword("SELECT".into()),
+                Token::Keyword("SELECT".into())
+            ][..]
+        );
+    }
+
+    #[test]
+    fn dotted_names_and_numbers_disambiguate() {
+        let toks = tokenize("t.a 1.5 2.x").unwrap();
+        assert_eq!(toks[0], Token::Ident("t".into()));
+        assert_eq!(toks[1], Token::Dot);
+        assert_eq!(toks[2], Token::Ident("a".into()));
+        assert_eq!(toks[3], Token::Number(1.5));
+        assert_eq!(toks[4], Token::Number(2.0));
+        assert_eq!(toks[5], Token::Dot);
+    }
+
+    #[test]
+    fn bang_equals_normalizes() {
+        let toks = tokenize("a != b").unwrap();
+        assert_eq!(toks[1], Token::Op("<>".into()));
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("select ;").is_err());
+        assert!(tokenize("'unterminated").is_err());
+    }
+}

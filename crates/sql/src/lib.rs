@@ -1,0 +1,29 @@
+//! # gmdj-sql
+//!
+//! An SQL front end for the nested query algebra: "the nested algebra …
+//! directly maps to the subquery constructs of an SQL-like OLAP query
+//! language" (Section 2.1). The supported subset is exactly the query
+//! class the paper's algorithm covers:
+//!
+//! ```sql
+//! SELECT [DISTINCT] cols | agg(expr) | *
+//! FROM table [AS alias] [, table [AS alias] ...]
+//! WHERE predicate
+//! ```
+//!
+//! where `predicate` is built from comparisons, arithmetic, `AND`/`OR`/
+//! `NOT`, `IS [NOT] NULL`, and the SQL subquery constructs:
+//! `EXISTS (…)`, `NOT EXISTS (…)`, `x IN (…)`, `x NOT IN (…)`,
+//! `x op ANY/SOME (…)`, `x op ALL (…)`, and scalar `x op (…)` —
+//! arbitrarily nested.
+//!
+//! [`parse_query`] produces a [`gmdj_algebra::ast::QueryExpr`] ready for
+//! any evaluation strategy in `gmdj-engine`, including the
+//! SubqueryToGMDJ translation.
+
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use lower::parse_query;
+pub use parser::{parse_statement, SelectItem, SelectStmt, SqlExpr};

@@ -1,0 +1,631 @@
+//! Lowering parsed SQL onto the nested query algebra.
+
+use gmdj_algebra::ast::{NestedPredicate, Quantifier, QueryExpr, SubqueryPred};
+use gmdj_relation::agg::{AggFunc, NamedAgg};
+use gmdj_relation::error::{Error, Result};
+use gmdj_relation::expr::{CmpOp, Predicate, ScalarExpr};
+use gmdj_relation::schema::ColumnRef;
+use gmdj_relation::value::{Truth, Value};
+
+use crate::parser::{parse_statement, SelectItem, SelectStmt, SqlAggFunc, SqlExpr, SqlQuantifier};
+
+/// Parse SQL text and lower it to a nested query expression.
+pub fn parse_query(sql: &str) -> Result<QueryExpr> {
+    lower_select(&parse_statement(sql)?)
+}
+
+/// Lower one SELECT statement.
+pub fn lower_select(stmt: &SelectStmt) -> Result<QueryExpr> {
+    // FROM: fold into cross joins (selections recover the join
+    // conditions; the optimizers re-derive equi-joins from conjuncts).
+    let mut from_iter = stmt.from.iter();
+    let Some((t0, a0)) = from_iter.next() else {
+        return Err(Error::invalid("FROM clause is empty"));
+    };
+    let mut source = QueryExpr::table(t0, a0);
+    for (t, a) in from_iter {
+        source = source.join(QueryExpr::table(t, a), Predicate::true_());
+    }
+
+    // WHERE (with explicit JOIN ON conditions conjoined in — the FROM is
+    // lowered as a cross join and the optimizers re-derive equi-joins).
+    let mut predicate: Option<NestedPredicate> = None;
+    for on in &stmt.join_conditions {
+        let p = lower_pred(on)?;
+        predicate = Some(match predicate {
+            Some(acc) => acc.and(p),
+            None => p,
+        });
+    }
+    if let Some(w) = &stmt.where_clause {
+        let p = lower_pred(w)?;
+        predicate = Some(match predicate {
+            Some(acc) => acc.and(p),
+            None => p,
+        });
+    }
+    let with_where = match predicate {
+        Some(p) => source.select(p),
+        None => source,
+    };
+
+    // GROUP BY / aggregate select lists.
+    let projected = lower_projection(stmt, with_where)?;
+
+    // ORDER BY (columns or aggregate aliases, which are unqualified
+    // computed columns after grouping).
+    let mut result = projected;
+    if !stmt.order_by.is_empty() {
+        let keys = stmt
+            .order_by
+            .iter()
+            .map(|(e, asc)| match e {
+                SqlExpr::Column { qualifier, name } => {
+                    Ok((ColumnRef { qualifier: qualifier.clone(), name: name.clone() }, *asc))
+                }
+                other => Err(Error::invalid(format!(
+                    "ORDER BY supports column references only, found {other:?}"
+                ))),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        result = result.order_by(keys);
+    }
+    if let Some(n) = stmt.limit {
+        result = result.limit(n);
+    }
+    Ok(result)
+}
+
+/// Lower the select list (and GROUP BY / HAVING) of a statement over the
+/// already-filtered input.
+fn lower_projection(stmt: &SelectStmt, input: QueryExpr) -> Result<QueryExpr> {
+    // Grouped (or globally aggregated multi-item) queries.
+    let has_aggs = stmt.items.iter().any(|i| {
+        matches!(i, SelectItem::Expr { expr: SqlExpr::Agg { .. }, .. })
+    });
+    if !stmt.group_by.is_empty() || (has_aggs && stmt.items.len() > 1) {
+        let keys = stmt
+            .group_by
+            .iter()
+            .map(|e| match e {
+                SqlExpr::Column { qualifier, name } => {
+                    Ok(ColumnRef { qualifier: qualifier.clone(), name: name.clone() })
+                }
+                other => Err(Error::invalid(format!(
+                    "GROUP BY supports column references only, found {other:?}"
+                ))),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        // The select list must consist of group keys and aggregates.
+        let mut aggs = Vec::new();
+        for item in &stmt.items {
+            match item {
+                SelectItem::Expr { expr: SqlExpr::Agg { func, arg }, alias } => {
+                    let output = alias.clone().unwrap_or_else(|| default_agg_name(*func));
+                    aggs.push(lower_agg(*func, arg.as_deref(), output)?);
+                }
+                SelectItem::Expr { expr: SqlExpr::Column { qualifier, name }, .. } => {
+                    let c = ColumnRef { qualifier: qualifier.clone(), name: name.clone() };
+                    if !keys.contains(&c) {
+                        return Err(Error::invalid(format!(
+                            "column {c} in the select list must appear in GROUP BY"
+                        )));
+                    }
+                }
+                other => {
+                    return Err(Error::invalid(format!(
+                        "grouped select lists contain group keys and aggregates, found {other:?}"
+                    )))
+                }
+            }
+        }
+        let mut grouped = input.group_by(keys, aggs);
+        if let Some(h) = &stmt.having {
+            grouped = grouped.select(lower_pred(h)?);
+        }
+        return Ok(grouped);
+    }
+    if stmt.having.is_some() {
+        return Err(Error::invalid("HAVING requires GROUP BY in this subset"));
+    }
+
+    // Ungrouped select lists.
+    if stmt.items.len() == 1 {
+        match &stmt.items[0] {
+            SelectItem::Star => {
+                if stmt.distinct {
+                    return Err(Error::invalid("SELECT DISTINCT * is not supported"));
+                }
+                return Ok(input);
+            }
+            SelectItem::Expr { expr: SqlExpr::Agg { func, arg }, alias } => {
+                let output = alias.clone().unwrap_or_else(|| default_agg_name(*func));
+                let agg = lower_agg(*func, arg.as_deref(), output)?;
+                return Ok(input.agg_project(agg));
+            }
+            _ => {}
+        }
+    }
+    // Column projection.
+    let mut columns = Vec::with_capacity(stmt.items.len());
+    for item in &stmt.items {
+        match item {
+            SelectItem::Star => {
+                return Err(Error::invalid("mixing * with other select items"))
+            }
+            SelectItem::Expr { expr: SqlExpr::Column { qualifier, name }, alias } => {
+                if alias.is_some() {
+                    return Err(Error::invalid(
+                        "column aliases in select lists are not supported in this subset",
+                    ));
+                }
+                columns.push(ColumnRef { qualifier: qualifier.clone(), name: name.clone() });
+            }
+            SelectItem::Expr { expr, .. } => {
+                return Err(Error::invalid(format!(
+                    "unsupported select item {expr:?}: this subset projects columns or a \
+                     single aggregate"
+                )))
+            }
+        }
+    }
+    Ok(if stmt.distinct {
+        input.project_distinct(columns)
+    } else {
+        input.project(columns)
+    })
+}
+
+fn default_agg_name(func: SqlAggFunc) -> String {
+    match func {
+        SqlAggFunc::CountStar | SqlAggFunc::Count => "count".into(),
+        SqlAggFunc::CountDistinct => "count_distinct".into(),
+        SqlAggFunc::Sum => "sum".into(),
+        SqlAggFunc::Min => "min".into(),
+        SqlAggFunc::Max => "max".into(),
+        SqlAggFunc::Avg => "avg".into(),
+    }
+}
+
+fn lower_agg(func: SqlAggFunc, arg: Option<&SqlExpr>, output: String) -> Result<NamedAgg> {
+    let f = match func {
+        SqlAggFunc::CountStar => return Ok(NamedAgg::count_star(output)),
+        SqlAggFunc::Count => AggFunc::Count,
+        SqlAggFunc::CountDistinct => AggFunc::CountDistinct,
+        SqlAggFunc::Sum => AggFunc::Sum,
+        SqlAggFunc::Min => AggFunc::Min,
+        SqlAggFunc::Max => AggFunc::Max,
+        SqlAggFunc::Avg => AggFunc::Avg,
+    };
+    let arg = arg.ok_or_else(|| Error::invalid("aggregate function needs an argument"))?;
+    Ok(NamedAgg::new(f, lower_scalar(arg)?, output))
+}
+
+fn cmp_op(op: &str) -> Result<CmpOp> {
+    Ok(match op {
+        "=" => CmpOp::Eq,
+        "<>" => CmpOp::Ne,
+        "<" => CmpOp::Lt,
+        "<=" => CmpOp::Le,
+        ">" => CmpOp::Gt,
+        ">=" => CmpOp::Ge,
+        other => return Err(Error::invalid(format!("unknown comparison operator {other}"))),
+    })
+}
+
+/// Lower a WHERE expression to a nested predicate.
+pub fn lower_pred(e: &SqlExpr) -> Result<NestedPredicate> {
+    match e {
+        SqlExpr::And(a, b) => Ok(lower_pred(a)?.and(lower_pred(b)?)),
+        SqlExpr::Or(a, b) => Ok(lower_pred(a)?.or(lower_pred(b)?)),
+        SqlExpr::Not(inner) => Ok(lower_pred(inner)?.not()),
+        SqlExpr::Bool(b) => Ok(NestedPredicate::Atom(Predicate::Literal(if *b {
+            Truth::True
+        } else {
+            Truth::False
+        }))),
+        SqlExpr::IsNull { expr, negated } => {
+            let scalar = lower_scalar(expr)?;
+            Ok(NestedPredicate::Atom(if *negated {
+                Predicate::IsNotNull(scalar)
+            } else {
+                Predicate::IsNull(scalar)
+            }))
+        }
+        SqlExpr::Exists { query, negated } => {
+            Ok(NestedPredicate::Subquery(SubqueryPred::Exists {
+                query: Box::new(lower_select(query)?),
+                negated: *negated,
+            }))
+        }
+        SqlExpr::InSubquery { expr, query, negated } => {
+            Ok(NestedPredicate::Subquery(SubqueryPred::In {
+                left: lower_scalar(expr)?,
+                query: Box::new(lower_select(query)?),
+                negated: *negated,
+            }))
+        }
+        SqlExpr::QuantCmp { left, op, quantifier, query } => {
+            Ok(NestedPredicate::Subquery(SubqueryPred::Quantified {
+                left: lower_scalar(left)?,
+                op: cmp_op(op)?,
+                quantifier: match quantifier {
+                    SqlQuantifier::Any => Quantifier::Some,
+                    SqlQuantifier::All => Quantifier::All,
+                },
+                query: Box::new(lower_select(query)?),
+            }))
+        }
+        SqlExpr::Cmp { op, left, right } => {
+            let op = cmp_op(op)?;
+            match (left.as_ref(), right.as_ref()) {
+                (SqlExpr::ScalarSubquery(_), SqlExpr::ScalarSubquery(_)) => Err(Error::invalid(
+                    "comparisons between two subqueries are not supported",
+                )),
+                (l, SqlExpr::ScalarSubquery(q)) => {
+                    Ok(NestedPredicate::Subquery(SubqueryPred::Cmp {
+                        left: lower_scalar(l)?,
+                        op,
+                        query: Box::new(lower_select(q)?),
+                    }))
+                }
+                (SqlExpr::ScalarSubquery(q), r) => {
+                    // `(SELECT …) op x  ≡  x flip(op) (SELECT …)`.
+                    Ok(NestedPredicate::Subquery(SubqueryPred::Cmp {
+                        left: lower_scalar(r)?,
+                        op: op.flip(),
+                        query: Box::new(lower_select(q)?),
+                    }))
+                }
+                (l, r) => Ok(NestedPredicate::Atom(Predicate::Cmp {
+                    op,
+                    left: lower_scalar(l)?,
+                    right: lower_scalar(r)?,
+                })),
+            }
+        }
+        other => Err(Error::invalid(format!("expected a predicate, found {other:?}"))),
+    }
+}
+
+/// Lower a scalar expression.
+pub fn lower_scalar(e: &SqlExpr) -> Result<ScalarExpr> {
+    match e {
+        SqlExpr::Column { qualifier, name } => Ok(ScalarExpr::Column(ColumnRef {
+            qualifier: qualifier.clone(),
+            name: name.clone(),
+        })),
+        SqlExpr::Number(n) => Ok(ScalarExpr::Literal(number_value(*n))),
+        SqlExpr::Str(s) => Ok(ScalarExpr::Literal(Value::str(s))),
+        SqlExpr::Null => Ok(ScalarExpr::Literal(Value::Null)),
+        SqlExpr::Bool(b) => Ok(ScalarExpr::Literal(Value::Bool(*b))),
+        SqlExpr::Arith { op, left, right } => {
+            let l = lower_scalar(left)?;
+            let r = lower_scalar(right)?;
+            Ok(match op {
+                '+' => l.add(r),
+                '-' => l.sub(r),
+                '*' => l.mul(r),
+                '/' => l.div(r),
+                other => return Err(Error::invalid(format!("unknown arithmetic op {other}"))),
+            })
+        }
+        SqlExpr::Case { branches, otherwise } => {
+            let lowered: Vec<(Predicate, ScalarExpr)> = branches
+                .iter()
+                .map(|(w, t)| {
+                    let pred = lower_pred(w)?.to_flat().ok_or_else(|| {
+                        Error::invalid("subqueries inside CASE conditions are not supported")
+                    })?;
+                    Ok((pred, lower_scalar(t)?))
+                })
+                .collect::<Result<_>>()?;
+            Ok(ScalarExpr::Case {
+                branches: lowered,
+                otherwise: match otherwise {
+                    Some(e) => Some(Box::new(lower_scalar(e)?)),
+                    None => None,
+                },
+            })
+        }
+        SqlExpr::ScalarSubquery(_) => Err(Error::invalid(
+            "scalar subqueries may only appear as a comparison operand",
+        )),
+        SqlExpr::Agg { .. } => Err(Error::invalid(
+            "aggregate functions may only appear in select lists",
+        )),
+        other => Err(Error::invalid(format!("expected a scalar expression, found {other:?}"))),
+    }
+}
+
+/// Integral literals stay `Int` so grouping and key equality behave like
+/// SQL integers; everything else is `Float`.
+fn number_value(n: f64) -> Value {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        Value::Int(n as i64)
+    } else {
+        Value::Float(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmdj_core::exec::MemoryCatalog;
+    use gmdj_engine::strategy::{run_all_agree, Strategy};
+    use gmdj_relation::relation::RelationBuilder;
+    use gmdj_relation::schema::DataType;
+
+    fn catalog() -> MemoryCatalog {
+        let customers = RelationBuilder::new("customer")
+            .column("custkey", DataType::Int)
+            .column("acctbal", DataType::Int)
+            .row(vec![1.into(), 100.into()])
+            .row(vec![2.into(), 200.into()])
+            .row(vec![3.into(), 300.into()])
+            .build()
+            .unwrap();
+        let orders = RelationBuilder::new("orders")
+            .column("custkey", DataType::Int)
+            .column("total", DataType::Int)
+            .row(vec![1.into(), 50.into()])
+            .row(vec![1.into(), 150.into()])
+            .row(vec![3.into(), 400.into()])
+            .build()
+            .unwrap();
+        MemoryCatalog::new().with("customer", customers).with("orders", orders)
+    }
+
+    fn strategies() -> Vec<Strategy> {
+        vec![
+            Strategy::NaiveNestedLoop,
+            Strategy::JoinUnnest,
+            Strategy::GmdjBasic,
+            Strategy::GmdjOptimized,
+        ]
+    }
+
+    #[test]
+    fn exists_query_round_trips() {
+        let q = parse_query(
+            "SELECT * FROM customer c WHERE EXISTS \
+             (SELECT * FROM orders o WHERE o.custkey = c.custkey AND o.total > 100)",
+        )
+        .unwrap();
+        let results = run_all_agree(&q, &catalog(), &strategies()).unwrap();
+        assert_eq!(results[0].1.relation.len(), 2);
+    }
+
+    #[test]
+    fn not_in_round_trips() {
+        let q = parse_query(
+            "SELECT c.custkey FROM customer c WHERE c.custkey NOT IN \
+             (SELECT o.custkey FROM orders o)",
+        )
+        .unwrap();
+        let results = run_all_agree(&q, &catalog(), &strategies()).unwrap();
+        assert_eq!(results[0].1.relation.len(), 1);
+    }
+
+    #[test]
+    fn quantified_all_round_trips() {
+        let q = parse_query(
+            "SELECT * FROM customer c WHERE c.acctbal >= ALL \
+             (SELECT o.total FROM orders o WHERE o.custkey <> c.custkey)",
+        )
+        .unwrap();
+        let results = run_all_agree(&q, &catalog(), &strategies()).unwrap();
+        // Customer 2: others' orders are 50,150,400 → 200 fails; customer
+        // 3: others' are 50,150 → 300 passes; customer 1: other is 400 →
+        // fails.
+        assert_eq!(results[0].1.relation.len(), 1);
+    }
+
+    #[test]
+    fn scalar_aggregate_comparison_round_trips() {
+        let q = parse_query(
+            "SELECT c.custkey FROM customer c WHERE c.acctbal > \
+             (SELECT SUM(o.total) FROM orders o WHERE o.custkey = c.custkey)",
+        )
+        .unwrap();
+        let results = run_all_agree(&q, &catalog(), &strategies()).unwrap();
+        // c1: 100 > 200? no. c2: 100 > NULL → unknown. c3: 300 > 400? no.
+        assert_eq!(results[0].1.relation.len(), 0);
+    }
+
+    #[test]
+    fn reversed_scalar_comparison_flips() {
+        let q = parse_query(
+            "SELECT c.custkey FROM customer c WHERE \
+             (SELECT SUM(o.total) FROM orders o WHERE o.custkey = c.custkey) < c.acctbal",
+        )
+        .unwrap();
+        let q2 = parse_query(
+            "SELECT c.custkey FROM customer c WHERE c.acctbal > \
+             (SELECT SUM(o.total) FROM orders o WHERE o.custkey = c.custkey)",
+        )
+        .unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn distinct_projection_lowered() {
+        let q = parse_query("SELECT DISTINCT o.custkey FROM orders o").unwrap();
+        assert!(matches!(q, QueryExpr::Project { distinct: true, .. }));
+    }
+
+    #[test]
+    fn multi_table_from_becomes_join() {
+        let q = parse_query(
+            "SELECT c.custkey FROM customer c, orders o WHERE c.custkey = o.custkey",
+        )
+        .unwrap();
+        let results = run_all_agree(&q, &catalog(), &strategies()).unwrap();
+        assert_eq!(results[0].1.relation.len(), 3);
+    }
+
+    #[test]
+    fn unsupported_shapes_error_cleanly() {
+        assert!(parse_query("SELECT c.a + 1 FROM c").is_err());
+        assert!(parse_query("SELECT DISTINCT * FROM c").is_err());
+        assert!(parse_query(
+            "SELECT * FROM c WHERE (SELECT MAX(a.x) FROM a) = (SELECT MIN(b.y) FROM b)"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn group_by_having_order_limit_round_trips() {
+        let q = parse_query(
+            "SELECT o.custkey, COUNT(*) AS n, SUM(o.total) AS s \
+             FROM orders o GROUP BY o.custkey HAVING n > 1 \
+             ORDER BY s DESC LIMIT 1",
+        )
+        .unwrap();
+        // Shape: Limit(OrderBy(Select(GroupBy(...)))).
+        let QueryExpr::Limit { input, n } = &q else { panic!("{q}") };
+        assert_eq!(*n, 1);
+        let QueryExpr::OrderBy { input, keys } = input.as_ref() else { panic!("{q}") };
+        assert!(!keys[0].1, "DESC");
+        assert!(matches!(input.as_ref(), QueryExpr::Select { .. }));
+        // Executes identically across strategies; customer 1 has two
+        // orders summing 200.
+        for strat in strategies() {
+            let r = gmdj_engine::strategy::run(&q, &catalog(), strat).unwrap();
+            assert_eq!(r.relation.len(), 1, "{strat:?}");
+            let row = &r.relation.rows()[0];
+            assert_eq!(row[0], Value::Int(1));
+            assert_eq!(row[1], Value::Int(2));
+            assert_eq!(row[2], Value::Int(200));
+        }
+    }
+
+    #[test]
+    fn global_multi_aggregate_select_list() {
+        let q = parse_query("SELECT COUNT(*) AS n, MAX(o.total) AS m FROM orders o").unwrap();
+        let r = gmdj_engine::strategy::run(
+            &q,
+            &catalog(),
+            gmdj_engine::strategy::Strategy::GmdjOptimized,
+        )
+        .unwrap();
+        assert_eq!(r.relation.rows()[0][0], Value::Int(3));
+        assert_eq!(r.relation.rows()[0][1], Value::Int(400));
+    }
+
+    #[test]
+    fn group_by_with_subquery_in_where() {
+        // Per-customer order counts, but only for customers that exist in
+        // the customer table with a positive balance.
+        let q = parse_query(
+            "SELECT o.custkey, COUNT(*) AS n FROM orders o \
+             WHERE EXISTS (SELECT * FROM customer c \
+                           WHERE c.custkey = o.custkey AND c.acctbal > 0) \
+             GROUP BY o.custkey ORDER BY o.custkey",
+        )
+        .unwrap();
+        let mut previous: Option<gmdj_relation::relation::Relation> = None;
+        for strat in strategies() {
+            let r = gmdj_engine::strategy::run(&q, &catalog(), strat).unwrap();
+            assert_eq!(r.relation.len(), 2, "{strat:?}");
+            if let Some(p) = &previous {
+                assert!(p.multiset_eq(&r.relation));
+            }
+            previous = Some(r.relation);
+        }
+    }
+
+    #[test]
+    fn explicit_join_on_equals_comma_join() {
+        let explicit = parse_query(
+            "SELECT c.custkey FROM customer c JOIN orders o ON o.custkey = c.custkey \
+             WHERE o.total > 100",
+        )
+        .unwrap();
+        let comma = parse_query(
+            "SELECT c.custkey FROM customer c, orders o \
+             WHERE o.custkey = c.custkey AND o.total > 100",
+        )
+        .unwrap();
+        for strat in strategies() {
+            let a = gmdj_engine::strategy::run(&explicit, &catalog(), strat).unwrap();
+            let b = gmdj_engine::strategy::run(&comma, &catalog(), strat).unwrap();
+            assert!(a.relation.multiset_eq(&b.relation), "{strat:?}");
+            assert_eq!(a.relation.len(), 2); // orders 150 and 400
+        }
+    }
+
+    #[test]
+    fn join_on_with_subquery_in_where() {
+        let q = parse_query(
+            "SELECT c.custkey FROM customer c INNER JOIN orders o ON o.custkey = c.custkey \
+             WHERE NOT EXISTS (SELECT * FROM orders o2 \
+                               WHERE o2.custkey = c.custkey AND o2.total > o.total)",
+        )
+        .unwrap();
+        // For each customer keep only join rows with their maximal order.
+        let results =
+            gmdj_engine::strategy::run_all_agree(&q, &catalog(), &strategies()).unwrap();
+        assert_eq!(results[0].1.relation.len(), 2); // one max per customer with orders
+    }
+
+    #[test]
+    fn conditional_aggregation_via_case() {
+        // The paper (Section 5) mentions CASE-based conditional
+        // aggregation as the SQL-only alternative to the GMDJ; the front
+        // end supports it for comparison.
+        let q = parse_query(
+            "SELECT o.custkey, SUM(CASE WHEN o.total > 100 THEN 1 ELSE 0 END) AS big \
+             FROM orders o GROUP BY o.custkey ORDER BY o.custkey",
+        )
+        .unwrap();
+        let r = gmdj_engine::strategy::run(
+            &q,
+            &catalog(),
+            gmdj_engine::strategy::Strategy::GmdjOptimized,
+        )
+        .unwrap();
+        let rows = r.relation.sorted_rows();
+        // Customer 1: totals 50, 150 → one big; customer 3: 400 → one.
+        assert_eq!(rows[0][1], Value::Int(1));
+        assert_eq!(rows[1][1], Value::Int(1));
+    }
+
+    #[test]
+    fn count_distinct_round_trips() {
+        // Distinct customers with orders: custkeys {1, 3} → 2.
+        let q = parse_query("SELECT COUNT(DISTINCT o.custkey) AS n FROM orders o").unwrap();
+        for strat in strategies() {
+            let r = gmdj_engine::strategy::run(&q, &catalog(), strat).unwrap();
+            assert_eq!(r.relation.rows()[0][0], Value::Int(2), "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn case_without_else_defaults_to_null() {
+        let q = parse_query(
+            "SELECT COUNT(CASE WHEN o.total > 100 THEN o.total END) AS n FROM orders o",
+        )
+        .unwrap();
+        let r = gmdj_engine::strategy::run(
+            &q,
+            &catalog(),
+            gmdj_engine::strategy::Strategy::NaiveNestedLoop,
+        )
+        .unwrap();
+        // COUNT skips the NULLs from non-matching rows: 150 and 400.
+        assert_eq!(r.relation.rows()[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn having_without_group_by_rejected() {
+        assert!(parse_query("SELECT * FROM t HAVING 1 = 1").is_err());
+    }
+
+    #[test]
+    fn numbers_lower_to_ints_when_integral() {
+        let q = parse_query("SELECT * FROM c WHERE c.x = 5").unwrap();
+        let text = format!("{q}");
+        assert!(text.contains("c.x = 5"), "{text}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Parser robustness: arbitrary input must never panic — only `Ok` or a
+//! clean `Err` — and structurally valid generated SQL must parse.
+
+use proptest::prelude::*;
+
+use gmdj_sql::{parse_query, parse_statement};
+
+/// Random text over an SQL-flavoured alphabet (keywords, idents, symbols,
+/// numbers, strings — plus junk).
+fn sql_soup() -> impl Strategy<Value = String> {
+    let token = prop_oneof![
+        Just("SELECT".to_string()),
+        Just("FROM".to_string()),
+        Just("WHERE".to_string()),
+        Just("EXISTS".to_string()),
+        Just("NOT".to_string()),
+        Just("IN".to_string()),
+        Just("ALL".to_string()),
+        Just("AND".to_string()),
+        Just("OR".to_string()),
+        Just("GROUP".to_string()),
+        Just("BY".to_string()),
+        Just("ORDER".to_string()),
+        Just("LIMIT".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just(",".to_string()),
+        Just("*".to_string()),
+        Just("=".to_string()),
+        Just("<>".to_string()),
+        Just("<=".to_string()),
+        Just("'str'".to_string()),
+        Just("t.a".to_string()),
+        Just("tbl".to_string()),
+        "[a-z]{1,6}".prop_map(|s| s),
+        (0i64..1000).prop_map(|n| n.to_string()),
+        (0u32..100, 0u32..100).prop_map(|(a, b)| format!("{a}.{b}")),
+    ];
+    proptest::collection::vec(token, 0..25).prop_map(|v| v.join(" "))
+}
+
+/// Structurally valid SELECTs assembled from templates.
+fn valid_sql() -> impl Strategy<Value = String> {
+    let cols = prop_oneof![
+        Just("*".to_string()),
+        Just("t.a".to_string()),
+        Just("t.a, t.b".to_string()),
+        Just("COUNT(*) AS n".to_string()),
+    ];
+    let op = prop_oneof![Just("="), Just("<>"), Just("<"), Just(">="),];
+    let pred = (op, 0i64..100, proptest::bool::ANY).prop_map(|(op, k, neg)| {
+        let base = format!("t.a {op} {k}");
+        if neg {
+            format!("NOT ({base})")
+        } else {
+            base
+        }
+    });
+    let sub = prop_oneof![
+        Just("EXISTS (SELECT * FROM s WHERE s.x = t.a)".to_string()),
+        Just("t.a IN (SELECT s.x FROM s)".to_string()),
+        Just("t.a >= ALL (SELECT s.x FROM s WHERE s.y <> t.b)".to_string()),
+        Just("t.b < (SELECT MAX(s.x) FROM s WHERE s.y = t.a)".to_string()),
+    ];
+    (cols, pred, sub, proptest::bool::ANY, 0usize..50).prop_map(
+        |(cols, pred, sub, order, limit)| {
+            let grouped = cols.starts_with("COUNT");
+            let mut sql = format!("SELECT {cols} FROM t WHERE {pred} AND {sub}");
+            if order && !grouped {
+                sql.push_str(" ORDER BY t.a DESC");
+            }
+            if limit > 0 && !grouped {
+                sql.push_str(&format!(" LIMIT {limit}"));
+            }
+            sql
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// No input crashes the lexer, parser, or lowering.
+    #[test]
+    fn parser_never_panics(input in sql_soup()) {
+        let _ = parse_statement(&input);
+        let _ = parse_query(&input);
+    }
+
+    /// Structurally valid SQL always parses and lowers.
+    #[test]
+    fn valid_sql_parses_and_lowers(sql in valid_sql()) {
+        let stmt = parse_statement(&sql);
+        prop_assert!(stmt.is_ok(), "parse failed for `{sql}`: {stmt:?}");
+        let lowered = parse_query(&sql);
+        prop_assert!(lowered.is_ok(), "lowering failed for `{sql}`: {lowered:?}");
+        // The lowered query mentions a subquery.
+        prop_assert!(lowered.unwrap().subquery_count() >= 1);
+    }
+}

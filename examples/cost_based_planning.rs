@@ -1,0 +1,105 @@
+//! Cost-based plan selection — the paper's Section 6 proposal in action.
+//!
+//! "Because the GMDJ evaluation has a well-defined cost, it is easy to
+//! incorporate the GMDJ algorithm … into a cost-based framework." This
+//! example translates a three-subquery query, enumerates the rewrite
+//! alternatives (chained / hoisted / coalesced / coalesced + completion),
+//! prints the cost model's estimate for each, then *measures* each plan
+//! and shows that the model's ranking matches reality.
+//!
+//! ```text
+//! cargo run --release --example cost_based_planning
+//! ```
+
+use std::time::Instant;
+
+use gmdj_algebra::ast::{exists, not_exists, QueryExpr};
+use gmdj_core::cost::{cost_based_optimize, estimate};
+use gmdj_core::exec::{execute, ExecContext};
+use gmdj_core::optimize::{optimize_with, OptFlags};
+use gmdj_core::translate::subquery_to_gmdj;
+use gmdj_datagen::netflow::{NetflowConfig, NetflowData, HOT_DEST_IPS};
+use gmdj_relation::expr::{col, lit};
+use gmdj_relation::schema::ColumnRef;
+
+fn main() {
+    let data = NetflowData::generate(&NetflowConfig {
+        hours: 24,
+        flows: 60_000,
+        users: 60,
+        source_ips: 80,
+        seed: 3,
+    });
+    let catalog = data.into_catalog();
+
+    // Example 2.3's base-values query: three subqueries over Flow.
+    let flow_to = |q: &str, ip: &str| {
+        QueryExpr::table("Flow", q).select_flat(
+            col("F0.SourceIP")
+                .eq(col(&format!("{q}.SourceIP")))
+                .and(col(&format!("{q}.DestIP")).eq(lit(ip))),
+        )
+    };
+    let query = QueryExpr::table("Flow", "F0")
+        .project_distinct(vec![ColumnRef::parse("F0.SourceIP")])
+        .select(
+            not_exists(flow_to("F1", HOT_DEST_IPS[0]))
+                .and(exists(flow_to("F2", HOT_DEST_IPS[1])))
+                .and(not_exists(flow_to("F3", HOT_DEST_IPS[2]))),
+        );
+    let translated = subquery_to_gmdj(&query, &catalog).expect("translate");
+
+    println!("Plan alternatives for Example 2.3's base-values query");
+    println!("({} flows; estimates from gmdj_core::cost):\n", 60_000);
+    println!(
+        "{:<24} {:>12} {:>12} {:>12}   {:>10} {:>12}",
+        "alternative", "est. io", "est. cpu", "est. total", "actual ms", "actual work"
+    );
+
+    let alternatives = [
+        ("chained (as translated)", OptFlags { hoist: false, coalesce: false, completion: false }),
+        ("hoisted", OptFlags { hoist: true, coalesce: false, completion: false }),
+        ("coalesced", OptFlags { hoist: true, coalesce: true, completion: false }),
+        ("coalesced+completion", OptFlags { hoist: true, coalesce: true, completion: true }),
+    ];
+
+    let mut measured: Vec<(f64, f64)> = Vec::new(); // (est total, actual ms)
+    let mut baseline = None;
+    for (name, flags) in alternatives {
+        let plan = optimize_with(&translated, &flags);
+        let est = estimate(&plan, &catalog).expect("estimate");
+        let mut ctx = ExecContext::new();
+        let start = Instant::now();
+        let rel = execute(&plan, &catalog, &mut ctx).expect("execute");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:<24} {:>12.0} {:>12.0} {:>12.0}   {:>10.1} {:>12}",
+            name,
+            est.cost.io,
+            est.cost.cpu,
+            est.cost.total(),
+            ms,
+            ctx.stats.work()
+        );
+        measured.push((est.cost.total(), ms));
+        match &baseline {
+            None => baseline = Some(rel),
+            Some(b) => assert!(b.multiset_eq(&rel), "alternatives must agree"),
+        }
+    }
+
+    // The model must rank the coalesced plans below the chained one.
+    assert!(
+        measured.last().unwrap().0 < measured.first().unwrap().0,
+        "cost model should prefer the optimized plan"
+    );
+
+    let (best, est) = cost_based_optimize(&translated, &catalog).expect("cost-based");
+    println!(
+        "\ncost_based_optimize picked a plan with {} GMDJ operator(s), \
+         estimated total {:.0}:",
+        best.gmdj_count(),
+        est.cost.total()
+    );
+    println!("{best}");
+}

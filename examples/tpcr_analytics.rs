@@ -1,0 +1,100 @@
+//! TPC-R-flavored analytics through the SQL front end.
+//!
+//! Three ad-hoc subquery queries over the generated TPC-R-style database,
+//! parsed from SQL, lowered to the nested algebra, and evaluated under
+//! every strategy — the full pipeline a downstream user of this library
+//! would run.
+//!
+//! ```text
+//! cargo run --release --example tpcr_analytics
+//! ```
+
+use gmdj_datagen::tpcr::{TpcrConfig, TpcrData};
+use gmdj_engine::strategy::{run, Strategy};
+use gmdj_sql::parse_query;
+
+fn main() {
+    let cfg = TpcrConfig {
+        customers: 1_000,
+        orders: 3_000,
+        lineitems: 30_000,
+        parts: 1_500,
+        suppliers: 100,
+        seed: 2026,
+    };
+    println!(
+        "TPC-R-style database: {} customers, {} orders, {} lineitems, {} parts\n",
+        cfg.customers, cfg.orders, cfg.lineitems, cfg.parts
+    );
+    let catalog = TpcrData::generate(&cfg).into_catalog();
+
+    let queries: &[(&str, &str)] = &[
+        (
+            "Q22-flavor — customers with balance above 9000 and no orders at all",
+            "SELECT c.custkey, c.acctbal
+             FROM customer c
+             WHERE c.acctbal > 9000
+               AND NOT EXISTS (SELECT * FROM orders o WHERE o.custkey = c.custkey)",
+        ),
+        (
+            "Q17-flavor — lineitems far below their part's average quantity",
+            "SELECT l.orderkey, l.partkey
+             FROM lineitem l
+             WHERE l.quantity * 5 <
+                   (SELECT AVG(l2.quantity) FROM lineitem l2 WHERE l2.partkey = l.partkey)",
+        ),
+        (
+            "universal — suppliers whose balance beats every supplier in nation 0",
+            "SELECT s.suppkey
+             FROM supplier s
+             WHERE s.acctbal >= ALL
+                   (SELECT s2.acctbal FROM supplier s2 WHERE s2.nationkey = 0)",
+        ),
+    ];
+
+    for (title, sql) in queries {
+        // The pure tuple-iteration baseline is quadratic in
+        // outer × inner; include it only where the outer block is small.
+        let strategies: &[Strategy] = if title.starts_with("Q17") {
+            &[
+                Strategy::NativeSmart,
+                Strategy::JoinUnnest,
+                Strategy::GmdjBasic,
+                Strategy::GmdjOptimized,
+            ]
+        } else {
+            &[
+                Strategy::NaiveNestedLoop,
+                Strategy::NativeSmart,
+                Strategy::JoinUnnest,
+                Strategy::GmdjBasic,
+                Strategy::GmdjOptimized,
+            ]
+        };
+        println!("── {title}");
+        println!("{}", sql.lines().map(|l| format!("   {}\n", l.trim())).collect::<String>());
+        let query = match parse_query(sql) {
+            Ok(q) => q,
+            Err(e) => {
+                println!("   parse error: {e}");
+                continue;
+            }
+        };
+        let mut expected = None;
+        for &strat in strategies {
+            let result = run(&query, &catalog, strat).expect("run");
+            println!(
+                "   {:<10} {:>9.2} ms   {:>12} work units   {:>6} rows",
+                strat.label(),
+                result.wall.as_secs_f64() * 1e3,
+                result.stats.work(),
+                result.relation.len()
+            );
+            match &expected {
+                None => expected = Some(result.relation),
+                Some(r) => assert!(r.multiset_eq(&result.relation), "strategies disagree"),
+            }
+        }
+        println!();
+    }
+}

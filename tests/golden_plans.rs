@@ -1,0 +1,85 @@
+//! Golden EXPLAIN plans: the exact text of translated and optimized plans
+//! for the paper's worked examples. These pin the translation and
+//! optimizer output — any change to the emitted plans must be a conscious
+//! one.
+
+use gmdj_algebra::ast::{exists, not_exists, QueryExpr};
+use gmdj_core::exec::MemoryCatalog;
+use gmdj_engine::strategy::explain_gmdj;
+use gmdj_relation::expr::{col, lit};
+use gmdj_relation::relation::RelationBuilder;
+use gmdj_relation::schema::{ColumnRef, DataType};
+
+fn catalog() -> MemoryCatalog {
+    let flow = RelationBuilder::new("Flow")
+        .column("SourceIP", DataType::Str)
+        .column("DestIP", DataType::Str)
+        .column("StartTime", DataType::Int)
+        .column("NumBytes", DataType::Int)
+        .build()
+        .unwrap();
+    let hours = RelationBuilder::new("Hours")
+        .column("HourDsc", DataType::Int)
+        .column("StartInterval", DataType::Int)
+        .column("EndInterval", DataType::Int)
+        .build()
+        .unwrap();
+    MemoryCatalog::new().with("Flow", flow).with("Hours", hours)
+}
+
+/// Example 2.2's base table, translated (Example 3.1 of the paper).
+#[test]
+fn golden_example_3_1_basic_plan() {
+    let inner = QueryExpr::table("Flow", "FI").select_flat(
+        col("FI.DestIP")
+            .eq(lit("167.167.167.0"))
+            .and(col("FI.StartTime").ge(col("H.StartInterval")))
+            .and(col("FI.StartTime").lt(col("H.EndInterval"))),
+    );
+    let q = QueryExpr::table("Hours", "H").select(exists(inner));
+    let plan = explain_gmdj(&q, &catalog(), false).unwrap();
+    let expected = "\
+DropComputed [__cnt1]
+  Select [__cnt1 > 0]
+    GMDJ (1 blocks)
+      · (count(*) → __cnt1) | θ: ((FI.DestIP = \"167.167.167.0\" ∧ FI.StartTime >= H.StartInterval) ∧ FI.StartTime < H.EndInterval)
+      base:
+        Scan Hours → H
+      detail:
+        Scan Flow → FI
+";
+    assert_eq!(plan, expected, "translated plan drifted:\n{plan}");
+}
+
+/// Example 2.3's base table, optimized (Example 4.1 of the paper): a
+/// single coalesced GMDJ with fail-fast completion.
+#[test]
+fn golden_example_4_1_optimized_plan() {
+    let flow_to = |q: &str, ip: &str| {
+        QueryExpr::table("Flow", q).select_flat(
+            col("F0.SourceIP")
+                .eq(col(&format!("{q}.SourceIP")))
+                .and(col(&format!("{q}.DestIP")).eq(lit(ip))),
+        )
+    };
+    let q = QueryExpr::table("Flow", "F0")
+        .project_distinct(vec![ColumnRef::parse("F0.SourceIP")])
+        .select(
+            not_exists(flow_to("F1", "167.167.167.0"))
+                .and(exists(flow_to("F2", "168.168.168.0")))
+                .and(not_exists(flow_to("F3", "169.169.169.0"))),
+        );
+    let plan = explain_gmdj(&q, &catalog(), true).unwrap();
+    let expected = "\
+FilteredGMDJ (3 blocks) σ[((__cnt1 = 0 ∧ __cnt2 > 0) ∧ __cnt3 = 0)] keep=base-only +completion(fail-fast)
+  · (count(*) → __cnt1) | θ: (F0.SourceIP = F1.SourceIP ∧ F1.DestIP = \"167.167.167.0\")
+  · (count(*) → __cnt2) | θ: (F0.SourceIP = F1.SourceIP ∧ F1.DestIP = \"168.168.168.0\")
+  · (count(*) → __cnt3) | θ: (F0.SourceIP = F1.SourceIP ∧ F1.DestIP = \"169.169.169.0\")
+  base:
+    Project DISTINCT [F0.SourceIP]
+      Scan Flow → F0
+  detail:
+    Scan Flow → F1
+";
+    assert_eq!(plan, expected, "optimized plan drifted:\n{plan}");
+}

@@ -1,0 +1,121 @@
+//! Subqueries over *grouped* sources: EXISTS / comparison subqueries whose
+//! FROM is itself a GROUP BY — exercising the block-boundary behaviour of
+//! peel_block and the General-body paths of every strategy.
+
+use gmdj_algebra::ast::{exists, NestedPredicate, QueryExpr, SubqueryPred};
+use gmdj_core::exec::MemoryCatalog;
+use gmdj_engine::strategy::{run_all_agree, Strategy};
+use gmdj_relation::agg::NamedAgg;
+use gmdj_relation::expr::{col, lit, CmpOp};
+use gmdj_relation::relation::RelationBuilder;
+use gmdj_relation::schema::{ColumnRef, DataType};
+
+fn catalog() -> MemoryCatalog {
+    let customers = RelationBuilder::new("c")
+        .column("custkey", DataType::Int)
+        .column("tier", DataType::Int)
+        .row(vec![1.into(), 1.into()])
+        .row(vec![2.into(), 2.into()])
+        .row(vec![3.into(), 1.into()])
+        .row(vec![4.into(), 3.into()])
+        .build()
+        .unwrap();
+    let orders = RelationBuilder::new("o")
+        .column("custkey", DataType::Int)
+        .column("total", DataType::Int)
+        .row(vec![1.into(), 10.into()])
+        .row(vec![1.into(), 20.into()])
+        .row(vec![1.into(), 30.into()])
+        .row(vec![2.into(), 40.into()])
+        .row(vec![3.into(), 5.into()])
+        .row(vec![3.into(), 5.into()])
+        .build()
+        .unwrap();
+    MemoryCatalog::new().with("customer", customers).with("orders", orders)
+}
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::NaiveNestedLoop,
+        Strategy::NativeSmart,
+        Strategy::NativeSmartNoIndex,
+        Strategy::JoinUnnest,
+        Strategy::JoinUnnestNoIndex,
+        Strategy::GmdjBasic,
+        Strategy::GmdjOptimized,
+    ]
+}
+
+/// Grouped orders as the subquery source: customers with ≥ 2 orders.
+fn grouped_orders() -> QueryExpr {
+    QueryExpr::table("orders", "o").group_by(
+        vec![ColumnRef::parse("o.custkey")],
+        vec![NamedAgg::count_star("n"), NamedAgg::sum(col("o.total"), "s")],
+    )
+}
+
+#[test]
+fn exists_over_grouped_source() {
+    // Customers that appear in the grouped orders with n >= 2.
+    let sub = grouped_orders()
+        .select_flat(col("o.custkey").eq(col("c.custkey")).and(col("n").ge(lit(2))));
+    let q = QueryExpr::table("customer", "c").select(exists(sub));
+    let results = run_all_agree(&q, &catalog(), &strategies()).unwrap();
+    // Customers 1 (3 orders) and 3 (2 orders).
+    assert_eq!(results[0].1.relation.len(), 2);
+}
+
+#[test]
+fn scalar_comparison_over_grouped_source() {
+    // tier * 25 < (sum of this customer's orders, from the grouped view).
+    let sub = grouped_orders()
+        .select_flat(col("o.custkey").eq(col("c.custkey")))
+        .project(vec![ColumnRef::parse("s")]);
+    let pred = NestedPredicate::Subquery(SubqueryPred::Cmp {
+        left: col("c.tier").mul(lit(25)),
+        op: CmpOp::Lt,
+        query: Box::new(sub),
+    });
+    let q = QueryExpr::table("customer", "c").select(pred);
+    let results = run_all_agree(&q, &catalog(), &strategies()).unwrap();
+    // c1: 25 < 60 ✓; c2: 50 < 40 ✗; c3: 25 < 10 ✗; c4: no group → NULL →
+    // unknown ✗.
+    assert_eq!(results[0].1.relation.len(), 1);
+    assert_eq!(
+        results[0].1.relation.rows()[0][0],
+        gmdj_relation::value::Value::Int(1)
+    );
+}
+
+#[test]
+fn quantified_over_grouped_source() {
+    // tier >= ALL (counts of every customer's orders) — only tier 3 beats
+    // a max group size of 3.
+    let sub = grouped_orders().project(vec![ColumnRef::parse("n")]);
+    let pred = NestedPredicate::Subquery(SubqueryPred::Quantified {
+        left: col("c.tier"),
+        op: CmpOp::Ge,
+        quantifier: gmdj_algebra::ast::Quantifier::All,
+        query: Box::new(sub),
+    });
+    let q = QueryExpr::table("customer", "c").select(pred);
+    let results = run_all_agree(&q, &catalog(), &strategies()).unwrap();
+    assert_eq!(results[0].1.relation.len(), 1);
+    assert_eq!(
+        results[0].1.relation.rows()[0][1],
+        gmdj_relation::value::Value::Int(3)
+    );
+}
+
+#[test]
+fn having_inside_subquery_source() {
+    // EXISTS over grouped-with-having: σ[n > 2](γ(orders)) correlated on
+    // the key.
+    let sub = grouped_orders()
+        .select_flat(col("n").gt(lit(2)))
+        .select_flat(col("o.custkey").eq(col("c.custkey")));
+    let q = QueryExpr::table("customer", "c").select(exists(sub));
+    let results = run_all_agree(&q, &catalog(), &strategies()).unwrap();
+    // Only customer 1 has more than two orders.
+    assert_eq!(results[0].1.relation.len(), 1);
+}

@@ -1,0 +1,165 @@
+//! SQL text → parser → nested algebra → all strategies, over generated
+//! TPC-R-style data.
+
+use gmdj_core::exec::MemoryCatalog;
+use gmdj_datagen::tpcr::{TpcrConfig, TpcrData};
+use gmdj_engine::strategy::{run, run_all_agree, Strategy};
+use gmdj_sql::parse_query;
+
+fn catalog() -> MemoryCatalog {
+    TpcrData::generate(&TpcrConfig {
+        customers: 40,
+        orders: 150,
+        lineitems: 300,
+        parts: 25,
+        suppliers: 12,
+        seed: 99,
+    })
+    .into_catalog()
+}
+
+fn lineup() -> Vec<Strategy> {
+    vec![
+        Strategy::NaiveNestedLoop,
+        Strategy::NativeSmart,
+        Strategy::NativeSmartNoIndex,
+        Strategy::JoinUnnest,
+        Strategy::JoinUnnestNoIndex,
+        Strategy::GmdjBasic,
+        Strategy::GmdjOptimized,
+        Strategy::GmdjOptimizedNoProbeIndex,
+    ]
+}
+
+fn check(sql: &str) -> usize {
+    let q = parse_query(sql).unwrap_or_else(|e| panic!("parse failed for {sql}: {e}"));
+    let results = run_all_agree(&q, &catalog(), &lineup())
+        .unwrap_or_else(|e| panic!("execution failed for {sql}: {e}"));
+    results[0].1.relation.len()
+}
+
+#[test]
+fn exists_subquery() {
+    let n = check(
+        "SELECT c.custkey FROM customer c WHERE EXISTS \
+         (SELECT * FROM orders o WHERE o.custkey = c.custkey AND o.totalprice > 100000)",
+    );
+    assert!(n > 0 && n < 40, "{n}");
+}
+
+#[test]
+fn not_exists_subquery() {
+    let n = check(
+        "SELECT c.custkey FROM customer c WHERE NOT EXISTS \
+         (SELECT * FROM orders o WHERE o.custkey = c.custkey)",
+    );
+    assert!(n > 0, "some customer must lack orders at this density");
+}
+
+#[test]
+fn in_and_not_in() {
+    let a = check(
+        "SELECT c.custkey FROM customer c WHERE c.custkey IN \
+         (SELECT o.custkey FROM orders o WHERE o.totalprice > 200000)",
+    );
+    let b = check(
+        "SELECT c.custkey FROM customer c WHERE c.custkey NOT IN \
+         (SELECT o.custkey FROM orders o WHERE o.totalprice > 200000)",
+    );
+    assert_eq!(a + b, 40, "IN and NOT IN partition the customers (no NULL keys)");
+}
+
+#[test]
+fn quantified_any_and_all() {
+    let any = check(
+        "SELECT p.partkey FROM part p WHERE p.retailprice > ANY \
+         (SELECT p2.retailprice FROM part p2 WHERE p2.partkey <> p.partkey)",
+    );
+    let all = check(
+        "SELECT p.partkey FROM part p WHERE p.retailprice >= ALL \
+         (SELECT p2.retailprice FROM part p2 WHERE p2.partkey <> p.partkey)",
+    );
+    assert!(any >= 24, "everything but the cheapest beats something: {any}");
+    assert!((1..=3).contains(&all), "only the most expensive beats everything: {all}");
+}
+
+#[test]
+fn scalar_aggregate_comparison() {
+    let n = check(
+        "SELECT l.orderkey FROM lineitem l WHERE l.quantity > \
+         (SELECT AVG(l2.quantity) FROM lineitem l2 WHERE l2.partkey = l.partkey)",
+    );
+    assert!(n > 0 && n < 300, "{n}");
+}
+
+#[test]
+fn nested_two_levels() {
+    // Customers with an urgent order whose clerk also booked a low order.
+    let n = check(
+        "SELECT c.custkey FROM customer c WHERE EXISTS \
+         (SELECT * FROM orders o WHERE o.custkey = c.custkey AND EXISTS \
+            (SELECT * FROM orders o2 WHERE o2.clerk = o.clerk AND o2.orderkey <> o.orderkey))",
+    );
+    assert!(n <= 40);
+}
+
+#[test]
+fn disjunction_of_subqueries() {
+    let n = check(
+        "SELECT c.custkey FROM customer c WHERE EXISTS \
+         (SELECT * FROM orders o WHERE o.custkey = c.custkey AND o.totalprice > 400000) \
+         OR c.acctbal > 9000",
+    );
+    assert!(n > 0);
+}
+
+#[test]
+fn mixed_conjunction_with_flat_predicates() {
+    let n = check(
+        "SELECT c.custkey FROM customer c \
+         WHERE c.acctbal > 0 \
+           AND c.custkey IN (SELECT o.custkey FROM orders o) \
+           AND NOT EXISTS (SELECT * FROM orders o2 \
+                           WHERE o2.custkey = c.custkey AND o2.totalprice > 450000)",
+    );
+    assert!(n < 40);
+}
+
+#[test]
+fn not_over_subquery_normalizes() {
+    // NOT (x IN S) must behave exactly like x NOT IN S.
+    let a = check(
+        "SELECT c.custkey FROM customer c WHERE NOT (c.custkey IN \
+         (SELECT o.custkey FROM orders o))",
+    );
+    let b = check(
+        "SELECT c.custkey FROM customer c WHERE c.custkey NOT IN \
+         (SELECT o.custkey FROM orders o)",
+    );
+    assert_eq!(a, b);
+}
+
+#[test]
+fn uncorrelated_subqueries() {
+    let n = check(
+        "SELECT s.suppkey FROM supplier s WHERE s.acctbal > \
+         (SELECT AVG(s2.acctbal) FROM supplier s2)",
+    );
+    assert!(n > 0 && n < 12);
+}
+
+#[test]
+fn explain_of_sql_query_via_gmdj() {
+    let q = parse_query(
+        "SELECT c.custkey FROM customer c WHERE EXISTS \
+         (SELECT * FROM orders o WHERE o.custkey = c.custkey)",
+    )
+    .unwrap();
+    let plan = gmdj_engine::strategy::explain_gmdj(&q, &catalog(), true).unwrap();
+    assert!(plan.contains("FilteredGMDJ"), "{plan}");
+    assert!(plan.contains("keep=base-only"), "{plan}");
+    // The GMDJ run agrees with the reference.
+    let r1 = run(&q, &catalog(), Strategy::NaiveNestedLoop).unwrap();
+    let r2 = run(&q, &catalog(), Strategy::GmdjOptimized).unwrap();
+    assert!(r1.relation.multiset_eq(&r2.relation));
+}
