@@ -88,13 +88,12 @@ pub fn classify_correlations(query: &QueryExpr, enclosing: &[Vec<String>]) -> Co
 /// plus, while visiting selection predicates, the current block's own
 /// qualifiers as the last entry. Records `(depth_of_block, FreeRef)` where
 /// `depth_of_block` is the number of scopes enclosing the *occurrence*.
-fn walk_query(
-    query: &QueryExpr,
-    scopes: &mut Vec<Vec<String>>,
-    out: &mut Vec<(usize, FreeRef)>,
-) {
-    let local: Vec<String> =
-        query.local_qualifiers().into_iter().map(str::to_string).collect();
+fn walk_query(query: &QueryExpr, scopes: &mut Vec<Vec<String>>, out: &mut Vec<(usize, FreeRef)>) {
+    let local: Vec<String> = query
+        .local_qualifiers()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
     scopes.push(local);
     collect_from_query(query, scopes, out);
     scopes.pop();
@@ -165,11 +164,7 @@ fn collect_from_predicate(
     }
 }
 
-fn record_columns(
-    cols: &[ColumnRef],
-    scopes: &[Vec<String>],
-    out: &mut Vec<(usize, FreeRef)>,
-) {
+fn record_columns(cols: &[ColumnRef], scopes: &[Vec<String>], out: &mut Vec<(usize, FreeRef)>) {
     let depth_of_block = scopes.len() - 1; // number of *enclosing* scopes
     let current = scopes.last().expect("scope stack never empty here");
     for c in cols {
@@ -184,7 +179,13 @@ fn record_columns(
                 break;
             }
         }
-        out.push((depth_of_block, FreeRef { column: c.clone(), levels_up }));
+        out.push((
+            depth_of_block,
+            FreeRef {
+                column: c.clone(),
+                levels_up,
+            },
+        ));
     }
 }
 
@@ -250,8 +251,12 @@ mod tests {
     #[test]
     fn non_neighboring_correlation_detected() {
         let q = example_3_3();
-        let QueryExpr::Select { predicate, .. } = &q else { unreachable!() };
-        let NestedPredicate::Subquery(sq) = predicate else { unreachable!() };
+        let QueryExpr::Select { predicate, .. } = &q else {
+            unreachable!()
+        };
+        let NestedPredicate::Subquery(sq) = predicate else {
+            unreachable!()
+        };
         // The Hours subquery, in the scope of User→U: the F.SourceIP =
         // U.IPAddress reference reaches 2 levels up from the Flow block.
         let refs = free_references(sq.query(), &[vec!["U".into()]]);
@@ -262,13 +267,16 @@ mod tests {
         );
         // The innermost Flow subquery, analyzed against [U, H] scopes, is
         // neighboring w.r.t. H but non-neighboring overall.
-        let QueryExpr::Select { predicate: hours_pred, .. } = sq.query() else {
+        let QueryExpr::Select {
+            predicate: hours_pred,
+            ..
+        } = sq.query()
+        else {
             unreachable!()
         };
         let subs = hours_pred.top_level_subqueries();
         assert_eq!(subs.len(), 1);
-        let refs =
-            free_references(subs[0].query(), &[vec!["U".into()], vec!["H".into()]]);
+        let refs = free_references(subs[0].query(), &[vec!["U".into()], vec!["H".into()]]);
         let ups: Vec<_> = refs.iter().filter_map(|r| r.levels_up).collect();
         assert!(ups.contains(&1)); // H references
         assert!(ups.contains(&2)); // U reference

@@ -21,27 +21,48 @@ pub enum QueryExpr {
     /// attributes of the scan are qualified with `qualifier`.
     Table { name: String, qualifier: String },
     /// `σ[W](input)` — selection whose predicate may embed subqueries.
-    Select { input: Box<QueryExpr>, predicate: NestedPredicate },
+    Select {
+        input: Box<QueryExpr>,
+        predicate: NestedPredicate,
+    },
     /// `π[columns](input)` — projection; `distinct` selects set semantics
     /// (the paper's base-values tables, e.g. `π[SourceIP]Flow` in
     /// Example 2.3, are distinct projections).
-    Project { input: Box<QueryExpr>, columns: Vec<ColumnRef>, distinct: bool },
+    Project {
+        input: Box<QueryExpr>,
+        columns: Vec<ColumnRef>,
+        distinct: bool,
+    },
     /// `π[f(y)](input)` — ungrouped scalar aggregate, always exactly one
     /// row (NULL-valued for empty input except COUNT). The inner block of
     /// an aggregate comparison subquery `σ[B.x φ π[f(R.y)]σ[θ](R)]B`.
-    AggProject { input: Box<QueryExpr>, agg: NamedAgg },
+    AggProject {
+        input: Box<QueryExpr>,
+        agg: NamedAgg,
+    },
     /// `left ⋈_on right` — ordinary θ-join with a flat condition. Appears
     /// in source expressions and is introduced by the push-down rules for
     /// non-neighboring predicates (Theorems 3.3/3.4).
-    Join { left: Box<QueryExpr>, right: Box<QueryExpr>, on: Predicate },
+    Join {
+        left: Box<QueryExpr>,
+        right: Box<QueryExpr>,
+        on: Predicate,
+    },
     /// γ\[keys; aggs\](input) — SQL GROUP BY. The output schema is the key
     /// columns followed by the aggregate outputs. Not a subquery
     /// construct; appears in source positions and at the top of OLAP
     /// queries.
-    GroupBy { input: Box<QueryExpr>, keys: Vec<ColumnRef>, aggs: Vec<NamedAgg> },
+    GroupBy {
+        input: Box<QueryExpr>,
+        keys: Vec<ColumnRef>,
+        aggs: Vec<NamedAgg>,
+    },
     /// SQL ORDER BY — presentation only (relations are multisets). Keys
     /// are `(column, ascending)`.
-    OrderBy { input: Box<QueryExpr>, keys: Vec<(ColumnRef, bool)> },
+    OrderBy {
+        input: Box<QueryExpr>,
+        keys: Vec<(ColumnRef, bool)>,
+    },
     /// SQL LIMIT — keep the first `n` tuples of the (ordered) input.
     Limit { input: Box<QueryExpr>, n: usize },
 }
@@ -49,12 +70,18 @@ pub enum QueryExpr {
 impl QueryExpr {
     /// `Table { name, qualifier }` builder.
     pub fn table(name: impl Into<String>, qualifier: impl Into<String>) -> QueryExpr {
-        QueryExpr::Table { name: name.into(), qualifier: qualifier.into() }
+        QueryExpr::Table {
+            name: name.into(),
+            qualifier: qualifier.into(),
+        }
     }
 
     /// Wrap in a selection.
     pub fn select(self, predicate: NestedPredicate) -> QueryExpr {
-        QueryExpr::Select { input: Box::new(self), predicate }
+        QueryExpr::Select {
+            input: Box::new(self),
+            predicate,
+        }
     }
 
     /// Wrap in a selection over a flat (non-nested) predicate.
@@ -64,37 +91,62 @@ impl QueryExpr {
 
     /// Duplicate-preserving projection.
     pub fn project(self, columns: Vec<ColumnRef>) -> QueryExpr {
-        QueryExpr::Project { input: Box::new(self), columns, distinct: false }
+        QueryExpr::Project {
+            input: Box::new(self),
+            columns,
+            distinct: false,
+        }
     }
 
     /// Distinct projection.
     pub fn project_distinct(self, columns: Vec<ColumnRef>) -> QueryExpr {
-        QueryExpr::Project { input: Box::new(self), columns, distinct: true }
+        QueryExpr::Project {
+            input: Box::new(self),
+            columns,
+            distinct: true,
+        }
     }
 
     /// Scalar aggregate projection.
     pub fn agg_project(self, agg: NamedAgg) -> QueryExpr {
-        QueryExpr::AggProject { input: Box::new(self), agg }
+        QueryExpr::AggProject {
+            input: Box::new(self),
+            agg,
+        }
     }
 
     /// θ-join builder.
     pub fn join(self, right: QueryExpr, on: Predicate) -> QueryExpr {
-        QueryExpr::Join { left: Box::new(self), right: Box::new(right), on }
+        QueryExpr::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+        }
     }
 
     /// GROUP BY builder.
     pub fn group_by(self, keys: Vec<ColumnRef>, aggs: Vec<NamedAgg>) -> QueryExpr {
-        QueryExpr::GroupBy { input: Box::new(self), keys, aggs }
+        QueryExpr::GroupBy {
+            input: Box::new(self),
+            keys,
+            aggs,
+        }
     }
 
     /// ORDER BY builder.
     pub fn order_by(self, keys: Vec<(ColumnRef, bool)>) -> QueryExpr {
-        QueryExpr::OrderBy { input: Box::new(self), keys }
+        QueryExpr::OrderBy {
+            input: Box::new(self),
+            keys,
+        }
     }
 
     /// LIMIT builder.
     pub fn limit(self, n: usize) -> QueryExpr {
-        QueryExpr::Limit { input: Box::new(self), n }
+        QueryExpr::Limit {
+            input: Box::new(self),
+            n,
+        }
     }
 
     /// The qualifiers introduced by this expression's own FROM — i.e. the
@@ -155,9 +207,7 @@ impl QueryExpr {
             | QueryExpr::GroupBy { input, .. }
             | QueryExpr::OrderBy { input, .. }
             | QueryExpr::Limit { input, .. } => input.nesting_depth(),
-            QueryExpr::Join { left, right, .. } => {
-                left.nesting_depth().max(right.nesting_depth())
-            }
+            QueryExpr::Join { left, right, .. } => left.nesting_depth().max(right.nesting_depth()),
         }
     }
 }
@@ -195,13 +245,29 @@ impl fmt::Display for Quantifier {
 pub enum SubqueryPred {
     /// Nested comparison selection `x φ S`: `S` must be a single-tuple,
     /// single-attribute expression at run time (scalar subquery).
-    Cmp { left: ScalarExpr, op: CmpOp, query: Box<QueryExpr> },
+    Cmp {
+        left: ScalarExpr,
+        op: CmpOp,
+        query: Box<QueryExpr>,
+    },
     /// Quantified nested comparison `x φ_some S` / `x φ_all S`.
-    Quantified { left: ScalarExpr, op: CmpOp, quantifier: Quantifier, query: Box<QueryExpr> },
+    Quantified {
+        left: ScalarExpr,
+        op: CmpOp,
+        quantifier: Quantifier,
+        query: Box<QueryExpr>,
+    },
     /// `x IN S` / `x NOT IN S` — desugars to `=some` / `≠all`.
-    In { left: ScalarExpr, query: Box<QueryExpr>, negated: bool },
+    In {
+        left: ScalarExpr,
+        query: Box<QueryExpr>,
+        negated: bool,
+    },
     /// `∃S` / `∄S`.
-    Exists { query: Box<QueryExpr>, negated: bool },
+    Exists {
+        query: Box<QueryExpr>,
+        negated: bool,
+    },
 }
 
 impl SubqueryPred {
@@ -228,12 +294,18 @@ impl SubqueryPred {
 
 /// `∃ S` builder.
 pub fn exists(query: QueryExpr) -> NestedPredicate {
-    NestedPredicate::Subquery(SubqueryPred::Exists { query: Box::new(query), negated: false })
+    NestedPredicate::Subquery(SubqueryPred::Exists {
+        query: Box::new(query),
+        negated: false,
+    })
 }
 
 /// `∄ S` builder.
 pub fn not_exists(query: QueryExpr) -> NestedPredicate {
-    NestedPredicate::Subquery(SubqueryPred::Exists { query: Box::new(query), negated: true })
+    NestedPredicate::Subquery(SubqueryPred::Exists {
+        query: Box::new(query),
+        negated: true,
+    })
 }
 
 /// A predicate that may contain subquery constructs (the `W` grammar of
@@ -396,7 +468,11 @@ impl fmt::Display for QueryExpr {
                 }
             }
             QueryExpr::Select { input, predicate } => write!(f, "σ[{predicate}]({input})"),
-            QueryExpr::Project { input, columns, distinct } => {
+            QueryExpr::Project {
+                input,
+                columns,
+                distinct,
+            } => {
                 let cols: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
                 let pi = if *distinct { "πᵈ" } else { "π" };
                 write!(f, "{pi}[{}]({input})", cols.join(", "))
@@ -424,10 +500,19 @@ impl fmt::Display for SubqueryPred {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SubqueryPred::Cmp { left, op, query } => write!(f, "{left} {op} ({query})"),
-            SubqueryPred::Quantified { left, op, quantifier, query } => {
+            SubqueryPred::Quantified {
+                left,
+                op,
+                quantifier,
+                query,
+            } => {
                 write!(f, "{left} {op}_{quantifier} ({query})")
             }
-            SubqueryPred::In { left, query, negated } => {
+            SubqueryPred::In {
+                left,
+                query,
+                negated,
+            } => {
                 write!(f, "{left} {} ({query})", if *negated { "∉" } else { "∈" })
             }
             SubqueryPred::Exists { query, negated } => {

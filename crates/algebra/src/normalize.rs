@@ -31,7 +31,11 @@ pub fn normalize_negations(query: &QueryExpr) -> QueryExpr {
             input: Box::new(normalize_negations(input)),
             predicate: normalize_predicate(predicate, false),
         },
-        QueryExpr::Project { input, columns, distinct } => QueryExpr::Project {
+        QueryExpr::Project {
+            input,
+            columns,
+            distinct,
+        } => QueryExpr::Project {
             input: Box::new(normalize_negations(input)),
             columns: columns.clone(),
             distinct: *distinct,
@@ -54,9 +58,10 @@ pub fn normalize_negations(query: &QueryExpr) -> QueryExpr {
             input: Box::new(normalize_negations(input)),
             keys: keys.clone(),
         },
-        QueryExpr::Limit { input, n } => {
-            QueryExpr::Limit { input: Box::new(normalize_negations(input)), n: *n }
-        }
+        QueryExpr::Limit { input, n } => QueryExpr::Limit {
+            input: Box::new(normalize_negations(input)),
+            n: *n,
+        },
     }
 }
 
@@ -96,7 +101,11 @@ fn normalize_predicate(pred: &NestedPredicate, negated: bool) -> NestedPredicate
 fn normalize_subquery(s: &SubqueryPred, negated: bool) -> NestedPredicate {
     let norm = |q: &QueryExpr| Box::new(normalize_negations(q));
     let out = match s {
-        SubqueryPred::In { left, query, negated: in_neg } => {
+        SubqueryPred::In {
+            left,
+            query,
+            negated: in_neg,
+        } => {
             // x ∈ S ≡ x =some S; x ∉ S ≡ x ≠all S — then apply the outer ¬.
             let effective_neg = *in_neg != negated;
             if effective_neg {
@@ -120,15 +129,25 @@ fn normalize_subquery(s: &SubqueryPred, negated: bool) -> NestedPredicate {
             op: if negated { op.negate() } else { *op },
             query: norm(query),
         },
-        SubqueryPred::Quantified { left, op, quantifier, query } => {
-            SubqueryPred::Quantified {
-                left: left.clone(),
-                op: if negated { op.negate() } else { *op },
-                quantifier: if negated { quantifier.dual() } else { *quantifier },
-                query: norm(query),
-            }
-        }
-        SubqueryPred::Exists { query, negated: ex_neg } => SubqueryPred::Exists {
+        SubqueryPred::Quantified {
+            left,
+            op,
+            quantifier,
+            query,
+        } => SubqueryPred::Quantified {
+            left: left.clone(),
+            op: if negated { op.negate() } else { *op },
+            quantifier: if negated {
+                quantifier.dual()
+            } else {
+                *quantifier
+            },
+            query: norm(query),
+        },
+        SubqueryPred::Exists {
+            query,
+            negated: ex_neg,
+        } => SubqueryPred::Exists {
             query: norm(query),
             negated: *ex_neg != negated,
         },
@@ -140,9 +159,11 @@ fn normalize_subquery(s: &SubqueryPred, negated: bool) -> NestedPredicate {
 fn negate_flat(p: &Predicate) -> Predicate {
     match p {
         Predicate::Literal(t) => Predicate::Literal(t.not()),
-        Predicate::Cmp { op, left, right } => {
-            Predicate::Cmp { op: op.negate(), left: left.clone(), right: right.clone() }
-        }
+        Predicate::Cmp { op, left, right } => Predicate::Cmp {
+            op: op.negate(),
+            left: left.clone(),
+            right: right.clone(),
+        },
         Predicate::IsNull(e) => Predicate::IsNotNull(e.clone()),
         Predicate::IsNotNull(e) => Predicate::IsNull(e.clone()),
         Predicate::And(a, b) => Predicate::Or(Box::new(negate_flat(a)), Box::new(negate_flat(b))),
@@ -178,9 +199,7 @@ pub fn is_negation_free(query: &QueryExpr) -> bool {
             NestedPredicate::Not(_) => false,
             NestedPredicate::Atom(f) => flat_free(f),
             NestedPredicate::Subquery(s) => query_free(s.query()),
-            NestedPredicate::And(a, b) | NestedPredicate::Or(a, b) => {
-                pred_free(a) && pred_free(b)
-            }
+            NestedPredicate::And(a, b) | NestedPredicate::Or(a, b) => pred_free(a) && pred_free(b),
         }
     }
     fn flat_free(p: &Predicate) -> bool {
@@ -221,7 +240,9 @@ mod tests {
     fn not_exists_flips() {
         let q = QueryExpr::table("B", "B").select(exists(table()).not());
         let n = normalize_negations(&q);
-        let QueryExpr::Select { predicate, .. } = &n else { unreachable!() };
+        let QueryExpr::Select { predicate, .. } = &n else {
+            unreachable!()
+        };
         assert_eq!(predicate, &not_exists(table()));
         assert!(is_negation_free(&n));
     }
@@ -230,24 +251,27 @@ mod tests {
     fn double_negation_cancels() {
         let q = QueryExpr::table("B", "B").select(exists(table()).not().not());
         let n = normalize_negations(&q);
-        let QueryExpr::Select { predicate, .. } = &n else { unreachable!() };
+        let QueryExpr::Select { predicate, .. } = &n else {
+            unreachable!()
+        };
         assert_eq!(predicate, &exists(table()));
     }
 
     #[test]
     fn de_morgan_over_and() {
-        let p = exists(table()).and(NestedPredicate::atom(col("B.a").eq(lit(1)))).not();
+        let p = exists(table())
+            .and(NestedPredicate::atom(col("B.a").eq(lit(1))))
+            .not();
         let q = QueryExpr::table("B", "B").select(p);
         let n = normalize_negations(&q);
-        let QueryExpr::Select { predicate, .. } = &n else { unreachable!() };
+        let QueryExpr::Select { predicate, .. } = &n else {
+            unreachable!()
+        };
         // ¬(∃S ∧ a=1) = ∄S ∨ a<>1
         match predicate {
             NestedPredicate::Or(l, r) => {
                 assert_eq!(**l, not_exists(table()));
-                assert_eq!(
-                    **r,
-                    NestedPredicate::atom(col("B.a").ne(lit(1)))
-                );
+                assert_eq!(**r, NestedPredicate::atom(col("B.a").ne(lit(1))));
             }
             other => panic!("expected Or, got {other:?}"),
         }
@@ -261,10 +285,11 @@ mod tests {
             quantifier: Quantifier::All,
             query: Box::new(table()),
         };
-        let q = QueryExpr::table("B", "B")
-            .select(NestedPredicate::Subquery(sub).not());
+        let q = QueryExpr::table("B", "B").select(NestedPredicate::Subquery(sub).not());
         let n = normalize_negations(&q);
-        let QueryExpr::Select { predicate, .. } = &n else { unreachable!() };
+        let QueryExpr::Select { predicate, .. } = &n else {
+            unreachable!()
+        };
         match predicate {
             NestedPredicate::Subquery(SubqueryPred::Quantified { op, quantifier, .. }) => {
                 assert_eq!(*op, CmpOp::Le);
@@ -283,7 +308,9 @@ mod tests {
         };
         let q = QueryExpr::table("B", "B").select(NestedPredicate::Subquery(mk(false)));
         let n = normalize_negations(&q);
-        let QueryExpr::Select { predicate, .. } = &n else { unreachable!() };
+        let QueryExpr::Select { predicate, .. } = &n else {
+            unreachable!()
+        };
         match predicate {
             NestedPredicate::Subquery(SubqueryPred::Quantified { op, quantifier, .. }) => {
                 assert_eq!(*op, CmpOp::Eq);
@@ -292,10 +319,11 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // ¬(x ∈ S) and x ∉ S both become ≠all.
-        let q = QueryExpr::table("B", "B")
-            .select(NestedPredicate::Subquery(mk(false)).not());
+        let q = QueryExpr::table("B", "B").select(NestedPredicate::Subquery(mk(false)).not());
         let n = normalize_negations(&q);
-        let QueryExpr::Select { predicate, .. } = &n else { unreachable!() };
+        let QueryExpr::Select { predicate, .. } = &n else {
+            unreachable!()
+        };
         match predicate {
             NestedPredicate::Subquery(SubqueryPred::Quantified { op, quantifier, .. }) => {
                 assert_eq!(*op, CmpOp::Ne);
@@ -319,9 +347,13 @@ mod tests {
         let q = QueryExpr::table("B", "B").select(p);
         let n = normalize_negations(&q);
         assert!(is_negation_free(&n));
-        let QueryExpr::Select { predicate, .. } = &n else { unreachable!() };
+        let QueryExpr::Select { predicate, .. } = &n else {
+            unreachable!()
+        };
         // ¬(a=1 ∧ ¬(b<2)) = a≠1 ∨ b<2
-        let NestedPredicate::Atom(flat) = predicate else { panic!() };
+        let NestedPredicate::Atom(flat) = predicate else {
+            panic!()
+        };
         assert_eq!(flat.to_string(), "(a <> 1 ∨ b < 2)");
     }
 }

@@ -37,18 +37,18 @@ fn leaf() -> impl Strategy<Value = NestedPredicate> {
         NestedPredicate::Subquery(SubqueryPred::Quantified {
             left: col("B.a"),
             op,
-            quantifier: if all { Quantifier::All } else { Quantifier::Some },
-            query: Box::new(
-                QueryExpr::table("R", "R1").project(vec![ColumnRef::parse("R1.b")]),
-            ),
+            quantifier: if all {
+                Quantifier::All
+            } else {
+                Quantifier::Some
+            },
+            query: Box::new(QueryExpr::table("R", "R1").project(vec![ColumnRef::parse("R1.b")])),
         })
     });
     let in_pred = proptest::bool::ANY.prop_map(|negated| {
         NestedPredicate::Subquery(SubqueryPred::In {
             left: col("B.a"),
-            query: Box::new(
-                QueryExpr::table("R", "R1").project(vec![ColumnRef::parse("R1.a")]),
-            ),
+            query: Box::new(QueryExpr::table("R", "R1").project(vec![ColumnRef::parse("R1.a")])),
             negated,
         })
     });

@@ -6,13 +6,16 @@
 //! * **intrinsic probe indexing** (hash/interval) vs scanning the active
 //!   base tuples, on the Figure 2 query;
 //! * **memory-partitioned evaluation**: the single-scan in-memory GMDJ vs
-//!   2/4/8 base partitions (one detail scan each).
+//!   2/4/8 base partitions (one detail scan each);
+//! * **threads**: `ExecPolicy::Parallel` with 1/2/4/8 workers over the
+//!   detail scan (answers are identical; only wall-clock moves).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gmdj_bench::{bench_instance, FigureId};
-use gmdj_core::exec::{execute, ExecContext};
 use gmdj_core::eval::{GmdjOptions, ProbeStrategy};
+use gmdj_core::exec::{execute, ExecContext};
 use gmdj_core::optimize::{optimize_with, OptFlags};
+use gmdj_core::runtime::ExecPolicy;
 use gmdj_core::translate::subquery_to_gmdj;
 use gmdj_engine::strategy::{run, Strategy};
 
@@ -24,10 +27,38 @@ fn coalescing(c: &mut Criterion) {
     let (catalog, query) = bench_instance(FigureId::Fig5, 100, 60_000, 42);
     let base_plan = subquery_to_gmdj(&query, &catalog).unwrap();
     let variants = [
-        ("chained", OptFlags { hoist: false, coalesce: false, completion: false }),
-        ("hoisted", OptFlags { hoist: true, coalesce: false, completion: false }),
-        ("coalesced", OptFlags { hoist: true, coalesce: true, completion: false }),
-        ("coalesced+completion", OptFlags { hoist: true, coalesce: true, completion: true }),
+        (
+            "chained",
+            OptFlags {
+                hoist: false,
+                coalesce: false,
+                completion: false,
+            },
+        ),
+        (
+            "hoisted",
+            OptFlags {
+                hoist: true,
+                coalesce: false,
+                completion: false,
+            },
+        ),
+        (
+            "coalesced",
+            OptFlags {
+                hoist: true,
+                coalesce: true,
+                completion: false,
+            },
+        ),
+        (
+            "coalesced+completion",
+            OptFlags {
+                hoist: true,
+                coalesce: true,
+                completion: true,
+            },
+        ),
     ];
     for (name, flags) in variants {
         let plan = optimize_with(&base_plan, &flags);
@@ -97,5 +128,35 @@ fn memory_partitioning(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, coalescing, completion, probe_index, memory_partitioning);
+fn threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_threads");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let (catalog, query) = bench_instance(FigureId::Fig2, 400, 60_000, 42);
+    let plan = subquery_to_gmdj(&query, &catalog).unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        let policy = if threads == 1 {
+            ExecPolicy::sequential()
+        } else {
+            ExecPolicy::parallel(threads)
+        };
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                let mut ctx = ExecContext::with_policy(policy);
+                execute(&plan, &catalog, &mut ctx).unwrap().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    coalescing,
+    completion,
+    probe_index,
+    memory_partitioning,
+    threads
+);
 criterion_main!(benches);

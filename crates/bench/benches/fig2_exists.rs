@@ -15,7 +15,11 @@ fn fig2(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     for (outer, inner) in [(100, 30_000), (100, 60_000), (100, 90_000), (100, 120_000)] {
         let (catalog, query) = bench_instance(FigureId::Fig2, outer, inner, 42);
-        for strat in [Strategy::NativeSmart, Strategy::JoinUnnest, Strategy::GmdjBasic] {
+        for strat in [
+            Strategy::NativeSmart,
+            Strategy::JoinUnnest,
+            Strategy::GmdjBasic,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(strat.label(), format!("{outer}x{inner}")),
                 &inner,

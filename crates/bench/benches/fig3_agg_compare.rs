@@ -16,9 +16,11 @@ fn fig3(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     for (outer, inner) in [(50, 15_000), (100, 30_000), (150, 45_000), (200, 60_000)] {
         let (catalog, query) = bench_instance(FigureId::Fig3, outer, inner, 42);
-        for strat in
-            [Strategy::NaiveNestedLoop, Strategy::GmdjOptimized, Strategy::JoinUnnest]
-        {
+        for strat in [
+            Strategy::NaiveNestedLoop,
+            Strategy::GmdjOptimized,
+            Strategy::JoinUnnest,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(strat.label(), format!("{outer}x{inner}")),
                 &inner,

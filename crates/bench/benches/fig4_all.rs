@@ -29,11 +29,9 @@ fn fig4(c: &mut Criterion) {
             strategies.push(Strategy::JoinUnnest);
         }
         for strat in strategies {
-            group.bench_with_input(
-                BenchmarkId::new(strat.label(), rows),
-                &rows,
-                |b, _| b.iter(|| run(&query, &catalog, strat).unwrap().relation.len()),
-            );
+            group.bench_with_input(BenchmarkId::new(strat.label(), rows), &rows, |b, _| {
+                b.iter(|| run(&query, &catalog, strat).unwrap().relation.len())
+            });
         }
     }
     group.finish();

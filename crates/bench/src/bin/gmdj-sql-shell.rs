@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! gmdj-sql-shell [--csv name=path ...] [--tpcr SF] [--netflow N]
-//!                [--strategy S] [-e "SQL"]
+//!                [--strategy S] [--threads N] [-e "SQL"]
 //! ```
 //!
 //! Loads tables from CSV files (schema inferred) and/or generated
 //! datasets, then evaluates SQL queries — interactively from stdin or
-//! one-shot with `-e`. Meta commands:
+//! one-shot with `-e`. `SET threads = N;` switches the execution policy
+//! mid-session (N = 1 returns to sequential); answers never depend on
+//! the thread count. Meta commands:
 //!
 //! ```text
 //! \tables                 list tables and row counts
@@ -23,9 +25,10 @@ use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 use gmdj_core::exec::{MemoryCatalog, TableProvider};
+use gmdj_core::runtime::{ExecMode, ExecPolicy};
 use gmdj_datagen::netflow::{NetflowConfig, NetflowData};
 use gmdj_datagen::tpcr::{TpcrConfig, TpcrData};
-use gmdj_engine::strategy::{explain_gmdj, run, Strategy};
+use gmdj_engine::strategy::{explain_gmdj, run_with_policy, Strategy};
 use gmdj_sql::parse_query;
 
 const STRATEGIES: [Strategy; 10] = [
@@ -48,11 +51,49 @@ fn strategy_by_label(label: &str) -> Option<Strategy> {
 struct Shell {
     catalog: MemoryCatalog,
     strategy: Strategy,
+    policy: ExecPolicy,
     timing: bool,
 }
 
+/// Recognize `SET threads = N` (case-insensitive; `=` optional), the one
+/// session variable the shell supports. Returns the requested count.
+fn parse_set_threads(sql: &str) -> Option<Result<usize, String>> {
+    let mut words = sql.split_whitespace();
+    if !words.next()?.eq_ignore_ascii_case("set") {
+        return None;
+    }
+    if !words.next()?.eq_ignore_ascii_case("threads") {
+        return None;
+    }
+    let rest: Vec<&str> = words.collect();
+    let value = match rest.as_slice() {
+        ["=", v] => v,
+        [v] => v.strip_prefix('=').unwrap_or(v),
+        _ => return Some(Err("usage: SET threads = N".into())),
+    };
+    Some(match value.parse::<usize>() {
+        Ok(0) => Err("threads must be at least 1".into()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("bad thread count `{value}`")),
+    })
+}
+
 impl Shell {
-    fn run_sql(&self, sql: &str) {
+    fn run_sql(&mut self, sql: &str) {
+        if let Some(parsed) = parse_set_threads(sql) {
+            match parsed {
+                Ok(1) => {
+                    self.policy = ExecPolicy::sequential();
+                    println!("  threads = 1 (sequential)");
+                }
+                Ok(n) => {
+                    self.policy = ExecPolicy::parallel(n);
+                    println!("  threads = {n}");
+                }
+                Err(e) => eprintln!("{e}"),
+            }
+            return;
+        }
         let query = match parse_query(sql) {
             Ok(q) => q,
             Err(e) => {
@@ -60,11 +101,14 @@ impl Shell {
                 return;
             }
         };
-        match run(&query, &self.catalog, self.strategy) {
+        match run_with_policy(&query, &self.catalog, self.strategy, self.policy) {
             Ok(result) => {
                 const DISPLAY_CAP: usize = 50;
                 if result.relation.len() > DISPLAY_CAP {
-                    print!("{}", gmdj_relation::ops::limit(&result.relation, DISPLAY_CAP));
+                    print!(
+                        "{}",
+                        gmdj_relation::ops::limit(&result.relation, DISPLAY_CAP)
+                    );
                     println!(
                         "… {} more rows not shown (add LIMIT to the query)",
                         result.relation.len() - DISPLAY_CAP
@@ -73,8 +117,13 @@ impl Shell {
                     print!("{}", result.relation);
                 }
                 if self.timing {
+                    let mode = match self.policy.mode {
+                        ExecMode::Sequential => String::new(),
+                        ExecMode::Parallel { threads } => format!(", {threads} threads"),
+                        ExecMode::Distributed { sites } => format!(", {sites} sites"),
+                    };
                     println!(
-                        "({:.2} ms, {} work units, strategy {})",
+                        "({:.2} ms, {} work units, strategy {}{mode})",
                         result.wall.as_secs_f64() * 1e3,
                         result.stats.work(),
                         self.strategy.label()
@@ -108,7 +157,7 @@ impl Shell {
         };
         let mut baseline = None;
         for strategy in STRATEGIES {
-            match run(&query, &self.catalog, strategy) {
+            match run_with_policy(&query, &self.catalog, strategy, self.policy) {
                 Ok(result) => {
                     let agree = match &baseline {
                         None => {
@@ -187,6 +236,7 @@ impl Shell {
 fn main() -> ExitCode {
     let mut catalog = MemoryCatalog::new();
     let mut strategy = Strategy::GmdjOptimized;
+    let mut policy = ExecPolicy::sequential();
     let mut one_shot: Vec<String> = Vec::new();
 
     let mut argv = std::env::args().skip(1);
@@ -221,10 +271,7 @@ fn main() -> ExitCode {
                 }
             }
             "--tpcr" => {
-                let sf: f64 = argv
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(0.01);
+                let sf: f64 = argv.next().and_then(|v| v.parse().ok()).unwrap_or(0.01);
                 let data = TpcrData::generate(&TpcrConfig::scale(sf, 42));
                 for (name, rel) in [
                     ("customer", data.customer),
@@ -239,10 +286,7 @@ fn main() -> ExitCode {
                 }
             }
             "--netflow" => {
-                let flows: usize = argv
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(10_000);
+                let flows: usize = argv.next().and_then(|v| v.parse().ok()).unwrap_or(10_000);
                 let data = NetflowData::generate(&NetflowConfig {
                     hours: 24,
                     flows,
@@ -250,9 +294,11 @@ fn main() -> ExitCode {
                     source_ips: 64,
                     seed: 42,
                 });
-                for (name, rel) in
-                    [("Flow", data.flow), ("Hours", data.hours), ("User", data.user)]
-                {
+                for (name, rel) in [
+                    ("Flow", data.flow),
+                    ("Hours", data.hours),
+                    ("User", data.user),
+                ] {
                     println!("generated {name}: {} rows", rel.len());
                     catalog.register(name, rel);
                 }
@@ -266,6 +312,24 @@ fn main() -> ExitCode {
                     Some(s) => strategy = s,
                     None => {
                         eprintln!("unknown strategy `{label}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--threads" => {
+                let Some(v) = argv.next() else {
+                    eprintln!("--threads needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match v.parse::<usize>() {
+                    Ok(0) => {
+                        eprintln!("--threads must be at least 1");
+                        return ExitCode::FAILURE;
+                    }
+                    Ok(1) => policy = ExecPolicy::sequential(),
+                    Ok(n) => policy = ExecPolicy::parallel(n),
+                    Err(_) => {
+                        eprintln!("bad thread count `{v}`");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -284,7 +348,9 @@ fn main() -> ExitCode {
                      --tpcr SF         generate TPC-R-style tables at scale factor SF\n\
                      --netflow N       generate the IP-flow warehouse with N flows\n\
                      --strategy S      evaluation strategy (default gmdj-opt)\n\
-                     -e SQL            run one query and exit (repeatable)"
+                     --threads N       evaluate GMDJs with N worker threads\n\
+                     -e SQL            run one query and exit (repeatable)\n\n\
+                     `SET threads = N;` changes the thread count mid-session."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -295,7 +361,12 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut shell = Shell { catalog, strategy, timing: true };
+    let mut shell = Shell {
+        catalog,
+        strategy,
+        policy,
+        timing: true,
+    };
     if !one_shot.is_empty() {
         for sql in one_shot {
             shell.run_sql(&sql);

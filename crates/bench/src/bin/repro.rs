@@ -1,30 +1,45 @@
 //! Regenerate the paper's figures.
 //!
 //! ```text
-//! repro [--figure 2|3|4|5] [--scale F] [--seed N] [--full]
+//! repro [--figure 2|3|4|5] [--scale F] [--seed N] [--threads N] [--full]
 //! ```
 //!
 //! Prints, per figure, the measurement table (one row per size point, one
 //! column per strategy — milliseconds and work units) followed by the
 //! shape checks encoding Section 5's claims. `--scale 1.0` (or `--full`)
 //! uses the paper's exact row counts; the default 0.05 finishes in a few
-//! minutes on a laptop while preserving every shape.
+//! minutes on a laptop while preserving every shape. `--threads N` runs
+//! the GMDJ strategies under `ExecPolicy::Parallel` — answers are
+//! bit-identical, only wall-clock changes.
 
 use std::process::ExitCode;
 
-use gmdj_bench::{render_table, run_figure, shape, FigureId};
+use gmdj_bench::{render_table, run_figure_with, shape, FigureId};
+use gmdj_core::runtime::ExecPolicy;
 
 struct Args {
     figures: Vec<FigureId>,
     scale: f64,
     seed: u64,
+    threads: usize,
     csv_dir: Option<String>,
+}
+
+impl Args {
+    fn policy(&self) -> ExecPolicy {
+        if self.threads > 1 {
+            ExecPolicy::parallel(self.threads)
+        } else {
+            ExecPolicy::sequential()
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut figures: Vec<FigureId> = Vec::new();
     let mut scale = 0.05;
     let mut seed = 42;
+    let mut threads = 1;
     let mut csv_dir: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -41,6 +56,13 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--seed needs a value")?;
                 seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
             }
+            "--threads" | "-t" => {
+                let v = argv.next().ok_or("--threads needs a value")?;
+                threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
             "--full" => scale = 1.0,
             "--csv" => {
                 csv_dir = Some(argv.next().ok_or("--csv needs a directory")?);
@@ -54,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
                      --scale F    multiply the paper's row counts by F (default 0.05)\n  \
                      --full       shorthand for --scale 1.0 (the paper's sizes)\n  \
                      --seed N     data generation seed (default 42)\n  \
+                     --threads N  evaluate GMDJ strategies with N worker threads\n  \
                      --csv DIR    also write the measurement grid as DIR/figN.csv"
                 );
                 std::process::exit(0);
@@ -64,7 +87,13 @@ fn parse_args() -> Result<Args, String> {
     if figures.is_empty() {
         figures = FigureId::all().to_vec();
     }
-    Ok(Args { figures, scale, seed, csv_dir })
+    Ok(Args {
+        figures,
+        scale,
+        seed,
+        threads,
+        csv_dir,
+    })
 }
 
 /// Write one figure's measurements as CSV (for external plotting).
@@ -108,12 +137,13 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "Reproducing Akinde & Böhlen (ICDE 2003), scale {} of the paper's sizes, seed {}\n",
-        args.scale, args.seed
+        "Reproducing Akinde & Böhlen (ICDE 2003), scale {} of the paper's sizes, seed {}, {} thread(s)\n",
+        args.scale, args.seed, args.threads
     );
+    let policy = args.policy();
     let mut all_passed = true;
     for fig in &args.figures {
-        let figure = match run_figure(*fig, args.scale, args.seed) {
+        let figure = match run_figure_with(*fig, args.scale, args.seed, policy) {
             Ok(f) => f,
             Err(e) => {
                 eprintln!("error while running {fig:?}: {e}");

@@ -14,10 +14,11 @@ use std::time::Duration;
 
 use gmdj_algebra::ast::QueryExpr;
 use gmdj_core::exec::MemoryCatalog;
+use gmdj_core::runtime::ExecPolicy;
 use gmdj_datagen::workloads::{
     fig2_exists, fig3_aggregate_comparison, fig4_quantified_all, fig5_tree_exists, Workload,
 };
-use gmdj_engine::strategy::{run, Strategy};
+use gmdj_engine::strategy::{run_with_policy, Strategy};
 use gmdj_relation::error::Result;
 
 pub mod shape;
@@ -72,7 +73,12 @@ impl FigureId {
 
     /// All figures.
     pub fn all() -> [FigureId; 4] {
-        [FigureId::Fig2, FigureId::Fig3, FigureId::Fig4, FigureId::Fig5]
+        [
+            FigureId::Fig2,
+            FigureId::Fig3,
+            FigureId::Fig4,
+            FigureId::Fig5,
+        ]
     }
 }
 
@@ -100,11 +106,19 @@ pub fn sizes(fig: FigureId, scale: f64) -> Vec<(usize, usize)> {
 pub fn lineup(fig: FigureId) -> Vec<Strategy> {
     match fig {
         // Fig 2: Native Algorithm, Unnesting Algorithm, GMDJ Algorithm.
-        FigureId::Fig2 => vec![Strategy::NativeSmart, Strategy::JoinUnnest, Strategy::GmdjBasic],
+        FigureId::Fig2 => vec![
+            Strategy::NativeSmart,
+            Strategy::JoinUnnest,
+            Strategy::GmdjBasic,
+        ],
         // Fig 3: Native Algorithm (a simple nested loop in the paper's
         // DBMS), Optimized GMDJ, Unnesting Algorithm.
         FigureId::Fig3 => {
-            vec![Strategy::NaiveNestedLoop, Strategy::GmdjOptimized, Strategy::JoinUnnest]
+            vec![
+                Strategy::NaiveNestedLoop,
+                Strategy::GmdjOptimized,
+                Strategy::JoinUnnest,
+            ]
         }
         // Fig 4: native smart nested loop, join/set-difference unnesting,
         // basic GMDJ, GMDJ with tuple completion.
@@ -160,13 +174,9 @@ fn size_label(fig: FigureId, outer: usize, inner: usize) -> String {
 pub fn pair_cap(fig: FigureId, strategy: Strategy) -> Option<u64> {
     match (fig, strategy) {
         // Materializing join + set difference: memory-bound, skip large.
-        (FigureId::Fig4, Strategy::JoinUnnest | Strategy::JoinUnnestNoIndex) => {
-            Some(8_000_000)
-        }
+        (FigureId::Fig4, Strategy::JoinUnnest | Strategy::JoinUnnestNoIndex) => Some(8_000_000),
         // Quadratic scans: bounded for wall-clock sanity.
-        (FigureId::Fig4, Strategy::GmdjBasic | Strategy::NaiveNestedLoop) => {
-            Some(3_000_000_000)
-        }
+        (FigureId::Fig4, Strategy::GmdjBasic | Strategy::NaiveNestedLoop) => Some(3_000_000_000),
         (_, Strategy::NaiveNestedLoop) => Some(3_000_000_000),
         (_, Strategy::NativeSmartNoIndex) => Some(6_000_000_000),
         (_, Strategy::JoinUnnestNoIndex) => Some(6_000_000_000),
@@ -174,8 +184,15 @@ pub fn pair_cap(fig: FigureId, strategy: Strategy) -> Option<u64> {
     }
 }
 
-/// Run one full figure sweep.
+/// Run one full figure sweep, sequentially.
 pub fn run_figure(fig: FigureId, scale: f64, seed: u64) -> Result<Figure> {
+    run_figure_with(fig, scale, seed, ExecPolicy::sequential())
+}
+
+/// Run one full figure sweep under an execution policy (the GMDJ
+/// strategies evaluate through the policy's runtime; the reference and
+/// unnest competitors are unaffected).
+pub fn run_figure_with(fig: FigureId, scale: f64, seed: u64, policy: ExecPolicy) -> Result<Figure> {
     let strategies = lineup(fig);
     let mut points = Vec::new();
     for (outer, inner) in sizes(fig, scale) {
@@ -188,7 +205,7 @@ pub fn run_figure(fig: FigureId, scale: f64, seed: u64) -> Result<Figure> {
                     continue;
                 }
             }
-            let result = run(&w.query, &w.catalog, strategy)?;
+            let result = run_with_policy(&w.query, &w.catalog, strategy, policy)?;
             if let Some(e) = expected {
                 assert_eq!(
                     e,
@@ -214,13 +231,18 @@ pub fn run_figure(fig: FigureId, scale: f64, seed: u64) -> Result<Figure> {
     }
     let (name, description) = match fig {
         FigureId::Fig2 => ("Figure 2", "EXISTS subquery — query evaluation time"),
-        FigureId::Fig3 => {
-            ("Figure 3", "comparison predicate over aggregate — query evaluation time")
-        }
+        FigureId::Fig3 => (
+            "Figure 3",
+            "comparison predicate over aggregate — query evaluation time",
+        ),
         FigureId::Fig4 => ("Figure 4", "quantified comparison predicate ALL"),
         FigureId::Fig5 => ("Figure 5", "tree-nested EXISTS predicates"),
     };
-    Ok(Figure { name, description, points })
+    Ok(Figure {
+        name,
+        description,
+        points,
+    })
 }
 
 /// Render a figure as an aligned text table (milliseconds + work units).
@@ -280,7 +302,12 @@ pub fn find(point: &SizePoint, strategy: Strategy) -> Option<&Measurement> {
 
 /// Expose the figure workload query/catalog pair for the criterion
 /// benches.
-pub fn bench_instance(fig: FigureId, outer: usize, inner: usize, seed: u64) -> (MemoryCatalog, QueryExpr) {
+pub fn bench_instance(
+    fig: FigureId,
+    outer: usize,
+    inner: usize,
+    seed: u64,
+) -> (MemoryCatalog, QueryExpr) {
     let w = workload(fig, outer, inner, seed);
     (w.catalog, w.query)
 }
@@ -293,9 +320,15 @@ mod tests {
     #[test]
     fn sizes_scale_and_floor() {
         let full = sizes(FigureId::Fig2, 1.0);
-        assert_eq!(full, vec![
-            (1000, 300_000), (1000, 600_000), (1000, 900_000), (1000, 1_200_000)
-        ]);
+        assert_eq!(
+            full,
+            vec![
+                (1000, 300_000),
+                (1000, 600_000),
+                (1000, 900_000),
+                (1000, 1_200_000)
+            ]
+        );
         let tiny = sizes(FigureId::Fig4, 0.00001);
         assert!(tiny.iter().all(|&(o, i)| o >= 8 && i >= 8));
         assert_eq!(sizes(FigureId::Fig3, 1.0)[0], (500, 300_000));
@@ -332,6 +365,17 @@ mod tests {
         assert_eq!(FigureId::parse("5"), Some(FigureId::Fig5));
         assert_eq!(FigureId::parse("6"), None);
         assert_eq!(FigureId::all().len(), 4);
+    }
+
+    #[test]
+    fn parallel_figure_matches_sequential_rows() {
+        let seq = run_figure(FigureId::Fig2, 0.002, 1).unwrap();
+        let par = run_figure_with(FigureId::Fig2, 0.002, 1, ExecPolicy::parallel(2)).unwrap();
+        for (a, b) in seq.points.iter().zip(&par.points) {
+            for (ma, mb) in a.measurements.iter().zip(&b.measurements) {
+                assert_eq!(ma.rows, mb.rows, "{} {:?}", a.label, ma.strategy);
+            }
+        }
     }
 
     #[test]

@@ -61,12 +61,7 @@ fn ratio_check(
     }
 }
 
-fn within_check(
-    name: &'static str,
-    a: Option<f64>,
-    b: Option<f64>,
-    factor: f64,
-) -> ShapeCheck {
+fn within_check(name: &'static str, a: Option<f64>, b: Option<f64>, factor: f64) -> ShapeCheck {
     match (a, b) {
         (Some(a), Some(b)) => {
             let r = if a > b { a / b } else { b / a };
@@ -76,7 +71,11 @@ fn within_check(
                 detail: format!("ratio {r:.1} (required ≤ {factor})"),
             }
         }
-        _ => ShapeCheck { name, passed: false, detail: "strategy missing".into() },
+        _ => ShapeCheck {
+            name,
+            passed: false,
+            detail: "strategy missing".into(),
+        },
     }
 }
 

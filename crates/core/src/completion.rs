@@ -99,7 +99,10 @@ pub fn derive_completion(
         match classify_conjunct(c, spec) {
             ConjunctShape::Zero(block) => {
                 all_analyzable_positive = false;
-                dead_rules.push(DeadRule { on_block: block, unless_also: None });
+                dead_rules.push(DeadRule {
+                    on_block: block,
+                    unless_also: None,
+                });
             }
             ConjunctShape::Positive(block) => {
                 need_match.push(block);
@@ -109,7 +112,10 @@ pub fn derive_completion(
                 // Order the pair by syntactic range inclusion: θ_sub has a
                 // conjunct superset of θ_sup ⟹ RNG(sub) ⊆ RNG(sup).
                 if let Some((sub, sup)) = subset_order(spec, a, b) {
-                    dead_rules.push(DeadRule { on_block: sup, unless_also: Some(sub) });
+                    dead_rules.push(DeadRule {
+                        on_block: sup,
+                        unless_also: Some(sub),
+                    });
                 }
             }
             ConjunctShape::Opaque => {
@@ -118,7 +124,11 @@ pub fn derive_completion(
         }
     }
     let finish_early = aggs_projected_away && all_analyzable_positive && !need_match.is_empty();
-    let plan = CompletionPlan { dead_rules, need_match, finish_early };
+    let plan = CompletionPlan {
+        dead_rules,
+        need_match,
+        finish_early,
+    };
     plan.is_effective().then_some(plan)
 }
 
@@ -135,7 +145,9 @@ fn classify_conjunct(c: &Predicate, spec: &GmdjSpec) -> ConjunctShape {
         return ConjunctShape::Opaque;
     };
     let as_count_block = |e: &ScalarExpr| -> Option<usize> {
-        let ScalarExpr::Column(col) = e else { return None };
+        let ScalarExpr::Column(col) = e else {
+            return None;
+        };
         if col.qualifier.is_some() {
             return None;
         }
@@ -210,15 +222,21 @@ mod tests {
     fn example_4_1_spec() -> GmdjSpec {
         GmdjSpec::new(vec![
             AggBlock::count(
-                col("B.SourceIP").eq(col("F.SourceIP")).and(col("F.DestIP").eq(lit("167"))),
+                col("B.SourceIP")
+                    .eq(col("F.SourceIP"))
+                    .and(col("F.DestIP").eq(lit("167"))),
                 "cnt1",
             ),
             AggBlock::count(
-                col("B.SourceIP").eq(col("F.SourceIP")).and(col("F.DestIP").eq(lit("168"))),
+                col("B.SourceIP")
+                    .eq(col("F.SourceIP"))
+                    .and(col("F.DestIP").eq(lit("168"))),
                 "cnt2",
             ),
             AggBlock::count(
-                col("B.SourceIP").eq(col("F.SourceIP")).and(col("F.DestIP").eq(lit("169"))),
+                col("B.SourceIP")
+                    .eq(col("F.SourceIP"))
+                    .and(col("F.DestIP").eq(lit("169"))),
                 "cnt3",
             ),
         ])
@@ -234,8 +252,14 @@ mod tests {
         assert_eq!(
             plan.dead_rules,
             vec![
-                DeadRule { on_block: 0, unless_also: None },
-                DeadRule { on_block: 2, unless_also: None },
+                DeadRule {
+                    on_block: 0,
+                    unless_also: None
+                },
+                DeadRule {
+                    on_block: 2,
+                    unless_also: None
+                },
             ]
         );
         assert_eq!(plan.need_match, vec![1]);
@@ -266,7 +290,10 @@ mod tests {
         let plan = derive_completion(&col("cnt1").eq(col("cnt2")), &spec, true).unwrap();
         assert_eq!(
             plan.dead_rules,
-            vec![DeadRule { on_block: 1, unless_also: Some(0) }]
+            vec![DeadRule {
+                on_block: 1,
+                unless_also: Some(0)
+            }]
         );
         assert!(!plan.finish_early);
     }

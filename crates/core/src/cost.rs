@@ -75,6 +75,32 @@ pub struct Estimate {
     pub cost: Cost,
 }
 
+/// Fold an executed plan's recorded statistics tree back into the cost
+/// model's units — the observed counterpart of [`estimate`], closing the
+/// loop between the optimizer's predictions and what the runtime actually
+/// did. `io` counts tuples actually read (table-scan rows plus detail
+/// tuples streamed by GMDJ scans), `cpu` counts probe candidates, θ
+/// evaluations, aggregate updates and relational-operator input rows, and
+/// `memory` peaks at the largest resident base partition.
+pub fn observed_cost(stats: &crate::runtime::PlanNodeStats) -> Cost {
+    let mut cost = Cost {
+        io: (stats.scanned_rows + stats.eval.detail_scanned) as f64,
+        cpu: (stats.eval.probe_candidates
+            + stats.eval.theta_evals
+            + stats.eval.agg_updates
+            + stats.ops.rows_in) as f64,
+        memory: if stats.eval.partitions > 0 {
+            (stats.eval.base_rows as f64 / stats.eval.partitions as f64).ceil()
+        } else {
+            0.0
+        },
+    };
+    for child in &stats.children {
+        cost.add(&observed_cost(child));
+    }
+    cost
+}
+
 /// Default selectivity heuristics (System-R vintage).
 const SEL_EQ: f64 = 0.1;
 const SEL_RANGE: f64 = 0.33;
@@ -103,9 +129,7 @@ fn block_access(theta: &Predicate) -> Access {
     let col_pair = |l: &ScalarExpr, r: &ScalarExpr| -> Option<(ColumnRef, ColumnRef)> {
         match (l, r) {
             (ScalarExpr::Column(a), ScalarExpr::Column(b))
-                if a.qualifier.is_some()
-                    && b.qualifier.is_some()
-                    && a.qualifier != b.qualifier =>
+                if a.qualifier.is_some() && b.qualifier.is_some() && a.qualifier != b.qualifier =>
             {
                 Some((a.clone(), b.clone()))
             }
@@ -160,7 +184,14 @@ fn estimate_dyn(expr: &GmdjExpr, stats: &dyn StatsProvider) -> Result<Estimate> 
         GmdjExpr::Table { name, .. } => {
             let rows = stats.table_rows(name)? as f64;
             // Scan cost charged here; consumed relations are in memory.
-            Ok(Estimate { rows, cost: Cost { io: rows, cpu: 0.0, memory: rows } })
+            Ok(Estimate {
+                rows,
+                cost: Cost {
+                    io: rows,
+                    cpu: 0.0,
+                    memory: rows,
+                },
+            })
         }
         GmdjExpr::Select { input, predicate } => {
             let mut e = estimate_dyn(input, stats)?;
@@ -168,7 +199,9 @@ fn estimate_dyn(expr: &GmdjExpr, stats: &dyn StatsProvider) -> Result<Estimate> 
             e.rows *= predicate_selectivity(predicate);
             Ok(e)
         }
-        GmdjExpr::Project { input, distinct, .. } => {
+        GmdjExpr::Project {
+            input, distinct, ..
+        } => {
             let mut e = estimate_dyn(input, stats)?;
             e.cost.cpu += e.rows;
             if *distinct {
@@ -190,7 +223,11 @@ fn estimate_dyn(expr: &GmdjExpr, stats: &dyn StatsProvider) -> Result<Estimate> 
         GmdjExpr::GroupBy { input, keys, .. } => {
             let mut e = estimate_dyn(input, stats)?;
             e.cost.cpu += e.rows;
-            e.rows = if keys.is_empty() { 1.0 } else { (e.rows * 0.3).max(1.0) };
+            e.rows = if keys.is_empty() {
+                1.0
+            } else {
+                (e.rows * 0.3).max(1.0)
+            };
             Ok(e)
         }
         GmdjExpr::OrderBy { input, .. } => {
@@ -234,7 +271,14 @@ fn estimate_dyn(expr: &GmdjExpr, stats: &dyn StatsProvider) -> Result<Estimate> 
             cost.add(&gmdj_block_cost(spec, b.rows, d.rows, None));
             Ok(Estimate { rows: b.rows, cost })
         }
-        GmdjExpr::FilteredGmdj { base, detail, spec, selection, completion, .. } => {
+        GmdjExpr::FilteredGmdj {
+            base,
+            detail,
+            spec,
+            selection,
+            completion,
+            ..
+        } => {
             let b = estimate_dyn(base, stats)?;
             let d = estimate_dyn(detail, stats)?;
             let mut cost = b.cost;
@@ -256,8 +300,9 @@ fn gmdj_block_cost(
     let mut cpu = 0.0;
     // The active base set is shared across blocks: any fail-fast rule
     // shrinks the candidates every scan block sees.
-    let has_dead_rule =
-        completion.map(|c| !c.dead_rules.is_empty()).unwrap_or(false);
+    let has_dead_rule = completion
+        .map(|c| !c.dead_rules.is_empty())
+        .unwrap_or(false);
     for block in &spec.blocks {
         match block_access(&block.theta) {
             // Hash probe: one candidate group per detail tuple; candidates
@@ -281,7 +326,11 @@ fn gmdj_block_cost(
     if completion.map(|c| c.finish_early).unwrap_or(false) {
         cpu *= 0.5;
     }
-    Cost { io: detail, cpu, memory: base * spec.agg_count() as f64 }
+    Cost {
+        io: detail,
+        cpu,
+        memory: base * spec.agg_count() as f64,
+    }
 }
 
 /// Try every rewrite-flag combination and return the plan with the lowest
@@ -298,11 +347,31 @@ fn cost_based_optimize_dyn(
     stats: &dyn StatsProvider,
 ) -> Result<(GmdjExpr, Estimate)> {
     let candidates = [
-        OptFlags { hoist: false, coalesce: false, completion: false },
-        OptFlags { hoist: true, coalesce: false, completion: false },
-        OptFlags { hoist: true, coalesce: true, completion: false },
-        OptFlags { hoist: false, coalesce: false, completion: true },
-        OptFlags { hoist: true, coalesce: true, completion: true },
+        OptFlags {
+            hoist: false,
+            coalesce: false,
+            completion: false,
+        },
+        OptFlags {
+            hoist: true,
+            coalesce: false,
+            completion: false,
+        },
+        OptFlags {
+            hoist: true,
+            coalesce: true,
+            completion: false,
+        },
+        OptFlags {
+            hoist: false,
+            coalesce: false,
+            completion: true,
+        },
+        OptFlags {
+            hoist: true,
+            coalesce: true,
+            completion: true,
+        },
     ];
     let mut best: Option<(GmdjExpr, Estimate)> = None;
     for flags in candidates {
@@ -351,7 +420,10 @@ mod tests {
             names.push(name);
         }
         let sel = Predicate::conjoin(names.iter().map(|n| col(n).gt(lit(0))));
-        GmdjExpr::DropComputed { input: Box::new(cur.select(sel)), names }
+        GmdjExpr::DropComputed {
+            input: Box::new(cur.select(sel)),
+            names,
+        }
     }
 
     #[test]
@@ -406,12 +478,18 @@ mod tests {
 
     #[test]
     fn access_classification_matches_evaluator_shapes() {
-        assert!(matches!(block_access(&col("B.k").eq(col("R.k"))), Access::Hash));
+        assert!(matches!(
+            block_access(&col("B.k").eq(col("R.k"))),
+            Access::Hash
+        ));
         assert!(matches!(
             block_access(&col("R.t").ge(col("B.lo")).and(col("R.t").lt(col("B.hi")))),
             Access::Interval
         ));
-        assert!(matches!(block_access(&col("B.k").ne(col("R.k"))), Access::Scan));
+        assert!(matches!(
+            block_access(&col("B.k").ne(col("R.k"))),
+            Access::Scan
+        ));
         // Local constants don't create keys.
         assert!(matches!(block_access(&col("R.v").eq(lit(1))), Access::Scan));
     }
@@ -422,5 +500,40 @@ mod tests {
         let e = estimate(&plan, &FixedStats).unwrap();
         assert!(e.rows.is_finite() && e.rows >= 0.0);
         assert!(e.cost.total().is_finite() && e.cost.total() > 0.0);
+    }
+
+    #[test]
+    fn observed_cost_reads_the_stats_tree_back() {
+        use crate::exec::{execute, ExecContext, MemoryCatalog};
+        use gmdj_relation::relation::RelationBuilder;
+        use gmdj_relation::schema::DataType;
+
+        let mut b = RelationBuilder::new("B").column("k", DataType::Int);
+        for i in 0..4i64 {
+            b = b.row(vec![i.into()]);
+        }
+        let mut r = RelationBuilder::new("R").column("k", DataType::Int);
+        for i in 0..10i64 {
+            r = r.row(vec![(i % 4).into()]);
+        }
+        let catalog = MemoryCatalog::new()
+            .with("B", b.build().unwrap())
+            .with("R", r.build().unwrap());
+        let expr = GmdjExpr::table("B", "B")
+            .gmdj(
+                GmdjExpr::table("R", "R"),
+                GmdjSpec::new(vec![AggBlock::count(col("B.k").eq(col("R.k")), "c")]),
+            )
+            .select(col("c").gt(lit(0)));
+        let mut ctx = ExecContext::new();
+        execute(&expr, &catalog, &mut ctx).unwrap();
+        let tree = ctx.plan_stats.as_ref().unwrap();
+        let cost = observed_cost(tree);
+        // 4 base rows + 10 detail rows scanned from tables, plus the GMDJ
+        // streaming the 10 detail rows once.
+        assert_eq!(cost.io, 24.0);
+        assert!(cost.cpu > 0.0);
+        assert_eq!(cost.memory, 4.0);
+        assert!(cost.total().is_finite());
     }
 }

@@ -22,6 +22,14 @@
 //! the detail cardinality*, where a join-based plan would ship detail
 //! tuples. [`NetworkStats`] counts simulated traffic so tests and benches
 //! can verify that claim.
+//!
+//! This module is the standalone coordinator simulation: sites finalize
+//! their partial aggregates to *values* before shipping, which is why
+//! non-decomposable aggregates (AVG, COUNT DISTINCT) are rejected here.
+//! The unified execution pipeline ([`crate::runtime::Runtime`] with
+//! [`crate::runtime::ExecMode::Distributed`]) runs the same two-wave
+//! protocol but ships accumulator *state* and merges it exactly, so every
+//! aggregate — including AVG and COUNT DISTINCT — distributes.
 
 use gmdj_relation::agg::Accumulator;
 use gmdj_relation::error::{Error, Result};
@@ -49,6 +57,14 @@ impl NetworkStats {
     pub fn total(&self) -> u64 {
         self.broadcast_values + self.collected_states
     }
+
+    /// Fold another counter block into this one (used when rolling up a
+    /// per-plan-node statistics tree, [`crate::runtime::PlanNodeStats`]).
+    pub fn merge(&mut self, other: &NetworkStats) {
+        self.broadcast_values += other.broadcast_values;
+        self.collected_states += other.collected_states;
+        self.messages += other.messages;
+    }
 }
 
 /// One site of the simulated warehouse: a named fragment of the detail
@@ -70,7 +86,9 @@ impl DistributedWarehouse {
     /// schema arity).
     pub fn new(sites: Vec<Site>) -> Result<Self> {
         if sites.is_empty() {
-            return Err(Error::invalid("a distributed warehouse needs at least one site"));
+            return Err(Error::invalid(
+                "a distributed warehouse needs at least one site",
+            ));
         }
         let arity = sites[0].fragment.schema().len();
         for s in &sites {
@@ -128,8 +146,7 @@ impl DistributedWarehouse {
 
         // Wave 1: broadcast the base-values relation.
         net.messages += self.sites.len() as u64;
-        net.broadcast_values +=
-            (self.sites.len() * base.len() * base.schema().len()) as u64;
+        net.broadcast_values += (self.sites.len() * base.len() * base.schema().len()) as u64;
 
         // Local evaluation per site. Each site's partial result is the
         // GMDJ over its fragment; we reconstruct the partial accumulators
@@ -209,10 +226,14 @@ fn absorb_partial(acc: &mut Accumulator, func: gmdj_relation::agg::AggFunc, v: &
     use gmdj_relation::agg::AggFunc;
     match func {
         AggFunc::CountStar => {
-            *acc = Accumulator::CountStar { n: v.as_i64().unwrap_or(0) };
+            *acc = Accumulator::CountStar {
+                n: v.as_i64().unwrap_or(0),
+            };
         }
         AggFunc::Count => {
-            *acc = Accumulator::Count { n: v.as_i64().unwrap_or(0) };
+            *acc = Accumulator::Count {
+                n: v.as_i64().unwrap_or(0),
+            };
         }
         // SUM/MIN/MAX: the partial output is a single absorbable value
         // (NULL partials over empty fragments are skipped by `update`).
@@ -306,7 +327,9 @@ mod tests {
             Predicate::true_(),
             vec![NamedAgg::new(AggFunc::Avg, col("R.v"), "a")],
         )]);
-        let err = wh.eval_gmdj(&base(), &bad, &GmdjOptions::default()).unwrap_err();
+        let err = wh
+            .eval_gmdj(&base(), &bad, &GmdjOptions::default())
+            .unwrap_err();
         assert!(err.to_string().contains("SUM and COUNT"));
     }
 
@@ -315,11 +338,11 @@ mod tests {
         // More sites than tuples: some fragments are empty.
         let d = detail(3);
         let wh = DistributedWarehouse::fragment_round_robin(&d, 8).unwrap();
-        let (dist, _, _) =
-            wh.eval_gmdj(&base(), &spec(), &GmdjOptions::default()).unwrap();
+        let (dist, _, _) = wh
+            .eval_gmdj(&base(), &spec(), &GmdjOptions::default())
+            .unwrap();
         let mut st = EvalStats::default();
-        let central =
-            eval_gmdj(&base(), &d, &spec(), &GmdjOptions::default(), &mut st).unwrap();
+        let central = eval_gmdj(&base(), &d, &spec(), &GmdjOptions::default(), &mut st).unwrap();
         assert!(dist.multiset_eq(&central));
     }
 
@@ -328,8 +351,14 @@ mod tests {
         let a = detail(4);
         let b = base(); // different arity
         let err = DistributedWarehouse::new(vec![
-            Site { name: "a".into(), fragment: a },
-            Site { name: "b".into(), fragment: b },
+            Site {
+                name: "a".into(),
+                fragment: a,
+            },
+            Site {
+                name: "b".into(),
+                fragment: b,
+            },
         ])
         .unwrap_err();
         assert!(err.to_string().contains("arity"));

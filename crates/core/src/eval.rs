@@ -83,6 +83,11 @@ pub struct EvalStats {
     pub index_builds: u64,
     /// Detail scans performed (= number of base partitions).
     pub partitions: u64,
+    /// Evaluations where a completion plan was present but skipped because
+    /// the execution mode cannot honor it (dead rules and finish-early are
+    /// scan-order-dependent, so parallel and distributed scans fall back to
+    /// the plain filtered form; the answer is unchanged).
+    pub completion_fallbacks: u64,
 }
 
 impl EvalStats {
@@ -97,6 +102,7 @@ impl EvalStats {
         self.done_early += other.done_early;
         self.index_builds += other.index_builds;
         self.partitions += other.partitions;
+        self.completion_fallbacks += other.completion_fallbacks;
     }
 
     /// A single scalar "work" figure: the dominant per-tuple costs.
@@ -173,95 +179,57 @@ pub fn eval_gmdj_filtered(
     Ok(Relation::from_parts(result_schema, out_rows))
 }
 
-/// Parallel GMDJ evaluation (Section 6: "the GMDJ operator is well-suited
-/// to evaluation in a parallel or distributed DBMS environment").
-///
-/// The detail relation is range-partitioned across `threads` workers; the
-/// base-values relation and every probe structure are built once and
-/// shared read-only. Each worker folds its partition into private
-/// accumulators, which merge exactly afterwards
-/// ([`Accumulator::merge`] — all supported aggregates are decomposable).
-///
-/// Completion is not applied here: base-tuple completion is a sequential
-/// optimization (a tuple's fate depends on scan order), so parallel
-/// evaluation targets the plain `MD(B, R, spec)` form. Results are
-/// identical to [`eval_gmdj`] for any thread count.
-pub fn eval_gmdj_parallel(
-    base: &Relation,
-    detail: &Relation,
-    spec: &GmdjSpec,
-    threads: usize,
-    opts: &GmdjOptions,
-    stats: &mut EvalStats,
-) -> Result<Relation> {
-    let threads = threads.max(1);
-    if threads == 1 || detail.len() < 2 * threads {
-        return eval_gmdj(base, detail, spec, opts, stats);
-    }
-    stats.partitions += 1;
-    stats.base_rows += base.len() as u64;
-    let base_rows = base.rows();
-    let plans = plan_blocks(base_rows, base.schema(), detail.schema(), spec, opts, stats)?;
-    let total_aggs = spec.agg_count();
-    let n = base_rows.len();
-
-    let chunk_len = detail.len().div_ceil(threads);
-    let chunks: Vec<&[Tuple]> = detail.rows().chunks(chunk_len.max(1)).collect();
-
-    let results: Vec<Result<(Vec<Accumulator>, EvalStats)>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk in &chunks {
-            let plans = &plans;
-            let chunk: &[Tuple] = chunk;
-            handles.push(scope.spawn(move || {
-                let mut accs: Vec<Accumulator> = Vec::with_capacity(n * total_aggs);
-                for _ in 0..n {
-                    for plan in plans {
-                        for a in &plan.aggs {
-                            accs.push(a.accumulator());
-                        }
-                    }
-                }
-                let mut local = EvalStats::default();
-                scan_detail_plain(chunk, plans, base_rows, total_aggs, &mut accs, &mut local)?;
-                Ok((accs, local))
-            }));
-        }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    });
-
-    // Merge partial accumulators in order.
-    let mut merged: Option<Vec<Accumulator>> = None;
-    for r in results {
-        let (accs, local) = r?;
-        stats.merge(&local);
-        match &mut merged {
-            None => merged = Some(accs),
-            Some(m) => {
-                for (a, b) in m.iter_mut().zip(&accs) {
-                    a.merge(b);
-                }
+/// Fresh accumulators for `n` base tuples under `plans` (row-major: all of
+/// one base tuple's accumulators are contiguous).
+pub(crate) fn new_accumulators(
+    plans: &[BlockPlan],
+    n: usize,
+    total_aggs: usize,
+) -> Vec<Accumulator> {
+    let mut accs: Vec<Accumulator> = Vec::with_capacity(n * total_aggs);
+    for _ in 0..n {
+        for plan in plans {
+            for a in &plan.aggs {
+                accs.push(a.accumulator());
             }
         }
     }
-    let merged = merged.expect("at least one detail chunk");
+    accs
+}
 
-    let out_schema = spec.output_schema(base.schema());
-    let mut rows = Vec::with_capacity(n);
+/// Finalize merged accumulators into output rows, applying the selection
+/// and `keep` projection — exactly the materialization the sequential
+/// partition scan performs for tuples that stay `Active` to the end.
+pub(crate) fn materialize_filtered(
+    base_rows: &[Tuple],
+    accs: &[Accumulator],
+    total_aggs: usize,
+    bound_selection: Option<&BoundPredicate>,
+    keep: Keep,
+    out_rows: &mut Vec<Tuple>,
+) -> Result<()> {
     for (b_idx, b_row) in base_rows.iter().enumerate() {
         let mut full: Vec<Value> = Vec::with_capacity(b_row.len() + total_aggs);
         full.extend(b_row.iter().cloned());
         let acc_base = b_idx * total_aggs;
-        for acc in &merged[acc_base..acc_base + total_aggs] {
+        for acc in &accs[acc_base..acc_base + total_aggs] {
             full.push(acc.finish());
         }
-        rows.push(full.into_boxed_slice());
+        if let Some(sel) = bound_selection {
+            if !sel.eval(&[&full])?.passes() {
+                continue;
+            }
+        }
+        match keep {
+            Keep::All => out_rows.push(full.into_boxed_slice()),
+            Keep::BaseOnly => out_rows.push(b_row.clone()),
+        }
     }
-    Ok(Relation::from_parts(out_schema, rows))
+    Ok(())
 }
 
 /// The probe loop without completion: fold one detail slice into `accs`.
-fn scan_detail_plain(
+pub(crate) fn scan_detail_plain(
     chunk: &[Tuple],
     plans: &[BlockPlan],
     base_rows: &[Tuple],
@@ -319,7 +287,7 @@ enum Status {
 }
 
 /// Per-condition probe plan.
-struct BlockPlan {
+pub(crate) struct BlockPlan {
     /// Full θᵢ bound against `[base, detail]` (used by dead-rule
     /// `unless_also` checks).
     full_theta: BoundPredicate,
@@ -337,9 +305,15 @@ enum Access {
     /// Iterate all active base tuples.
     Scan,
     /// Hash probe: key extracted from the detail row.
-    Hash { index: HashIndex, detail_cols: Vec<usize> },
+    Hash {
+        index: HashIndex,
+        detail_cols: Vec<usize>,
+    },
     /// Interval stab: point extracted from the detail row.
-    Interval { index: IntervalIndex, detail_col: usize },
+    Interval {
+        index: IntervalIndex,
+        detail_col: usize,
+    },
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -390,7 +364,11 @@ fn run_partition(
     let mut matched: Vec<u64> = vec![0; if finish_early { n } else { 0 }];
     // Active list for Scan access; rebuilt lazily after deaths.
     let has_scan_block = blocks.iter().any(|b| matches!(b.access, Access::Scan));
-    let mut scan_list: Vec<u32> = if has_scan_block { (0..n as u32).collect() } else { Vec::new() };
+    let mut scan_list: Vec<u32> = if has_scan_block {
+        (0..n as u32).collect()
+    } else {
+        Vec::new()
+    };
     let mut inactive_since_compact = 0usize;
     let mut stab_scratch: Vec<u32> = Vec::new();
 
@@ -479,7 +457,9 @@ fn run_partition(
             }
         }
         // Lazily compact the scan list once enough tuples completed.
-        if has_scan_block && inactive_since_compact > 0 && inactive_since_compact * 8 >= scan_list.len().max(8)
+        if has_scan_block
+            && inactive_since_compact > 0
+            && inactive_since_compact * 8 >= scan_list.len().max(8)
         {
             scan_list.retain(|&b| status[b as usize] == Status::Active);
             inactive_since_compact = 0;
@@ -535,7 +515,7 @@ fn update_aggs(
 }
 
 /// Build one probe plan per (lᵢ, θᵢ) block.
-fn plan_blocks(
+pub(crate) fn plan_blocks(
     base_rows: &[Tuple],
     base_schema: &Schema,
     detail_schema: &Schema,
@@ -562,7 +542,13 @@ fn plan_blocks(
             Some(p) => Some(p.bind(&[base_schema, detail_schema])?),
             None => None,
         };
-        plans.push(BlockPlan { full_theta, residual, access, aggs, agg_offset });
+        plans.push(BlockPlan {
+            full_theta,
+            residual,
+            access,
+            aggs,
+            agg_offset,
+        });
         agg_offset += block.aggs.len();
     }
     Ok(plans)
@@ -584,7 +570,12 @@ fn choose_access(
     let mut detail_cols = Vec::new();
     let mut used = vec![false; conjuncts.len()];
     for (i, c) in conjuncts.iter().enumerate() {
-        if let Predicate::Cmp { op: CmpOp::Eq, left, right } = c {
+        if let Predicate::Cmp {
+            op: CmpOp::Eq,
+            left,
+            right,
+        } = c
+        {
             if let Some((bc, dc)) = split_sides(left, right, base_schema, detail_schema)? {
                 base_cols.push(bc);
                 detail_cols.push(dc);
@@ -604,7 +595,9 @@ fn choose_access(
         find_band(&conjuncts, base_schema, detail_schema)?
     {
         let index = IntervalIndex::build(
-            base_rows.iter().map(|r| (r[lo_col].clone(), r[hi_col].clone())),
+            base_rows
+                .iter()
+                .map(|r| (r[lo_col].clone(), r[hi_col].clone())),
             hi_inclusive,
         );
         stats.index_builds += 1;
@@ -645,34 +638,33 @@ type Band = (usize, usize, usize, usize, usize, bool);
 /// Find a pair of conjuncts forming `R.t ≥ B.lo ∧ R.t < B.hi` (or `≤`).
 /// Returns (lo conjunct idx, hi conjunct idx, detail col t, base col lo,
 /// base col hi, hi_inclusive).
-fn find_band(
-    conjuncts: &[&Predicate],
-    base: &Schema,
-    detail: &Schema,
-) -> Result<Option<Band>> {
+fn find_band(conjuncts: &[&Predicate], base: &Schema, detail: &Schema) -> Result<Option<Band>> {
     // Normalized single-sided comparisons: (conjunct idx, detail col,
     // base col, op with detail on the left).
     let mut lowers: Vec<(usize, usize, usize)> = Vec::new(); // R.t >= B.lo
     let mut uppers: Vec<(usize, usize, usize, bool)> = Vec::new(); // R.t < B.hi (incl?)
     for (i, c) in conjuncts.iter().enumerate() {
-        let Predicate::Cmp { op, left, right } = c else { continue };
-        let (ScalarExpr::Column(l), ScalarExpr::Column(r)) = (left, right) else { continue };
-        // Orient so the detail column is on the left.
-        let (detail_col, base_col, op) = if let (Ok(d), Ok(b)) =
-            (l.resolve_in(detail), r.resolve_in(base))
-        {
-            if l.resolve_in(base).is_ok() || r.resolve_in(detail).is_ok() {
-                continue; // ambiguous sides
-            }
-            (d, b, *op)
-        } else if let (Ok(d), Ok(b)) = (r.resolve_in(detail), l.resolve_in(base)) {
-            if r.resolve_in(base).is_ok() || l.resolve_in(detail).is_ok() {
-                continue;
-            }
-            (d, b, op.flip())
-        } else {
+        let Predicate::Cmp { op, left, right } = c else {
             continue;
         };
+        let (ScalarExpr::Column(l), ScalarExpr::Column(r)) = (left, right) else {
+            continue;
+        };
+        // Orient so the detail column is on the left.
+        let (detail_col, base_col, op) =
+            if let (Ok(d), Ok(b)) = (l.resolve_in(detail), r.resolve_in(base)) {
+                if l.resolve_in(base).is_ok() || r.resolve_in(detail).is_ok() {
+                    continue; // ambiguous sides
+                }
+                (d, b, *op)
+            } else if let (Ok(d), Ok(b)) = (r.resolve_in(detail), l.resolve_in(base)) {
+                if r.resolve_in(base).is_ok() || l.resolve_in(detail).is_ok() {
+                    continue;
+                }
+                (d, b, op.flip())
+            } else {
+                continue;
+            };
         match op {
             CmpOp::Ge => lowers.push((i, detail_col, base_col)),
             CmpOp::Lt => uppers.push((i, detail_col, base_col, false)),
@@ -765,9 +757,16 @@ mod tests {
             &mut stats,
         )
         .unwrap();
-        assert_eq!(out.schema().qualified_names(), vec![
-            "H.HourDsc", "H.StartInterval", "H.EndInterval", "sum1", "sum2"
-        ]);
+        assert_eq!(
+            out.schema().qualified_names(),
+            vec![
+                "H.HourDsc",
+                "H.StartInterval",
+                "H.EndInterval",
+                "sum1",
+                "sum2"
+            ]
+        );
         let rows = out.sorted_rows();
         // Figure 1: 12/12, 36/84, 48/96.
         assert_eq!(rows[0][3], Value::Int(12));
@@ -800,12 +799,18 @@ mod tests {
             &hours(),
             &flows(),
             &spec,
-            &GmdjOptions { probe: ProbeStrategy::ForceScan, partition_rows: None },
+            &GmdjOptions {
+                probe: ProbeStrategy::ForceScan,
+                partition_rows: None,
+            },
             &mut s2,
         )
         .unwrap();
         assert!(indexed.multiset_eq(&scanned));
-        assert_eq!(s1.index_builds, 1, "band condition should build an interval index");
+        assert_eq!(
+            s1.index_builds, 1,
+            "band condition should build an interval index"
+        );
         // A boundary point: StartTime 120 would fall in hour 1's closed
         // interval [61, 120] — check the inclusive edge via hour 2's
         // upper bound.
@@ -829,7 +834,10 @@ mod tests {
             &hours(),
             &flows(),
             &example_2_1_spec(),
-            &GmdjOptions { probe: ProbeStrategy::ForceScan, partition_rows: None },
+            &GmdjOptions {
+                probe: ProbeStrategy::ForceScan,
+                partition_rows: None,
+            },
             &mut s2,
         )
         .unwrap();
@@ -853,7 +861,10 @@ mod tests {
             &hours(),
             &flows(),
             &example_2_1_spec(),
-            &GmdjOptions { probe: ProbeStrategy::Auto, partition_rows: Some(1) },
+            &GmdjOptions {
+                probe: ProbeStrategy::Auto,
+                partition_rows: Some(1),
+            },
             &mut s2,
         )
         .unwrap();
@@ -872,11 +883,13 @@ mod tests {
             .unwrap();
         let spec = GmdjSpec::new(vec![AggBlock::new(
             Predicate::true_(),
-            vec![NamedAgg::count_star("cnt"), NamedAgg::sum(col("F.NumBytes"), "s")],
+            vec![
+                NamedAgg::count_star("cnt"),
+                NamedAgg::sum(col("F.NumBytes"), "s"),
+            ],
         )]);
         let mut stats = EvalStats::default();
-        let out =
-            eval_gmdj(&hours(), &empty, &spec, &GmdjOptions::default(), &mut stats).unwrap();
+        let out = eval_gmdj(&hours(), &empty, &spec, &GmdjOptions::default(), &mut stats).unwrap();
         assert_eq!(out.len(), 3);
         for row in out.rows() {
             assert_eq!(row[3], Value::Int(0));
@@ -1037,8 +1050,7 @@ mod tests {
             .unwrap();
         let spec = GmdjSpec::new(vec![AggBlock::count(col("B.k").eq(col("R.k")), "cnt")]);
         let mut stats = EvalStats::default();
-        let out =
-            eval_gmdj(&base, &detail, &spec, &GmdjOptions::default(), &mut stats).unwrap();
+        let out = eval_gmdj(&base, &detail, &spec, &GmdjOptions::default(), &mut stats).unwrap();
         let rows = out.sorted_rows();
         // NULL base row: count 0 (NULL = anything is unknown).
         assert!(rows[0][0].is_null());
@@ -1050,7 +1062,10 @@ mod tests {
             &base,
             &detail,
             &spec,
-            &GmdjOptions { probe: ProbeStrategy::ForceScan, partition_rows: None },
+            &GmdjOptions {
+                probe: ProbeStrategy::ForceScan,
+                partition_rows: None,
+            },
             &mut s2,
         )
         .unwrap();
@@ -1074,39 +1089,10 @@ mod tests {
             .unwrap();
         let spec = GmdjSpec::new(vec![AggBlock::count(col("B.k").eq(col("R.k")), "cnt")]);
         let mut stats = EvalStats::default();
-        let out =
-            eval_gmdj(&base, &detail, &spec, &GmdjOptions::default(), &mut stats).unwrap();
+        let out = eval_gmdj(&base, &detail, &spec, &GmdjOptions::default(), &mut stats).unwrap();
         assert_eq!(out.len(), 2);
         for row in out.rows() {
             assert_eq!(row[1], Value::Int(2));
-        }
-    }
-
-    #[test]
-    fn parallel_evaluation_matches_sequential() {
-        for threads in [1usize, 2, 3, 5] {
-            let mut s1 = EvalStats::default();
-            let mut s2 = EvalStats::default();
-            let sequential = eval_gmdj(
-                &hours(),
-                &flows(),
-                &example_2_1_spec(),
-                &GmdjOptions::default(),
-                &mut s1,
-            )
-            .unwrap();
-            let parallel = eval_gmdj_parallel(
-                &hours(),
-                &flows(),
-                &example_2_1_spec(),
-                threads,
-                &GmdjOptions::default(),
-                &mut s2,
-            )
-            .unwrap();
-            assert!(sequential.multiset_eq(&parallel), "threads = {threads}");
-            // Exactly one pass over the detail relation in total.
-            assert_eq!(s2.detail_scanned, 6, "threads = {threads}");
         }
     }
 

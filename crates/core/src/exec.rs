@@ -1,11 +1,23 @@
 //! Executor for GMDJ expressions against a table catalog.
+//!
+//! [`execute`] walks a [`GmdjExpr`] bottom-up, running relational
+//! operators directly and handing every (filtered) GMDJ to the
+//! [`Runtime`] the context's [`ExecPolicy`] implies — so one policy
+//! object decides sequential, partitioned, parallel, or distributed
+//! evaluation for the whole plan. Alongside the result, the executor
+//! records a [`PlanNodeStats`] tree mirroring the plan shape; the
+//! roll-ups land in [`ExecContext::stats`] / [`ExecContext::network`]
+//! and the tree itself in [`ExecContext::plan_stats`], where
+//! [`crate::cost::observed_cost`] can read it back.
 
 use gmdj_relation::error::{Error, Result};
 use gmdj_relation::ops;
 use gmdj_relation::relation::Relation;
 
-use crate::eval::{eval_gmdj, eval_gmdj_filtered, EvalStats, GmdjOptions};
+use crate::distributed::NetworkStats;
+use crate::eval::{EvalStats, GmdjOptions};
 use crate::plan::GmdjExpr;
+use crate::runtime::{ExecPolicy, PlanNodeStats, Runtime};
 use crate::translate::SchemaInfo;
 
 /// Source of base tables. The engine crate implements this for its
@@ -28,90 +40,180 @@ impl<T: TableProvider + ?Sized> SchemaInfo for T {
     }
 }
 
-/// Execution context: evaluation options plus accumulated statistics.
+/// Execution context: the execution policy plus accumulated statistics.
 #[derive(Debug, Default)]
 pub struct ExecContext {
-    /// Options forwarded to every GMDJ evaluation.
-    pub opts: GmdjOptions,
-    /// Work counters accumulated across the plan.
+    /// The policy every GMDJ in the plan executes under.
+    pub policy: ExecPolicy,
+    /// Evaluator work counters rolled up across the plan.
     pub stats: EvalStats,
+    /// Simulated network traffic rolled up across the plan (distributed
+    /// mode; zero otherwise).
+    pub network: NetworkStats,
+    /// Per-plan-node statistics tree of the most recent [`execute`] call.
+    pub plan_stats: Option<PlanNodeStats>,
 }
 
 impl ExecContext {
-    /// Fresh context with default options.
+    /// Fresh context with the default (sequential) policy.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Fresh context with specific GMDJ options.
+    /// Fresh context with specific GMDJ options, executing sequentially.
     pub fn with_opts(opts: GmdjOptions) -> Self {
-        ExecContext { opts, stats: EvalStats::default() }
+        Self::with_policy(ExecPolicy {
+            probe: opts.probe,
+            partition_rows: opts.partition_rows,
+            ..ExecPolicy::default()
+        })
+    }
+
+    /// Fresh context executing under `policy`.
+    pub fn with_policy(policy: ExecPolicy) -> Self {
+        ExecContext {
+            policy,
+            ..ExecContext::default()
+        }
     }
 }
 
-/// Evaluate a GMDJ expression.
+/// Evaluate a GMDJ expression under the context's policy, recording a
+/// per-plan-node statistics tree in [`ExecContext::plan_stats`].
 pub fn execute(
     expr: &GmdjExpr,
     tables: &dyn TableProvider,
     ctx: &mut ExecContext,
 ) -> Result<Relation> {
+    ctx.policy.validate()?;
+    let runtime = Runtime::new(ctx.policy);
+    let (rel, tree) = execute_node(expr, tables, &runtime)?;
+    ctx.stats.merge(&tree.total_eval());
+    ctx.network.merge(&tree.total_network());
+    ctx.plan_stats = Some(tree);
+    Ok(rel)
+}
+
+/// A unary-operator node: row flow recorded, child attached.
+fn unary_node(label: &str, rows_in: usize, out: &Relation, child: PlanNodeStats) -> PlanNodeStats {
+    let mut node = PlanNodeStats::new(label);
+    node.ops.record(rows_in, out.len());
+    node.rows_out = out.len() as u64;
+    node.children.push(child);
+    node
+}
+
+fn execute_node(
+    expr: &GmdjExpr,
+    tables: &dyn TableProvider,
+    runtime: &Runtime,
+) -> Result<(Relation, PlanNodeStats)> {
     match expr {
         GmdjExpr::Table { name, qualifier } => {
-            Ok(tables.table(name)?.renamed(qualifier))
+            let rel = tables.table(name)?.renamed(qualifier);
+            let mut node = PlanNodeStats::new(format!("Table({name})"));
+            node.scanned_rows = rel.len() as u64;
+            node.rows_out = rel.len() as u64;
+            Ok((rel, node))
         }
         GmdjExpr::Select { input, predicate } => {
-            let rel = execute(input, tables, ctx)?;
-            ops::select(&rel, predicate)
+            let (rel, child) = execute_node(input, tables, runtime)?;
+            let out = ops::select(&rel, predicate)?;
+            let node = unary_node("Select", rel.len(), &out, child);
+            Ok((out, node))
         }
-        GmdjExpr::Project { input, columns, distinct } => {
-            let rel = execute(input, tables, ctx)?;
+        GmdjExpr::Project {
+            input,
+            columns,
+            distinct,
+        } => {
+            let (rel, child) = execute_node(input, tables, runtime)?;
             let projected = ops::project_columns(&rel, columns)?;
-            Ok(if *distinct { ops::distinct(&projected) } else { projected })
+            let out = if *distinct {
+                ops::distinct(&projected)
+            } else {
+                projected
+            };
+            let node = unary_node("Project", rel.len(), &out, child);
+            Ok((out, node))
         }
         GmdjExpr::AggProject { input, agg } => {
-            let rel = execute(input, tables, ctx)?;
-            ops::group_by(&rel, &[], std::slice::from_ref(agg))
+            let (rel, child) = execute_node(input, tables, runtime)?;
+            let out = ops::group_by(&rel, &[], std::slice::from_ref(agg))?;
+            let node = unary_node("AggProject", rel.len(), &out, child);
+            Ok((out, node))
         }
         GmdjExpr::Join { left, right, on } => {
-            let l = execute(left, tables, ctx)?;
-            let r = execute(right, tables, ctx)?;
-            ops::theta_join(&l, &r, on)
+            let (l, l_node) = execute_node(left, tables, runtime)?;
+            let (r, r_node) = execute_node(right, tables, runtime)?;
+            let out = ops::theta_join(&l, &r, on)?;
+            let mut node = PlanNodeStats::new("Join");
+            node.ops.record(l.len() + r.len(), out.len());
+            node.rows_out = out.len() as u64;
+            node.children.push(l_node);
+            node.children.push(r_node);
+            Ok((out, node))
         }
         GmdjExpr::DropComputed { input, names } => {
-            let rel = execute(input, tables, ctx)?;
+            let (rel, child) = execute_node(input, tables, runtime)?;
             let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-            ops::drop_columns(&rel, &refs)
+            let out = ops::drop_columns(&rel, &refs)?;
+            let node = unary_node("DropComputed", rel.len(), &out, child);
+            Ok((out, node))
         }
         GmdjExpr::GroupBy { input, keys, aggs } => {
-            let rel = execute(input, tables, ctx)?;
-            ops::group_by(&rel, keys, aggs)
+            let (rel, child) = execute_node(input, tables, runtime)?;
+            let out = ops::group_by(&rel, keys, aggs)?;
+            let node = unary_node("GroupBy", rel.len(), &out, child);
+            Ok((out, node))
         }
         GmdjExpr::OrderBy { input, keys } => {
-            let rel = execute(input, tables, ctx)?;
-            ops::sort_by(&rel, keys)
+            let (rel, child) = execute_node(input, tables, runtime)?;
+            let out = ops::sort_by(&rel, keys)?;
+            let node = unary_node("OrderBy", rel.len(), &out, child);
+            Ok((out, node))
         }
         GmdjExpr::Limit { input, n } => {
-            let rel = execute(input, tables, ctx)?;
-            Ok(ops::limit(&rel, *n))
+            let (rel, child) = execute_node(input, tables, runtime)?;
+            let out = ops::limit(&rel, *n);
+            let node = unary_node("Limit", rel.len(), &out, child);
+            Ok((out, node))
         }
         GmdjExpr::Gmdj { base, detail, spec } => {
-            let b = execute(base, tables, ctx)?;
-            let d = execute(detail, tables, ctx)?;
-            eval_gmdj(&b, &d, spec, &ctx.opts, &mut ctx.stats)
+            let (b, b_node) = execute_node(base, tables, runtime)?;
+            let (d, d_node) = execute_node(detail, tables, runtime)?;
+            let mut node = PlanNodeStats::new("GMDJ");
+            let out = runtime.eval_gmdj(&b, &d, spec, &mut node.eval, &mut node.network)?;
+            node.rows_out = out.len() as u64;
+            node.children.push(b_node);
+            node.children.push(d_node);
+            Ok((out, node))
         }
-        GmdjExpr::FilteredGmdj { base, detail, spec, selection, keep, completion } => {
-            let b = execute(base, tables, ctx)?;
-            let d = execute(detail, tables, ctx)?;
-            eval_gmdj_filtered(
+        GmdjExpr::FilteredGmdj {
+            base,
+            detail,
+            spec,
+            selection,
+            keep,
+            completion,
+        } => {
+            let (b, b_node) = execute_node(base, tables, runtime)?;
+            let (d, d_node) = execute_node(detail, tables, runtime)?;
+            let mut node = PlanNodeStats::new("FilteredGMDJ");
+            let out = runtime.eval(
                 &b,
                 &d,
                 spec,
                 Some(selection),
                 *keep,
                 completion.as_ref(),
-                &ctx.opts,
-                &mut ctx.stats,
-            )
+                &mut node.eval,
+                &mut node.network,
+            )?;
+            node.rows_out = out.len() as u64;
+            node.children.push(b_node);
+            node.children.push(d_node);
+            Ok((out, node))
         }
     }
 }
@@ -156,7 +258,9 @@ impl TableProvider for MemoryCatalog {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, r)| r)
-            .ok_or_else(|| Error::UnknownTable { name: name.to_string() })
+            .ok_or_else(|| Error::UnknownTable {
+                name: name.to_string(),
+            })
     }
 }
 
@@ -207,12 +311,65 @@ mod tests {
         assert!(ctx.stats.detail_scanned > 0);
         // DropComputed strips the count.
         let dropped = execute(
-            &GmdjExpr::DropComputed { input: Box::new(expr), names: vec!["cnt".into()] },
+            &GmdjExpr::DropComputed {
+                input: Box::new(expr),
+                names: vec!["cnt".into()],
+            },
             &catalog(),
             &mut ctx,
         )
         .unwrap();
         assert_eq!(dropped.schema().len(), 3);
+    }
+
+    #[test]
+    fn parallel_policy_matches_sequential_and_records_plan_stats() {
+        let expr = GmdjExpr::table("Hours", "H")
+            .gmdj(
+                GmdjExpr::table("Flow", "F"),
+                GmdjSpec::new(vec![AggBlock::count(
+                    col("F.StartTime")
+                        .ge(col("H.StartInterval"))
+                        .and(col("F.StartTime").lt(col("H.EndInterval"))),
+                    "cnt",
+                )]),
+            )
+            .select(col("cnt").gt(lit(0)));
+        let mut seq = ExecContext::new();
+        let a = execute(&expr, &catalog(), &mut seq).unwrap();
+        let mut par = ExecContext::with_policy(ExecPolicy::parallel(3));
+        let b = execute(&expr, &catalog(), &mut par).unwrap();
+        assert!(a.multiset_eq(&b));
+        // Without completion the parallel scan does the same work.
+        assert_eq!(seq.stats, par.stats);
+
+        let tree = par.plan_stats.as_ref().unwrap();
+        assert_eq!(tree.label, "Select");
+        assert_eq!(tree.children[0].label, "GMDJ");
+        assert_eq!(tree.total_scanned(), 4); // 2 Hours rows + 2 Flow rows
+        assert_eq!(tree.total_eval(), par.stats);
+        assert_eq!(tree.rows_out, b.len() as u64);
+    }
+
+    #[test]
+    fn distributed_policy_rolls_network_into_context() {
+        let expr = GmdjExpr::table("Hours", "H").gmdj(
+            GmdjExpr::table("Flow", "F"),
+            GmdjSpec::new(vec![AggBlock::count(
+                col("F.StartTime")
+                    .ge(col("H.StartInterval"))
+                    .and(col("F.StartTime").lt(col("H.EndInterval"))),
+                "cnt",
+            )]),
+        );
+        let mut seq = ExecContext::new();
+        let a = execute(&expr, &catalog(), &mut seq).unwrap();
+        let mut dist = ExecContext::with_policy(ExecPolicy::distributed(2));
+        let b = execute(&expr, &catalog(), &mut dist).unwrap();
+        assert!(a.multiset_eq(&b));
+        assert_eq!(dist.network.messages, 4); // two waves × two sites
+        assert!(dist.network.total() > 0);
+        assert_eq!(seq.network, crate::distributed::NetworkStats::default());
     }
 
     #[test]

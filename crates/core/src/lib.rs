@@ -26,6 +26,11 @@
 //!   push-up, and annotation of GMDJ nodes with completion plans.
 //! * [`exec`] — an executor for GMDJ expressions against any
 //!   [`TableProvider`], returning results plus evaluation statistics.
+//! * [`runtime`] — the **unified execution pipeline**: a [`Runtime`]
+//!   owning an [`ExecPolicy`] (sequential, partitioned, parallel, or
+//!   distributed) is the single entry point for GMDJ evaluation, and the
+//!   executor records a per-plan-node [`PlanNodeStats`] tree the cost
+//!   model can read back.
 //!
 //! # Example: a subquery, translated and evaluated
 //!
@@ -75,18 +80,17 @@ pub mod eval;
 pub mod exec;
 pub mod optimize;
 pub mod plan;
+pub mod runtime;
 pub mod spec;
 pub mod translate;
 
 pub use completion::{derive_completion, CompletionPlan, DeadRule};
-pub use cost::{cost_based_optimize, estimate, Cost, Estimate, StatsProvider};
+pub use cost::{cost_based_optimize, estimate, observed_cost, Cost, Estimate, StatsProvider};
 pub use distributed::{DistributedWarehouse, NetworkStats, Site};
-pub use eval::{
-    eval_gmdj, eval_gmdj_filtered, eval_gmdj_parallel, EvalStats, GmdjOptions, Keep,
-    ProbeStrategy,
-};
+pub use eval::{eval_gmdj, eval_gmdj_filtered, EvalStats, GmdjOptions, Keep, ProbeStrategy};
 pub use exec::{execute, ExecContext, TableProvider};
 pub use optimize::optimize;
 pub use plan::GmdjExpr;
+pub use runtime::{ExecMode, ExecPolicy, PlanNodeStats, Runtime};
 pub use spec::{AggBlock, GmdjSpec};
 pub use translate::subquery_to_gmdj;

@@ -37,7 +37,11 @@ pub struct OptFlags {
 
 impl Default for OptFlags {
     fn default() -> Self {
-        OptFlags { hoist: true, coalesce: true, completion: true }
+        OptFlags {
+            hoist: true,
+            coalesce: true,
+            completion: true,
+        }
     }
 }
 
@@ -74,9 +78,19 @@ fn rewrite(e: &GmdjExpr, flags: &OptFlags, structural_only: bool) -> (GmdjExpr, 
         GmdjExpr::Table { .. } => (e.clone(), false),
         GmdjExpr::Select { input, predicate } => {
             let (i, c) = rewrite(input, flags, structural_only);
-            (GmdjExpr::Select { input: Box::new(i), predicate: predicate.clone() }, c)
+            (
+                GmdjExpr::Select {
+                    input: Box::new(i),
+                    predicate: predicate.clone(),
+                },
+                c,
+            )
         }
-        GmdjExpr::Project { input, columns, distinct } => {
+        GmdjExpr::Project {
+            input,
+            columns,
+            distinct,
+        } => {
             let (i, c) = rewrite(input, flags, structural_only);
             (
                 GmdjExpr::Project {
@@ -89,11 +103,23 @@ fn rewrite(e: &GmdjExpr, flags: &OptFlags, structural_only: bool) -> (GmdjExpr, 
         }
         GmdjExpr::AggProject { input, agg } => {
             let (i, c) = rewrite(input, flags, structural_only);
-            (GmdjExpr::AggProject { input: Box::new(i), agg: agg.clone() }, c)
+            (
+                GmdjExpr::AggProject {
+                    input: Box::new(i),
+                    agg: agg.clone(),
+                },
+                c,
+            )
         }
         GmdjExpr::DropComputed { input, names } => {
             let (i, c) = rewrite(input, flags, structural_only);
-            (GmdjExpr::DropComputed { input: Box::new(i), names: names.clone() }, c)
+            (
+                GmdjExpr::DropComputed {
+                    input: Box::new(i),
+                    names: names.clone(),
+                },
+                c,
+            )
         }
         GmdjExpr::GroupBy { input, keys, aggs } => {
             let (i, c) = rewrite(input, flags, structural_only);
@@ -108,17 +134,33 @@ fn rewrite(e: &GmdjExpr, flags: &OptFlags, structural_only: bool) -> (GmdjExpr, 
         }
         GmdjExpr::OrderBy { input, keys } => {
             let (i, c) = rewrite(input, flags, structural_only);
-            (GmdjExpr::OrderBy { input: Box::new(i), keys: keys.clone() }, c)
+            (
+                GmdjExpr::OrderBy {
+                    input: Box::new(i),
+                    keys: keys.clone(),
+                },
+                c,
+            )
         }
         GmdjExpr::Limit { input, n } => {
             let (i, c) = rewrite(input, flags, structural_only);
-            (GmdjExpr::Limit { input: Box::new(i), n: *n }, c)
+            (
+                GmdjExpr::Limit {
+                    input: Box::new(i),
+                    n: *n,
+                },
+                c,
+            )
         }
         GmdjExpr::Join { left, right, on } => {
             let (l, cl) = rewrite(left, flags, structural_only);
             let (r, cr) = rewrite(right, flags, structural_only);
             (
-                GmdjExpr::Join { left: Box::new(l), right: Box::new(r), on: on.clone() },
+                GmdjExpr::Join {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    on: on.clone(),
+                },
                 cl || cr,
             )
         }
@@ -126,11 +168,22 @@ fn rewrite(e: &GmdjExpr, flags: &OptFlags, structural_only: bool) -> (GmdjExpr, 
             let (b, cb) = rewrite(base, flags, structural_only);
             let (d, cd) = rewrite(detail, flags, structural_only);
             (
-                GmdjExpr::Gmdj { base: Box::new(b), detail: Box::new(d), spec: spec.clone() },
+                GmdjExpr::Gmdj {
+                    base: Box::new(b),
+                    detail: Box::new(d),
+                    spec: spec.clone(),
+                },
                 cb || cd,
             )
         }
-        GmdjExpr::FilteredGmdj { base, detail, spec, selection, keep, completion } => {
+        GmdjExpr::FilteredGmdj {
+            base,
+            detail,
+            spec,
+            selection,
+            keep,
+            completion,
+        } => {
             let (b, cb) = rewrite(base, flags, structural_only);
             let (d, cd) = rewrite(detail, flags, structural_only);
             (
@@ -160,7 +213,11 @@ fn apply_structural(e: GmdjExpr, flags: &OptFlags) -> (GmdjExpr, bool) {
     if flags.hoist {
         // Select(Select(X)) → Select(X, p1 ∧ p2).
         if let GmdjExpr::Select { input, predicate } = &e {
-            if let GmdjExpr::Select { input: inner, predicate: p1 } = input.as_ref() {
+            if let GmdjExpr::Select {
+                input: inner,
+                predicate: p1,
+            } = input.as_ref()
+            {
                 return (
                     GmdjExpr::Select {
                         input: inner.clone(),
@@ -171,7 +228,11 @@ fn apply_structural(e: GmdjExpr, flags: &OptFlags) -> (GmdjExpr, bool) {
             }
             // Select(DropComputed(X)) → DropComputed(Select(X)) when the
             // selection does not reference the dropped names.
-            if let GmdjExpr::DropComputed { input: inner, names } = input.as_ref() {
+            if let GmdjExpr::DropComputed {
+                input: inner,
+                names,
+            } = input.as_ref()
+            {
                 if pred_avoids_names(predicate, names) {
                     return (
                         GmdjExpr::DropComputed {
@@ -188,10 +249,20 @@ fn apply_structural(e: GmdjExpr, flags: &OptFlags) -> (GmdjExpr, bool) {
         }
         // DropComputed(DropComputed(X)) → DropComputed(X, n1 ∪ n2).
         if let GmdjExpr::DropComputed { input, names } = &e {
-            if let GmdjExpr::DropComputed { input: inner, names: n1 } = input.as_ref() {
+            if let GmdjExpr::DropComputed {
+                input: inner,
+                names: n1,
+            } = input.as_ref()
+            {
                 let mut all = n1.clone();
                 all.extend(names.iter().cloned());
-                return (GmdjExpr::DropComputed { input: inner.clone(), names: all }, true);
+                return (
+                    GmdjExpr::DropComputed {
+                        input: inner.clone(),
+                        names: all,
+                    },
+                    true,
+                );
             }
         }
         // MD(σ[p](X), R, s) → σ[p](MD(X, R, s)) and likewise for drops.
@@ -231,7 +302,12 @@ fn apply_structural(e: GmdjExpr, flags: &OptFlags) -> (GmdjExpr, bool) {
     if flags.coalesce {
         // MD(MD(B, R, s1), R, s2) → MD(B, R, s1 ++ s2)  (Prop. 4.1).
         if let GmdjExpr::Gmdj { base, detail, spec } = &e {
-            if let GmdjExpr::Gmdj { base: b0, detail: d1, spec: s1 } = base.as_ref() {
+            if let GmdjExpr::Gmdj {
+                base: b0,
+                detail: d1,
+                spec: s1,
+            } = base.as_ref()
+            {
                 if let Some(s2) = unify_details(d1, detail, spec) {
                     if spec_avoids_names(&s2, &spec_output_names(s1)) {
                         return (
@@ -255,7 +331,11 @@ fn apply_structural(e: GmdjExpr, flags: &OptFlags) -> (GmdjExpr, bool) {
 fn apply_completion(e: GmdjExpr) -> (GmdjExpr, bool) {
     // Pattern 1: DropComputed(Select(Gmdj)) with names ⊇ aggregate outputs.
     if let GmdjExpr::DropComputed { input, names } = &e {
-        if let GmdjExpr::Select { input: sel_in, predicate } = input.as_ref() {
+        if let GmdjExpr::Select {
+            input: sel_in,
+            predicate,
+        } = input.as_ref()
+        {
             if let GmdjExpr::Gmdj { base, detail, spec } = sel_in.as_ref() {
                 let outputs: Vec<String> =
                     spec.output_names().iter().map(|s| s.to_string()).collect();
@@ -271,12 +351,18 @@ fn apply_completion(e: GmdjExpr) -> (GmdjExpr, bool) {
                     };
                     // Names beyond the spec outputs are base columns that
                     // still need dropping.
-                    let extra: Vec<String> =
-                        names.iter().filter(|n| !outputs.contains(n)).cloned().collect();
+                    let extra: Vec<String> = names
+                        .iter()
+                        .filter(|n| !outputs.contains(n))
+                        .cloned()
+                        .collect();
                     let out = if extra.is_empty() {
                         fused
                     } else {
-                        GmdjExpr::DropComputed { input: Box::new(fused), names: extra }
+                        GmdjExpr::DropComputed {
+                            input: Box::new(fused),
+                            names: extra,
+                        }
                     };
                     return (out, true);
                 }
@@ -287,11 +373,16 @@ fn apply_completion(e: GmdjExpr) -> (GmdjExpr, bool) {
     // into a keep-all FilteredGmdj before the enclosing drop is visited;
     // upgrade it to keep-base-only with the stronger completion plan.
     if let GmdjExpr::DropComputed { input, names } = &e {
-        if let GmdjExpr::FilteredGmdj { base, detail, spec, selection, keep: Keep::All, .. } =
-            input.as_ref()
+        if let GmdjExpr::FilteredGmdj {
+            base,
+            detail,
+            spec,
+            selection,
+            keep: Keep::All,
+            ..
+        } = input.as_ref()
         {
-            let outputs: Vec<String> =
-                spec.output_names().iter().map(|s| s.to_string()).collect();
+            let outputs: Vec<String> = spec.output_names().iter().map(|s| s.to_string()).collect();
             if outputs.iter().all(|o| names.contains(o)) {
                 let completion = derive_completion(selection, spec, true);
                 let fused = GmdjExpr::FilteredGmdj {
@@ -302,12 +393,18 @@ fn apply_completion(e: GmdjExpr) -> (GmdjExpr, bool) {
                     keep: Keep::BaseOnly,
                     completion,
                 };
-                let extra: Vec<String> =
-                    names.iter().filter(|n| !outputs.contains(n)).cloned().collect();
+                let extra: Vec<String> = names
+                    .iter()
+                    .filter(|n| !outputs.contains(n))
+                    .cloned()
+                    .collect();
                 let out = if extra.is_empty() {
                     fused
                 } else {
-                    GmdjExpr::DropComputed { input: Box::new(fused), names: extra }
+                    GmdjExpr::DropComputed {
+                        input: Box::new(fused),
+                        names: extra,
+                    }
                 };
                 return (out, true);
             }
@@ -356,7 +453,8 @@ fn spec_avoids_names(spec: &GmdjSpec, names: &[String]) -> bool {
                 Some(e) => {
                     let mut cols = Vec::new();
                     e.collect_columns(&mut cols);
-                    cols.iter().all(|c| c.qualifier.is_some() || !names.contains(&c.name))
+                    cols.iter()
+                        .all(|c| c.qualifier.is_some() || !names.contains(&c.name))
                 }
                 None => true,
             })
@@ -373,8 +471,14 @@ fn unify_details(d1: &GmdjExpr, d2: &GmdjExpr, s2: &GmdjSpec) -> Option<GmdjSpec
     // Same base table under different qualifiers: rename the second
     // spec's references (`Flow → F_S` vs `Flow → F`, Example 4.1).
     if let (
-        GmdjExpr::Table { name: n1, qualifier: q1 },
-        GmdjExpr::Table { name: n2, qualifier: q2 },
+        GmdjExpr::Table {
+            name: n1,
+            qualifier: q1,
+        },
+        GmdjExpr::Table {
+            name: n2,
+            qualifier: q2,
+        },
     ) = (d1, d2)
     {
         if n1 == n2 {
@@ -432,10 +536,24 @@ mod tests {
                 .and(col(&format!("{q}.DestIP")).eq(lit(ip)))
         };
         let chained = base
-            .gmdj(GmdjExpr::table("Flow", "F1"), count_block(mk_theta("F1", "167"), "c1"))
-            .gmdj(GmdjExpr::table("Flow", "F2"), count_block(mk_theta("F2", "168"), "c2"))
-            .gmdj(GmdjExpr::table("Flow", "F3"), count_block(mk_theta("F3", "169"), "c3"))
-            .select(col("c1").eq(lit(0)).and(col("c2").gt(lit(0))).and(col("c3").eq(lit(0))));
+            .gmdj(
+                GmdjExpr::table("Flow", "F1"),
+                count_block(mk_theta("F1", "167"), "c1"),
+            )
+            .gmdj(
+                GmdjExpr::table("Flow", "F2"),
+                count_block(mk_theta("F2", "168"), "c2"),
+            )
+            .gmdj(
+                GmdjExpr::table("Flow", "F3"),
+                count_block(mk_theta("F3", "169"), "c3"),
+            )
+            .select(
+                col("c1")
+                    .eq(lit(0))
+                    .and(col("c2").gt(lit(0)))
+                    .and(col("c3").eq(lit(0))),
+            );
         let expr = GmdjExpr::DropComputed {
             input: Box::new(chained),
             names: vec!["c1".into(), "c2".into(), "c3".into()],
@@ -445,7 +563,13 @@ mod tests {
         assert_eq!(opt.gmdj_count(), 1, "{opt}");
         // Completion fused: dead rules for c1 and c3.
         assert!(opt.uses_completion(), "{opt}");
-        let GmdjExpr::FilteredGmdj { spec, completion, keep, .. } = &opt else {
+        let GmdjExpr::FilteredGmdj {
+            spec,
+            completion,
+            keep,
+            ..
+        } = &opt
+        else {
             panic!("expected FilteredGmdj at root: {opt}");
         };
         assert_eq!(spec.blocks.len(), 3);
@@ -461,13 +585,22 @@ mod tests {
     #[test]
     fn hoist_moves_selection_above_gmdj() {
         let inner = GmdjExpr::table("Hours", "H")
-            .gmdj(GmdjExpr::table("Flow", "F1"), count_block(Predicate::true_(), "c1"))
+            .gmdj(
+                GmdjExpr::table("Flow", "F1"),
+                count_block(Predicate::true_(), "c1"),
+            )
             .select(col("c1").gt(lit(0)));
-        let outer =
-            inner.gmdj(GmdjExpr::table("Flow", "F2"), count_block(Predicate::true_(), "c2"));
+        let outer = inner.gmdj(
+            GmdjExpr::table("Flow", "F2"),
+            count_block(Predicate::true_(), "c2"),
+        );
         let opt = optimize_with(
             &outer,
-            &OptFlags { hoist: true, coalesce: false, completion: false },
+            &OptFlags {
+                hoist: true,
+                coalesce: false,
+                completion: false,
+            },
         );
         // Selection is now above the outer GMDJ.
         assert!(matches!(opt, GmdjExpr::Select { .. }), "{opt}");
@@ -477,11 +610,21 @@ mod tests {
     fn coalescing_requires_independence() {
         // Second spec references the first's output: must NOT coalesce.
         let expr = GmdjExpr::table("B", "B")
-            .gmdj(GmdjExpr::table("R", "R"), count_block(Predicate::true_(), "c1"))
-            .gmdj(GmdjExpr::table("R", "R"), count_block(col("c1").gt(lit(0)), "c2"));
+            .gmdj(
+                GmdjExpr::table("R", "R"),
+                count_block(Predicate::true_(), "c1"),
+            )
+            .gmdj(
+                GmdjExpr::table("R", "R"),
+                count_block(col("c1").gt(lit(0)), "c2"),
+            );
         let opt = optimize_with(
             &expr,
-            &OptFlags { hoist: true, coalesce: true, completion: false },
+            &OptFlags {
+                hoist: true,
+                coalesce: true,
+                completion: false,
+            },
         );
         assert_eq!(opt.gmdj_count(), 2);
     }
@@ -489,8 +632,14 @@ mod tests {
     #[test]
     fn coalescing_requires_same_detail_table() {
         let expr = GmdjExpr::table("B", "B")
-            .gmdj(GmdjExpr::table("R", "R1"), count_block(Predicate::true_(), "c1"))
-            .gmdj(GmdjExpr::table("S", "S1"), count_block(Predicate::true_(), "c2"));
+            .gmdj(
+                GmdjExpr::table("R", "R1"),
+                count_block(Predicate::true_(), "c1"),
+            )
+            .gmdj(
+                GmdjExpr::table("S", "S1"),
+                count_block(Predicate::true_(), "c2"),
+            );
         let opt = optimize(&expr);
         assert_eq!(opt.gmdj_count(), 2);
     }
@@ -498,10 +647,16 @@ mod tests {
     #[test]
     fn select_gmdj_fuses_even_without_drop() {
         let expr = GmdjExpr::table("B", "B")
-            .gmdj(GmdjExpr::table("R", "R"), count_block(Predicate::true_(), "c1"))
+            .gmdj(
+                GmdjExpr::table("R", "R"),
+                count_block(Predicate::true_(), "c1"),
+            )
             .select(col("c1").gt(lit(0)));
         let opt = optimize(&expr);
-        let GmdjExpr::FilteredGmdj { keep, completion, .. } = &opt else {
+        let GmdjExpr::FilteredGmdj {
+            keep, completion, ..
+        } = &opt
+        else {
             panic!("{opt}");
         };
         assert_eq!(*keep, Keep::All);
@@ -512,11 +667,18 @@ mod tests {
     #[test]
     fn basic_flags_leave_plan_untouched() {
         let expr = GmdjExpr::table("B", "B")
-            .gmdj(GmdjExpr::table("R", "R"), count_block(Predicate::true_(), "c1"))
+            .gmdj(
+                GmdjExpr::table("R", "R"),
+                count_block(Predicate::true_(), "c1"),
+            )
             .select(col("c1").gt(lit(0)));
         let opt = optimize_with(
             &expr,
-            &OptFlags { hoist: false, coalesce: false, completion: false },
+            &OptFlags {
+                hoist: false,
+                coalesce: false,
+                completion: false,
+            },
         );
         assert_eq!(opt, expr);
     }

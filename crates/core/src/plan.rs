@@ -22,16 +22,30 @@ pub enum GmdjExpr {
     /// Base table scan with renaming (`Flow → F`).
     Table { name: String, qualifier: String },
     /// σ\[predicate\](input) over a flat predicate.
-    Select { input: Box<GmdjExpr>, predicate: Predicate },
+    Select {
+        input: Box<GmdjExpr>,
+        predicate: Predicate,
+    },
     /// π\[columns\](input), optionally distinct.
-    Project { input: Box<GmdjExpr>, columns: Vec<ColumnRef>, distinct: bool },
+    Project {
+        input: Box<GmdjExpr>,
+        columns: Vec<ColumnRef>,
+        distinct: bool,
+    },
     /// Ungrouped scalar aggregate (always one row).
     AggProject { input: Box<GmdjExpr>, agg: NamedAgg },
     /// Ordinary θ-join (introduced only for non-neighboring predicates).
-    Join { left: Box<GmdjExpr>, right: Box<GmdjExpr>, on: Predicate },
+    Join {
+        left: Box<GmdjExpr>,
+        right: Box<GmdjExpr>,
+        on: Predicate,
+    },
     /// Drop named computed columns — the final π\[A\] of the translation,
     /// stripping the auxiliary count columns.
-    DropComputed { input: Box<GmdjExpr>, names: Vec<String> },
+    DropComputed {
+        input: Box<GmdjExpr>,
+        names: Vec<String>,
+    },
     /// γ\[keys; aggs\](input) — SQL GROUP BY.
     GroupBy {
         input: Box<GmdjExpr>,
@@ -39,11 +53,18 @@ pub enum GmdjExpr {
         aggs: Vec<NamedAgg>,
     },
     /// SQL ORDER BY (presentation).
-    OrderBy { input: Box<GmdjExpr>, keys: Vec<(ColumnRef, bool)> },
+    OrderBy {
+        input: Box<GmdjExpr>,
+        keys: Vec<(ColumnRef, bool)>,
+    },
     /// SQL LIMIT.
     Limit { input: Box<GmdjExpr>, n: usize },
     /// `MD(base, detail, spec)` (Definition 2.1).
-    Gmdj { base: Box<GmdjExpr>, detail: Box<GmdjExpr>, spec: GmdjSpec },
+    Gmdj {
+        base: Box<GmdjExpr>,
+        detail: Box<GmdjExpr>,
+        spec: GmdjSpec,
+    },
     /// `π[keep](σ[selection](MD(base, detail, spec)))` fused into the
     /// evaluator, optionally with a base-tuple completion plan — the form
     /// the optimizer produces (Section 4).
@@ -60,17 +81,27 @@ pub enum GmdjExpr {
 impl GmdjExpr {
     /// Table scan builder.
     pub fn table(name: impl Into<String>, qualifier: impl Into<String>) -> GmdjExpr {
-        GmdjExpr::Table { name: name.into(), qualifier: qualifier.into() }
+        GmdjExpr::Table {
+            name: name.into(),
+            qualifier: qualifier.into(),
+        }
     }
 
     /// Selection builder.
     pub fn select(self, predicate: Predicate) -> GmdjExpr {
-        GmdjExpr::Select { input: Box::new(self), predicate }
+        GmdjExpr::Select {
+            input: Box::new(self),
+            predicate,
+        }
     }
 
     /// GMDJ builder.
     pub fn gmdj(self, detail: GmdjExpr, spec: GmdjSpec) -> GmdjExpr {
-        GmdjExpr::Gmdj { base: Box::new(self), detail: Box::new(detail), spec }
+        GmdjExpr::Gmdj {
+            base: Box::new(self),
+            detail: Box::new(detail),
+            spec,
+        }
     }
 
     /// Number of GMDJ nodes (plain and filtered).
@@ -104,8 +135,7 @@ impl GmdjExpr {
             | GmdjExpr::Limit { input, .. }
             | GmdjExpr::DropComputed { input, .. } => input.join_count(),
             GmdjExpr::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
-            GmdjExpr::Gmdj { base, detail, .. }
-            | GmdjExpr::FilteredGmdj { base, detail, .. } => {
+            GmdjExpr::Gmdj { base, detail, .. } | GmdjExpr::FilteredGmdj { base, detail, .. } => {
                 base.join_count() + detail.join_count()
             }
         }
@@ -126,9 +156,12 @@ impl GmdjExpr {
             GmdjExpr::Gmdj { base, detail, .. } => {
                 base.uses_completion() || detail.uses_completion()
             }
-            GmdjExpr::FilteredGmdj { base, detail, completion, .. } => {
-                completion.is_some() || base.uses_completion() || detail.uses_completion()
-            }
+            GmdjExpr::FilteredGmdj {
+                base,
+                detail,
+                completion,
+                ..
+            } => completion.is_some() || base.uses_completion() || detail.uses_completion(),
         }
     }
 
@@ -169,7 +202,11 @@ impl GmdjExpr {
                 );
                 let _ = writeln!(out, "  {child} -> {id};");
             }
-            GmdjExpr::Project { input, columns, distinct } => {
+            GmdjExpr::Project {
+                input,
+                columns,
+                distinct,
+            } => {
                 let child = input.dot_node(out, counter);
                 let cols: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
                 let pi = if *distinct { "πᵈ" } else { "π" };
@@ -182,13 +219,21 @@ impl GmdjExpr {
             }
             GmdjExpr::AggProject { input, agg } => {
                 let child = input.dot_node(out, counter);
-                let _ = writeln!(out, "  {id} [shape=box, label=\"γ {}\"];", esc(agg.to_string()));
+                let _ = writeln!(
+                    out,
+                    "  {id} [shape=box, label=\"γ {}\"];",
+                    esc(agg.to_string())
+                );
                 let _ = writeln!(out, "  {child} -> {id};");
             }
             GmdjExpr::Join { left, right, on } => {
                 let l = left.dot_node(out, counter);
                 let r = right.dot_node(out, counter);
-                let _ = writeln!(out, "  {id} [shape=box, label=\"⋈ {}\"];", esc(on.to_string()));
+                let _ = writeln!(
+                    out,
+                    "  {id} [shape=box, label=\"⋈ {}\"];",
+                    esc(on.to_string())
+                );
                 let _ = writeln!(out, "  {l} -> {id};");
                 let _ = writeln!(out, "  {r} -> {id};");
             }
@@ -235,7 +280,14 @@ impl GmdjExpr {
                 let _ = writeln!(out, "  {b} -> {id} [label=\"base\"];");
                 let _ = writeln!(out, "  {d} -> {id} [label=\"detail\"];");
             }
-            GmdjExpr::FilteredGmdj { base, detail, spec, selection, completion, .. } => {
+            GmdjExpr::FilteredGmdj {
+                base,
+                detail,
+                spec,
+                selection,
+                completion,
+                ..
+            } => {
                 let b = base.dot_node(out, counter);
                 let d = detail.dot_node(out, counter);
                 let blocks: Vec<String> = spec.blocks.iter().map(|blk| blk.to_string()).collect();
@@ -276,7 +328,11 @@ impl GmdjExpr {
                 let _ = writeln!(out, "{pad}Select [{predicate}]");
                 input.explain_into(out, depth + 1);
             }
-            GmdjExpr::Project { input, columns, distinct } => {
+            GmdjExpr::Project {
+                input,
+                columns,
+                distinct,
+            } => {
                 let cols: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
                 let d = if *distinct { " DISTINCT" } else { "" };
                 let _ = writeln!(out, "{pad}Project{d} [{}]", cols.join(", "));
@@ -323,7 +379,14 @@ impl GmdjExpr {
                 let _ = writeln!(out, "{pad}  detail:");
                 detail.explain_into(out, depth + 2);
             }
-            GmdjExpr::FilteredGmdj { base, detail, spec, selection, keep, completion } => {
+            GmdjExpr::FilteredGmdj {
+                base,
+                detail,
+                spec,
+                selection,
+                keep,
+                completion,
+            } => {
                 let keep = match keep {
                     Keep::All => "all",
                     Keep::BaseOnly => "base-only",
@@ -398,8 +461,7 @@ mod tests {
         // One node id per operator: 1 select + 1 gmdj + 2 scans.
         assert_eq!(dot.matches("shape=").count(), 4);
         // Quotes inside labels are escaped.
-        let quoted = GmdjExpr::table("T", "T")
-            .select(col("T.s").eq(lit("x\"y")));
+        let quoted = GmdjExpr::table("T", "T").select(col("T.s").eq(lit("x\"y")));
         assert!(quoted.to_dot().contains("\\\""));
     }
 }

@@ -1,0 +1,864 @@
+//! The unified execution pipeline: one way to run a GMDJ, whatever the
+//! physical execution mode.
+//!
+//! A [`Runtime`] owns an [`ExecPolicy`] — sequential, partitioned,
+//! parallel, or distributed — constructed once per query and threaded
+//! through plan walking ([`crate::exec::execute`]), GMDJ evaluation, and
+//! the relational operators. Call sites never pick an evaluator function
+//! themselves; they hand the (filtered) GMDJ to [`Runtime::eval`] and the
+//! policy decides:
+//!
+//! * **Sequential** — the reference single-scan evaluator
+//!   ([`crate::eval::eval_gmdj_filtered`]), including base-tuple
+//!   completion (Theorems 4.1/4.2) when a [`CompletionPlan`] is supplied.
+//! * **Parallel { threads }** — the detail relation is chunked across OS
+//!   threads; each worker folds its chunk into a private accumulator
+//!   matrix and the chunks are merged exactly
+//!   ([`Accumulator::merge`](gmdj_relation::agg::Accumulator::merge)), so
+//!   results are bit-identical to sequential for every aggregate.
+//! * **Distributed { sites }** — the detail relation is horizontally
+//!   fragmented round-robin across simulated sites; the coordinator
+//!   broadcasts each base partition, sites evaluate locally and ship
+//!   accumulator *state* back, and the coordinator merges. Shipping state
+//!   (rather than finalized partial values, as the standalone
+//!   [`crate::distributed`] coordinator does) makes every aggregate —
+//!   including AVG and COUNT DISTINCT — distribute exactly, and keeps
+//!   network traffic independent of the detail cardinality.
+//!
+//! All three modes honor `partition_rows`: when the base-values relation
+//! exceeds the memory budget it is split into resident partitions and the
+//! detail is scanned once per partition, exactly like the sequential
+//! evaluator — so [`EvalStats::partitions`] and
+//! [`EvalStats::detail_scanned`] mean the same thing under every mode.
+//!
+//! # Completion under parallelism
+//!
+//! Base-tuple completion is scan-order-dependent: a dead rule or the
+//! finish-early rule fires at the detail tuple that proves the selection's
+//! outcome, and "the rest of the scan" is then skipped *for that base
+//! tuple*. Chunked scans have no single scan order, and a tuple completed
+//! in one chunk would still be probed by the others, so completion under
+//! `Parallel`/`Distributed` would need dead-tuple pruning at chunk-merge
+//! barriers to save any work. Completion never changes the *answer* — it
+//! is purely a pruning optimization (a tuple goes `Dead` only when the
+//! selection is provably false, `Done` only when the output row is already
+//! determined) — so the runtime takes the simple, always-correct route:
+//! it evaluates the plain filtered form and records the skipped plan in
+//! [`EvalStats::completion_fallbacks`]. The cost model can read the flag
+//! back and prefer sequential execution when completion is expected to
+//! prune aggressively.
+
+use gmdj_relation::agg::Accumulator;
+use gmdj_relation::error::{Error, Result};
+use gmdj_relation::expr::Predicate;
+use gmdj_relation::ops::OpStats;
+use gmdj_relation::relation::{Relation, Tuple};
+
+use crate::completion::CompletionPlan;
+use crate::distributed::NetworkStats;
+use crate::eval::{
+    eval_gmdj_filtered, materialize_filtered, new_accumulators, plan_blocks, scan_detail_plain,
+    EvalStats, GmdjOptions, Keep, ProbeStrategy,
+};
+use crate::spec::GmdjSpec;
+
+/// Physical execution mode for GMDJ evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Single-threaded reference evaluator (with completion support).
+    #[default]
+    Sequential,
+    /// Chunk the detail scan across `threads` OS threads.
+    Parallel {
+        /// Worker thread count (must be ≥ 1).
+        threads: usize,
+    },
+    /// Simulate `sites` warehouse sites holding round-robin fragments of
+    /// the detail relation; merge accumulator state at the coordinator.
+    Distributed {
+        /// Site count (must be ≥ 1).
+        sites: usize,
+    },
+}
+
+/// How a plan executes: the one policy object threaded through plan
+/// walking, GMDJ evaluation, and the relational operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecPolicy {
+    /// Physical execution mode.
+    pub mode: ExecMode,
+    /// Probe plan selection for GMDJ blocks.
+    pub probe: ProbeStrategy,
+    /// Maximum number of base tuples resident per detail scan (the memory
+    /// budget of Section 4's partitioned evaluation). `None` keeps the
+    /// whole base-values relation in memory.
+    pub partition_rows: Option<usize>,
+}
+
+impl ExecPolicy {
+    /// The default policy: sequential, auto probe, unpartitioned.
+    pub fn sequential() -> Self {
+        Self::default()
+    }
+
+    /// Parallel policy with `threads` workers.
+    pub fn parallel(threads: usize) -> Self {
+        Self {
+            mode: ExecMode::Parallel { threads },
+            ..Self::default()
+        }
+    }
+
+    /// Distributed policy with `sites` simulated sites.
+    pub fn distributed(sites: usize) -> Self {
+        Self {
+            mode: ExecMode::Distributed { sites },
+            ..Self::default()
+        }
+    }
+
+    /// Override the probe strategy.
+    pub fn with_probe(mut self, probe: ProbeStrategy) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Override the base-partition memory budget.
+    pub fn with_partition_rows(mut self, rows: Option<usize>) -> Self {
+        self.partition_rows = rows;
+        self
+    }
+
+    /// Reject degenerate modes (`threads == 0`, `sites == 0`).
+    pub fn validate(&self) -> Result<()> {
+        match self.mode {
+            ExecMode::Parallel { threads: 0 } => Err(Error::invalid(
+                "ExecMode::Parallel requires at least one thread",
+            )),
+            ExecMode::Distributed { sites: 0 } => Err(Error::invalid(
+                "ExecMode::Distributed requires at least one site",
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// The evaluator-level options this policy implies.
+    pub(crate) fn gmdj_options(&self) -> GmdjOptions {
+        GmdjOptions {
+            probe: self.probe,
+            partition_rows: self.partition_rows,
+        }
+    }
+}
+
+/// Per-plan-node statistics: one node per operator in the executed plan,
+/// mirroring its shape. Leaf table scans record `scanned_rows`; relational
+/// operators record row flow in `ops`; GMDJ nodes record evaluator work in
+/// `eval` and (under `ExecMode::Distributed`) simulated traffic in
+/// `network`. [`crate::cost::observed_cost`] reads the tree back into the
+/// cost model's units.
+#[derive(Debug, Clone, Default)]
+pub struct PlanNodeStats {
+    /// Operator label, e.g. `"GMDJ"`, `"Select"`, `"Table(orders)"`.
+    pub label: String,
+    /// Output cardinality of this node.
+    pub rows_out: u64,
+    /// Rows read from a stored table at this node (table-scan leaves).
+    pub scanned_rows: u64,
+    /// Row flow through the plain relational operators at this node.
+    pub ops: OpStats,
+    /// GMDJ evaluator work at this node.
+    pub eval: EvalStats,
+    /// Simulated network traffic at this node (distributed mode).
+    pub network: NetworkStats,
+    /// Child operators, in plan order.
+    pub children: Vec<PlanNodeStats>,
+}
+
+impl PlanNodeStats {
+    /// A fresh node with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        PlanNodeStats {
+            label: label.into(),
+            ..PlanNodeStats::default()
+        }
+    }
+
+    /// Evaluator work rolled up over this node and its subtree.
+    pub fn total_eval(&self) -> EvalStats {
+        let mut total = self.eval;
+        for c in &self.children {
+            total.merge(&c.total_eval());
+        }
+        total
+    }
+
+    /// Network traffic rolled up over this node and its subtree.
+    pub fn total_network(&self) -> NetworkStats {
+        let mut total = self.network;
+        for c in &self.children {
+            total.merge(&c.total_network());
+        }
+        total
+    }
+
+    /// Table rows scanned over this node and its subtree.
+    pub fn total_scanned(&self) -> u64 {
+        self.scanned_rows
+            + self
+                .children
+                .iter()
+                .map(PlanNodeStats::total_scanned)
+                .sum::<u64>()
+    }
+
+    /// Operator row flow rolled up over this node and its subtree.
+    pub fn total_ops(&self) -> OpStats {
+        let mut total = self.ops;
+        for c in &self.children {
+            total.merge(&c.total_ops());
+        }
+        total
+    }
+
+    /// Indented one-line-per-node rendering of the tree.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(0, &mut out);
+        out
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&self.label);
+        out.push_str(&format!(" [rows_out={}", self.rows_out));
+        if self.scanned_rows > 0 {
+            out.push_str(&format!(" scanned={}", self.scanned_rows));
+        }
+        if self.eval != EvalStats::default() {
+            out.push_str(&format!(" eval_work={}", self.eval.work()));
+        }
+        if self.network != NetworkStats::default() {
+            out.push_str(&format!(" net={}", self.network.total()));
+        }
+        out.push(']');
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(depth + 1, out);
+        }
+    }
+}
+
+/// The execution engine: an [`ExecPolicy`] plus the dispatch that makes
+/// it the single entry point for (filtered) GMDJ evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Runtime {
+    policy: ExecPolicy,
+}
+
+impl Runtime {
+    /// A runtime executing under `policy`.
+    pub fn new(policy: ExecPolicy) -> Self {
+        Runtime { policy }
+    }
+
+    /// The default sequential runtime.
+    pub fn sequential() -> Self {
+        Runtime::default()
+    }
+
+    /// The policy this runtime executes under.
+    pub fn policy(&self) -> &ExecPolicy {
+        &self.policy
+    }
+
+    /// Plain GMDJ: `MD(base, detail, spec)` under the policy.
+    pub fn eval_gmdj(
+        &self,
+        base: &Relation,
+        detail: &Relation,
+        spec: &GmdjSpec,
+        stats: &mut EvalStats,
+        network: &mut NetworkStats,
+    ) -> Result<Relation> {
+        self.eval(base, detail, spec, None, Keep::All, None, stats, network)
+    }
+
+    /// Filtered GMDJ: `π[keep](σ[selection](MD(base, detail, spec)))`
+    /// under the policy. This is the one evaluation entry point — the
+    /// mode decides sequential, parallel, or distributed execution, and
+    /// every mode returns bit-identical results.
+    #[allow(clippy::too_many_arguments)]
+    pub fn eval(
+        &self,
+        base: &Relation,
+        detail: &Relation,
+        spec: &GmdjSpec,
+        selection: Option<&Predicate>,
+        keep: Keep,
+        completion: Option<&CompletionPlan>,
+        stats: &mut EvalStats,
+        network: &mut NetworkStats,
+    ) -> Result<Relation> {
+        self.policy.validate()?;
+        match self.policy.mode {
+            ExecMode::Sequential => eval_gmdj_filtered(
+                base,
+                detail,
+                spec,
+                selection,
+                keep,
+                completion,
+                &self.policy.gmdj_options(),
+                stats,
+            ),
+            ExecMode::Parallel { threads } => self.eval_chunked(
+                base,
+                detail,
+                spec,
+                selection,
+                keep,
+                completion,
+                stats,
+                |cx| cx.scan_parallel(threads),
+            ),
+            ExecMode::Distributed { sites } => {
+                let fragments = round_robin_fragments(detail, sites);
+                self.eval_chunked(
+                    base,
+                    detail,
+                    spec,
+                    selection,
+                    keep,
+                    completion,
+                    stats,
+                    |cx| cx.scan_distributed(&fragments, network),
+                )
+            }
+        }
+    }
+
+    /// Shared driver for the merge-based modes: partition the base by the
+    /// memory budget, build probe plans per partition, run a mode-specific
+    /// detail scan that fills a merged accumulator matrix, then
+    /// materialize with selection and projection — the same outer loop
+    /// and counter semantics as the sequential evaluator.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_chunked(
+        &self,
+        base: &Relation,
+        detail: &Relation,
+        spec: &GmdjSpec,
+        selection: Option<&Predicate>,
+        keep: Keep,
+        completion: Option<&CompletionPlan>,
+        stats: &mut EvalStats,
+        mut scan: impl FnMut(&mut PartitionCx) -> Result<Vec<Accumulator>>,
+    ) -> Result<Relation> {
+        if completion.is_some() && selection.is_none() {
+            return Err(Error::invalid("completion plan requires a selection"));
+        }
+        if completion.is_some() {
+            // See the module docs: completion is scan-order-dependent, so
+            // chunked scans run the plain filtered form. Same answer.
+            stats.completion_fallbacks += 1;
+        }
+        let out_schema = spec.output_schema(base.schema());
+        let result_schema = match keep {
+            Keep::All => out_schema.clone(),
+            Keep::BaseOnly => base.schema().clone(),
+        };
+        let bound_selection = match selection {
+            Some(p) => Some(p.bind(&[&out_schema])?),
+            None => None,
+        };
+        let total_aggs = spec.agg_count();
+
+        let partition = self.policy.partition_rows.unwrap_or(usize::MAX).max(1);
+        let mut out_rows: Vec<Tuple> = Vec::new();
+        let mut start = 0usize;
+        while start < base.len() || (base.is_empty() && start == 0) {
+            let end = (start + partition).min(base.len());
+            let base_rows = &base.rows()[start..end];
+            stats.partitions += 1;
+            stats.base_rows += base_rows.len() as u64;
+
+            let mut cx = PartitionCx {
+                base: base_rows,
+                base_schema: base.schema(),
+                detail,
+                spec,
+                opts: self.policy.gmdj_options(),
+                total_aggs,
+                stats,
+            };
+            let merged = scan(&mut cx)?;
+            materialize_filtered(
+                base_rows,
+                &merged,
+                total_aggs,
+                bound_selection.as_ref(),
+                keep,
+                &mut out_rows,
+            )?;
+            start = end;
+            if base.is_empty() {
+                break;
+            }
+        }
+        Ok(Relation::from_parts(result_schema, out_rows))
+    }
+}
+
+/// Everything a mode-specific detail scan needs for one base partition.
+struct PartitionCx<'a> {
+    base: &'a [Tuple],
+    base_schema: &'a gmdj_relation::schema::Schema,
+    detail: &'a Relation,
+    spec: &'a GmdjSpec,
+    opts: GmdjOptions,
+    total_aggs: usize,
+    stats: &'a mut EvalStats,
+}
+
+impl PartitionCx<'_> {
+    /// Chunk the detail across `threads` scoped workers, each folding its
+    /// chunk into a private accumulator matrix; merge exactly. Worker
+    /// panics and errors both surface as `Err` — never a process abort.
+    fn scan_parallel(&mut self, threads: usize) -> Result<Vec<Accumulator>> {
+        let plans = plan_blocks(
+            self.base,
+            self.base_schema,
+            self.detail.schema(),
+            self.spec,
+            &self.opts,
+            self.stats,
+        )?;
+        let detail_rows = self.detail.rows();
+        // Small inputs are not worth the spawn overhead — and a single
+        // chunk keeps the merge trivially exact.
+        let workers = if detail_rows.len() < 2 * threads {
+            1
+        } else {
+            threads
+        };
+        let chunk_len = detail_rows.len().div_ceil(workers).max(1);
+
+        let base_rows = self.base;
+        let total_aggs = self.total_aggs;
+        let results: Vec<Result<(Vec<Accumulator>, EvalStats)>> = std::thread::scope(|scope| {
+            let plans = &plans;
+            let handles: Vec<_> = detail_rows
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move || -> Result<(Vec<Accumulator>, EvalStats)> {
+                        let mut accs = new_accumulators(plans, base_rows.len(), total_aggs);
+                        let mut local = EvalStats::default();
+                        scan_detail_plain(
+                            chunk, plans, base_rows, total_aggs, &mut accs, &mut local,
+                        )?;
+                        Ok((accs, local))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|payload| Err(worker_panic_error(&payload)))
+                })
+                .collect()
+        });
+
+        let mut merged = new_accumulators(&plans, base_rows.len(), total_aggs);
+        for res in results {
+            let (accs, local) = res?;
+            self.stats.merge(&local);
+            for (m, a) in merged.iter_mut().zip(&accs) {
+                m.merge(a);
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Two-wave coordinator protocol over pre-fragmented detail: broadcast
+    /// the base partition, let each site scan its fragment locally, ship
+    /// accumulator state back, merge exactly at the coordinator.
+    fn scan_distributed(
+        &mut self,
+        fragments: &[Vec<Tuple>],
+        net: &mut NetworkStats,
+    ) -> Result<Vec<Accumulator>> {
+        let sites = fragments.len() as u64;
+        // Wave 1: base values (and the spec) to every site.
+        net.messages += sites;
+        net.broadcast_values += sites * (self.base.len() * self.base_schema.len()) as u64;
+
+        let mut merged: Option<Vec<Accumulator>> = None;
+        for frag in fragments {
+            // Each site builds its own probe indexes over the broadcast
+            // base partition, so index_builds counts per (partition, site)
+            // here where sequential counts per partition.
+            let plans = plan_blocks(
+                self.base,
+                self.base_schema,
+                self.detail.schema(),
+                self.spec,
+                &self.opts,
+                self.stats,
+            )?;
+            let mut accs = new_accumulators(&plans, self.base.len(), self.total_aggs);
+            let mut local = EvalStats::default();
+            scan_detail_plain(
+                frag,
+                &plans,
+                self.base,
+                self.total_aggs,
+                &mut accs,
+                &mut local,
+            )?;
+            self.stats.merge(&local);
+            // Wave 2: accumulator states back to the coordinator. State
+            // shipping is what lets AVG / COUNT DISTINCT distribute.
+            net.messages += 1;
+            net.collected_states += (self.base.len() * self.total_aggs) as u64;
+            match &mut merged {
+                None => merged = Some(accs),
+                Some(m) => {
+                    for (m, a) in m.iter_mut().zip(&accs) {
+                        m.merge(a);
+                    }
+                }
+            }
+        }
+        merged.ok_or_else(|| Error::invalid("ExecMode::Distributed requires at least one site"))
+    }
+}
+
+/// Round-robin horizontal fragmentation of the detail relation — in a
+/// real warehouse each site already holds its fragment; round-robin keeps
+/// the simulation deterministic.
+fn round_robin_fragments(detail: &Relation, sites: usize) -> Vec<Vec<Tuple>> {
+    let sites = sites.max(1);
+    let mut fragments: Vec<Vec<Tuple>> = vec![Vec::new(); sites];
+    for (i, r) in detail.rows().iter().enumerate() {
+        fragments[i % sites].push(r.clone());
+    }
+    fragments
+}
+
+/// Turn a worker panic payload into an error value instead of poisoning
+/// the whole process.
+fn worker_panic_error(payload: &(dyn std::any::Any + Send)) -> Error {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic payload".to_string());
+    Error::invalid(format!("parallel GMDJ worker panicked: {msg}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::completion::derive_completion;
+    use crate::eval::eval_gmdj;
+    use crate::spec::AggBlock;
+    use gmdj_relation::agg::{AggFunc, NamedAgg};
+    use gmdj_relation::expr::{col, lit};
+    use gmdj_relation::relation::RelationBuilder;
+    use gmdj_relation::schema::DataType;
+    use gmdj_relation::value::Value;
+
+    fn hours() -> Relation {
+        RelationBuilder::new("H")
+            .column("HourDsc", DataType::Int)
+            .column("StartInterval", DataType::Int)
+            .column("EndInterval", DataType::Int)
+            .row(vec![1.into(), 0.into(), 60.into()])
+            .row(vec![2.into(), 61.into(), 120.into()])
+            .row(vec![3.into(), 121.into(), 180.into()])
+            .build()
+            .unwrap()
+    }
+
+    fn flows() -> Relation {
+        RelationBuilder::new("F")
+            .column("StartTime", DataType::Int)
+            .column("Protocol", DataType::Str)
+            .column("NumBytes", DataType::Int)
+            .row(vec![43.into(), "HTTP".into(), 12.into()])
+            .row(vec![86.into(), "HTTP".into(), 36.into()])
+            .row(vec![99.into(), "FTP".into(), 48.into()])
+            .row(vec![132.into(), "HTTP".into(), 24.into()])
+            .row(vec![156.into(), "HTTP".into(), 24.into()])
+            .row(vec![161.into(), "FTP".into(), 48.into()])
+            .build()
+            .unwrap()
+    }
+
+    fn example_2_1_spec() -> GmdjSpec {
+        let in_hour = col("F.StartTime")
+            .ge(col("H.StartInterval"))
+            .and(col("F.StartTime").lt(col("H.EndInterval")));
+        GmdjSpec::new(vec![
+            AggBlock::new(
+                in_hour.clone().and(col("F.Protocol").eq(lit("HTTP"))),
+                vec![NamedAgg::sum(col("F.NumBytes"), "sum1")],
+            ),
+            AggBlock::new(in_hour, vec![NamedAgg::sum(col("F.NumBytes"), "sum2")]),
+        ])
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        let mut s1 = EvalStats::default();
+        let expected = eval_gmdj(
+            &hours(),
+            &flows(),
+            &example_2_1_spec(),
+            &GmdjOptions::default(),
+            &mut s1,
+        )
+        .unwrap();
+        for threads in [1usize, 2, 3, 5] {
+            let rt = Runtime::new(ExecPolicy::parallel(threads));
+            let mut s2 = EvalStats::default();
+            let mut net = NetworkStats::default();
+            let out = rt
+                .eval_gmdj(&hours(), &flows(), &example_2_1_spec(), &mut s2, &mut net)
+                .unwrap();
+            assert!(out.multiset_eq(&expected), "threads={threads}");
+            // One logical scan of the detail relation, whatever the
+            // thread count.
+            assert_eq!(s2.detail_scanned, 6, "threads={threads}");
+            assert_eq!(net, NetworkStats::default());
+        }
+    }
+
+    #[test]
+    fn parallel_stats_match_sequential_without_completion() {
+        // With no completion plan every mode does exactly the same probe
+        // and aggregate work — the counters agree, not just the answers.
+        let mut s1 = EvalStats::default();
+        let mut s2 = EvalStats::default();
+        let mut net = NetworkStats::default();
+        eval_gmdj(
+            &hours(),
+            &flows(),
+            &example_2_1_spec(),
+            &GmdjOptions::default(),
+            &mut s1,
+        )
+        .unwrap();
+        Runtime::new(ExecPolicy::parallel(3))
+            .eval_gmdj(&hours(), &flows(), &example_2_1_spec(), &mut s2, &mut net)
+            .unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn parallel_honors_partition_rows() {
+        let mut s1 = EvalStats::default();
+        let expected = eval_gmdj(
+            &hours(),
+            &flows(),
+            &example_2_1_spec(),
+            &GmdjOptions::default(),
+            &mut s1,
+        )
+        .unwrap();
+        let rt = Runtime::new(ExecPolicy::parallel(2).with_partition_rows(Some(2)));
+        let mut s2 = EvalStats::default();
+        let mut net = NetworkStats::default();
+        let out = rt
+            .eval_gmdj(&hours(), &flows(), &example_2_1_spec(), &mut s2, &mut net)
+            .unwrap();
+        assert!(out.multiset_eq(&expected));
+        // 3 base rows at 2 per partition → 2 partitions → 2 detail scans.
+        assert_eq!(s2.partitions, 2);
+        assert_eq!(s2.detail_scanned, 12);
+        assert_eq!(s2.base_rows, 3);
+    }
+
+    #[test]
+    fn distributed_runtime_matches_sequential_including_avg() {
+        // AVG and COUNT DISTINCT distribute under the runtime because it
+        // ships accumulator state (the standalone coordinator rejects
+        // them).
+        let in_hour = col("F.StartTime")
+            .ge(col("H.StartInterval"))
+            .and(col("F.StartTime").lt(col("H.EndInterval")));
+        let spec = GmdjSpec::new(vec![AggBlock::new(
+            in_hour,
+            vec![
+                NamedAgg::new(AggFunc::Avg, col("F.NumBytes"), "avg_bytes"),
+                NamedAgg::new(AggFunc::CountDistinct, col("F.Protocol"), "protos"),
+            ],
+        )]);
+        let mut s1 = EvalStats::default();
+        let expected =
+            eval_gmdj(&hours(), &flows(), &spec, &GmdjOptions::default(), &mut s1).unwrap();
+        for sites in [1usize, 2, 4] {
+            let rt = Runtime::new(ExecPolicy::distributed(sites));
+            let mut s2 = EvalStats::default();
+            let mut net = NetworkStats::default();
+            let out = rt
+                .eval_gmdj(&hours(), &flows(), &spec, &mut s2, &mut net)
+                .unwrap();
+            assert!(out.multiset_eq(&expected), "sites={sites}");
+            // Two message waves; traffic independent of detail size.
+            assert_eq!(net.messages, 2 * sites as u64);
+            assert_eq!(net.broadcast_values, (sites * 3 * 3) as u64);
+            assert_eq!(net.collected_states, (sites * 3 * 2) as u64);
+            // The fragments partition the detail: one logical scan total.
+            assert_eq!(s2.detail_scanned, 6);
+        }
+    }
+
+    #[test]
+    fn completion_falls_back_under_parallel_with_identical_answer() {
+        // EXISTS shape: count per hour, keep hours with ≥ 1 HTTP flow.
+        let in_hour = col("F.StartTime")
+            .ge(col("H.StartInterval"))
+            .and(col("F.StartTime").lt(col("H.EndInterval")));
+        let spec = GmdjSpec::new(vec![AggBlock::count(
+            in_hour.and(col("F.Protocol").eq(lit("HTTP"))),
+            "cnt",
+        )]);
+        let selection = col("cnt").gt(lit(0));
+        let completion = derive_completion(&selection, &spec, true);
+        assert!(
+            completion.is_some(),
+            "EXISTS shape should derive a completion plan"
+        );
+
+        let mut s1 = EvalStats::default();
+        let seq = eval_gmdj_filtered(
+            &hours(),
+            &flows(),
+            &spec,
+            Some(&selection),
+            Keep::BaseOnly,
+            completion.as_ref(),
+            &GmdjOptions::default(),
+            &mut s1,
+        )
+        .unwrap();
+
+        for threads in [1usize, 2, 8] {
+            let rt = Runtime::new(ExecPolicy::parallel(threads));
+            let mut s2 = EvalStats::default();
+            let mut net = NetworkStats::default();
+            let par = rt
+                .eval(
+                    &hours(),
+                    &flows(),
+                    &spec,
+                    Some(&selection),
+                    Keep::BaseOnly,
+                    completion.as_ref(),
+                    &mut s2,
+                    &mut net,
+                )
+                .unwrap();
+            assert!(par.multiset_eq(&seq), "threads={threads}");
+            assert_eq!(s2.completion_fallbacks, 1, "threads={threads}");
+            assert_eq!(s2.dead_early + s2.done_early, 0);
+        }
+    }
+
+    #[test]
+    fn empty_base_and_empty_detail_are_fine() {
+        let empty_base = Relation::from_parts(hours().schema().clone(), vec![]);
+        let empty_detail = Relation::from_parts(flows().schema().clone(), vec![]);
+        for policy in [
+            ExecPolicy::sequential(),
+            ExecPolicy::parallel(4),
+            ExecPolicy::distributed(3),
+        ] {
+            let rt = Runtime::new(policy);
+            let mut stats = EvalStats::default();
+            let mut net = NetworkStats::default();
+            let out = rt
+                .eval_gmdj(
+                    &empty_base,
+                    &flows(),
+                    &example_2_1_spec(),
+                    &mut stats,
+                    &mut net,
+                )
+                .unwrap();
+            assert!(out.is_empty(), "{policy:?}");
+            let mut stats = EvalStats::default();
+            let out = rt
+                .eval_gmdj(
+                    &hours(),
+                    &empty_detail,
+                    &example_2_1_spec(),
+                    &mut stats,
+                    &mut net,
+                )
+                .unwrap();
+            // No detail → every aggregate finishes on its empty state.
+            assert_eq!(out.len(), 3, "{policy:?}");
+            for row in out.rows() {
+                assert_eq!(row[3], Value::Null, "{policy:?}");
+                assert_eq!(row[4], Value::Null, "{policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_policies_are_rejected() {
+        let rt = Runtime::new(ExecPolicy::parallel(0));
+        let mut stats = EvalStats::default();
+        let mut net = NetworkStats::default();
+        let err = rt
+            .eval_gmdj(
+                &hours(),
+                &flows(),
+                &example_2_1_spec(),
+                &mut stats,
+                &mut net,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("at least one thread"), "{err}");
+        let rt = Runtime::new(ExecPolicy::distributed(0));
+        let err = rt
+            .eval_gmdj(
+                &hours(),
+                &flows(),
+                &example_2_1_spec(),
+                &mut stats,
+                &mut net,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("at least one site"), "{err}");
+    }
+
+    #[test]
+    fn plan_node_stats_roll_up() {
+        let mut leaf = PlanNodeStats::new("Table(orders)");
+        leaf.scanned_rows = 100;
+        leaf.rows_out = 100;
+        let mut gmdj = PlanNodeStats::new("GMDJ");
+        gmdj.eval.detail_scanned = 100;
+        gmdj.rows_out = 10;
+        gmdj.children.push(leaf);
+        let mut root = PlanNodeStats::new("Select");
+        root.ops.record(10, 4);
+        root.rows_out = 4;
+        root.children.push(gmdj);
+
+        assert_eq!(root.total_scanned(), 100);
+        assert_eq!(root.total_eval().detail_scanned, 100);
+        assert_eq!(root.total_ops().rows_in, 10);
+        let text = root.render();
+        assert!(text.contains("Select"), "{text}");
+        assert!(text.contains("  GMDJ"), "{text}");
+        assert!(text.contains("    Table(orders)"), "{text}");
+    }
+}

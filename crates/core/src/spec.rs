@@ -25,7 +25,10 @@ impl AggBlock {
 
     /// The ubiquitous `count(*) → name` block of the subquery translation.
     pub fn count(theta: Predicate, output: impl Into<String>) -> Self {
-        AggBlock { theta, aggs: vec![NamedAgg::count_star(output)] }
+        AggBlock {
+            theta,
+            aggs: vec![NamedAgg::count_star(output)],
+        }
     }
 }
 

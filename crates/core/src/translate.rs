@@ -83,7 +83,11 @@ impl Ctx {
 fn tx(q: &QueryExpr, ctx: &mut Ctx) -> Result<GmdjExpr> {
     match q {
         QueryExpr::Table { name, qualifier } => Ok(GmdjExpr::table(name, qualifier)),
-        QueryExpr::Project { input, columns, distinct } => Ok(GmdjExpr::Project {
+        QueryExpr::Project {
+            input,
+            columns,
+            distinct,
+        } => Ok(GmdjExpr::Project {
             input: Box::new(tx(input, ctx)?),
             columns: columns.clone(),
             distinct: *distinct,
@@ -106,9 +110,10 @@ fn tx(q: &QueryExpr, ctx: &mut Ctx) -> Result<GmdjExpr> {
             input: Box::new(tx(input, ctx)?),
             keys: keys.clone(),
         }),
-        QueryExpr::Limit { input, n } => {
-            Ok(GmdjExpr::Limit { input: Box::new(tx(input, ctx)?), n: *n })
-        }
+        QueryExpr::Limit { input, n } => Ok(GmdjExpr::Limit {
+            input: Box::new(tx(input, ctx)?),
+            n: *n,
+        }),
         QueryExpr::Select { input, predicate } => {
             let base = tx(input, ctx)?;
             tx_select(base, predicate, ctx)
@@ -130,7 +135,10 @@ fn tx_select(base: GmdjExpr, w: &NestedPredicate, ctx: &mut Ctx) -> Result<GmdjE
     for (detail, spec) in chain {
         cur = cur.gmdj(detail, spec);
     }
-    Ok(GmdjExpr::DropComputed { input: Box::new(cur.select(w2)), names: introduced })
+    Ok(GmdjExpr::DropComputed {
+        input: Box::new(cur.select(w2)),
+        names: introduced,
+    })
 }
 
 /// Rewrite a nested predicate into a flat one, emitting the GMDJ blocks
@@ -163,7 +171,12 @@ fn tx_subquery(
     ctx: &mut Ctx,
 ) -> Result<Predicate> {
     // IN / NOT IN should have been desugared; accept them defensively.
-    if let SubqueryPred::In { left, query, negated } = s {
+    if let SubqueryPred::In {
+        left,
+        query,
+        negated,
+    } = s
+    {
         let desugared = SubqueryPred::Quantified {
             left: left.clone(),
             op: if *negated {
@@ -171,7 +184,11 @@ fn tx_subquery(
             } else {
                 gmdj_relation::expr::CmpOp::Eq
             },
-            quantifier: if *negated { Quantifier::All } else { Quantifier::Some },
+            quantifier: if *negated {
+                Quantifier::All
+            } else {
+                Quantifier::Some
+            },
             query: query.clone(),
         };
         return tx_subquery(&desugared, chain, introduced, ctx);
@@ -203,7 +220,10 @@ fn tx_subquery(
     match s {
         SubqueryPred::Exists { negated, .. } => {
             let g = ctx.gensym("cnt");
-            chain.push((detail, GmdjSpec::new(vec![AggBlock::count(theta, g.clone())])));
+            chain.push((
+                detail,
+                GmdjSpec::new(vec![AggBlock::count(theta, g.clone())]),
+            ));
             introduced.push(g.clone());
             Ok(if *negated {
                 col(&g).eq(lit(0))
@@ -211,7 +231,12 @@ fn tx_subquery(
                 col(&g).gt(lit(0))
             })
         }
-        SubqueryPred::Quantified { left, op, quantifier, .. } => {
+        SubqueryPred::Quantified {
+            left,
+            op,
+            quantifier,
+            ..
+        } => {
             let y = output_column(&output, "quantified comparison")?;
             let cmp = left.clone().cmp_with(*op, ScalarExpr::Column(y));
             match quantifier {
@@ -243,8 +268,15 @@ fn tx_subquery(
         SubqueryPred::Cmp { left, op, .. } => match &output {
             SubqueryOutput::Agg(agg) => {
                 let g = ctx.gensym("agg");
-                let renamed = NamedAgg { func: agg.func, input: agg.input.clone(), output: g.clone() };
-                chain.push((detail, GmdjSpec::new(vec![AggBlock::new(theta, vec![renamed])])));
+                let renamed = NamedAgg {
+                    func: agg.func,
+                    input: agg.input.clone(),
+                    output: g.clone(),
+                };
+                chain.push((
+                    detail,
+                    GmdjSpec::new(vec![AggBlock::new(theta, vec![renamed])]),
+                ));
                 introduced.push(g.clone());
                 Ok(left.clone().cmp_with(*op, col(&g)))
             }
@@ -350,7 +382,11 @@ mod pushdown {
     ) -> Result<QueryExpr> {
         match q {
             QueryExpr::Table { .. } => Ok(q.clone()),
-            QueryExpr::Project { input, columns, distinct } => Ok(QueryExpr::Project {
+            QueryExpr::Project {
+                input,
+                columns,
+                distinct,
+            } => Ok(QueryExpr::Project {
                 input: Box::new(rewrite_node(input, env, schemas, counter)?),
                 columns: columns.clone(),
                 distinct: *distinct,
@@ -380,7 +416,10 @@ mod pushdown {
             QueryExpr::Select { input, predicate } => {
                 let input2 = rewrite_node(input, env, schemas, counter)?;
                 let predicate2 = rewrite_pred(predicate, env, schemas, counter)?;
-                Ok(QueryExpr::Select { input: Box::new(input2), predicate: predicate2 })
+                Ok(QueryExpr::Select {
+                    input: Box::new(input2),
+                    predicate: predicate2,
+                })
             }
         }
     }
@@ -442,10 +481,10 @@ mod pushdown {
                 .expect("free references are always qualified");
             // Top-down processing guarantees the qualifier is local to the
             // immediately enclosing block; anything else is malformed.
-            let current = env.last().expect("fix_subquery called with enclosing scope");
-            let Some((_, table_name)) =
-                current.iter().find(|(q, _)| *q == q_far).cloned()
-            else {
+            let current = env
+                .last()
+                .expect("fix_subquery called with enclosing scope");
+            let Some((_, table_name)) = current.iter().find(|(q, _)| *q == q_far).cloned() else {
                 return Err(Error::invalid(format!(
                     "non-neighboring reference {} does not resolve in the \
                      immediately enclosing block",
@@ -473,8 +512,9 @@ mod pushdown {
             let conj = Predicate::conjoin(cols.iter().map(|c| {
                 let orig = ScalarExpr::Column(ColumnRef::qualified(&q_far, c));
                 let copy = ScalarExpr::Column(ColumnRef::qualified(&fresh, c));
-                orig.clone().eq(copy.clone()).or(Predicate::IsNull(orig)
-                    .and(Predicate::IsNull(copy)))
+                orig.clone()
+                    .eq(copy.clone())
+                    .or(Predicate::IsNull(orig).and(Predicate::IsNull(copy)))
             }));
             body = add_selection(body, conj);
         }
@@ -487,9 +527,7 @@ mod pushdown {
         let mut out = Vec::new();
         fn walk(q: &QueryExpr, out: &mut Vec<(String, String)>) {
             match q {
-                QueryExpr::Table { name, qualifier } => {
-                    out.push((qualifier.clone(), name.clone()))
-                }
+                QueryExpr::Table { name, qualifier } => out.push((qualifier.clone(), name.clone())),
                 QueryExpr::Select { input, .. }
                 | QueryExpr::Project { input, .. }
                 | QueryExpr::AggProject { input, .. }
@@ -530,7 +568,11 @@ mod pushdown {
                     input: Box::new(go(input, map, from, to)),
                     predicate: go_pred(predicate, map, from, to),
                 },
-                QueryExpr::Project { input, columns, distinct } => QueryExpr::Project {
+                QueryExpr::Project {
+                    input,
+                    columns,
+                    distinct,
+                } => QueryExpr::Project {
                     input: Box::new(go(input, map, from, to)),
                     columns: columns.iter().map(map).collect(),
                     distinct: *distinct,
@@ -564,9 +606,10 @@ mod pushdown {
                     input: Box::new(go(input, map, from, to)),
                     keys: keys.iter().map(|(c, asc)| (map(c), *asc)).collect(),
                 },
-                QueryExpr::Limit { input, n } => {
-                    QueryExpr::Limit { input: Box::new(go(input, map, from, to)), n: *n }
-                }
+                QueryExpr::Limit { input, n } => QueryExpr::Limit {
+                    input: Box::new(go(input, map, from, to)),
+                    n: *n,
+                },
             }
         }
         fn go_pred(
@@ -611,7 +654,11 @@ mod pushdown {
                 input: Box::new(attach_source(*input, extra)),
                 predicate,
             },
-            QueryExpr::Project { input, columns, distinct } => QueryExpr::Project {
+            QueryExpr::Project {
+                input,
+                columns,
+                distinct,
+            } => QueryExpr::Project {
                 input: Box::new(attach_source(*input, extra)),
                 columns,
                 distinct,
@@ -628,7 +675,11 @@ mod pushdown {
     /// (inserting a selection above the source if none exists).
     fn add_selection(q: QueryExpr, pred: Predicate) -> QueryExpr {
         match q {
-            QueryExpr::Project { input, columns, distinct } => QueryExpr::Project {
+            QueryExpr::Project {
+                input,
+                columns,
+                distinct,
+            } => QueryExpr::Project {
                 input: Box::new(add_selection(*input, pred)),
                 columns,
                 distinct,
@@ -659,13 +710,18 @@ mod tests {
             self.0
                 .get(table)
                 .map(|v| v.iter().map(|s| s.to_string()).collect())
-                .ok_or_else(|| Error::UnknownTable { name: table.to_string() })
+                .ok_or_else(|| Error::UnknownTable {
+                    name: table.to_string(),
+                })
         }
     }
 
     fn schemas() -> FakeSchemas {
         let mut m = HashMap::new();
-        m.insert("Flow", vec!["SourceIP", "DestIP", "StartTime", "NumBytes", "Protocol"]);
+        m.insert(
+            "Flow",
+            vec!["SourceIP", "DestIP", "StartTime", "NumBytes", "Protocol"],
+        );
         m.insert("Hours", vec!["HourDsc", "StartInterval", "EndInterval"]);
         m.insert("User", vec!["Name", "IPAddress"]);
         FakeSchemas(m)
@@ -702,7 +758,10 @@ mod tests {
         assert_eq!(**base, GmdjExpr::table("Hours", "H"));
         assert_eq!(**detail, GmdjExpr::table("Flow", "FI"));
         assert_eq!(spec.blocks.len(), 1);
-        assert_eq!(spec.blocks[0].aggs[0].func, gmdj_relation::agg::AggFunc::CountStar);
+        assert_eq!(
+            spec.blocks[0].aggs[0].func,
+            gmdj_relation::agg::AggFunc::CountStar
+        );
     }
 
     /// Example 2.3 / 3.2: three same-level EXISTS subqueries become a
@@ -741,9 +800,8 @@ mod tests {
             .and(col("F.SourceIP").eq(col("U.IPAddress")));
         let inner_flow = QueryExpr::table("Flow", "F").select_flat(theta_f);
         let theta_h = col("H.StartInterval").gt(lit(0));
-        let hours = QueryExpr::table("Hours", "H").select(
-            NestedPredicate::Atom(theta_h).and(not_exists(inner_flow)),
-        );
+        let hours = QueryExpr::table("Hours", "H")
+            .select(NestedPredicate::Atom(theta_h).and(not_exists(inner_flow)));
         QueryExpr::table("User", "U").select(not_exists(hours))
     }
 
@@ -761,11 +819,9 @@ mod tests {
     fn linear_nesting_inner_counts_join_theta() {
         // σ[∃ σ[θ2 ∧ ∃σ[θ1](R1)](R2)](B): the inner count condition must
         // appear in the outer GMDJ's θ, with the inner GMDJ as detail.
-        let inner = QueryExpr::table("R1", "R1")
-            .select_flat(col("R1.x").eq(col("R2.x")));
-        let mid = QueryExpr::table("R2", "R2").select(
-            NestedPredicate::Atom(col("R2.y").eq(col("B.y"))).and(exists(inner)),
-        );
+        let inner = QueryExpr::table("R1", "R1").select_flat(col("R1.x").eq(col("R2.x")));
+        let mid = QueryExpr::table("R2", "R2")
+            .select(NestedPredicate::Atom(col("R2.y").eq(col("B.y"))).and(exists(inner)));
         let q = QueryExpr::table("B", "B").select(exists(mid));
         let mut m = HashMap::new();
         m.insert("R1", vec!["x"]);
@@ -773,11 +829,21 @@ mod tests {
         m.insert("B", vec!["y"]);
         let plan = subquery_to_gmdj(&q, &FakeSchemas(m)).unwrap();
         assert_eq!(plan.gmdj_count(), 2);
-        let GmdjExpr::DropComputed { input, .. } = &plan else { panic!() };
-        let GmdjExpr::Select { input, .. } = input.as_ref() else { panic!() };
-        let GmdjExpr::Gmdj { detail, spec, .. } = input.as_ref() else { panic!() };
+        let GmdjExpr::DropComputed { input, .. } = &plan else {
+            panic!()
+        };
+        let GmdjExpr::Select { input, .. } = input.as_ref() else {
+            panic!()
+        };
+        let GmdjExpr::Gmdj { detail, spec, .. } = input.as_ref() else {
+            panic!()
+        };
         // Outer θ contains the inner count condition.
-        assert!(spec.blocks[0].theta.to_string().contains("__cnt"), "{}", spec.blocks[0].theta);
+        assert!(
+            spec.blocks[0].theta.to_string().contains("__cnt"),
+            "{}",
+            spec.blocks[0].theta
+        );
         // Detail is itself a GMDJ (not filtered — Theorem 3.2 form).
         assert!(matches!(detail.as_ref(), GmdjExpr::Gmdj { .. }));
     }

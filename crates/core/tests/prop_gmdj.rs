@@ -5,12 +5,12 @@
 use proptest::prelude::*;
 
 use gmdj_core::completion::derive_completion;
-use gmdj_core::eval::{
-    eval_gmdj, eval_gmdj_filtered, EvalStats, GmdjOptions, Keep, ProbeStrategy,
-};
+use gmdj_core::distributed::NetworkStats;
+use gmdj_core::eval::{eval_gmdj, eval_gmdj_filtered, EvalStats, GmdjOptions, Keep, ProbeStrategy};
 use gmdj_core::exec::{execute, ExecContext, MemoryCatalog};
 use gmdj_core::optimize::{optimize_with, OptFlags};
 use gmdj_core::plan::GmdjExpr;
+use gmdj_core::runtime::{ExecPolicy, Runtime};
 use gmdj_core::spec::{AggBlock, GmdjSpec};
 use gmdj_relation::agg::{AggFunc, NamedAgg};
 use gmdj_relation::expr::{col, lit, CmpOp, Predicate, ScalarExpr};
@@ -26,12 +26,13 @@ fn value() -> impl Strategy<Value = Value> {
 }
 
 fn relation(qualifier: &'static str, max_rows: usize) -> impl Strategy<Value = Relation> {
-    let schema =
-        Schema::qualified(qualifier, &[("k", DataType::Int), ("v", DataType::Int)]);
+    let schema = Schema::qualified(qualifier, &[("k", DataType::Int), ("v", DataType::Int)]);
     proptest::collection::vec((value(), value()), 0..max_rows).prop_map(move |rows| {
         Relation::from_parts(
             schema.clone(),
-            rows.into_iter().map(|(k, v)| vec![k, v].into_boxed_slice()).collect(),
+            rows.into_iter()
+                .map(|(k, v)| vec![k, v].into_boxed_slice())
+                .collect(),
         )
     })
 }
@@ -158,12 +159,99 @@ proptest! {
     ) {
         let mut st1 = EvalStats::default();
         let mut st2 = EvalStats::default();
+        let mut net = NetworkStats::default();
         let sequential = eval_gmdj(&b, &r, &s, &GmdjOptions::default(), &mut st1).unwrap();
-        let parallel = gmdj_core::eval::eval_gmdj_parallel(
-            &b, &r, &s, threads, &GmdjOptions::default(), &mut st2,
+        let parallel = Runtime::new(ExecPolicy::parallel(threads))
+            .eval_gmdj(&b, &r, &s, &mut st2, &mut net)
+            .unwrap();
+        prop_assert!(sequential.multiset_eq(&parallel));
+        prop_assert_eq!(st2.detail_scanned, r.len() as u64);
+        prop_assert_eq!(net, NetworkStats::default());
+    }
+
+    /// The tentpole identity: the *filtered* GMDJ — selection, keep
+    /// projection, optional completion plan, NULL-bearing aggregates,
+    /// empty relations — is bit-identical under sequential and parallel
+    /// execution for every thread count, with and without base
+    /// partitioning.
+    #[test]
+    fn filtered_parallel_matches_sequential(
+        b in relation("B", 10),
+        r in relation("R", 16),
+        t1 in theta(),
+        t2 in theta(),
+        f in agg_func(),
+        sel_kind in 0usize..4,
+        keep_base in proptest::bool::ANY,
+        partition in proptest::option::of(1usize..5),
+    ) {
+        let extra = if f == AggFunc::CountStar {
+            NamedAgg::count_star("x")
+        } else {
+            NamedAgg::new(f, col("R.v"), "x")
+        };
+        let s = GmdjSpec::new(vec![
+            AggBlock::count(t1.clone(), "c1"),
+            AggBlock::new(t1.and(t2), vec![NamedAgg::count_star("c2"), extra]),
+        ]);
+        let sel = match sel_kind {
+            0 => col("c1").gt(lit(0)),
+            1 => col("c1").eq(lit(0)),
+            2 => col("c1").gt(lit(0)).and(col("c2").eq(lit(0))),
+            _ => col("c2").eq(col("c1")),
+        };
+        let keep = if keep_base { Keep::BaseOnly } else { Keep::All };
+        let plan = if keep_base { derive_completion(&sel, &s, true) } else { None };
+        let opts = GmdjOptions { probe: ProbeStrategy::Auto, partition_rows: partition };
+        let mut st1 = EvalStats::default();
+        let sequential = eval_gmdj_filtered(
+            &b, &r, &s, Some(&sel), keep, plan.as_ref(), &opts, &mut st1,
         )
         .unwrap();
-        prop_assert!(sequential.multiset_eq(&parallel));
+        for threads in [1usize, 2, 3, 8] {
+            let policy = ExecPolicy::parallel(threads).with_partition_rows(partition);
+            let mut st2 = EvalStats::default();
+            let mut net = NetworkStats::default();
+            let parallel = Runtime::new(policy)
+                .eval(&b, &r, &s, Some(&sel), keep, plan.as_ref(), &mut st2, &mut net)
+                .unwrap();
+            prop_assert!(sequential.multiset_eq(&parallel), "threads={threads}");
+            // Partition/scan bookkeeping matches the sequential meaning.
+            prop_assert_eq!(st2.partitions, st1.partitions);
+            prop_assert_eq!(st2.base_rows, st1.base_rows);
+            prop_assert_eq!(
+                st2.detail_scanned as usize,
+                st2.partitions as usize * r.len()
+            );
+            // The completion plan (if any) is recorded as skipped.
+            prop_assert_eq!(st2.completion_fallbacks, u64::from(plan.is_some()));
+        }
+    }
+
+    /// The distributed runtime (accumulator-state shipping) equals
+    /// sequential for every aggregate — including AVG and COUNT DISTINCT,
+    /// which the standalone value-shipping coordinator must reject.
+    #[test]
+    fn distributed_runtime_is_semantics_preserving(
+        b in relation("B", 10),
+        r in relation("R", 16),
+        s in spec(),
+        sites in 1usize..5,
+    ) {
+        let mut st1 = EvalStats::default();
+        let mut st2 = EvalStats::default();
+        let mut net = NetworkStats::default();
+        let sequential = eval_gmdj(&b, &r, &s, &GmdjOptions::default(), &mut st1).unwrap();
+        let distributed = Runtime::new(ExecPolicy::distributed(sites))
+            .eval_gmdj(&b, &r, &s, &mut st2, &mut net)
+            .unwrap();
+        prop_assert!(sequential.multiset_eq(&distributed));
+        // Two message waves; traffic independent of the detail size.
+        prop_assert_eq!(net.messages, 2 * sites as u64);
+        prop_assert_eq!(
+            net.total() as usize,
+            sites * b.len() * 2 + sites * b.len() * s.agg_count()
+        );
         prop_assert_eq!(st2.detail_scanned, r.len() as u64);
     }
 

@@ -37,7 +37,13 @@ pub struct NetflowConfig {
 impl NetflowConfig {
     /// Small instance for tests and the quickstart example.
     pub fn tiny(seed: u64) -> Self {
-        NetflowConfig { hours: 24, flows: 2_000, users: 20, source_ips: 30, seed }
+        NetflowConfig {
+            hours: 24,
+            flows: 2_000,
+            users: 20,
+            source_ips: 30,
+            seed,
+        }
     }
 }
 
@@ -71,8 +77,12 @@ impl NetflowData {
         ]);
         let hours_rows = (0..cfg.hours as i64)
             .map(|h| {
-                vec![Value::Int(h + 1), Value::Int(h * 3600), Value::Int((h + 1) * 3600)]
-                    .into_boxed_slice()
+                vec![
+                    Value::Int(h + 1),
+                    Value::Int(h * 3600),
+                    Value::Int((h + 1) * 3600),
+                ]
+                .into_boxed_slice()
             })
             .collect();
         let hours = Relation::from_parts(hours_schema, hours_rows);

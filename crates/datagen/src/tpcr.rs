@@ -27,7 +27,14 @@ pub struct TpcrConfig {
 impl TpcrConfig {
     /// A small but fully populated database (unit tests, examples).
     pub fn tiny(seed: u64) -> Self {
-        TpcrConfig { customers: 50, orders: 400, lineitems: 1200, parts: 40, suppliers: 10, seed }
+        TpcrConfig {
+            customers: 50,
+            orders: 400,
+            lineitems: 1200,
+            parts: 40,
+            suppliers: 10,
+            seed,
+        }
     }
 
     /// Roughly scale-factor-proportional sizing: `sf = 1.0` approximates
@@ -60,7 +67,13 @@ const NATIONS: [&str; 10] = [
     "DENMARK", "SWEDEN", "NORWAY", "GERMANY", "FRANCE", "SPAIN", "ITALY", "JAPAN", "BRAZIL",
     "CANADA",
 ];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const BRANDS: [&str; 5] = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
 const CONTAINERS: [&str; 5] = ["SM BOX", "MED BOX", "LG BOX", "JUMBO PACK", "WRAP CASE"];
@@ -92,7 +105,11 @@ impl TpcrData {
 }
 
 fn schema(qualifier: &str, cols: &[(&str, DataType)]) -> std::sync::Arc<Schema> {
-    Schema::new(cols.iter().map(|(n, t)| Field::new(qualifier, *n, *t)).collect())
+    Schema::new(
+        cols.iter()
+            .map(|(n, t)| Field::new(qualifier, *n, *t))
+            .collect(),
+    )
 }
 
 fn gen_customer(cfg: &TpcrConfig, rng: &mut SmallRng) -> Relation {
@@ -236,7 +253,10 @@ fn gen_supplier(cfg: &TpcrConfig, rng: &mut SmallRng) -> Relation {
 }
 
 fn gen_nation() -> Relation {
-    let schema = schema("nation", &[("nationkey", DataType::Int), ("name", DataType::Str)]);
+    let schema = schema(
+        "nation",
+        &[("nationkey", DataType::Int), ("name", DataType::Str)],
+    );
     let rows = NATIONS
         .iter()
         .enumerate()
@@ -260,7 +280,14 @@ mod tests {
 
     #[test]
     fn row_counts_match_config() {
-        let cfg = TpcrConfig { customers: 11, orders: 22, lineitems: 33, parts: 4, suppliers: 5, seed: 1 };
+        let cfg = TpcrConfig {
+            customers: 11,
+            orders: 22,
+            lineitems: 33,
+            parts: 4,
+            suppliers: 5,
+            seed: 1,
+        };
         let d = TpcrData::generate(&cfg);
         assert_eq!(d.customer.len(), 11);
         assert_eq!(d.orders.len(), 22);
@@ -287,8 +314,12 @@ mod tests {
     #[test]
     fn keys_are_dense_and_unique() {
         let d = TpcrData::generate(&TpcrConfig::tiny(3));
-        let mut keys: Vec<i64> =
-            d.customer.rows().iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let mut keys: Vec<i64> = d
+            .customer
+            .rows()
+            .iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect();
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), d.customer.len());

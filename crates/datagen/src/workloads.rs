@@ -23,7 +23,14 @@ pub struct Workload {
 }
 
 fn tpcr_catalog(customers: usize, orders: usize, parts: usize, seed: u64) -> MemoryCatalog {
-    let cfg = TpcrConfig { customers, orders, lineitems: 1, parts, suppliers: 1, seed };
+    let cfg = TpcrConfig {
+        customers,
+        orders,
+        lineitems: 1,
+        parts,
+        suppliers: 1,
+        seed,
+    };
     TpcrData::generate(&cfg).into_catalog()
 }
 
@@ -135,11 +142,19 @@ pub fn fig5_tree_exists(outer: usize, inner: usize, seed: u64) -> Workload {
 /// The paper's parameter sweeps, per figure: `(outer, inner)` pairs.
 pub mod sweeps {
     /// Figure 2: outer 1000, inner 300k–1.2M.
-    pub const FIG2: [(usize, usize); 4] =
-        [(1000, 300_000), (1000, 600_000), (1000, 900_000), (1000, 1_200_000)];
+    pub const FIG2: [(usize, usize); 4] = [
+        (1000, 300_000),
+        (1000, 600_000),
+        (1000, 900_000),
+        (1000, 1_200_000),
+    ];
     /// Figure 3: outer 500–2000 with inner 300k–1.2M.
-    pub const FIG3: [(usize, usize); 4] =
-        [(500, 300_000), (1000, 600_000), (1500, 900_000), (2000, 1_200_000)];
+    pub const FIG3: [(usize, usize); 4] = [
+        (500, 300_000),
+        (1000, 600_000),
+        (1500, 900_000),
+        (2000, 1_200_000),
+    ];
     /// Figure 4: inner = outer = 40k–160k.
     pub const FIG4: [usize; 4] = [40_000, 80_000, 120_000, 160_000];
     /// Figure 5: outer 1000, inner 300k–1.2M.
@@ -166,7 +181,9 @@ mod tests {
 
     #[test]
     fn fig2_all_strategies_agree_and_answer_nonempty() {
-        let w = fig2_exists(60, 600, 11);
+        // Seed chosen so some customer lacks an expensive order under the
+        // vendored RNG stream (the assertion below needs n < 60).
+        let w = fig2_exists(60, 600, 18);
         let results = run_all_agree(&w.query, &w.catalog, &small_strategies()).unwrap();
         let n = results[0].1.relation.len();
         assert!(n > 0 && n < 60, "selectivity degenerate: {n}");
@@ -202,8 +219,7 @@ mod tests {
     #[test]
     fn fig5_gmdj_optimized_coalesces() {
         let w = fig5_tree_exists(20, 100, 15);
-        let text =
-            gmdj_engine::strategy::explain_gmdj(&w.query, &w.catalog, true).unwrap();
+        let text = gmdj_engine::strategy::explain_gmdj(&w.query, &w.catalog, true).unwrap();
         // One FilteredGMDJ with two blocks, not two GMDJs.
         assert!(text.contains("FilteredGMDJ (2 blocks)"), "{text}");
         assert!(text.contains("finish-early"), "{text}");

@@ -12,10 +12,11 @@
 //! compute all the aggregates required".
 
 use gmdj_algebra::ast::QueryExpr;
+use gmdj_core::eval::EvalStats;
 use gmdj_core::exec::{execute, ExecContext, TableProvider};
-use gmdj_core::eval::{eval_gmdj, EvalStats, GmdjOptions};
 use gmdj_core::optimize::optimize;
 use gmdj_core::plan::GmdjExpr;
+use gmdj_core::runtime::{ExecPolicy, Runtime};
 use gmdj_core::spec::GmdjSpec;
 use gmdj_core::translate::subquery_to_gmdj;
 use gmdj_relation::error::Result;
@@ -53,16 +54,32 @@ pub struct OlapQuery {
 impl OlapQuery {
     /// Query returning the base table as-is.
     pub fn base_only(base: QueryExpr) -> Self {
-        OlapQuery { base, aggregation: None, projection: Vec::new() }
+        OlapQuery {
+            base,
+            aggregation: None,
+            projection: Vec::new(),
+        }
     }
 
-    /// Evaluate under a subquery strategy. Returns the result and the
-    /// GMDJ evaluator's work counters (zero for strategies that never
-    /// reach a GMDJ).
+    /// Evaluate under a subquery strategy, sequentially. Returns the
+    /// result and the GMDJ evaluator's work counters (zero for strategies
+    /// that never reach a GMDJ).
     pub fn run(
         &self,
         catalog: &dyn TableProvider,
         strat: Strategy,
+    ) -> Result<(Relation, EvalStats)> {
+        self.run_with_policy(catalog, strat, ExecPolicy::sequential())
+    }
+
+    /// Evaluate under a subquery strategy and an execution policy; every
+    /// GMDJ evaluation — including the aggregation step of the non-GMDJ
+    /// strategies — goes through the policy's [`Runtime`].
+    pub fn run_with_policy(
+        &self,
+        catalog: &dyn TableProvider,
+        strat: Strategy,
+        policy: ExecPolicy,
     ) -> Result<(Relation, EvalStats)> {
         let mut gmdj_stats = EvalStats::default();
         let combined = match strat {
@@ -90,35 +107,34 @@ impl OlapQuery {
                     _ => plan,
                 };
                 let probe = match strat {
-                    Strategy::GmdjOptimizedNoProbeIndex
-                    | Strategy::GmdjBasicNoProbeIndex => {
+                    Strategy::GmdjOptimizedNoProbeIndex | Strategy::GmdjBasicNoProbeIndex => {
                         gmdj_core::eval::ProbeStrategy::ForceScan
                     }
                     _ => gmdj_core::eval::ProbeStrategy::Auto,
                 };
-                let mut ctx = ExecContext::with_opts(GmdjOptions {
-                    probe,
-                    partition_rows: None,
-                });
+                let mut ctx = ExecContext::with_policy(policy.with_probe(probe));
                 let rel = execute(&plan, catalog, &mut ctx)?;
                 gmdj_stats = ctx.stats;
                 rel
             }
             _ => {
                 // Evaluate the base under the chosen strategy, then the
-                // aggregation with the GMDJ evaluator (the aggregation is
-                // the query form itself, not a subquery).
-                let base_rel = strategy::run(&self.base, catalog, strat)?.relation;
+                // aggregation through the policy's runtime (the
+                // aggregation is the query form itself, not a subquery).
+                let base_rel =
+                    strategy::run_with_policy(&self.base, catalog, strat, policy)?.relation;
                 match &self.aggregation {
                     Some(agg) => {
                         let detail_rel =
-                            strategy::run(&agg.detail, catalog, strat)?.relation;
-                        let out = eval_gmdj(
+                            strategy::run_with_policy(&agg.detail, catalog, strat, policy)?
+                                .relation;
+                        let mut net = gmdj_core::distributed::NetworkStats::default();
+                        let out = Runtime::new(policy).eval_gmdj(
                             &base_rel,
                             &detail_rel,
                             &agg.spec,
-                            &GmdjOptions::default(),
                             &mut gmdj_stats,
+                            &mut net,
                         )?;
                         match &agg.having {
                             Some(h) => ops::select(&out, h)?,
@@ -139,11 +155,7 @@ impl OlapQuery {
 
     /// The fully compiled (and optionally optimized) GMDJ plan, for
     /// EXPLAIN output.
-    pub fn plan(
-        &self,
-        catalog: &dyn TableProvider,
-        optimized: bool,
-    ) -> Result<GmdjExpr> {
+    pub fn plan(&self, catalog: &dyn TableProvider, optimized: bool) -> Result<GmdjExpr> {
         let base_plan = subquery_to_gmdj(&self.base, catalog)?;
         let plan = match &self.aggregation {
             Some(agg) => {
@@ -188,10 +200,25 @@ mod tests {
             .column("NumBytes", DataType::Int)
             .column("DestIP", DataType::Str)
             .row(vec![43.into(), "HTTP".into(), 12.into(), "10.0.0.1".into()])
-            .row(vec![86.into(), "HTTP".into(), 36.into(), "167.167.167.0".into()])
+            .row(vec![
+                86.into(),
+                "HTTP".into(),
+                36.into(),
+                "167.167.167.0".into(),
+            ])
             .row(vec![99.into(), "FTP".into(), 48.into(), "10.0.0.2".into()])
-            .row(vec![132.into(), "HTTP".into(), 24.into(), "10.0.0.1".into()])
-            .row(vec![156.into(), "HTTP".into(), 24.into(), "10.0.0.3".into()])
+            .row(vec![
+                132.into(),
+                "HTTP".into(),
+                24.into(),
+                "10.0.0.1".into(),
+            ])
+            .row(vec![
+                156.into(),
+                "HTTP".into(),
+                24.into(),
+                "10.0.0.3".into(),
+            ])
             .row(vec![161.into(), "FTP".into(), 48.into(), "10.0.0.1".into()])
             .build()
             .unwrap();
@@ -225,7 +252,9 @@ mod tests {
 
     #[test]
     fn example_2_1_fractions() {
-        let (rel, _) = example_2_1().run(&catalog(), Strategy::GmdjOptimized).unwrap();
+        let (rel, _) = example_2_1()
+            .run(&catalog(), Strategy::GmdjOptimized)
+            .unwrap();
         let rows = rel.sorted_rows();
         assert_eq!(rows[0][1], Value::Float(1.0)); // 12/12
         assert_eq!(rows[1][1], Value::Float(36.0 / 84.0));
@@ -259,6 +288,22 @@ mod tests {
                 assert!(p.multiset_eq(&rel), "{strat:?}");
             }
             previous = Some(rel);
+        }
+    }
+
+    #[test]
+    fn example_2_1_identical_under_every_policy() {
+        let q = example_2_1();
+        let (seq, _) = q.run(&catalog(), Strategy::GmdjOptimized).unwrap();
+        for strat in [
+            Strategy::NativeSmart,
+            Strategy::GmdjBasic,
+            Strategy::GmdjOptimized,
+        ] {
+            for policy in [ExecPolicy::parallel(4), ExecPolicy::distributed(3)] {
+                let (rel, _) = q.run_with_policy(&catalog(), strat, policy).unwrap();
+                assert!(rel.multiset_eq(&seq), "{strat:?} under {policy:?}");
+            }
         }
     }
 

@@ -48,7 +48,10 @@ pub struct RefOptions {
 
 impl Default for RefOptions {
     fn default() -> Self {
-        RefOptions { smart: true, indexed: true }
+        RefOptions {
+            smart: true,
+            indexed: true,
+        }
     }
 }
 
@@ -78,7 +81,11 @@ pub fn eval(
     catalog: &dyn TableProvider,
     opts: &RefOptions,
 ) -> Result<(Relation, RefStats)> {
-    let mut ev = Evaluator { catalog, opts: *opts, stats: RefStats::default() };
+    let mut ev = Evaluator {
+        catalog,
+        opts: *opts,
+        stats: RefStats::default(),
+    };
     let compiled = ev.compile(query, &[])?;
     let rel = ev.run(&compiled, &mut Vec::new())?;
     Ok((rel, ev.stats))
@@ -95,11 +102,31 @@ struct Evaluator<'a> {
 // reference; variant size imbalance is irrelevant here.
 #[allow(clippy::large_enum_variant)]
 enum CNode {
-    Rel { rel: Relation },
-    Select { input: Box<CNode>, pred: CPred, schema: Arc<Schema> },
-    Project { input: Box<CNode>, cols: Vec<usize>, distinct: bool, schema: Arc<Schema> },
-    AggProject { input: Box<CNode>, agg: BoundAgg, schema: Arc<Schema> },
-    Join { left: Box<CNode>, right: Box<CNode>, on: Predicate, schema: Arc<Schema> },
+    Rel {
+        rel: Relation,
+    },
+    Select {
+        input: Box<CNode>,
+        pred: CPred,
+        schema: Arc<Schema>,
+    },
+    Project {
+        input: Box<CNode>,
+        cols: Vec<usize>,
+        distinct: bool,
+        schema: Arc<Schema>,
+    },
+    AggProject {
+        input: Box<CNode>,
+        agg: BoundAgg,
+        schema: Arc<Schema>,
+    },
+    Join {
+        left: Box<CNode>,
+        right: Box<CNode>,
+        on: Predicate,
+        schema: Arc<Schema>,
+    },
     GroupBy {
         input: Box<CNode>,
         keys: Vec<gmdj_relation::schema::ColumnRef>,
@@ -111,7 +138,10 @@ enum CNode {
         keys: Vec<(gmdj_relation::schema::ColumnRef, bool)>,
         schema: Arc<Schema>,
     },
-    Limit { input: Box<CNode>, n: usize },
+    Limit {
+        input: Box<CNode>,
+        n: usize,
+    },
 }
 
 impl CNode {
@@ -148,10 +178,18 @@ struct CSub {
 }
 
 enum SubKind {
-    Exists { negated: bool },
-    Quant { op: CmpOp, all: bool },
+    Exists {
+        negated: bool,
+    },
+    Quant {
+        op: CmpOp,
+        all: bool,
+    },
     /// Scalar comparison; `aggregate` selects the f(y) form.
-    Cmp { op: CmpOp, aggregate: bool },
+    Cmp {
+        op: CmpOp,
+        aggregate: bool,
+    },
 }
 
 #[allow(clippy::large_enum_variant)]
@@ -187,30 +225,41 @@ impl<'a> Evaluator<'a> {
     /// first).
     fn compile(&mut self, q: &QueryExpr, scopes: &[Arc<Schema>]) -> Result<CNode> {
         match q {
-            QueryExpr::Table { name, qualifier } => {
-                Ok(CNode::Rel { rel: self.catalog.table(name)?.renamed(qualifier) })
-            }
-            QueryExpr::Project { input, columns, distinct } => {
+            QueryExpr::Table { name, qualifier } => Ok(CNode::Rel {
+                rel: self.catalog.table(name)?.renamed(qualifier),
+            }),
+            QueryExpr::Project {
+                input,
+                columns,
+                distinct,
+            } => {
                 let input = self.compile(input, scopes)?;
                 let in_schema = input.schema().clone();
                 let cols: Vec<usize> = columns
                     .iter()
                     .map(|c| c.resolve_in(&in_schema))
                     .collect::<Result<Vec<_>>>()?;
-                let schema = Schema::new(
-                    cols.iter().map(|&i| in_schema.field(i).clone()).collect(),
-                );
-                Ok(CNode::Project { input: Box::new(input), cols, distinct: *distinct, schema })
+                let schema =
+                    Schema::new(cols.iter().map(|&i| in_schema.field(i).clone()).collect());
+                Ok(CNode::Project {
+                    input: Box::new(input),
+                    cols,
+                    distinct: *distinct,
+                    schema,
+                })
             }
             QueryExpr::AggProject { input, agg } => {
                 let input = self.compile(input, scopes)?;
                 let in_schema = input.schema().clone();
-                let mut scope_refs: Vec<&Schema> =
-                    scopes.iter().map(|s| s.as_ref()).collect();
+                let mut scope_refs: Vec<&Schema> = scopes.iter().map(|s| s.as_ref()).collect();
                 scope_refs.push(&in_schema);
                 let bound = agg.bind(&scope_refs)?;
                 let schema = Schema::empty().extend_computed(&[agg.output_field()]);
-                Ok(CNode::AggProject { input: Box::new(input), agg: bound, schema })
+                Ok(CNode::AggProject {
+                    input: Box::new(input),
+                    agg: bound,
+                    schema,
+                })
             }
             QueryExpr::Join { left, right, on } => {
                 let left = self.compile(left, scopes)?;
@@ -229,7 +278,11 @@ impl<'a> Evaluator<'a> {
                 let mut inner_scopes: Vec<Arc<Schema>> = scopes.to_vec();
                 inner_scopes.push(schema.clone());
                 let pred = self.compile_pred(predicate, &inner_scopes)?;
-                Ok(CNode::Select { input: Box::new(input), pred, schema })
+                Ok(CNode::Select {
+                    input: Box::new(input),
+                    pred,
+                    schema,
+                })
             }
             QueryExpr::GroupBy { input, keys, aggs } => {
                 let input = self.compile(input, scopes)?;
@@ -238,15 +291,18 @@ impl<'a> Evaluator<'a> {
                     .iter()
                     .map(|k| k.resolve_in(&in_schema))
                     .collect::<Result<Vec<_>>>()?;
-                let mut fields: Vec<gmdj_relation::schema::Field> =
-                    key_cols.iter().map(|&i| in_schema.field(i).clone()).collect();
+                let mut fields: Vec<gmdj_relation::schema::Field> = key_cols
+                    .iter()
+                    .map(|&i| in_schema.field(i).clone())
+                    .collect();
                 let _ = &mut fields;
                 let schema = Schema::new(
-                    key_cols.iter().map(|&i| in_schema.field(i).clone()).collect(),
+                    key_cols
+                        .iter()
+                        .map(|&i| in_schema.field(i).clone())
+                        .collect(),
                 )
-                .extend_computed(
-                    &aggs.iter().map(|a| a.output_field()).collect::<Vec<_>>(),
-                );
+                .extend_computed(&aggs.iter().map(|a| a.output_field()).collect::<Vec<_>>());
                 Ok(CNode::GroupBy {
                     input: Box::new(input),
                     keys: keys.clone(),
@@ -257,11 +313,18 @@ impl<'a> Evaluator<'a> {
             QueryExpr::OrderBy { input, keys } => {
                 let input = self.compile(input, scopes)?;
                 let schema = input.schema().clone();
-                Ok(CNode::OrderBy { input: Box::new(input), keys: keys.clone(), schema })
+                Ok(CNode::OrderBy {
+                    input: Box::new(input),
+                    keys: keys.clone(),
+                    schema,
+                })
             }
             QueryExpr::Limit { input, n } => {
                 let input = self.compile(input, scopes)?;
-                Ok(CNode::Limit { input: Box::new(input), n: *n })
+                Ok(CNode::Limit {
+                    input: Box::new(input),
+                    n: *n,
+                })
             }
         }
     }
@@ -290,11 +353,17 @@ impl<'a> Evaluator<'a> {
     fn compile_subquery(&mut self, s: &SubqueryPred, scopes: &[Arc<Schema>]) -> Result<CSub> {
         let scope_refs: Vec<&Schema> = scopes.iter().map(|x| x.as_ref()).collect();
         let (kind, left_expr) = match s {
-            SubqueryPred::Exists { negated, .. } => {
-                (SubKind::Exists { negated: *negated }, None)
-            }
-            SubqueryPred::Quantified { left, op, quantifier, .. } => (
-                SubKind::Quant { op: *op, all: *quantifier == Quantifier::All },
+            SubqueryPred::Exists { negated, .. } => (SubKind::Exists { negated: *negated }, None),
+            SubqueryPred::Quantified {
+                left,
+                op,
+                quantifier,
+                ..
+            } => (
+                SubKind::Quant {
+                    op: *op,
+                    all: *quantifier == Quantifier::All,
+                },
                 Some(left.clone()),
             ),
             SubqueryPred::In { left, negated, .. } => (
@@ -307,7 +376,10 @@ impl<'a> Evaluator<'a> {
             SubqueryPred::Cmp { left, op, query } => {
                 let (_, _, output) = peel_block(query);
                 (
-                    SubKind::Cmp { op: *op, aggregate: matches!(output, SubqueryOutput::Agg(_)) },
+                    SubKind::Cmp {
+                        op: *op,
+                        aggregate: matches!(output, SubqueryOutput::Agg(_)),
+                    },
                     Some(left.clone()),
                 )
             }
@@ -335,8 +407,7 @@ impl<'a> Evaluator<'a> {
             let source_rel = self.run(&compiled_source, &mut Vec::new())?;
             self.stats.tuples_scanned += source_rel.len() as u64;
             let src_schema = source_rel.schema().clone();
-            let mut all_scopes: Vec<&Schema> =
-                scopes.iter().map(|s| s.as_ref()).collect();
+            let mut all_scopes: Vec<&Schema> = scopes.iter().map(|s| s.as_ref()).collect();
             all_scopes.push(&src_schema);
             let theta = flat.bind(&all_scopes)?;
             let output_col = match &output {
@@ -352,7 +423,13 @@ impl<'a> Evaluator<'a> {
             } else {
                 None
             };
-            Ok(CBody::Flat { source: source_rel, theta, output_col, agg, index })
+            Ok(CBody::Flat {
+                source: source_rel,
+                theta,
+                output_col,
+                agg,
+                index,
+            })
         } else {
             // General: re-evaluate the full body per outer tuple.
             let node = self.compile(q, scopes)?;
@@ -368,7 +445,10 @@ impl<'a> Evaluator<'a> {
                 }
                 SubqueryOutput::Row => None,
             };
-            Ok(CBody::General { node: Box::new(node), output_col })
+            Ok(CBody::General {
+                node: Box::new(node),
+                output_col,
+            })
         }
     }
 
@@ -387,10 +467,19 @@ impl<'a> Evaluator<'a> {
         let mut outer_keys = Vec::new();
         let mut used = vec![false; conjuncts.len()];
         for (i, c) in conjuncts.iter().enumerate() {
-            let Predicate::Cmp { op: CmpOp::Eq, left, right } = c else { continue };
+            let Predicate::Cmp {
+                op: CmpOp::Eq,
+                left,
+                right,
+            } = c
+            else {
+                continue;
+            };
             // Which side is the source column?
             let as_src_col = |e: &ScalarExpr| -> Option<usize> {
-                let ScalarExpr::Column(cr) = e else { return None };
+                let ScalarExpr::Column(cr) = e else {
+                    return None;
+                };
                 cr.resolve_in(src_schema).ok()
             };
             let try_pair = |src: &ScalarExpr, outer: &ScalarExpr| -> Option<(usize, BoundScalar)> {
@@ -432,7 +521,12 @@ impl<'a> Evaluator<'a> {
     fn run(&mut self, node: &CNode, outer: &mut Vec<*const [Value]>) -> Result<Relation> {
         match node {
             CNode::Rel { rel } => Ok(rel.clone()),
-            CNode::Project { input, cols, distinct, schema } => {
+            CNode::Project {
+                input,
+                cols,
+                distinct,
+                schema,
+            } => {
                 let rel = self.run(input, outer)?;
                 let rows: Vec<Tuple> = rel
                     .rows()
@@ -454,13 +548,17 @@ impl<'a> Evaluator<'a> {
                     vec![vec![acc.finish()].into_boxed_slice()],
                 ))
             }
-            CNode::Join { left, right, on, .. } => {
+            CNode::Join {
+                left, right, on, ..
+            } => {
                 let l = self.run(left, outer)?;
                 let r = self.run(right, outer)?;
                 self.stats.tuples_scanned += (l.len() * r.len()) as u64;
                 ops::theta_join(&l, &r, on)
             }
-            CNode::GroupBy { input, keys, aggs, .. } => {
+            CNode::GroupBy {
+                input, keys, aggs, ..
+            } => {
                 let rel = self.run(input, outer)?;
                 self.stats.tuples_scanned += rel.len() as u64;
                 ops::group_by(&rel, keys, aggs)
@@ -473,13 +571,16 @@ impl<'a> Evaluator<'a> {
                 let rel = self.run(input, outer)?;
                 Ok(ops::limit(&rel, *n))
             }
-            CNode::Select { input, pred, schema } => {
+            CNode::Select {
+                input,
+                pred,
+                schema,
+            } => {
                 let rel = self.run(input, outer)?;
                 let mut rows = Vec::new();
                 for row in rel.rows() {
                     self.stats.tuples_scanned += 1;
-                    let keep =
-                        with_scope_mut(self, outer, row, |ev, sc| ev.eval_pred(pred, sc))?;
+                    let keep = with_scope_mut(self, outer, row, |ev, sc| ev.eval_pred(pred, sc))?;
                     if keep.passes() {
                         rows.push(row.clone());
                     }
@@ -524,7 +625,13 @@ impl<'a> Evaluator<'a> {
         // Stream matching tuples through the kind's state machine.
         let mut state = KindState::new(&sub.kind);
         match &sub.body {
-            CBody::Flat { source, theta, output_col, agg, index } => {
+            CBody::Flat {
+                source,
+                theta,
+                output_col,
+                agg,
+                index,
+            } => {
                 let mut acc = agg.as_ref().map(|a| a.accumulator());
                 let smart = self.opts.smart;
                 if let Some(fi) = index {
@@ -618,7 +725,13 @@ struct KindState {
 
 impl KindState {
     fn new(_kind: &SubKind) -> Self {
-        KindState { matches: 0, any_true: false, any_false: false, any_unknown: false, scalar: None }
+        KindState {
+            matches: 0,
+            any_true: false,
+            any_false: false,
+            any_unknown: false,
+            scalar: None,
+        }
     }
 
     /// Early-exit criterion (the "smart nested loop").
@@ -640,9 +753,7 @@ impl KindState {
         acc: Option<Accumulator>,
     ) -> Result<Truth> {
         match kind {
-            SubKind::Exists { negated } => {
-                Ok(Truth::from_bool((self.matches > 0) != *negated))
-            }
+            SubKind::Exists { negated } => Ok(Truth::from_bool((self.matches > 0) != *negated)),
             SubKind::Quant { all: false, .. } => Ok(if self.any_true {
                 Truth::True
             } else if self.any_unknown {
@@ -660,7 +771,8 @@ impl KindState {
             SubKind::Cmp { op, aggregate } => {
                 let left = left.expect("comparison subquery has a left operand");
                 let value = if *aggregate {
-                    acc.expect("aggregate comparison carries an accumulator").finish()
+                    acc.expect("aggregate comparison carries an accumulator")
+                        .finish()
                 } else {
                     match self.matches {
                         0 => Value::Null,
@@ -705,14 +817,18 @@ fn feed(
                 Truth::Unknown => state.any_unknown = true,
             }
         }
-        SubKind::Cmp { aggregate: true, .. } => {
+        SubKind::Cmp {
+            aggregate: true, ..
+        } => {
             let (agg, acc) = (
                 agg.expect("aggregate comparison has an aggregate"),
                 acc.expect("aggregate comparison has an accumulator"),
             );
             with_scope(outer, row, |sc| agg.update(acc, sc))?;
         }
-        SubKind::Cmp { aggregate: false, .. } => {
+        SubKind::Cmp {
+            aggregate: false, ..
+        } => {
             if state.matches == 1 {
                 let y = out_val.ok_or_else(|| {
                     Error::invalid("scalar comparison subquery must project one attribute")
@@ -788,12 +904,13 @@ mod tests {
             .row(vec![Value::Null, 10.into()])
             .build()
             .unwrap();
-        MemoryCatalog::new().with("Customers", customers).with("Orders", orders)
+        MemoryCatalog::new()
+            .with("Customers", customers)
+            .with("Orders", orders)
     }
 
     fn exists_query() -> QueryExpr {
-        let sub = QueryExpr::table("Orders", "O")
-            .select_flat(col("O.cust").eq(col("C.id")));
+        let sub = QueryExpr::table("Orders", "O").select_flat(col("O.cust").eq(col("C.id")));
         QueryExpr::table("Customers", "C").select(exists(sub))
     }
 
@@ -803,8 +920,7 @@ mod tests {
         assert_eq!(rel.len(), 2); // customers 1 and 3
         assert!(stats.subquery_invocations == 3);
 
-        let sub = QueryExpr::table("Orders", "O")
-            .select_flat(col("O.cust").eq(col("C.id")));
+        let sub = QueryExpr::table("Orders", "O").select_flat(col("O.cust").eq(col("C.id")));
         let q = QueryExpr::table("Customers", "C").select(not_exists(sub));
         let (rel, _) = eval(&q, &catalog(), &RefOptions::default()).unwrap();
         assert_eq!(rel.len(), 1); // customer 2
@@ -813,12 +929,33 @@ mod tests {
     #[test]
     fn smart_and_indexed_agree_with_naive() {
         let q = exists_query();
-        let (naive, s_naive) =
-            eval(&q, &catalog(), &RefOptions { smart: false, indexed: false }).unwrap();
-        let (smart, s_smart) =
-            eval(&q, &catalog(), &RefOptions { smart: true, indexed: false }).unwrap();
-        let (indexed, s_idx) =
-            eval(&q, &catalog(), &RefOptions { smart: true, indexed: true }).unwrap();
+        let (naive, s_naive) = eval(
+            &q,
+            &catalog(),
+            &RefOptions {
+                smart: false,
+                indexed: false,
+            },
+        )
+        .unwrap();
+        let (smart, s_smart) = eval(
+            &q,
+            &catalog(),
+            &RefOptions {
+                smart: true,
+                indexed: false,
+            },
+        )
+        .unwrap();
+        let (indexed, s_idx) = eval(
+            &q,
+            &catalog(),
+            &RefOptions {
+                smart: true,
+                indexed: true,
+            },
+        )
+        .unwrap();
         assert!(naive.multiset_eq(&smart));
         assert!(naive.multiset_eq(&indexed));
         // Work ordering: naive ≥ smart ≥ indexed.
@@ -901,7 +1038,9 @@ mod tests {
         // Customers with an order such that another customer in the same
         // country exists (always true for DK customers with orders).
         let inner = QueryExpr::table("Customers", "C2").select_flat(
-            col("C2.country").eq(col("C.country")).and(col("C2.id").ne(col("C.id"))),
+            col("C2.country")
+                .eq(col("C.country"))
+                .and(col("C2.id").ne(col("C.id"))),
         );
         let mid = QueryExpr::table("Orders", "O")
             .select(NestedPredicate::Atom(col("O.cust").eq(col("C.id"))).and(exists(inner)));

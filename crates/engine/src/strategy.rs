@@ -3,9 +3,10 @@
 use std::time::{Duration, Instant};
 
 use gmdj_algebra::ast::QueryExpr;
+use gmdj_core::eval::{EvalStats, ProbeStrategy};
 use gmdj_core::exec::{execute, ExecContext, TableProvider};
-use gmdj_core::eval::{EvalStats, GmdjOptions, ProbeStrategy};
 use gmdj_core::optimize::{optimize_with, OptFlags};
+use gmdj_core::runtime::{ExecPolicy, PlanNodeStats};
 use gmdj_core::translate::subquery_to_gmdj;
 use gmdj_relation::error::Result;
 use gmdj_relation::relation::Relation;
@@ -106,53 +107,99 @@ pub struct RunResult {
     pub wall: Duration,
     /// Work counters.
     pub stats: StrategyStats,
+    /// Per-plan-node statistics tree (GMDJ strategies only; the reference
+    /// and unnest engines do not build GMDJ plans).
+    pub plan_stats: Option<PlanNodeStats>,
 }
 
-/// Run a nested query expression under a strategy.
+/// Run a nested query expression under a strategy, sequentially.
 pub fn run(
     query: &QueryExpr,
     catalog: &dyn TableProvider,
     strategy: Strategy,
 ) -> Result<RunResult> {
+    run_with_policy(query, catalog, strategy, ExecPolicy::sequential())
+}
+
+/// Run a nested query expression under a strategy and an execution
+/// policy. The policy's mode and memory budget apply to every GMDJ
+/// strategy; the probe choice stays with the strategy (it is the ablation
+/// axis). The reference and unnest engines are the paper's competitors —
+/// they have no GMDJ to parallelize and ignore the policy.
+pub fn run_with_policy(
+    query: &QueryExpr,
+    catalog: &dyn TableProvider,
+    strategy: Strategy,
+    policy: ExecPolicy,
+) -> Result<RunResult> {
     match strategy {
-        Strategy::NaiveNestedLoop => {
-            run_reference(query, catalog, RefOptions { smart: false, indexed: false })
-        }
-        Strategy::NativeSmart => {
-            run_reference(query, catalog, RefOptions { smart: true, indexed: true })
-        }
-        Strategy::NativeSmartNoIndex => {
-            run_reference(query, catalog, RefOptions { smart: true, indexed: false })
-        }
+        Strategy::NaiveNestedLoop => run_reference(
+            query,
+            catalog,
+            RefOptions {
+                smart: false,
+                indexed: false,
+            },
+        ),
+        Strategy::NativeSmart => run_reference(
+            query,
+            catalog,
+            RefOptions {
+                smart: true,
+                indexed: true,
+            },
+        ),
+        Strategy::NativeSmartNoIndex => run_reference(
+            query,
+            catalog,
+            RefOptions {
+                smart: true,
+                indexed: false,
+            },
+        ),
         Strategy::JoinUnnest => run_unnest(query, catalog, UnnestOptions { indexed: true }),
-        Strategy::JoinUnnestNoIndex => {
-            run_unnest(query, catalog, UnnestOptions { indexed: false })
+        Strategy::JoinUnnestNoIndex => run_unnest(query, catalog, UnnestOptions { indexed: false }),
+        Strategy::GmdjBasic => run_gmdj(
+            query,
+            catalog,
+            false,
+            policy.with_probe(ProbeStrategy::Auto),
+        ),
+        Strategy::GmdjOptimized => {
+            run_gmdj(query, catalog, true, policy.with_probe(ProbeStrategy::Auto))
         }
-        Strategy::GmdjBasic => run_gmdj(query, catalog, false, ProbeStrategy::Auto),
-        Strategy::GmdjOptimized => run_gmdj(query, catalog, true, ProbeStrategy::Auto),
-        Strategy::GmdjOptimizedNoProbeIndex => {
-            run_gmdj(query, catalog, true, ProbeStrategy::ForceScan)
-        }
-        Strategy::GmdjBasicNoProbeIndex => {
-            run_gmdj(query, catalog, false, ProbeStrategy::ForceScan)
-        }
-        Strategy::GmdjCostBased => run_gmdj_cost_based(query, catalog),
+        Strategy::GmdjOptimizedNoProbeIndex => run_gmdj(
+            query,
+            catalog,
+            true,
+            policy.with_probe(ProbeStrategy::ForceScan),
+        ),
+        Strategy::GmdjBasicNoProbeIndex => run_gmdj(
+            query,
+            catalog,
+            false,
+            policy.with_probe(ProbeStrategy::ForceScan),
+        ),
+        Strategy::GmdjCostBased => run_gmdj_cost_based(query, catalog, policy),
     }
 }
 
 fn run_gmdj_cost_based(
     query: &QueryExpr,
     catalog: &dyn TableProvider,
+    policy: ExecPolicy,
 ) -> Result<RunResult> {
     let plan = subquery_to_gmdj(query, catalog)?;
     let (best, _estimate) = gmdj_core::cost::cost_based_optimize(&plan, catalog)?;
-    let mut ctx = ExecContext::with_opts(GmdjOptions {
-        probe: ProbeStrategy::Auto,
-        partition_rows: None,
-    });
+    let mut ctx = ExecContext::with_policy(policy.with_probe(ProbeStrategy::Auto));
     let start = Instant::now();
     let relation = execute(&best, catalog, &mut ctx)?;
-    Ok(RunResult { relation, wall: start.elapsed(), stats: StrategyStats::Gmdj(ctx.stats) })
+    Ok(RunResult {
+        relation,
+        wall: start.elapsed(),
+        stats: StrategyStats::Gmdj(ctx.stats),
+        plan_stats: ctx.plan_stats,
+    })
 }
 
 fn run_reference(
@@ -162,7 +209,12 @@ fn run_reference(
 ) -> Result<RunResult> {
     let start = Instant::now();
     let (relation, stats) = reference::eval(query, catalog, &opts)?;
-    Ok(RunResult { relation, wall: start.elapsed(), stats: StrategyStats::Reference(stats) })
+    Ok(RunResult {
+        relation,
+        wall: start.elapsed(),
+        stats: StrategyStats::Reference(stats),
+        plan_stats: None,
+    })
 }
 
 fn run_unnest(
@@ -172,14 +224,19 @@ fn run_unnest(
 ) -> Result<RunResult> {
     let start = Instant::now();
     let (relation, stats) = unnest::eval(query, catalog, &opts)?;
-    Ok(RunResult { relation, wall: start.elapsed(), stats: StrategyStats::Unnest(stats) })
+    Ok(RunResult {
+        relation,
+        wall: start.elapsed(),
+        stats: StrategyStats::Unnest(stats),
+        plan_stats: None,
+    })
 }
 
 fn run_gmdj(
     query: &QueryExpr,
     catalog: &dyn TableProvider,
     optimized: bool,
-    probe: ProbeStrategy,
+    policy: ExecPolicy,
 ) -> Result<RunResult> {
     let plan = subquery_to_gmdj(query, catalog)?;
     let plan = if optimized {
@@ -187,11 +244,15 @@ fn run_gmdj(
     } else {
         plan
     };
-    let mut ctx =
-        ExecContext::with_opts(GmdjOptions { probe, partition_rows: None });
+    let mut ctx = ExecContext::with_policy(policy);
     let start = Instant::now();
     let relation = execute(&plan, catalog, &mut ctx)?;
-    Ok(RunResult { relation, wall: start.elapsed(), stats: StrategyStats::Gmdj(ctx.stats) })
+    Ok(RunResult {
+        relation,
+        wall: start.elapsed(),
+        stats: StrategyStats::Gmdj(ctx.stats),
+        plan_stats: ctx.plan_stats,
+    })
 }
 
 /// Translate + optimize and return the plan text — EXPLAIN for the GMDJ
@@ -202,7 +263,11 @@ pub fn explain_gmdj(
     optimized: bool,
 ) -> Result<String> {
     let plan = subquery_to_gmdj(query, catalog)?;
-    let plan = if optimized { gmdj_core::optimize::optimize(&plan) } else { plan };
+    let plan = if optimized {
+        gmdj_core::optimize::optimize(&plan)
+    } else {
+        plan
+    };
     Ok(plan.explain())
 }
 
@@ -263,7 +328,9 @@ mod tests {
             .row(vec![Value::Null, 10.into()])
             .build()
             .unwrap();
-        MemoryCatalog::new().with("Customers", customers).with("Orders", orders)
+        MemoryCatalog::new()
+            .with("Customers", customers)
+            .with("Orders", orders)
     }
 
     fn all_strategies() -> Vec<Strategy> {
@@ -282,8 +349,7 @@ mod tests {
 
     #[test]
     fn all_strategies_agree_on_exists() {
-        let sub = QueryExpr::table("Orders", "O")
-            .select_flat(col("O.cust").eq(col("C.id")));
+        let sub = QueryExpr::table("Orders", "O").select_flat(col("O.cust").eq(col("C.id")));
         let q = QueryExpr::table("Customers", "C").select(exists(sub));
         let results = run_all_agree(&q, &catalog(), &all_strategies()).unwrap();
         assert_eq!(results[0].1.relation.len(), 2);
@@ -291,46 +357,101 @@ mod tests {
 
     #[test]
     fn all_strategies_agree_on_mixed_conjunction() {
-        let has = QueryExpr::table("Orders", "O1")
-            .select_flat(col("O1.cust").eq(col("C.id")));
-        let none_big = QueryExpr::table("Orders", "O2")
-            .select_flat(col("O2.cust").eq(col("C.id")).and(col("O2.total").gt(lit(80))));
-        let q = QueryExpr::table("Customers", "C").select(
-            exists(has)
-                .and(not_exists(none_big))
-                .and(gmdj_algebra::ast::NestedPredicate::Atom(col("C.id").gt(lit(0)))),
+        let has = QueryExpr::table("Orders", "O1").select_flat(col("O1.cust").eq(col("C.id")));
+        let none_big = QueryExpr::table("Orders", "O2").select_flat(
+            col("O2.cust")
+                .eq(col("C.id"))
+                .and(col("O2.total").gt(lit(80))),
         );
+        let q =
+            QueryExpr::table("Customers", "C").select(exists(has).and(not_exists(none_big)).and(
+                gmdj_algebra::ast::NestedPredicate::Atom(col("C.id").gt(lit(0))),
+            ));
         run_all_agree(&q, &catalog(), &all_strategies()).unwrap();
     }
 
     #[test]
     fn cost_based_strategy_agrees_and_coalesces() {
-        let a = QueryExpr::table("Orders", "O1")
-            .select_flat(col("O1.cust").eq(col("C.id")));
-        let b = QueryExpr::table("Orders", "O2")
-            .select_flat(col("O2.cust").eq(col("C.id")).and(col("O2.total").gt(lit(80))));
+        let a = QueryExpr::table("Orders", "O1").select_flat(col("O1.cust").eq(col("C.id")));
+        let b = QueryExpr::table("Orders", "O2").select_flat(
+            col("O2.cust")
+                .eq(col("C.id"))
+                .and(col("O2.total").gt(lit(80))),
+        );
         let q = QueryExpr::table("Customers", "C").select(exists(a).and(exists(b)));
         let results = run_all_agree(
             &q,
             &catalog(),
-            &[Strategy::NaiveNestedLoop, Strategy::GmdjCostBased, Strategy::GmdjOptimized],
+            &[
+                Strategy::NaiveNestedLoop,
+                Strategy::GmdjCostBased,
+                Strategy::GmdjOptimized,
+            ],
         )
         .unwrap();
         assert!(!results[0].1.relation.is_empty());
     }
 
     #[test]
+    fn every_strategy_is_identical_under_parallel_policy() {
+        // Mixed conjunction: the optimized GMDJ plan is a FilteredGMDJ
+        // with a completion plan, so the parallel path exercises the
+        // documented completion fallback end-to-end.
+        let has = QueryExpr::table("Orders", "O1").select_flat(col("O1.cust").eq(col("C.id")));
+        let none_big = QueryExpr::table("Orders", "O2").select_flat(
+            col("O2.cust")
+                .eq(col("C.id"))
+                .and(col("O2.total").gt(lit(80))),
+        );
+        let q = QueryExpr::table("Customers", "C").select(exists(has).and(not_exists(none_big)));
+
+        let mut strategies = all_strategies();
+        strategies.push(Strategy::GmdjCostBased);
+        for &s in &strategies {
+            let seq = run(&q, &catalog(), s).unwrap();
+            for policy in [
+                ExecPolicy::parallel(3),
+                ExecPolicy::parallel(3).with_partition_rows(Some(2)),
+                ExecPolicy::distributed(2),
+            ] {
+                let r = run_with_policy(&q, &catalog(), s, policy).unwrap();
+                assert!(
+                    r.relation.multiset_eq(&seq.relation),
+                    "{s:?} under {policy:?} diverged"
+                );
+            }
+        }
+
+        // The GMDJ stats tree is recorded and shows the fallback.
+        let r = run_with_policy(
+            &q,
+            &catalog(),
+            Strategy::GmdjOptimized,
+            ExecPolicy::parallel(3),
+        )
+        .unwrap();
+        let tree = r
+            .plan_stats
+            .expect("GMDJ strategies record a plan stats tree");
+        assert!(tree.total_eval().completion_fallbacks > 0);
+    }
+
+    #[test]
     fn explain_shows_optimization() {
-        let a = QueryExpr::table("Orders", "O1")
-            .select_flat(col("O1.cust").eq(col("C.id")));
-        let b = QueryExpr::table("Orders", "O2")
-            .select_flat(col("O2.cust").eq(col("C.id")).and(col("O2.total").gt(lit(80))));
+        let a = QueryExpr::table("Orders", "O1").select_flat(col("O1.cust").eq(col("C.id")));
+        let b = QueryExpr::table("Orders", "O2").select_flat(
+            col("O2.cust")
+                .eq(col("C.id"))
+                .and(col("O2.total").gt(lit(80))),
+        );
         let q = QueryExpr::table("Customers", "C").select(exists(a).and(not_exists(b)));
         let basic = explain_gmdj(&q, &catalog(), false).unwrap();
         let optimized = explain_gmdj(&q, &catalog(), true).unwrap();
         assert!(basic.matches("GMDJ").count() >= 2);
         assert!(optimized.contains("FilteredGMDJ"));
-        assert!(optimized.matches("blocks").count() < basic.matches("blocks").count()
-            || optimized.contains("(2 blocks)"));
+        assert!(
+            optimized.matches("blocks").count() < basic.matches("blocks").count()
+                || optimized.contains("(2 blocks)")
+        );
     }
 }

@@ -69,7 +69,11 @@ pub fn eval(
     catalog: &dyn TableProvider,
     opts: &UnnestOptions,
 ) -> Result<(Relation, UnnestStats)> {
-    let mut ev = Unnester { catalog, opts: *opts, stats: UnnestStats::default() };
+    let mut ev = Unnester {
+        catalog,
+        opts: *opts,
+        stats: UnnestStats::default(),
+    };
     let rel = ev.eval_query(query)?;
     Ok((rel, ev.stats))
 }
@@ -86,10 +90,18 @@ impl<'a> Unnester<'a> {
             QueryExpr::Table { name, qualifier } => {
                 Ok(self.catalog.table(name)?.renamed(qualifier))
             }
-            QueryExpr::Project { input, columns, distinct } => {
+            QueryExpr::Project {
+                input,
+                columns,
+                distinct,
+            } => {
                 let rel = self.eval_query(input)?;
                 let projected = ops::project_columns(&rel, columns)?;
-                Ok(if *distinct { ops::distinct(&projected) } else { projected })
+                Ok(if *distinct {
+                    ops::distinct(&projected)
+                } else {
+                    projected
+                })
             }
             QueryExpr::AggProject { input, agg } => {
                 let rel = self.eval_query(input)?;
@@ -147,12 +159,10 @@ impl<'a> Unnester<'a> {
         for conjunct in conjuncts {
             current = match conjunct {
                 NestedPredicate::Atom(p) => ops::select(&current, p)?,
-                NestedPredicate::Subquery(s) => {
-                    match self.apply_subquery(&current, s)? {
-                        Some(next) => next,
-                        None => return self.fallback(original),
-                    }
-                }
+                NestedPredicate::Subquery(s) => match self.apply_subquery(&current, s)? {
+                    Some(next) => next,
+                    None => return self.fallback(original),
+                },
                 _ => return self.fallback(original),
             };
         }
@@ -161,11 +171,7 @@ impl<'a> Unnester<'a> {
 
     /// Unnest one subquery conjunct. Returns `None` when the shape is not
     /// covered by the join rewrites.
-    fn apply_subquery(
-        &mut self,
-        rel: &Relation,
-        s: &SubqueryPred,
-    ) -> Result<Option<Relation>> {
+    fn apply_subquery(&mut self, rel: &Relation, s: &SubqueryPred) -> Result<Option<Relation>> {
         let (source_qe, body, output) = peel_block(s.query());
         // The source itself may nest further (tree queries): evaluate it
         // recursively (it must be uncorrelated — correlated sources are a
@@ -218,7 +224,11 @@ impl<'a> Unnester<'a> {
                 let quantified = SubqueryPred::Quantified {
                     left: left.clone(),
                     op: if *negated { CmpOp::Ne } else { CmpOp::Eq },
-                    quantifier: if *negated { Quantifier::All } else { Quantifier::Some },
+                    quantifier: if *negated {
+                        Quantifier::All
+                    } else {
+                        Quantifier::Some
+                    },
                     query: Box::new(s.query().clone()),
                 };
                 self.apply_quantified(rel, &quantified, &filtered_source, &correlation, &output)
@@ -227,14 +237,9 @@ impl<'a> Unnester<'a> {
                 self.apply_quantified(rel, s, &filtered_source, &correlation, &output)
             }
             SubqueryPred::Cmp { left, op, .. } => match &output {
-                SubqueryOutput::Agg(agg) => self.apply_aggregate_cmp(
-                    rel,
-                    left,
-                    *op,
-                    agg,
-                    &filtered_source,
-                    &correlation,
-                ),
+                SubqueryOutput::Agg(agg) => {
+                    self.apply_aggregate_cmp(rel, left, *op, agg, &filtered_source, &correlation)
+                }
                 // Scalar column comparisons have no faithful pure-join
                 // rewrite (cardinality semantics); fall back.
                 _ => Ok(None),
@@ -250,17 +255,23 @@ impl<'a> Unnester<'a> {
         correlation: &Predicate,
         output: &SubqueryOutput,
     ) -> Result<Option<Relation>> {
-        let SubqueryPred::Quantified { left, op, quantifier, .. } = s else {
+        let SubqueryPred::Quantified {
+            left,
+            op,
+            quantifier,
+            ..
+        } = s
+        else {
             return Ok(None);
         };
-        let Some(y) = output_col(output) else { return Ok(None) };
+        let Some(y) = output_col(output) else {
+            return Ok(None);
+        };
         let y_expr = ScalarExpr::Column(y);
         match quantifier {
             Quantifier::Some => {
                 // Semi-join on θ ∧ (x φ y).
-                let cond = correlation
-                    .clone()
-                    .and(left.clone().cmp_with(*op, y_expr));
+                let cond = correlation.clone().and(left.clone().cmp_with(*op, y_expr));
                 none_on_unknown(self.semi_or_anti(rel, source, &cond, false))
             }
             Quantifier::All => {
@@ -343,7 +354,12 @@ impl<'a> Unnester<'a> {
         let mut outer_cols: Vec<ColumnRef> = Vec::new();
         let mut source_cols: Vec<ColumnRef> = Vec::new();
         for c in correlation.split_conjuncts() {
-            let Predicate::Cmp { op: CmpOp::Eq, left: a, right: b } = c else {
+            let Predicate::Cmp {
+                op: CmpOp::Eq,
+                left: a,
+                right: b,
+            } = c
+            else {
                 return Ok(None);
             };
             let (ScalarExpr::Column(ca), ScalarExpr::Column(cb)) = (a, b) else {
@@ -371,13 +387,20 @@ impl<'a> Unnester<'a> {
         let grouped = ops::group_by(
             source,
             &source_cols,
-            &[NamedAgg { func: agg.func, input: agg.input.clone(), output: fy.into() }],
+            &[NamedAgg {
+                func: agg.func,
+                input: agg.input.clone(),
+                output: fy.into(),
+            }],
         )?;
         // Join back on the (now possibly renamed-by-projection) group keys:
         // group_by preserves the source field names.
-        let on = Predicate::conjoin(outer_cols.iter().zip(&source_cols).map(|(o, s)| {
-            ScalarExpr::Column(o.clone()).eq(ScalarExpr::Column(s.clone()))
-        }));
+        let on = Predicate::conjoin(
+            outer_cols
+                .iter()
+                .zip(&source_cols)
+                .map(|(o, s)| ScalarExpr::Column(o.clone()).eq(ScalarExpr::Column(s.clone()))),
+        );
         self.join_counters(rel, &grouped);
         let joined = if self.opts.indexed || matches!(on, Predicate::Literal(_)) {
             ops::left_outer_join(rel, &grouped, &on)?
@@ -404,7 +427,10 @@ impl<'a> Unnester<'a> {
             .schema()
             .fields()
             .iter()
-            .map(|f| ColumnRef { qualifier: (!f.qualifier.is_empty()).then(|| f.qualifier.clone()), name: f.name.clone() })
+            .map(|f| ColumnRef {
+                qualifier: (!f.qualifier.is_empty()).then(|| f.qualifier.clone()),
+                name: f.name.clone(),
+            })
             .collect();
         Ok(Some(ops::project_columns(&selected, &keep)?))
     }
@@ -439,7 +465,10 @@ impl<'a> Unnester<'a> {
         let (rel, _) = reference::eval(
             q,
             self.catalog,
-            &RefOptions { smart: true, indexed: self.opts.indexed },
+            &RefOptions {
+                smart: true,
+                indexed: self.opts.indexed,
+            },
         )?;
         Ok(rel)
     }
@@ -514,13 +543,14 @@ mod tests {
             .row(vec![Value::Null, 10.into()])
             .build()
             .unwrap();
-        MemoryCatalog::new().with("Customers", customers).with("Orders", orders)
+        MemoryCatalog::new()
+            .with("Customers", customers)
+            .with("Orders", orders)
     }
 
     fn agree_with_reference(q: &QueryExpr) {
         let cat = catalog();
-        let (expected, _) =
-            reference::eval(q, &cat, &RefOptions::default()).unwrap();
+        let (expected, _) = reference::eval(q, &cat, &RefOptions::default()).unwrap();
         for indexed in [true, false] {
             let (got, _) = eval(q, &cat, &UnnestOptions { indexed }).unwrap();
             assert!(
@@ -532,8 +562,11 @@ mod tests {
 
     #[test]
     fn exists_via_semi_join() {
-        let sub = QueryExpr::table("Orders", "O")
-            .select_flat(col("O.cust").eq(col("C.id")).and(col("O.total").gt(lit(60))));
+        let sub = QueryExpr::table("Orders", "O").select_flat(
+            col("O.cust")
+                .eq(col("C.id"))
+                .and(col("O.total").gt(lit(60))),
+        );
         let q = QueryExpr::table("Customers", "C").select(exists(sub));
         agree_with_reference(&q);
         let (rel, stats) = eval(&q, &catalog(), &UnnestOptions::default()).unwrap();
@@ -544,8 +577,7 @@ mod tests {
 
     #[test]
     fn not_exists_via_anti_join() {
-        let sub = QueryExpr::table("Orders", "O")
-            .select_flat(col("O.cust").eq(col("C.id")));
+        let sub = QueryExpr::table("Orders", "O").select_flat(col("O.cust").eq(col("C.id")));
         let q = QueryExpr::table("Customers", "C").select(not_exists(sub));
         agree_with_reference(&q);
     }
@@ -553,8 +585,7 @@ mod tests {
     #[test]
     fn all_with_nulls_via_violation_anti_join() {
         // C.id ≠all (cust values incl. NULL) — NULL poisons everything.
-        let sub = QueryExpr::table("Orders", "O")
-            .project(vec![ColumnRef::parse("O.cust")]);
+        let sub = QueryExpr::table("Orders", "O").project(vec![ColumnRef::parse("O.cust")]);
         let pred = NestedPredicate::Subquery(SubqueryPred::Quantified {
             left: col("C.id"),
             op: CmpOp::Ne,
@@ -610,10 +641,13 @@ mod tests {
 
     #[test]
     fn multiple_subqueries_chain() {
-        let has_order = QueryExpr::table("Orders", "O1")
-            .select_flat(col("O1.cust").eq(col("C.id")));
-        let no_big_order = QueryExpr::table("Orders", "O2")
-            .select_flat(col("O2.cust").eq(col("C.id")).and(col("O2.total").gt(lit(80))));
+        let has_order =
+            QueryExpr::table("Orders", "O1").select_flat(col("O1.cust").eq(col("C.id")));
+        let no_big_order = QueryExpr::table("Orders", "O2").select_flat(
+            col("O2.cust")
+                .eq(col("C.id"))
+                .and(col("O2.total").gt(lit(80))),
+        );
         let q = QueryExpr::table("Customers", "C")
             .select(exists(has_order).and(not_exists(no_big_order)));
         agree_with_reference(&q);
@@ -625,10 +659,8 @@ mod tests {
 
     #[test]
     fn disjunction_over_subqueries_falls_back() {
-        let a = QueryExpr::table("Orders", "O1")
-            .select_flat(col("O1.cust").eq(col("C.id")));
-        let b = QueryExpr::table("Orders", "O2")
-            .select_flat(col("O2.total").gt(col("C.score")));
+        let a = QueryExpr::table("Orders", "O1").select_flat(col("O1.cust").eq(col("C.id")));
+        let b = QueryExpr::table("Orders", "O2").select_flat(col("O2.total").gt(col("C.score")));
         let q = QueryExpr::table("Customers", "C").select(exists(a).or(exists(b)));
         agree_with_reference(&q);
         let (_, stats) = eval(&q, &catalog(), &UnnestOptions::default()).unwrap();
@@ -639,11 +671,12 @@ mod tests {
     fn tree_nested_subquery_unnests_into_source() {
         // EXISTS order whose customer has another order over 60.
         let inner = QueryExpr::table("Orders", "O2").select_flat(
-            col("O2.cust").eq(col("O.cust")).and(col("O2.total").gt(lit(60))),
+            col("O2.cust")
+                .eq(col("O.cust"))
+                .and(col("O2.total").gt(lit(60))),
         );
-        let mid = QueryExpr::table("Orders", "O").select(
-            NestedPredicate::Atom(col("O.cust").eq(col("C.id"))).and(exists(inner)),
-        );
+        let mid = QueryExpr::table("Orders", "O")
+            .select(NestedPredicate::Atom(col("O.cust").eq(col("C.id"))).and(exists(inner)));
         let q = QueryExpr::table("Customers", "C").select(exists(mid));
         agree_with_reference(&q);
     }

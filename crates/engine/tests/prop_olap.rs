@@ -23,12 +23,13 @@ fn value() -> impl Strategy<Value = Value> {
 }
 
 fn relation(qualifier: &'static str, max_rows: usize) -> impl Strategy<Value = Relation> {
-    let schema =
-        Schema::qualified(qualifier, &[("k", DataType::Int), ("v", DataType::Int)]);
+    let schema = Schema::qualified(qualifier, &[("k", DataType::Int), ("v", DataType::Int)]);
     proptest::collection::vec((value(), value()), 1..max_rows).prop_map(move |rows| {
         Relation::from_parts(
             schema.clone(),
-            rows.into_iter().map(|(k, v)| vec![k, v].into_boxed_slice()).collect(),
+            rows.into_iter()
+                .map(|(k, v)| vec![k, v].into_boxed_slice())
+                .collect(),
         )
     })
 }

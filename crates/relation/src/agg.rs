@@ -71,12 +71,20 @@ pub struct NamedAgg {
 impl NamedAgg {
     /// `count(*) → output`.
     pub fn count_star(output: impl Into<String>) -> Self {
-        NamedAgg { func: AggFunc::CountStar, input: None, output: output.into() }
+        NamedAgg {
+            func: AggFunc::CountStar,
+            input: None,
+            output: output.into(),
+        }
     }
 
     /// `func(input) → output`.
     pub fn new(func: AggFunc, input: ScalarExpr, output: impl Into<String>) -> Self {
-        NamedAgg { func, input: Some(input), output: output.into() }
+        NamedAgg {
+            func,
+            input: Some(input),
+            output: output.into(),
+        }
     }
 
     /// `sum(input) → output`.
@@ -145,13 +153,31 @@ impl BoundAgg {
 /// Incremental aggregate state.
 #[derive(Debug, Clone)]
 pub enum Accumulator {
-    CountStar { n: i64 },
-    Count { n: i64 },
-    CountDistinct { seen: crate::fxhash::FxHashSet<Value> },
-    Sum { sum_i: i64, sum_f: f64, any_float: bool, seen: bool },
-    Min { current: Option<Value> },
-    Max { current: Option<Value> },
-    Avg { sum: f64, n: i64 },
+    CountStar {
+        n: i64,
+    },
+    Count {
+        n: i64,
+    },
+    CountDistinct {
+        seen: crate::fxhash::FxHashSet<Value>,
+    },
+    Sum {
+        sum_i: i64,
+        sum_f: f64,
+        any_float: bool,
+        seen: bool,
+    },
+    Min {
+        current: Option<Value>,
+    },
+    Max {
+        current: Option<Value>,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
 }
 
 impl Accumulator {
@@ -160,10 +186,15 @@ impl Accumulator {
         match func {
             AggFunc::CountStar => Accumulator::CountStar { n: 0 },
             AggFunc::Count => Accumulator::Count { n: 0 },
-            AggFunc::CountDistinct => {
-                Accumulator::CountDistinct { seen: crate::fxhash::FxHashSet::default() }
-            }
-            AggFunc::Sum => Accumulator::Sum { sum_i: 0, sum_f: 0.0, any_float: false, seen: false },
+            AggFunc::CountDistinct => Accumulator::CountDistinct {
+                seen: crate::fxhash::FxHashSet::default(),
+            },
+            AggFunc::Sum => Accumulator::Sum {
+                sum_i: 0,
+                sum_f: 0.0,
+                any_float: false,
+                seen: false,
+            },
             AggFunc::Min => Accumulator::Min { current: None },
             AggFunc::Max => Accumulator::Max { current: None },
             AggFunc::Avg => Accumulator::Avg { sum: 0.0, n: 0 },
@@ -186,7 +217,12 @@ impl Accumulator {
                     seen.insert(v.clone());
                 }
             }
-            Accumulator::Sum { sum_i, sum_f, any_float, seen } => match v {
+            Accumulator::Sum {
+                sum_i,
+                sum_f,
+                any_float,
+                seen,
+            } => match v {
                 Value::Int(i) => {
                     *sum_i = sum_i.wrapping_add(*i);
                     *seen = true;
@@ -243,13 +279,22 @@ impl Accumulator {
         match (self, other) {
             (Accumulator::CountStar { n }, Accumulator::CountStar { n: m }) => *n += m,
             (Accumulator::Count { n }, Accumulator::Count { n: m }) => *n += m,
+            (Accumulator::CountDistinct { seen }, Accumulator::CountDistinct { seen: other }) => {
+                seen.extend(other.iter().cloned())
+            }
             (
-                Accumulator::CountDistinct { seen },
-                Accumulator::CountDistinct { seen: other },
-            ) => seen.extend(other.iter().cloned()),
-            (
-                Accumulator::Sum { sum_i, sum_f, any_float, seen },
-                Accumulator::Sum { sum_i: si, sum_f: sf, any_float: af, seen: sn },
+                Accumulator::Sum {
+                    sum_i,
+                    sum_f,
+                    any_float,
+                    seen,
+                },
+                Accumulator::Sum {
+                    sum_i: si,
+                    sum_f: sf,
+                    any_float: af,
+                    seen: sn,
+                },
             ) => {
                 *sum_i = sum_i.wrapping_add(*si);
                 *sum_f += sf;
@@ -291,7 +336,12 @@ impl Accumulator {
         match self {
             Accumulator::CountStar { n } | Accumulator::Count { n } => Value::Int(*n),
             Accumulator::CountDistinct { seen } => Value::Int(seen.len() as i64),
-            Accumulator::Sum { sum_i, sum_f, any_float, seen } => {
+            Accumulator::Sum {
+                sum_i,
+                sum_f,
+                any_float,
+                seen,
+            } => {
                 if !*seen {
                     Value::Null
                 } else if *any_float {
@@ -330,7 +380,10 @@ mod tests {
     fn count_star_counts_everything_via_marker() {
         // The caller feeds a marker per tuple; NULL inputs never reach
         // CountStar in practice, but the state machine itself counts all.
-        assert_eq!(run(AggFunc::CountStar, &[Value::Int(1), Value::Int(1)]), Value::Int(2));
+        assert_eq!(
+            run(AggFunc::CountStar, &[Value::Int(1), Value::Int(1)]),
+            Value::Int(2)
+        );
     }
 
     #[test]
@@ -338,7 +391,13 @@ mod tests {
         assert_eq!(
             run(
                 AggFunc::CountDistinct,
-                &[Value::Int(1), Value::Int(1), Value::Null, Value::Int(2), Value::Float(1.0)]
+                &[
+                    Value::Int(1),
+                    Value::Int(1),
+                    Value::Null,
+                    Value::Int(2),
+                    Value::Float(1.0)
+                ]
             ),
             Value::Int(2),
             "1 ≡ 1.0 under grouping equality; NULL excluded"
@@ -366,7 +425,10 @@ mod tests {
 
     #[test]
     fn sum_stays_integral_until_float_appears() {
-        assert_eq!(run(AggFunc::Sum, &[Value::Int(2), Value::Int(3)]), Value::Int(5));
+        assert_eq!(
+            run(AggFunc::Sum, &[Value::Int(2), Value::Int(3)]),
+            Value::Int(5)
+        );
         assert_eq!(
             run(AggFunc::Sum, &[Value::Int(2), Value::Float(0.5)]),
             Value::Float(2.5)
@@ -387,7 +449,10 @@ mod tests {
 
     #[test]
     fn avg_is_float() {
-        assert_eq!(run(AggFunc::Avg, &[Value::Int(1), Value::Int(2)]), Value::Float(1.5));
+        assert_eq!(
+            run(AggFunc::Avg, &[Value::Int(1), Value::Int(2)]),
+            Value::Float(1.5)
+        );
     }
 
     #[test]

@@ -54,7 +54,10 @@ pub fn read_csv(input: &mut dyn BufRead, schema: std::sync::Arc<Schema>) -> Resu
         return Ok(Relation::empty(schema));
     };
     if header.len() != schema.len() {
-        return Err(Error::ArityMismatch { expected: schema.len(), actual: header.len() });
+        return Err(Error::ArityMismatch {
+            expected: schema.len(),
+            actual: header.len(),
+        });
     }
     for (cell, field) in header.iter().zip(schema.fields()) {
         let name = cell.as_deref().unwrap_or("");
@@ -68,7 +71,10 @@ pub fn read_csv(input: &mut dyn BufRead, schema: std::sync::Arc<Schema>) -> Resu
     let mut rows: Vec<Tuple> = Vec::new();
     while let Some(record) = lines.next_record()? {
         if record.len() != schema.len() {
-            return Err(Error::ArityMismatch { expected: schema.len(), actual: record.len() });
+            return Err(Error::ArityMismatch {
+                expected: schema.len(),
+                actual: record.len(),
+            });
         }
         let row: Vec<Value> = record
             .into_iter()
@@ -91,7 +97,10 @@ pub fn read_csv_infer(input: &mut dyn BufRead, default_qualifier: &str) -> Resul
     let mut raw_rows: Vec<Vec<Option<String>>> = Vec::new();
     while let Some(r) = records.next_record()? {
         if r.len() != header.len() {
-            return Err(Error::ArityMismatch { expected: header.len(), actual: r.len() });
+            return Err(Error::ArityMismatch {
+                expected: header.len(),
+                actual: r.len(),
+            });
         }
         raw_rows.push(r);
     }
@@ -109,9 +118,7 @@ pub fn read_csv_infer(input: &mut dyn BufRead, default_qualifier: &str) -> Resul
             if ty == DataType::Int && (!looks_numeric(cell) || cell.parse::<i64>().is_err()) {
                 ty = DataType::Float;
             }
-            if ty == DataType::Float
-                && (!looks_numeric(cell) || cell.parse::<f64>().is_err())
-            {
+            if ty == DataType::Float && (!looks_numeric(cell) || cell.parse::<f64>().is_err()) {
                 ty = DataType::Str;
                 break;
             }
@@ -144,7 +151,9 @@ pub fn read_csv_infer(input: &mut dyn BufRead, default_qualifier: &str) -> Resul
 }
 
 fn parse_cell(cell: Option<String>, field: &Field) -> Result<Value> {
-    let Some(text) = cell else { return Ok(Value::Null) };
+    let Some(text) = cell else {
+        return Ok(Value::Null);
+    };
     match field.data_type {
         DataType::Int => text
             .parse::<i64>()
@@ -180,7 +189,10 @@ struct CsvRecords<'a> {
 
 impl<'a> CsvRecords<'a> {
     fn new(input: &'a mut dyn BufRead) -> Self {
-        CsvRecords { input, buf: String::new() }
+        CsvRecords {
+            input,
+            buf: String::new(),
+        }
     }
 
     fn next_record(&mut self) -> Result<Option<Vec<Option<String>>>> {
@@ -241,13 +253,19 @@ fn parse_record(line: &str) -> Result<Vec<Option<String>>> {
                 i += 1;
             }
             let text = &line[start..i];
-            cells.push(if text.is_empty() { None } else { Some(text.to_string()) });
+            cells.push(if text.is_empty() {
+                None
+            } else {
+                Some(text.to_string())
+            });
         }
         if i >= bytes.len() {
             break;
         }
         if bytes[i] != b',' {
-            return Err(Error::invalid(format!("expected `,` at byte {i} of `{line}`")));
+            return Err(Error::invalid(format!(
+                "expected `,` at byte {i} of `{line}`"
+            )));
         }
         i += 1;
         if i == bytes.len() {

@@ -17,11 +17,18 @@ pub enum Error {
         in_scope: Vec<String>,
     },
     /// An unqualified attribute reference resolved to more than one column.
-    AmbiguousColumn { name: String, candidates: Vec<String> },
+    AmbiguousColumn {
+        name: String,
+        candidates: Vec<String>,
+    },
     /// Two schemas produced a duplicate qualified attribute name.
     DuplicateColumn { name: String },
     /// A scalar operation was applied to incompatible run-time types.
-    TypeMismatch { context: String, left: String, right: String },
+    TypeMismatch {
+        context: String,
+        left: String,
+        right: String,
+    },
     /// A scalar subquery (or scalar-producing operator) returned more than
     /// one row where exactly one was required.
     CardinalityViolation { context: String, rows: usize },
@@ -37,20 +44,38 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::UnknownColumn { name, in_scope } => {
-                write!(f, "unknown column `{name}`; in scope: {}", in_scope.join(", "))
+                write!(
+                    f,
+                    "unknown column `{name}`; in scope: {}",
+                    in_scope.join(", ")
+                )
             }
             Error::AmbiguousColumn { name, candidates } => {
-                write!(f, "ambiguous column `{name}`; candidates: {}", candidates.join(", "))
+                write!(
+                    f,
+                    "ambiguous column `{name}`; candidates: {}",
+                    candidates.join(", ")
+                )
             }
             Error::DuplicateColumn { name } => write!(f, "duplicate column name `{name}`"),
-            Error::TypeMismatch { context, left, right } => {
+            Error::TypeMismatch {
+                context,
+                left,
+                right,
+            } => {
                 write!(f, "type mismatch in {context}: {left} vs {right}")
             }
             Error::CardinalityViolation { context, rows } => {
-                write!(f, "scalar expression in {context} produced {rows} rows (expected at most 1)")
+                write!(
+                    f,
+                    "scalar expression in {context} produced {rows} rows (expected at most 1)"
+                )
             }
             Error::ArityMismatch { expected, actual } => {
-                write!(f, "tuple arity {actual} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {actual} does not match schema arity {expected}"
+                )
             }
             Error::UnknownTable { name } => write!(f, "unknown table `{name}`"),
             Error::Invalid(msg) => write!(f, "{msg}"),

@@ -120,9 +120,16 @@ pub enum ScalarExpr {
     /// Constant.
     Literal(Value),
     /// Arithmetic.
-    Binary { op: ArithOp, left: Box<ScalarExpr>, right: Box<ScalarExpr> },
+    Binary {
+        op: ArithOp,
+        left: Box<ScalarExpr>,
+        right: Box<ScalarExpr>,
+    },
     /// `CASE WHEN p THEN e ... ELSE e END` (ELSE defaults to NULL).
-    Case { branches: Vec<(Predicate, ScalarExpr)>, otherwise: Option<Box<ScalarExpr>> },
+    Case {
+        branches: Vec<(Predicate, ScalarExpr)>,
+        otherwise: Option<Box<ScalarExpr>>,
+    },
 }
 
 /// Shorthand: column reference from `"Q.name"` / `"name"` syntax.
@@ -138,7 +145,11 @@ pub fn lit(v: impl Into<Value>) -> ScalarExpr {
 impl ScalarExpr {
     /// Comparison builder: `x.cmp_with(CmpOp::Lt, y)`.
     pub fn cmp_with(self, op: CmpOp, other: ScalarExpr) -> Predicate {
-        Predicate::Cmp { op, left: self, right: other }
+        Predicate::Cmp {
+            op,
+            left: self,
+            right: other,
+        }
     }
 
     pub fn eq(self, other: ScalarExpr) -> Predicate {
@@ -165,19 +176,35 @@ impl ScalarExpr {
     /// the operands are owned AST nodes, not numbers.)
     #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: ScalarExpr) -> ScalarExpr {
-        ScalarExpr::Binary { op: ArithOp::Add, left: Box::new(self), right: Box::new(other) }
+        ScalarExpr::Binary {
+            op: ArithOp::Add,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
     #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: ScalarExpr) -> ScalarExpr {
-        ScalarExpr::Binary { op: ArithOp::Sub, left: Box::new(self), right: Box::new(other) }
+        ScalarExpr::Binary {
+            op: ArithOp::Sub,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
     #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: ScalarExpr) -> ScalarExpr {
-        ScalarExpr::Binary { op: ArithOp::Mul, left: Box::new(self), right: Box::new(other) }
+        ScalarExpr::Binary {
+            op: ArithOp::Mul,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
     #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: ScalarExpr) -> ScalarExpr {
-        ScalarExpr::Binary { op: ArithOp::Div, left: Box::new(self), right: Box::new(other) }
+        ScalarExpr::Binary {
+            op: ArithOp::Div,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// Collect every attribute reference in the expression.
@@ -189,7 +216,10 @@ impl ScalarExpr {
                 left.collect_columns(out);
                 right.collect_columns(out);
             }
-            ScalarExpr::Case { branches, otherwise } => {
+            ScalarExpr::Case {
+                branches,
+                otherwise,
+            } => {
                 for (p, e) in branches {
                     p.collect_columns(out);
                     e.collect_columns(out);
@@ -213,7 +243,10 @@ impl ScalarExpr {
                 left: Box::new(left.map_columns(f)),
                 right: Box::new(right.map_columns(f)),
             },
-            ScalarExpr::Case { branches, otherwise } => ScalarExpr::Case {
+            ScalarExpr::Case {
+                branches,
+                otherwise,
+            } => ScalarExpr::Case {
                 branches: branches
                     .iter()
                     .map(|(p, e)| (p.map_columns(f), e.map_columns(f)))
@@ -237,7 +270,10 @@ impl ScalarExpr {
                 left: Box::new(left.bind(scopes)?),
                 right: Box::new(right.bind(scopes)?),
             }),
-            ScalarExpr::Case { branches, otherwise } => Ok(BoundScalar::Case {
+            ScalarExpr::Case {
+                branches,
+                otherwise,
+            } => Ok(BoundScalar::Case {
                 branches: branches
                     .iter()
                     .map(|(p, e)| Ok((p.bind(scopes)?, e.bind(scopes)?)))
@@ -260,7 +296,10 @@ impl fmt::Display for ScalarExpr {
                 other => write!(f, "{other}"),
             },
             ScalarExpr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
-            ScalarExpr::Case { branches, otherwise } => {
+            ScalarExpr::Case {
+                branches,
+                otherwise,
+            } => {
                 write!(f, "CASE")?;
                 for (p, e) in branches {
                     write!(f, " WHEN {p} THEN {e}")?;
@@ -281,7 +320,11 @@ pub enum Predicate {
     /// condition in Algorithm SubqueryToGMDJ.
     Literal(Truth),
     /// `left φ right`.
-    Cmp { op: CmpOp, left: ScalarExpr, right: ScalarExpr },
+    Cmp {
+        op: CmpOp,
+        left: ScalarExpr,
+        right: ScalarExpr,
+    },
     /// `IS NULL` (two-valued: never unknown).
     IsNull(ScalarExpr),
     /// `IS NOT NULL`.
@@ -459,10 +502,20 @@ fn resolve_in_scopes(c: &ColumnRef, scopes: &[&Schema]) -> Result<(usize, usize)
 /// `(scope, column)` positions.
 #[derive(Debug, Clone)]
 pub enum BoundScalar {
-    Column { scope: usize, index: usize },
+    Column {
+        scope: usize,
+        index: usize,
+    },
     Literal(Value),
-    Binary { op: ArithOp, left: Box<BoundScalar>, right: Box<BoundScalar> },
-    Case { branches: Vec<(BoundPredicate, BoundScalar)>, otherwise: Option<Box<BoundScalar>> },
+    Binary {
+        op: ArithOp,
+        left: Box<BoundScalar>,
+        right: Box<BoundScalar>,
+    },
+    Case {
+        branches: Vec<(BoundPredicate, BoundScalar)>,
+        otherwise: Option<Box<BoundScalar>>,
+    },
 }
 
 impl BoundScalar {
@@ -476,7 +529,10 @@ impl BoundScalar {
                 let r = right.eval(rows)?;
                 arith(*op, &l, &r)
             }
-            BoundScalar::Case { branches, otherwise } => {
+            BoundScalar::Case {
+                branches,
+                otherwise,
+            } => {
                 for (p, e) in branches {
                     if p.eval(rows)?.passes() {
                         return e.eval(rows);
@@ -537,7 +593,11 @@ fn arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
 #[derive(Debug, Clone)]
 pub enum BoundPredicate {
     Literal(Truth),
-    Cmp { op: CmpOp, left: BoundScalar, right: BoundScalar },
+    Cmp {
+        op: CmpOp,
+        left: BoundScalar,
+        right: BoundScalar,
+    },
     IsNull(BoundScalar),
     IsNotNull(BoundScalar),
     And(Box<BoundPredicate>, Box<BoundPredicate>),
@@ -590,16 +650,28 @@ mod tests {
     fn comparison_over_null_is_unknown() {
         let s = schema();
         let p = col("T.a").eq(lit(1));
-        assert_eq!(p.eval_row(&s, &[Value::Null, Value::Int(0)]).unwrap(), Truth::Unknown);
-        assert_eq!(p.eval_row(&s, &[Value::Int(1), Value::Int(0)]).unwrap(), Truth::True);
+        assert_eq!(
+            p.eval_row(&s, &[Value::Null, Value::Int(0)]).unwrap(),
+            Truth::Unknown
+        );
+        assert_eq!(
+            p.eval_row(&s, &[Value::Int(1), Value::Int(0)]).unwrap(),
+            Truth::True
+        );
     }
 
     #[test]
     fn is_null_is_two_valued() {
         let s = schema();
         let p = Predicate::IsNull(col("a"));
-        assert_eq!(p.eval_row(&s, &[Value::Null, Value::Int(0)]).unwrap(), Truth::True);
-        assert_eq!(p.eval_row(&s, &[Value::Int(5), Value::Int(0)]).unwrap(), Truth::False);
+        assert_eq!(
+            p.eval_row(&s, &[Value::Null, Value::Int(0)]).unwrap(),
+            Truth::True
+        );
+        assert_eq!(
+            p.eval_row(&s, &[Value::Int(5), Value::Int(0)]).unwrap(),
+            Truth::False
+        );
     }
 
     #[test]
@@ -608,7 +680,10 @@ mod tests {
         let e = col("a").div(col("b"));
         let b = e.bind(&[&s]).unwrap();
         assert!(b.eval(&[&[Value::Int(6), Value::Int(3)]]).unwrap() == Value::Float(2.0));
-        assert!(b.eval(&[&[Value::Int(6), Value::Int(0)]]).unwrap().is_null());
+        assert!(b
+            .eval(&[&[Value::Int(6), Value::Int(0)]])
+            .unwrap()
+            .is_null());
         assert!(b.eval(&[&[Value::Null, Value::Int(3)]]).unwrap().is_null());
     }
 
@@ -642,7 +717,9 @@ mod tests {
 
     #[test]
     fn conjunct_splitting_flattens() {
-        let p = col("a").eq(lit(1)).and(col("b").gt(lit(2)).and(col("a").ne(col("b"))));
+        let p = col("a")
+            .eq(lit(1))
+            .and(col("b").gt(lit(2)).and(col("a").ne(col("b"))));
         assert_eq!(p.split_conjuncts().len(), 3);
         assert_eq!(Predicate::true_().split_conjuncts().len(), 0);
     }
@@ -663,8 +740,14 @@ mod tests {
             otherwise: None,
         };
         let b = e.bind(&[&s]).unwrap();
-        assert_eq!(b.eval(&[&[Value::Int(5), Value::Int(0)]]).unwrap(), Value::Int(1));
-        assert!(b.eval(&[&[Value::Int(-5), Value::Int(0)]]).unwrap().is_null());
+        assert_eq!(
+            b.eval(&[&[Value::Int(5), Value::Int(0)]]).unwrap(),
+            Value::Int(1)
+        );
+        assert!(b
+            .eval(&[&[Value::Int(-5), Value::Int(0)]])
+            .unwrap()
+            .is_null());
         // Unknown predicate does not take the branch.
         assert!(b.eval(&[&[Value::Null, Value::Int(0)]]).unwrap().is_null());
     }
@@ -675,7 +758,10 @@ mod tests {
         // a = "x" would be a type error on ints, but the left conjunct is
         // false so evaluation never reaches it.
         let p = Predicate::false_().and(col("a").eq(lit("x")));
-        assert_eq!(p.eval_row(&s, &[Value::Int(1), Value::Int(2)]).unwrap(), Truth::False);
+        assert_eq!(
+            p.eval_row(&s, &[Value::Int(1), Value::Int(2)]).unwrap(),
+            Truth::False
+        );
     }
 
     #[test]

@@ -101,10 +101,7 @@ pub struct IntervalIndex {
 impl IntervalIndex {
     /// Build from `(lo, hi)` pairs per row; rows with NULL bounds are
     /// excluded (their band condition is unknown for every t).
-    pub fn build(
-        bounds: impl Iterator<Item = (Value, Value)>,
-        hi_inclusive: bool,
-    ) -> Self {
+    pub fn build(bounds: impl Iterator<Item = (Value, Value)>, hi_inclusive: bool) -> Self {
         let mut entries: Vec<(f64, f64, u32)> = Vec::new();
         for (i, (lo, hi)) in bounds.enumerate() {
             if let (Some(lo), Some(hi)) = (lo.as_f64(), hi.as_f64()) {
@@ -118,7 +115,11 @@ impl IntervalIndex {
             running = running.max(e.1);
             prefix_max_hi.push(running);
         }
-        IntervalIndex { entries, prefix_max_hi, hi_inclusive }
+        IntervalIndex {
+            entries,
+            prefix_max_hi,
+            hi_inclusive,
+        }
     }
 
     /// Rows whose interval contains `t`.
@@ -227,7 +228,11 @@ mod tests {
     #[test]
     fn interval_index_skips_null_bounds() {
         let idx = IntervalIndex::build(
-            vec![(Value::Null, Value::Int(10)), (Value::Int(0), Value::Int(10))].into_iter(),
+            vec![
+                (Value::Null, Value::Int(10)),
+                (Value::Int(0), Value::Int(10)),
+            ]
+            .into_iter(),
             false,
         );
         assert_eq!(idx.len(), 1);

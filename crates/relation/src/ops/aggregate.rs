@@ -17,9 +17,14 @@ use crate::schema::{ColumnRef, Schema};
 /// empty input (global aggregation).
 pub fn group_by(rel: &Relation, keys: &[ColumnRef], aggs: &[NamedAgg]) -> Result<Relation> {
     let schema = rel.schema();
-    let key_cols: Vec<usize> =
-        keys.iter().map(|k| k.resolve_in(schema)).collect::<Result<Vec<_>>>()?;
-    let bound: Vec<_> = aggs.iter().map(|a| a.bind(&[schema])).collect::<Result<Vec<_>>>()?;
+    let key_cols: Vec<usize> = keys
+        .iter()
+        .map(|k| k.resolve_in(schema))
+        .collect::<Result<Vec<_>>>()?;
+    let bound: Vec<_> = aggs
+        .iter()
+        .map(|a| a.bind(&[schema]))
+        .collect::<Result<Vec<_>>>()?;
 
     let mut out_fields = Vec::with_capacity(keys.len() + aggs.len());
     for &c in &key_cols {
@@ -34,7 +39,10 @@ pub fn group_by(rel: &Relation, keys: &[ColumnRef], aggs: &[NamedAgg]) -> Result
 
     if keys.is_empty() {
         // Global aggregation always yields one group.
-        groups.push((Box::new([]), bound.iter().map(|b| b.accumulator()).collect()));
+        groups.push((
+            Box::new([]),
+            bound.iter().map(|b| b.accumulator()).collect(),
+        ));
     }
 
     for row in rel.rows() {
@@ -120,7 +128,10 @@ mod tests {
         let r = group_by(
             &empty,
             &[],
-            &[NamedAgg::count_star("cnt"), NamedAgg::new(AggFunc::Max, col("bytes"), "m")],
+            &[
+                NamedAgg::count_star("cnt"),
+                NamedAgg::new(AggFunc::Max, col("bytes"), "m"),
+            ],
         )
         .unwrap();
         assert_eq!(r.len(), 1);
@@ -135,8 +146,12 @@ mod tests {
             .column("bytes", DataType::Int)
             .build()
             .unwrap();
-        let r = group_by(&empty, &[ColumnRef::parse("proto")], &[NamedAgg::count_star("cnt")])
-            .unwrap();
+        let r = group_by(
+            &empty,
+            &[ColumnRef::parse("proto")],
+            &[NamedAgg::count_star("cnt")],
+        )
+        .unwrap();
         assert!(r.is_empty());
     }
 
@@ -151,7 +166,10 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(r.rows()[0][0], Value::Float((12 + 36 + 48 + 5 + 6) as f64 / 5.0));
+        assert_eq!(
+            r.rows()[0][0],
+            Value::Float((12 + 36 + 48 + 5 + 6) as f64 / 5.0)
+        );
         assert_eq!(r.rows()[0][1], Value::Int(5));
     }
 }

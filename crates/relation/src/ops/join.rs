@@ -48,7 +48,12 @@ pub fn analyze_join(pred: &Predicate, left: &Schema, right: &Schema) -> Result<J
     let mut right_keys = Vec::new();
     let mut residual_parts: Vec<Predicate> = Vec::new();
     for conjunct in pred.split_conjuncts() {
-        if let Predicate::Cmp { op: CmpOp::Eq, left: l, right: r } = conjunct {
+        if let Predicate::Cmp {
+            op: CmpOp::Eq,
+            left: l,
+            right: r,
+        } = conjunct
+        {
             if let (ScalarExpr::Column(lc), ScalarExpr::Column(rc)) = (l, r) {
                 let l_in_left = lc.resolve_in(left).is_ok();
                 let l_in_right = lc.resolve_in(right).is_ok();
@@ -73,7 +78,11 @@ pub fn analyze_join(pred: &Predicate, left: &Schema, right: &Schema) -> Result<J
     } else {
         Some(Predicate::conjoin(residual_parts).bind(&[left, right])?)
     };
-    Ok(JoinAnalysis { left_keys, right_keys, residual })
+    Ok(JoinAnalysis {
+        left_keys,
+        right_keys,
+        residual,
+    })
 }
 
 fn concat_schemas(left: &Relation, right: &Relation) -> Result<Arc<Schema>> {
@@ -124,11 +133,7 @@ pub fn nested_loop_join(left: &Relation, right: &Relation, pred: &Predicate) -> 
     Ok(Relation::from_parts(schema, rows))
 }
 
-fn hash_join_inner(
-    left: &Relation,
-    right: &Relation,
-    analysis: &JoinAnalysis,
-) -> Result<Relation> {
+fn hash_join_inner(left: &Relation, right: &Relation, analysis: &JoinAnalysis) -> Result<Relation> {
     let schema = concat_schemas(left, right)?;
     // Build on the right (conventional: probe with the outer/left input).
     let index = HashIndex::build(right, &analysis.right_keys);

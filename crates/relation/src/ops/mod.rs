@@ -19,6 +19,32 @@ use crate::relation::{Relation, Tuple};
 use crate::schema::{ColumnRef, DataType, Field, Schema};
 use crate::value::Value;
 
+/// Row-flow counters for the plain relational operators. The operators
+/// themselves stay pure functions; executors record one `OpStats` per
+/// plan node (via [`OpStats::record`]) so operator work sits next to the
+/// GMDJ evaluator's counters in a per-node statistics tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Input tuples consumed by the operator.
+    pub rows_in: u64,
+    /// Output tuples produced.
+    pub rows_out: u64,
+}
+
+impl OpStats {
+    /// Record one operator application.
+    pub fn record(&mut self, rows_in: usize, rows_out: usize) {
+        self.rows_in += rows_in as u64;
+        self.rows_out += rows_out as u64;
+    }
+
+    /// Fold another counter block into this one.
+    pub fn merge(&mut self, other: &OpStats) {
+        self.rows_in += other.rows_in;
+        self.rows_out += other.rows_out;
+    }
+}
+
 /// σ\[pred\](rel) — keep tuples whose predicate is *true* (where-clause
 /// truncation: both false and unknown discard).
 pub fn select(rel: &Relation, pred: &Predicate) -> Result<Relation> {
@@ -58,8 +84,13 @@ pub fn project(rel: &Relation, items: &[(ScalarExpr, Option<String>)]) -> Result
     }
     // Reject duplicate output names early.
     for (i, f) in fields.iter().enumerate() {
-        if fields[..i].iter().any(|g| g.qualifier == f.qualifier && g.name == f.name) {
-            return Err(Error::DuplicateColumn { name: f.qualified_name() });
+        if fields[..i]
+            .iter()
+            .any(|g| g.qualifier == f.qualifier && g.name == f.name)
+        {
+            return Err(Error::DuplicateColumn {
+                name: f.qualified_name(),
+            });
         }
     }
     let out_schema = Schema::new(fields);
@@ -80,8 +111,10 @@ pub fn project(rel: &Relation, items: &[(ScalarExpr, Option<String>)]) -> Result
 
 /// Projection onto named columns, preserving their fields.
 pub fn project_columns(rel: &Relation, cols: &[ColumnRef]) -> Result<Relation> {
-    let items: Vec<(ScalarExpr, Option<String>)> =
-        cols.iter().map(|c| (ScalarExpr::Column(c.clone()), None)).collect();
+    let items: Vec<(ScalarExpr, Option<String>)> = cols
+        .iter()
+        .map(|c| (ScalarExpr::Column(c.clone()), None))
+        .collect();
     project(rel, &items)
 }
 
@@ -100,7 +133,10 @@ pub fn distinct(rel: &Relation) -> Relation {
 /// Multiset union (UNION ALL). Schemas must have equal arity.
 pub fn union_all(a: &Relation, b: &Relation) -> Result<Relation> {
     if a.schema().len() != b.schema().len() {
-        return Err(Error::ArityMismatch { expected: a.schema().len(), actual: b.schema().len() });
+        return Err(Error::ArityMismatch {
+            expected: a.schema().len(),
+            actual: b.schema().len(),
+        });
     }
     let mut rows = a.rows().to_vec();
     rows.extend_from_slice(b.rows());
@@ -112,7 +148,10 @@ pub fn union_all(a: &Relation, b: &Relation) -> Result<Relation> {
 /// baseline for set-difference rewrites.
 pub fn difference(a: &Relation, b: &Relation) -> Result<Relation> {
     if a.schema().len() != b.schema().len() {
-        return Err(Error::ArityMismatch { expected: a.schema().len(), actual: b.schema().len() });
+        return Err(Error::ArityMismatch {
+            expected: a.schema().len(),
+            actual: b.schema().len(),
+        });
     }
     let mut counts: FxHashMap<Tuple, usize> = FxHashMap::default();
     for row in b.rows() {
@@ -284,7 +323,10 @@ mod tests {
     fn sort_by_orders_with_nulls_first_and_is_stable() {
         let r = sort_by(
             &t(),
-            &[(ColumnRef::parse("T.a"), true), (ColumnRef::parse("T.b"), false)],
+            &[
+                (ColumnRef::parse("T.a"), true),
+                (ColumnRef::parse("T.b"), false),
+            ],
         )
         .unwrap();
         let firsts: Vec<_> = r.rows().iter().map(|row| row[0].clone()).collect();

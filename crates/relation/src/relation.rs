@@ -27,7 +27,10 @@ impl Relation {
     pub fn new(schema: Arc<Schema>, rows: Vec<Tuple>) -> Result<Self> {
         for row in &rows {
             if row.len() != schema.len() {
-                return Err(Error::ArityMismatch { expected: schema.len(), actual: row.len() });
+                return Err(Error::ArityMismatch {
+                    expected: schema.len(),
+                    actual: row.len(),
+                });
             }
         }
         Ok(Relation { schema, rows })
@@ -43,7 +46,10 @@ impl Relation {
 
     /// The empty relation over a schema.
     pub fn empty(schema: Arc<Schema>) -> Self {
-        Relation { schema, rows: Vec::new() }
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Schema accessor.
@@ -73,12 +79,18 @@ impl Relation {
 
     /// Re-qualify every attribute: the paper's renaming `Flow → F`.
     pub fn renamed(&self, qualifier: &str) -> Relation {
-        Relation { schema: self.schema.with_qualifier(qualifier), rows: self.rows.clone() }
+        Relation {
+            schema: self.schema.with_qualifier(qualifier),
+            rows: self.rows.clone(),
+        }
     }
 
     /// Re-qualify without cloning rows.
     pub fn into_renamed(self, qualifier: &str) -> Relation {
-        Relation { schema: self.schema.with_qualifier(qualifier), rows: self.rows }
+        Relation {
+            schema: self.schema.with_qualifier(qualifier),
+            rows: self.rows,
+        }
     }
 
     /// Multiset equality irrespective of row order: both relations are
@@ -102,7 +114,9 @@ impl Relation {
         };
         a.sort_by(cmp);
         b.sort_by(cmp);
-        a.iter().zip(b.iter()).all(|(x, y)| cmp(x, y) == std::cmp::Ordering::Equal)
+        a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| cmp(x, y) == std::cmp::Ordering::Equal)
     }
 
     /// Rows sorted under the total order — deterministic output for
@@ -186,7 +200,11 @@ pub struct RelationBuilder {
 impl RelationBuilder {
     /// Start a builder; every column will carry `qualifier`.
     pub fn new(qualifier: impl Into<String>) -> Self {
-        RelationBuilder { qualifier: qualifier.into(), columns: Vec::new(), rows: Vec::new() }
+        RelationBuilder {
+            qualifier: qualifier.into(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a column.
@@ -215,7 +233,13 @@ impl RelationBuilder {
             .map(|(n, t)| crate::schema::Field::new(self.qualifier.clone(), n.clone(), *t))
             .collect();
         let schema = Schema::new(fields);
-        Relation::new(schema, self.rows.into_iter().map(|r| r.into_boxed_slice()).collect())
+        Relation::new(
+            schema,
+            self.rows
+                .into_iter()
+                .map(|r| r.into_boxed_slice())
+                .collect(),
+        )
     }
 }
 
@@ -236,15 +260,30 @@ mod tests {
     #[test]
     fn arity_checked() {
         let schema = Schema::qualified("T", &[("a", DataType::Int)]);
-        let bad = Relation::new(schema, vec![vec![Value::Int(1), Value::Int(2)].into_boxed_slice()]);
+        let bad = Relation::new(
+            schema,
+            vec![vec![Value::Int(1), Value::Int(2)].into_boxed_slice()],
+        );
         assert!(matches!(bad, Err(Error::ArityMismatch { .. })));
     }
 
     #[test]
     fn multiset_eq_ignores_order_but_counts_duplicates() {
-        let a = rel(vec![vec![1.into(), 2.into()], vec![3.into(), 4.into()], vec![1.into(), 2.into()]]);
-        let b = rel(vec![vec![3.into(), 4.into()], vec![1.into(), 2.into()], vec![1.into(), 2.into()]]);
-        let c = rel(vec![vec![3.into(), 4.into()], vec![1.into(), 2.into()], vec![3.into(), 4.into()]]);
+        let a = rel(vec![
+            vec![1.into(), 2.into()],
+            vec![3.into(), 4.into()],
+            vec![1.into(), 2.into()],
+        ]);
+        let b = rel(vec![
+            vec![3.into(), 4.into()],
+            vec![1.into(), 2.into()],
+            vec![1.into(), 2.into()],
+        ]);
+        let c = rel(vec![
+            vec![3.into(), 4.into()],
+            vec![1.into(), 2.into()],
+            vec![3.into(), 4.into()],
+        ]);
         assert!(a.multiset_eq(&b));
         assert!(!a.multiset_eq(&c));
     }

@@ -48,12 +48,20 @@ pub struct Field {
 impl Field {
     /// Construct a qualified field.
     pub fn new(qualifier: impl Into<String>, name: impl Into<String>, data_type: DataType) -> Self {
-        Field { qualifier: qualifier.into(), name: name.into(), data_type }
+        Field {
+            qualifier: qualifier.into(),
+            name: name.into(),
+            data_type,
+        }
     }
 
     /// Construct an unqualified field (computed columns).
     pub fn unqualified(name: impl Into<String>, data_type: DataType) -> Self {
-        Field { qualifier: String::new(), name: name.into(), data_type }
+        Field {
+            qualifier: String::new(),
+            name: name.into(),
+            data_type,
+        }
     }
 
     /// `qualifier.name`, or bare `name` when unqualified.
@@ -94,10 +102,7 @@ impl Schema {
     }
 
     /// Convenience: schema where all fields share one qualifier.
-    pub fn qualified(
-        qualifier: &str,
-        columns: &[(&str, DataType)],
-    ) -> Arc<Self> {
+    pub fn qualified(qualifier: &str, columns: &[(&str, DataType)]) -> Arc<Self> {
         Schema::new(
             columns
                 .iter()
@@ -180,7 +185,9 @@ impl Schema {
                 .iter()
                 .any(|g| g.qualifier == f.qualifier && g.name == f.name)
             {
-                return Err(Error::DuplicateColumn { name: f.qualified_name() });
+                return Err(Error::DuplicateColumn {
+                    name: f.qualified_name(),
+                });
             }
             fields.push(f.clone());
         }
@@ -241,19 +248,31 @@ impl ColumnRef {
     /// Parse `"Q.name"` or `"name"`.
     pub fn parse(s: &str) -> Self {
         match s.split_once('.') {
-            Some((q, n)) => ColumnRef { qualifier: Some(q.to_string()), name: n.to_string() },
-            None => ColumnRef { qualifier: None, name: s.to_string() },
+            Some((q, n)) => ColumnRef {
+                qualifier: Some(q.to_string()),
+                name: n.to_string(),
+            },
+            None => ColumnRef {
+                qualifier: None,
+                name: s.to_string(),
+            },
         }
     }
 
     /// Fully qualified constructor.
     pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>) -> Self {
-        ColumnRef { qualifier: Some(qualifier.into()), name: name.into() }
+        ColumnRef {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
     }
 
     /// Unqualified constructor.
     pub fn bare(name: impl Into<String>) -> Self {
-        ColumnRef { qualifier: None, name: name.into() }
+        ColumnRef {
+            qualifier: None,
+            name: name.into(),
+        }
     }
 
     /// Resolve in a schema.
@@ -311,7 +330,10 @@ mod tests {
     #[test]
     fn concat_rejects_duplicates() {
         let a = flow();
-        assert!(matches!(a.concat(&flow()), Err(Error::DuplicateColumn { .. })));
+        assert!(matches!(
+            a.concat(&flow()),
+            Err(Error::DuplicateColumn { .. })
+        ));
     }
 
     #[test]

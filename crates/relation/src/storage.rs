@@ -126,7 +126,11 @@ impl PagedTable {
             .chunks(rpp)
             .map(|c| c.to_vec().into_boxed_slice())
             .collect();
-        Ok(PagedTable { schema: relation.schema().clone(), pages, rows: relation.len() })
+        Ok(PagedTable {
+            schema: relation.schema().clone(),
+            pages,
+            rows: relation.len(),
+        })
     }
 
     /// Number of pages.
@@ -156,7 +160,10 @@ pub struct StorageManager {
 impl StorageManager {
     /// Manager with a pool of `pool_pages` frames.
     pub fn new(pool_pages: usize) -> Self {
-        StorageManager { tables: Vec::new(), pool: BufferPool::new(pool_pages) }
+        StorageManager {
+            tables: Vec::new(),
+            pool: BufferPool::new(pool_pages),
+        }
     }
 
     /// Register a relation; returns its table id.
@@ -177,7 +184,9 @@ impl StorageManager {
             .iter()
             .position(|(n, _)| n == name)
             .map(|i| i as u32)
-            .ok_or_else(|| Error::UnknownTable { name: name.to_string() })
+            .ok_or_else(|| Error::UnknownTable {
+                name: name.to_string(),
+            })
     }
 
     /// The paged table behind an id.
@@ -201,7 +210,10 @@ impl StorageManager {
         let pages: Vec<usize> = (0..table.pages.len()).collect();
         let schema = table.schema.clone();
         for p in pages {
-            self.pool.access(PageId { table: id, page: p as u32 });
+            self.pool.access(PageId {
+                table: id,
+                page: p as u32,
+            });
             // (Re-borrow to appease the borrow checker after pool access.)
             let t = &self.tables[id as usize].1;
             rows.extend(t.pages[p].iter().cloned());
@@ -344,7 +356,10 @@ mod tests {
         pool.access(PageId { table: 0, page: 0 });
         pool.reset_stats();
         assert_eq!(pool.stats, IoStats::default());
-        assert!(pool.access(PageId { table: 0, page: 0 }), "page stayed resident");
+        assert!(
+            pool.access(PageId { table: 0, page: 0 }),
+            "page stayed resident"
+        );
     }
 
     #[test]

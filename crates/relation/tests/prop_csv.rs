@@ -29,7 +29,11 @@ fn int_value() -> impl Strategy<Value = Value> {
 fn relation() -> impl Strategy<Value = Relation> {
     let schema = Schema::qualified(
         "T",
-        &[("id", DataType::Int), ("label", DataType::Str), ("note", DataType::Str)],
+        &[
+            ("id", DataType::Int),
+            ("label", DataType::Str),
+            ("note", DataType::Str),
+        ],
     );
     proptest::collection::vec((int_value(), string_value(), string_value()), 0..20).prop_map(
         move |rows| {
@@ -49,7 +53,11 @@ fn relation() -> impl Strategy<Value = Relation> {
 fn relation_with_nonnumeric_strings() -> impl Strategy<Value = Relation> {
     let schema = Schema::qualified(
         "T",
-        &[("id", DataType::Int), ("label", DataType::Str), ("note", DataType::Str)],
+        &[
+            ("id", DataType::Int),
+            ("label", DataType::Str),
+            ("note", DataType::Str),
+        ],
     );
     let s = prop_oneof![
         4 => "[a-z][a-zA-Z0-9 ,\"'\n;|_-]{0,11}".prop_map(Value::from),
@@ -59,7 +67,9 @@ fn relation_with_nonnumeric_strings() -> impl Strategy<Value = Relation> {
     proptest::collection::vec((int_value(), s.clone(), s), 0..20).prop_map(move |rows| {
         Relation::from_parts(
             schema.clone(),
-            rows.into_iter().map(|(a, b, c)| vec![a, b, c].into_boxed_slice()).collect(),
+            rows.into_iter()
+                .map(|(a, b, c)| vec![a, b, c].into_boxed_slice())
+                .collect(),
         )
     })
 }

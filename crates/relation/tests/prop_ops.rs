@@ -18,12 +18,13 @@ fn value() -> impl Strategy<Value = Value> {
 }
 
 fn relation(qualifier: &'static str, max_rows: usize) -> impl Strategy<Value = Relation> {
-    let schema =
-        Schema::qualified(qualifier, &[("k", DataType::Int), ("v", DataType::Int)]);
+    let schema = Schema::qualified(qualifier, &[("k", DataType::Int), ("v", DataType::Int)]);
     proptest::collection::vec((value(), value()), 0..max_rows).prop_map(move |rows| {
         Relation::from_parts(
             schema.clone(),
-            rows.into_iter().map(|(k, v)| vec![k, v].into_boxed_slice()).collect(),
+            rows.into_iter()
+                .map(|(k, v)| vec![k, v].into_boxed_slice())
+                .collect(),
         )
     })
 }
@@ -45,8 +46,7 @@ fn join_condition() -> impl Strategy<Value = Predicate> {
         let mut p = if with_equi {
             col("L.k").eq(col("R.k"))
         } else {
-            ScalarExpr::Column(ColumnRef::qualified("L", "k"))
-                .cmp_with(op, col("R.k"))
+            ScalarExpr::Column(ColumnRef::qualified("L", "k")).cmp_with(op, col("R.k"))
         };
         if extra {
             p = p.and(col("L.v").cmp_with(op, col("R.v")));

@@ -51,10 +51,10 @@ impl fmt::Display for Token {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "DISTINCT", "FROM", "WHERE", "AS", "AND", "OR", "NOT", "EXISTS", "IN", "ANY",
-    "SOME", "ALL", "IS", "NULL", "TRUE", "FALSE", "COUNT", "SUM", "MIN", "MAX", "AVG",
-    "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END", "GROUP", "BY", "HAVING", "ORDER",
-    "ASC", "DESC", "LIMIT", "JOIN", "INNER", "ON",
+    "SELECT", "DISTINCT", "FROM", "WHERE", "AS", "AND", "OR", "NOT", "EXISTS", "IN", "ANY", "SOME",
+    "ALL", "IS", "NULL", "TRUE", "FALSE", "COUNT", "SUM", "MIN", "MAX", "AVG", "BETWEEN", "CASE",
+    "WHEN", "THEN", "ELSE", "END", "GROUP", "BY", "HAVING", "ORDER", "ASC", "DESC", "LIMIT",
+    "JOIN", "INNER", "ON",
 ];
 
 /// Tokenize an SQL string.
@@ -155,9 +155,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             c if c.is_ascii_digit() => {
                 let start = i;
                 let mut j = i;
-                while j < bytes.len()
-                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
-                {
+                while j < bytes.len() && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.') {
                     // Don't swallow a dot that isn't followed by a digit
                     // (qualified names never start with a digit, but be
                     // strict anyway).
@@ -193,7 +191,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 i = j;
             }
             other => {
-                return Err(Error::invalid(format!("unexpected character `{other}` at {i}")))
+                return Err(Error::invalid(format!(
+                    "unexpected character `{other}` at {i}"
+                )))
             }
         }
     }
@@ -207,10 +207,9 @@ mod tests {
 
     #[test]
     fn tokenizes_a_query() {
-        let toks = tokenize(
-            "SELECT c.name FROM customer AS c WHERE c.bal >= 10.5 AND c.x <> 'a''b'",
-        )
-        .unwrap();
+        let toks =
+            tokenize("SELECT c.name FROM customer AS c WHERE c.bal >= 10.5 AND c.x <> 'a''b'")
+                .unwrap();
         assert!(toks.contains(&Token::Keyword("SELECT".into())));
         assert!(toks.contains(&Token::Ident("customer".into())));
         assert!(toks.contains(&Token::Op(">=".into())));

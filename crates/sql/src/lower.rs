@@ -60,9 +60,13 @@ pub fn lower_select(stmt: &SelectStmt) -> Result<QueryExpr> {
             .order_by
             .iter()
             .map(|(e, asc)| match e {
-                SqlExpr::Column { qualifier, name } => {
-                    Ok((ColumnRef { qualifier: qualifier.clone(), name: name.clone() }, *asc))
-                }
+                SqlExpr::Column { qualifier, name } => Ok((
+                    ColumnRef {
+                        qualifier: qualifier.clone(),
+                        name: name.clone(),
+                    },
+                    *asc,
+                )),
                 other => Err(Error::invalid(format!(
                     "ORDER BY supports column references only, found {other:?}"
                 ))),
@@ -81,16 +85,23 @@ pub fn lower_select(stmt: &SelectStmt) -> Result<QueryExpr> {
 fn lower_projection(stmt: &SelectStmt, input: QueryExpr) -> Result<QueryExpr> {
     // Grouped (or globally aggregated multi-item) queries.
     let has_aggs = stmt.items.iter().any(|i| {
-        matches!(i, SelectItem::Expr { expr: SqlExpr::Agg { .. }, .. })
+        matches!(
+            i,
+            SelectItem::Expr {
+                expr: SqlExpr::Agg { .. },
+                ..
+            }
+        )
     });
     if !stmt.group_by.is_empty() || (has_aggs && stmt.items.len() > 1) {
         let keys = stmt
             .group_by
             .iter()
             .map(|e| match e {
-                SqlExpr::Column { qualifier, name } => {
-                    Ok(ColumnRef { qualifier: qualifier.clone(), name: name.clone() })
-                }
+                SqlExpr::Column { qualifier, name } => Ok(ColumnRef {
+                    qualifier: qualifier.clone(),
+                    name: name.clone(),
+                }),
                 other => Err(Error::invalid(format!(
                     "GROUP BY supports column references only, found {other:?}"
                 ))),
@@ -100,12 +111,21 @@ fn lower_projection(stmt: &SelectStmt, input: QueryExpr) -> Result<QueryExpr> {
         let mut aggs = Vec::new();
         for item in &stmt.items {
             match item {
-                SelectItem::Expr { expr: SqlExpr::Agg { func, arg }, alias } => {
+                SelectItem::Expr {
+                    expr: SqlExpr::Agg { func, arg },
+                    alias,
+                } => {
                     let output = alias.clone().unwrap_or_else(|| default_agg_name(*func));
                     aggs.push(lower_agg(*func, arg.as_deref(), output)?);
                 }
-                SelectItem::Expr { expr: SqlExpr::Column { qualifier, name }, .. } => {
-                    let c = ColumnRef { qualifier: qualifier.clone(), name: name.clone() };
+                SelectItem::Expr {
+                    expr: SqlExpr::Column { qualifier, name },
+                    ..
+                } => {
+                    let c = ColumnRef {
+                        qualifier: qualifier.clone(),
+                        name: name.clone(),
+                    };
                     if !keys.contains(&c) {
                         return Err(Error::invalid(format!(
                             "column {c} in the select list must appear in GROUP BY"
@@ -138,7 +158,10 @@ fn lower_projection(stmt: &SelectStmt, input: QueryExpr) -> Result<QueryExpr> {
                 }
                 return Ok(input);
             }
-            SelectItem::Expr { expr: SqlExpr::Agg { func, arg }, alias } => {
+            SelectItem::Expr {
+                expr: SqlExpr::Agg { func, arg },
+                alias,
+            } => {
                 let output = alias.clone().unwrap_or_else(|| default_agg_name(*func));
                 let agg = lower_agg(*func, arg.as_deref(), output)?;
                 return Ok(input.agg_project(agg));
@@ -150,16 +173,20 @@ fn lower_projection(stmt: &SelectStmt, input: QueryExpr) -> Result<QueryExpr> {
     let mut columns = Vec::with_capacity(stmt.items.len());
     for item in &stmt.items {
         match item {
-            SelectItem::Star => {
-                return Err(Error::invalid("mixing * with other select items"))
-            }
-            SelectItem::Expr { expr: SqlExpr::Column { qualifier, name }, alias } => {
+            SelectItem::Star => return Err(Error::invalid("mixing * with other select items")),
+            SelectItem::Expr {
+                expr: SqlExpr::Column { qualifier, name },
+                alias,
+            } => {
                 if alias.is_some() {
                     return Err(Error::invalid(
                         "column aliases in select lists are not supported in this subset",
                     ));
                 }
-                columns.push(ColumnRef { qualifier: qualifier.clone(), name: name.clone() });
+                columns.push(ColumnRef {
+                    qualifier: qualifier.clone(),
+                    name: name.clone(),
+                });
             }
             SelectItem::Expr { expr, .. } => {
                 return Err(Error::invalid(format!(
@@ -209,7 +236,11 @@ fn cmp_op(op: &str) -> Result<CmpOp> {
         "<=" => CmpOp::Le,
         ">" => CmpOp::Gt,
         ">=" => CmpOp::Ge,
-        other => return Err(Error::invalid(format!("unknown comparison operator {other}"))),
+        other => {
+            return Err(Error::invalid(format!(
+                "unknown comparison operator {other}"
+            )))
+        }
     })
 }
 
@@ -232,30 +263,33 @@ pub fn lower_pred(e: &SqlExpr) -> Result<NestedPredicate> {
                 Predicate::IsNull(scalar)
             }))
         }
-        SqlExpr::Exists { query, negated } => {
-            Ok(NestedPredicate::Subquery(SubqueryPred::Exists {
-                query: Box::new(lower_select(query)?),
-                negated: *negated,
-            }))
-        }
-        SqlExpr::InSubquery { expr, query, negated } => {
-            Ok(NestedPredicate::Subquery(SubqueryPred::In {
-                left: lower_scalar(expr)?,
-                query: Box::new(lower_select(query)?),
-                negated: *negated,
-            }))
-        }
-        SqlExpr::QuantCmp { left, op, quantifier, query } => {
-            Ok(NestedPredicate::Subquery(SubqueryPred::Quantified {
-                left: lower_scalar(left)?,
-                op: cmp_op(op)?,
-                quantifier: match quantifier {
-                    SqlQuantifier::Any => Quantifier::Some,
-                    SqlQuantifier::All => Quantifier::All,
-                },
-                query: Box::new(lower_select(query)?),
-            }))
-        }
+        SqlExpr::Exists { query, negated } => Ok(NestedPredicate::Subquery(SubqueryPred::Exists {
+            query: Box::new(lower_select(query)?),
+            negated: *negated,
+        })),
+        SqlExpr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => Ok(NestedPredicate::Subquery(SubqueryPred::In {
+            left: lower_scalar(expr)?,
+            query: Box::new(lower_select(query)?),
+            negated: *negated,
+        })),
+        SqlExpr::QuantCmp {
+            left,
+            op,
+            quantifier,
+            query,
+        } => Ok(NestedPredicate::Subquery(SubqueryPred::Quantified {
+            left: lower_scalar(left)?,
+            op: cmp_op(op)?,
+            quantifier: match quantifier {
+                SqlQuantifier::Any => Quantifier::Some,
+                SqlQuantifier::All => Quantifier::All,
+            },
+            query: Box::new(lower_select(query)?),
+        })),
         SqlExpr::Cmp { op, left, right } => {
             let op = cmp_op(op)?;
             match (left.as_ref(), right.as_ref()) {
@@ -284,7 +318,9 @@ pub fn lower_pred(e: &SqlExpr) -> Result<NestedPredicate> {
                 })),
             }
         }
-        other => Err(Error::invalid(format!("expected a predicate, found {other:?}"))),
+        other => Err(Error::invalid(format!(
+            "expected a predicate, found {other:?}"
+        ))),
     }
 }
 
@@ -310,7 +346,10 @@ pub fn lower_scalar(e: &SqlExpr) -> Result<ScalarExpr> {
                 other => return Err(Error::invalid(format!("unknown arithmetic op {other}"))),
             })
         }
-        SqlExpr::Case { branches, otherwise } => {
+        SqlExpr::Case {
+            branches,
+            otherwise,
+        } => {
             let lowered: Vec<(Predicate, ScalarExpr)> = branches
                 .iter()
                 .map(|(w, t)| {
@@ -334,7 +373,9 @@ pub fn lower_scalar(e: &SqlExpr) -> Result<ScalarExpr> {
         SqlExpr::Agg { .. } => Err(Error::invalid(
             "aggregate functions may only appear in select lists",
         )),
-        other => Err(Error::invalid(format!("expected a scalar expression, found {other:?}"))),
+        other => Err(Error::invalid(format!(
+            "expected a scalar expression, found {other:?}"
+        ))),
     }
 }
 
@@ -373,7 +414,9 @@ mod tests {
             .row(vec![3.into(), 400.into()])
             .build()
             .unwrap();
-        MemoryCatalog::new().with("customer", customers).with("orders", orders)
+        MemoryCatalog::new()
+            .with("customer", customers)
+            .with("orders", orders)
     }
 
     fn strategies() -> Vec<Strategy> {
@@ -456,10 +499,9 @@ mod tests {
 
     #[test]
     fn multi_table_from_becomes_join() {
-        let q = parse_query(
-            "SELECT c.custkey FROM customer c, orders o WHERE c.custkey = o.custkey",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT c.custkey FROM customer c, orders o WHERE c.custkey = o.custkey")
+                .unwrap();
         let results = run_all_agree(&q, &catalog(), &strategies()).unwrap();
         assert_eq!(results[0].1.relation.len(), 3);
     }
@@ -483,9 +525,13 @@ mod tests {
         )
         .unwrap();
         // Shape: Limit(OrderBy(Select(GroupBy(...)))).
-        let QueryExpr::Limit { input, n } = &q else { panic!("{q}") };
+        let QueryExpr::Limit { input, n } = &q else {
+            panic!("{q}")
+        };
         assert_eq!(*n, 1);
-        let QueryExpr::OrderBy { input, keys } = input.as_ref() else { panic!("{q}") };
+        let QueryExpr::OrderBy { input, keys } = input.as_ref() else {
+            panic!("{q}")
+        };
         assert!(!keys[0].1, "DESC");
         assert!(matches!(input.as_ref(), QueryExpr::Select { .. }));
         // Executes identically across strategies; customer 1 has two
@@ -564,8 +610,7 @@ mod tests {
         )
         .unwrap();
         // For each customer keep only join rows with their maximal order.
-        let results =
-            gmdj_engine::strategy::run_all_agree(&q, &catalog(), &strategies()).unwrap();
+        let results = gmdj_engine::strategy::run_all_agree(&q, &catalog(), &strategies()).unwrap();
         assert_eq!(results[0].1.relation.len(), 2); // one max per customer with orders
     }
 

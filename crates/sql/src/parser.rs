@@ -31,7 +31,10 @@ pub enum SelectItem {
     /// `*`
     Star,
     /// An expression with an optional `AS` alias.
-    Expr { expr: SqlExpr, alias: Option<String> },
+    Expr {
+        expr: SqlExpr,
+        alias: Option<String>,
+    },
 }
 
 /// Quantifier of a quantified comparison.
@@ -56,30 +59,59 @@ pub enum SqlAggFunc {
 /// SQL expression AST.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SqlExpr {
-    Column { qualifier: Option<String>, name: String },
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
     Number(f64),
     Str(String),
     Null,
     Bool(bool),
     /// Arithmetic: `+ - * /`.
-    Arith { op: char, left: Box<SqlExpr>, right: Box<SqlExpr> },
+    Arith {
+        op: char,
+        left: Box<SqlExpr>,
+        right: Box<SqlExpr>,
+    },
     /// Comparison: `= <> < <= > >=`, possibly against a scalar subquery
     /// operand.
-    Cmp { op: String, left: Box<SqlExpr>, right: Box<SqlExpr> },
+    Cmp {
+        op: String,
+        left: Box<SqlExpr>,
+        right: Box<SqlExpr>,
+    },
     And(Box<SqlExpr>, Box<SqlExpr>),
     Or(Box<SqlExpr>, Box<SqlExpr>),
     Not(Box<SqlExpr>),
-    IsNull { expr: Box<SqlExpr>, negated: bool },
+    IsNull {
+        expr: Box<SqlExpr>,
+        negated: bool,
+    },
     /// `EXISTS (SELECT …)` / `NOT EXISTS (…)`.
-    Exists { query: Box<SelectStmt>, negated: bool },
+    Exists {
+        query: Box<SelectStmt>,
+        negated: bool,
+    },
     /// `x [NOT] IN (SELECT …)`.
-    InSubquery { expr: Box<SqlExpr>, query: Box<SelectStmt>, negated: bool },
+    InSubquery {
+        expr: Box<SqlExpr>,
+        query: Box<SelectStmt>,
+        negated: bool,
+    },
     /// `x op ANY/SOME/ALL (SELECT …)`.
-    QuantCmp { left: Box<SqlExpr>, op: String, quantifier: SqlQuantifier, query: Box<SelectStmt> },
+    QuantCmp {
+        left: Box<SqlExpr>,
+        op: String,
+        quantifier: SqlQuantifier,
+        query: Box<SelectStmt>,
+    },
     /// `(SELECT …)` as a scalar operand.
     ScalarSubquery(Box<SelectStmt>),
     /// Aggregate call (select lists of subqueries / single-agg queries).
-    Agg { func: SqlAggFunc, arg: Option<Box<SqlExpr>> },
+    Agg {
+        func: SqlAggFunc,
+        arg: Option<Box<SqlExpr>>,
+    },
     /// `CASE WHEN p THEN e [...] [ELSE e] END`.
     Case {
         branches: Vec<(SqlExpr, SqlExpr)>,
@@ -131,7 +163,10 @@ impl Parser {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            Err(Error::invalid(format!("expected {kw}, found {}", self.peek())))
+            Err(Error::invalid(format!(
+                "expected {kw}, found {}",
+                self.peek()
+            )))
         }
     }
 
@@ -140,7 +175,10 @@ impl Parser {
             self.next();
             Ok(())
         } else {
-            Err(Error::invalid(format!("expected {t}, found {}", self.peek())))
+            Err(Error::invalid(format!(
+                "expected {t}, found {}",
+                self.peek()
+            )))
         }
     }
 
@@ -155,7 +193,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next() {
             Token::Ident(s) => Ok(s),
-            other => Err(Error::invalid(format!("expected identifier, found {other}"))),
+            other => Err(Error::invalid(format!(
+                "expected identifier, found {other}"
+            ))),
         }
     }
 
@@ -184,7 +224,11 @@ impl Parser {
                 break;
             }
         }
-        let where_clause = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_keyword("GROUP") {
             self.expect_keyword("BY")?;
@@ -194,7 +238,11 @@ impl Parser {
                 group_by.push(self.expr()?);
             }
         }
-        let having = if self.eat_keyword("HAVING") { Some(self.expr()?) } else { None };
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.eat_keyword("ORDER") {
             self.expect_keyword("BY")?;
@@ -298,7 +346,10 @@ impl Parser {
             if matches!(self.peek(), Token::Keyword(k) if k == "EXISTS") {
                 self.next();
                 let query = self.parenthesized_select()?;
-                return Ok(SqlExpr::Exists { query: Box::new(query), negated: true });
+                return Ok(SqlExpr::Exists {
+                    query: Box::new(query),
+                    negated: true,
+                });
             }
             return Ok(SqlExpr::Not(Box::new(self.not_expr()?)));
         }
@@ -309,14 +360,20 @@ impl Parser {
         if matches!(self.peek(), Token::Keyword(k) if k == "EXISTS") {
             self.next();
             let query = self.parenthesized_select()?;
-            return Ok(SqlExpr::Exists { query: Box::new(query), negated: false });
+            return Ok(SqlExpr::Exists {
+                query: Box::new(query),
+                negated: false,
+            });
         }
         let left = self.additive()?;
         // IS [NOT] NULL
         if self.eat_keyword("IS") {
             let negated = self.eat_keyword("NOT");
             self.expect_keyword("NULL")?;
-            return Ok(SqlExpr::IsNull { expr: Box::new(left), negated });
+            return Ok(SqlExpr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         // [NOT] IN (SELECT …)
         let not_in = matches!(self.peek(), Token::Keyword(k) if k == "NOT")
@@ -342,8 +399,11 @@ impl Parser {
                 left: Box::new(left.clone()),
                 right: Box::new(lo),
             };
-            let le =
-                SqlExpr::Cmp { op: "<=".into(), left: Box::new(left), right: Box::new(hi) };
+            let le = SqlExpr::Cmp {
+                op: "<=".into(),
+                left: Box::new(left),
+                right: Box::new(hi),
+            };
             return Ok(SqlExpr::And(Box::new(ge), Box::new(le)));
         }
         // Comparison, possibly quantified.
@@ -371,7 +431,11 @@ impl Parser {
                     });
                 }
                 let right = self.additive()?;
-                return Ok(SqlExpr::Cmp { op, left: Box::new(left), right: Box::new(right) });
+                return Ok(SqlExpr::Cmp {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                });
             }
         }
         Ok(left)
@@ -385,7 +449,11 @@ impl Parser {
                     let op = o.chars().next().unwrap();
                     self.next();
                     let right = self.multiplicative()?;
-                    left = SqlExpr::Arith { op, left: Box::new(left), right: Box::new(right) };
+                    left = SqlExpr::Arith {
+                        op,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    };
                 }
                 _ => break,
             }
@@ -400,14 +468,20 @@ impl Parser {
                 Token::Star => {
                     self.next();
                     let right = self.unary()?;
-                    left =
-                        SqlExpr::Arith { op: '*', left: Box::new(left), right: Box::new(right) };
+                    left = SqlExpr::Arith {
+                        op: '*',
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    };
                 }
                 Token::Op(o) if o == "/" => {
                     self.next();
                     let right = self.unary()?;
-                    left =
-                        SqlExpr::Arith { op: '/', left: Box::new(left), right: Box::new(right) };
+                    left = SqlExpr::Arith {
+                        op: '/',
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    };
                 }
                 _ => break,
             }
@@ -435,14 +509,15 @@ impl Parser {
             Token::Keyword(k) if k == "NULL" => Ok(SqlExpr::Null),
             Token::Keyword(k) if k == "TRUE" => Ok(SqlExpr::Bool(true)),
             Token::Keyword(k) if k == "FALSE" => Ok(SqlExpr::Bool(false)),
-            Token::Keyword(k)
-                if matches!(k.as_str(), "COUNT" | "SUM" | "MIN" | "MAX" | "AVG") =>
-            {
+            Token::Keyword(k) if matches!(k.as_str(), "COUNT" | "SUM" | "MIN" | "MAX" | "AVG") => {
                 self.expect(&Token::LParen)?;
                 if k == "COUNT" && matches!(self.peek(), Token::Star) {
                     self.next();
                     self.expect(&Token::RParen)?;
-                    return Ok(SqlExpr::Agg { func: SqlAggFunc::CountStar, arg: None });
+                    return Ok(SqlExpr::Agg {
+                        func: SqlAggFunc::CountStar,
+                        arg: None,
+                    });
                 }
                 let count_distinct = k == "COUNT" && self.eat_keyword("DISTINCT");
                 let arg = self.expr()?;
@@ -456,7 +531,10 @@ impl Parser {
                     "AVG" => SqlAggFunc::Avg,
                     _ => unreachable!(),
                 };
-                Ok(SqlExpr::Agg { func, arg: Some(Box::new(arg)) })
+                Ok(SqlExpr::Agg {
+                    func,
+                    arg: Some(Box::new(arg)),
+                })
             }
             Token::Keyword(k) if k == "CASE" => {
                 let mut branches = Vec::new();
@@ -475,7 +553,10 @@ impl Parser {
                     None
                 };
                 self.expect_keyword("END")?;
-                Ok(SqlExpr::Case { branches, otherwise })
+                Ok(SqlExpr::Case {
+                    branches,
+                    otherwise,
+                })
             }
             Token::LParen => {
                 if matches!(self.peek(), Token::Keyword(k) if k == "SELECT") {
@@ -491,9 +572,15 @@ impl Parser {
                 if matches!(self.peek(), Token::Dot) {
                     self.next();
                     let name = self.ident()?;
-                    Ok(SqlExpr::Column { qualifier: Some(first), name })
+                    Ok(SqlExpr::Column {
+                        qualifier: Some(first),
+                        name,
+                    })
                 } else {
-                    Ok(SqlExpr::Column { qualifier: None, name: first })
+                    Ok(SqlExpr::Column {
+                        qualifier: None,
+                        name: first,
+                    })
                 }
             }
             other => Err(Error::invalid(format!("unexpected token {other}"))),
@@ -514,8 +601,7 @@ mod tests {
 
     #[test]
     fn parses_simple_select() {
-        let s = parse_statement("SELECT c.name, c.bal FROM customer c WHERE c.bal > 10")
-            .unwrap();
+        let s = parse_statement("SELECT c.name, c.bal FROM customer c WHERE c.bal > 10").unwrap();
         assert_eq!(s.items.len(), 2);
         assert_eq!(s.from, vec![("customer".to_string(), "c".to_string())]);
         assert!(s.where_clause.is_some());
@@ -538,7 +624,9 @@ mod tests {
              AND NOT EXISTS (SELECT * FROM orders o2 WHERE o2.ck = c.ck AND o2.p > 5)",
         )
         .unwrap();
-        let Some(SqlExpr::And(a, b)) = s.where_clause else { panic!() };
+        let Some(SqlExpr::And(a, b)) = s.where_clause else {
+            panic!()
+        };
         assert!(matches!(*a, SqlExpr::Exists { negated: false, .. }));
         assert!(matches!(*b, SqlExpr::Exists { negated: true, .. }));
     }
@@ -563,25 +651,29 @@ mod tests {
             "SELECT * FROM c WHERE c.bal < (SELECT AVG(o.total) FROM o WHERE o.ck = c.ck)",
         )
         .unwrap();
-        let Some(SqlExpr::Cmp { right, .. }) = s.where_clause else { panic!() };
+        let Some(SqlExpr::Cmp { right, .. }) = s.where_clause else {
+            panic!()
+        };
         assert!(matches!(*right, SqlExpr::ScalarSubquery(_)));
     }
 
     #[test]
     fn parses_arithmetic_with_precedence() {
         let s = parse_statement("SELECT * FROM t WHERE t.a + t.b * 2 > 10").unwrap();
-        let Some(SqlExpr::Cmp { left, .. }) = s.where_clause else { panic!() };
+        let Some(SqlExpr::Cmp { left, .. }) = s.where_clause else {
+            panic!()
+        };
         // a + (b * 2), not (a + b) * 2.
-        let SqlExpr::Arith { op: '+', right, .. } = *left else { panic!("{left:?}") };
+        let SqlExpr::Arith { op: '+', right, .. } = *left else {
+            panic!("{left:?}")
+        };
         assert!(matches!(*right, SqlExpr::Arith { op: '*', .. }));
     }
 
     #[test]
     fn parses_between_and_is_null() {
-        let s = parse_statement(
-            "SELECT * FROM t WHERE t.a BETWEEN 1 AND 5 AND t.b IS NOT NULL",
-        )
-        .unwrap();
+        let s = parse_statement("SELECT * FROM t WHERE t.a BETWEEN 1 AND 5 AND t.b IS NOT NULL")
+            .unwrap();
         let text = format!("{:?}", s.where_clause);
         assert!(text.contains(">="));
         assert!(text.contains("<="));
@@ -599,7 +691,13 @@ mod tests {
         let s = parse_statement("SELECT COUNT(*) FROM t").unwrap();
         assert!(matches!(
             s.items[0],
-            SelectItem::Expr { expr: SqlExpr::Agg { func: SqlAggFunc::CountStar, .. }, .. }
+            SelectItem::Expr {
+                expr: SqlExpr::Agg {
+                    func: SqlAggFunc::CountStar,
+                    ..
+                },
+                ..
+            }
         ));
     }
 }

@@ -57,10 +57,38 @@ fn main() {
     );
 
     let alternatives = [
-        ("chained (as translated)", OptFlags { hoist: false, coalesce: false, completion: false }),
-        ("hoisted", OptFlags { hoist: true, coalesce: false, completion: false }),
-        ("coalesced", OptFlags { hoist: true, coalesce: true, completion: false }),
-        ("coalesced+completion", OptFlags { hoist: true, coalesce: true, completion: true }),
+        (
+            "chained (as translated)",
+            OptFlags {
+                hoist: false,
+                coalesce: false,
+                completion: false,
+            },
+        ),
+        (
+            "hoisted",
+            OptFlags {
+                hoist: true,
+                coalesce: false,
+                completion: false,
+            },
+        ),
+        (
+            "coalesced",
+            OptFlags {
+                hoist: true,
+                coalesce: true,
+                completion: false,
+            },
+        ),
+        (
+            "coalesced+completion",
+            OptFlags {
+                hoist: true,
+                coalesce: true,
+                completion: true,
+            },
+        ),
     ];
 
     let mut measured: Vec<(f64, f64)> = Vec::new(); // (est total, actual ms)

@@ -37,7 +37,12 @@ fn main() {
         "{:>10} {:>8} {:>14} {:>16} {:>16}",
         "flows", "sites", "messages", "values shipped", "matches central?"
     );
-    for &(flows, sites) in &[(5_000usize, 4usize), (50_000, 4), (50_000, 16), (200_000, 16)] {
+    for &(flows, sites) in &[
+        (5_000usize, 4usize),
+        (50_000, 4),
+        (50_000, 16),
+        (200_000, 16),
+    ] {
         let data = NetflowData::generate(&NetflowConfig {
             hours: 24,
             flows,
@@ -55,9 +60,8 @@ fn main() {
             .expect("distributed evaluation");
 
         let mut st = EvalStats::default();
-        let central =
-            eval_gmdj(&hours, &detail, &spec, &GmdjOptions::default(), &mut st)
-                .expect("central evaluation");
+        let central = eval_gmdj(&hours, &detail, &spec, &GmdjOptions::default(), &mut st)
+            .expect("central evaluation");
         let agree = dist.multiset_eq(&central);
         println!(
             "{:>10} {:>8} {:>14} {:>16} {:>16}",

@@ -106,7 +106,10 @@ fn main() {
 
     // ---- Example 2.2 ---------------------------------------------------
     let q22 = example_2_2(HOT_DEST_IPS[0]);
-    println!("Example 2.2 — web fraction for hours with traffic to {}", HOT_DEST_IPS[0]);
+    println!(
+        "Example 2.2 — web fraction for hours with traffic to {}",
+        HOT_DEST_IPS[0]
+    );
     let (rel, stats) = q22.run(&catalog, Strategy::GmdjOptimized).expect("run");
     println!(
         "  {} qualifying hours; GMDJ scanned {} detail tuples in {} partitions",
@@ -128,7 +131,10 @@ fn main() {
         basic_plan.gmdj_count(),
         optimized_plan.gmdj_count()
     );
-    println!("  optimized plan:\n{}", indent(&optimized_plan.explain(), 4));
+    println!(
+        "  optimized plan:\n{}",
+        indent(&optimized_plan.explain(), 4)
+    );
 
     for strat in [Strategy::GmdjBasic, Strategy::GmdjOptimized] {
         let start = std::time::Instant::now();
@@ -143,7 +149,10 @@ fn main() {
     }
     let (rel, _) = q23.run(&catalog, Strategy::GmdjOptimized).expect("run");
     for row in rel.sorted_rows().iter().take(5) {
-        println!("    {:<14} sent {:>10}, received {:>10}", row[0], row[1], row[2]);
+        println!(
+            "    {:<14} sent {:>10}, received {:>10}",
+            row[0], row[1], row[2]
+        );
     }
 }
 

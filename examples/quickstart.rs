@@ -68,8 +68,14 @@ fn main() {
     println!("Input table Flow:\n{flows}");
 
     let mut stats = EvalStats::default();
-    let gmdj = eval_gmdj(&hours, &flows, &example_2_1_spec(), &GmdjOptions::default(), &mut stats)
-        .expect("GMDJ evaluation");
+    let gmdj = eval_gmdj(
+        &hours,
+        &flows,
+        &example_2_1_spec(),
+        &GmdjOptions::default(),
+        &mut stats,
+    )
+    .expect("GMDJ evaluation");
     println!("GMDJ output (Figure 1, sums left unreduced):\n{gmdj}");
 
     let fractions = ops::project(

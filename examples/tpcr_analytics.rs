@@ -72,7 +72,12 @@ fn main() {
             ]
         };
         println!("── {title}");
-        println!("{}", sql.lines().map(|l| format!("   {}\n", l.trim())).collect::<String>());
+        println!(
+            "{}",
+            sql.lines()
+                .map(|l| format!("   {}\n", l.trim()))
+                .collect::<String>()
+        );
         let query = match parse_query(sql) {
             Ok(q) => q,
             Err(e) => {

@@ -31,7 +31,9 @@ fn catalog() -> MemoryCatalog {
         .row(vec![3.into(), 5.into()])
         .build()
         .unwrap();
-    MemoryCatalog::new().with("customer", customers).with("orders", orders)
+    MemoryCatalog::new()
+        .with("customer", customers)
+        .with("orders", orders)
 }
 
 fn strategies() -> Vec<Strategy> {
@@ -50,15 +52,21 @@ fn strategies() -> Vec<Strategy> {
 fn grouped_orders() -> QueryExpr {
     QueryExpr::table("orders", "o").group_by(
         vec![ColumnRef::parse("o.custkey")],
-        vec![NamedAgg::count_star("n"), NamedAgg::sum(col("o.total"), "s")],
+        vec![
+            NamedAgg::count_star("n"),
+            NamedAgg::sum(col("o.total"), "s"),
+        ],
     )
 }
 
 #[test]
 fn exists_over_grouped_source() {
     // Customers that appear in the grouped orders with n >= 2.
-    let sub = grouped_orders()
-        .select_flat(col("o.custkey").eq(col("c.custkey")).and(col("n").ge(lit(2))));
+    let sub = grouped_orders().select_flat(
+        col("o.custkey")
+            .eq(col("c.custkey"))
+            .and(col("n").ge(lit(2))),
+    );
     let q = QueryExpr::table("customer", "c").select(exists(sub));
     let results = run_all_agree(&q, &catalog(), &strategies()).unwrap();
     // Customers 1 (3 orders) and 3 (2 orders).

@@ -18,8 +18,8 @@ use gmdj_relation::relation::Relation;
 
 fn intro_query() -> OlapQuery {
     // Detail: flows whose source IP has a user account.
-    let has_account = QueryExpr::table("User", "U")
-        .select_flat(col("U.IPAddress").eq(col("F.SourceIP")));
+    let has_account =
+        QueryExpr::table("User", "U").select_flat(col("U.IPAddress").eq(col("F.SourceIP")));
     let accounted_flows = QueryExpr::table("Flow", "F").select(exists(has_account));
     let in_hour = col("F.StartTime")
         .ge(col("H.StartInterval"))
@@ -87,7 +87,13 @@ fn introduction_query_all_strategies_agree() {
 /// owned by an account the fractions revert to the unrestricted query.
 #[test]
 fn account_restriction_is_observable() {
-    let cfg = NetflowConfig { hours: 6, flows: 3_000, users: 15, source_ips: 40, seed: 21 };
+    let cfg = NetflowConfig {
+        hours: 6,
+        flows: 3_000,
+        users: 15,
+        source_ips: 40,
+        seed: 21,
+    };
     let data = NetflowData::generate(&cfg);
     let catalog = data.into_catalog();
     let q = intro_query();

@@ -22,12 +22,13 @@ fn value() -> impl Strategy<Value = Value> {
 }
 
 fn relation(qualifier: &'static str) -> impl Strategy<Value = Relation> {
-    let schema =
-        Schema::qualified(qualifier, &[("a", DataType::Int), ("b", DataType::Int)]);
+    let schema = Schema::qualified(qualifier, &[("a", DataType::Int), ("b", DataType::Int)]);
     proptest::collection::vec((value(), value()), 0..9).prop_map(move |rows| {
         Relation::from_parts(
             schema.clone(),
-            rows.into_iter().map(|(a, b)| vec![a, b].into_boxed_slice()).collect(),
+            rows.into_iter()
+                .map(|(a, b)| vec![a, b].into_boxed_slice())
+                .collect(),
         )
     })
 }
@@ -68,12 +69,15 @@ fn leaf() -> impl Strategy<Value = NestedPredicate> {
         NestedPredicate::Subquery(SubqueryPred::Quantified {
             left: col("B.a"),
             op,
-            quantifier: if all { Quantifier::All } else { Quantifier::Some },
+            quantifier: if all {
+                Quantifier::All
+            } else {
+                Quantifier::Some
+            },
             query: Box::new(
                 QueryExpr::table("R", "R1")
                     .select_flat(
-                        ScalarExpr::Column(ColumnRef::qualified("R1", "b"))
-                            .cmp_with(t, col("B.b")),
+                        ScalarExpr::Column(ColumnRef::qualified("R1", "b")).cmp_with(t, col("B.b")),
                     )
                     .project(vec![ColumnRef::parse("R1.b")]),
             ),
@@ -82,9 +86,7 @@ fn leaf() -> impl Strategy<Value = NestedPredicate> {
     let in_pred = proptest::bool::ANY.prop_map(|negated| {
         NestedPredicate::Subquery(SubqueryPred::In {
             left: col("B.a"),
-            query: Box::new(
-                QueryExpr::table("R", "R1").project(vec![ColumnRef::parse("R1.a")]),
-            ),
+            query: Box::new(QueryExpr::table("R", "R1").project(vec![ColumnRef::parse("R1.a")])),
             negated,
         })
     });

@@ -29,12 +29,48 @@ fn figure_1_catalog() -> MemoryCatalog {
         .column("StartTime", DataType::Int)
         .column("Protocol", DataType::Str)
         .column("NumBytes", DataType::Int)
-        .row(vec!["10.0.0.1".into(), "167.167.167.0".into(), 43.into(), "HTTP".into(), 12.into()])
-        .row(vec!["10.0.0.2".into(), "10.0.0.9".into(), 86.into(), "HTTP".into(), 36.into()])
-        .row(vec!["10.0.0.1".into(), "10.0.0.8".into(), 99.into(), "FTP".into(), 48.into()])
-        .row(vec!["10.0.0.3".into(), "168.168.168.0".into(), 132.into(), "HTTP".into(), 24.into()])
-        .row(vec!["10.0.0.2".into(), "10.0.0.7".into(), 156.into(), "HTTP".into(), 24.into()])
-        .row(vec!["10.0.0.3".into(), "10.0.0.9".into(), 161.into(), "FTP".into(), 48.into()])
+        .row(vec![
+            "10.0.0.1".into(),
+            "167.167.167.0".into(),
+            43.into(),
+            "HTTP".into(),
+            12.into(),
+        ])
+        .row(vec![
+            "10.0.0.2".into(),
+            "10.0.0.9".into(),
+            86.into(),
+            "HTTP".into(),
+            36.into(),
+        ])
+        .row(vec![
+            "10.0.0.1".into(),
+            "10.0.0.8".into(),
+            99.into(),
+            "FTP".into(),
+            48.into(),
+        ])
+        .row(vec![
+            "10.0.0.3".into(),
+            "168.168.168.0".into(),
+            132.into(),
+            "HTTP".into(),
+            24.into(),
+        ])
+        .row(vec![
+            "10.0.0.2".into(),
+            "10.0.0.7".into(),
+            156.into(),
+            "HTTP".into(),
+            24.into(),
+        ])
+        .row(vec![
+            "10.0.0.3".into(),
+            "10.0.0.9".into(),
+            161.into(),
+            "FTP".into(),
+            48.into(),
+        ])
         .build()
         .unwrap();
     MemoryCatalog::new().with("Hours", hours).with("Flow", flow)
@@ -132,8 +168,12 @@ fn example_2_2_end_to_end() {
         ],
     };
     let mut previous: Option<Relation> = None;
-    for strat in [Strategy::NativeSmart, Strategy::JoinUnnest, Strategy::GmdjBasic, Strategy::GmdjOptimized]
-    {
+    for strat in [
+        Strategy::NativeSmart,
+        Strategy::JoinUnnest,
+        Strategy::GmdjBasic,
+        Strategy::GmdjOptimized,
+    ] {
         let (rel, _) = q.run(&catalog, strat).unwrap();
         assert_eq!(rel.len(), 1, "{strat:?}");
         assert_eq!(rel.rows()[0][1], Value::Float(1.0), "hour 1 is all HTTP");
@@ -231,8 +271,8 @@ fn footnote_2_all_vs_max() {
         .unwrap();
     let catalog = MemoryCatalog::new().with("B", b).with("R", r);
 
-    let all_query = QueryExpr::table("B", "B").select(NestedPredicate::Subquery(
-        SubqueryPred::Quantified {
+    let all_query =
+        QueryExpr::table("B", "B").select(NestedPredicate::Subquery(SubqueryPred::Quantified {
             left: col("B.x"),
             op: CmpOp::Gt,
             quantifier: gmdj_algebra::ast::Quantifier::All,
@@ -241,10 +281,9 @@ fn footnote_2_all_vs_max() {
                     .select_flat(col("R.k").eq(col("B.k")))
                     .project(vec![ColumnRef::parse("R.y")]),
             ),
-        },
-    ));
-    let max_query = QueryExpr::table("B", "B").select(NestedPredicate::Subquery(
-        SubqueryPred::Cmp {
+        }));
+    let max_query =
+        QueryExpr::table("B", "B").select(NestedPredicate::Subquery(SubqueryPred::Cmp {
             left: col("B.x"),
             op: CmpOp::Gt,
             query: Box::new(
@@ -256,12 +295,15 @@ fn footnote_2_all_vs_max() {
                         "m",
                     )),
             ),
-        },
-    ));
+        }));
     for strat in full_lineup() {
         let all = gmdj_engine::strategy::run(&all_query, &catalog, strat).unwrap();
         let max = gmdj_engine::strategy::run(&max_query, &catalog, strat).unwrap();
-        assert_eq!(all.relation.len(), 1, "{strat:?}: ALL over empty range is true");
+        assert_eq!(
+            all.relation.len(),
+            1,
+            "{strat:?}: ALL over empty range is true"
+        );
         assert_eq!(max.relation.len(), 0, "{strat:?}: > max(∅) is unknown");
     }
 }
@@ -379,7 +421,10 @@ fn having_selection_over_gmdj_output() {
         .ge(col("H.StartInterval"))
         .and(col("F.StartTime").lt(col("H.EndInterval")));
     let spec = GmdjSpec::new(vec![
-        AggBlock::count(in_hour.clone().and(col("F.Protocol").eq(lit("HTTP"))), "cnt1"),
+        AggBlock::count(
+            in_hour.clone().and(col("F.Protocol").eq(lit("HTTP"))),
+            "cnt1",
+        ),
         AggBlock::count(in_hour, "cnt2"),
     ]);
     let mut stats = EvalStats::default();

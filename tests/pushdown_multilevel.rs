@@ -32,15 +32,14 @@ fn catalog() -> MemoryCatalog {
 /// the innermost D-block references A, three levels out.
 fn three_level_query() -> QueryExpr {
     let d_block = QueryExpr::table("D", "D").select_flat(
-        col("D.k").eq(col("A.v")) // non-neighboring: 3 levels up
+        col("D.k")
+            .eq(col("A.v")) // non-neighboring: 3 levels up
             .and(col("D.v").eq(col("C.k"))),
     );
-    let c_block = QueryExpr::table("C", "C").select(
-        NestedPredicate::Atom(col("C.v").ge(col("B.v"))).and(exists(d_block)),
-    );
-    let b_block = QueryExpr::table("B", "B").select(
-        NestedPredicate::Atom(col("B.k").ne(col("A.k"))).and(exists(c_block)),
-    );
+    let c_block = QueryExpr::table("C", "C")
+        .select(NestedPredicate::Atom(col("C.v").ge(col("B.v"))).and(exists(d_block)));
+    let b_block = QueryExpr::table("B", "B")
+        .select(NestedPredicate::Atom(col("B.k").ne(col("A.k"))).and(exists(c_block)));
     QueryExpr::table("A", "A").select(exists(b_block))
 }
 
@@ -81,9 +80,8 @@ fn three_level_with_negations_agrees() {
     let d_block = QueryExpr::table("D", "D")
         .select_flat(col("D.k").eq(col("A.v")).and(col("D.v").eq(col("C.k"))));
     let c_block = QueryExpr::table("C", "C").select(not_exists(d_block));
-    let b_block = QueryExpr::table("B", "B").select(
-        NestedPredicate::Atom(col("B.v").le(lit(3))).and(exists(c_block)),
-    );
+    let b_block = QueryExpr::table("B", "B")
+        .select(NestedPredicate::Atom(col("B.v").le(lit(3))).and(exists(c_block)));
     let q = QueryExpr::table("A", "A").select(not_exists(b_block));
     run_all_agree(
         &q,

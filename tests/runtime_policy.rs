@@ -1,0 +1,90 @@
+//! SQL text → parser → nested algebra → Runtime under every execution
+//! policy. This is the shell-equivalent acceptance check: the answer a
+//! user gets from `gmdj-sql-shell --threads N` (or `SET threads = N;`)
+//! must be bit-identical to the sequential one, for every strategy that
+//! can honor the policy.
+
+use gmdj_core::exec::MemoryCatalog;
+use gmdj_core::runtime::ExecPolicy;
+use gmdj_datagen::tpcr::{TpcrConfig, TpcrData};
+use gmdj_engine::strategy::{run_with_policy, Strategy};
+use gmdj_sql::parse_query;
+
+fn catalog() -> MemoryCatalog {
+    TpcrData::generate(&TpcrConfig {
+        customers: 40,
+        orders: 150,
+        lineitems: 300,
+        parts: 25,
+        suppliers: 12,
+        seed: 7,
+    })
+    .into_catalog()
+}
+
+const QUERIES: [&str; 3] = [
+    "SELECT c.custkey FROM customer c WHERE EXISTS \
+     (SELECT * FROM orders o WHERE o.custkey = c.custkey AND o.totalprice > 100000)",
+    "SELECT c.custkey FROM customer c WHERE NOT EXISTS \
+     (SELECT * FROM orders o WHERE o.custkey = c.custkey)",
+    "SELECT c.custkey FROM customer c WHERE c.custkey IN \
+     (SELECT o.custkey FROM orders o WHERE o.totalprice > 200000)",
+];
+
+fn policies() -> [ExecPolicy; 4] {
+    [
+        ExecPolicy::parallel(2),
+        ExecPolicy::parallel(4),
+        ExecPolicy::parallel(4).with_partition_rows(Some(16)),
+        ExecPolicy::distributed(3),
+    ]
+}
+
+#[test]
+fn every_policy_answers_like_sequential_from_sql() {
+    let catalog = catalog();
+    for sql in QUERIES {
+        let query = parse_query(sql).unwrap_or_else(|e| panic!("parse failed for {sql}: {e}"));
+        for strategy in [
+            Strategy::GmdjBasic,
+            Strategy::GmdjOptimized,
+            Strategy::GmdjCostBased,
+        ] {
+            let seq = run_with_policy(&query, &catalog, strategy, ExecPolicy::sequential())
+                .unwrap_or_else(|e| panic!("sequential failed for {sql}: {e}"));
+            for policy in policies() {
+                let got = run_with_policy(&query, &catalog, strategy, policy)
+                    .unwrap_or_else(|e| panic!("{policy:?} failed for {sql}: {e}"));
+                assert!(
+                    seq.relation.multiset_eq(&got.relation),
+                    "{strategy:?} under {policy:?} diverged from sequential on {sql}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_policy_reports_plan_stats_from_sql() {
+    let catalog = catalog();
+    let query = parse_query(QUERIES[0]).unwrap();
+    let result = run_with_policy(
+        &query,
+        &catalog,
+        Strategy::GmdjOptimized,
+        ExecPolicy::parallel(3),
+    )
+    .unwrap();
+    let tree = result
+        .plan_stats
+        .expect("GMDJ strategies record a per-node stats tree");
+    let eval = tree.total_eval();
+    assert!(
+        eval.detail_scanned > 0,
+        "the GMDJ node must have scanned the detail table"
+    );
+    assert!(
+        tree.total_scanned() > 0,
+        "table scans must be attributed to leaf nodes"
+    );
+}

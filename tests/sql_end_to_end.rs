@@ -66,7 +66,11 @@ fn in_and_not_in() {
         "SELECT c.custkey FROM customer c WHERE c.custkey NOT IN \
          (SELECT o.custkey FROM orders o WHERE o.totalprice > 200000)",
     );
-    assert_eq!(a + b, 40, "IN and NOT IN partition the customers (no NULL keys)");
+    assert_eq!(
+        a + b,
+        40,
+        "IN and NOT IN partition the customers (no NULL keys)"
+    );
 }
 
 #[test]
@@ -79,8 +83,14 @@ fn quantified_any_and_all() {
         "SELECT p.partkey FROM part p WHERE p.retailprice >= ALL \
          (SELECT p2.retailprice FROM part p2 WHERE p2.partkey <> p.partkey)",
     );
-    assert!(any >= 24, "everything but the cheapest beats something: {any}");
-    assert!((1..=3).contains(&all), "only the most expensive beats everything: {all}");
+    assert!(
+        any >= 24,
+        "everything but the cheapest beats something: {any}"
+    );
+    assert!(
+        (1..=3).contains(&all),
+        "only the most expensive beats everything: {all}"
+    );
 }
 
 #[test]

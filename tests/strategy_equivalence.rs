@@ -32,10 +32,7 @@ fn value() -> impl Strategy<Value = Value> {
 }
 
 fn table(qualifier: &'static str, max_rows: usize) -> impl Strategy<Value = Relation> {
-    let schema = Schema::qualified(
-        qualifier,
-        &[("a", DataType::Int), ("b", DataType::Int)],
-    );
+    let schema = Schema::qualified(qualifier, &[("a", DataType::Int), ("b", DataType::Int)]);
     proptest::collection::vec((value(), value()), 0..max_rows).prop_map(move |rows| {
         Relation::from_parts(
             schema.clone(),
@@ -74,8 +71,7 @@ fn correlation(q: &'static str) -> impl Strategy<Value = Predicate> {
 
 /// Conjunction of 1–2 correlation/local conjuncts.
 fn theta(q: &'static str) -> impl Strategy<Value = Predicate> {
-    proptest::collection::vec(correlation(q), 1..3)
-        .prop_map(Predicate::conjoin)
+    proptest::collection::vec(correlation(q), 1..3).prop_map(Predicate::conjoin)
 }
 
 fn agg_func() -> impl Strategy<Value = AggFunc> {
@@ -107,7 +103,11 @@ fn subquery_pred() -> impl Strategy<Value = NestedPredicate> {
         NestedPredicate::Subquery(SubqueryPred::Quantified {
             left: col("B.a"),
             op,
-            quantifier: if all { Quantifier::All } else { Quantifier::Some },
+            quantifier: if all {
+                Quantifier::All
+            } else {
+                Quantifier::Some
+            },
             query: Box::new(
                 QueryExpr::table("R", "R1")
                     .select_flat(t)
@@ -142,8 +142,7 @@ fn subquery_pred() -> impl Strategy<Value = NestedPredicate> {
 
 /// A flat atom over the outer block.
 fn outer_atom() -> impl Strategy<Value = NestedPredicate> {
-    (cmp_op(), 0i64..5)
-        .prop_map(|(op, k)| NestedPredicate::Atom(col("B.a").cmp_with(op, lit(k))))
+    (cmp_op(), 0i64..5).prop_map(|(op, k)| NestedPredicate::Atom(col("B.a").cmp_with(op, lit(k))))
 }
 
 /// A full predicate: conjunctions/disjunctions/negations over subqueries

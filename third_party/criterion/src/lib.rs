@@ -1,0 +1,259 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds with no network access, so the real `criterion`
+//! cannot be fetched. The bench targets only use a narrow slice of its
+//! API — groups, `BenchmarkId`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!`
+//! macros — which this crate reimplements as a plain wall-clock harness.
+//! Statistical analysis (outlier detection, regression fitting, HTML
+//! reports) is intentionally absent: the numbers that matter for the
+//! paper reproduction are produced by the `repro` binary, not by
+//! criterion; the bench targets exist for relative comparisons and CI
+//! smoke coverage (`--quick`).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as an id.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Hands the measured closure to the timing loop.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed() / self.iters_per_sample.max(1) as u32;
+            self.samples.push(elapsed);
+        }
+    }
+}
+
+/// Identity function that defeats constant-folding of bench results.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness state, shared by every group.
+#[derive(Default)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Criterion {
+    /// Build from CLI args. Only `--quick` changes behavior; everything
+    /// else (`--bench`, filters) is accepted and ignored.
+    pub fn from_args() -> Self {
+        Criterion {
+            quick: std::env::args().any(|a| a == "--quick"),
+        }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the wall-clock harness sizes runs
+    /// by sample count only.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is a single untimed run.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into_benchmark_id();
+        let mut samples = Vec::new();
+        let sample_count = if self.criterion.quick {
+            1
+        } else {
+            self.sample_size
+        };
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            iters_per_sample: 1,
+            sample_count,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.id, &samples);
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, samples: &[Duration]) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if samples.is_empty() {
+        println!("{label:<56} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let max = sorted[sorted.len() - 1];
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{label:<56} time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max)
+    );
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundle bench functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Entry point running every group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { quick: true };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function(BenchmarkId::new("inc", 1), |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion { quick: true };
+        let mut group = c.benchmark_group("smoke");
+        let mut seen = 0;
+        group.bench_with_input(BenchmarkId::new("id", 7), &7, |b, &i| b.iter(|| seen = i));
+        group.finish();
+        assert_eq!(seen, 7);
+    }
+}

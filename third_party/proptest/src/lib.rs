@@ -1,0 +1,798 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds with no network access, so the real `proptest`
+//! cannot be fetched from a registry. The property tests in this repo use
+//! a well-defined slice of its API — `Strategy` with `prop_map` /
+//! `prop_recursive`, `Just`, integer-range and tuple strategies, a
+//! char-class regex subset for `&str` strategies, `prop_oneof!`,
+//! `proptest::collection::vec`, `proptest::bool::ANY`, `any::<T>()`, and
+//! the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros — which
+//! this crate reimplements as a plain generate-and-check harness.
+//!
+//! Differences from the real crate, deliberate and documented:
+//!
+//! * **No shrinking.** A failing case reports its inputs (`Debug`) and
+//!   panics immediately. The generators in this repo draw small values
+//!   (≤16-row relations), so raw counterexamples stay readable.
+//! * **Deterministic seeding.** Each test derives its RNG seed from its
+//!   fully-qualified name, so runs are reproducible without a
+//!   `proptest-regressions` directory.
+//! * **Regex strategies** support exactly the subset the tests use:
+//!   concatenations of `[class]{m,n}` / `[class]` / literal elements.
+
+use std::rc::Rc;
+
+/// Deterministic generator state for test-case synthesis.
+pub mod rng {
+    /// SplitMix64 — tiny, seedable, and plenty for test generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a stable string (the fully-qualified test name).
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name gives a stable per-test stream.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)` via widening multiply.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "cannot draw below 0");
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+/// Core strategy trait plus the combinators the tests use.
+pub mod strategy {
+    use super::rng::TestRng;
+    use super::Rc;
+    use std::fmt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        type Value: fmt::Debug;
+
+        /// Draw one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: fmt::Debug,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Build a recursive strategy: `self` generates leaves; `branch`
+        /// wraps an inner strategy into composites. `depth` bounds the
+        /// nesting; the size/branch hints are accepted for API
+        /// compatibility but unused (generation is depth-bounded, not
+        /// size-tuned).
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            branch: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let mut strat = self.boxed();
+            for _ in 0..depth {
+                let deeper = branch(strat.clone()).boxed();
+                strat = Union::new(vec![(1, strat), (1, deeper)]).boxed();
+            }
+            strat
+        }
+
+        /// Type-erase behind a cloneable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Cloneable type-erased strategy handle.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.0.gen_value(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Clone, F: Clone> Clone for Map<S, F> {
+        fn clone(&self) -> Self {
+            Map {
+                inner: self.inner.clone(),
+                f: self.f.clone(),
+            }
+        }
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: fmt::Debug,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn gen_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Weighted choice between same-valued strategies — `prop_oneof!`.
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+                total: self.total,
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, arm) in &self.arms {
+                if pick < *w as u64 {
+                    return arm.gen_value(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    /// One parsed element of the supported regex subset.
+    enum RegexElement {
+        Literal(char),
+        Class {
+            chars: Vec<char>,
+            min: usize,
+            max: usize,
+        },
+    }
+
+    fn parse_regex_subset(pattern: &str) -> Vec<RegexElement> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut elements = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if chars[i] == '[' {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed [ in regex strategy {pattern:?}"));
+                let mut members = Vec::new();
+                let body = &chars[i + 1..close];
+                let mut j = 0;
+                while j < body.len() {
+                    // `a-z` is a range unless the `-` is first or last.
+                    if j + 2 < body.len() && body[j + 1] == '-' {
+                        let (lo, hi) = (body[j] as u32, body[j + 2] as u32);
+                        assert!(lo <= hi, "inverted range in regex strategy {pattern:?}");
+                        for c in lo..=hi {
+                            members.push(char::from_u32(c).unwrap());
+                        }
+                        j += 3;
+                    } else {
+                        members.push(body[j]);
+                        j += 1;
+                    }
+                }
+                assert!(
+                    !members.is_empty(),
+                    "empty class in regex strategy {pattern:?}"
+                );
+                i = close + 1;
+                let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+                elements.push(RegexElement::Class {
+                    chars: members,
+                    min,
+                    max,
+                });
+            } else {
+                let c = chars[i];
+                i += 1;
+                let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+                if (min, max) == (1, 1) {
+                    elements.push(RegexElement::Literal(c));
+                } else {
+                    elements.push(RegexElement::Class {
+                        chars: vec![c],
+                        min,
+                        max,
+                    });
+                }
+            }
+        }
+        elements
+    }
+
+    fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+        if *i >= chars.len() || chars[*i] != '{' {
+            return (1, 1);
+        }
+        let close = chars[*i + 1..]
+            .iter()
+            .position(|&c| c == '}')
+            .map(|p| p + *i + 1)
+            .unwrap_or_else(|| panic!("unclosed {{ in regex strategy {pattern:?}"));
+        let body: String = chars[*i + 1..close].iter().collect();
+        *i = close + 1;
+        let parse = |s: &str| -> usize {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}"))
+        };
+        match body.split_once(',') {
+            Some((lo, hi)) => (parse(lo), parse(hi)),
+            None => {
+                let n = parse(&body);
+                (n, n)
+            }
+        }
+    }
+
+    /// `&str` as a strategy: the pattern is a regex in the supported
+    /// subset (concatenated literals and `[class]{m,n}` elements).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            let elements = parse_regex_subset(self);
+            let mut out = String::new();
+            for e in &elements {
+                match e {
+                    RegexElement::Literal(c) => out.push(*c),
+                    RegexElement::Class { chars, min, max } => {
+                        let n = *min as u64 + rng.below((max - min) as u64 + 1);
+                        for _ in 0..n {
+                            out.push(chars[rng.below(chars.len() as u64) as usize]);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    /// Types with a canonical whole-domain strategy — `any::<T>()`.
+    pub trait Arbitrary: Sized + fmt::Debug {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy form of [`Arbitrary`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<A>(std::marker::PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+        type Value = A;
+        fn gen_value(&self, rng: &mut TestRng) -> A {
+            A::arbitrary_value(rng)
+        }
+    }
+
+    /// The whole domain of `T`: `any::<i64>()`.
+    pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies: `proptest::collection::vec`.
+pub mod collection {
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification accepted by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let n = self.size.min + rng.below(span) as usize;
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies: `proptest::option::of`.
+pub mod option {
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+
+    /// `Option<S::Value>`, `None` one time in four (the real crate's
+    /// default `Probability` is 0.5; the exact weight is unobservable to
+    /// deterministic callers).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.gen_value(rng))
+            }
+        }
+    }
+}
+
+/// Boolean strategies: `proptest::bool::ANY`.
+pub mod bool {
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// Either boolean, uniformly.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Runner configuration and failure type used by the `proptest!` macro.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Subset of the real crate's config: only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Accepted for drop-in compatibility with the real crate; this
+        /// stub never shrinks, so the bound is ignored.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// A failed property case (no shrinking: the message is terminal).
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+            }
+        }
+    }
+}
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+pub use strategy::any;
+
+/// Mark the current case failed unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {{
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    }};
+}
+
+/// Mark the current case failed unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Mark the current case failed unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+}
+
+/// Weighted (`w => strat`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define property tests: draws each `name in strategy` binding, runs the
+/// body `cases` times, and panics with the generated inputs on failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::rng::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for case in 0..cfg.cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::gen_value(&($strat), &mut rng);
+                )+
+                // Render the inputs up front: the body may consume them.
+                let rendered_inputs = [
+                    $(format!("  {} = {:?}", stringify!($arg), &$arg)),+
+                ]
+                .join("\n");
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => panic!(
+                        "property failed at case {}/{}: {}\ninputs:\n{}",
+                        case + 1,
+                        cfg.cases,
+                        e,
+                        rendered_inputs
+                    ),
+                    Err(panic_payload) => {
+                        eprintln!(
+                            "property panicked at case {}/{}\ninputs:\n{}",
+                            case + 1,
+                            cfg.cases,
+                            rendered_inputs
+                        );
+                        ::std::panic::resume_unwind(panic_payload);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_just_generate_in_bounds() {
+        let mut rng = crate::rng::TestRng::deterministic("t1");
+        let s = prop_oneof![2 => 0i64..5, 1 => Just(99i64)];
+        let mut saw_range = false;
+        let mut saw_just = false;
+        for _ in 0..200 {
+            match s.gen_value(&mut rng) {
+                v @ 0..=4 => {
+                    saw_range = true;
+                    assert!((0..5).contains(&v));
+                }
+                99 => saw_just = true,
+                v => panic!("out-of-domain value {v}"),
+            }
+        }
+        assert!(saw_range && saw_just);
+    }
+
+    #[test]
+    fn regex_subset_matches_shape() {
+        let mut rng = crate::rng::TestRng::deterministic("t2");
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_-]{0,11}".gen_value(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 12, "bad length: {s:?}");
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(
+                chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-')
+            );
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = crate::rng::TestRng::deterministic("t3");
+        for _ in 0..100 {
+            let v = crate::collection::vec((0i64..3, 0i64..3), 1..4).gen_value(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate_and_vary() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(v) => u32::from(*v < 0),
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 12, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = crate::rng::TestRng::deterministic("t4");
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            let t = strat.gen_value(&mut rng);
+            let d = depth(&t);
+            assert!(d <= 3, "depth bound violated: {d}");
+            max_depth = max_depth.max(d);
+        }
+        assert!(
+            max_depth >= 2,
+            "recursion never fired (max depth {max_depth})"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_smoke(a in 0i64..100, b in 0i64..100, flip in crate::bool::ANY) {
+            let sum = if flip { a + b } else { a.wrapping_add(b) };
+            prop_assert_eq!(sum, a + b);
+            prop_assert!(sum >= a.min(b));
+        }
+    }
+}
