@@ -2,33 +2,39 @@
 //!
 //! ```text
 //! gmdj-sql-shell [--csv name=path ...] [--tpcr SF] [--netflow N]
-//!                [--strategy S] [--threads N] [-e "SQL"]
+//!                [--strategy S] [--threads N] [--sites N] [-e "SQL"]
 //! ```
 //!
 //! Loads tables from CSV files (schema inferred) and/or generated
 //! datasets, then evaluates SQL queries — interactively from stdin or
-//! one-shot with `-e`. `SET threads = N;` switches the execution policy
-//! mid-session (N = 1 returns to sequential); answers never depend on
-//! the thread count. Meta commands:
+//! one-shot with `-e`. `SET threads = N;` / `SET sites = N;` switch the
+//! execution policy mid-session (N = 1 thread returns to sequential);
+//! answers never depend on the policy. Meta commands:
 //!
 //! ```text
 //! \tables                 list tables and row counts
 //! \strategy [name]        show / set the evaluation strategy
 //! \explain SQL            show the (optimized) GMDJ plan
+//! \analyze [json] SQL     run and show the timed, counter-annotated plan
 //! \dot SQL                emit the optimized plan as Graphviz dot
 //! \compare SQL            run under every strategy and compare
-//! \timing on|off          toggle per-query timing
+//! \metrics                dump the process metrics registry (Prometheus text)
+//! \timing on|off          toggle the parse/plan/execute breakdown
 //! \q                      quit
 //! ```
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use gmdj_core::exec::{MemoryCatalog, TableProvider};
+use gmdj_core::metrics;
 use gmdj_core::runtime::{ExecMode, ExecPolicy};
+use gmdj_core::trace::{CollectingSink, Span};
 use gmdj_datagen::netflow::{NetflowConfig, NetflowData};
 use gmdj_datagen::tpcr::{TpcrConfig, TpcrData};
-use gmdj_engine::strategy::{explain_gmdj, run_with_policy, Strategy};
+use gmdj_engine::analyze::explain_analyze;
+use gmdj_engine::strategy::{explain_gmdj, run_with_policy, run_with_policy_traced, Strategy};
 use gmdj_sql::parse_query;
 
 const STRATEGIES: [Strategy; 10] = [
@@ -55,45 +61,70 @@ struct Shell {
     timing: bool,
 }
 
-/// Recognize `SET threads = N` (case-insensitive; `=` optional), the one
-/// session variable the shell supports. Returns the requested count.
-fn parse_set_threads(sql: &str) -> Option<Result<usize, String>> {
+/// The shell's session variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SetVar {
+    Threads,
+    Sites,
+}
+
+/// Recognize `SET threads = N` / `SET sites = N` (case-insensitive; `=`
+/// optional). Returns the variable and the requested count.
+fn parse_set(sql: &str) -> Option<Result<(SetVar, usize), String>> {
     let mut words = sql.split_whitespace();
     if !words.next()?.eq_ignore_ascii_case("set") {
         return None;
     }
-    if !words.next()?.eq_ignore_ascii_case("threads") {
+    let var = words.next()?;
+    let var = if var.eq_ignore_ascii_case("threads") {
+        SetVar::Threads
+    } else if var.eq_ignore_ascii_case("sites") {
+        SetVar::Sites
+    } else {
         return None;
-    }
+    };
+    let name = match var {
+        SetVar::Threads => "threads",
+        SetVar::Sites => "sites",
+    };
     let rest: Vec<&str> = words.collect();
     let value = match rest.as_slice() {
         ["=", v] => v,
         [v] => v.strip_prefix('=').unwrap_or(v),
-        _ => return Some(Err("usage: SET threads = N".into())),
+        _ => return Some(Err(format!("usage: SET {name} = N"))),
     };
     Some(match value.parse::<usize>() {
-        Ok(0) => Err("threads must be at least 1".into()),
-        Ok(n) => Ok(n),
-        Err(_) => Err(format!("bad thread count `{value}`")),
+        Ok(0) => Err(format!("{name} must be at least 1")),
+        Ok(n) => Ok((var, n)),
+        Err(_) => Err(format!("bad {name} count `{value}`")),
     })
 }
 
 impl Shell {
     fn run_sql(&mut self, sql: &str) {
-        if let Some(parsed) = parse_set_threads(sql) {
+        if let Some(parsed) = parse_set(sql) {
             match parsed {
-                Ok(1) => {
+                Ok((SetVar::Threads, 1)) => {
                     self.policy = ExecPolicy::sequential();
                     println!("  threads = 1 (sequential)");
                 }
-                Ok(n) => {
+                Ok((SetVar::Threads, n)) => {
                     self.policy = ExecPolicy::parallel(n);
                     println!("  threads = {n}");
+                }
+                Ok((SetVar::Sites, n)) => {
+                    self.policy = ExecPolicy::distributed(n);
+                    println!("  sites = {n} (distributed)");
                 }
                 Err(e) => eprintln!("{e}"),
             }
             return;
         }
+        // The collecting sink feeds the `\timing` breakdown; the engine
+        // emits `query.plan` / `query.execute` spans, the shell adds
+        // `query.parse`.
+        let sink = Arc::new(CollectingSink::new());
+        let parse_span = Span::begin(sink.as_ref(), "query.parse");
         let query = match parse_query(sql) {
             Ok(q) => q,
             Err(e) => {
@@ -101,7 +132,14 @@ impl Shell {
                 return;
             }
         };
-        match run_with_policy(&query, &self.catalog, self.strategy, self.policy) {
+        let parse_wall = parse_span.finish();
+        match run_with_policy_traced(
+            &query,
+            &self.catalog,
+            self.strategy,
+            self.policy,
+            sink.clone(),
+        ) {
             Ok(result) => {
                 const DISPLAY_CAP: usize = 50;
                 if result.relation.len() > DISPLAY_CAP {
@@ -123,11 +161,47 @@ impl Shell {
                         ExecMode::Distributed { sites } => format!(", {sites} sites"),
                     };
                     println!(
-                        "({:.2} ms, {} work units, strategy {}{mode})",
+                        "(parse {:.2} ms, plan {:.2} ms, execute {:.2} ms, {} work units, strategy {}{mode})",
+                        parse_wall.as_secs_f64() * 1e3,
+                        result.plan_wall.as_secs_f64() * 1e3,
                         result.wall.as_secs_f64() * 1e3,
                         result.stats.work(),
                         self.strategy.label()
                     );
+                }
+            }
+            Err(e) => eprintln!("execution error: {e}"),
+        }
+    }
+
+    /// `\analyze [json] SQL`: run the query and print the timed,
+    /// counter-annotated plan tree (or its JSON form).
+    fn analyze(&self, rest: &str) {
+        // Meta lines arrive verbatim; tolerate a statement-style `;`.
+        let rest = rest.trim_end_matches(';').trim();
+        let (json, sql) = match rest.strip_prefix("json ") {
+            Some(sql) => (true, sql.trim()),
+            None => (false, rest),
+        };
+        let query = match parse_query(sql) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("parse error: {e}");
+                return;
+            }
+        };
+        match explain_analyze(
+            &query,
+            &self.catalog,
+            self.strategy,
+            self.policy,
+            Arc::new(gmdj_core::trace::NullSink),
+        ) {
+            Ok(report) => {
+                if json {
+                    println!("{}", report.to_json());
+                } else {
+                    print!("{}", report.render());
                 }
             }
             Err(e) => eprintln!("execution error: {e}"),
@@ -210,6 +284,8 @@ impl Shell {
                 }
             }
             "\\explain" => self.explain(rest),
+            "\\analyze" => self.analyze(rest),
+            "\\metrics" => print!("{}", metrics::global().render_prometheus()),
             "\\dot" => match gmdj_sql::parse_query(rest) {
                 Ok(q) => {
                     match gmdj_core::translate::subquery_to_gmdj(&q, &self.catalog) {
@@ -227,7 +303,7 @@ impl Shell {
                 self.timing = rest != "off";
                 println!("  timing {}", if self.timing { "on" } else { "off" });
             }
-            other => eprintln!("unknown meta command `{other}` (try \\tables, \\strategy, \\explain, \\compare, \\timing, \\q)"),
+            other => eprintln!("unknown meta command `{other}` (try \\tables, \\strategy, \\explain, \\analyze, \\compare, \\metrics, \\timing, \\q)"),
         }
         true
     }
@@ -334,6 +410,23 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--sites" => {
+                let Some(v) = argv.next() else {
+                    eprintln!("--sites needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match v.parse::<usize>() {
+                    Ok(0) => {
+                        eprintln!("--sites must be at least 1");
+                        return ExitCode::FAILURE;
+                    }
+                    Ok(n) => policy = ExecPolicy::distributed(n),
+                    Err(_) => {
+                        eprintln!("bad site count `{v}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "-e" => {
                 let Some(sql) = argv.next() else {
                     eprintln!("-e needs an SQL string");
@@ -349,8 +442,9 @@ fn main() -> ExitCode {
                      --netflow N       generate the IP-flow warehouse with N flows\n\
                      --strategy S      evaluation strategy (default gmdj-opt)\n\
                      --threads N       evaluate GMDJs with N worker threads\n\
+                     --sites N         evaluate GMDJs distributed across N sites\n\
                      -e SQL            run one query and exit (repeatable)\n\n\
-                     `SET threads = N;` changes the thread count mid-session."
+                     `SET threads = N;` / `SET sites = N;` change the policy mid-session."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -374,7 +468,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    println!("gmdj-sql-shell — \\q to quit, \\tables, \\strategy, \\explain, \\dot, \\compare");
+    println!("gmdj-sql-shell — \\q to quit, \\tables, \\strategy, \\explain, \\analyze, \\dot, \\compare, \\metrics");
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [--figure 2|3|4|5] [--scale F] [--seed N] [--threads N] [--full]
+//!       [--profile-json PATH] [--check-profile PATH]
 //! ```
 //!
 //! Prints, per figure, the measurement table (one row per size point, one
@@ -11,10 +12,15 @@
 //! minutes on a laptop while preserving every shape. `--threads N` runs
 //! the GMDJ strategies under `ExecPolicy::Parallel` — answers are
 //! bit-identical, only wall-clock changes.
+//!
+//! `--profile-json PATH` additionally writes a machine-readable profile
+//! (wall-clock, work counters, and the timed per-node plan trees) in the
+//! format of `schemas/profile.schema.json`; `--check-profile PATH`
+//! parses + validates an existing profile and exits, for CI.
 
 use std::process::ExitCode;
 
-use gmdj_bench::{render_table, run_figure_with, shape, FigureId};
+use gmdj_bench::{profile, render_table, run_figure_with, shape, FigureId};
 use gmdj_core::runtime::ExecPolicy;
 
 struct Args {
@@ -23,6 +29,8 @@ struct Args {
     seed: u64,
     threads: usize,
     csv_dir: Option<String>,
+    profile_json: Option<String>,
+    check_profile: Option<String>,
 }
 
 impl Args {
@@ -41,6 +49,8 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 42;
     let mut threads = 1;
     let mut csv_dir: Option<String> = None;
+    let mut profile_json: Option<String> = None;
+    let mut check_profile: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -67,6 +77,12 @@ fn parse_args() -> Result<Args, String> {
             "--csv" => {
                 csv_dir = Some(argv.next().ok_or("--csv needs a directory")?);
             }
+            "--profile-json" => {
+                profile_json = Some(argv.next().ok_or("--profile-json needs a path")?);
+            }
+            "--check-profile" => {
+                check_profile = Some(argv.next().ok_or("--check-profile needs a path")?);
+            }
             "--help" | "-h" => {
                 println!(
                     "repro — regenerate the figures of 'Efficient Computation of \
@@ -77,7 +93,10 @@ fn parse_args() -> Result<Args, String> {
                      --full       shorthand for --scale 1.0 (the paper's sizes)\n  \
                      --seed N     data generation seed (default 42)\n  \
                      --threads N  evaluate GMDJ strategies with N worker threads\n  \
-                     --csv DIR    also write the measurement grid as DIR/figN.csv"
+                     --csv DIR    also write the measurement grid as DIR/figN.csv\n  \
+                     --profile-json PATH   write a machine-readable profile (timed\n                        \
+                     plan trees + counters; see schemas/profile.schema.json)\n  \
+                     --check-profile PATH  validate an existing profile and exit"
                 );
                 std::process::exit(0);
             }
@@ -93,7 +112,40 @@ fn parse_args() -> Result<Args, String> {
         seed,
         threads,
         csv_dir,
+        profile_json,
+        check_profile,
     })
+}
+
+/// `--check-profile`: parse + validate a profile document, exit code only.
+fn check_profile_file(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match profile::parse_json(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match profile::validate_profile(&doc) {
+        Ok(()) => {
+            println!(
+                "{path}: valid profile (version {})",
+                profile::PROFILE_VERSION
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path} violates the profile schema: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Write one figure's measurements as CSV (for external plotting).
@@ -136,12 +188,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &args.check_profile {
+        return check_profile_file(path);
+    }
     println!(
         "Reproducing Akinde & Böhlen (ICDE 2003), scale {} of the paper's sizes, seed {}, {} thread(s)\n",
         args.scale, args.seed, args.threads
     );
     let policy = args.policy();
     let mut all_passed = true;
+    let mut figures = Vec::new();
     for fig in &args.figures {
         let figure = match run_figure_with(*fig, args.scale, args.seed, policy) {
             Ok(f) => f,
@@ -159,6 +215,21 @@ fn main() -> ExitCode {
         let checks = shape::check(*fig, &figure);
         println!("{}", shape::render(&checks));
         all_passed &= checks.iter().all(|c| c.passed);
+        figures.push(figure);
+    }
+    if let Some(path) = &args.profile_json {
+        let doc = profile::render_profile(&figures, &policy, args.scale, args.seed);
+        // Self-check before writing: the emitted document must satisfy
+        // its own schema, so CI failures point at the generator.
+        if let Err(e) = profile::parse_json(&doc).and_then(|d| profile::validate_profile(&d)) {
+            eprintln!("internal error: generated profile is invalid: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(path, &doc) {
+            eprintln!("profile write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
     }
     if all_passed {
         println!("All shape checks passed.");

@@ -14,13 +14,14 @@ use std::time::Duration;
 
 use gmdj_algebra::ast::QueryExpr;
 use gmdj_core::exec::MemoryCatalog;
-use gmdj_core::runtime::ExecPolicy;
+use gmdj_core::runtime::{ExecPolicy, PlanNodeStats};
 use gmdj_datagen::workloads::{
     fig2_exists, fig3_aggregate_comparison, fig4_quantified_all, fig5_tree_exists, Workload,
 };
 use gmdj_engine::strategy::{run_with_policy, Strategy};
 use gmdj_relation::error::Result;
 
+pub mod profile;
 pub mod shape;
 
 /// One measured cell of a figure.
@@ -28,8 +29,12 @@ pub mod shape;
 pub struct Measurement {
     pub strategy: Strategy,
     pub wall: Duration,
+    /// Translation + optimization time (zero for plan-free engines).
+    pub plan_wall: Duration,
     pub work: u64,
     pub rows: usize,
+    /// Timed plan tree, when the strategy executes a GMDJ plan.
+    pub plan: Option<PlanNodeStats>,
 }
 
 /// One row of a figure: a size point with all strategy measurements.
@@ -218,8 +223,10 @@ pub fn run_figure_with(fig: FigureId, scale: f64, seed: u64, policy: ExecPolicy)
             measurements.push(Measurement {
                 strategy,
                 wall: result.wall,
+                plan_wall: result.plan_wall,
                 work: result.stats.work(),
                 rows: result.relation.len(),
+                plan: result.plan_stats,
             });
         }
         points.push(SizePoint {

@@ -1,0 +1,528 @@
+//! Machine-readable profiles: the `repro --profile-json` output.
+//!
+//! A profile is one JSON document carrying, per figure / size point /
+//! strategy, the query wall-clock, work counters, and the full timed
+//! [`PlanNodeStats`] tree. The format is documented by the checked-in
+//! schema at `schemas/profile.schema.json`; [`validate_profile`]
+//! implements exactly that schema (no serde in-tree, so validation runs
+//! on the hand-rolled [`Json`] parser below — CI regenerates a profile
+//! and validates it on every push).
+
+use gmdj_core::runtime::{ExecPolicy, PlanNodeStats};
+use gmdj_core::trace::json_escape;
+
+use crate::{Figure, Measurement};
+
+/// Schema version written to and required from profile documents.
+pub const PROFILE_VERSION: u64 = 1;
+
+/// Render a full profile document for a set of regenerated figures.
+pub fn render_profile(figures: &[Figure], policy: &ExecPolicy, scale: f64, seed: u64) -> String {
+    let mut out = format!(
+        "{{\"version\":{},\"policy\":\"{}\",\"scale\":{},\"seed\":{},\"figures\":[",
+        PROFILE_VERSION,
+        json_escape(&format!("{:?}", policy.mode)),
+        scale,
+        seed
+    );
+    for (i, fig) in figures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"description\":\"{}\",\"points\":[",
+            json_escape(fig.name),
+            json_escape(fig.description)
+        ));
+        for (j, p) in fig.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"label\":\"{}\",\"outer\":{},\"inner\":{},\"measurements\":[",
+                json_escape(&p.label),
+                p.outer,
+                p.inner
+            ));
+            for (k, m) in p.measurements.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&measurement_json(m));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn measurement_json(m: &Measurement) -> String {
+    let plan = match &m.plan {
+        Some(tree) => tree.to_json(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"strategy\":\"{}\",\"wall_us\":{},\"plan_us\":{},\"work\":{},\"rows\":{},\"plan\":{}}}",
+        json_escape(m.strategy.label()),
+        m.wall.as_micros(),
+        m.plan_wall.as_micros(),
+        m.work,
+        m.rows,
+        plan
+    )
+}
+
+/// A parsed JSON value — the minimal tree the validator needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document (strict enough for profiles: no comments, no
+/// trailing commas; `\uXXXX` escapes decode, surrogate pairs excluded).
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected `:` at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("surrogate \\u escape")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy the full UTF-8 sequence starting here.
+                let s = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = s.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// The ten evaluator counters every plan node carries.
+const EVAL_COUNTERS: [&str; 10] = [
+    "detail_scanned",
+    "probe_candidates",
+    "theta_evals",
+    "agg_updates",
+    "base_rows",
+    "dead_early",
+    "done_early",
+    "index_builds",
+    "partitions",
+    "completion_fallbacks",
+];
+
+fn require_num(obj: &Json, key: &str, at: &str) -> Result<(), String> {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .map(|_| ())
+        .ok_or_else(|| format!("{at}: missing numeric `{key}`"))
+}
+
+fn require_str(obj: &Json, key: &str, at: &str) -> Result<(), String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(|_| ())
+        .ok_or_else(|| format!("{at}: missing string `{key}`"))
+}
+
+/// Validate a plan-node object against the schema (recursively).
+fn validate_plan(node: &Json, at: &str) -> Result<(), String> {
+    require_str(node, "label", at)?;
+    for key in [
+        "rows_out",
+        "scanned_rows",
+        "elapsed_ns",
+        "self_ns",
+        "invocations",
+        "worker_wall_max_ns",
+        "worker_wall_sum_ns",
+    ] {
+        require_num(node, key, at)?;
+    }
+    let eval = node
+        .get("eval")
+        .ok_or_else(|| format!("{at}: missing `eval`"))?;
+    for key in EVAL_COUNTERS {
+        require_num(eval, key, &format!("{at}.eval"))?;
+    }
+    let network = node
+        .get("network")
+        .ok_or_else(|| format!("{at}: missing `network`"))?;
+    for key in ["broadcast_values", "collected_states", "messages"] {
+        require_num(network, key, &format!("{at}.network"))?;
+    }
+    let ops = node
+        .get("ops")
+        .ok_or_else(|| format!("{at}: missing `ops`"))?;
+    for key in ["rows_in", "rows_out"] {
+        require_num(ops, key, &format!("{at}.ops"))?;
+    }
+    let children = node
+        .get("children")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{at}: missing `children` array"))?;
+    for (i, c) in children.iter().enumerate() {
+        validate_plan(c, &format!("{at}.children[{i}]"))?;
+    }
+    Ok(())
+}
+
+/// Validate a parsed profile document against the checked-in schema
+/// (`schemas/profile.schema.json`). Returns the first violation.
+pub fn validate_profile(doc: &Json) -> Result<(), String> {
+    let version = doc
+        .get("version")
+        .and_then(Json::as_num)
+        .ok_or("missing numeric `version`")?;
+    if version != PROFILE_VERSION as f64 {
+        return Err(format!("unsupported profile version {version}"));
+    }
+    require_str(doc, "policy", "profile")?;
+    require_num(doc, "scale", "profile")?;
+    require_num(doc, "seed", "profile")?;
+    let figures = doc
+        .get("figures")
+        .and_then(Json::as_arr)
+        .ok_or("missing `figures` array")?;
+    if figures.is_empty() {
+        return Err("`figures` is empty".into());
+    }
+    for (i, fig) in figures.iter().enumerate() {
+        let at = format!("figures[{i}]");
+        require_str(fig, "name", &at)?;
+        require_str(fig, "description", &at)?;
+        let points = fig
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{at}: missing `points` array"))?;
+        for (j, p) in points.iter().enumerate() {
+            let at = format!("{at}.points[{j}]");
+            require_str(p, "label", &at)?;
+            require_num(p, "outer", &at)?;
+            require_num(p, "inner", &at)?;
+            let measurements = p
+                .get("measurements")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("{at}: missing `measurements` array"))?;
+            for (k, m) in measurements.iter().enumerate() {
+                let at = format!("{at}.measurements[{k}]");
+                require_str(m, "strategy", &at)?;
+                for key in ["wall_us", "plan_us", "work", "rows"] {
+                    require_num(m, key, &at)?;
+                }
+                match m.get("plan") {
+                    Some(Json::Null) => {}
+                    Some(plan @ Json::Obj(_)) => validate_plan(plan, &format!("{at}.plan"))?,
+                    _ => return Err(format!("{at}: `plan` must be an object or null")),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reconstruct a [`PlanNodeStats`] tree from its `to_json` form — used by
+/// the round-trip tests to assert the JSON loses nothing the profile
+/// consumers need.
+pub fn plan_from_json(node: &Json) -> Result<PlanNodeStats, String> {
+    let num = |key: &str| -> Result<u64, String> {
+        node.get(key)
+            .and_then(Json::as_num)
+            .map(|n| n as u64)
+            .ok_or_else(|| format!("missing `{key}`"))
+    };
+    let mut out = PlanNodeStats::new(
+        node.get("label")
+            .and_then(Json::as_str)
+            .ok_or("missing `label`")?,
+    );
+    out.rows_out = num("rows_out")?;
+    out.scanned_rows = num("scanned_rows")?;
+    out.elapsed_ns = num("elapsed_ns")?;
+    out.invocations = num("invocations")?;
+    out.worker_wall_max_ns = num("worker_wall_max_ns")?;
+    out.worker_wall_sum_ns = num("worker_wall_sum_ns")?;
+    let ops = node.get("ops").ok_or("missing `ops`")?;
+    let ops_num = |key: &str| -> Result<u64, String> {
+        ops.get(key)
+            .and_then(Json::as_num)
+            .map(|n| n as u64)
+            .ok_or_else(|| format!("missing ops.`{key}`"))
+    };
+    out.ops.rows_in = ops_num("rows_in")?;
+    out.ops.rows_out = ops_num("rows_out")?;
+    let eval = node.get("eval").ok_or("missing `eval`")?;
+    let eval_num = |key: &str| -> Result<u64, String> {
+        eval.get(key)
+            .and_then(Json::as_num)
+            .map(|n| n as u64)
+            .ok_or_else(|| format!("missing eval.`{key}`"))
+    };
+    out.eval.detail_scanned = eval_num("detail_scanned")?;
+    out.eval.probe_candidates = eval_num("probe_candidates")?;
+    out.eval.theta_evals = eval_num("theta_evals")?;
+    out.eval.agg_updates = eval_num("agg_updates")?;
+    out.eval.base_rows = eval_num("base_rows")?;
+    out.eval.dead_early = eval_num("dead_early")?;
+    out.eval.done_early = eval_num("done_early")?;
+    out.eval.index_builds = eval_num("index_builds")?;
+    out.eval.partitions = eval_num("partitions")?;
+    out.eval.completion_fallbacks = eval_num("completion_fallbacks")?;
+    let network = node.get("network").ok_or("missing `network`")?;
+    let net_num = |key: &str| -> Result<u64, String> {
+        network
+            .get(key)
+            .and_then(Json::as_num)
+            .map(|n| n as u64)
+            .ok_or_else(|| format!("missing network.`{key}`"))
+    };
+    out.network.broadcast_values = net_num("broadcast_values")?;
+    out.network.collected_states = net_num("collected_states")?;
+    out.network.messages = net_num("messages")?;
+    for c in node
+        .get("children")
+        .and_then(Json::as_arr)
+        .ok_or("missing `children`")?
+    {
+        out.children.push(plan_from_json(c)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_profile_shapes() {
+        let doc = parse_json(r#"{"a":[1,2.5,-3],"b":"x\"yA","c":null,"d":true}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(doc.get("b").unwrap().as_str().unwrap(), "x\"yA");
+        assert_eq!(doc.get("c"), Some(&Json::Null));
+        assert_eq!(doc.get("d"), Some(&Json::Bool(true)));
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("[1,2,]").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn plan_json_round_trips() {
+        let mut node = PlanNodeStats::new("GMDJ");
+        node.rows_out = 7;
+        node.elapsed_ns = 1234;
+        node.invocations = 1;
+        node.eval.detail_scanned = 99;
+        node.eval.partitions = 2;
+        node.network.messages = 4;
+        node.worker_wall_sum_ns = 55;
+        let mut child = PlanNodeStats::new("Table(x)");
+        child.scanned_rows = 10;
+        node.children.push(child);
+
+        let json = parse_json(&node.to_json()).unwrap();
+        validate_plan(&json, "plan").unwrap();
+        let back = plan_from_json(&json).unwrap();
+        assert_eq!(back.label, "GMDJ");
+        assert_eq!(back.rows_out, 7);
+        assert_eq!(back.eval.detail_scanned, 99);
+        assert_eq!(back.network.messages, 4);
+        assert_eq!(back.children[0].scanned_rows, 10);
+    }
+
+    #[test]
+    fn validation_rejects_missing_counters() {
+        let doc = parse_json(
+            r#"{"version":1,"policy":"Sequential","scale":0.01,"seed":1,"figures":[
+                {"name":"f","description":"d","points":[
+                    {"label":"l","outer":1,"inner":1,"measurements":[
+                        {"strategy":"s","wall_us":1,"plan_us":0,"work":1,"rows":1,"plan":null}
+                    ]}]}]}"#,
+        )
+        .unwrap();
+        validate_profile(&doc).unwrap();
+
+        let bad =
+            parse_json(r#"{"version":2,"policy":"x","scale":1,"seed":1,"figures":[{}]}"#).unwrap();
+        assert!(validate_profile(&bad).is_err());
+        let empty =
+            parse_json(r#"{"version":1,"policy":"x","scale":1,"seed":1,"figures":[]}"#).unwrap();
+        assert!(validate_profile(&empty).unwrap_err().contains("empty"));
+    }
+}

@@ -65,6 +65,25 @@ impl NetworkStats {
         self.collected_states += other.collected_states;
         self.messages += other.messages;
     }
+
+    /// Field-wise difference `self − earlier`: the traffic delta
+    /// attributable to a span that snapshotted `earlier` at entry.
+    pub fn minus(&self, earlier: &NetworkStats) -> NetworkStats {
+        NetworkStats {
+            broadcast_values: self.broadcast_values - earlier.broadcast_values,
+            collected_states: self.collected_states - earlier.collected_states,
+            messages: self.messages - earlier.messages,
+        }
+    }
+
+    /// The counters as named trace-span fields.
+    pub fn trace_fields(&self) -> [(&'static str, u64); 3] {
+        [
+            ("broadcast_values", self.broadcast_values),
+            ("collected_states", self.collected_states),
+            ("messages", self.messages),
+        ]
+    }
 }
 
 /// One site of the simulated warehouse: a named fragment of the detail

@@ -109,6 +109,39 @@ impl EvalStats {
     pub fn work(&self) -> u64 {
         self.detail_scanned + self.probe_candidates + self.theta_evals + self.agg_updates
     }
+
+    /// Field-wise difference `self − earlier` (saturating): the counter
+    /// delta attributable to a span that snapshotted `earlier` at entry.
+    pub fn minus(&self, earlier: &EvalStats) -> EvalStats {
+        EvalStats {
+            detail_scanned: self.detail_scanned - earlier.detail_scanned,
+            probe_candidates: self.probe_candidates - earlier.probe_candidates,
+            theta_evals: self.theta_evals - earlier.theta_evals,
+            agg_updates: self.agg_updates - earlier.agg_updates,
+            base_rows: self.base_rows - earlier.base_rows,
+            dead_early: self.dead_early - earlier.dead_early,
+            done_early: self.done_early - earlier.done_early,
+            index_builds: self.index_builds - earlier.index_builds,
+            partitions: self.partitions - earlier.partitions,
+            completion_fallbacks: self.completion_fallbacks - earlier.completion_fallbacks,
+        }
+    }
+
+    /// The counters as named trace-span fields, in declaration order.
+    pub fn trace_fields(&self) -> [(&'static str, u64); 10] {
+        [
+            ("detail_scanned", self.detail_scanned),
+            ("probe_candidates", self.probe_candidates),
+            ("theta_evals", self.theta_evals),
+            ("agg_updates", self.agg_updates),
+            ("base_rows", self.base_rows),
+            ("dead_early", self.dead_early),
+            ("done_early", self.done_early),
+            ("index_builds", self.index_builds),
+            ("partitions", self.partitions),
+            ("completion_fallbacks", self.completion_fallbacks),
+        ]
+    }
 }
 
 /// Plain GMDJ: `MD(base, detail, spec)`.
@@ -140,6 +173,34 @@ pub fn eval_gmdj_filtered(
     opts: &GmdjOptions,
     stats: &mut EvalStats,
 ) -> Result<Relation> {
+    eval_gmdj_filtered_traced(
+        base,
+        detail,
+        spec,
+        selection,
+        keep,
+        completion,
+        opts,
+        stats,
+        &crate::trace::NullSink,
+    )
+}
+
+/// [`eval_gmdj_filtered`] with a trace sink: each base-partition scan is
+/// emitted as a `gmdj.partition` span carrying that partition's exact
+/// counter delta, so the sum of partition spans reconciles with `stats`.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_gmdj_filtered_traced(
+    base: &Relation,
+    detail: &Relation,
+    spec: &GmdjSpec,
+    selection: Option<&Predicate>,
+    keep: Keep,
+    completion: Option<&CompletionPlan>,
+    opts: &GmdjOptions,
+    stats: &mut EvalStats,
+    sink: &dyn crate::trace::TraceSink,
+) -> Result<Relation> {
     if completion.is_some() && selection.is_none() {
         return Err(Error::invalid("completion plan requires a selection"));
     }
@@ -159,6 +220,8 @@ pub fn eval_gmdj_filtered(
     while start < base.len() || (base.is_empty() && start == 0) {
         let end = (start + partition).min(base.len());
         let chunk = &base.rows()[start..end];
+        let before = *stats;
+        let span = crate::trace::Span::begin(sink, "gmdj.partition");
         run_partition(
             chunk,
             base.schema(),
@@ -171,6 +234,9 @@ pub fn eval_gmdj_filtered(
             stats,
             &mut out_rows,
         )?;
+        let mut span = span;
+        span.fields(stats.minus(&before).trace_fields());
+        span.finish();
         start = end;
         if base.is_empty() {
             break;

@@ -10,6 +10,9 @@
 //! and the tree itself in [`ExecContext::plan_stats`], where
 //! [`crate::cost::observed_cost`] can read it back.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use gmdj_relation::error::{Error, Result};
 use gmdj_relation::ops;
 use gmdj_relation::relation::Relation;
@@ -18,6 +21,7 @@ use crate::distributed::NetworkStats;
 use crate::eval::{EvalStats, GmdjOptions};
 use crate::plan::GmdjExpr;
 use crate::runtime::{ExecPolicy, PlanNodeStats, Runtime};
+use crate::trace::{NullSink, Span, TraceSink};
 use crate::translate::SchemaInfo;
 
 /// Source of base tables. The engine crate implements this for its
@@ -40,8 +44,9 @@ impl<T: TableProvider + ?Sized> SchemaInfo for T {
     }
 }
 
-/// Execution context: the execution policy plus accumulated statistics.
-#[derive(Debug, Default)]
+/// Execution context: the execution policy plus accumulated statistics
+/// and the trace sink every plan node and GMDJ evaluation reports into.
+#[derive(Debug)]
 pub struct ExecContext {
     /// The policy every GMDJ in the plan executes under.
     pub policy: ExecPolicy,
@@ -52,6 +57,21 @@ pub struct ExecContext {
     pub network: NetworkStats,
     /// Per-plan-node statistics tree of the most recent [`execute`] call.
     pub plan_stats: Option<PlanNodeStats>,
+    /// Span sink: `plan.node` spans plus everything the [`Runtime`]
+    /// emits beneath them. Defaults to [`NullSink`].
+    pub sink: Arc<dyn TraceSink>,
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext {
+            policy: ExecPolicy::default(),
+            stats: EvalStats::default(),
+            network: NetworkStats::default(),
+            plan_stats: None,
+            sink: Arc::new(NullSink),
+        }
+    }
 }
 
 impl ExecContext {
@@ -76,6 +96,12 @@ impl ExecContext {
             ..ExecContext::default()
         }
     }
+
+    /// Builder-style: trace into `sink`.
+    pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = sink;
+        self
+    }
 }
 
 /// Evaluate a GMDJ expression under the context's policy, recording a
@@ -86,7 +112,7 @@ pub fn execute(
     ctx: &mut ExecContext,
 ) -> Result<Relation> {
     ctx.policy.validate()?;
-    let runtime = Runtime::new(ctx.policy);
+    let runtime = Runtime::with_sink(ctx.policy, ctx.sink.clone());
     let (rel, tree) = execute_node(expr, tables, &runtime)?;
     ctx.stats.merge(&tree.total_eval());
     ctx.network.merge(&tree.total_network());
@@ -103,7 +129,27 @@ fn unary_node(label: &str, rows_in: usize, out: &Relation, child: PlanNodeStats)
     node
 }
 
+/// Run one plan node, recording inclusive wall-clock (children included;
+/// [`PlanNodeStats::self_time_ns`] recovers self-time) and emitting a
+/// `plan.node` span per node.
 fn execute_node(
+    expr: &GmdjExpr,
+    tables: &dyn TableProvider,
+    runtime: &Runtime,
+) -> Result<(Relation, PlanNodeStats)> {
+    let span = Span::begin(runtime.sink().as_ref(), "plan.node");
+    let start = Instant::now();
+    let (rel, mut node) = run_node(expr, tables, runtime)?;
+    node.elapsed_ns = start.elapsed().as_nanos() as u64;
+    node.invocations = 1;
+    let mut span = span.with_detail(node.label.clone());
+    span.field("rows_out", node.rows_out);
+    span.field("scanned_rows", node.scanned_rows);
+    span.finish();
+    Ok((rel, node))
+}
+
+fn run_node(
     expr: &GmdjExpr,
     tables: &dyn TableProvider,
     runtime: &Runtime,
@@ -183,7 +229,7 @@ fn execute_node(
             let (b, b_node) = execute_node(base, tables, runtime)?;
             let (d, d_node) = execute_node(detail, tables, runtime)?;
             let mut node = PlanNodeStats::new("GMDJ");
-            let out = runtime.eval_gmdj(&b, &d, spec, &mut node.eval, &mut node.network)?;
+            let out = runtime.eval_gmdj(&b, &d, spec, &mut node)?;
             node.rows_out = out.len() as u64;
             node.children.push(b_node);
             node.children.push(d_node);
@@ -207,8 +253,7 @@ fn execute_node(
                 Some(selection),
                 *keep,
                 completion.as_ref(),
-                &mut node.eval,
-                &mut node.network,
+                &mut node,
             )?;
             node.rows_out = out.len() as u64;
             node.children.push(b_node);

@@ -78,10 +78,12 @@ pub mod cost;
 pub mod distributed;
 pub mod eval;
 pub mod exec;
+pub mod metrics;
 pub mod optimize;
 pub mod plan;
 pub mod runtime;
 pub mod spec;
+pub mod trace;
 pub mod translate;
 
 pub use completion::{derive_completion, CompletionPlan, DeadRule};
@@ -89,8 +91,10 @@ pub use cost::{cost_based_optimize, estimate, observed_cost, Cost, Estimate, Sta
 pub use distributed::{DistributedWarehouse, NetworkStats, Site};
 pub use eval::{eval_gmdj, eval_gmdj_filtered, EvalStats, GmdjOptions, Keep, ProbeStrategy};
 pub use exec::{execute, ExecContext, TableProvider};
+pub use metrics::{Histogram, MetricsRegistry};
 pub use optimize::optimize;
 pub use plan::GmdjExpr;
 pub use runtime::{ExecMode, ExecPolicy, PlanNodeStats, Runtime};
 pub use spec::{AggBlock, GmdjSpec};
+pub use trace::{CollectingSink, JsonLinesSink, NullSink, Span, TraceEvent, TraceSink};
 pub use translate::subquery_to_gmdj;

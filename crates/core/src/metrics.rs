@@ -1,0 +1,312 @@
+//! A process-wide metrics registry: named monotonic counters and
+//! log₂-bucket histograms, rendered as Prometheus text or JSON.
+//!
+//! The [`Runtime`](crate::runtime::Runtime) reports evaluator work into
+//! the [`global`] registry after every GMDJ evaluation
+//! (`gmdj_detail_scanned_total`, `completion_fallbacks_total`,
+//! `network_messages_total`, …) and the engine's strategy layer reports
+//! query-level aggregates (`queries_total`, the `query_latency_us`
+//! histogram). Cross-query dashboards — "how much detail did this
+//! process scan, how did latency distribute" — read the registry; a
+//! single query's breakdown comes from [`crate::trace`] instead.
+//!
+//! Metric keys are plain strings; Prometheus-style labels are part of
+//! the key (e.g. `queries_total{strategy="gmdj-opt"}`), which keeps the
+//! registry dependency-free while rendering correctly.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Number of log₂ buckets: bucket `i` counts observations `v` with
+/// `floor(log2(v)) + 1 == i` (zero lands in bucket 0), i.e. upper bound
+/// `2^i − 1`. 64 buckets cover the full `u64` range.
+const BUCKETS: usize = 65;
+
+/// A log₂-bucket histogram: counts, total, and per-bucket tallies.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+/// Index of the log₂ bucket for a value.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i − 1`).
+fn bucket_upper(i: usize) -> u128 {
+    (1u128 << i) - 1
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Non-empty buckets as `(inclusive_upper_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u128, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+            .collect()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A registry of named counters and histograms. Usually accessed through
+/// [`global`], but independently constructible for tests.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// Fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to the named monotonic counter (created at zero).
+    pub fn inc(&self, name: &str, by: u64) {
+        if by == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        *inner.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Record one observation into the named histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Current value of a counter (zero if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("metrics poisoned")
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of a histogram, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner
+            .lock()
+            .expect("metrics poisoned")
+            .histograms
+            .get(name)
+            .cloned()
+    }
+
+    /// Names of all registered counters, sorted.
+    pub fn counter_names(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .expect("metrics poisoned")
+            .counters
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Reset everything to empty (tests; the registry is process-global).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        inner.counters.clear();
+        inner.histograms.clear();
+    }
+
+    /// Prometheus text exposition: counters as `name value`, histograms
+    /// as cumulative `_bucket{le="…"}` series plus `_sum` / `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        let mut out = String::new();
+        for (name, v) in &inner.counters {
+            out.push_str(&format!("# TYPE {} counter\n", base_name(name)));
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for (name, h) in &inner.histograms {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (le, c) in h.nonzero_buckets() {
+                cumulative += c;
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+                h.count(),
+                h.sum(),
+                h.count()
+            ));
+        }
+        out
+    }
+
+    /// JSON rendering: `{"counters": {...}, "histograms": {...}}`.
+    pub fn render_json(&self) -> String {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in inner.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", crate::trace::json_escape(name)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in inner.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                crate::trace::json_escape(name),
+                h.count(),
+                h.sum()
+            ));
+            for (j, (le, c)) in h.nonzero_buckets().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{{\"le\":{le},\"count\":{c}}}"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Strip a trailing `{labels}` suffix for the `# TYPE` line.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// The process-wide registry every component reports into.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = MetricsRegistry::new();
+        m.inc("gmdj_detail_scanned_total", 10);
+        m.inc("gmdj_detail_scanned_total", 5);
+        m.inc("queries_total{strategy=\"gmdj-opt\"}", 1);
+        assert_eq!(m.counter("gmdj_detail_scanned_total"), 15);
+        assert_eq!(m.counter("missing"), 0);
+        let text = m.render_prometheus();
+        assert!(text.contains("gmdj_detail_scanned_total 15"));
+        assert!(text.contains("# TYPE queries_total counter"));
+        assert!(text.contains("queries_total{strategy=\"gmdj-opt\"} 1"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        let buckets = h.nonzero_buckets();
+        // 0 → le 0; 1 → le 1; 2,3 → le 3; 1000 → le 1023.
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (3, 2), (1023, 1)]);
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative() {
+        let m = MetricsRegistry::new();
+        m.observe("query_latency_us", 1);
+        m.observe("query_latency_us", 3);
+        m.observe("query_latency_us", 3);
+        let text = m.render_prometheus();
+        assert!(text.contains("query_latency_us_bucket{le=\"1\"} 1"));
+        assert!(text.contains("query_latency_us_bucket{le=\"3\"} 3"));
+        assert!(text.contains("query_latency_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("query_latency_us_sum 7"));
+        assert!(text.contains("query_latency_us_count 3"));
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_shape() {
+        let m = MetricsRegistry::new();
+        m.inc("a_total", 2);
+        m.observe("h", 4);
+        let json = m.render_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"a_total\":2"));
+        assert!(json.contains("\"h\":{\"count\":1,\"sum\":4"));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = MetricsRegistry::new();
+        m.inc("x", 1);
+        m.observe("y", 1);
+        m.reset();
+        assert_eq!(m.counter("x"), 0);
+        assert!(m.histogram("y").is_none());
+        assert!(m.counter_names().is_empty());
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        global().inc("metrics_test_probe_total", 1);
+        assert!(global().counter("metrics_test_probe_total") >= 1);
+    }
+}

@@ -48,6 +48,9 @@
 //! back and prefer sequential execution when completion is expected to
 //! prune aggressively.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use gmdj_relation::agg::Accumulator;
 use gmdj_relation::error::{Error, Result};
 use gmdj_relation::expr::Predicate;
@@ -57,10 +60,12 @@ use gmdj_relation::relation::{Relation, Tuple};
 use crate::completion::CompletionPlan;
 use crate::distributed::NetworkStats;
 use crate::eval::{
-    eval_gmdj_filtered, materialize_filtered, new_accumulators, plan_blocks, scan_detail_plain,
-    EvalStats, GmdjOptions, Keep, ProbeStrategy,
+    eval_gmdj_filtered_traced, materialize_filtered, new_accumulators, plan_blocks,
+    scan_detail_plain, EvalStats, GmdjOptions, Keep, ProbeStrategy,
 };
+use crate::metrics;
 use crate::spec::GmdjSpec;
+use crate::trace::{NullSink, Span, TraceSink};
 
 /// Physical execution mode for GMDJ evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -171,6 +176,18 @@ pub struct PlanNodeStats {
     pub eval: EvalStats,
     /// Simulated network traffic at this node (distributed mode).
     pub network: NetworkStats,
+    /// Wall-clock time executing this node, children included.
+    pub elapsed_ns: u64,
+    /// Number of times this node was executed.
+    pub invocations: u64,
+    /// Critical-path worker time: the slowest worker (or site) per
+    /// partition, summed over partitions. Under `Parallel{threads}` the
+    /// ratio `worker_wall_sum_ns / worker_wall_max_ns` is the achieved
+    /// scan speedup.
+    pub worker_wall_max_ns: u64,
+    /// Total worker (or site) time across every chunk — the total work
+    /// the scan represents, independent of how it was divided.
+    pub worker_wall_sum_ns: u64,
     /// Child operators, in plan order.
     pub children: Vec<PlanNodeStats>,
 }
@@ -249,19 +266,162 @@ impl PlanNodeStats {
             c.render_into(depth + 1, out);
         }
     }
+
+    /// Time spent in this node excluding its children (saturating: a
+    /// parent measured around cheap children can round below their sum).
+    pub fn self_time_ns(&self) -> u64 {
+        let child: u64 = self.children.iter().map(|c| c.elapsed_ns).sum();
+        self.elapsed_ns.saturating_sub(child)
+    }
+
+    /// EXPLAIN ANALYZE rendering: the plan tree annotated with wall-clock
+    /// time (total and self), percentage of the root's time, row counts,
+    /// and the per-node work counters.
+    pub fn render_analyze(&self) -> String {
+        let total = self.elapsed_ns.max(1);
+        let mut out = String::new();
+        self.render_analyze_into(0, total, &mut out);
+        out
+    }
+
+    fn render_analyze_into(&self, depth: usize, total_ns: u64, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let ms = self.elapsed_ns as f64 / 1e6;
+        let pct = 100.0 * self.elapsed_ns as f64 / total_ns as f64;
+        out.push_str(&format!(
+            "{} [time={:.3}ms ({:.1}%) self={:.3}ms rows={}",
+            self.label,
+            ms,
+            pct,
+            self.self_time_ns() as f64 / 1e6,
+            self.rows_out
+        ));
+        if self.scanned_rows > 0 {
+            out.push_str(&format!(" scanned={}", self.scanned_rows));
+        }
+        let e = &self.eval;
+        if *e != EvalStats::default() {
+            out.push_str(&format!(
+                " detail={} theta={} agg={} early={}",
+                e.detail_scanned,
+                e.theta_evals,
+                e.agg_updates,
+                e.dead_early + e.done_early
+            ));
+            if e.partitions > 1 {
+                out.push_str(&format!(" partitions={}", e.partitions));
+            }
+            if e.completion_fallbacks > 0 {
+                out.push_str(&format!(" fallbacks={}", e.completion_fallbacks));
+            }
+        }
+        if self.network != NetworkStats::default() {
+            out.push_str(&format!(
+                " net={} msgs={}",
+                self.network.total(),
+                self.network.messages
+            ));
+        }
+        if self.worker_wall_sum_ns > 0 {
+            out.push_str(&format!(
+                " workers[crit={:.3}ms total={:.3}ms]",
+                self.worker_wall_max_ns as f64 / 1e6,
+                self.worker_wall_sum_ns as f64 / 1e6
+            ));
+        }
+        out.push_str("]\n");
+        for c in &self.children {
+            c.render_analyze_into(depth + 1, total_ns, out);
+        }
+    }
+
+    /// Machine-readable rendering of the annotated tree as one nested
+    /// JSON object (the per-node stats persisted by `repro
+    /// --profile-json`).
+    pub fn to_json(&self) -> String {
+        let e = &self.eval;
+        let n = &self.network;
+        let mut out = format!(
+            "{{\"label\":\"{}\",\"rows_out\":{},\"scanned_rows\":{},\
+             \"elapsed_ns\":{},\"self_ns\":{},\"invocations\":{},\
+             \"worker_wall_max_ns\":{},\"worker_wall_sum_ns\":{},\
+             \"ops\":{{\"rows_in\":{},\"rows_out\":{}}},\
+             \"eval\":{{\"detail_scanned\":{},\"probe_candidates\":{},\
+             \"theta_evals\":{},\"agg_updates\":{},\"base_rows\":{},\
+             \"dead_early\":{},\"done_early\":{},\"index_builds\":{},\
+             \"partitions\":{},\"completion_fallbacks\":{}}},\
+             \"network\":{{\"broadcast_values\":{},\"collected_states\":{},\
+             \"messages\":{}}},\"children\":[",
+            crate::trace::json_escape(&self.label),
+            self.rows_out,
+            self.scanned_rows,
+            self.elapsed_ns,
+            self.self_time_ns(),
+            self.invocations,
+            self.worker_wall_max_ns,
+            self.worker_wall_sum_ns,
+            self.ops.rows_in,
+            self.ops.rows_out,
+            e.detail_scanned,
+            e.probe_candidates,
+            e.theta_evals,
+            e.agg_updates,
+            e.base_rows,
+            e.dead_early,
+            e.done_early,
+            e.index_builds,
+            e.partitions,
+            e.completion_fallbacks,
+            n.broadcast_values,
+            n.collected_states,
+            n.messages,
+        );
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 /// The execution engine: an [`ExecPolicy`] plus the dispatch that makes
-/// it the single entry point for (filtered) GMDJ evaluation.
-#[derive(Debug, Clone, Copy, Default)]
+/// it the single entry point for (filtered) GMDJ evaluation. The runtime
+/// carries a [`TraceSink`]; every evaluation emits a `gmdj.eval` span
+/// whose counter fields are the exact delta recorded into the node, and
+/// the mode-specific scans emit `gmdj.partition` / `gmdj.worker` /
+/// `site.roundtrip` spans beneath it.
+#[derive(Debug, Clone)]
 pub struct Runtime {
     policy: ExecPolicy,
+    sink: Arc<dyn TraceSink>,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime {
+            policy: ExecPolicy::default(),
+            sink: Arc::new(NullSink),
+        }
+    }
 }
 
 impl Runtime {
-    /// A runtime executing under `policy`.
+    /// A runtime executing under `policy`, tracing to nowhere.
     pub fn new(policy: ExecPolicy) -> Self {
-        Runtime { policy }
+        Runtime {
+            policy,
+            sink: Arc::new(NullSink),
+        }
+    }
+
+    /// A runtime executing under `policy`, emitting spans into `sink`.
+    pub fn with_sink(policy: ExecPolicy, sink: Arc<dyn TraceSink>) -> Self {
+        Runtime { policy, sink }
     }
 
     /// The default sequential runtime.
@@ -274,22 +434,31 @@ impl Runtime {
         &self.policy
     }
 
-    /// Plain GMDJ: `MD(base, detail, spec)` under the policy.
+    /// The trace sink this runtime emits spans into.
+    pub fn sink(&self) -> &Arc<dyn TraceSink> {
+        &self.sink
+    }
+
+    /// Plain GMDJ: `MD(base, detail, spec)` under the policy. Work
+    /// counters, network traffic and worker timing land in `node`.
     pub fn eval_gmdj(
         &self,
         base: &Relation,
         detail: &Relation,
         spec: &GmdjSpec,
-        stats: &mut EvalStats,
-        network: &mut NetworkStats,
+        node: &mut PlanNodeStats,
     ) -> Result<Relation> {
-        self.eval(base, detail, spec, None, Keep::All, None, stats, network)
+        self.eval(base, detail, spec, None, Keep::All, None, node)
     }
 
     /// Filtered GMDJ: `π[keep](σ[selection](MD(base, detail, spec)))`
     /// under the policy. This is the one evaluation entry point — the
     /// mode decides sequential, parallel, or distributed execution, and
-    /// every mode returns bit-identical results.
+    /// every mode returns bit-identical results. Counters accumulate
+    /// into `node` ([`PlanNodeStats::eval`] / [`PlanNodeStats::network`]
+    /// plus the worker wall-clock fields), a `gmdj.eval` span carrying
+    /// the same deltas goes to the sink, and the global
+    /// [`metrics`] registry receives the cross-query totals.
     #[allow(clippy::too_many_arguments)]
     pub fn eval(
         &self,
@@ -299,12 +468,14 @@ impl Runtime {
         selection: Option<&Predicate>,
         keep: Keep,
         completion: Option<&CompletionPlan>,
-        stats: &mut EvalStats,
-        network: &mut NetworkStats,
+        node: &mut PlanNodeStats,
     ) -> Result<Relation> {
         self.policy.validate()?;
-        match self.policy.mode {
-            ExecMode::Sequential => eval_gmdj_filtered(
+        let eval_before = node.eval;
+        let net_before = node.network;
+        let span = Span::begin(self.sink.as_ref(), "gmdj.eval");
+        let result = match self.policy.mode {
+            ExecMode::Sequential => eval_gmdj_filtered_traced(
                 base,
                 detail,
                 spec,
@@ -312,7 +483,8 @@ impl Runtime {
                 keep,
                 completion,
                 &self.policy.gmdj_options(),
-                stats,
+                &mut node.eval,
+                self.sink.as_ref(),
             ),
             ExecMode::Parallel { threads } => self.eval_chunked(
                 base,
@@ -321,7 +493,7 @@ impl Runtime {
                 selection,
                 keep,
                 completion,
-                stats,
+                node,
                 |cx| cx.scan_parallel(threads),
             ),
             ExecMode::Distributed { sites } => {
@@ -333,18 +505,46 @@ impl Runtime {
                     selection,
                     keep,
                     completion,
-                    stats,
-                    |cx| cx.scan_distributed(&fragments, network),
+                    node,
+                    |cx| cx.scan_distributed(&fragments),
                 )
             }
-        }
+        }?;
+        let eval_delta = node.eval.minus(&eval_before);
+        let net_delta = node.network.minus(&net_before);
+        let mut span = span;
+        span.fields(eval_delta.trace_fields());
+        span.fields(net_delta.trace_fields());
+        let dur = span.finish();
+        node.invocations += 1;
+        node.elapsed_ns += dur.as_nanos() as u64;
+
+        let m = metrics::global();
+        m.inc("gmdj_evals_total", 1);
+        m.inc("gmdj_detail_scanned_total", eval_delta.detail_scanned);
+        m.inc("gmdj_probe_candidates_total", eval_delta.probe_candidates);
+        m.inc("gmdj_theta_evals_total", eval_delta.theta_evals);
+        m.inc("gmdj_agg_updates_total", eval_delta.agg_updates);
+        m.inc(
+            "completion_fallbacks_total",
+            eval_delta.completion_fallbacks,
+        );
+        m.inc("network_broadcast_values_total", net_delta.broadcast_values);
+        m.inc("network_collected_states_total", net_delta.collected_states);
+        m.inc("network_messages_total", net_delta.messages);
+        m.observe("gmdj_eval_latency_us", dur.as_micros() as u64);
+        Ok(result)
     }
 
     /// Shared driver for the merge-based modes: partition the base by the
     /// memory budget, build probe plans per partition, run a mode-specific
     /// detail scan that fills a merged accumulator matrix, then
     /// materialize with selection and projection — the same outer loop
-    /// and counter semantics as the sequential evaluator.
+    /// and counter semantics as the sequential evaluator. Each partition
+    /// is emitted as a `gmdj.partition` span with its exact counter
+    /// delta; worker/site wall-clock lands in the node's
+    /// `worker_wall_max_ns` (critical path) and `worker_wall_sum_ns`
+    /// (total work).
     #[allow(clippy::too_many_arguments)]
     fn eval_chunked(
         &self,
@@ -354,8 +554,8 @@ impl Runtime {
         selection: Option<&Predicate>,
         keep: Keep,
         completion: Option<&CompletionPlan>,
-        stats: &mut EvalStats,
-        mut scan: impl FnMut(&mut PartitionCx) -> Result<Vec<Accumulator>>,
+        node: &mut PlanNodeStats,
+        mut scan: impl FnMut(&mut PartitionCx) -> Result<ScanOutcome>,
     ) -> Result<Relation> {
         if completion.is_some() && selection.is_none() {
             return Err(Error::invalid("completion plan requires a selection"));
@@ -363,7 +563,7 @@ impl Runtime {
         if completion.is_some() {
             // See the module docs: completion is scan-order-dependent, so
             // chunked scans run the plain filtered form. Same answer.
-            stats.completion_fallbacks += 1;
+            node.eval.completion_fallbacks += 1;
         }
         let out_schema = spec.output_schema(base.schema());
         let result_schema = match keep {
@@ -382,8 +582,10 @@ impl Runtime {
         while start < base.len() || (base.is_empty() && start == 0) {
             let end = (start + partition).min(base.len());
             let base_rows = &base.rows()[start..end];
-            stats.partitions += 1;
-            stats.base_rows += base_rows.len() as u64;
+            let before = node.eval;
+            let pspan = Span::begin(self.sink.as_ref(), "gmdj.partition");
+            node.eval.partitions += 1;
+            node.eval.base_rows += base_rows.len() as u64;
 
             let mut cx = PartitionCx {
                 base: base_rows,
@@ -392,17 +594,24 @@ impl Runtime {
                 spec,
                 opts: self.policy.gmdj_options(),
                 total_aggs,
-                stats,
+                stats: &mut node.eval,
+                network: &mut node.network,
+                sink: self.sink.as_ref(),
             };
-            let merged = scan(&mut cx)?;
+            let outcome = scan(&mut cx)?;
+            node.worker_wall_max_ns += outcome.worker_max_ns;
+            node.worker_wall_sum_ns += outcome.worker_sum_ns;
             materialize_filtered(
                 base_rows,
-                &merged,
+                &outcome.accs,
                 total_aggs,
                 bound_selection.as_ref(),
                 keep,
                 &mut out_rows,
             )?;
+            let mut pspan = pspan;
+            pspan.fields(node.eval.minus(&before).trace_fields());
+            pspan.finish();
             start = end;
             if base.is_empty() {
                 break;
@@ -410,6 +619,14 @@ impl Runtime {
         }
         Ok(Relation::from_parts(result_schema, out_rows))
     }
+}
+
+/// Result of one mode-specific partition scan: the merged accumulator
+/// matrix plus worker wall-clock (critical path and total).
+struct ScanOutcome {
+    accs: Vec<Accumulator>,
+    worker_max_ns: u64,
+    worker_sum_ns: u64,
 }
 
 /// Everything a mode-specific detail scan needs for one base partition.
@@ -421,13 +638,18 @@ struct PartitionCx<'a> {
     opts: GmdjOptions,
     total_aggs: usize,
     stats: &'a mut EvalStats,
+    network: &'a mut NetworkStats,
+    sink: &'a dyn TraceSink,
 }
 
 impl PartitionCx<'_> {
     /// Chunk the detail across `threads` scoped workers, each folding its
     /// chunk into a private accumulator matrix; merge exactly. Worker
     /// panics and errors both surface as `Err` — never a process abort.
-    fn scan_parallel(&mut self, threads: usize) -> Result<Vec<Accumulator>> {
+    /// Each chunk is emitted as a `gmdj.worker` span carrying the
+    /// worker's private counter delta, so summed worker spans reconcile
+    /// exactly with the merged scan counters.
+    fn scan_parallel(&mut self, threads: usize) -> Result<ScanOutcome> {
         let plans = plan_blocks(
             self.base,
             self.base_schema,
@@ -448,56 +670,75 @@ impl PartitionCx<'_> {
 
         let base_rows = self.base;
         let total_aggs = self.total_aggs;
-        let results: Vec<Result<(Vec<Accumulator>, EvalStats)>> = std::thread::scope(|scope| {
-            let plans = &plans;
-            let handles: Vec<_> = detail_rows
-                .chunks(chunk_len)
-                .map(|chunk| {
-                    scope.spawn(move || -> Result<(Vec<Accumulator>, EvalStats)> {
-                        let mut accs = new_accumulators(plans, base_rows.len(), total_aggs);
-                        let mut local = EvalStats::default();
-                        scan_detail_plain(
-                            chunk, plans, base_rows, total_aggs, &mut accs, &mut local,
-                        )?;
-                        Ok((accs, local))
+        let sink = self.sink;
+        let results: Vec<Result<(Vec<Accumulator>, EvalStats, u64)>> =
+            std::thread::scope(|scope| {
+                let plans = &plans;
+                let handles: Vec<_> = detail_rows
+                    .chunks(chunk_len)
+                    .enumerate()
+                    .map(|(i, chunk)| {
+                        scope.spawn(move || -> Result<(Vec<Accumulator>, EvalStats, u64)> {
+                            let mut wspan =
+                                Span::begin(sink, "gmdj.worker").with_detail(format!("worker{i}"));
+                            let mut accs = new_accumulators(plans, base_rows.len(), total_aggs);
+                            let mut local = EvalStats::default();
+                            scan_detail_plain(
+                                chunk, plans, base_rows, total_aggs, &mut accs, &mut local,
+                            )?;
+                            wspan.field("chunk_rows", chunk.len() as u64);
+                            wspan.fields(local.trace_fields());
+                            let dur = wspan.finish();
+                            Ok((accs, local, dur.as_nanos() as u64))
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|payload| Err(worker_panic_error(&payload)))
-                })
-                .collect()
-        });
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .unwrap_or_else(|payload| Err(worker_panic_error(&payload)))
+                    })
+                    .collect()
+            });
 
         let mut merged = new_accumulators(&plans, base_rows.len(), total_aggs);
+        let mut worker_max_ns = 0u64;
+        let mut worker_sum_ns = 0u64;
         for res in results {
-            let (accs, local) = res?;
+            let (accs, local, wall_ns) = res?;
             self.stats.merge(&local);
+            worker_max_ns = worker_max_ns.max(wall_ns);
+            worker_sum_ns += wall_ns;
             for (m, a) in merged.iter_mut().zip(&accs) {
                 m.merge(a);
             }
         }
-        Ok(merged)
+        Ok(ScanOutcome {
+            accs: merged,
+            worker_max_ns,
+            worker_sum_ns,
+        })
     }
 
     /// Two-wave coordinator protocol over pre-fragmented detail: broadcast
     /// the base partition, let each site scan its fragment locally, ship
-    /// accumulator state back, merge exactly at the coordinator.
-    fn scan_distributed(
-        &mut self,
-        fragments: &[Vec<Tuple>],
-        net: &mut NetworkStats,
-    ) -> Result<Vec<Accumulator>> {
-        let sites = fragments.len() as u64;
-        // Wave 1: base values (and the spec) to every site.
-        net.messages += sites;
-        net.broadcast_values += sites * (self.base.len() * self.base_schema.len()) as u64;
-
+    /// accumulator state back, merge exactly at the coordinator. Each
+    /// site round-trip is one `site.roundtrip` span carrying the site's
+    /// evaluator and network deltas.
+    fn scan_distributed(&mut self, fragments: &[Vec<Tuple>]) -> Result<ScanOutcome> {
         let mut merged: Option<Vec<Accumulator>> = None;
-        for frag in fragments {
+        let mut worker_max_ns = 0u64;
+        let mut worker_sum_ns = 0u64;
+        for (site, frag) in fragments.iter().enumerate() {
+            let eval_before = *self.stats;
+            let net_before = *self.network;
+            let mut sspan =
+                Span::begin(self.sink, "site.roundtrip").with_detail(format!("site{site}"));
+            let start = Instant::now();
+            // Wave 1: base values (and the spec) to this site.
+            self.network.messages += 1;
+            self.network.broadcast_values += (self.base.len() * self.base_schema.len()) as u64;
             // Each site builds its own probe indexes over the broadcast
             // base partition, so index_builds counts per (partition, site)
             // here where sequential counts per partition.
@@ -522,8 +763,14 @@ impl PartitionCx<'_> {
             self.stats.merge(&local);
             // Wave 2: accumulator states back to the coordinator. State
             // shipping is what lets AVG / COUNT DISTINCT distribute.
-            net.messages += 1;
-            net.collected_states += (self.base.len() * self.total_aggs) as u64;
+            self.network.messages += 1;
+            self.network.collected_states += (self.base.len() * self.total_aggs) as u64;
+            let wall_ns = start.elapsed().as_nanos() as u64;
+            worker_max_ns = worker_max_ns.max(wall_ns);
+            worker_sum_ns += wall_ns;
+            sspan.fields(self.stats.minus(&eval_before).trace_fields());
+            sspan.fields(self.network.minus(&net_before).trace_fields());
+            sspan.finish();
             match &mut merged {
                 None => merged = Some(accs),
                 Some(m) => {
@@ -533,7 +780,13 @@ impl PartitionCx<'_> {
                 }
             }
         }
-        merged.ok_or_else(|| Error::invalid("ExecMode::Distributed requires at least one site"))
+        let accs = merged
+            .ok_or_else(|| Error::invalid("ExecMode::Distributed requires at least one site"))?;
+        Ok(ScanOutcome {
+            accs,
+            worker_max_ns,
+            worker_sum_ns,
+        })
     }
 }
 
@@ -564,7 +817,7 @@ fn worker_panic_error(payload: &(dyn std::any::Any + Send)) -> Error {
 mod tests {
     use super::*;
     use crate::completion::derive_completion;
-    use crate::eval::eval_gmdj;
+    use crate::eval::{eval_gmdj, eval_gmdj_filtered};
     use crate::spec::AggBlock;
     use gmdj_relation::agg::{AggFunc, NamedAgg};
     use gmdj_relation::expr::{col, lit};
@@ -625,16 +878,17 @@ mod tests {
         .unwrap();
         for threads in [1usize, 2, 3, 5] {
             let rt = Runtime::new(ExecPolicy::parallel(threads));
-            let mut s2 = EvalStats::default();
-            let mut net = NetworkStats::default();
+            let mut node = PlanNodeStats::new("GMDJ");
             let out = rt
-                .eval_gmdj(&hours(), &flows(), &example_2_1_spec(), &mut s2, &mut net)
+                .eval_gmdj(&hours(), &flows(), &example_2_1_spec(), &mut node)
                 .unwrap();
             assert!(out.multiset_eq(&expected), "threads={threads}");
             // One logical scan of the detail relation, whatever the
             // thread count.
-            assert_eq!(s2.detail_scanned, 6, "threads={threads}");
-            assert_eq!(net, NetworkStats::default());
+            assert_eq!(node.eval.detail_scanned, 6, "threads={threads}");
+            assert_eq!(node.network, NetworkStats::default());
+            assert_eq!(node.invocations, 1);
+            assert!(node.worker_wall_sum_ns >= node.worker_wall_max_ns);
         }
     }
 
@@ -643,8 +897,7 @@ mod tests {
         // With no completion plan every mode does exactly the same probe
         // and aggregate work — the counters agree, not just the answers.
         let mut s1 = EvalStats::default();
-        let mut s2 = EvalStats::default();
-        let mut net = NetworkStats::default();
+        let mut node = PlanNodeStats::new("GMDJ");
         eval_gmdj(
             &hours(),
             &flows(),
@@ -654,9 +907,9 @@ mod tests {
         )
         .unwrap();
         Runtime::new(ExecPolicy::parallel(3))
-            .eval_gmdj(&hours(), &flows(), &example_2_1_spec(), &mut s2, &mut net)
+            .eval_gmdj(&hours(), &flows(), &example_2_1_spec(), &mut node)
             .unwrap();
-        assert_eq!(s1, s2);
+        assert_eq!(s1, node.eval);
     }
 
     #[test]
@@ -671,16 +924,15 @@ mod tests {
         )
         .unwrap();
         let rt = Runtime::new(ExecPolicy::parallel(2).with_partition_rows(Some(2)));
-        let mut s2 = EvalStats::default();
-        let mut net = NetworkStats::default();
+        let mut node = PlanNodeStats::new("GMDJ");
         let out = rt
-            .eval_gmdj(&hours(), &flows(), &example_2_1_spec(), &mut s2, &mut net)
+            .eval_gmdj(&hours(), &flows(), &example_2_1_spec(), &mut node)
             .unwrap();
         assert!(out.multiset_eq(&expected));
         // 3 base rows at 2 per partition → 2 partitions → 2 detail scans.
-        assert_eq!(s2.partitions, 2);
-        assert_eq!(s2.detail_scanned, 12);
-        assert_eq!(s2.base_rows, 3);
+        assert_eq!(node.eval.partitions, 2);
+        assert_eq!(node.eval.detail_scanned, 12);
+        assert_eq!(node.eval.base_rows, 3);
     }
 
     #[test]
@@ -703,18 +955,15 @@ mod tests {
             eval_gmdj(&hours(), &flows(), &spec, &GmdjOptions::default(), &mut s1).unwrap();
         for sites in [1usize, 2, 4] {
             let rt = Runtime::new(ExecPolicy::distributed(sites));
-            let mut s2 = EvalStats::default();
-            let mut net = NetworkStats::default();
-            let out = rt
-                .eval_gmdj(&hours(), &flows(), &spec, &mut s2, &mut net)
-                .unwrap();
+            let mut node = PlanNodeStats::new("GMDJ");
+            let out = rt.eval_gmdj(&hours(), &flows(), &spec, &mut node).unwrap();
             assert!(out.multiset_eq(&expected), "sites={sites}");
             // Two message waves; traffic independent of detail size.
-            assert_eq!(net.messages, 2 * sites as u64);
-            assert_eq!(net.broadcast_values, (sites * 3 * 3) as u64);
-            assert_eq!(net.collected_states, (sites * 3 * 2) as u64);
+            assert_eq!(node.network.messages, 2 * sites as u64);
+            assert_eq!(node.network.broadcast_values, (sites * 3 * 3) as u64);
+            assert_eq!(node.network.collected_states, (sites * 3 * 2) as u64);
             // The fragments partition the detail: one logical scan total.
-            assert_eq!(s2.detail_scanned, 6);
+            assert_eq!(node.eval.detail_scanned, 6);
         }
     }
 
@@ -750,8 +999,7 @@ mod tests {
 
         for threads in [1usize, 2, 8] {
             let rt = Runtime::new(ExecPolicy::parallel(threads));
-            let mut s2 = EvalStats::default();
-            let mut net = NetworkStats::default();
+            let mut node = PlanNodeStats::new("GMDJ");
             let par = rt
                 .eval(
                     &hours(),
@@ -760,13 +1008,12 @@ mod tests {
                     Some(&selection),
                     Keep::BaseOnly,
                     completion.as_ref(),
-                    &mut s2,
-                    &mut net,
+                    &mut node,
                 )
                 .unwrap();
             assert!(par.multiset_eq(&seq), "threads={threads}");
-            assert_eq!(s2.completion_fallbacks, 1, "threads={threads}");
-            assert_eq!(s2.dead_early + s2.done_early, 0);
+            assert_eq!(node.eval.completion_fallbacks, 1, "threads={threads}");
+            assert_eq!(node.eval.dead_early + node.eval.done_early, 0);
         }
     }
 
@@ -780,27 +1027,14 @@ mod tests {
             ExecPolicy::distributed(3),
         ] {
             let rt = Runtime::new(policy);
-            let mut stats = EvalStats::default();
-            let mut net = NetworkStats::default();
+            let mut node = PlanNodeStats::new("GMDJ");
             let out = rt
-                .eval_gmdj(
-                    &empty_base,
-                    &flows(),
-                    &example_2_1_spec(),
-                    &mut stats,
-                    &mut net,
-                )
+                .eval_gmdj(&empty_base, &flows(), &example_2_1_spec(), &mut node)
                 .unwrap();
             assert!(out.is_empty(), "{policy:?}");
-            let mut stats = EvalStats::default();
+            let mut node = PlanNodeStats::new("GMDJ");
             let out = rt
-                .eval_gmdj(
-                    &hours(),
-                    &empty_detail,
-                    &example_2_1_spec(),
-                    &mut stats,
-                    &mut net,
-                )
+                .eval_gmdj(&hours(), &empty_detail, &example_2_1_spec(), &mut node)
                 .unwrap();
             // No detail → every aggregate finishes on its empty state.
             assert_eq!(out.len(), 3, "{policy:?}");
@@ -814,27 +1048,14 @@ mod tests {
     #[test]
     fn degenerate_policies_are_rejected() {
         let rt = Runtime::new(ExecPolicy::parallel(0));
-        let mut stats = EvalStats::default();
-        let mut net = NetworkStats::default();
+        let mut node = PlanNodeStats::new("GMDJ");
         let err = rt
-            .eval_gmdj(
-                &hours(),
-                &flows(),
-                &example_2_1_spec(),
-                &mut stats,
-                &mut net,
-            )
+            .eval_gmdj(&hours(), &flows(), &example_2_1_spec(), &mut node)
             .unwrap_err();
         assert!(err.to_string().contains("at least one thread"), "{err}");
         let rt = Runtime::new(ExecPolicy::distributed(0));
         let err = rt
-            .eval_gmdj(
-                &hours(),
-                &flows(),
-                &example_2_1_spec(),
-                &mut stats,
-                &mut net,
-            )
+            .eval_gmdj(&hours(), &flows(), &example_2_1_spec(), &mut node)
             .unwrap_err();
         assert!(err.to_string().contains("at least one site"), "{err}");
     }

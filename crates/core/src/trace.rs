@@ -1,0 +1,384 @@
+//! Lightweight structured tracing for the execution pipeline.
+//!
+//! The engine instruments itself without an external `tracing`
+//! dependency: a [`TraceSink`] receives [`TraceEvent`]s — completed spans
+//! carrying a monotonic start offset, a duration, and the counter deltas
+//! relevant to the span — and decides what to do with them. Three sinks
+//! cover the use cases:
+//!
+//! * [`NullSink`] — the default; spans still measure time (callers may
+//!   use the returned [`Duration`]) but nothing is recorded.
+//! * [`CollectingSink`] — an in-memory buffer for tests and the
+//!   `\timing` / `\analyze` breakdowns of the SQL shell.
+//! * [`JsonLinesSink`] — one JSON object per line, append-only, for
+//!   offline analysis of bench runs.
+//!
+//! Span names emitted by the runtime (see [`crate::runtime`] and
+//! [`crate::exec`]):
+//!
+//! | name | emitted per | fields |
+//! |---|---|---|
+//! | `gmdj.eval` | GMDJ evaluation (any mode) | full [`EvalStats`](crate::eval::EvalStats) + network deltas |
+//! | `gmdj.partition` | base partition scan | per-partition stats delta |
+//! | `gmdj.worker` | parallel worker chunk | per-chunk scan-counter delta, `chunk_rows` |
+//! | `site.roundtrip` | distributed site round-trip | per-site scan + network delta |
+//! | `plan.node` | plan-operator execution | `rows_out`, `scanned_rows` |
+//! | `query.plan` | translation + optimization | — |
+//! | `query.execute` | plan execution | — |
+//!
+//! Start offsets are nanoseconds since a process-wide epoch (the first
+//! time any span is opened), so events from different threads and
+//! queries order on one timeline.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Process-wide monotonic epoch: all span start offsets are relative to
+/// this instant.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// A completed span: what happened, when, for how long, and the counter
+/// deltas it carried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name, e.g. `"gmdj.partition"` (see the module table).
+    pub name: &'static str,
+    /// Free-form qualifier, e.g. the plan-node label or strategy name.
+    pub detail: String,
+    /// Nanoseconds since the process trace epoch at span open.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Counter deltas attributed to this span, in emission order.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+impl TraceEvent {
+    /// The value of a named counter field, if the span carried it.
+    pub fn field(&self, key: &str) -> Option<u64> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// Render as a single JSON object (the `JsonLinesSink` line format).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"name\":\"");
+        out.push_str(&json_escape(self.name));
+        out.push('"');
+        if !self.detail.is_empty() {
+            out.push_str(",\"detail\":\"");
+            out.push_str(&json_escape(&self.detail));
+            out.push('"');
+        }
+        out.push_str(&format!(
+            ",\"start_ns\":{},\"dur_ns\":{}",
+            self.start_ns, self.dur_ns
+        ));
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", json_escape(k), v));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Receiver of completed spans. Implementations must be shareable across
+/// worker threads.
+pub trait TraceSink: Send + Sync + fmt::Debug {
+    /// Record one completed span.
+    fn record(&self, event: TraceEvent);
+
+    /// Whether recording does anything — spans skip field collection for
+    /// disabled sinks (time is still measured).
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The default sink: drops everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _event: TraceEvent) {}
+
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// An in-memory sink for tests and interactive breakdowns.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl CollectingSink {
+    /// Fresh empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of every recorded event, in completion order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace sink poisoned").clone()
+    }
+
+    /// Drain the buffer, returning the events recorded so far.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("trace sink poisoned"))
+    }
+
+    /// All events with the given span name.
+    pub fn by_name(&self, name: &str) -> Vec<TraceEvent> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.name == name)
+            .collect()
+    }
+
+    /// Sum of a counter field over every span with the given name.
+    pub fn sum_field(&self, name: &str, key: &str) -> u64 {
+        self.by_name(name).iter().filter_map(|e| e.field(key)).sum()
+    }
+
+    /// Total duration of the first span with the given name, if any.
+    pub fn duration_of(&self, name: &str) -> Option<Duration> {
+        self.by_name(name)
+            .first()
+            .map(|e| Duration::from_nanos(e.dur_ns))
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn record(&self, event: TraceEvent) {
+        self.events.lock().expect("trace sink poisoned").push(event);
+    }
+}
+
+/// A sink writing one JSON object per line to a file (the classic
+/// "structured log" format every tracing UI can ingest).
+#[derive(Debug)]
+pub struct JsonLinesSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonLinesSink {
+    /// Create (truncating) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(JsonLinesSink {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    /// Flush buffered lines to disk.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.out.lock().expect("trace sink poisoned").flush()
+    }
+}
+
+impl TraceSink for JsonLinesSink {
+    fn record(&self, event: TraceEvent) {
+        let mut out = self.out.lock().expect("trace sink poisoned");
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+}
+
+impl Drop for JsonLinesSink {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+/// An open span. Construct with [`Span::begin`], attach counter deltas
+/// with [`Span::field`], and close with [`Span::finish`] — which records
+/// the event (when the sink is enabled) and returns the measured
+/// duration either way, so callers can use one code path for timing and
+/// tracing.
+pub struct Span<'a> {
+    sink: &'a dyn TraceSink,
+    name: &'static str,
+    detail: String,
+    start: Instant,
+    start_ns: u64,
+    fields: Vec<(&'static str, u64)>,
+}
+
+impl<'a> Span<'a> {
+    /// Open a span now.
+    pub fn begin(sink: &'a dyn TraceSink, name: &'static str) -> Self {
+        let epoch = epoch();
+        let start = Instant::now();
+        Span {
+            sink,
+            name,
+            detail: String::new(),
+            start,
+            start_ns: start.duration_since(epoch).as_nanos() as u64,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attach a free-form qualifier (plan-node label, strategy name …).
+    pub fn with_detail(mut self, detail: impl Into<String>) -> Self {
+        if self.sink.is_enabled() {
+            self.detail = detail.into();
+        }
+        self
+    }
+
+    /// Attach one counter delta. No-op when the sink is disabled.
+    pub fn field(&mut self, key: &'static str, value: u64) {
+        if self.sink.is_enabled() {
+            self.fields.push((key, value));
+        }
+    }
+
+    /// Attach several counter deltas at once.
+    pub fn fields(&mut self, fields: impl IntoIterator<Item = (&'static str, u64)>) {
+        if self.sink.is_enabled() {
+            self.fields.extend(fields);
+        }
+    }
+
+    /// Close the span: record it (enabled sinks) and return its duration.
+    pub fn finish(self) -> Duration {
+        let dur = self.start.elapsed();
+        if self.sink.is_enabled() {
+            self.sink.record(TraceEvent {
+                name: self.name,
+                detail: self.detail,
+                start_ns: self.start_ns,
+                dur_ns: dur.as_nanos() as u64,
+                fields: self.fields,
+            });
+        }
+        dur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_into_collecting_sink() {
+        let sink = CollectingSink::new();
+        let mut span = Span::begin(&sink, "gmdj.partition").with_detail("p0");
+        span.field("detail_scanned", 42);
+        span.fields([("theta_evals", 7), ("agg_updates", 3)]);
+        let dur = span.finish();
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.name, "gmdj.partition");
+        assert_eq!(e.detail, "p0");
+        assert_eq!(e.field("detail_scanned"), Some(42));
+        assert_eq!(e.field("theta_evals"), Some(7));
+        assert_eq!(e.field("missing"), None);
+        assert_eq!(e.dur_ns, dur.as_nanos() as u64);
+        assert_eq!(sink.sum_field("gmdj.partition", "agg_updates"), 3);
+    }
+
+    #[test]
+    fn null_sink_measures_but_records_nothing() {
+        let sink = NullSink;
+        let mut span = Span::begin(&sink, "x");
+        span.field("k", 1);
+        let dur = span.finish();
+        assert!(dur.as_nanos() > 0 || dur.is_zero());
+        assert!(!sink.is_enabled());
+    }
+
+    #[test]
+    fn events_order_on_one_timeline() {
+        let sink = CollectingSink::new();
+        Span::begin(&sink, "a").finish();
+        Span::begin(&sink, "b").finish();
+        let events = sink.events();
+        assert!(events[0].start_ns <= events[1].start_ns);
+    }
+
+    #[test]
+    fn json_line_format() {
+        let e = TraceEvent {
+            name: "plan.node",
+            detail: "Table(\"x\")".into(),
+            start_ns: 5,
+            dur_ns: 10,
+            fields: vec![("rows_out", 2)],
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"name\":\"plan.node\",\"detail\":\"Table(\\\"x\\\")\",\
+             \"start_ns\":5,\"dur_ns\":10,\"fields\":{\"rows_out\":2}}"
+        );
+        let bare = TraceEvent {
+            name: "q",
+            detail: String::new(),
+            start_ns: 0,
+            dur_ns: 1,
+            fields: vec![],
+        };
+        assert_eq!(
+            bare.to_json(),
+            "{\"name\":\"q\",\"start_ns\":0,\"dur_ns\":1}"
+        );
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_line_per_event() {
+        let path = std::env::temp_dir().join("gmdj_trace_test.jsonl");
+        {
+            let sink = JsonLinesSink::create(&path).unwrap();
+            Span::begin(&sink, "a").finish();
+            Span::begin(&sink, "b").finish();
+            sink.flush().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"a\""));
+        assert!(lines[1].contains("\"name\":\"b\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn escaping_covers_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

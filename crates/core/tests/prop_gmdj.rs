@@ -10,13 +10,15 @@ use gmdj_core::eval::{eval_gmdj, eval_gmdj_filtered, EvalStats, GmdjOptions, Kee
 use gmdj_core::exec::{execute, ExecContext, MemoryCatalog};
 use gmdj_core::optimize::{optimize_with, OptFlags};
 use gmdj_core::plan::GmdjExpr;
-use gmdj_core::runtime::{ExecPolicy, Runtime};
+use gmdj_core::runtime::{ExecPolicy, PlanNodeStats, Runtime};
 use gmdj_core::spec::{AggBlock, GmdjSpec};
+use gmdj_core::trace::CollectingSink;
 use gmdj_relation::agg::{AggFunc, NamedAgg};
 use gmdj_relation::expr::{col, lit, CmpOp, Predicate, ScalarExpr};
 use gmdj_relation::relation::Relation;
 use gmdj_relation::schema::{ColumnRef, DataType, Schema};
 use gmdj_relation::value::Value;
+use std::sync::Arc;
 
 fn value() -> impl Strategy<Value = Value> {
     prop_oneof![
@@ -158,15 +160,14 @@ proptest! {
         threads in 1usize..5,
     ) {
         let mut st1 = EvalStats::default();
-        let mut st2 = EvalStats::default();
-        let mut net = NetworkStats::default();
+        let mut node = PlanNodeStats::new("GMDJ");
         let sequential = eval_gmdj(&b, &r, &s, &GmdjOptions::default(), &mut st1).unwrap();
         let parallel = Runtime::new(ExecPolicy::parallel(threads))
-            .eval_gmdj(&b, &r, &s, &mut st2, &mut net)
+            .eval_gmdj(&b, &r, &s, &mut node)
             .unwrap();
         prop_assert!(sequential.multiset_eq(&parallel));
-        prop_assert_eq!(st2.detail_scanned, r.len() as u64);
-        prop_assert_eq!(net, NetworkStats::default());
+        prop_assert_eq!(node.eval.detail_scanned, r.len() as u64);
+        prop_assert_eq!(node.network, NetworkStats::default());
     }
 
     /// The tentpole identity: the *filtered* GMDJ — selection, keep
@@ -210,12 +211,13 @@ proptest! {
         .unwrap();
         for threads in [1usize, 2, 3, 8] {
             let policy = ExecPolicy::parallel(threads).with_partition_rows(partition);
-            let mut st2 = EvalStats::default();
-            let mut net = NetworkStats::default();
-            let parallel = Runtime::new(policy)
-                .eval(&b, &r, &s, Some(&sel), keep, plan.as_ref(), &mut st2, &mut net)
+            let sink = Arc::new(CollectingSink::new());
+            let mut node = PlanNodeStats::new("GMDJ");
+            let parallel = Runtime::with_sink(policy, sink.clone())
+                .eval(&b, &r, &s, Some(&sel), keep, plan.as_ref(), &mut node)
                 .unwrap();
             prop_assert!(sequential.multiset_eq(&parallel), "threads={threads}");
+            let st2 = node.eval;
             // Partition/scan bookkeeping matches the sequential meaning.
             prop_assert_eq!(st2.partitions, st1.partitions);
             prop_assert_eq!(st2.base_rows, st1.base_rows);
@@ -225,6 +227,31 @@ proptest! {
             );
             // The completion plan (if any) is recorded as skipped.
             prop_assert_eq!(st2.completion_fallbacks, u64::from(plan.is_some()));
+            // Observability invariant: the per-worker counter deltas in
+            // the `gmdj.worker` trace spans sum exactly to the rolled-up
+            // node counters — the scan work all happens in workers.
+            for (field, total) in [
+                ("detail_scanned", st2.detail_scanned),
+                ("probe_candidates", st2.probe_candidates),
+                ("theta_evals", st2.theta_evals),
+                ("agg_updates", st2.agg_updates),
+            ] {
+                prop_assert_eq!(
+                    sink.sum_field("gmdj.worker", field),
+                    total,
+                    "threads={} field={}",
+                    threads,
+                    field
+                );
+            }
+            // Every partition emitted a span, and partition deltas also
+            // reconcile with the roll-up.
+            let partitions = sink.by_name("gmdj.partition");
+            prop_assert_eq!(partitions.len() as u64, st2.partitions);
+            prop_assert_eq!(
+                sink.sum_field("gmdj.partition", "base_rows"),
+                st2.base_rows
+            );
         }
     }
 
@@ -239,20 +266,19 @@ proptest! {
         sites in 1usize..5,
     ) {
         let mut st1 = EvalStats::default();
-        let mut st2 = EvalStats::default();
-        let mut net = NetworkStats::default();
+        let mut node = PlanNodeStats::new("GMDJ");
         let sequential = eval_gmdj(&b, &r, &s, &GmdjOptions::default(), &mut st1).unwrap();
         let distributed = Runtime::new(ExecPolicy::distributed(sites))
-            .eval_gmdj(&b, &r, &s, &mut st2, &mut net)
+            .eval_gmdj(&b, &r, &s, &mut node)
             .unwrap();
         prop_assert!(sequential.multiset_eq(&distributed));
         // Two message waves; traffic independent of the detail size.
-        prop_assert_eq!(net.messages, 2 * sites as u64);
+        prop_assert_eq!(node.network.messages, 2 * sites as u64);
         prop_assert_eq!(
-            net.total() as usize,
+            node.network.total() as usize,
             sites * b.len() * 2 + sites * b.len() * s.agg_count()
         );
-        prop_assert_eq!(st2.detail_scanned, r.len() as u64);
+        prop_assert_eq!(node.eval.detail_scanned, r.len() as u64);
     }
 
     /// Proposition 4.1: a chain of GMDJs over the same detail table equals

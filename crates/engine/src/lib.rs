@@ -55,13 +55,15 @@
 //! assert_eq!(gmdj.relation.len(), 1);
 //! ```
 
+pub mod analyze;
 pub mod olap;
 pub mod reference;
 pub mod strategy;
 pub mod unnest;
 
+pub use analyze::{explain_analyze, AnalyzeReport};
 pub use gmdj_core::exec::MemoryCatalog as Catalog;
 pub use olap::{Aggregation, OlapQuery};
 pub use reference::{RefOptions, RefStats};
-pub use strategy::{run, RunResult, Strategy};
+pub use strategy::{run, run_with_policy_traced, RunResult, Strategy};
 pub use unnest::UnnestOptions;

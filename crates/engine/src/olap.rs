@@ -128,14 +128,14 @@ impl OlapQuery {
                         let detail_rel =
                             strategy::run_with_policy(&agg.detail, catalog, strat, policy)?
                                 .relation;
-                        let mut net = gmdj_core::distributed::NetworkStats::default();
+                        let mut node = gmdj_core::PlanNodeStats::new("GMDJ");
                         let out = Runtime::new(policy).eval_gmdj(
                             &base_rel,
                             &detail_rel,
                             &agg.spec,
-                            &mut gmdj_stats,
-                            &mut net,
+                            &mut node,
                         )?;
+                        gmdj_stats.merge(&node.eval);
                         match &agg.having {
                             Some(h) => ops::select(&out, h)?,
                             None => out,

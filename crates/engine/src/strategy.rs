@@ -1,12 +1,15 @@
 //! One entry point over the evaluation strategies of Section 5.
 
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 use gmdj_algebra::ast::QueryExpr;
 use gmdj_core::eval::{EvalStats, ProbeStrategy};
 use gmdj_core::exec::{execute, ExecContext, TableProvider};
+use gmdj_core::metrics;
 use gmdj_core::optimize::{optimize_with, OptFlags};
 use gmdj_core::runtime::{ExecPolicy, PlanNodeStats};
+use gmdj_core::trace::{NullSink, Span, TraceSink};
 use gmdj_core::translate::subquery_to_gmdj;
 use gmdj_relation::error::Result;
 use gmdj_relation::relation::Relation;
@@ -101,10 +104,15 @@ impl StrategyStats {
 pub struct RunResult {
     /// The query answer.
     pub relation: Relation,
-    /// Wall-clock time of the run (excluding translation/compilation for
-    /// the GMDJ strategies, matching the paper's reporting of query
-    /// evaluation time).
+    /// Wall-clock time of query evaluation (excluding
+    /// translation/compilation for the GMDJ strategies, matching the
+    /// paper's reporting of query evaluation time). Measured by the
+    /// `query.execute` span.
     pub wall: Duration,
+    /// Wall-clock time of translation + plan optimization (GMDJ
+    /// strategies; zero for the reference/unnest engines, which
+    /// interpret the query directly). Measured by the `query.plan` span.
+    pub plan_wall: Duration,
     /// Work counters.
     pub stats: StrategyStats,
     /// Per-plan-node statistics tree (GMDJ strategies only; the reference
@@ -121,18 +129,34 @@ pub fn run(
     run_with_policy(query, catalog, strategy, ExecPolicy::sequential())
 }
 
-/// Run a nested query expression under a strategy and an execution
-/// policy. The policy's mode and memory budget apply to every GMDJ
-/// strategy; the probe choice stays with the strategy (it is the ablation
-/// axis). The reference and unnest engines are the paper's competitors —
-/// they have no GMDJ to parallelize and ignore the policy.
+/// [`run_with_policy_traced`] with tracing disabled.
 pub fn run_with_policy(
     query: &QueryExpr,
     catalog: &dyn TableProvider,
     strategy: Strategy,
     policy: ExecPolicy,
 ) -> Result<RunResult> {
-    match strategy {
+    run_with_policy_traced(query, catalog, strategy, policy, Arc::new(NullSink))
+}
+
+/// Run a nested query expression under a strategy and an execution
+/// policy. The policy's mode and memory budget apply to every GMDJ
+/// strategy; the probe choice stays with the strategy (it is the ablation
+/// axis). The reference and unnest engines are the paper's competitors —
+/// they have no GMDJ to parallelize and ignore the policy.
+///
+/// Every run emits `query.plan` / `query.execute` spans into `sink`
+/// (plus the `plan.node` / `gmdj.*` spans beneath them for GMDJ
+/// strategies) and reports `queries_total` and the `query_latency_us`
+/// histogram into the global [`metrics`] registry.
+pub fn run_with_policy_traced(
+    query: &QueryExpr,
+    catalog: &dyn TableProvider,
+    strategy: Strategy,
+    policy: ExecPolicy,
+    sink: Arc<dyn TraceSink>,
+) -> Result<RunResult> {
+    let result = match strategy {
         Strategy::NaiveNestedLoop => run_reference(
             query,
             catalog,
@@ -140,6 +164,7 @@ pub fn run_with_policy(
                 smart: false,
                 indexed: false,
             },
+            &sink,
         ),
         Strategy::NativeSmart => run_reference(
             query,
@@ -148,6 +173,7 @@ pub fn run_with_policy(
                 smart: true,
                 indexed: true,
             },
+            &sink,
         ),
         Strategy::NativeSmartNoIndex => run_reference(
             query,
@@ -156,62 +182,110 @@ pub fn run_with_policy(
                 smart: true,
                 indexed: false,
             },
+            &sink,
         ),
-        Strategy::JoinUnnest => run_unnest(query, catalog, UnnestOptions { indexed: true }),
-        Strategy::JoinUnnestNoIndex => run_unnest(query, catalog, UnnestOptions { indexed: false }),
+        Strategy::JoinUnnest => run_unnest(query, catalog, UnnestOptions { indexed: true }, &sink),
+        Strategy::JoinUnnestNoIndex => {
+            run_unnest(query, catalog, UnnestOptions { indexed: false }, &sink)
+        }
         Strategy::GmdjBasic => run_gmdj(
             query,
             catalog,
             false,
             policy.with_probe(ProbeStrategy::Auto),
+            &sink,
         ),
-        Strategy::GmdjOptimized => {
-            run_gmdj(query, catalog, true, policy.with_probe(ProbeStrategy::Auto))
-        }
+        Strategy::GmdjOptimized => run_gmdj(
+            query,
+            catalog,
+            true,
+            policy.with_probe(ProbeStrategy::Auto),
+            &sink,
+        ),
         Strategy::GmdjOptimizedNoProbeIndex => run_gmdj(
             query,
             catalog,
             true,
             policy.with_probe(ProbeStrategy::ForceScan),
+            &sink,
         ),
         Strategy::GmdjBasicNoProbeIndex => run_gmdj(
             query,
             catalog,
             false,
             policy.with_probe(ProbeStrategy::ForceScan),
+            &sink,
         ),
-        Strategy::GmdjCostBased => run_gmdj_cost_based(query, catalog, policy),
-    }
+        Strategy::GmdjCostBased => run_gmdj_cost_based(query, catalog, policy, &sink),
+    }?;
+    let m = metrics::global();
+    m.inc("queries_total", 1);
+    m.inc(
+        &format!("queries_total{{strategy=\"{}\"}}", strategy.label()),
+        1,
+    );
+    m.observe("query_latency_us", result.wall.as_micros() as u64);
+    Ok(result)
+}
+
+/// Run a compiled plan through the executor inside a `query.execute`
+/// span, packaging the result.
+fn execute_planned(
+    plan: &gmdj_core::plan::GmdjExpr,
+    catalog: &dyn TableProvider,
+    policy: ExecPolicy,
+    plan_wall: Duration,
+    sink: &Arc<dyn TraceSink>,
+) -> Result<RunResult> {
+    let mut ctx = ExecContext::with_policy(policy).with_sink(sink.clone());
+    let span = Span::begin(sink.as_ref(), "query.execute");
+    let relation = execute(plan, catalog, &mut ctx)?;
+    let mut span = span;
+    span.field("rows_out", relation.len() as u64);
+    let wall = span.finish();
+    Ok(RunResult {
+        relation,
+        wall,
+        plan_wall,
+        stats: StrategyStats::Gmdj(ctx.stats),
+        plan_stats: ctx.plan_stats,
+    })
 }
 
 fn run_gmdj_cost_based(
     query: &QueryExpr,
     catalog: &dyn TableProvider,
     policy: ExecPolicy,
+    sink: &Arc<dyn TraceSink>,
 ) -> Result<RunResult> {
+    let plan_span = Span::begin(sink.as_ref(), "query.plan");
     let plan = subquery_to_gmdj(query, catalog)?;
     let (best, _estimate) = gmdj_core::cost::cost_based_optimize(&plan, catalog)?;
-    let mut ctx = ExecContext::with_policy(policy.with_probe(ProbeStrategy::Auto));
-    let start = Instant::now();
-    let relation = execute(&best, catalog, &mut ctx)?;
-    Ok(RunResult {
-        relation,
-        wall: start.elapsed(),
-        stats: StrategyStats::Gmdj(ctx.stats),
-        plan_stats: ctx.plan_stats,
-    })
+    let plan_wall = plan_span.finish();
+    execute_planned(
+        &best,
+        catalog,
+        policy.with_probe(ProbeStrategy::Auto),
+        plan_wall,
+        sink,
+    )
 }
 
 fn run_reference(
     query: &QueryExpr,
     catalog: &dyn TableProvider,
     opts: RefOptions,
+    sink: &Arc<dyn TraceSink>,
 ) -> Result<RunResult> {
-    let start = Instant::now();
+    let span = Span::begin(sink.as_ref(), "query.execute");
     let (relation, stats) = reference::eval(query, catalog, &opts)?;
+    let mut span = span;
+    span.field("rows_out", relation.len() as u64);
+    let wall = span.finish();
     Ok(RunResult {
         relation,
-        wall: start.elapsed(),
+        wall,
+        plan_wall: Duration::ZERO,
         stats: StrategyStats::Reference(stats),
         plan_stats: None,
     })
@@ -221,12 +295,17 @@ fn run_unnest(
     query: &QueryExpr,
     catalog: &dyn TableProvider,
     opts: UnnestOptions,
+    sink: &Arc<dyn TraceSink>,
 ) -> Result<RunResult> {
-    let start = Instant::now();
+    let span = Span::begin(sink.as_ref(), "query.execute");
     let (relation, stats) = unnest::eval(query, catalog, &opts)?;
+    let mut span = span;
+    span.field("rows_out", relation.len() as u64);
+    let wall = span.finish();
     Ok(RunResult {
         relation,
-        wall: start.elapsed(),
+        wall,
+        plan_wall: Duration::ZERO,
         stats: StrategyStats::Unnest(stats),
         plan_stats: None,
     })
@@ -237,22 +316,17 @@ fn run_gmdj(
     catalog: &dyn TableProvider,
     optimized: bool,
     policy: ExecPolicy,
+    sink: &Arc<dyn TraceSink>,
 ) -> Result<RunResult> {
+    let plan_span = Span::begin(sink.as_ref(), "query.plan");
     let plan = subquery_to_gmdj(query, catalog)?;
     let plan = if optimized {
         optimize_with(&plan, &OptFlags::default())
     } else {
         plan
     };
-    let mut ctx = ExecContext::with_policy(policy);
-    let start = Instant::now();
-    let relation = execute(&plan, catalog, &mut ctx)?;
-    Ok(RunResult {
-        relation,
-        wall: start.elapsed(),
-        stats: StrategyStats::Gmdj(ctx.stats),
-        plan_stats: ctx.plan_stats,
-    })
+    let plan_wall = plan_span.finish();
+    execute_planned(&plan, catalog, policy, plan_wall, sink)
 }
 
 /// Translate + optimize and return the plan text — EXPLAIN for the GMDJ

@@ -1,0 +1,194 @@
+//! Observability acceptance tests.
+//!
+//! * The `gmdj.eval` span's counter deltas reconcile **exactly** with the
+//!   rolled-up [`PlanNodeStats`] under every [`ExecPolicy`] — the profiler
+//!   never shows numbers the runtime didn't count.
+//! * Distributed runs report the closed-form network costs of Section 6
+//!   (`broadcast_values = base_rows × sites`, `messages = 2 × sites` for a
+//!   single-column base relation) and render them in EXPLAIN ANALYZE.
+//! * The Runtime feeds the process-wide metrics registry.
+//! * `repro --profile-json` output parses and validates against the
+//!   checked-in schema, and the plan trees survive a JSON round-trip.
+
+use std::sync::Arc;
+
+use gmdj_bench::{profile, run_figure_with, FigureId};
+use gmdj_core::metrics;
+use gmdj_core::runtime::{ExecPolicy, PlanNodeStats, Runtime};
+use gmdj_core::spec::{AggBlock, GmdjSpec};
+use gmdj_core::trace::CollectingSink;
+use gmdj_relation::agg::NamedAgg;
+use gmdj_relation::expr::col;
+use gmdj_relation::relation::{Relation, RelationBuilder};
+use gmdj_relation::schema::DataType;
+
+/// Single-column base relation so network values == network rows.
+fn base() -> Relation {
+    let mut b = RelationBuilder::new("B").column("Lo", DataType::Int);
+    for lo in [0, 25, 50, 75, 100] {
+        b = b.row(vec![lo.into()]);
+    }
+    b.build().unwrap()
+}
+
+fn detail() -> Relation {
+    let mut d = RelationBuilder::new("F")
+        .column("T", DataType::Int)
+        .column("V", DataType::Int);
+    for t in 0..40 {
+        d = d.row(vec![(t * 3).into(), (t % 7).into()]);
+    }
+    d.build().unwrap()
+}
+
+fn spec() -> GmdjSpec {
+    GmdjSpec::new(vec![AggBlock::new(
+        col("F.T").ge(col("B.Lo")),
+        vec![NamedAgg::sum(col("F.V"), "s")],
+    )])
+}
+
+#[test]
+fn gmdj_eval_span_reconciles_exactly_with_node_counters() {
+    for policy in [
+        ExecPolicy::sequential(),
+        ExecPolicy::parallel(3),
+        ExecPolicy::parallel(2).with_partition_rows(Some(2)),
+        ExecPolicy::distributed(2),
+    ] {
+        let sink = Arc::new(CollectingSink::new());
+        let mut node = PlanNodeStats::new("GMDJ");
+        let out = Runtime::with_sink(policy, sink.clone())
+            .eval_gmdj(&base(), &detail(), &spec(), &mut node)
+            .unwrap();
+        assert_eq!(out.len(), base().len(), "{policy:?}");
+
+        let evals = sink.by_name("gmdj.eval");
+        assert_eq!(evals.len(), 1, "{policy:?}");
+        let ev = &evals[0];
+        for (key, want) in node
+            .eval
+            .trace_fields()
+            .into_iter()
+            .chain(node.network.trace_fields())
+        {
+            assert_eq!(
+                ev.field(key),
+                Some(want),
+                "field `{key}` diverged under {policy:?}"
+            );
+        }
+        assert!(ev.dur_ns > 0, "{policy:?}");
+        assert_eq!(node.invocations, 1);
+        assert!(node.elapsed_ns >= ev.dur_ns, "{policy:?}");
+
+        // Partition spans cover the whole base exactly once.
+        assert_eq!(
+            sink.sum_field("gmdj.partition", "base_rows"),
+            node.eval.base_rows,
+            "{policy:?}"
+        );
+        assert_eq!(
+            sink.by_name("gmdj.partition").len() as u64,
+            node.eval.partitions,
+            "{policy:?}"
+        );
+    }
+}
+
+#[test]
+fn distributed_network_accounting_matches_closed_form() {
+    let base_rows = base().len() as u64;
+    for sites in [2usize, 3, 5] {
+        let sink = Arc::new(CollectingSink::new());
+        let mut node = PlanNodeStats::new("GMDJ");
+        Runtime::with_sink(ExecPolicy::distributed(sites), sink.clone())
+            .eval_gmdj(&base(), &detail(), &spec(), &mut node)
+            .unwrap();
+
+        // One broadcast wave (the base fits one partition) + one collect
+        // wave: values = base_rows × sites (1-column base), 2 messages
+        // per site.
+        assert_eq!(node.network.broadcast_values, base_rows * sites as u64);
+        assert_eq!(node.network.messages, 2 * sites as u64);
+        assert_eq!(
+            node.network.collected_states,
+            base_rows * sites as u64,
+            "one aggregate state per base row per site"
+        );
+
+        // Per-site round-trip spans carry the same totals.
+        assert_eq!(sink.by_name("site.roundtrip").len(), sites);
+        assert_eq!(
+            sink.sum_field("site.roundtrip", "messages"),
+            2 * sites as u64
+        );
+        assert_eq!(
+            sink.sum_field("site.roundtrip", "broadcast_values"),
+            base_rows * sites as u64
+        );
+
+        // EXPLAIN ANALYZE renders the network column.
+        let text = node.render_analyze();
+        assert!(text.contains("net="), "{text}");
+        assert!(text.contains(&format!("msgs={}", 2 * sites)), "{text}");
+    }
+}
+
+#[test]
+fn runtime_reports_into_the_global_metrics_registry() {
+    let m = metrics::global();
+    let evals_before = m.counter("gmdj_evals_total");
+    let scanned_before = m.counter("gmdj_detail_scanned_total");
+
+    let mut node = PlanNodeStats::new("GMDJ");
+    Runtime::sequential()
+        .eval_gmdj(&base(), &detail(), &spec(), &mut node)
+        .unwrap();
+
+    // Other tests in this binary may run concurrently, so assert growth
+    // by at least this evaluation's contribution, not exact equality.
+    assert!(m.counter("gmdj_evals_total") > evals_before);
+    assert!(m.counter("gmdj_detail_scanned_total") >= scanned_before + node.eval.detail_scanned);
+    let prom = m.render_prometheus();
+    assert!(prom.contains("gmdj_evals_total"), "{prom}");
+    assert!(
+        prom.contains("# TYPE gmdj_eval_latency_us histogram"),
+        "{prom}"
+    );
+}
+
+#[test]
+fn profile_json_validates_and_round_trips_plan_trees() {
+    let policy = ExecPolicy::parallel(2);
+    let fig = run_figure_with(FigureId::Fig2, 0.002, 7, policy).unwrap();
+    let doc = profile::render_profile(&[fig], &policy, 0.002, 7);
+
+    let parsed = profile::parse_json(&doc).expect("profile emits valid JSON");
+    profile::validate_profile(&parsed).expect("profile matches its schema");
+
+    // Every GMDJ measurement carries a plan tree that reconstructs
+    // losslessly from the JSON.
+    let mut trees = 0;
+    let figures = parsed.get("figures").unwrap().as_arr().unwrap();
+    for fig in figures {
+        for point in fig.get("points").unwrap().as_arr().unwrap() {
+            for m in point.get("measurements").unwrap().as_arr().unwrap() {
+                let strategy = m.get("strategy").unwrap().as_str().unwrap();
+                let plan = m.get("plan").unwrap();
+                if strategy.starts_with("gmdj") {
+                    let tree =
+                        profile::plan_from_json(plan).unwrap_or_else(|e| panic!("{strategy}: {e}"));
+                    assert!(tree.elapsed_ns > 0, "{strategy}");
+                    assert_eq!(
+                        profile::parse_json(&tree.to_json()).unwrap(),
+                        *plan,
+                        "round-trip must be lossless"
+                    );
+                    trees += 1;
+                }
+            }
+        }
+    }
+    assert!(trees > 0, "Figure 2 runs GMDJ strategies");
+}
