@@ -143,14 +143,28 @@ fn collect_from_predicate(
     match pred {
         NestedPredicate::Atom(p) => record_columns(&p.columns(), scopes, out),
         NestedPredicate::Subquery(s) => {
-            // The left operand (if any) belongs to the *current* block.
+            // The left operand (if any) is written in the current block but
+            // *evaluated* in the subquery's block: the Table-1 translation
+            // places the comparison `x φ y` inside the subquery's own GMDJ
+            // condition (Theorem 3.2). Record it one level deeper, so a
+            // reference to the current block resolves one level up and a
+            // reference past it counts as non-neighboring (and receives
+            // the Theorem 3.3 push-down).
             match s {
                 SubqueryPred::Cmp { left, .. }
                 | SubqueryPred::Quantified { left, .. }
                 | SubqueryPred::In { left, .. } => {
                     let mut cols = Vec::new();
                     left.collect_columns(&mut cols);
+                    let local: Vec<String> = s
+                        .query()
+                        .local_qualifiers()
+                        .into_iter()
+                        .map(str::to_string)
+                        .collect();
+                    scopes.push(local);
                     record_columns(&cols, scopes, out);
+                    scopes.pop();
                 }
                 SubqueryPred::Exists { .. } => {}
             }

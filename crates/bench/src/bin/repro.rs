@@ -1,9 +1,15 @@
-//! Regenerate the paper's figures.
+//! Regenerate the paper's figures, or fuzz the pipeline differentially.
 //!
 //! ```text
 //! repro [--figure 2|3|4|5] [--scale F] [--seed N] [--threads N] [--full]
 //!       [--profile-json PATH] [--check-profile PATH]
+//! repro fuzz --seed S --cases N [--replay FILE|DIR] [--corpus-dir DIR]
 //! ```
+//!
+//! The `fuzz` subcommand (see `gmdj_fuzz::cli`) runs seeded random nested
+//! queries through every strategy × every execution policy and diffs the
+//! answers against tuple-iteration semantics, shrinking and writing a
+//! self-contained repro for any divergence.
 //!
 //! Prints, per figure, the measurement table (one row per size point, one
 //! column per strategy — milliseconds and work units) followed by the
@@ -96,7 +102,10 @@ fn parse_args() -> Result<Args, String> {
                      --csv DIR    also write the measurement grid as DIR/figN.csv\n  \
                      --profile-json PATH   write a machine-readable profile (timed\n                        \
                      plan trees + counters; see schemas/profile.schema.json)\n  \
-                     --check-profile PATH  validate an existing profile and exit"
+                     --check-profile PATH  validate an existing profile and exit\n\n\
+                     subcommands:\n  \
+                     fuzz         differential fuzzing of the subquery pipeline\n               \
+                     (repro fuzz --help for its options)"
                 );
                 std::process::exit(0);
             }
@@ -181,6 +190,10 @@ fn write_csv(dir: &str, fig: FigureId, figure: &gmdj_bench::Figure) -> std::io::
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("fuzz") {
+        return gmdj_fuzz::cli::run(&argv[1..]);
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

@@ -466,12 +466,25 @@ mod pushdown {
             .iter()
             .map(|block| block.iter().map(|(q, _)| q.clone()).collect())
             .collect();
+        let current = env
+            .last()
+            .expect("fix_subquery called with enclosing scope")
+            .clone();
         loop {
             let refs = free_references(&body, &scopes);
-            let Some(bad) = refs
-                .iter()
-                .find(|r| matches!(r.levels_up, Some(l) if l >= 2))
-            else {
+            // Fix only the references that resolve in the immediately
+            // enclosing block. A reference that is non-neighboring relative
+            // to a *deeper* block of `body` (e.g. the left operand of a
+            // doubly nested comparison) is fixed by the recursive
+            // `rewrite_block` pass once the enclosing scope has grown down
+            // to it.
+            let Some(bad) = refs.iter().find(|r| {
+                matches!(r.levels_up, Some(l) if l >= 2)
+                    && r.column
+                        .qualifier
+                        .as_ref()
+                        .is_some_and(|q| current.iter().any(|(cq, _)| cq == q))
+            }) else {
                 break;
             };
             let q_far = bad
@@ -479,36 +492,37 @@ mod pushdown {
                 .qualifier
                 .clone()
                 .expect("free references are always qualified");
-            // Top-down processing guarantees the qualifier is local to the
-            // immediately enclosing block; anything else is malformed.
-            let current = env
-                .last()
-                .expect("fix_subquery called with enclosing scope");
-            let Some((_, table_name)) = current.iter().find(|(q, _)| *q == q_far).cloned() else {
-                return Err(Error::invalid(format!(
-                    "non-neighboring reference {} does not resolve in the \
-                     immediately enclosing block",
-                    bad.column
-                )));
-            };
+            let (_, table_name) = current
+                .iter()
+                .find(|(q, _)| *q == q_far)
+                .cloned()
+                .expect("qualifier resolves in the enclosing block by the filter above");
             *counter += 1;
             let fresh = format!("{q_far}__pd{counter}");
-            // 1. Redirect every reference to the far qualifier inside the
-            //    body to the pushed-down copy.
-            body = rename_qualifier(&body, &q_far, &fresh);
-            // 2. Join a copy of the far table into the body's source
-            //    (Theorem 3.3: MD(B,R,l,θ) = MD(B, B⋈R, l, θ) applied at
-            //    the inner base).
-            body = attach_source(body, QueryExpr::table(&table_name, &fresh));
-            // 3. Correlate the copy with the original via null-safe
-            //    equality on every column, so each outer tuple ranges only
-            //    over detail tuples built from its own copy.
             let cols = schemas.table_columns(&table_name)?;
             if cols.is_empty() {
                 return Err(Error::invalid(format!(
                     "cannot push down table {table_name} with no columns"
                 )));
             }
+            // 1. Redirect every reference to the far qualifier inside the
+            //    body to the pushed-down copy.
+            body = rename_qualifier(&body, &q_far, &fresh);
+            // 2. Join a *duplicate-free* copy of the far table into the
+            //    body's source (Theorem 3.3: MD(B,R,l,θ) = MD(B, B⋈R, l, θ)
+            //    applied at the inner base). Without the duplicate
+            //    elimination, two identical far tuples would each match
+            //    both copies under the correlation conjuncts below,
+            //    multiplying every aggregate by the duplicate count.
+            let copy = QueryExpr::table(&table_name, &fresh).project_distinct(
+                cols.iter()
+                    .map(|c| ColumnRef::qualified(&fresh, c))
+                    .collect(),
+            );
+            body = attach_source(body, copy);
+            // 3. Correlate the copy with the original via null-safe
+            //    equality on every column, so each outer tuple ranges only
+            //    over detail tuples built from its own copy.
             let conj = Predicate::conjoin(cols.iter().map(|c| {
                 let orig = ScalarExpr::Column(ColumnRef::qualified(&q_far, c));
                 let copy = ScalarExpr::Column(ColumnRef::qualified(&fresh, c));

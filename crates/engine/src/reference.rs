@@ -177,6 +177,7 @@ struct CSub {
     body: CBody,
 }
 
+#[derive(Clone, Copy)]
 enum SubKind {
     Exists {
         negated: bool,
@@ -691,11 +692,24 @@ impl<'a> Evaluator<'a> {
                 state.finish(&sub.kind, left_val.as_ref(), acc)
             }
             CBody::General { node, output_col } => {
+                // The compiled plan already performed any aggregation (its
+                // AggProject node), so an aggregate comparison degenerates
+                // to a scalar comparison over the plan's single output row.
+                let kind = match sub.kind {
+                    SubKind::Cmp {
+                        op,
+                        aggregate: true,
+                    } => SubKind::Cmp {
+                        op,
+                        aggregate: false,
+                    },
+                    k => k,
+                };
                 let rel = self.run(node, rows)?;
                 for r in rel.rows() {
                     feed(
                         &mut state,
-                        &sub.kind,
+                        &kind,
                         left_val.as_ref(),
                         output_col.map(|c| &r[c]),
                         None,
@@ -703,11 +717,11 @@ impl<'a> Evaluator<'a> {
                         rows,
                         r,
                     )?;
-                    if self.opts.smart && state.decided(&sub.kind) {
+                    if self.opts.smart && state.decided(&kind) {
                         break;
                     }
                 }
-                state.finish(&sub.kind, left_val.as_ref(), None)
+                state.finish(&kind, left_val.as_ref(), None)
             }
         }
     }

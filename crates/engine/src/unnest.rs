@@ -159,10 +159,12 @@ impl<'a> Unnester<'a> {
         for conjunct in conjuncts {
             current = match conjunct {
                 NestedPredicate::Atom(p) => ops::select(&current, p)?,
-                NestedPredicate::Subquery(s) => match self.apply_subquery(&current, s)? {
-                    Some(next) => next,
-                    None => return self.fallback(original),
-                },
+                NestedPredicate::Subquery(s) => {
+                    match none_on_unknown(self.apply_subquery(&current, s))?.flatten() {
+                        Some(next) => next,
+                        None => return self.fallback(original),
+                    }
+                }
                 _ => return self.fallback(original),
             };
         }
@@ -202,8 +204,11 @@ impl<'a> Unnester<'a> {
                 }
                 NestedPredicate::Subquery(inner) => {
                     // Tree-nested subquery correlated to this source:
-                    // unnest it against the source.
-                    match self.apply_subquery(&filtered_source, inner)? {
+                    // unnest it against the source. A non-neighboring
+                    // reference (binding past both the source and this
+                    // block) surfaces as UnknownColumn anywhere inside the
+                    // rewrite — treat every such failure as fallback.
+                    match none_on_unknown(self.apply_subquery(&filtered_source, inner))?.flatten() {
                         Some(next) => filtered_source = next,
                         None => return Ok(None),
                     }

@@ -1,0 +1,257 @@
+//! The differential driver: run one case through the full pipeline
+//! (`gmdj_sql` parse → lower → every strategy × every execution policy)
+//! and diff multiset results against tuple-iteration semantics.
+//!
+//! The oracle is [`Strategy::NaiveNestedLoop`] under the sequential
+//! policy — `gmdj_engine::reference` with no smartness and no indexes,
+//! i.e. the literal nested-loop semantics of Section 2 that Theorem 3.5's
+//! correctness claim is stated against.
+
+use std::sync::Arc;
+
+use gmdj_core::runtime::ExecPolicy;
+use gmdj_core::trace::CollectingSink;
+use gmdj_engine::strategy::{run_with_policy, run_with_policy_traced, Strategy};
+use gmdj_relation::relation::Relation;
+
+use crate::spec::FuzzCase;
+
+/// A hook that lets tests corrupt one strategy's result before the diff —
+/// the standing proof that the harness actually catches and shrinks
+/// semantic divergences (the "inject a NULL-handling bug" drill of the
+/// acceptance criteria, without keeping a buggy engine around).
+pub type ResultMutator = fn(Strategy, ExecPolicy, &Relation) -> Option<Relation>;
+
+/// What to run a case against.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    pub strategies: Vec<Strategy>,
+    pub policies: Vec<ExecPolicy>,
+    /// Test-only result corruption hook; `None` in production.
+    pub mutate: Option<ResultMutator>,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            strategies: default_strategies(),
+            policies: default_policies().to_vec(),
+            mutate: None,
+        }
+    }
+}
+
+/// The Section 5 lineup plus the GMDJ ablative strategies that exercise
+/// the basic translation and the cost-based rewrite selection.
+pub fn default_strategies() -> Vec<Strategy> {
+    let mut v = Strategy::paper_lineup().to_vec();
+    v.push(Strategy::GmdjBasic);
+    v.push(Strategy::GmdjCostBased);
+    v
+}
+
+/// The execution policies under differential test.
+pub fn default_policies() -> [ExecPolicy; 4] {
+    [
+        ExecPolicy::sequential(),
+        ExecPolicy::parallel(2),
+        ExecPolicy::parallel(8),
+        ExecPolicy::distributed(3),
+    ]
+}
+
+/// True when the strategy routes through the GMDJ runtime and therefore
+/// actually consumes the execution policy. The reference and unnest
+/// engines ignore it, so re-running them per policy is skipped.
+pub fn uses_policy(s: Strategy) -> bool {
+    matches!(
+        s,
+        Strategy::GmdjBasic
+            | Strategy::GmdjOptimized
+            | Strategy::GmdjBasicNoProbeIndex
+            | Strategy::GmdjOptimizedNoProbeIndex
+            | Strategy::GmdjCostBased
+    )
+}
+
+/// Compact label for a policy (repro files, CI logs).
+pub fn policy_label(p: ExecPolicy) -> String {
+    use gmdj_core::runtime::ExecMode;
+    match p.mode {
+        ExecMode::Sequential => "seq".to_string(),
+        ExecMode::Parallel { threads } => format!("par{threads}"),
+        ExecMode::Distributed { sites } => format!("dist{sites}"),
+    }
+}
+
+/// One observed disagreement with the oracle.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    pub strategy: Strategy,
+    pub policy: ExecPolicy,
+    pub oracle_rows: usize,
+    /// `None` when the strategy returned an error instead of a relation.
+    pub actual_rows: Option<usize>,
+    /// Human-readable detail: the two relations, or the error text.
+    pub detail: String,
+}
+
+/// Everything wrong with one case. `pipeline_error` is set when the case
+/// never reached the diff (SQL failed to parse/lower, or the oracle
+/// itself failed) — for generated cases that is a harness bug and is
+/// treated as a failure in its own right.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    pub pipeline_error: Option<String>,
+    pub divergences: Vec<Divergence>,
+}
+
+impl CheckReport {
+    pub fn passed(&self) -> bool {
+        self.pipeline_error.is_none() && self.divergences.is_empty()
+    }
+}
+
+/// Run the full differential check for one case.
+pub fn check_case(case: &FuzzCase, opts: &CheckOptions) -> CheckReport {
+    let mut report = CheckReport::default();
+    let query = match gmdj_sql::parse_query(&case.sql) {
+        Ok(q) => q,
+        Err(e) => {
+            report.pipeline_error = Some(format!("parse/lower failed: {e}\nsql: {}", case.sql));
+            return report;
+        }
+    };
+    let catalog = case.catalog();
+    let oracle = match run_with_policy(
+        &query,
+        &catalog,
+        Strategy::NaiveNestedLoop,
+        ExecPolicy::sequential(),
+    ) {
+        Ok(r) => r.relation,
+        Err(e) => {
+            report.pipeline_error = Some(format!("oracle failed: {e}\nsql: {}", case.sql));
+            return report;
+        }
+    };
+
+    for &strategy in &opts.strategies {
+        for &policy in &opts.policies {
+            if !uses_policy(strategy) && policy != ExecPolicy::sequential() {
+                continue;
+            }
+            if strategy == Strategy::NaiveNestedLoop && policy == ExecPolicy::sequential() {
+                continue; // the oracle itself
+            }
+            match run_with_policy(&query, &catalog, strategy, policy) {
+                Ok(r) => {
+                    let relation = match opts.mutate {
+                        Some(m) => m(strategy, policy, &r.relation).unwrap_or(r.relation),
+                        None => r.relation,
+                    };
+                    if !oracle.multiset_eq(&relation) {
+                        report.divergences.push(Divergence {
+                            strategy,
+                            policy,
+                            oracle_rows: oracle.len(),
+                            actual_rows: Some(relation.len()),
+                            detail: format!(
+                                "oracle ({} rows):\n{oracle}\n{} under {} ({} rows):\n{relation}",
+                                oracle.len(),
+                                strategy.label(),
+                                policy_label(policy),
+                                relation.len()
+                            ),
+                        });
+                    }
+                }
+                Err(e) => report.divergences.push(Divergence {
+                    strategy,
+                    policy,
+                    oracle_rows: oracle.len(),
+                    actual_rows: None,
+                    detail: format!(
+                        "{} under {} errored while the oracle succeeded: {e}",
+                        strategy.label(),
+                        policy_label(policy)
+                    ),
+                }),
+            }
+        }
+    }
+    report
+}
+
+/// Re-run the first diverging (strategy, policy) with a collecting trace
+/// sink and return the span events as JSON lines — the per-case profile
+/// that ships inside a written repro (PR 2's observability layer).
+pub fn trace_divergence(case: &FuzzCase, d: &Divergence) -> Vec<String> {
+    let Ok(query) = gmdj_sql::parse_query(&case.sql) else {
+        return Vec::new();
+    };
+    let catalog = case.catalog();
+    let sink = Arc::new(CollectingSink::new());
+    let _ = run_with_policy_traced(&query, &catalog, d.strategy, d.policy, sink.clone());
+    sink.events().iter().map(|e| e.to_json()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TableSpec;
+
+    fn tiny_case(sql: &str) -> FuzzCase {
+        FuzzCase {
+            seed: 0,
+            tables: vec![
+                TableSpec {
+                    name: "B".into(),
+                    columns: vec!["a".into(), "b".into()],
+                    rows: vec![vec![Some(1), Some(2)], vec![None, Some(0)]],
+                },
+                TableSpec {
+                    name: "R".into(),
+                    columns: vec!["a".into(), "b".into()],
+                    rows: vec![vec![Some(1), None]],
+                },
+            ],
+            sql: sql.into(),
+            spec: None,
+        }
+    }
+
+    #[test]
+    fn clean_case_passes() {
+        let case =
+            tiny_case("SELECT * FROM B B0 WHERE EXISTS (SELECT * FROM R R1 WHERE R1.a = B0.a)");
+        let report = check_case(&case, &CheckOptions::default());
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn parse_errors_are_pipeline_errors() {
+        let case = tiny_case("SELECT FROM WHERE");
+        let report = check_case(&case, &CheckOptions::default());
+        assert!(report.pipeline_error.is_some());
+    }
+
+    #[test]
+    fn mutator_induces_divergence() {
+        fn drop_all(s: Strategy, _p: ExecPolicy, r: &Relation) -> Option<Relation> {
+            (s == Strategy::GmdjOptimized).then(|| Relation::empty(r.schema().clone()))
+        }
+        let case =
+            tiny_case("SELECT * FROM B B0 WHERE EXISTS (SELECT * FROM R R1 WHERE R1.a = B0.a)");
+        let opts = CheckOptions {
+            mutate: Some(drop_all),
+            ..CheckOptions::default()
+        };
+        let report = check_case(&case, &opts);
+        assert!(!report.divergences.is_empty());
+        assert!(report
+            .divergences
+            .iter()
+            .all(|d| d.strategy == Strategy::GmdjOptimized));
+    }
+}

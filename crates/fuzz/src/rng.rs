@@ -1,0 +1,95 @@
+//! Hand-rolled deterministic PRNG for the fuzzer.
+//!
+//! SplitMix64 (Steele, Lea & Flood): 64 bits of state, full-period,
+//! excellent diffusion, and — critically for a fuzzing corpus — the exact
+//! same sequence on every platform and toolchain. No external dependency
+//! is involved, so repro seeds stay valid forever.
+
+/// SplitMix64 stream.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded stream.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `0..n` (`n > 0`) via the multiply-shift trick
+    /// (Lemire), which is deterministic and avoids modulo bias for the
+    /// tiny ranges the generator uses.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Bernoulli draw: true with probability `pct`/100.
+    pub fn chance(&mut self, pct: u64) -> bool {
+        self.below(100) < pct
+    }
+
+    /// Uniform element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+/// Derive a per-case seed from a run seed and a case index. Mixing through
+/// SplitMix64 keeps neighbouring indices uncorrelated.
+pub fn case_seed(run_seed: u64, index: u64) -> u64 {
+    let mut rng = SplitMix64::new(run_seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F));
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_first_output() {
+        // Reference value of SplitMix64 seeded with 1234567: guards
+        // against accidental edits to the constants, which would silently
+        // invalidate every checked-in corpus seed.
+        let mut rng = SplitMix64::new(1234567);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+    }
+
+    #[test]
+    fn below_stays_in_range_and_covers() {
+        let mut rng = SplitMix64::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let x = rng.below(5) as usize;
+            assert!(x < 5);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn case_seeds_differ() {
+        let a = case_seed(42, 0);
+        let b = case_seed(42, 1);
+        assert_ne!(a, b);
+    }
+}

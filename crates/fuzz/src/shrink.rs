@@ -1,0 +1,299 @@
+//! Automatic minimization of failing cases.
+//!
+//! Greedy delta debugging over the structured case: repeatedly try
+//! smaller variants (drop row chunks, then single rows, prune subquery
+//! nodes, simplify predicates, drop unreferenced tables) and keep any
+//! variant that still fails the differential check. Terminates at a
+//! local minimum or after `max_checks` oracle runs.
+
+use crate::driver::{check_case, CheckOptions};
+use crate::spec::{FuzzCase, Pred, Projection};
+
+/// Shrink `case` (which must fail under `opts`) to a smaller failing
+/// case. Returns the minimized case and the number of differential
+/// checks spent.
+pub fn shrink(case: &FuzzCase, opts: &CheckOptions, max_checks: usize) -> (FuzzCase, usize) {
+    let mut current = case.clone();
+    let mut checks = 0usize;
+    let still_fails = |c: &FuzzCase, checks: &mut usize| {
+        *checks += 1;
+        !check_case(c, opts).passed()
+    };
+
+    // The input must fail, otherwise there is nothing to preserve.
+    if !still_fails(&current, &mut checks) {
+        return (current, checks);
+    }
+
+    loop {
+        if checks >= max_checks {
+            break;
+        }
+        let mut progressed = false;
+        for candidate in candidates(&current) {
+            if checks >= max_checks {
+                break;
+            }
+            if still_fails(&candidate, &mut checks) {
+                current = candidate;
+                progressed = true;
+                break; // restart candidate enumeration from the smaller case
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    (current, checks)
+}
+
+/// All single-step reductions of a case, most aggressive first.
+fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+
+    // 1. Drop entire tables the query no longer references (their rows
+    //    are dead weight in the repro).
+    let referenced = case.referenced_tables();
+    if case.tables.iter().any(|t| !referenced.contains(&t.name)) {
+        let mut c = case.clone();
+        c.tables.retain(|t| referenced.contains(&t.name));
+        out.push(c);
+    }
+
+    // 2. Row reduction: halves first (fast progress on large tables),
+    //    then individual rows.
+    for (ti, t) in case.tables.iter().enumerate() {
+        let n = t.rows.len();
+        if n >= 2 {
+            for (lo, hi) in [(0, n / 2), (n / 2, n)] {
+                let mut c = case.clone();
+                c.tables[ti].rows.drain(lo..hi);
+                out.push(c);
+            }
+        }
+    }
+    for (ti, t) in case.tables.iter().enumerate() {
+        for ri in 0..t.rows.len() {
+            let mut c = case.clone();
+            c.tables[ti].rows.remove(ri);
+            out.push(c);
+        }
+    }
+
+    // 3. Structural predicate reductions (generated cases only).
+    if let Some(spec) = &case.spec {
+        for pred in reduce_pred(&spec.predicate) {
+            let mut c = case.clone();
+            let s = c.spec.as_mut().unwrap();
+            s.predicate = pred;
+            c.sync_sql();
+            out.push(c);
+        }
+        // 4. Projection simplification: `SELECT *` is the least surprising
+        //    output shape for a repro.
+        if spec.projection != Projection::Star {
+            let mut c = case.clone();
+            c.spec.as_mut().unwrap().projection = Projection::Star;
+            c.sync_sql();
+            out.push(c);
+        }
+    }
+
+    // 5. NULL-ify shrink is deliberately absent: replacing NULLs with
+    //    zeros can mask exactly the 3VL bugs the harness hunts.
+    out
+}
+
+/// Every one-step reduction of a predicate tree: replace a node by one of
+/// its children, drop a negation, or collapse a leaf to TRUE.
+fn reduce_pred(p: &Pred) -> Vec<Pred> {
+    let mut out = Vec::new();
+    match p {
+        Pred::True => {}
+        Pred::Cmp { .. } | Pred::IsNull { .. } => out.push(Pred::True),
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+            for ra in reduce_pred(a) {
+                out.push(match p {
+                    Pred::And(_, _) => Pred::And(Box::new(ra), b.clone()),
+                    _ => Pred::Or(Box::new(ra), b.clone()),
+                });
+            }
+            for rb in reduce_pred(b) {
+                out.push(match p {
+                    Pred::And(_, _) => Pred::And(a.clone(), Box::new(rb)),
+                    _ => Pred::Or(a.clone(), Box::new(rb)),
+                });
+            }
+        }
+        Pred::Not(inner) => {
+            out.push((**inner).clone());
+            for r in reduce_pred(inner) {
+                out.push(Pred::Not(Box::new(r)));
+            }
+        }
+        Pred::Exists { negated, sub } => {
+            out.push(Pred::True);
+            for r in reduce_pred(&sub.pred) {
+                let mut s = sub.clone();
+                s.pred = r;
+                out.push(Pred::Exists {
+                    negated: *negated,
+                    sub: s,
+                });
+            }
+        }
+        Pred::In { left, negated, sub } => {
+            out.push(Pred::True);
+            for r in reduce_pred(&sub.pred) {
+                let mut s = sub.clone();
+                s.pred = r;
+                out.push(Pred::In {
+                    left: left.clone(),
+                    negated: *negated,
+                    sub: s,
+                });
+            }
+        }
+        Pred::Quant { left, op, all, sub } => {
+            out.push(Pred::True);
+            for r in reduce_pred(&sub.pred) {
+                let mut s = sub.clone();
+                s.pred = r;
+                out.push(Pred::Quant {
+                    left: left.clone(),
+                    op: *op,
+                    all: *all,
+                    sub: s,
+                });
+            }
+        }
+        Pred::AggCmp {
+            left,
+            op,
+            func,
+            sub,
+        } => {
+            out.push(Pred::True);
+            for r in reduce_pred(&sub.pred) {
+                let mut s = sub.clone();
+                s.pred = r;
+                out.push(Pred::AggCmp {
+                    left: left.clone(),
+                    op: *op,
+                    func: *func,
+                    sub: s,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ColRef, Op, Operand, QuerySpec, SubSpec, TableSpec};
+
+    #[test]
+    fn reduce_pred_offers_children_and_true() {
+        let cmp = Pred::Cmp {
+            left: Operand::Col(ColRef::new("B0", "a")),
+            op: Op::Eq,
+            right: Operand::Lit(Some(1)),
+        };
+        let and = Pred::And(Box::new(cmp.clone()), Box::new(Pred::True));
+        let reductions = reduce_pred(&and);
+        assert!(reductions.contains(&cmp));
+        assert!(reductions.contains(&Pred::True));
+    }
+
+    #[test]
+    fn shrink_keeps_failure_and_reduces_rows() {
+        // Failure injected via mutator: GmdjOptimized "loses" rows whose
+        // first column is NULL — a classic NULL-handling bug shape.
+        fn lose_nulls(
+            s: gmdj_engine::strategy::Strategy,
+            _p: gmdj_core::runtime::ExecPolicy,
+            r: &gmdj_relation::relation::Relation,
+        ) -> Option<gmdj_relation::relation::Relation> {
+            if s != gmdj_engine::strategy::Strategy::GmdjOptimized {
+                return None;
+            }
+            let rows: Vec<_> = r
+                .rows()
+                .iter()
+                .filter(|row| !row[0].is_null())
+                .cloned()
+                .collect();
+            Some(gmdj_relation::relation::Relation::from_parts(
+                r.schema().clone(),
+                rows,
+            ))
+        }
+
+        let sub = SubSpec {
+            table: "R".into(),
+            alias: "R1".into(),
+            output: "a".into(),
+            pred: Pred::True,
+        };
+        let case = FuzzCase {
+            seed: 1,
+            tables: vec![
+                TableSpec {
+                    name: "B".into(),
+                    columns: vec!["a".into(), "b".into()],
+                    rows: vec![
+                        vec![Some(0), Some(1)],
+                        vec![None, Some(2)],
+                        vec![Some(3), None],
+                        vec![Some(4), Some(4)],
+                        vec![None, None],
+                        vec![Some(2), Some(2)],
+                    ],
+                },
+                TableSpec {
+                    name: "R".into(),
+                    columns: vec!["a".into(), "b".into()],
+                    rows: vec![vec![Some(1), Some(1)], vec![Some(2), None]],
+                },
+                TableSpec {
+                    name: "S".into(),
+                    columns: vec!["a".into(), "b".into()],
+                    rows: vec![vec![Some(9), Some(9)]],
+                },
+            ],
+            sql: String::new(),
+            spec: Some(QuerySpec {
+                table: "B".into(),
+                alias: "B0".into(),
+                projection: Projection::Star,
+                predicate: Pred::Exists {
+                    negated: false,
+                    sub: Box::new(sub),
+                },
+            }),
+        };
+        let mut case = case;
+        case.sync_sql();
+
+        let opts = CheckOptions {
+            mutate: Some(lose_nulls),
+            ..CheckOptions::default()
+        };
+        assert!(!check_case(&case, &opts).passed(), "setup must fail");
+        let (small, _checks) = shrink(&case, &opts, 2000);
+        assert!(
+            !check_case(&small, &opts).passed(),
+            "shrunk case must still fail"
+        );
+        assert!(
+            small.referenced_rows() <= 5,
+            "expected <=5 referenced rows, got {} in {:?}",
+            small.referenced_rows(),
+            small.tables
+        );
+    }
+}

@@ -1,0 +1,479 @@
+//! Structured fuzz cases: randomized catalogs plus a query specification
+//! that renders to SQL text.
+//!
+//! The generator builds a [`QuerySpec`] (not SQL directly) so the
+//! shrinker can prune subquery nodes and simplify predicates
+//! structurally, re-rendering valid SQL after every mutation. The SQL
+//! text is what actually enters the pipeline under test — the harness
+//! exercises `gmdj_sql` parse → lower exactly like a user query.
+
+use std::fmt::Write as _;
+
+use gmdj_core::exec::MemoryCatalog;
+use gmdj_relation::relation::RelationBuilder;
+use gmdj_relation::schema::DataType;
+use gmdj_relation::value::Value;
+
+/// One base table: named integer columns, rows of `Option<i64>` where
+/// `None` is SQL NULL. Keeping the domain integral keeps comparisons,
+/// grouping, and aggregation meaningful while staying byte-stable in the
+/// corpus format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSpec {
+    pub name: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Option<i64>>>,
+}
+
+impl TableSpec {
+    /// Empty table.
+    pub fn new(name: impl Into<String>, columns: &[&str]) -> Self {
+        TableSpec {
+            name: name.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+}
+
+/// A fully self-contained differential test case. `spec` is present for
+/// generated cases (enabling structural shrinking); replayed corpus cases
+/// carry only the SQL text.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Seed this case was generated from (provenance only — after
+    /// shrinking, the tables and SQL are authoritative).
+    pub seed: u64,
+    pub tables: Vec<TableSpec>,
+    pub sql: String,
+    pub spec: Option<QuerySpec>,
+}
+
+impl FuzzCase {
+    /// Materialize the catalog the query runs against.
+    pub fn catalog(&self) -> MemoryCatalog {
+        let mut catalog = MemoryCatalog::new();
+        for t in &self.tables {
+            let mut b = RelationBuilder::new(t.name.as_str());
+            for c in &t.columns {
+                b = b.column(c.as_str(), DataType::Int);
+            }
+            for row in &t.rows {
+                b = b.row(
+                    row.iter()
+                        .map(|v| v.map(Value::Int).unwrap_or(Value::Null))
+                        .collect(),
+                );
+            }
+            // Int-only columns and matching arities by construction.
+            catalog = catalog.with(t.name.clone(), b.build().expect("well-formed table spec"));
+        }
+        catalog
+    }
+
+    /// Re-render SQL from the structured spec (after shrinking).
+    pub fn sync_sql(&mut self) {
+        if let Some(spec) = &self.spec {
+            self.sql = spec.to_sql();
+        }
+    }
+
+    /// Total row count across tables the query actually references — the
+    /// size figure shrinking minimizes and reports.
+    pub fn referenced_rows(&self) -> usize {
+        let referenced = self.referenced_tables();
+        self.tables
+            .iter()
+            .filter(|t| referenced.contains(&t.name))
+            .map(|t| t.rows.len())
+            .sum()
+    }
+
+    /// Names of tables mentioned in the query. Falls back to "all tables"
+    /// for replayed cases without a structured spec.
+    pub fn referenced_tables(&self) -> Vec<String> {
+        match &self.spec {
+            Some(spec) => spec.referenced_tables(),
+            None => self.tables.iter().map(|t| t.name.clone()).collect(),
+        }
+    }
+}
+
+/// Comparison operators of the SQL subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Op {
+    pub const ALL: [Op; 6] = [Op::Eq, Op::Ne, Op::Lt, Op::Le, Op::Gt, Op::Ge];
+
+    pub fn as_sql(self) -> &'static str {
+        match self {
+            Op::Eq => "=",
+            Op::Ne => "<>",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+        }
+    }
+}
+
+/// Aggregate functions usable in scalar subqueries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    CountStar,
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl Agg {
+    pub const ALL: [Agg; 6] = [
+        Agg::CountStar,
+        Agg::Count,
+        Agg::Sum,
+        Agg::Min,
+        Agg::Max,
+        Agg::Avg,
+    ];
+}
+
+/// A column reference `alias.column` into some enclosing scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    pub alias: String,
+    pub column: String,
+}
+
+impl ColRef {
+    pub fn new(alias: impl Into<String>, column: impl Into<String>) -> Self {
+        ColRef {
+            alias: alias.into(),
+            column: column.into(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}.{}", self.alias, self.column)
+    }
+}
+
+/// Left operand of a comparison-shaped subquery construct: a column of an
+/// enclosing block or an integer/NULL literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    Col(ColRef),
+    Lit(Option<i64>),
+}
+
+impl Operand {
+    fn render(&self) -> String {
+        match self {
+            Operand::Col(c) => c.render(),
+            Operand::Lit(Some(n)) => n.to_string(),
+            Operand::Lit(None) => "NULL".to_string(),
+        }
+    }
+}
+
+/// One subquery block: `SELECT … FROM table alias WHERE pred`. What the
+/// block outputs is decided by the enclosing construct (whole rows for
+/// EXISTS, `alias.output` for IN/quantified, `f(alias.output)` for the
+/// aggregate comparison).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubSpec {
+    pub table: String,
+    pub alias: String,
+    pub output: String,
+    pub pred: Pred,
+}
+
+/// Predicate grammar of Section 2.1 — every SQL subquery construct the
+/// paper's Theorem 3.5 covers, plus flat atoms and boolean structure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    True,
+    /// Flat comparison between scope columns / literals.
+    Cmp {
+        left: Operand,
+        op: Op,
+        right: Operand,
+    },
+    IsNull {
+        col: ColRef,
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (SELECT * FROM …)`.
+    Exists {
+        negated: bool,
+        sub: Box<SubSpec>,
+    },
+    /// `x [NOT] IN (SELECT a.c FROM …)`.
+    In {
+        left: Operand,
+        negated: bool,
+        sub: Box<SubSpec>,
+    },
+    /// `x op SOME/ALL (SELECT a.c FROM …)`.
+    Quant {
+        left: Operand,
+        op: Op,
+        all: bool,
+        sub: Box<SubSpec>,
+    },
+    /// `x op (SELECT f(a.c) FROM …)` — scalar aggregate comparison
+    /// (always exactly one row, so it is runtime-safe by construction).
+    AggCmp {
+        left: Operand,
+        op: Op,
+        func: Agg,
+        sub: Box<SubSpec>,
+    },
+    And(Box<Pred>, Box<Pred>),
+    Or(Box<Pred>, Box<Pred>),
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    fn render(&self, out: &mut String) {
+        match self {
+            Pred::True => out.push_str("TRUE"),
+            Pred::Cmp { left, op, right } => {
+                let _ = write!(out, "{} {} {}", left.render(), op.as_sql(), right.render());
+            }
+            Pred::IsNull { col, negated } => {
+                let _ = write!(
+                    out,
+                    "{} IS {}NULL",
+                    col.render(),
+                    if *negated { "NOT " } else { "" }
+                );
+            }
+            Pred::Exists { negated, sub } => {
+                let _ = write!(
+                    out,
+                    "{}EXISTS (SELECT * FROM {} {} WHERE ",
+                    if *negated { "NOT " } else { "" },
+                    sub.table,
+                    sub.alias
+                );
+                sub.pred.render(out);
+                out.push(')');
+            }
+            Pred::In { left, negated, sub } => {
+                let _ = write!(
+                    out,
+                    "{} {}IN (SELECT {}.{} FROM {} {} WHERE ",
+                    left.render(),
+                    if *negated { "NOT " } else { "" },
+                    sub.alias,
+                    sub.output,
+                    sub.table,
+                    sub.alias
+                );
+                sub.pred.render(out);
+                out.push(')');
+            }
+            Pred::Quant { left, op, all, sub } => {
+                let _ = write!(
+                    out,
+                    "{} {} {} (SELECT {}.{} FROM {} {} WHERE ",
+                    left.render(),
+                    op.as_sql(),
+                    if *all { "ALL" } else { "SOME" },
+                    sub.alias,
+                    sub.output,
+                    sub.table,
+                    sub.alias
+                );
+                sub.pred.render(out);
+                out.push(')');
+            }
+            Pred::AggCmp {
+                left,
+                op,
+                func,
+                sub,
+            } => {
+                let call = match func {
+                    Agg::CountStar => "COUNT(*)".to_string(),
+                    Agg::Count => format!("COUNT({}.{})", sub.alias, sub.output),
+                    Agg::Sum => format!("SUM({}.{})", sub.alias, sub.output),
+                    Agg::Min => format!("MIN({}.{})", sub.alias, sub.output),
+                    Agg::Max => format!("MAX({}.{})", sub.alias, sub.output),
+                    Agg::Avg => format!("AVG({}.{})", sub.alias, sub.output),
+                };
+                let _ = write!(
+                    out,
+                    "{} {} (SELECT {} FROM {} {} WHERE ",
+                    left.render(),
+                    op.as_sql(),
+                    call,
+                    sub.table,
+                    sub.alias
+                );
+                sub.pred.render(out);
+                out.push(')');
+            }
+            Pred::And(a, b) => {
+                out.push('(');
+                a.render(out);
+                out.push_str(" AND ");
+                b.render(out);
+                out.push(')');
+            }
+            Pred::Or(a, b) => {
+                out.push('(');
+                a.render(out);
+                out.push_str(" OR ");
+                b.render(out);
+                out.push(')');
+            }
+            Pred::Not(p) => {
+                out.push_str("NOT (");
+                p.render(out);
+                out.push(')');
+            }
+        }
+    }
+
+    /// Depth of subquery nesting contributed by this predicate.
+    pub fn nesting_depth(&self) -> usize {
+        match self {
+            Pred::True | Pred::Cmp { .. } | Pred::IsNull { .. } => 0,
+            Pred::Exists { sub, .. }
+            | Pred::In { sub, .. }
+            | Pred::Quant { sub, .. }
+            | Pred::AggCmp { sub, .. } => 1 + sub.pred.nesting_depth(),
+            Pred::And(a, b) | Pred::Or(a, b) => a.nesting_depth().max(b.nesting_depth()),
+            Pred::Not(p) => p.nesting_depth(),
+        }
+    }
+
+    fn collect_tables(&self, out: &mut Vec<String>) {
+        match self {
+            Pred::True | Pred::Cmp { .. } | Pred::IsNull { .. } => {}
+            Pred::Exists { sub, .. }
+            | Pred::In { sub, .. }
+            | Pred::Quant { sub, .. }
+            | Pred::AggCmp { sub, .. } => {
+                if !out.contains(&sub.table) {
+                    out.push(sub.table.clone());
+                }
+                sub.pred.collect_tables(out);
+            }
+            Pred::And(a, b) | Pred::Or(a, b) => {
+                a.collect_tables(out);
+                b.collect_tables(out);
+            }
+            Pred::Not(p) => p.collect_tables(out),
+        }
+    }
+}
+
+/// What the outer block projects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Projection {
+    Star,
+    Column(String),
+    DistinctColumn(String),
+}
+
+/// The outer query block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    pub table: String,
+    pub alias: String,
+    pub projection: Projection,
+    pub predicate: Pred,
+}
+
+impl QuerySpec {
+    /// Render the full SELECT statement.
+    pub fn to_sql(&self) -> String {
+        let mut out = String::new();
+        match &self.projection {
+            Projection::Star => out.push_str("SELECT *"),
+            Projection::Column(c) => {
+                let _ = write!(out, "SELECT {}.{}", self.alias, c);
+            }
+            Projection::DistinctColumn(c) => {
+                let _ = write!(out, "SELECT DISTINCT {}.{}", self.alias, c);
+            }
+        }
+        let _ = write!(out, " FROM {} {} WHERE ", self.table, self.alias);
+        self.predicate.render(&mut out);
+        out
+    }
+
+    /// Every table the query references (outer FROM plus all subqueries).
+    pub fn referenced_tables(&self) -> Vec<String> {
+        let mut out = vec![self.table.clone()];
+        self.predicate.collect_tables(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_parseable_sql() {
+        let sub = SubSpec {
+            table: "R".into(),
+            alias: "R1".into(),
+            output: "a".into(),
+            pred: Pred::Cmp {
+                left: Operand::Col(ColRef::new("R1", "a")),
+                op: Op::Eq,
+                right: Operand::Col(ColRef::new("B0", "a")),
+            },
+        };
+        let spec = QuerySpec {
+            table: "B".into(),
+            alias: "B0".into(),
+            projection: Projection::Star,
+            predicate: Pred::Not(Box::new(Pred::In {
+                left: Operand::Col(ColRef::new("B0", "b")),
+                negated: true,
+                sub: Box::new(sub),
+            })),
+        };
+        let sql = spec.to_sql();
+        assert_eq!(
+            sql,
+            "SELECT * FROM B B0 WHERE NOT (B0.b NOT IN \
+             (SELECT R1.a FROM R R1 WHERE R1.a = B0.a))"
+        );
+        gmdj_sql::parse_query(&sql).expect("rendered SQL must parse");
+    }
+
+    #[test]
+    fn catalog_builds_with_nulls() {
+        let case = FuzzCase {
+            seed: 0,
+            tables: vec![TableSpec {
+                name: "B".into(),
+                columns: vec!["a".into(), "b".into()],
+                rows: vec![vec![Some(1), None], vec![None, Some(3)]],
+            }],
+            sql: "SELECT * FROM B B0 WHERE TRUE".into(),
+            spec: None,
+        };
+        let catalog = case.catalog();
+        use gmdj_core::exec::TableProvider;
+        let rel = catalog.table("B").unwrap();
+        assert_eq!(rel.len(), 2);
+        assert!(rel.rows()[0][1].is_null());
+    }
+}

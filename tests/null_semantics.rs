@@ -1,0 +1,201 @@
+//! Three-valued-logic traps, pinned against hand-computed answers and
+//! cross-checked over every strategy × every execution policy.
+//!
+//! SQL's NULL semantics concentrate the classic subquery bugs:
+//!
+//! * `x NOT IN (subquery)` is never TRUE once the subquery output
+//!   contains a NULL — `x <> NULL` is UNKNOWN, and `ALL` needs TRUE
+//!   everywhere.
+//! * `x op ALL (empty range)` is vacuously TRUE — even for `x` NULL —
+//!   which the count-pair GMDJ encoding must reproduce as `0 = 0`.
+//! * A scalar aggregate over an empty range is NULL (UNKNOWN in any
+//!   comparison) for every function except COUNT, which is 0.
+//!
+//! Each query goes through the real SQL front end (parse → lower) so the
+//! tests cover the same pipeline the fuzz harness drives.
+
+use gmdj_core::exec::MemoryCatalog;
+use gmdj_core::runtime::ExecPolicy;
+use gmdj_engine::strategy::{run_with_policy, Strategy};
+use gmdj_relation::relation::{Relation, RelationBuilder};
+use gmdj_relation::schema::DataType;
+use gmdj_relation::value::Value;
+use gmdj_sql::parse_query;
+
+fn int(v: i64) -> Value {
+    Value::Int(v)
+}
+
+/// B = {(0,1), (1,4), (3,9), (NULL,2)}
+fn table_b() -> Relation {
+    RelationBuilder::new("B")
+        .column("a", DataType::Int)
+        .column("b", DataType::Int)
+        .row(vec![int(0), int(1)])
+        .row(vec![int(1), int(4)])
+        .row(vec![int(3), int(9)])
+        .row(vec![Value::Null, int(2)])
+        .build()
+        .expect("B builds")
+}
+
+/// S = {(0,1), (1,NULL), (2,5)}
+fn table_s() -> Relation {
+    RelationBuilder::new("S")
+        .column("a", DataType::Int)
+        .column("b", DataType::Int)
+        .row(vec![int(0), int(1)])
+        .row(vec![int(1), Value::Null])
+        .row(vec![int(2), int(5)])
+        .build()
+        .expect("S builds")
+}
+
+fn catalog() -> MemoryCatalog {
+    MemoryCatalog::new()
+        .with("B", table_b())
+        .with("S", table_s())
+}
+
+fn all_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::NaiveNestedLoop,
+        Strategy::NativeSmart,
+        Strategy::NativeSmartNoIndex,
+        Strategy::JoinUnnest,
+        Strategy::JoinUnnestNoIndex,
+        Strategy::GmdjBasic,
+        Strategy::GmdjOptimized,
+        Strategy::GmdjBasicNoProbeIndex,
+        Strategy::GmdjOptimizedNoProbeIndex,
+        Strategy::GmdjCostBased,
+    ]
+}
+
+fn policies() -> Vec<ExecPolicy> {
+    vec![
+        ExecPolicy::sequential(),
+        ExecPolicy::parallel(3),
+        ExecPolicy::distributed(2),
+    ]
+}
+
+/// Run `sql` under every strategy × policy and assert the result always
+/// has exactly `expected_rows` rows and matches the oracle as a multiset.
+fn assert_rows(sql: &str, expected_rows: usize) {
+    let catalog = catalog();
+    let query = parse_query(sql).expect("query parses");
+    let oracle = run_with_policy(
+        &query,
+        &catalog,
+        Strategy::NaiveNestedLoop,
+        ExecPolicy::sequential(),
+    )
+    .expect("oracle succeeds")
+    .relation;
+    assert_eq!(
+        oracle.len(),
+        expected_rows,
+        "oracle disagrees with the hand computation for {sql}\n{oracle}"
+    );
+    for strat in all_strategies() {
+        for policy in policies() {
+            let got = run_with_policy(&query, &catalog, strat, policy)
+                .unwrap_or_else(|e| panic!("{strat:?} under {policy:?} failed on {sql}: {e}"))
+                .relation;
+            assert!(
+                oracle.multiset_eq(&got),
+                "{strat:?} under {policy:?} diverges on {sql}\noracle:\n{oracle}\ngot:\n{got}"
+            );
+        }
+    }
+}
+
+#[test]
+fn not_in_with_null_in_subquery_is_never_true() {
+    // S.b = {1, NULL, 5}: `B.b NOT IN S.b` is UNKNOWN for every B.b that
+    // matches nothing (the NULL poisons the conjunction) and FALSE for
+    // B.b = 1 — no row qualifies.
+    assert_rows(
+        "SELECT * FROM B B0 WHERE B0.b NOT IN (SELECT S1.b FROM S S1 WHERE TRUE)",
+        0,
+    );
+}
+
+#[test]
+fn not_in_passes_only_via_empty_range() {
+    // Correlation `S1.a <= B0.a` empties the range exactly for
+    // B0.a = NULL (UNKNOWN everywhere); NOT IN over the empty range is
+    // vacuously TRUE. Every other row sees a NULL (UNKNOWN) or a match
+    // (FALSE). Only (NULL, 2) survives.
+    assert_rows(
+        "SELECT * FROM B B0 WHERE B0.b NOT IN (SELECT S1.b FROM S S1 WHERE S1.a <= B0.a)",
+        1,
+    );
+}
+
+#[test]
+fn all_over_empty_detail_set_is_vacuously_true() {
+    // `S1.a > 100` filters S to nothing, so `>= ALL` holds for every B
+    // row — including (NULL, 2): ALL over the empty set is TRUE before
+    // the comparison is ever evaluated.
+    assert_rows(
+        "SELECT * FROM B B0 WHERE B0.a >= ALL (SELECT S1.a FROM S S1 WHERE S1.a > 100)",
+        4,
+    );
+}
+
+#[test]
+fn all_with_null_left_operand_is_unknown_on_nonempty_range() {
+    // Non-empty range {0,1,2}: B0.a >= ALL needs TRUE for every element.
+    // a=3 passes; a=0,1 fail on some element; a=NULL compares UNKNOWN.
+    assert_rows(
+        "SELECT * FROM B B0 WHERE B0.a >= ALL (SELECT S1.a FROM S S1 WHERE TRUE)",
+        1,
+    );
+}
+
+#[test]
+fn scalar_aggregate_over_empty_range_is_null() {
+    // MIN over the emptied range is NULL, so the comparison is UNKNOWN
+    // for every row: zero rows, not an error and not "everything".
+    assert_rows(
+        "SELECT * FROM B B0 WHERE B0.b > (SELECT MIN(S1.b) FROM S S1 WHERE S1.a > 100)",
+        0,
+    );
+}
+
+#[test]
+fn count_over_empty_range_is_zero_not_null() {
+    // COUNT is the exception: the same empty range compares as 0, so
+    // `B0.b > COUNT(...)` holds wherever B0.b > 0 — all four rows.
+    assert_rows(
+        "SELECT * FROM B B0 WHERE B0.b > (SELECT COUNT(S1.b) FROM S S1 WHERE S1.a > 100)",
+        4,
+    );
+}
+
+#[test]
+fn count_skips_nulls_but_count_star_does_not() {
+    // COUNT(S1.b) over all of S sees {1, NULL, 5} and counts 2;
+    // COUNT(*) counts 3 rows. B.b > 2: rows with b ∈ {4, 9};
+    // B.b > 3: the same two rows — but pin both forms independently.
+    assert_rows(
+        "SELECT * FROM B B0 WHERE B0.b > (SELECT COUNT(S1.b) FROM S S1 WHERE TRUE)",
+        2,
+    );
+    assert_rows(
+        "SELECT * FROM B B0 WHERE B0.b > (SELECT COUNT(*) FROM S S1 WHERE TRUE)",
+        2,
+    );
+}
+
+#[test]
+fn in_with_null_left_operand_is_unknown() {
+    // B.a IN {0,1,2}: rows a=0 and a=1 pass, a=3 fails, a=NULL is
+    // UNKNOWN (never TRUE) even though the range is non-empty.
+    assert_rows(
+        "SELECT * FROM B B0 WHERE B0.a IN (SELECT S1.a FROM S S1 WHERE TRUE)",
+        2,
+    );
+}

@@ -11,7 +11,8 @@ use proptest::prelude::*;
 
 use gmdj_algebra::ast::{NestedPredicate, Quantifier, QueryExpr, SubqueryPred};
 use gmdj_core::exec::MemoryCatalog;
-use gmdj_engine::strategy::{run, Strategy as EvalStrategy};
+use gmdj_core::runtime::ExecPolicy;
+use gmdj_engine::strategy::{run, run_with_policy, Strategy as EvalStrategy};
 use gmdj_relation::agg::{AggFunc, NamedAgg};
 use gmdj_relation::expr::{col, lit, CmpOp, Predicate, ScalarExpr};
 use gmdj_relation::relation::Relation;
@@ -173,6 +174,12 @@ fn strategies() -> Vec<EvalStrategy> {
     ]
 }
 
+/// Non-sequential policies every policy-sensitive strategy must also
+/// agree under: answers are policy-invariant, only scheduling changes.
+fn extra_policies() -> Vec<ExecPolicy> {
+    vec![ExecPolicy::parallel(3), ExecPolicy::distributed(2)]
+}
+
 fn assert_all_agree(query: &QueryExpr, catalog: &MemoryCatalog) {
     let oracle = run(query, catalog, EvalStrategy::NaiveNestedLoop)
         .expect("oracle evaluation must succeed")
@@ -188,6 +195,29 @@ fn assert_all_agree(query: &QueryExpr, catalog: &MemoryCatalog) {
             oracle.len(),
             got.len(),
         );
+        // The GMDJ strategies consume the execution policy; re-check them
+        // under parallel and distributed runtimes.
+        if matches!(
+            strat,
+            EvalStrategy::GmdjBasic
+                | EvalStrategy::GmdjOptimized
+                | EvalStrategy::GmdjBasicNoProbeIndex
+                | EvalStrategy::GmdjOptimizedNoProbeIndex
+                | EvalStrategy::GmdjCostBased
+        ) {
+            for policy in extra_policies() {
+                let got = run_with_policy(query, catalog, strat, policy)
+                    .unwrap_or_else(|e| panic!("{strat:?} under {policy:?} failed on {query}: {e}"))
+                    .relation;
+                assert!(
+                    oracle.multiset_eq(&got),
+                    "{strat:?} under {policy:?} disagrees with tuple-iteration semantics \
+                     on\n{query}\noracle ({} rows):\n{oracle}\ngot ({} rows):\n{got}",
+                    oracle.len(),
+                    got.len(),
+                );
+            }
+        }
     }
 }
 
