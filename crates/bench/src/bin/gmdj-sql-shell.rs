@@ -18,7 +18,8 @@
 //! \analyze [json] SQL     run and show the timed, counter-annotated plan
 //! \dot SQL                emit the optimized plan as Graphviz dot
 //! \compare SQL            run under every strategy and compare
-//! \metrics                dump the process metrics registry (Prometheus text)
+//! \metrics [json]         dump the process metrics registry — key-sorted
+//!                         Prometheus text, or JSON with p50/p95/p99
 //! \timing on|off          toggle the parse/plan/execute breakdown
 //! \q                      quit
 //! ```
@@ -285,7 +286,14 @@ impl Shell {
             }
             "\\explain" => self.explain(rest),
             "\\analyze" => self.analyze(rest),
-            "\\metrics" => print!("{}", metrics::global().render_prometheus()),
+            // Both renderings iterate the registry's BTreeMaps and emit
+            // one `# TYPE` line per family, so the output is key-sorted
+            // and byte-stable for a given registry state — diffable
+            // across runs and snapshot-testable.
+            "\\metrics" => match rest {
+                "json" => println!("{}", metrics::global().render_json()),
+                _ => print!("{}", metrics::global().render_prometheus()),
+            },
             "\\dot" => match gmdj_sql::parse_query(rest) {
                 Ok(q) => {
                     match gmdj_core::translate::subquery_to_gmdj(&q, &self.catalog) {

@@ -4,12 +4,22 @@
 //! repro [--figure 2|3|4|5] [--scale F] [--seed N] [--threads N] [--full]
 //!       [--profile-json PATH] [--check-profile PATH]
 //! repro fuzz --seed S --cases N [--replay FILE|DIR] [--corpus-dir DIR]
+//! repro bench [--quick] [--scale F] [--seed N] [--reps N] [--warmup N]
+//!             [--out DIR] [--baseline PATH] [--check-baseline] [--bless]
+//!             [--wall-tolerance F] [--no-ablations]
 //! ```
 //!
 //! The `fuzz` subcommand (see `gmdj_fuzz::cli`) runs seeded random nested
 //! queries through every strategy × every execution policy and diffs the
 //! answers against tuple-iteration semantics, shrinking and writing a
 //! self-contained repro for any divergence.
+//!
+//! The `bench` subcommand (see `gmdj_bench::telemetry`) records a
+//! deterministic performance trajectory — trimmed-mean wall-clock plus
+//! exact evaluator/network/scan counters per (workload, size, strategy,
+//! policy) cell — to `BENCH_<run>.json`, and `--check-baseline` gates it
+//! against `bench/baseline.json`: counter drift hard-fails with a
+//! per-plan-node diff, wall-clock regressions only warn.
 //!
 //! Prints, per figure, the measurement table (one row per size point, one
 //! column per strategy — milliseconds and work units) followed by the
@@ -105,7 +115,9 @@ fn parse_args() -> Result<Args, String> {
                      --check-profile PATH  validate an existing profile and exit\n\n\
                      subcommands:\n  \
                      fuzz         differential fuzzing of the subquery pipeline\n               \
-                     (repro fuzz --help for its options)"
+                     (repro fuzz --help for its options)\n  \
+                     bench        record a deterministic perf trajectory and gate it\n               \
+                     against bench/baseline.json (repro bench --help)"
                 );
                 std::process::exit(0);
             }
@@ -189,10 +201,165 @@ fn write_csv(dir: &str, fig: FigureId, figure: &gmdj_bench::Figure) -> std::io::
     Ok(())
 }
 
+/// `repro bench`: record a deterministic perf trajectory, optionally
+/// blessing it as the baseline or gating it against the recorded one.
+fn bench_cmd(argv: &[String]) -> ExitCode {
+    let mut cfg = gmdj_bench::telemetry::BenchConfig::full(42);
+    let mut out_dir = String::from(".");
+    let mut baseline_path = String::from("bench/baseline.json");
+    let mut check_baseline = false;
+    let mut bless = false;
+    let mut wall_tolerance = 0.25f64;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{what} needs a value"))
+        };
+        let parsed = (|| -> Result<(), String> {
+            match arg.as_str() {
+                "--quick" => {
+                    cfg = gmdj_bench::telemetry::BenchConfig::quick(cfg.seed);
+                }
+                "--scale" => {
+                    cfg.scale = next("--scale")?.parse().map_err(|_| "bad --scale")?;
+                }
+                "--seed" => cfg.seed = next("--seed")?.parse().map_err(|_| "bad --seed")?,
+                "--reps" => cfg.reps = next("--reps")?.parse().map_err(|_| "bad --reps")?,
+                "--warmup" => {
+                    cfg.warmup = next("--warmup")?.parse().map_err(|_| "bad --warmup")?;
+                }
+                "--out" => out_dir = next("--out")?,
+                "--baseline" => baseline_path = next("--baseline")?,
+                "--check-baseline" => check_baseline = true,
+                "--bless" => bless = true,
+                "--wall-tolerance" => {
+                    wall_tolerance = next("--wall-tolerance")?
+                        .parse()
+                        .map_err(|_| "bad --wall-tolerance")?;
+                }
+                "--no-ablations" => cfg.ablations = false,
+                "--help" | "-h" => {
+                    println!(
+                        "repro bench — deterministic benchmark telemetry\n\n\
+                         Runs the Figure 2-5 workloads and the ablation grid at a fixed\n\
+                         seed/scale under the execution policies, recording trimmed-mean\n\
+                         wall-clock and exact counters to BENCH_<run>.json\n\
+                         (schemas/bench.schema.json).\n\n\
+                         options:\n  \
+                         --quick              CI configuration (small scale, 3 reps) —\n                       \
+                         the configuration bench/baseline.json is recorded with\n  \
+                         --scale F            override the size multiplier\n  \
+                         --seed N             data generation seed (default 42)\n  \
+                         --reps N             measured repetitions per cell\n  \
+                         --warmup N           unmeasured warmup runs per cell\n  \
+                         --out DIR            where to write BENCH_<run>.json (default .)\n  \
+                         --baseline PATH      baseline document (default bench/baseline.json)\n  \
+                         --check-baseline     gate this run against the baseline: counter\n                       \
+                         drift fails (exit 1), wall-clock only warns\n  \
+                         --bless              overwrite the baseline with this run\n  \
+                         --wall-tolerance F   warn threshold on trimmed-mean wall-clock\n                       \
+                         (fraction, default 0.25 = +25%)\n  \
+                         --no-ablations       skip the ablation grid"
+                    );
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown argument `{other}` (try --help)")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = parsed {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let report = match gmdj_bench::telemetry::run_bench(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: bench run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = report.to_json();
+    // Self-check before writing: the emitted document must satisfy its
+    // own schema, so CI failures point at the generator.
+    let doc = match profile::parse_json(&json)
+        .and_then(|d| gmdj_bench::telemetry::validate_bench(&d).map(|()| d))
+    {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("internal error: generated bench report is invalid: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out_path = format!("{out_dir}/BENCH_{}.json", report.config.run_id());
+    if let Err(e) =
+        std::fs::create_dir_all(&out_dir).and_then(|()| std::fs::write(&out_path, &json))
+    {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "wrote {out_path} ({} entries, {} gated)",
+        report.entries.len(),
+        report.entries.iter().filter(|e| e.gated).count()
+    );
+
+    if bless {
+        if let Some(parent) = std::path::Path::new(&baseline_path).parent() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("error: cannot create {}: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(&baseline_path, &json) {
+            eprintln!("error: cannot write {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("blessed {baseline_path}");
+    }
+
+    if check_baseline {
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match profile::parse_json(&text)
+            .and_then(|d| gmdj_bench::telemetry::validate_bench(&d).map(|()| d))
+        {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: baseline {baseline_path} is invalid: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match gmdj_bench::telemetry::compare_reports(&doc, &baseline, wall_tolerance) {
+            Ok(cmp) => {
+                print!("{}", cmp.render());
+                if cmp.gate_failed() {
+                    eprintln!("baseline gate FAILED: deterministic counters drifted");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: baseline comparison failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("fuzz") {
         return gmdj_fuzz::cli::run(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("bench") {
+        return bench_cmd(&argv[1..]);
     }
     let args = match parse_args() {
         Ok(a) => a,

@@ -23,6 +23,7 @@ use gmdj_relation::error::Result;
 
 pub mod profile;
 pub mod shape;
+pub mod telemetry;
 
 /// One measured cell of a figure.
 #[derive(Debug, Clone)]
@@ -156,7 +157,7 @@ pub fn workload(fig: FigureId, outer: usize, inner: usize, seed: u64) -> Workloa
     }
 }
 
-fn size_label(fig: FigureId, outer: usize, inner: usize) -> String {
+pub(crate) fn size_label(fig: FigureId, outer: usize, inner: usize) -> String {
     fn k(n: usize) -> String {
         if n >= 1_000_000 && n.is_multiple_of(100_000) {
             format!("{:.1}M", n as f64 / 1e6)

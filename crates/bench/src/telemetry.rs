@@ -1,0 +1,1200 @@
+//! Benchmark telemetry: recorded perf trajectories with noise-free
+//! regression gates.
+//!
+//! `repro bench` executes the Figure 2–5 workloads plus an ablation grid
+//! at fixed seeds and scales under the execution policies, and records
+//! two kinds of signal per (workload, size, strategy, policy) cell:
+//!
+//! * **wall-clock** — warmup runs followed by repeated measurements,
+//!   summarized as a trimmed mean (min and max dropped). Machine-bound,
+//!   noisy, therefore only *warn*-gated against the baseline;
+//! * **deterministic counters** — the quantities the evaluator already
+//!   counts exactly ([`EvalStats`](gmdj_core::eval::EvalStats) work,
+//!   [`NetworkStats`](gmdj_core::distributed::NetworkStats) traffic,
+//!   table rows scanned, relational-operator row flow, per-plan-node
+//!   invocations). Same seed ⇒ same bytes, so any drift against
+//!   `bench/baseline.json` is a real plan-quality change and **hard-fails**
+//!   the gate. The runner additionally asserts the counters are identical
+//!   across its own repetitions, so a nondeterministic counter can never
+//!   be recorded in the first place.
+//!
+//! The report is one `BENCH_<run>.json` document, schema-documented in
+//! `schemas/bench.schema.json` and validated by [`validate_bench`] on the
+//! same hand-rolled JSON parser the profile subsystem uses
+//! ([`crate::profile::parse_json`]). [`compare_reports`] implements the
+//! two-tier gate and, for a drifted entry, diffs the recorded plan-node
+//! counter trees pairwise — naming the regressed node and its cost-model
+//! figure ([`gmdj_core::cost::observed_cost`]) before and after.
+
+use gmdj_core::cost;
+use gmdj_core::metrics;
+use gmdj_core::runtime::{ExecMode, ExecPolicy, PlanNodeStats};
+use gmdj_engine::strategy::{run_with_policy, RunResult, Strategy};
+use gmdj_relation::error::{Error, Result};
+
+use crate::profile::Json;
+use crate::{lineup, pair_cap, size_label, sizes, workload, FigureId};
+use gmdj_datagen::workloads::Workload;
+
+/// Schema version written to and required from bench documents.
+pub const BENCH_VERSION: u64 = 1;
+
+/// The deterministic counter set recorded per bench entry, every field an
+/// exact count read back from the run (no wall-clock anywhere). Two runs
+/// at the same seed, scale, strategy and policy produce identical values;
+/// the baseline gate therefore tolerates zero drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counters {
+    /// Result cardinality.
+    pub rows: u64,
+    /// Strategy-level machine-independent work figure.
+    pub work: u64,
+    /// Number of nodes in the recorded plan tree (0 for plan-free
+    /// strategies).
+    pub plan_nodes: u64,
+    /// Plan-node invocations summed over the tree.
+    pub invocations: u64,
+    /// Table rows scanned, summed over the tree.
+    pub scanned_rows: u64,
+    /// Relational-operator input rows, summed over the tree.
+    pub ops_rows_in: u64,
+    /// Relational-operator output rows, summed over the tree.
+    pub ops_rows_out: u64,
+    // The ten evaluator counters, rolled up over the tree.
+    pub detail_scanned: u64,
+    pub probe_candidates: u64,
+    pub theta_evals: u64,
+    pub agg_updates: u64,
+    pub base_rows: u64,
+    pub dead_early: u64,
+    pub done_early: u64,
+    pub index_builds: u64,
+    pub partitions: u64,
+    pub completion_fallbacks: u64,
+    // Simulated network traffic, rolled up over the tree.
+    pub messages: u64,
+    pub broadcast_values: u64,
+    pub collected_states: u64,
+}
+
+/// The 20 counter keys, alphabetically sorted — the order they are
+/// emitted in JSON and required by the schema.
+pub const COUNTER_KEYS: [&str; 20] = [
+    "agg_updates",
+    "base_rows",
+    "broadcast_values",
+    "collected_states",
+    "completion_fallbacks",
+    "dead_early",
+    "detail_scanned",
+    "done_early",
+    "index_builds",
+    "invocations",
+    "messages",
+    "ops_rows_in",
+    "ops_rows_out",
+    "partitions",
+    "plan_nodes",
+    "probe_candidates",
+    "rows",
+    "scanned_rows",
+    "theta_evals",
+    "work",
+];
+
+impl Counters {
+    /// Extract the counter set from a strategy run.
+    pub fn from_run(result: &RunResult) -> Counters {
+        let mut c = Counters {
+            rows: result.relation.len() as u64,
+            work: result.stats.work(),
+            ..Counters::default()
+        };
+        if let Some(tree) = &result.plan_stats {
+            let eval = tree.total_eval();
+            let net = tree.total_network();
+            let ops = tree.total_ops();
+            c.plan_nodes = count_nodes(tree);
+            c.invocations = sum_invocations(tree);
+            c.scanned_rows = tree.total_scanned();
+            c.ops_rows_in = ops.rows_in;
+            c.ops_rows_out = ops.rows_out;
+            c.detail_scanned = eval.detail_scanned;
+            c.probe_candidates = eval.probe_candidates;
+            c.theta_evals = eval.theta_evals;
+            c.agg_updates = eval.agg_updates;
+            c.base_rows = eval.base_rows;
+            c.dead_early = eval.dead_early;
+            c.done_early = eval.done_early;
+            c.index_builds = eval.index_builds;
+            c.partitions = eval.partitions;
+            c.completion_fallbacks = eval.completion_fallbacks;
+            c.messages = net.messages;
+            c.broadcast_values = net.broadcast_values;
+            c.collected_states = net.collected_states;
+        }
+        c
+    }
+
+    /// `(key, value)` pairs in [`COUNTER_KEYS`] (sorted) order.
+    pub fn items(&self) -> [(&'static str, u64); 20] {
+        [
+            ("agg_updates", self.agg_updates),
+            ("base_rows", self.base_rows),
+            ("broadcast_values", self.broadcast_values),
+            ("collected_states", self.collected_states),
+            ("completion_fallbacks", self.completion_fallbacks),
+            ("dead_early", self.dead_early),
+            ("detail_scanned", self.detail_scanned),
+            ("done_early", self.done_early),
+            ("index_builds", self.index_builds),
+            ("invocations", self.invocations),
+            ("messages", self.messages),
+            ("ops_rows_in", self.ops_rows_in),
+            ("ops_rows_out", self.ops_rows_out),
+            ("partitions", self.partitions),
+            ("plan_nodes", self.plan_nodes),
+            ("probe_candidates", self.probe_candidates),
+            ("rows", self.rows),
+            ("scanned_rows", self.scanned_rows),
+            ("theta_evals", self.theta_evals),
+            ("work", self.work),
+        ]
+    }
+
+    fn to_json(self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.items().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{v}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn count_nodes(t: &PlanNodeStats) -> u64 {
+    1 + t.children.iter().map(count_nodes).sum::<u64>()
+}
+
+fn sum_invocations(t: &PlanNodeStats) -> u64 {
+    t.invocations + t.children.iter().map(sum_invocations).sum::<u64>()
+}
+
+/// The per-node counter keys of the recorded plan tree (alphabetical).
+pub const NODE_COUNTER_KEYS: [&str; 18] = [
+    "agg_updates",
+    "base_rows",
+    "broadcast_values",
+    "collected_states",
+    "completion_fallbacks",
+    "dead_early",
+    "detail_scanned",
+    "done_early",
+    "index_builds",
+    "invocations",
+    "messages",
+    "ops_rows_in",
+    "ops_rows_out",
+    "partitions",
+    "probe_candidates",
+    "rows_out",
+    "scanned_rows",
+    "theta_evals",
+];
+
+fn node_counter_items(t: &PlanNodeStats) -> [(&'static str, u64); 18] {
+    let e = &t.eval;
+    let n = &t.network;
+    [
+        ("agg_updates", e.agg_updates),
+        ("base_rows", e.base_rows),
+        ("broadcast_values", n.broadcast_values),
+        ("collected_states", n.collected_states),
+        ("completion_fallbacks", e.completion_fallbacks),
+        ("dead_early", e.dead_early),
+        ("detail_scanned", e.detail_scanned),
+        ("done_early", e.done_early),
+        ("index_builds", e.index_builds),
+        ("invocations", t.invocations),
+        ("messages", n.messages),
+        ("ops_rows_in", t.ops.rows_in),
+        ("ops_rows_out", t.ops.rows_out),
+        ("partitions", e.partitions),
+        ("probe_candidates", e.probe_candidates),
+        ("rows_out", t.rows_out),
+        ("scanned_rows", t.scanned_rows),
+        ("theta_evals", e.theta_evals),
+    ]
+}
+
+/// Render the *deterministic projection* of a plan-stats tree: labels and
+/// counters only, every timing field excluded, keys sorted — the plan
+/// section of a bench entry, byte-reproducible at a fixed seed.
+pub fn counter_tree_json(t: &PlanNodeStats) -> String {
+    let mut out = format!(
+        "{{\"label\":\"{}\",\"counters\":{{",
+        gmdj_core::trace::json_escape(&t.label)
+    );
+    for (i, (k, v)) in node_counter_items(t).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{k}\":{v}"));
+    }
+    out.push_str("},\"children\":[");
+    for (i, c) in t.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&counter_tree_json(c));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Reconstruct a (timing-free) [`PlanNodeStats`] from a counter tree, so
+/// [`gmdj_core::cost::observed_cost`] can price recorded plans without
+/// re-running them.
+pub fn plan_from_counter_tree(node: &Json) -> std::result::Result<PlanNodeStats, String> {
+    let counters = node.get("counters").ok_or("node missing `counters`")?;
+    let num = |key: &str| -> std::result::Result<u64, String> {
+        counters
+            .get(key)
+            .and_then(Json::as_num)
+            .map(|n| n as u64)
+            .ok_or_else(|| format!("node counters missing `{key}`"))
+    };
+    let mut out = PlanNodeStats::new(
+        node.get("label")
+            .and_then(Json::as_str)
+            .ok_or("node missing `label`")?,
+    );
+    out.rows_out = num("rows_out")?;
+    out.scanned_rows = num("scanned_rows")?;
+    out.invocations = num("invocations")?;
+    out.ops.rows_in = num("ops_rows_in")?;
+    out.ops.rows_out = num("ops_rows_out")?;
+    out.eval.detail_scanned = num("detail_scanned")?;
+    out.eval.probe_candidates = num("probe_candidates")?;
+    out.eval.theta_evals = num("theta_evals")?;
+    out.eval.agg_updates = num("agg_updates")?;
+    out.eval.base_rows = num("base_rows")?;
+    out.eval.dead_early = num("dead_early")?;
+    out.eval.done_early = num("done_early")?;
+    out.eval.index_builds = num("index_builds")?;
+    out.eval.partitions = num("partitions")?;
+    out.eval.completion_fallbacks = num("completion_fallbacks")?;
+    out.network.messages = num("messages")?;
+    out.network.broadcast_values = num("broadcast_values")?;
+    out.network.collected_states = num("collected_states")?;
+    for c in node
+        .get("children")
+        .and_then(Json::as_arr)
+        .ok_or("node missing `children`")?
+    {
+        out.children.push(plan_from_counter_tree(c)?);
+    }
+    Ok(out)
+}
+
+/// Wall-clock summary of one entry's repetitions.
+#[derive(Debug, Clone, Copy)]
+pub struct WallStats {
+    /// Number of measured repetitions (warmups excluded).
+    pub reps: u64,
+    /// Mean of the repetitions with min and max dropped (plain mean when
+    /// fewer than three repetitions), microseconds.
+    pub trimmed_mean_us: u64,
+    pub min_us: u64,
+    pub max_us: u64,
+}
+
+fn wall_stats(mut samples: Vec<u64>) -> WallStats {
+    samples.sort_unstable();
+    let reps = samples.len() as u64;
+    let (min_us, max_us) = (samples[0], samples[samples.len() - 1]);
+    let trimmed: &[u64] = if samples.len() >= 3 {
+        &samples[1..samples.len() - 1]
+    } else {
+        &samples
+    };
+    WallStats {
+        reps,
+        trimmed_mean_us: trimmed.iter().sum::<u64>() / trimmed.len() as u64,
+        min_us,
+        max_us,
+    }
+}
+
+/// One measured cell of the bench grid.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Workload group: `fig2`..`fig5` or `ablation/<name>`.
+    pub group: String,
+    /// Size-point or variant label within the group.
+    pub label: String,
+    pub strategy: &'static str,
+    /// Stable policy label (`seq`, `par2`, `dist2`, `seq+part4`).
+    pub policy: String,
+    /// Whether the counter section of this entry is hard-gated against
+    /// the baseline.
+    pub gated: bool,
+    pub wall: WallStats,
+    pub counters: Counters,
+    /// Deterministic plan-tree projection (GMDJ strategies only).
+    pub plan: Option<PlanNodeStats>,
+    /// The cost model's figure for the recorded work
+    /// ([`gmdj_core::cost::observed_cost`]); derived from the counters,
+    /// hence equally deterministic.
+    pub predicted_cost: Option<f64>,
+}
+
+impl BenchEntry {
+    /// The identity of this cell in baseline comparisons.
+    pub fn key(&self) -> String {
+        format!(
+            "{} {} {} {}",
+            self.group, self.label, self.strategy, self.policy
+        )
+    }
+
+    fn to_json(&self) -> String {
+        let plan = match &self.plan {
+            Some(t) => counter_tree_json(t),
+            None => "null".into(),
+        };
+        let predicted = match self.predicted_cost {
+            Some(c) => format!("{c:.1}"),
+            None => "null".into(),
+        };
+        format!(
+            "{{\"group\":\"{}\",\"label\":\"{}\",\"strategy\":\"{}\",\"policy\":\"{}\",\
+             \"gated\":{},\"wall\":{{\"max_us\":{},\"min_us\":{},\"reps\":{},\"trimmed_mean_us\":{}}},\
+             \"counters\":{},\"predicted_cost\":{},\"plan\":{}}}",
+            gmdj_core::trace::json_escape(&self.group),
+            gmdj_core::trace::json_escape(&self.label),
+            self.strategy,
+            self.policy,
+            self.gated,
+            self.wall.max_us,
+            self.wall.min_us,
+            self.wall.reps,
+            self.wall.trimmed_mean_us,
+            self.counters.to_json(),
+            predicted,
+            plan,
+        )
+    }
+}
+
+/// Stable, filename-safe label for an execution policy.
+pub fn policy_label(policy: &ExecPolicy) -> String {
+    let mode = match policy.mode {
+        ExecMode::Sequential => "seq".to_string(),
+        ExecMode::Parallel { threads } => format!("par{threads}"),
+        ExecMode::Distributed { sites } => format!("dist{sites}"),
+    };
+    match policy.partition_rows {
+        Some(rows) => format!("{mode}+part{rows}"),
+        None => mode,
+    }
+}
+
+/// Configuration of one bench run. [`BenchConfig::quick`] is the CI /
+/// baseline configuration; [`BenchConfig::full`] takes longer and sweeps
+/// larger sizes for local trajectory recording.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    pub figures: Vec<FigureId>,
+    /// Multiplier on the paper's row counts (see [`sizes`]).
+    pub scale: f64,
+    pub seed: u64,
+    /// Unmeasured warmup runs per cell.
+    pub warmup: u32,
+    /// Measured repetitions per cell.
+    pub reps: u32,
+    /// Include the ablation grid.
+    pub ablations: bool,
+    /// Run the figure grid's first size point also under the parallel and
+    /// distributed policies (GMDJ strategies only).
+    pub cross_policy: bool,
+    /// Mode tag written to the report (`quick` or `full`).
+    pub quick: bool,
+}
+
+impl BenchConfig {
+    /// The CI configuration: every figure, tiny scale, short repetitions.
+    /// This is the configuration `bench/baseline.json` is recorded with.
+    pub fn quick(seed: u64) -> Self {
+        BenchConfig {
+            figures: FigureId::all().to_vec(),
+            scale: 0.004,
+            seed,
+            warmup: 1,
+            reps: 3,
+            ablations: true,
+            cross_policy: true,
+            quick: true,
+        }
+    }
+
+    /// The local trajectory-recording configuration.
+    pub fn full(seed: u64) -> Self {
+        BenchConfig {
+            scale: 0.05,
+            warmup: 1,
+            reps: 5,
+            quick: false,
+            ..Self::quick(seed)
+        }
+    }
+
+    /// Deterministic run identifier: `BENCH_<run_id>.json`.
+    pub fn run_id(&self) -> String {
+        format!(
+            "{}_seed{}",
+            if self.quick {
+                "quick".into()
+            } else {
+                format!("s{}", self.scale)
+            },
+            self.seed
+        )
+    }
+}
+
+/// A completed bench run.
+#[derive(Debug)]
+pub struct BenchReport {
+    pub config: BenchConfig,
+    pub entries: Vec<BenchEntry>,
+    /// Process-level `query_latency_us` quantiles from the global
+    /// [`metrics`] registry `(count, p50, p95, p99)` — wall-bound, not
+    /// gated.
+    pub latency: Option<(u64, u64, u64, u64)>,
+}
+
+impl BenchReport {
+    /// Render the full document (`BENCH_<run>.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"version\":{},\"run\":\"{}\",\"mode\":\"{}\",\"scale\":{},\"seed\":{},\
+             \"warmup\":{},\"reps\":{},\"entries\":[",
+            BENCH_VERSION,
+            self.config.run_id(),
+            if self.config.quick { "quick" } else { "full" },
+            self.config.scale,
+            self.config.seed,
+            self.config.warmup,
+            self.config.reps,
+        );
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json());
+        }
+        out.push_str("],\"latency\":");
+        match self.latency {
+            Some((count, p50, p95, p99)) => out.push_str(&format!(
+                "{{\"count\":{count},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99}}}"
+            )),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Measure one cell: warmups, then `reps` measured runs. The counters of
+/// every repetition must agree exactly — a mismatch means a counter is
+/// nondeterministic and must not be recorded, so it is an error.
+fn measure(
+    w: &Workload,
+    strategy: Strategy,
+    policy: ExecPolicy,
+    cfg: &BenchConfig,
+    group: &str,
+    label: &str,
+    gated: bool,
+) -> Result<BenchEntry> {
+    for _ in 0..cfg.warmup {
+        run_with_policy(&w.query, &w.catalog, strategy, policy)?;
+    }
+    let mut walls: Vec<u64> = Vec::with_capacity(cfg.reps as usize);
+    let mut recorded: Option<(Counters, Option<PlanNodeStats>)> = None;
+    for _ in 0..cfg.reps.max(1) {
+        let result = run_with_policy(&w.query, &w.catalog, strategy, policy)?;
+        walls.push(result.wall.as_micros() as u64);
+        let counters = Counters::from_run(&result);
+        match &recorded {
+            None => recorded = Some((counters, result.plan_stats)),
+            Some((prev, _)) if *prev != counters => {
+                return Err(Error::invalid(format!(
+                    "nondeterministic counters for {group} {label} {} {}: {prev:?} vs {counters:?}",
+                    strategy.label(),
+                    policy_label(&policy),
+                )));
+            }
+            Some(_) => {}
+        }
+    }
+    let (counters, plan) = recorded.expect("at least one rep");
+    let predicted_cost = plan.as_ref().map(|t| cost::observed_cost(t).total());
+    Ok(BenchEntry {
+        group: group.to_string(),
+        label: label.to_string(),
+        strategy: strategy.label(),
+        policy: policy_label(&policy),
+        gated,
+        wall: wall_stats(walls),
+        counters,
+        plan,
+        predicted_cost,
+    })
+}
+
+fn figure_group(fig: FigureId) -> &'static str {
+    match fig {
+        FigureId::Fig2 => "fig2",
+        FigureId::Fig3 => "fig3",
+        FigureId::Fig4 => "fig4",
+        FigureId::Fig5 => "fig5",
+    }
+}
+
+/// Execute the configured bench grid. Deterministic counter sections:
+/// every entry is gated — the runner has already proven rep-to-rep
+/// counter equality, and chunked parallel scans split by fixed ranges, so
+/// counters do not depend on scheduling.
+pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport> {
+    let mut entries: Vec<BenchEntry> = Vec::new();
+    for &fig in &cfg.figures {
+        let group = figure_group(fig);
+        for (pi, (outer, inner)) in sizes(fig, cfg.scale).into_iter().enumerate() {
+            let w = workload(fig, outer, inner, cfg.seed);
+            let label = size_label(fig, outer, inner);
+            for strategy in lineup(fig) {
+                if let Some(cap) = pair_cap(fig, strategy) {
+                    if (outer as u64) * (inner as u64) > cap {
+                        continue;
+                    }
+                }
+                entries.push(measure(
+                    &w,
+                    strategy,
+                    ExecPolicy::sequential(),
+                    cfg,
+                    group,
+                    &label,
+                    true,
+                )?);
+                // Cross-policy coverage on the first size point: the
+                // policies only affect strategies that execute GMDJ plans.
+                let has_plan = entries.last().map(|e| e.plan.is_some()).unwrap_or(false);
+                if cfg.cross_policy && pi == 0 && has_plan {
+                    for policy in [ExecPolicy::parallel(2), ExecPolicy::distributed(2)] {
+                        entries.push(measure(&w, strategy, policy, cfg, group, &label, true)?);
+                    }
+                }
+            }
+        }
+    }
+    if cfg.ablations {
+        entries.extend(run_ablations(cfg)?);
+    }
+    let latency = metrics::global().histogram("query_latency_us").map(|h| {
+        let (p50, p95, p99) = h.quantiles();
+        (h.count(), p50, p95, p99)
+    });
+    Ok(BenchReport {
+        config: cfg.clone(),
+        entries,
+        latency,
+    })
+}
+
+/// The ablation grid: the DESIGN.md design choices measured in isolation
+/// (mirroring `benches/ablations.rs`, but deterministic and recorded).
+fn run_ablations(cfg: &BenchConfig) -> Result<Vec<BenchEntry>> {
+    let mut entries = Vec::new();
+    let (outer2, inner2) = sizes(FigureId::Fig2, cfg.scale)[0];
+    let fig2 = workload(FigureId::Fig2, outer2, inner2, cfg.seed);
+    // Intrinsic probe indexing vs scanning the active base set.
+    for (label, strategy) in [
+        ("hash-probe", Strategy::GmdjBasic),
+        ("active-scan", Strategy::GmdjBasicNoProbeIndex),
+    ] {
+        entries.push(measure(
+            &fig2,
+            strategy,
+            ExecPolicy::sequential(),
+            cfg,
+            "ablation/probe",
+            label,
+            true,
+        )?);
+    }
+    // Memory-partitioned evaluation: 2 and 4 base partitions.
+    for parts in [2usize, 4] {
+        let rows = outer2.div_ceil(parts);
+        entries.push(measure(
+            &fig2,
+            Strategy::GmdjOptimized,
+            ExecPolicy::sequential().with_partition_rows(Some(rows)),
+            cfg,
+            "ablation/partitions",
+            &format!("partitions-{parts}"),
+            true,
+        )?);
+    }
+    // Thread scaling of the detail scan.
+    for threads in [1usize, 2, 4] {
+        let policy = if threads == 1 {
+            ExecPolicy::sequential()
+        } else {
+            ExecPolicy::parallel(threads)
+        };
+        entries.push(measure(
+            &fig2,
+            Strategy::GmdjOptimized,
+            policy,
+            cfg,
+            "ablation/threads",
+            &format!("threads-{threads}"),
+            true,
+        )?);
+    }
+    // Base-tuple completion on the Figure 4 ALL query.
+    let (outer4, inner4) = sizes(FigureId::Fig4, cfg.scale)[0];
+    let fig4 = workload(FigureId::Fig4, outer4, inner4, cfg.seed);
+    for (label, strategy) in [
+        ("without-completion", Strategy::GmdjBasic),
+        ("with-completion", Strategy::GmdjOptimized),
+    ] {
+        entries.push(measure(
+            &fig4,
+            strategy,
+            ExecPolicy::sequential(),
+            cfg,
+            "ablation/completion",
+            label,
+            true,
+        )?);
+    }
+    Ok(entries)
+}
+
+// ---------------------------------------------------------------------
+// Validation (schemas/bench.schema.json) and baseline comparison.
+// ---------------------------------------------------------------------
+
+fn require_num(obj: &Json, key: &str, at: &str) -> std::result::Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{at}: missing numeric `{key}`"))
+}
+
+fn require_str<'j>(obj: &'j Json, key: &str, at: &str) -> std::result::Result<&'j str, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{at}: missing string `{key}`"))
+}
+
+fn validate_counter_node(node: &Json, at: &str) -> std::result::Result<(), String> {
+    require_str(node, "label", at)?;
+    let counters = node
+        .get("counters")
+        .ok_or_else(|| format!("{at}: missing `counters`"))?;
+    for key in NODE_COUNTER_KEYS {
+        require_num(counters, key, &format!("{at}.counters"))?;
+    }
+    let children = node
+        .get("children")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{at}: missing `children` array"))?;
+    for (i, c) in children.iter().enumerate() {
+        validate_counter_node(c, &format!("{at}.children[{i}]"))?;
+    }
+    Ok(())
+}
+
+/// Validate a parsed bench document against the checked-in schema
+/// (`schemas/bench.schema.json`). Returns the first violation.
+pub fn validate_bench(doc: &Json) -> std::result::Result<(), String> {
+    let version = require_num(doc, "version", "bench")?;
+    if version != BENCH_VERSION as f64 {
+        return Err(format!("unsupported bench version {version}"));
+    }
+    require_str(doc, "run", "bench")?;
+    let mode = require_str(doc, "mode", "bench")?;
+    if mode != "quick" && mode != "full" {
+        return Err(format!("bench: `mode` must be quick|full, got `{mode}`"));
+    }
+    for key in ["scale", "seed", "warmup", "reps"] {
+        require_num(doc, key, "bench")?;
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("bench: missing `entries` array")?;
+    if entries.is_empty() {
+        return Err("bench: `entries` is empty".into());
+    }
+    for (i, e) in entries.iter().enumerate() {
+        let at = format!("entries[{i}]");
+        for key in ["group", "label", "strategy", "policy"] {
+            require_str(e, key, &at)?;
+        }
+        match e.get("gated") {
+            Some(Json::Bool(_)) => {}
+            _ => return Err(format!("{at}: missing boolean `gated`")),
+        }
+        let wall = e
+            .get("wall")
+            .ok_or_else(|| format!("{at}: missing `wall`"))?;
+        for key in ["max_us", "min_us", "reps", "trimmed_mean_us"] {
+            require_num(wall, key, &format!("{at}.wall"))?;
+        }
+        let counters = e
+            .get("counters")
+            .ok_or_else(|| format!("{at}: missing `counters`"))?;
+        for key in COUNTER_KEYS {
+            require_num(counters, key, &format!("{at}.counters"))?;
+        }
+        match e.get("predicted_cost") {
+            Some(Json::Null) | Some(Json::Num(_)) => {}
+            _ => return Err(format!("{at}: `predicted_cost` must be a number or null")),
+        }
+        match e.get("plan") {
+            Some(Json::Null) => {}
+            Some(plan @ Json::Obj(_)) => validate_counter_node(plan, &format!("{at}.plan"))?,
+            _ => return Err(format!("{at}: `plan` must be an object or null")),
+        }
+    }
+    match doc.get("latency") {
+        Some(Json::Null) | None => {}
+        Some(l @ Json::Obj(_)) => {
+            for key in ["count", "p50", "p95", "p99"] {
+                require_num(l, key, "bench.latency")?;
+            }
+        }
+        _ => return Err("bench: `latency` must be an object or null".into()),
+    }
+    Ok(())
+}
+
+fn entry_key(e: &Json) -> std::result::Result<String, String> {
+    Ok(format!(
+        "{} {} {} {}",
+        require_str(e, "group", "entry")?,
+        require_str(e, "label", "entry")?,
+        require_str(e, "strategy", "entry")?,
+        require_str(e, "policy", "entry")?,
+    ))
+}
+
+/// Canonical rendering of the gated counter data of a bench document: one
+/// block per gated entry (key line, sorted counters, plan counter tree).
+/// Two runs at the same configuration must render byte-identically — this
+/// is the string the determinism test and the baseline gate compare.
+pub fn counter_section(doc: &Json) -> std::result::Result<String, String> {
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("missing `entries` array")?;
+    let mut out = String::new();
+    for e in entries {
+        if e.get("gated") != Some(&Json::Bool(true)) {
+            continue;
+        }
+        out.push_str(&entry_key(e)?);
+        out.push('\n');
+        let counters = e.get("counters").ok_or("entry missing `counters`")?;
+        if let Json::Obj(members) = counters {
+            let mut sorted: Vec<&(String, Json)> = members.iter().collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            for (k, v) in sorted {
+                let n = v
+                    .as_num()
+                    .ok_or_else(|| format!("counter `{k}` not numeric"))?;
+                out.push_str(&format!("  {k}={}\n", n as u64));
+            }
+        } else {
+            return Err("`counters` is not an object".into());
+        }
+        if let Some(plan @ Json::Obj(_)) = e.get("plan") {
+            counter_section_plan(plan, 1, &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+fn counter_section_plan(
+    node: &Json,
+    depth: usize,
+    out: &mut String,
+) -> std::result::Result<(), String> {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str("plan ");
+    out.push_str(require_str(node, "label", "plan node")?);
+    if let Some(Json::Obj(members)) = node.get("counters") {
+        let mut sorted: Vec<&(String, Json)> = members.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        for (k, v) in sorted {
+            let n = v
+                .as_num()
+                .ok_or_else(|| format!("counter `{k}` not numeric"))?;
+            out.push_str(&format!(" {k}={}", n as u64));
+        }
+    }
+    out.push('\n');
+    if let Some(children) = node.get("children").and_then(Json::as_arr) {
+        for c in children {
+            counter_section_plan(c, depth + 1, out)?;
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of a baseline comparison.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Hard failures: configuration mismatches, gated entries missing
+    /// from the current run, and counter drifts (with plan-node diffs).
+    pub drifts: Vec<String>,
+    /// Wall-clock regressions beyond the tolerance — advisory only.
+    pub wall_warnings: Vec<String>,
+    /// Entries present in the current run but absent from the baseline
+    /// (e.g. a grown grid) — informational; re-bless to record them.
+    pub new_entries: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether the hard (counter) gate failed.
+    pub fn gate_failed(&self) -> bool {
+        !self.drifts.is_empty()
+    }
+
+    /// Human-readable summary of the comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.drifts {
+            out.push_str(&format!("DRIFT  {d}\n"));
+        }
+        for w in &self.wall_warnings {
+            out.push_str(&format!("WARN   {w}\n"));
+        }
+        for n in &self.new_entries {
+            out.push_str(&format!(
+                "NEW    {n} (not in baseline; re-bless to record)\n"
+            ));
+        }
+        if out.is_empty() {
+            out.push_str("baseline check: no counter drift, no wall-clock warnings\n");
+        }
+        out
+    }
+}
+
+/// Diff two recorded plan counter trees, appending one line per
+/// mismatched node with the drifted counters and the cost model's figure
+/// for the node before (baseline = predicted) and after (current =
+/// observed) — the "which plan node regressed" report.
+fn diff_plan_nodes(
+    baseline: &Json,
+    current: &Json,
+    path: &str,
+    out: &mut Vec<String>,
+) -> std::result::Result<(), String> {
+    let b_label = require_str(baseline, "label", "plan node")?;
+    let c_label = require_str(current, "label", "plan node")?;
+    let path = if path.is_empty() {
+        b_label.to_string()
+    } else {
+        format!("{path} > {b_label}")
+    };
+    if b_label != c_label {
+        out.push(format!(
+            "    plan node {path}: operator changed {b_label} -> {c_label}"
+        ));
+        return Ok(());
+    }
+    let mut changed: Vec<String> = Vec::new();
+    for key in NODE_COUNTER_KEYS {
+        let b = baseline
+            .get("counters")
+            .and_then(|c| c.get(key))
+            .and_then(Json::as_num);
+        let c = current
+            .get("counters")
+            .and_then(|c| c.get(key))
+            .and_then(Json::as_num);
+        if b != c {
+            changed.push(format!(
+                "{key} {} -> {}",
+                b.map(|v| (v as u64).to_string())
+                    .unwrap_or_else(|| "?".into()),
+                c.map(|v| (v as u64).to_string())
+                    .unwrap_or_else(|| "?".into()),
+            ));
+        }
+    }
+    if !changed.is_empty() {
+        let predicted = plan_from_counter_tree(baseline)
+            .map(|t| cost::observed_cost(&t).total())
+            .unwrap_or(f64::NAN);
+        let observed = plan_from_counter_tree(current)
+            .map(|t| cost::observed_cost(&t).total())
+            .unwrap_or(f64::NAN);
+        out.push(format!(
+            "    plan node {path}: {} [cost predicted={predicted:.1} observed={observed:.1}]",
+            changed.join(", "),
+        ));
+    }
+    let b_children = baseline
+        .get("children")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    let c_children = current
+        .get("children")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    if b_children.len() != c_children.len() {
+        out.push(format!(
+            "    plan node {path}: child count changed {} -> {}",
+            b_children.len(),
+            c_children.len()
+        ));
+    }
+    for (b, c) in b_children.iter().zip(c_children.iter()) {
+        diff_plan_nodes(b, c, &path, out)?;
+    }
+    Ok(())
+}
+
+/// The two-tier baseline gate. `current` and `baseline` are parsed bench
+/// documents (validate them first). Counter drift on any gated entry —
+/// including a gated entry disappearing, or the recording configuration
+/// changing — is a hard failure ([`Comparison::gate_failed`]); wall-clock
+/// regressions beyond `wall_tolerance` (fractional, e.g. 0.25 = +25%)
+/// only warn.
+pub fn compare_reports(
+    current: &Json,
+    baseline: &Json,
+    wall_tolerance: f64,
+) -> std::result::Result<Comparison, String> {
+    let mut cmp = Comparison::default();
+    for key in ["version", "scale", "seed"] {
+        let b = require_num(baseline, key, "baseline")?;
+        let c = require_num(current, key, "current")?;
+        if b != c {
+            cmp.drifts.push(format!(
+                "configuration mismatch: `{key}` baseline={b} current={c} \
+                 (compare runs recorded with the same config, or re-bless)"
+            ));
+        }
+    }
+    let b_mode = require_str(baseline, "mode", "baseline")?;
+    let c_mode = require_str(current, "mode", "current")?;
+    if b_mode != c_mode {
+        cmp.drifts.push(format!(
+            "configuration mismatch: `mode` baseline={b_mode} current={c_mode}"
+        ));
+    }
+    if !cmp.drifts.is_empty() {
+        return Ok(cmp);
+    }
+
+    let b_entries = baseline
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("baseline: missing `entries`")?;
+    let c_entries = current
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("current: missing `entries`")?;
+    let mut current_by_key: Vec<(String, &Json)> = Vec::with_capacity(c_entries.len());
+    for e in c_entries {
+        current_by_key.push((entry_key(e)?, e));
+    }
+    let find = |key: &str| {
+        current_by_key
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, e)| *e)
+    };
+
+    let mut baseline_keys: Vec<String> = Vec::with_capacity(b_entries.len());
+    for b in b_entries {
+        let key = entry_key(b)?;
+        baseline_keys.push(key.clone());
+        let gated = b.get("gated") == Some(&Json::Bool(true));
+        let Some(c) = find(&key) else {
+            if gated {
+                cmp.drifts
+                    .push(format!("{key}: gated entry missing from current run"));
+            }
+            continue;
+        };
+        if gated {
+            let mut changed: Vec<String> = Vec::new();
+            for counter in COUNTER_KEYS {
+                let bv = b
+                    .get("counters")
+                    .and_then(|o| o.get(counter))
+                    .and_then(Json::as_num);
+                let cv = c
+                    .get("counters")
+                    .and_then(|o| o.get(counter))
+                    .and_then(Json::as_num);
+                if bv != cv {
+                    changed.push(format!(
+                        "{counter} {} -> {}",
+                        bv.map(|v| (v as u64).to_string())
+                            .unwrap_or_else(|| "?".into()),
+                        cv.map(|v| (v as u64).to_string())
+                            .unwrap_or_else(|| "?".into()),
+                    ));
+                }
+            }
+            // Diff the recorded plan trees regardless of the entry-level
+            // rollups: counters redistributed among nodes (same totals,
+            // different plan) are still a plan-quality change.
+            let mut plan_lines: Vec<String> = Vec::new();
+            match (b.get("plan"), c.get("plan")) {
+                (Some(bp @ Json::Obj(_)), Some(cp @ Json::Obj(_))) => {
+                    diff_plan_nodes(bp, cp, "", &mut plan_lines)?;
+                }
+                (Some(Json::Obj(_)), _) => {
+                    plan_lines.push("    plan tree disappeared from current run".into());
+                }
+                _ => {}
+            }
+            if !changed.is_empty() || !plan_lines.is_empty() {
+                let what = if changed.is_empty() {
+                    "plan-node counter drift".to_string()
+                } else {
+                    format!("counter drift: {}", changed.join(", "))
+                };
+                let mut lines = vec![format!("{key}: {what}")];
+                lines.extend(plan_lines);
+                cmp.drifts.push(lines.join("\n"));
+            }
+        }
+        // Wall-clock: advisory warn-gate on the trimmed mean.
+        let b_wall = b
+            .get("wall")
+            .and_then(|w| w.get("trimmed_mean_us"))
+            .and_then(Json::as_num);
+        let c_wall = c
+            .get("wall")
+            .and_then(|w| w.get("trimmed_mean_us"))
+            .and_then(Json::as_num);
+        if let (Some(bw), Some(cw)) = (b_wall, c_wall) {
+            if bw > 0.0 && cw > bw * (1.0 + wall_tolerance) {
+                cmp.wall_warnings.push(format!(
+                    "{key}: wall-clock {:.0}us -> {:.0}us (+{:.0}%, tolerance {:.0}%)",
+                    bw,
+                    cw,
+                    100.0 * (cw - bw) / bw,
+                    100.0 * wall_tolerance,
+                ));
+            }
+        }
+    }
+    for (key, _) in &current_by_key {
+        if !baseline_keys.contains(key) {
+            cmp.new_entries.push(key.clone());
+        }
+    }
+    Ok(cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::parse_json;
+
+    fn micro_config() -> BenchConfig {
+        BenchConfig {
+            figures: vec![FigureId::Fig2],
+            scale: 0.002,
+            seed: 7,
+            warmup: 0,
+            reps: 1,
+            ablations: false,
+            cross_policy: false,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn wall_stats_trim_min_and_max() {
+        let w = wall_stats(vec![100, 5, 9000]);
+        assert_eq!(w.reps, 3);
+        assert_eq!(w.min_us, 5);
+        assert_eq!(w.max_us, 9000);
+        assert_eq!(w.trimmed_mean_us, 100);
+        let two = wall_stats(vec![10, 20]);
+        assert_eq!(two.trimmed_mean_us, 15);
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        assert_eq!(policy_label(&ExecPolicy::sequential()), "seq");
+        assert_eq!(policy_label(&ExecPolicy::parallel(4)), "par4");
+        assert_eq!(policy_label(&ExecPolicy::distributed(2)), "dist2");
+        assert_eq!(
+            policy_label(&ExecPolicy::sequential().with_partition_rows(Some(8))),
+            "seq+part8"
+        );
+    }
+
+    #[test]
+    fn counter_keys_are_sorted_and_complete() {
+        let mut sorted = COUNTER_KEYS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, COUNTER_KEYS.to_vec());
+        let mut node_sorted = NODE_COUNTER_KEYS.to_vec();
+        node_sorted.sort_unstable();
+        assert_eq!(node_sorted, NODE_COUNTER_KEYS.to_vec());
+        // The items() accessors emit exactly the schema keys, in order.
+        let c = Counters::default();
+        let keys: Vec<&str> = c.items().iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, COUNTER_KEYS.to_vec());
+    }
+
+    #[test]
+    fn micro_bench_renders_and_validates() {
+        let report = run_bench(&micro_config()).unwrap();
+        assert!(!report.entries.is_empty());
+        let doc = parse_json(&report.to_json()).unwrap();
+        validate_bench(&doc).unwrap();
+        let section = counter_section(&doc).unwrap();
+        assert!(section.contains("fig2"), "{section}");
+        assert!(section.contains("theta_evals="), "{section}");
+    }
+
+    #[test]
+    fn counter_tree_round_trips_through_cost() {
+        let report = run_bench(&micro_config()).unwrap();
+        let entry = report
+            .entries
+            .iter()
+            .find(|e| e.plan.is_some())
+            .expect("a GMDJ entry");
+        let tree = entry.plan.as_ref().unwrap();
+        let parsed = parse_json(&counter_tree_json(tree)).unwrap();
+        let back = plan_from_counter_tree(&parsed).unwrap();
+        let direct = cost::observed_cost(tree).total();
+        let via_json = cost::observed_cost(&back).total();
+        assert!((direct - via_json).abs() < 1e-9, "{direct} vs {via_json}");
+        assert_eq!(entry.predicted_cost.unwrap(), direct);
+    }
+}

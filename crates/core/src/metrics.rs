@@ -81,6 +81,48 @@ impl Histogram {
             .map(|(i, &c)| (bucket_upper(i), c))
             .collect()
     }
+
+    /// Estimated quantile (`0.0 ..= 1.0`) from the log₂ buckets: walk the
+    /// cumulative distribution to the bucket holding the q-th
+    /// observation, then interpolate linearly inside the bucket's
+    /// `[lower, upper]` value range. Exact for values that land alone in
+    /// a bucket; otherwise within a factor of 2 (the bucket width).
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lower = if i == 0 {
+                    0u128
+                } else {
+                    bucket_upper(i - 1) + 1
+                };
+                let upper = bucket_upper(i);
+                // Position of the target rank inside this bucket.
+                let frac = (rank - seen) as f64 / c as f64;
+                let width = (upper - lower) as f64;
+                return (lower as f64 + width * frac).round() as u64;
+            }
+            seen += c;
+        }
+        bucket_upper(BUCKETS - 1).min(u64::MAX as u128) as u64
+    }
+
+    /// The standard dashboard quantiles `(p50, p95, p99)`.
+    pub fn quantiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
 }
 
 #[derive(Debug, Default)]
@@ -161,12 +203,21 @@ impl MetricsRegistry {
     }
 
     /// Prometheus text exposition: counters as `name value`, histograms
-    /// as cumulative `_bucket{le="…"}` series plus `_sum` / `_count`.
+    /// as cumulative `_bucket{le="…"}` series plus quantile gauges and
+    /// `_sum` / `_count`. Output order is fully deterministic — metric
+    /// families sorted by name (`BTreeMap` iteration), one `# TYPE` line
+    /// per family even when labeled variants share the base name — so
+    /// two renders of the same registry state are byte-identical.
     pub fn render_prometheus(&self) -> String {
         let inner = self.inner.lock().expect("metrics poisoned");
         let mut out = String::new();
+        let mut last_family: Option<String> = None;
         for (name, v) in &inner.counters {
-            out.push_str(&format!("# TYPE {} counter\n", base_name(name)));
+            let family = base_name(name);
+            if last_family.as_deref() != Some(family) {
+                out.push_str(&format!("# TYPE {family} counter\n"));
+                last_family = Some(family.to_string());
+            }
             out.push_str(&format!("{name} {v}\n"));
         }
         for (name, h) in &inner.histograms {
@@ -176,9 +227,13 @@ impl MetricsRegistry {
                 cumulative += c;
                 out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
             }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+            let (p50, p95, p99) = h.quantiles();
             out.push_str(&format!(
-                "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
-                h.count(),
+                "{name}{{quantile=\"0.5\"}} {p50}\n{name}{{quantile=\"0.95\"}} {p95}\n{name}{{quantile=\"0.99\"}} {p99}\n"
+            ));
+            out.push_str(&format!(
+                "{name}_sum {}\n{name}_count {}\n",
                 h.sum(),
                 h.count()
             ));
@@ -201,8 +256,9 @@ impl MetricsRegistry {
             if i > 0 {
                 out.push(',');
             }
+            let (p50, p95, p99) = h.quantiles();
             out.push_str(&format!(
-                "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                "\"{}\":{{\"count\":{},\"sum\":{},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99},\"buckets\":[",
                 crate::trace::json_escape(name),
                 h.count(),
                 h.sum()
@@ -280,6 +336,57 @@ mod tests {
         assert!(text.contains("query_latency_us_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("query_latency_us_sum 7"));
         assert!(text.contains("query_latency_us_count 3"));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let (p50, p95, p99) = h.quantiles();
+        // Log₂ buckets bound the error by the bucket width (a factor of 2).
+        assert!((32..=64).contains(&p50), "p50 = {p50}");
+        assert!((64..=127).contains(&p95), "p95 = {p95}");
+        assert!((64..=127).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+        // A lone observation in its bucket is reported near-exactly.
+        let mut lone = Histogram::default();
+        lone.observe(1);
+        assert_eq!(lone.quantile(0.5), 1);
+        assert_eq!(lone.quantile(0.99), 1);
+    }
+
+    #[test]
+    fn renders_include_quantiles() {
+        let m = MetricsRegistry::new();
+        m.observe("query_latency_us", 8);
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("query_latency_us{quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("query_latency_us{quantile=\"0.99\"}"),
+            "{text}"
+        );
+        let json = m.render_json();
+        assert!(json.contains("\"p50\":"), "{json}");
+        assert!(json.contains("\"p95\":"), "{json}");
+        assert!(json.contains("\"p99\":"), "{json}");
+    }
+
+    #[test]
+    fn prometheus_type_lines_dedupe_per_family() {
+        let m = MetricsRegistry::new();
+        m.inc("queries_total", 1);
+        m.inc("queries_total{strategy=\"gmdj\"}", 1);
+        m.inc("queries_total{strategy=\"native\"}", 1);
+        let text = m.render_prometheus();
+        assert_eq!(text.matches("# TYPE queries_total counter").count(), 1);
+        // Two identical renders are byte-identical.
+        assert_eq!(text, m.render_prometheus());
     }
 
     #[test]

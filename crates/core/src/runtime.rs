@@ -275,27 +275,38 @@ impl PlanNodeStats {
     }
 
     /// EXPLAIN ANALYZE rendering: the plan tree annotated with wall-clock
-    /// time (total and self), percentage of the root's time, row counts,
-    /// and the per-node work counters.
+    /// time (total and self), percentage of the root's time, a
+    /// `predicted` column — the cost model's figure for the work each
+    /// node recorded ([`crate::cost::observed_cost`], inclusive of
+    /// children) and its share of the root's predicted cost, so a node
+    /// whose predicted share diverges from its observed time share
+    /// exposes cost-model error in place — row counts, and the per-node
+    /// work counters.
     pub fn render_analyze(&self) -> String {
         let total = self.elapsed_ns.max(1);
+        let total_cost = crate::cost::observed_cost(self)
+            .total()
+            .max(f64::MIN_POSITIVE);
         let mut out = String::new();
-        self.render_analyze_into(0, total, &mut out);
+        self.render_analyze_into(0, total, total_cost, &mut out);
         out
     }
 
-    fn render_analyze_into(&self, depth: usize, total_ns: u64, out: &mut String) {
+    fn render_analyze_into(&self, depth: usize, total_ns: u64, total_cost: f64, out: &mut String) {
         for _ in 0..depth {
             out.push_str("  ");
         }
         let ms = self.elapsed_ns as f64 / 1e6;
         let pct = 100.0 * self.elapsed_ns as f64 / total_ns as f64;
+        let cost = crate::cost::observed_cost(self).total();
         out.push_str(&format!(
-            "{} [time={:.3}ms ({:.1}%) self={:.3}ms rows={}",
+            "{} [time={:.3}ms ({:.1}%) self={:.3}ms predicted={:.0} ({:.1}%) rows={}",
             self.label,
             ms,
             pct,
             self.self_time_ns() as f64 / 1e6,
+            cost,
+            100.0 * cost / total_cost,
             self.rows_out
         ));
         if self.scanned_rows > 0 {
@@ -333,7 +344,7 @@ impl PlanNodeStats {
         }
         out.push_str("]\n");
         for c in &self.children {
-            c.render_analyze_into(depth + 1, total_ns, out);
+            c.render_analyze_into(depth + 1, total_ns, total_cost, out);
         }
     }
 

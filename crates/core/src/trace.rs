@@ -67,6 +67,11 @@ impl TraceEvent {
     }
 
     /// Render as a single JSON object (the `JsonLinesSink` line format).
+    ///
+    /// Field keys are emitted in sorted order (not emission order), so
+    /// two traces of the same execution produce byte-identical lines and
+    /// trace diffs / test snapshots are reproducible regardless of the
+    /// order instrumentation sites attach their counters.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(96);
         out.push_str("{\"name\":\"");
@@ -82,8 +87,10 @@ impl TraceEvent {
             self.start_ns, self.dur_ns
         ));
         if !self.fields.is_empty() {
+            let mut sorted: Vec<&(&'static str, u64)> = self.fields.iter().collect();
+            sorted.sort_by_key(|(k, _)| *k);
             out.push_str(",\"fields\":{");
-            for (i, (k, v)) in self.fields.iter().enumerate() {
+            for (i, (k, v)) in sorted.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
                 }
@@ -357,6 +364,27 @@ mod tests {
             bare.to_json(),
             "{\"name\":\"q\",\"start_ns\":0,\"dur_ns\":1}"
         );
+    }
+
+    #[test]
+    fn json_fields_are_key_sorted_regardless_of_emission_order() {
+        let forward = TraceEvent {
+            name: "gmdj.eval",
+            detail: String::new(),
+            start_ns: 0,
+            dur_ns: 1,
+            fields: vec![("agg_updates", 3), ("theta_evals", 7)],
+        };
+        let reversed = TraceEvent {
+            fields: vec![("theta_evals", 7), ("agg_updates", 3)],
+            ..forward.clone()
+        };
+        assert_eq!(forward.to_json(), reversed.to_json());
+        assert!(forward
+            .to_json()
+            .contains("{\"agg_updates\":3,\"theta_evals\":7}"));
+        // Lookup still honors emission order (first match wins).
+        assert_eq!(reversed.field("theta_evals"), Some(7));
     }
 
     #[test]

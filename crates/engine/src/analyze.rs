@@ -63,14 +63,27 @@ impl AnalyzeReport {
         out
     }
 
+    /// The cost model's figure for the work the plan tree recorded
+    /// ([`gmdj_core::cost::observed_cost`]), if the strategy built one.
+    /// Comparing it against `wall` calibrates the model's cost units.
+    pub fn predicted_cost(&self) -> Option<f64> {
+        self.tree
+            .as_ref()
+            .map(|t| gmdj_core::cost::observed_cost(t).total())
+    }
+
     /// Machine-readable report (hand-rolled JSON; no serde in-tree).
     pub fn to_json(&self) -> String {
         let tree = match &self.tree {
             Some(t) => t.to_json(),
             None => "null".to_string(),
         };
+        let predicted = match self.predicted_cost() {
+            Some(c) => format!("{c:.1}"),
+            None => "null".to_string(),
+        };
         format!(
-            "{{\"strategy\":\"{}\",\"mode\":\"{}\",\"plan_us\":{},\"execute_us\":{},\"rows\":{},\"work\":{},\"plan\":{}}}",
+            "{{\"strategy\":\"{}\",\"mode\":\"{}\",\"plan_us\":{},\"execute_us\":{},\"rows\":{},\"work\":{},\"predicted_cost\":{predicted},\"plan\":{}}}",
             json_escape(self.strategy),
             json_escape(&format!("{:?}", self.policy.mode)),
             self.plan_wall.as_micros(),
@@ -159,11 +172,15 @@ mod tests {
             let text = report.render();
             assert!(text.contains("strategy: gmdj-opt"), "{text}");
             assert!(text.contains("time="), "{text}");
+            assert!(text.contains("predicted="), "{text}");
             assert!(text.contains("GMDJ"), "{text}");
             let tree = report.tree.as_ref().unwrap();
             assert!(tree.elapsed_ns > 0);
+            let predicted = report.predicted_cost().unwrap();
+            assert!(predicted > 0.0 && predicted.is_finite());
             let json = report.to_json();
             assert!(json.contains("\"plan\":{"), "{json}");
+            assert!(json.contains("\"predicted_cost\":"), "{json}");
         }
     }
 
@@ -178,7 +195,9 @@ mod tests {
         )
         .unwrap();
         assert!(report.tree.is_none());
+        assert!(report.predicted_cost().is_none());
         assert!(report.render().contains("no plan tree"));
         assert!(report.to_json().contains("\"plan\":null"));
+        assert!(report.to_json().contains("\"predicted_cost\":null"));
     }
 }
