@@ -120,6 +120,7 @@ fn memory_partitioning(c: &mut Criterion) {
                 let mut ctx = ExecContext::with_opts(GmdjOptions {
                     probe: ProbeStrategy::Auto,
                     partition_rows: Some(rows),
+                    ..GmdjOptions::default()
                 });
                 execute(&plan, &catalog, &mut ctx).unwrap().len()
             })

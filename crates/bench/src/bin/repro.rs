@@ -6,7 +6,8 @@
 //! repro fuzz --seed S --cases N [--replay FILE|DIR] [--corpus-dir DIR]
 //! repro bench [--quick] [--scale F] [--seed N] [--reps N] [--warmup N]
 //!             [--out DIR] [--baseline PATH] [--check-baseline] [--bless]
-//!             [--wall-tolerance F] [--no-ablations]
+//!             [--wall-tolerance F] [--no-ablations] [--no-vectorized]
+//!             [--compare A.json B.json]
 //! ```
 //!
 //! The `fuzz` subcommand (see `gmdj_fuzz::cli`) runs seeded random nested
@@ -209,6 +210,8 @@ fn bench_cmd(argv: &[String]) -> ExitCode {
     let mut baseline_path = String::from("bench/baseline.json");
     let mut check_baseline = false;
     let mut bless = false;
+    let mut vectorized = true;
+    let mut compare: Option<(String, String)> = None;
     let mut wall_tolerance = 0.25f64;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -238,6 +241,12 @@ fn bench_cmd(argv: &[String]) -> ExitCode {
                         .map_err(|_| "bad --wall-tolerance")?;
                 }
                 "--no-ablations" => cfg.ablations = false,
+                "--no-vectorized" => vectorized = false,
+                "--compare" => {
+                    let a = next("--compare")?;
+                    let b = next("--compare")?;
+                    compare = Some((a, b));
+                }
                 "--help" | "-h" => {
                     println!(
                         "repro bench — deterministic benchmark telemetry\n\n\
@@ -259,7 +268,11 @@ fn bench_cmd(argv: &[String]) -> ExitCode {
                          --bless              overwrite the baseline with this run\n  \
                          --wall-tolerance F   warn threshold on trimmed-mean wall-clock\n                       \
                          (fraction, default 0.25 = +25%)\n  \
-                         --no-ablations       skip the ablation grid"
+                         --no-ablations       skip the ablation grid\n  \
+                         --no-vectorized      force the row-path detail scan (the\n                       \
+                         counters are identical either way — same baseline)\n  \
+                         --compare A B        compare the wall-clock of two recorded\n                       \
+                         BENCH documents entry by entry and exit"
                     );
                     std::process::exit(0);
                 }
@@ -273,6 +286,30 @@ fn bench_cmd(argv: &[String]) -> ExitCode {
         }
     }
 
+    if let Some((a_path, b_path)) = compare {
+        let load = |path: &str| -> Result<profile::Json, String> {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let doc = profile::parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            gmdj_bench::telemetry::validate_bench(&doc).map_err(|e| format!("{path}: {e}"))?;
+            Ok(doc)
+        };
+        let result = load(&a_path)
+            .and_then(|a| load(&b_path).map(|b| (a, b)))
+            .and_then(|(a, b)| gmdj_bench::telemetry::compare_wall_clock(&a, &b));
+        return match result {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    cfg.vectorized = vectorized;
     let report = match gmdj_bench::telemetry::run_bench(&cfg) {
         Ok(r) => r,
         Err(e) => {

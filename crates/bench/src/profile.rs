@@ -445,6 +445,20 @@ pub fn plan_from_json(node: &Json) -> Result<PlanNodeStats, String> {
     out.eval.index_builds = eval_num("index_builds")?;
     out.eval.partitions = eval_num("partitions")?;
     out.eval.completion_fallbacks = eval_num("completion_fallbacks")?;
+    // Older persisted profiles predate the kernel-dispatch counters;
+    // absent means zero, present must be complete.
+    if let Some(kernel) = node.get("kernel") {
+        let k_num = |key: &str| -> Result<u64, String> {
+            kernel
+                .get(key)
+                .and_then(Json::as_num)
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("missing kernel.`{key}`"))
+        };
+        out.kernel.batches = k_num("batches")?;
+        out.kernel.rows_vectorized = k_num("rows_vectorized")?;
+        out.kernel.rows_row_path = k_num("rows_row_path")?;
+    }
     let network = node.get("network").ok_or("missing `network`")?;
     let net_num = |key: &str| -> Result<u64, String> {
         network

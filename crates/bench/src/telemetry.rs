@@ -27,6 +27,7 @@
 //! figure ([`gmdj_core::cost::observed_cost`]) before and after.
 
 use gmdj_core::cost;
+use gmdj_core::eval::ProbeStrategy;
 use gmdj_core::metrics;
 use gmdj_core::runtime::{ExecMode, ExecPolicy, PlanNodeStats};
 use gmdj_engine::strategy::{run_with_policy, RunResult, Strategy};
@@ -423,6 +424,12 @@ pub struct BenchConfig {
     pub cross_policy: bool,
     /// Mode tag written to the report (`quick` or `full`).
     pub quick: bool,
+    /// Run the grid through the vectorized detail-scan kernels (default)
+    /// or force the row path everywhere. The kernels are counter-exact,
+    /// so both settings must pass the same baseline — the flag is
+    /// recorded in the report header informationally and never enters an
+    /// entry's identity key.
+    pub vectorized: bool,
 }
 
 impl BenchConfig {
@@ -438,6 +445,7 @@ impl BenchConfig {
             ablations: true,
             cross_policy: true,
             quick: true,
+            vectorized: true,
         }
     }
 
@@ -452,16 +460,19 @@ impl BenchConfig {
         }
     }
 
-    /// Deterministic run identifier: `BENCH_<run_id>.json`.
+    /// Deterministic run identifier: `BENCH_<run_id>.json`. Row-path runs
+    /// get a distinct id so a vectorized-off leg never overwrites the
+    /// canonical recording.
     pub fn run_id(&self) -> String {
         format!(
-            "{}_seed{}",
+            "{}_seed{}{}",
             if self.quick {
                 "quick".into()
             } else {
                 format!("s{}", self.scale)
             },
-            self.seed
+            self.seed,
+            if self.vectorized { "" } else { "_rowpath" }
         )
     }
 }
@@ -482,7 +493,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut out = format!(
             "{{\"version\":{},\"run\":\"{}\",\"mode\":\"{}\",\"scale\":{},\"seed\":{},\
-             \"warmup\":{},\"reps\":{},\"entries\":[",
+             \"warmup\":{},\"reps\":{},\"vectorized\":{},\"entries\":[",
             BENCH_VERSION,
             self.config.run_id(),
             if self.config.quick { "quick" } else { "full" },
@@ -490,6 +501,7 @@ impl BenchReport {
             self.config.seed,
             self.config.warmup,
             self.config.reps,
+            self.config.vectorized,
         );
         for (i, e) in self.entries.iter().enumerate() {
             if i > 0 {
@@ -571,6 +583,9 @@ fn figure_group(fig: FigureId) -> &'static str {
 /// counter equality, and chunked parallel scans split by fixed ranges, so
 /// counters do not depend on scheduling.
 pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport> {
+    // Every grid policy inherits the run's vectorization setting; only
+    // the dedicated ablation group below pins it per entry.
+    let vec_policy = |p: ExecPolicy| p.with_vectorized(cfg.vectorized);
     let mut entries: Vec<BenchEntry> = Vec::new();
     for &fig in &cfg.figures {
         let group = figure_group(fig);
@@ -586,7 +601,7 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport> {
                 entries.push(measure(
                     &w,
                     strategy,
-                    ExecPolicy::sequential(),
+                    vec_policy(ExecPolicy::sequential()),
                     cfg,
                     group,
                     &label,
@@ -597,7 +612,15 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport> {
                 let has_plan = entries.last().map(|e| e.plan.is_some()).unwrap_or(false);
                 if cfg.cross_policy && pi == 0 && has_plan {
                     for policy in [ExecPolicy::parallel(2), ExecPolicy::distributed(2)] {
-                        entries.push(measure(&w, strategy, policy, cfg, group, &label, true)?);
+                        entries.push(measure(
+                            &w,
+                            strategy,
+                            vec_policy(policy),
+                            cfg,
+                            group,
+                            &label,
+                            true,
+                        )?);
                     }
                 }
             }
@@ -620,6 +643,7 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport> {
 /// The ablation grid: the DESIGN.md design choices measured in isolation
 /// (mirroring `benches/ablations.rs`, but deterministic and recorded).
 fn run_ablations(cfg: &BenchConfig) -> Result<Vec<BenchEntry>> {
+    let vec_policy = |p: ExecPolicy| p.with_vectorized(cfg.vectorized);
     let mut entries = Vec::new();
     let (outer2, inner2) = sizes(FigureId::Fig2, cfg.scale)[0];
     let fig2 = workload(FigureId::Fig2, outer2, inner2, cfg.seed);
@@ -631,7 +655,7 @@ fn run_ablations(cfg: &BenchConfig) -> Result<Vec<BenchEntry>> {
         entries.push(measure(
             &fig2,
             strategy,
-            ExecPolicy::sequential(),
+            vec_policy(ExecPolicy::sequential()),
             cfg,
             "ablation/probe",
             label,
@@ -644,7 +668,7 @@ fn run_ablations(cfg: &BenchConfig) -> Result<Vec<BenchEntry>> {
         entries.push(measure(
             &fig2,
             Strategy::GmdjOptimized,
-            ExecPolicy::sequential().with_partition_rows(Some(rows)),
+            vec_policy(ExecPolicy::sequential().with_partition_rows(Some(rows))),
             cfg,
             "ablation/partitions",
             &format!("partitions-{parts}"),
@@ -661,10 +685,45 @@ fn run_ablations(cfg: &BenchConfig) -> Result<Vec<BenchEntry>> {
         entries.push(measure(
             &fig2,
             Strategy::GmdjOptimized,
-            policy,
+            vec_policy(policy),
             cfg,
             "ablation/threads",
             &format!("threads-{threads}"),
+            true,
+        )?);
+    }
+    // Vectorized detail-scan kernels vs the row path, per probe shape and
+    // thread count. Unlike the rest of the grid (which inherits the run's
+    // vectorization setting), these entries pin it per label so one report
+    // carries the on/off contrast; the counters are identical by
+    // construction — the wall-clock columns are the ablation signal.
+    // GmdjBasic, not GmdjOptimized: a completion plan pins the sequential
+    // scan to the row loop, which would blank the axis being measured.
+    for (label, policy) in [
+        ("seq-vec", ExecPolicy::sequential().with_vectorized(true)),
+        ("seq-row", ExecPolicy::sequential().with_vectorized(false)),
+        (
+            "scan-vec",
+            ExecPolicy::sequential()
+                .with_probe(ProbeStrategy::ForceScan)
+                .with_vectorized(true),
+        ),
+        (
+            "scan-row",
+            ExecPolicy::sequential()
+                .with_probe(ProbeStrategy::ForceScan)
+                .with_vectorized(false),
+        ),
+        ("par2-vec", ExecPolicy::parallel(2).with_vectorized(true)),
+        ("par2-row", ExecPolicy::parallel(2).with_vectorized(false)),
+    ] {
+        entries.push(measure(
+            &fig2,
+            Strategy::GmdjBasic,
+            policy,
+            cfg,
+            "ablation/vectorized",
+            label,
             true,
         )?);
     }
@@ -678,7 +737,7 @@ fn run_ablations(cfg: &BenchConfig) -> Result<Vec<BenchEntry>> {
         entries.push(measure(
             &fig4,
             strategy,
-            ExecPolicy::sequential(),
+            vec_policy(ExecPolicy::sequential()),
             cfg,
             "ablation/completion",
             label,
@@ -736,6 +795,12 @@ pub fn validate_bench(doc: &Json) -> std::result::Result<(), String> {
     }
     for key in ["scale", "seed", "warmup", "reps"] {
         require_num(doc, key, "bench")?;
+    }
+    // Informational and absent from pre-kernel recordings; when present
+    // it must be a boolean. Never part of an entry's identity.
+    match doc.get("vectorized") {
+        None | Some(Json::Bool(_)) => {}
+        _ => return Err("bench: `vectorized` must be a boolean".into()),
     }
     let entries = doc
         .get("entries")
@@ -1116,6 +1181,95 @@ pub fn compare_reports(
     Ok(cmp)
 }
 
+/// Per-entry wall-clock comparison of two bench documents (`repro bench
+/// --compare A.json B.json`). Pairs entries by identity key and reports
+/// the trimmed-mean delta of B relative to A, plus a geometric-mean
+/// speedup over the paired entries — the report backing a measured
+/// "vectorized vs row path" claim. Counter drift between the documents is
+/// listed first: a wall-clock comparison across different plans is
+/// answering a different question, and should say so.
+pub fn compare_wall_clock(a: &Json, b: &Json) -> std::result::Result<String, String> {
+    let entries_of = |doc: &'_ Json, which: &str| -> std::result::Result<Vec<Json>, String> {
+        Ok(doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{which}: missing `entries` array"))?
+            .to_vec())
+    };
+    let a_entries = entries_of(a, "A")?;
+    let b_entries = entries_of(b, "B")?;
+    let wall_of = |e: &Json| -> Option<f64> {
+        e.get("wall")
+            .and_then(|w| w.get("trimmed_mean_us"))
+            .and_then(Json::as_num)
+    };
+    let mut out = String::new();
+    let a_vec = a.get("vectorized").cloned();
+    let b_vec = b.get("vectorized").cloned();
+    if let (Some(Json::Bool(av)), Some(Json::Bool(bv))) = (&a_vec, &b_vec) {
+        out.push_str(&format!("A vectorized={av}  B vectorized={bv}\n"));
+    }
+    let mut drift = 0usize;
+    let mut ratios: Vec<f64> = Vec::new();
+    let mut lines: Vec<String> = Vec::new();
+    for ae in &a_entries {
+        let key = entry_key(ae)?;
+        let Some(be) = b_entries
+            .iter()
+            .find(|e| entry_key(e).as_deref() == Ok(key.as_str()))
+        else {
+            lines.push(format!("{key}: only in A"));
+            continue;
+        };
+        for counter in COUNTER_KEYS {
+            let av = ae
+                .get("counters")
+                .and_then(|c| c.get(counter))
+                .and_then(Json::as_num);
+            let bv = be
+                .get("counters")
+                .and_then(|c| c.get(counter))
+                .and_then(Json::as_num);
+            if av != bv {
+                drift += 1;
+                break;
+            }
+        }
+        let (Some(aw), Some(bw)) = (wall_of(ae), wall_of(be)) else {
+            continue;
+        };
+        if aw > 0.0 && bw > 0.0 {
+            ratios.push(aw / bw);
+        }
+        let delta = if aw > 0.0 {
+            format!("{:+.1}%", 100.0 * (bw - aw) / aw)
+        } else {
+            "n/a".into()
+        };
+        lines.push(format!("{key}: A={aw:.0}us B={bw:.0}us ({delta})"));
+    }
+    if drift > 0 {
+        out.push_str(&format!(
+            "note: {drift} paired entr{} differ in gated counters — \
+             the runs executed different plans\n",
+            if drift == 1 { "y" } else { "ies" }
+        ));
+    }
+    for l in &lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    if !ratios.is_empty() {
+        let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+        out.push_str(&format!(
+            "geomean speedup A/B over {} paired entries: {geomean:.2}x \
+             (>1 means B is faster)\n",
+            ratios.len()
+        ));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1131,6 +1285,7 @@ mod tests {
             ablations: false,
             cross_policy: false,
             quick: true,
+            vectorized: true,
         }
     }
 

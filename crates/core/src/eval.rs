@@ -21,9 +21,10 @@
 //! make the benchmark shapes reproducible across hardware.
 
 use gmdj_relation::agg::{Accumulator, BoundAgg};
+use gmdj_relation::batch::{Batch, BatchPredicate, ColumnData, BATCH_ROWS};
 use gmdj_relation::error::{Error, Result};
-use gmdj_relation::expr::{BoundPredicate, CmpOp, Predicate, ScalarExpr};
-use gmdj_relation::index::{key_of, HashIndex, IntervalIndex};
+use gmdj_relation::expr::{BoundPredicate, BoundScalar, CmpOp, Predicate, ScalarExpr};
+use gmdj_relation::index::{HashIndex, IntervalIndex, TypedKeyIndex};
 use gmdj_relation::relation::{Relation, Tuple};
 use gmdj_relation::schema::Schema;
 use gmdj_relation::value::Value;
@@ -53,13 +54,29 @@ pub enum Keep {
 }
 
 /// Evaluation options.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct GmdjOptions {
     /// Probe plan selection.
     pub probe: ProbeStrategy,
     /// Maximum number of base tuples resident per detail scan. `None`
     /// keeps the whole base-values relation in memory (single scan).
     pub partition_rows: Option<usize>,
+    /// Dispatch the detail scan to batched columnar kernels where a probe
+    /// shape can be specialized (default on). Counter-exact: every
+    /// [`EvalStats`] field matches the row-at-a-time scan bit for bit.
+    /// Completion plans are scan-order-dependent and always keep the row
+    /// path regardless of this flag.
+    pub vectorized: bool,
+}
+
+impl Default for GmdjOptions {
+    fn default() -> Self {
+        GmdjOptions {
+            probe: ProbeStrategy::default(),
+            partition_rows: None,
+            vectorized: true,
+        }
+    }
 }
 
 /// Machine-independent work counters, accumulated across an evaluation.
@@ -144,6 +161,54 @@ impl EvalStats {
     }
 }
 
+/// Kernel-dispatch statistics for the batched detail scan — deliberately
+/// *adjacent to* [`EvalStats`] rather than inside it: the semantic
+/// counters must stay identical across execution modes and vectorization
+/// settings, while these describe which physical path ran.
+///
+/// Units are (detail row × dispatching block) work units: a batch of 1024
+/// rows scanned by two blocks contributes 2048, split between
+/// `rows_vectorized` and `rows_row_path` according to whether each
+/// block-batch pair ran a kernel or fell back to row-at-a-time
+/// evaluation. For `Scan` access the granularity is per probing base
+/// tuple (the kernel decision can differ per base row's value types).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Columnar batches decoded from the detail relation.
+    pub batches: u64,
+    /// Work units processed through batched kernels.
+    pub rows_vectorized: u64,
+    /// Work units that fell back to row-at-a-time evaluation.
+    pub rows_row_path: u64,
+}
+
+impl KernelStats {
+    /// Fold another stats block into this one.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.batches += other.batches;
+        self.rows_vectorized += other.rows_vectorized;
+        self.rows_row_path += other.rows_row_path;
+    }
+
+    /// Field-wise difference `self − earlier`.
+    pub fn minus(&self, earlier: &KernelStats) -> KernelStats {
+        KernelStats {
+            batches: self.batches - earlier.batches,
+            rows_vectorized: self.rows_vectorized - earlier.rows_vectorized,
+            rows_row_path: self.rows_row_path - earlier.rows_row_path,
+        }
+    }
+
+    /// The counters as named trace-span fields, in declaration order.
+    pub fn trace_fields(&self) -> [(&'static str, u64); 3] {
+        [
+            ("batches", self.batches),
+            ("rows_vectorized", self.rows_vectorized),
+            ("rows_row_path", self.rows_row_path),
+        ]
+    }
+}
+
 /// Plain GMDJ: `MD(base, detail, spec)`.
 pub fn eval_gmdj(
     base: &Relation,
@@ -201,6 +266,36 @@ pub fn eval_gmdj_filtered_traced(
     stats: &mut EvalStats,
     sink: &dyn crate::trace::TraceSink,
 ) -> Result<Relation> {
+    let mut kernel = KernelStats::default();
+    eval_gmdj_filtered_full(
+        base,
+        detail,
+        spec,
+        selection,
+        keep,
+        completion,
+        opts,
+        stats,
+        &mut kernel,
+        sink,
+    )
+}
+
+/// [`eval_gmdj_filtered_traced`] additionally reporting which physical
+/// scan path ran via [`KernelStats`] (batched kernels vs row fallback).
+#[allow(clippy::too_many_arguments)]
+pub fn eval_gmdj_filtered_full(
+    base: &Relation,
+    detail: &Relation,
+    spec: &GmdjSpec,
+    selection: Option<&Predicate>,
+    keep: Keep,
+    completion: Option<&CompletionPlan>,
+    opts: &GmdjOptions,
+    stats: &mut EvalStats,
+    kernel: &mut KernelStats,
+    sink: &dyn crate::trace::TraceSink,
+) -> Result<Relation> {
     if completion.is_some() && selection.is_none() {
         return Err(Error::invalid("completion plan requires a selection"));
     }
@@ -232,6 +327,8 @@ pub fn eval_gmdj_filtered_traced(
             completion,
             opts,
             stats,
+            kernel,
+            sink,
             &mut out_rows,
         )?;
         let mut span = span;
@@ -305,16 +402,20 @@ pub(crate) fn scan_detail_plain(
 ) -> Result<()> {
     let all_base: Vec<u32> = (0..base_rows.len() as u32).collect();
     let mut stab_scratch: Vec<u32> = Vec::new();
+    let mut key_scratch: Vec<Value> = Vec::new();
     for r in chunk {
         let r: &[Value] = r;
         stats.detail_scanned += 1;
         for plan in plans {
             let candidates: &[u32] = match &plan.access {
-                Access::Hash { index, detail_cols } => {
-                    let key = key_of(r, detail_cols);
-                    stab_scratch.clear();
-                    stab_scratch.extend_from_slice(index.probe(&key));
-                    &stab_scratch
+                Access::Hash {
+                    index, detail_cols, ..
+                } => {
+                    // Probe through a reused scratch key: `HashIndex::probe`
+                    // takes a slice, so no per-row `Box<[Value]>` is built.
+                    key_scratch.clear();
+                    key_scratch.extend(detail_cols.iter().map(|&c| r[c].clone()));
+                    index.probe(&key_scratch)
                 }
                 Access::Interval { index, detail_col } => {
                     index.stab(&r[*detail_col], &mut stab_scratch);
@@ -365,6 +466,16 @@ pub(crate) struct BlockPlan {
     /// Offset of this block's accumulators within a base tuple's flat
     /// accumulator array.
     agg_offset: usize,
+    /// `residual` compiled to a batch kernel; `None` when its shape or
+    /// operand types cannot be specialized (the batched scan then
+    /// evaluates the residual row by row, reproducing exact semantics).
+    residual_kernel: Option<BatchPredicate>,
+    /// True when `residual_kernel` reads only detail columns, so one mask
+    /// per batch serves every probing base tuple.
+    residual_detail_only: bool,
+    /// Static label of the planned kernel for the `gmdj.kernel` trace
+    /// detail and EXPLAIN ANALYZE.
+    kernel_label: &'static str,
 }
 
 enum Access {
@@ -374,12 +485,393 @@ enum Access {
     Hash {
         index: HashIndex,
         detail_cols: Vec<usize>,
+        /// Typed single-column sidecar (built only under `vectorized`):
+        /// probes from a matching typed batch column skip `Value`
+        /// construction and, for strings, reuse the batch's cached hash
+        /// codes.
+        typed: Option<TypedKeyIndex>,
     },
     /// Interval stab: point extracted from the detail row.
     Interval {
         index: IntervalIndex,
         detail_col: usize,
     },
+}
+
+/// Comma-joined per-block kernel labels, e.g. `"hash-int,band"` — the
+/// `gmdj.kernel` span detail.
+pub(crate) fn kernel_summary(plans: &[BlockPlan]) -> String {
+    plans
+        .iter()
+        .map(|p| p.kernel_label)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// The probe loop without completion, batched: decode the detail slice
+/// into typed columnar windows of [`BATCH_ROWS`] rows and dispatch each
+/// block's planned kernel, falling back to row-at-a-time evaluation for
+/// any block × batch whose types cannot guarantee identical semantics
+/// (including identical errors). Every [`EvalStats`] counter is
+/// maintained exactly as [`scan_detail_plain`] would.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_detail_vectorized(
+    chunk: &[Tuple],
+    plans: &[BlockPlan],
+    base_rows: &[Tuple],
+    total_aggs: usize,
+    accs: &mut [Accumulator],
+    stats: &mut EvalStats,
+    kernel: &mut KernelStats,
+    sink: &dyn crate::trace::TraceSink,
+) -> Result<()> {
+    let before = *kernel;
+    let span = crate::trace::Span::begin(sink, "gmdj.kernel").with_detail(kernel_summary(plans));
+    let mut mask: Vec<bool> = Vec::new();
+    let mut stab_scratch: Vec<u32> = Vec::new();
+    let mut key_scratch: Vec<Value> = Vec::new();
+    let mut sel_scratch: Vec<u32> = Vec::new();
+    let mut int_scratch: Vec<i64> = Vec::new();
+    let mut float_scratch: Vec<f64> = Vec::new();
+    // Flattened per-row candidate lists (Hash/Interval): offsets[i]..
+    // offsets[i+1] indexes row i's candidates in `cand_flat`.
+    let mut cand_flat: Vec<u32> = Vec::new();
+    let mut cand_offsets: Vec<u32> = Vec::new();
+    // Decode only the columns some kernel actually reads: typed probe
+    // keys, the interval stab column, detail operands of shareable
+    // residual kernels, and batched aggregate inputs. Everything else
+    // stays a placeholder, so decode cost tracks plan width, not schema
+    // width.
+    let ncols = chunk.first().map(|r| r.len()).unwrap_or(0);
+    let mut needed = vec![false; ncols];
+    // An empty chunk has no windows (and no known width) — skip marking.
+    for plan in plans.iter().filter(|_| ncols > 0) {
+        match &plan.access {
+            Access::Hash {
+                detail_cols, typed, ..
+            } => {
+                if typed.is_some() {
+                    needed[detail_cols[0]] = true;
+                }
+                if plan.residual_detail_only {
+                    if let Some(k) = &plan.residual_kernel {
+                        k.mark_detail_columns(&mut needed);
+                    }
+                }
+            }
+            Access::Interval { detail_col, .. } => {
+                needed[*detail_col] = true;
+                if plan.residual_detail_only {
+                    if let Some(k) = &plan.residual_kernel {
+                        k.mark_detail_columns(&mut needed);
+                    }
+                }
+            }
+            Access::Scan => {
+                if let Some(k) = &plan.residual_kernel {
+                    k.mark_detail_columns(&mut needed);
+                    for agg in &plan.aggs {
+                        if let Some(BoundScalar::Column { scope: 1, index }) = &agg.input {
+                            needed[*index] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for window in chunk.chunks(BATCH_ROWS) {
+        let batch = Batch::decode_cols(window, &needed);
+        kernel.batches += 1;
+        stats.detail_scanned += window.len() as u64;
+        for plan in plans {
+            // Shared per-candidate body: counters and residual handling
+            // mirror the row path; `theta_evals` counts per (base, detail)
+            // pair even when a detail-only mask was computed once per row.
+            macro_rules! process_candidates {
+                ($cands:expr, $i:expr, $r:expr, $have_mask:expr) => {{
+                    for &b_idx in $cands {
+                        let b_idx = b_idx as usize;
+                        stats.probe_candidates += 1;
+                        let b_row: &[Value] = &base_rows[b_idx];
+                        let passes = match &plan.residual {
+                            None => true,
+                            Some(res) => {
+                                stats.theta_evals += 1;
+                                if $have_mask {
+                                    mask[$i]
+                                } else {
+                                    res.eval(&[b_row, $r])?.passes()
+                                }
+                            }
+                        };
+                        if passes {
+                            update_aggs(plan, b_idx, total_aggs, accs, b_row, $r, stats)?;
+                        }
+                    }
+                }};
+            }
+
+            match &plan.access {
+                Access::Hash {
+                    index,
+                    detail_cols,
+                    typed,
+                } => {
+                    // Pass 1: probe every row, flattening the candidate
+                    // lists so mask profitability is known before pass 2.
+                    cand_flat.clear();
+                    cand_offsets.clear();
+                    cand_offsets.push(0);
+                    for (i, r) in window.iter().enumerate() {
+                        let r: &[Value] = r;
+                        let cands =
+                            probe_hash(index, typed, detail_cols, &batch, i, r, &mut key_scratch);
+                        cand_flat.extend_from_slice(cands);
+                        cand_offsets.push(cand_flat.len() as u32);
+                    }
+                    let have_mask =
+                        shared_mask(plan, &batch, cand_flat.len(), window.len(), &mut mask);
+                    if plan.residual.is_none() || have_mask {
+                        kernel.rows_vectorized += window.len() as u64;
+                    } else {
+                        kernel.rows_row_path += window.len() as u64;
+                    }
+                    for (i, r) in window.iter().enumerate() {
+                        let r: &[Value] = r;
+                        let cands =
+                            &cand_flat[cand_offsets[i] as usize..cand_offsets[i + 1] as usize];
+                        process_candidates!(cands, i, r, have_mask);
+                    }
+                }
+                Access::Interval { index, detail_col } => {
+                    let col = &batch.cols[*detail_col];
+                    cand_flat.clear();
+                    cand_offsets.clear();
+                    cand_offsets.push(0);
+                    for (i, r) in window.iter().enumerate() {
+                        let r: &[Value] = r;
+                        if col.nulls[i] {
+                            stab_scratch.clear();
+                        } else {
+                            match &col.data {
+                                ColumnData::Int(vals) => {
+                                    index.stab_f64(vals[i] as f64, &mut stab_scratch)
+                                }
+                                ColumnData::Float(vals) => {
+                                    index.stab_f64(vals[i], &mut stab_scratch)
+                                }
+                                _ => index.stab(&r[*detail_col], &mut stab_scratch),
+                            }
+                        }
+                        cand_flat.extend_from_slice(&stab_scratch);
+                        cand_offsets.push(cand_flat.len() as u32);
+                    }
+                    let have_mask =
+                        shared_mask(plan, &batch, cand_flat.len(), window.len(), &mut mask);
+                    if plan.residual.is_none() || have_mask {
+                        kernel.rows_vectorized += window.len() as u64;
+                    } else {
+                        kernel.rows_row_path += window.len() as u64;
+                    }
+                    for (i, r) in window.iter().enumerate() {
+                        let r: &[Value] = r;
+                        let cands =
+                            &cand_flat[cand_offsets[i] as usize..cand_offsets[i + 1] as usize];
+                        process_candidates!(cands, i, r, have_mask);
+                    }
+                }
+                Access::Scan => {
+                    let res = plan
+                        .residual
+                        .as_ref()
+                        .expect("scan access always has residual");
+                    // Base-outer within the batch: per-accumulator update
+                    // order stays detail-row order, so float sums are
+                    // bit-identical to the row path.
+                    for (b_idx, b_row) in base_rows.iter().enumerate() {
+                        let b_row: &[Value] = b_row;
+                        let masked = match &plan.residual_kernel {
+                            Some(k) => k.eval_mask(&batch, Some(b_row), &mut mask),
+                            None => false,
+                        };
+                        stats.probe_candidates += window.len() as u64;
+                        stats.theta_evals += window.len() as u64;
+                        if masked {
+                            kernel.rows_vectorized += window.len() as u64;
+                            sel_scratch.clear();
+                            sel_scratch.extend(
+                                mask.iter()
+                                    .enumerate()
+                                    .filter(|(_, &m)| m)
+                                    .map(|(i, _)| i as u32),
+                            );
+                            if !sel_scratch.is_empty() {
+                                update_aggs_batched(
+                                    plan,
+                                    b_idx,
+                                    total_aggs,
+                                    accs,
+                                    b_row,
+                                    &batch,
+                                    window,
+                                    &sel_scratch,
+                                    stats,
+                                    &mut int_scratch,
+                                    &mut float_scratch,
+                                )?;
+                            }
+                        } else {
+                            kernel.rows_row_path += window.len() as u64;
+                            for r in window {
+                                let r: &[Value] = r;
+                                if res.eval(&[b_row, r])?.passes() {
+                                    update_aggs(plan, b_idx, total_aggs, accs, b_row, r, stats)?;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut span = span;
+    span.fields(kernel.minus(&before).trace_fields());
+    span.finish();
+    Ok(())
+}
+
+/// Decide whether a Hash/Interval block's detail-only residual mask is
+/// worth computing for this batch, and compute it if so. The mask costs
+/// one kernel pass over every window row; skipping it costs one
+/// interpreted residual eval per candidate — so it only pays off when the
+/// probe produced enough candidates to share it. The 25% density
+/// threshold is deliberately conservative: an interpreted eval is several
+/// times a kernel row op, so dense equality joins (≈1 candidate/row)
+/// always mask while selective probes keep the cheap row path. Either
+/// branch passes/rejects identical pairs and counts identical
+/// [`EvalStats`]; only [`KernelStats`] and wall-clock move.
+fn shared_mask(
+    plan: &BlockPlan,
+    batch: &Batch,
+    candidates: usize,
+    window_rows: usize,
+    mask: &mut Vec<bool>,
+) -> bool {
+    match &plan.residual_kernel {
+        Some(k) if plan.residual_detail_only && candidates * 4 >= window_rows => {
+            k.eval_mask(batch, None, mask)
+        }
+        _ => false,
+    }
+}
+
+/// Hash-probe one detail row, preferring the typed sidecar when the
+/// batch column's type matches it; otherwise the generic slice probe
+/// through a reused scratch key (no allocation either way). Cross-type
+/// numeric equality (`Int(1) = Float(1.0)`) only ever reaches the
+/// generic path: the sidecar is not built over float keys and is not
+/// consulted for non-matching column types.
+fn probe_hash<'a>(
+    index: &'a HashIndex,
+    typed: &'a Option<TypedKeyIndex>,
+    detail_cols: &[usize],
+    batch: &Batch,
+    i: usize,
+    r: &[Value],
+    key_scratch: &mut Vec<Value>,
+) -> &'a [u32] {
+    if let Some(t) = typed {
+        let col = &batch.cols[detail_cols[0]];
+        if col.nulls[i] {
+            return &[];
+        }
+        match (&col.data, t) {
+            (ColumnData::Int(vals), TypedKeyIndex::Int(_)) => return t.probe_int(vals[i]),
+            (ColumnData::Str { values, hashes }, TypedKeyIndex::Str(_)) => {
+                return t.probe_str(hashes[i], &values[i])
+            }
+            _ => {}
+        }
+    }
+    key_scratch.clear();
+    key_scratch.extend(detail_cols.iter().map(|&c| r[c].clone()));
+    index.probe(key_scratch)
+}
+
+/// Fold the selected batch rows into one base tuple's accumulators.
+/// Typed columns use the batched [`Accumulator`] updates; base-constant
+/// and literal inputs skip expression evaluation; anything else (computed
+/// expressions, Str/Bool/mixed columns) folds row by row. `agg_updates`
+/// counts one per aggregate per selected row, exactly like the row path.
+#[allow(clippy::too_many_arguments)]
+fn update_aggs_batched(
+    plan: &BlockPlan,
+    b_idx: usize,
+    total_aggs: usize,
+    accs: &mut [Accumulator],
+    b_row: &[Value],
+    batch: &Batch,
+    window: &[Tuple],
+    sel: &[u32],
+    stats: &mut EvalStats,
+    int_scratch: &mut Vec<i64>,
+    float_scratch: &mut Vec<f64>,
+) -> Result<()> {
+    let base = b_idx * total_aggs + plan.agg_offset;
+    for (k, agg) in plan.aggs.iter().enumerate() {
+        let acc = &mut accs[base + k];
+        match &agg.input {
+            None => acc.add_count_star(sel.len() as i64),
+            Some(BoundScalar::Column { scope: 1, index }) => {
+                let col = &batch.cols[*index];
+                match &col.data {
+                    ColumnData::Int(vals) => {
+                        int_scratch.clear();
+                        int_scratch.extend(
+                            sel.iter()
+                                .filter(|&&i| !col.nulls[i as usize])
+                                .map(|&i| vals[i as usize]),
+                        );
+                        acc.update_ints(int_scratch);
+                    }
+                    ColumnData::Float(vals) => {
+                        float_scratch.clear();
+                        float_scratch.extend(
+                            sel.iter()
+                                .filter(|&&i| !col.nulls[i as usize])
+                                .map(|&i| vals[i as usize]),
+                        );
+                        acc.update_floats(float_scratch);
+                    }
+                    _ => {
+                        for &i in sel {
+                            acc.update(&window[i as usize][*index]);
+                        }
+                    }
+                }
+            }
+            Some(BoundScalar::Column { scope: 0, index }) => {
+                let v = &b_row[*index];
+                for _ in sel {
+                    acc.update(v);
+                }
+            }
+            Some(BoundScalar::Literal(v)) => {
+                for _ in sel {
+                    acc.update(v);
+                }
+            }
+            Some(e) => {
+                for &i in sel {
+                    let r: &[Value] = &window[i as usize];
+                    let v = e.eval(&[b_row, r])?;
+                    acc.update(&v);
+                }
+            }
+        }
+        stats.agg_updates += sel.len() as u64;
+    }
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -393,6 +885,8 @@ fn run_partition(
     completion: Option<&CompletionPlan>,
     opts: &GmdjOptions,
     stats: &mut EvalStats,
+    kernel: &mut KernelStats,
+    sink: &dyn crate::trace::TraceSink,
     out_rows: &mut Vec<Tuple>,
 ) -> Result<()> {
     stats.partitions += 1;
@@ -400,6 +894,30 @@ fn run_partition(
 
     let blocks = plan_blocks(base_rows, base_schema, detail.schema(), spec, opts, stats)?;
     let total_aggs: usize = spec.agg_count();
+
+    // Batched fast path. Completion (dead rules, finish-early) is
+    // scan-order-dependent, so its bookkeeping keeps the row loop below.
+    if opts.vectorized && completion.is_none() {
+        let mut accs = new_accumulators(&blocks, base_rows.len(), total_aggs);
+        scan_detail_vectorized(
+            detail.rows(),
+            &blocks,
+            base_rows,
+            total_aggs,
+            &mut accs,
+            stats,
+            kernel,
+            sink,
+        )?;
+        return materialize_filtered(
+            base_rows,
+            &accs,
+            total_aggs,
+            bound_selection,
+            keep,
+            out_rows,
+        );
+    }
 
     // Completion bookkeeping.
     let mut dead_rule_of_block: Vec<Option<Option<usize>>> = vec![None; blocks.len()];
@@ -437,6 +955,7 @@ fn run_partition(
     };
     let mut inactive_since_compact = 0usize;
     let mut stab_scratch: Vec<u32> = Vec::new();
+    let mut key_scratch: Vec<Value> = Vec::new();
 
     for r in detail.rows() {
         let r: &[Value] = r;
@@ -497,9 +1016,12 @@ fn run_partition(
             }
 
             match &block.access {
-                Access::Hash { index, detail_cols } => {
-                    let key = key_of(r, detail_cols);
-                    for &b_idx in index.probe(&key) {
+                Access::Hash {
+                    index, detail_cols, ..
+                } => {
+                    key_scratch.clear();
+                    key_scratch.extend(detail_cols.iter().map(|&c| r[c].clone()));
+                    for &b_idx in index.probe(&key_scratch) {
                         process!(b_idx, true);
                     }
                 }
@@ -602,11 +1124,41 @@ pub(crate) fn plan_blocks(
         let (access, residual) = if opts.probe == ProbeStrategy::ForceScan {
             (Access::Scan, Some(block.theta.clone()))
         } else {
-            choose_access(base_rows, base_schema, detail_schema, &block.theta, stats)?
+            choose_access(
+                base_rows,
+                base_schema,
+                detail_schema,
+                &block.theta,
+                opts,
+                stats,
+            )?
         };
         let residual = match residual {
             Some(p) => Some(p.bind(&[base_schema, detail_schema])?),
             None => None,
+        };
+        let residual_kernel = if opts.vectorized {
+            residual.as_ref().and_then(BatchPredicate::compile)
+        } else {
+            None
+        };
+        let residual_detail_only = residual_kernel
+            .as_ref()
+            .map(BatchPredicate::detail_only)
+            .unwrap_or(false);
+        let kernel_label = match &access {
+            Access::Hash {
+                typed: Some(TypedKeyIndex::Int(_)),
+                ..
+            } => "hash-int",
+            Access::Hash {
+                typed: Some(TypedKeyIndex::Str(_)),
+                ..
+            } => "hash-str",
+            Access::Hash { .. } => "hash",
+            Access::Interval { .. } => "band",
+            Access::Scan if residual_kernel.is_some() => "scan-mask",
+            Access::Scan => "scan-rows",
         };
         plans.push(BlockPlan {
             full_theta,
@@ -614,6 +1166,9 @@ pub(crate) fn plan_blocks(
             access,
             aggs,
             agg_offset,
+            residual_kernel,
+            residual_detail_only,
+            kernel_label,
         });
         agg_offset += block.aggs.len();
     }
@@ -627,6 +1182,7 @@ fn choose_access(
     base_schema: &Schema,
     detail_schema: &Schema,
     theta: &Predicate,
+    opts: &GmdjOptions,
     stats: &mut EvalStats,
 ) -> Result<(Access, Option<Predicate>)> {
     let conjuncts = theta.split_conjuncts();
@@ -652,8 +1208,23 @@ fn choose_access(
     if !base_cols.is_empty() {
         let index = HashIndex::build_rows(base_rows.iter().map(|r| r.as_ref()), &base_cols);
         stats.index_builds += 1;
+        // Typed sidecar for the common single-column key. Does not count
+        // as an index build: it is a physical detail of the same probe
+        // plan, and `index_builds` is a gated semantic counter.
+        let typed = if opts.vectorized && base_cols.len() == 1 {
+            TypedKeyIndex::build_rows(base_rows.iter().map(|r| r.as_ref()), base_cols[0])
+        } else {
+            None
+        };
         let residual = residual_of(&conjuncts, &used);
-        return Ok((Access::Hash { index, detail_cols }, residual));
+        return Ok((
+            Access::Hash {
+                index,
+                detail_cols,
+                typed,
+            },
+            residual,
+        ));
     }
 
     // 2. Band pair: R.t >= B.lo ∧ R.t (< | <=) B.hi.
@@ -867,7 +1438,7 @@ mod tests {
             &spec,
             &GmdjOptions {
                 probe: ProbeStrategy::ForceScan,
-                partition_rows: None,
+                ..GmdjOptions::default()
             },
             &mut s2,
         )
@@ -902,7 +1473,7 @@ mod tests {
             &example_2_1_spec(),
             &GmdjOptions {
                 probe: ProbeStrategy::ForceScan,
-                partition_rows: None,
+                ..GmdjOptions::default()
             },
             &mut s2,
         )
@@ -928,8 +1499,8 @@ mod tests {
             &flows(),
             &example_2_1_spec(),
             &GmdjOptions {
-                probe: ProbeStrategy::Auto,
                 partition_rows: Some(1),
+                ..GmdjOptions::default()
             },
             &mut s2,
         )
@@ -1130,7 +1701,7 @@ mod tests {
             &spec,
             &GmdjOptions {
                 probe: ProbeStrategy::ForceScan,
-                partition_rows: None,
+                ..GmdjOptions::default()
             },
             &mut s2,
         )
@@ -1159,6 +1730,172 @@ mod tests {
         assert_eq!(out.len(), 2);
         for row in out.rows() {
             assert_eq!(row[1], Value::Int(2));
+        }
+    }
+
+    /// Run one (base, detail, spec) with `vectorized` on and off and
+    /// require identical output multisets AND bit-identical counters.
+    fn assert_vectorized_exact(
+        base: &Relation,
+        detail: &Relation,
+        spec: &GmdjSpec,
+        probe: ProbeStrategy,
+        ctx: &str,
+    ) {
+        for partition_rows in [None, Some(2)] {
+            let mut on_stats = EvalStats::default();
+            let mut off_stats = EvalStats::default();
+            let on = eval_gmdj(
+                base,
+                detail,
+                spec,
+                &GmdjOptions {
+                    probe,
+                    partition_rows,
+                    vectorized: true,
+                },
+                &mut on_stats,
+            )
+            .unwrap();
+            let off = eval_gmdj(
+                base,
+                detail,
+                spec,
+                &GmdjOptions {
+                    probe,
+                    partition_rows,
+                    vectorized: false,
+                },
+                &mut off_stats,
+            )
+            .unwrap();
+            assert!(
+                on.multiset_eq(&off),
+                "{ctx}: vectorized output diverged (partition_rows {partition_rows:?})"
+            );
+            assert_eq!(
+                on_stats, off_stats,
+                "{ctx}: vectorized counters diverged (partition_rows {partition_rows:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn vectorized_is_counter_exact_on_figure_1() {
+        for probe in [ProbeStrategy::Auto, ProbeStrategy::ForceScan] {
+            assert_vectorized_exact(&hours(), &flows(), &example_2_1_spec(), probe, "figure 1");
+        }
+    }
+
+    #[test]
+    fn vectorized_is_counter_exact_on_string_hash_keys() {
+        // Equality on a Str key exercises the prehashed string sidecar;
+        // the residual band keeps a detail+base mixed residual per row.
+        let spec = GmdjSpec::new(vec![AggBlock::new(
+            col("F.Protocol")
+                .eq(col("B.proto"))
+                .and(col("F.NumBytes").gt(col("B.floor"))),
+            vec![
+                NamedAgg::sum(col("F.NumBytes"), "s"),
+                NamedAgg::count_star("c"),
+            ],
+        )]);
+        let base = RelationBuilder::new("B")
+            .column("proto", DataType::Str)
+            .column("floor", DataType::Int)
+            .row(vec!["HTTP".into(), 20.into()])
+            .row(vec!["FTP".into(), 0.into()])
+            .row(vec![Value::Null, 0.into()])
+            .build()
+            .unwrap();
+        for probe in [ProbeStrategy::Auto, ProbeStrategy::ForceScan] {
+            assert_vectorized_exact(&base, &flows(), &spec, probe, "string keys");
+        }
+    }
+
+    #[test]
+    fn vectorized_is_counter_exact_on_mixed_typed_columns() {
+        // A detail key column mixing Int and Float defeats the typed
+        // sidecar and the kernels; the fallback must stay exact,
+        // including Int(1) = Float(1.0) cross-type equality.
+        let base = RelationBuilder::new("B")
+            .column("k", DataType::Int)
+            .row(vec![1.into()])
+            .row(vec![2.into()])
+            .build()
+            .unwrap();
+        let detail = RelationBuilder::new("R")
+            .column("k", DataType::Float)
+            .column("v", DataType::Float)
+            .row(vec![Value::Float(1.0), Value::Float(0.5)])
+            .row(vec![Value::Int(2), Value::Int(3)])
+            .row(vec![Value::Null, Value::Float(9.0)])
+            .build()
+            .unwrap();
+        let spec = GmdjSpec::new(vec![AggBlock::new(
+            col("B.k").eq(col("R.k")),
+            vec![NamedAgg::sum(col("R.v"), "s"), NamedAgg::count_star("c")],
+        )]);
+        for probe in [ProbeStrategy::Auto, ProbeStrategy::ForceScan] {
+            assert_vectorized_exact(&base, &detail, &spec, probe, "mixed columns");
+        }
+    }
+
+    #[test]
+    fn vectorized_spans_multiple_batches() {
+        // More than BATCH_ROWS detail rows: exercises the per-window
+        // decode loop and batch-boundary accumulator ordering.
+        let mut detail = RelationBuilder::new("R")
+            .column("k", DataType::Int)
+            .column("v", DataType::Float);
+        for i in 0..(super::BATCH_ROWS as i64 + 700) {
+            detail = detail.row(vec![(i % 7).into(), Value::Float(i as f64 * 0.25)]);
+        }
+        let detail = detail.build().unwrap();
+        let base = RelationBuilder::new("B")
+            .column("k", DataType::Int)
+            .row(vec![3.into()])
+            .row(vec![5.into()])
+            .build()
+            .unwrap();
+        let spec = GmdjSpec::new(vec![AggBlock::new(
+            col("B.k").eq(col("R.k")),
+            vec![NamedAgg::sum(col("R.v"), "s"), NamedAgg::count_star("c")],
+        )]);
+        for probe in [ProbeStrategy::Auto, ProbeStrategy::ForceScan] {
+            assert_vectorized_exact(&base, &detail, &spec, probe, "multi batch");
+        }
+    }
+
+    #[test]
+    fn vectorized_errors_match_row_path() {
+        // Comparing Str to Int raises TypeMismatch on the row path; the
+        // kernel layer must refuse to specialize and surface the same
+        // error rather than silently masking it.
+        let base = RelationBuilder::new("B")
+            .column("k", DataType::Int)
+            .row(vec![1.into()])
+            .build()
+            .unwrap();
+        let detail = RelationBuilder::new("R")
+            .column("k", DataType::Str)
+            .row(vec!["x".into()])
+            .build()
+            .unwrap();
+        let spec = GmdjSpec::new(vec![AggBlock::count(col("B.k").lt(col("R.k")), "c")]);
+        for vectorized in [true, false] {
+            let mut stats = EvalStats::default();
+            let err = eval_gmdj(
+                &base,
+                &detail,
+                &spec,
+                &GmdjOptions {
+                    vectorized,
+                    ..GmdjOptions::default()
+                },
+                &mut stats,
+            );
+            assert!(err.is_err(), "vectorized={vectorized} must error");
         }
     }
 

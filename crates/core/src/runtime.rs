@@ -60,8 +60,9 @@ use gmdj_relation::relation::{Relation, Tuple};
 use crate::completion::CompletionPlan;
 use crate::distributed::NetworkStats;
 use crate::eval::{
-    eval_gmdj_filtered_traced, materialize_filtered, new_accumulators, plan_blocks,
-    scan_detail_plain, EvalStats, GmdjOptions, Keep, ProbeStrategy,
+    eval_gmdj_filtered_full, materialize_filtered, new_accumulators, plan_blocks,
+    scan_detail_plain, scan_detail_vectorized, EvalStats, GmdjOptions, Keep, KernelStats,
+    ProbeStrategy,
 };
 use crate::metrics;
 use crate::spec::GmdjSpec;
@@ -88,7 +89,7 @@ pub enum ExecMode {
 
 /// How a plan executes: the one policy object threaded through plan
 /// walking, GMDJ evaluation, and the relational operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecPolicy {
     /// Physical execution mode.
     pub mode: ExecMode,
@@ -98,6 +99,22 @@ pub struct ExecPolicy {
     /// budget of Section 4's partitioned evaluation). `None` keeps the
     /// whole base-values relation in memory.
     pub partition_rows: Option<usize>,
+    /// Run the detail scan through the columnar batch kernels when a
+    /// probe shape specializes (default). The kernels are counter-exact
+    /// and bit-exact with the row path; switching this off is an
+    /// ablation axis, not a semantic choice.
+    pub vectorized: bool,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy {
+            mode: ExecMode::default(),
+            probe: ProbeStrategy::default(),
+            partition_rows: None,
+            vectorized: true,
+        }
+    }
 }
 
 impl ExecPolicy {
@@ -134,6 +151,12 @@ impl ExecPolicy {
         self
     }
 
+    /// Enable or disable the vectorized detail-scan kernels.
+    pub fn with_vectorized(mut self, vectorized: bool) -> Self {
+        self.vectorized = vectorized;
+        self
+    }
+
     /// Reject degenerate modes (`threads == 0`, `sites == 0`).
     pub fn validate(&self) -> Result<()> {
         match self.mode {
@@ -152,6 +175,7 @@ impl ExecPolicy {
         GmdjOptions {
             probe: self.probe,
             partition_rows: self.partition_rows,
+            vectorized: self.vectorized,
         }
     }
 }
@@ -174,6 +198,13 @@ pub struct PlanNodeStats {
     pub ops: OpStats,
     /// GMDJ evaluator work at this node.
     pub eval: EvalStats,
+    /// Vectorized-kernel dispatch mix at this node: how much of the
+    /// detail scan ran through the batch kernels vs the row fallback.
+    /// Kept apart from [`EvalStats`] deliberately — the semantic
+    /// counters are identical across execution modes and vectorization
+    /// settings, while the kernel mix is a property of the physical path
+    /// taken.
+    pub kernel: KernelStats,
     /// Simulated network traffic at this node (distributed mode).
     pub network: NetworkStats,
     /// Wall-clock time executing this node, children included.
@@ -206,6 +237,15 @@ impl PlanNodeStats {
         let mut total = self.eval;
         for c in &self.children {
             total.merge(&c.total_eval());
+        }
+        total
+    }
+
+    /// Kernel dispatch mix rolled up over this node and its subtree.
+    pub fn total_kernel(&self) -> KernelStats {
+        let mut total = self.kernel;
+        for c in &self.children {
+            total.merge(&c.total_kernel());
         }
         total
     }
@@ -328,6 +368,13 @@ impl PlanNodeStats {
                 out.push_str(&format!(" fallbacks={}", e.completion_fallbacks));
             }
         }
+        let k = &self.kernel;
+        if *k != KernelStats::default() {
+            out.push_str(&format!(
+                " kernel[batches={} vec={} row={}]",
+                k.batches, k.rows_vectorized, k.rows_row_path
+            ));
+        }
         if self.network != NetworkStats::default() {
             out.push_str(&format!(
                 " net={} msgs={}",
@@ -363,6 +410,8 @@ impl PlanNodeStats {
              \"theta_evals\":{},\"agg_updates\":{},\"base_rows\":{},\
              \"dead_early\":{},\"done_early\":{},\"index_builds\":{},\
              \"partitions\":{},\"completion_fallbacks\":{}}},\
+             \"kernel\":{{\"batches\":{},\"rows_vectorized\":{},\
+             \"rows_row_path\":{}}},\
              \"network\":{{\"broadcast_values\":{},\"collected_states\":{},\
              \"messages\":{}}},\"children\":[",
             crate::trace::json_escape(&self.label),
@@ -385,6 +434,9 @@ impl PlanNodeStats {
             e.index_builds,
             e.partitions,
             e.completion_fallbacks,
+            self.kernel.batches,
+            self.kernel.rows_vectorized,
+            self.kernel.rows_row_path,
             n.broadcast_values,
             n.collected_states,
             n.messages,
@@ -486,7 +538,7 @@ impl Runtime {
         let net_before = node.network;
         let span = Span::begin(self.sink.as_ref(), "gmdj.eval");
         let result = match self.policy.mode {
-            ExecMode::Sequential => eval_gmdj_filtered_traced(
+            ExecMode::Sequential => eval_gmdj_filtered_full(
                 base,
                 detail,
                 spec,
@@ -495,6 +547,7 @@ impl Runtime {
                 completion,
                 &self.policy.gmdj_options(),
                 &mut node.eval,
+                &mut node.kernel,
                 self.sink.as_ref(),
             ),
             ExecMode::Parallel { threads } => self.eval_chunked(
@@ -606,6 +659,7 @@ impl Runtime {
                 opts: self.policy.gmdj_options(),
                 total_aggs,
                 stats: &mut node.eval,
+                kernel: &mut node.kernel,
                 network: &mut node.network,
                 sink: self.sink.as_ref(),
             };
@@ -649,6 +703,7 @@ struct PartitionCx<'a> {
     opts: GmdjOptions,
     total_aggs: usize,
     stats: &'a mut EvalStats,
+    kernel: &'a mut KernelStats,
     network: &'a mut NetworkStats,
     sink: &'a dyn TraceSink,
 }
@@ -682,43 +737,62 @@ impl PartitionCx<'_> {
         let base_rows = self.base;
         let total_aggs = self.total_aggs;
         let sink = self.sink;
-        let results: Vec<Result<(Vec<Accumulator>, EvalStats, u64)>> =
-            std::thread::scope(|scope| {
-                let plans = &plans;
-                let handles: Vec<_> = detail_rows
-                    .chunks(chunk_len)
-                    .enumerate()
-                    .map(|(i, chunk)| {
-                        scope.spawn(move || -> Result<(Vec<Accumulator>, EvalStats, u64)> {
-                            let mut wspan =
-                                Span::begin(sink, "gmdj.worker").with_detail(format!("worker{i}"));
-                            let mut accs = new_accumulators(plans, base_rows.len(), total_aggs);
-                            let mut local = EvalStats::default();
+        let vectorized = self.opts.vectorized;
+        type WorkerResult = Result<(Vec<Accumulator>, EvalStats, KernelStats, u64)>;
+        let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+            let plans = &plans;
+            let handles: Vec<_> = detail_rows
+                .chunks(chunk_len)
+                .enumerate()
+                .map(|(i, chunk)| {
+                    scope.spawn(move || -> WorkerResult {
+                        let mut wspan =
+                            Span::begin(sink, "gmdj.worker").with_detail(format!("worker{i}"));
+                        let mut accs = new_accumulators(plans, base_rows.len(), total_aggs);
+                        let mut local = EvalStats::default();
+                        let mut local_kernel = KernelStats::default();
+                        // Chunked scans never carry a completion plan
+                        // (it fell back above), so the vectorized path
+                        // is always eligible here.
+                        if vectorized {
+                            scan_detail_vectorized(
+                                chunk,
+                                plans,
+                                base_rows,
+                                total_aggs,
+                                &mut accs,
+                                &mut local,
+                                &mut local_kernel,
+                                sink,
+                            )?;
+                        } else {
                             scan_detail_plain(
                                 chunk, plans, base_rows, total_aggs, &mut accs, &mut local,
                             )?;
-                            wspan.field("chunk_rows", chunk.len() as u64);
-                            wspan.fields(local.trace_fields());
-                            let dur = wspan.finish();
-                            Ok((accs, local, dur.as_nanos() as u64))
-                        })
+                        }
+                        wspan.field("chunk_rows", chunk.len() as u64);
+                        wspan.fields(local.trace_fields());
+                        let dur = wspan.finish();
+                        Ok((accs, local, local_kernel, dur.as_nanos() as u64))
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        h.join()
-                            .unwrap_or_else(|payload| Err(worker_panic_error(&payload)))
-                    })
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|payload| Err(worker_panic_error(&payload)))
+                })
+                .collect()
+        });
 
         let mut merged = new_accumulators(&plans, base_rows.len(), total_aggs);
         let mut worker_max_ns = 0u64;
         let mut worker_sum_ns = 0u64;
         for res in results {
-            let (accs, local, wall_ns) = res?;
+            let (accs, local, local_kernel, wall_ns) = res?;
             self.stats.merge(&local);
+            self.kernel.merge(&local_kernel);
             worker_max_ns = worker_max_ns.max(wall_ns);
             worker_sum_ns += wall_ns;
             for (m, a) in merged.iter_mut().zip(&accs) {
@@ -763,14 +837,27 @@ impl PartitionCx<'_> {
             )?;
             let mut accs = new_accumulators(&plans, self.base.len(), self.total_aggs);
             let mut local = EvalStats::default();
-            scan_detail_plain(
-                frag,
-                &plans,
-                self.base,
-                self.total_aggs,
-                &mut accs,
-                &mut local,
-            )?;
+            if self.opts.vectorized {
+                scan_detail_vectorized(
+                    frag,
+                    &plans,
+                    self.base,
+                    self.total_aggs,
+                    &mut accs,
+                    &mut local,
+                    self.kernel,
+                    self.sink,
+                )?;
+            } else {
+                scan_detail_plain(
+                    frag,
+                    &plans,
+                    self.base,
+                    self.total_aggs,
+                    &mut accs,
+                    &mut local,
+                )?;
+            }
             self.stats.merge(&local);
             // Wave 2: accumulator states back to the coordinator. State
             // shipping is what lets AVG / COUNT DISTINCT distribute.

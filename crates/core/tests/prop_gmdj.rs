@@ -116,7 +116,7 @@ proptest! {
             &b,
             &r,
             &s,
-            &GmdjOptions { probe: ProbeStrategy::ForceScan, partition_rows: None },
+            &GmdjOptions { probe: ProbeStrategy::ForceScan, ..GmdjOptions::default() },
             &mut st2,
         )
         .unwrap();
@@ -139,7 +139,7 @@ proptest! {
             &b,
             &r,
             &s,
-            &GmdjOptions { probe: ProbeStrategy::Auto, partition_rows: Some(partition) },
+            &GmdjOptions { partition_rows: Some(partition), ..GmdjOptions::default() },
             &mut st2,
         )
         .unwrap();
@@ -203,7 +203,7 @@ proptest! {
         };
         let keep = if keep_base { Keep::BaseOnly } else { Keep::All };
         let plan = if keep_base { derive_completion(&sel, &s, true) } else { None };
-        let opts = GmdjOptions { probe: ProbeStrategy::Auto, partition_rows: partition };
+        let opts = GmdjOptions { partition_rows: partition, ..GmdjOptions::default() };
         let mut st1 = EvalStats::default();
         let sequential = eval_gmdj_filtered(
             &b, &r, &s, Some(&sel), keep, plan.as_ref(), &opts, &mut st1,
@@ -281,6 +281,44 @@ proptest! {
         prop_assert_eq!(node.eval.detail_scanned, r.len() as u64);
     }
 
+    /// The vectorized detail-scan kernels are counter-exact with the row
+    /// path under every execution policy: identical output multisets AND
+    /// identical semantic counters, for sequential, parallel, and
+    /// distributed execution, with and without base partitioning.
+    #[test]
+    fn vectorized_is_counter_exact_under_every_policy(
+        b in relation("B", 10),
+        r in relation("R", 16),
+        s in spec(),
+        probe_scan in proptest::bool::ANY,
+        partition in proptest::option::of(1usize..5),
+    ) {
+        let probe = if probe_scan { ProbeStrategy::ForceScan } else { ProbeStrategy::Auto };
+        for policy in [
+            ExecPolicy::sequential(),
+            ExecPolicy::parallel(3),
+            ExecPolicy::distributed(2),
+        ] {
+            let policy = policy.with_probe(probe).with_partition_rows(partition);
+            let mut on_node = PlanNodeStats::new("GMDJ");
+            let mut off_node = PlanNodeStats::new("GMDJ");
+            let on = Runtime::new(policy.with_vectorized(true))
+                .eval_gmdj(&b, &r, &s, &mut on_node)
+                .unwrap();
+            let off = Runtime::new(policy.with_vectorized(false))
+                .eval_gmdj(&b, &r, &s, &mut off_node)
+                .unwrap();
+            prop_assert!(on.multiset_eq(&off), "policy={policy:?}");
+            prop_assert_eq!(on_node.eval, off_node.eval, "policy={:?}", policy);
+            // The row path never touches the kernel layer; the vectorized
+            // path decodes every non-empty detail chunk it scans.
+            prop_assert_eq!(off_node.kernel.batches, 0);
+            if !r.is_empty() {
+                prop_assert!(on_node.kernel.batches > 0, "policy={policy:?}");
+            }
+        }
+    }
+
     /// Proposition 4.1: a chain of GMDJs over the same detail table equals
     /// the single coalesced GMDJ.
     #[test]
@@ -352,7 +390,7 @@ proptest! {
         prop_assert!(with.multiset_eq(&without));
         // And under ForceScan, where completion actually prunes the scan.
         let scan_opts =
-            GmdjOptions { probe: ProbeStrategy::ForceScan, partition_rows: None };
+            GmdjOptions { probe: ProbeStrategy::ForceScan, ..GmdjOptions::default() };
         let mut st3 = EvalStats::default();
         let scanned = eval_gmdj_filtered(
             &b, &r, &s, Some(&sel), Keep::BaseOnly, plan.as_ref(), &scan_opts, &mut st3,
@@ -362,7 +400,7 @@ proptest! {
         // And combined with memory partitioning (completion state is
         // per-partition).
         let part_opts =
-            GmdjOptions { probe: ProbeStrategy::Auto, partition_rows: Some(3) };
+            GmdjOptions { partition_rows: Some(3), ..GmdjOptions::default() };
         let mut st4 = EvalStats::default();
         let partitioned = eval_gmdj_filtered(
             &b, &r, &s, Some(&sel), Keep::BaseOnly, plan.as_ref(), &part_opts, &mut st4,

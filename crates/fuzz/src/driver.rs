@@ -6,6 +6,14 @@
 //! policy — `gmdj_engine::reference` with no smartness and no indexes,
 //! i.e. the literal nested-loop semantics of Section 2 that Theorem 3.5's
 //! correctness claim is stated against.
+//!
+//! Every policy-consuming strategy additionally runs twice per policy —
+//! vectorized batch kernels on and off — and the two runs must agree on
+//! the result multiset, the gated [`EvalStats`] counters, and error
+//! behavior (see `gmdj_relation::batch` for the kernels' exactness
+//! contract).
+//!
+//! [`EvalStats`]: gmdj_core::eval::EvalStats
 
 use std::sync::Arc;
 
@@ -144,7 +152,66 @@ pub fn check_case(case: &FuzzCase, opts: &CheckOptions) -> CheckReport {
             if strategy == Strategy::NaiveNestedLoop && policy == ExecPolicy::sequential() {
                 continue; // the oracle itself
             }
-            match run_with_policy(&query, &catalog, strategy, policy) {
+            let result = run_with_policy(&query, &catalog, strategy, policy);
+            // Vectorized/row-path twin check: the same strategy and policy
+            // with the batch kernels disabled must produce the identical
+            // multiset AND identical gated counters (the kernels claim
+            // bit-exact semantics, not just equal answers). Errors must
+            // match too — a kernel is only allowed to run where the row
+            // path could not have errored.
+            if uses_policy(strategy) {
+                let row =
+                    run_with_policy(&query, &catalog, strategy, policy.with_vectorized(false));
+                let twin_detail = match (&result, &row) {
+                    (Ok(v), Ok(r)) => {
+                        if !v.relation.multiset_eq(&r.relation) {
+                            Some(format!(
+                                "vectorized ({} rows):\n{}\nrow path ({} rows):\n{}",
+                                v.relation.len(),
+                                v.relation,
+                                r.relation.len(),
+                                r.relation
+                            ))
+                        } else {
+                            match (&v.plan_stats, &r.plan_stats) {
+                                (Some(vs), Some(rs)) if vs.total_eval() != rs.total_eval() => {
+                                    Some(format!(
+                                        "gated counters drifted: vectorized {:?} vs row path {:?}",
+                                        vs.total_eval(),
+                                        rs.total_eval()
+                                    ))
+                                }
+                                _ => None,
+                            }
+                        }
+                    }
+                    (Ok(_), Err(e)) => {
+                        Some(format!("row path errored while vectorized succeeded: {e}"))
+                    }
+                    (Err(e), Ok(_)) => {
+                        Some(format!("vectorized errored while row path succeeded: {e}"))
+                    }
+                    (Err(a), Err(b)) => {
+                        let (a, b) = (a.to_string(), b.to_string());
+                        (a != b)
+                            .then(|| format!("errors differ: vectorized {a:?} vs row path {b:?}"))
+                    }
+                };
+                if let Some(detail) = twin_detail {
+                    report.divergences.push(Divergence {
+                        strategy,
+                        policy,
+                        oracle_rows: oracle.len(),
+                        actual_rows: result.as_ref().ok().map(|r| r.relation.len()),
+                        detail: format!(
+                            "{} under {}: vectorized and row-path scans disagree\n{detail}",
+                            strategy.label(),
+                            policy_label(policy)
+                        ),
+                    });
+                }
+            }
+            match result {
                 Ok(r) => {
                     let relation = match opts.mutate {
                         Some(m) => m(strategy, policy, &r.relation).unwrap_or(r.relation),
@@ -234,6 +301,19 @@ mod tests {
         let case = tiny_case("SELECT FROM WHERE");
         let report = check_case(&case, &CheckOptions::default());
         assert!(report.pipeline_error.is_some());
+    }
+
+    /// The vectorized/row-path twin check runs clean on a case whose
+    /// probe shape actually reaches the kernels (string equality key,
+    /// NULLs in both scopes, a residual comparison).
+    #[test]
+    fn vectorized_twin_check_passes_on_kernel_shapes() {
+        let case = tiny_case(
+            "SELECT * FROM B B0 WHERE EXISTS \
+             (SELECT * FROM R R1 WHERE R1.a = B0.a AND R1.b < B0.b)",
+        );
+        let report = check_case(&case, &CheckOptions::default());
+        assert!(report.passed(), "{report:?}");
     }
 
     #[test]

@@ -265,6 +265,118 @@ impl Accumulator {
         }
     }
 
+    /// Batched `COUNT(*)` update: fold `k` tuples at once. Exact for
+    /// `CountStar` (the marker value never matters); any other function
+    /// falls back to `k` marker updates, reproducing the row path.
+    #[inline]
+    pub fn add_count_star(&mut self, k: i64) {
+        if let Accumulator::CountStar { n } = self {
+            *n += k;
+        } else {
+            for _ in 0..k {
+                self.update(&Value::Int(1));
+            }
+        }
+    }
+
+    /// Batched update from a typed integer column. `vals` must hold the
+    /// **non-NULL** input values of the selected rows in detail-row order
+    /// (NULL inputs are no-ops for every function that takes an input, so
+    /// dropping them is exact). Bulk shortcuts are taken only where the
+    /// result is bit-identical to folding row by row: counts add the
+    /// length, integer SUM wraps per element, MIN/MAX fold a batch-local
+    /// extremum and then apply one ordinary update (strict-inequality
+    /// replacement keeps tie behavior identical).
+    pub fn update_ints(&mut self, vals: &[i64]) {
+        match self {
+            Accumulator::CountStar { n } | Accumulator::Count { n } => *n += vals.len() as i64,
+            Accumulator::CountDistinct { seen } => {
+                for &v in vals {
+                    seen.insert(Value::Int(v));
+                }
+            }
+            Accumulator::Sum { sum_i, seen, .. } => {
+                if !vals.is_empty() {
+                    *seen = true;
+                }
+                for &v in vals {
+                    *sum_i = sum_i.wrapping_add(v);
+                }
+            }
+            Accumulator::Min { .. } => {
+                if let Some(&m) = vals.iter().min() {
+                    self.update(&Value::Int(m));
+                }
+            }
+            Accumulator::Max { .. } => {
+                if let Some(&m) = vals.iter().max() {
+                    self.update(&Value::Int(m));
+                }
+            }
+            Accumulator::Avg { sum, n } => {
+                for &v in vals {
+                    *sum += v as f64;
+                }
+                *n += vals.len() as i64;
+            }
+        }
+    }
+
+    /// Batched update from a typed float column; same contract as
+    /// [`update_ints`](Self::update_ints). Float SUM/AVG still add element
+    /// by element in row order — floating-point addition is
+    /// order-sensitive and the row path's rounding must be reproduced
+    /// exactly. MIN/MAX fold under `f64::total_cmp`, matching
+    /// `Value::total_cmp`.
+    pub fn update_floats(&mut self, vals: &[f64]) {
+        match self {
+            Accumulator::CountStar { n } | Accumulator::Count { n } => *n += vals.len() as i64,
+            Accumulator::CountDistinct { seen } => {
+                for &v in vals {
+                    seen.insert(Value::Float(v));
+                }
+            }
+            Accumulator::Sum {
+                sum_f,
+                any_float,
+                seen,
+                ..
+            } => {
+                if !vals.is_empty() {
+                    *any_float = true;
+                    *seen = true;
+                }
+                for &v in vals {
+                    *sum_f += v;
+                }
+            }
+            Accumulator::Min { .. } => {
+                if let Some(m) =
+                    vals.iter()
+                        .copied()
+                        .reduce(|a, b| if b.total_cmp(&a).is_lt() { b } else { a })
+                {
+                    self.update(&Value::Float(m));
+                }
+            }
+            Accumulator::Max { .. } => {
+                if let Some(m) =
+                    vals.iter()
+                        .copied()
+                        .reduce(|a, b| if b.total_cmp(&a).is_gt() { b } else { a })
+                {
+                    self.update(&Value::Float(m));
+                }
+            }
+            Accumulator::Avg { sum, n } => {
+                for &v in vals {
+                    *sum += v;
+                }
+                *n += vals.len() as i64;
+            }
+        }
+    }
+
     /// Fold another accumulator of the same function into this one —
     /// the combine step of partitioned/parallel aggregation. Partial
     /// aggregates over disjoint multisets merge exactly for every
@@ -491,6 +603,42 @@ mod tests {
                 assert_eq!(left.finish(), sequential.finish(), "{f} split at {split}");
             }
         }
+    }
+
+    #[test]
+    fn batched_updates_equal_sequential_for_every_function() {
+        use AggFunc::*;
+        let ints = [3i64, -1, 3, 7, 0];
+        let floats = [2.5f64, -0.0, 0.0, 2.5, 9.25];
+        for f in [CountStar, Count, CountDistinct, Sum, Min, Max, Avg] {
+            let mut batched = Accumulator::new(f);
+            batched.update_ints(&ints);
+            let mut rowwise = Accumulator::new(f);
+            for &v in &ints {
+                rowwise.update(&Value::Int(v));
+            }
+            assert_eq!(batched.finish(), rowwise.finish(), "{f} over ints");
+
+            let mut batched = Accumulator::new(f);
+            batched.update_floats(&floats);
+            let mut rowwise = Accumulator::new(f);
+            for &v in &floats {
+                rowwise.update(&Value::Float(v));
+            }
+            assert_eq!(batched.finish(), rowwise.finish(), "{f} over floats");
+
+            let mut batched = Accumulator::new(f);
+            batched.update_ints(&[]);
+            batched.update_floats(&[]);
+            assert_eq!(
+                batched.finish(),
+                Accumulator::new(f).finish(),
+                "{f} empty batches must not flip seen-ness"
+            );
+        }
+        let mut star = Accumulator::new(CountStar);
+        star.add_count_star(4);
+        assert_eq!(star.finish(), Value::Int(4));
     }
 
     #[test]

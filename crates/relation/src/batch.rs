@@ -1,0 +1,698 @@
+//! Columnar batches and vectorized predicate kernels for the detail scan.
+//!
+//! The GMDJ hot loop is a single pass over the detail relation (paper
+//! Section 2.2). The row-at-a-time representation pays enum dispatch, a
+//! per-row key allocation, and `Arc<str>` rehashing on every probe. This
+//! module decodes detail tuples into typed column vectors in fixed-size
+//! chunks of [`BATCH_ROWS`] rows and evaluates comparison conjunctions as
+//! typed kernels over those vectors.
+//!
+//! Correctness contract: a kernel may only run when the batch's column
+//! types *guarantee* the row-at-a-time path could not error; anything it
+//! cannot guarantee (mixed-type columns, non-conjunctive predicates,
+//! incomparable operand types) reports "unsupported" and the caller falls
+//! back to the exact row path. A computed mask is the WHERE-truncation of
+//! Kleene 3VL: a bit is set iff every conjunct evaluates to `True`.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use crate::expr::{BoundPredicate, BoundScalar, CmpOp};
+use crate::fxhash::hash_str;
+use crate::relation::Tuple;
+use crate::value::{Truth, Value};
+
+/// Number of detail rows decoded per batch.
+pub const BATCH_ROWS: usize = 1024;
+
+/// Typed storage for one column of a batch. Slots that are NULL in the
+/// source hold a placeholder (0 / 0.0 / "" / false) and are masked by
+/// [`Column::nulls`].
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    /// String values plus their precomputed Fx hash codes, so repeated
+    /// probes of the same interned value never rehash its bytes.
+    Str {
+        values: Vec<Arc<str>>,
+        hashes: Vec<u64>,
+    },
+    Bool(Vec<bool>),
+    /// Mixed-typed column: kernels do not apply, rows fall back.
+    Other(Vec<Value>),
+}
+
+/// One decoded column: typed data plus a null mask.
+#[derive(Debug, Clone)]
+pub struct Column {
+    pub data: ColumnData,
+    /// `nulls[i]` is true when row `i` is NULL in this column.
+    pub nulls: Vec<bool>,
+    pub has_nulls: bool,
+}
+
+impl Column {
+    fn decode(rows: &[Tuple], col: usize) -> Column {
+        #[derive(PartialEq, Clone, Copy)]
+        enum Kind {
+            Int,
+            Float,
+            Str,
+            Bool,
+        }
+        let mut kind: Option<Kind> = None;
+        let mut uniform = true;
+        for r in rows {
+            let k = match &r[col] {
+                Value::Null => continue,
+                Value::Int(_) => Kind::Int,
+                Value::Float(_) => Kind::Float,
+                Value::Str(_) => Kind::Str,
+                Value::Bool(_) => Kind::Bool,
+            };
+            match kind {
+                None => kind = Some(k),
+                Some(prev) if prev == k => {}
+                Some(_) => {
+                    uniform = false;
+                    break;
+                }
+            }
+        }
+        let mut nulls = Vec::with_capacity(rows.len());
+        let mut has_nulls = false;
+        for r in rows {
+            let n = r[col].is_null();
+            has_nulls |= n;
+            nulls.push(n);
+        }
+        // NOTE: no Int→Float promotion — a mixed numeric column degrades to
+        // Other so integer SUM/compare semantics never go through f64.
+        let data = match (uniform, kind) {
+            (true, Some(Kind::Int)) => ColumnData::Int(
+                rows.iter()
+                    .map(|r| match &r[col] {
+                        Value::Int(i) => *i,
+                        _ => 0,
+                    })
+                    .collect(),
+            ),
+            (true, Some(Kind::Float)) => ColumnData::Float(
+                rows.iter()
+                    .map(|r| match &r[col] {
+                        Value::Float(f) => *f,
+                        _ => 0.0,
+                    })
+                    .collect(),
+            ),
+            (true, Some(Kind::Str)) => {
+                let empty: Arc<str> = Arc::from("");
+                let mut values = Vec::with_capacity(rows.len());
+                let mut hashes = Vec::with_capacity(rows.len());
+                for r in rows {
+                    match &r[col] {
+                        Value::Str(s) => {
+                            hashes.push(hash_str(s));
+                            values.push(Arc::clone(s));
+                        }
+                        _ => {
+                            hashes.push(0);
+                            values.push(Arc::clone(&empty));
+                        }
+                    }
+                }
+                ColumnData::Str { values, hashes }
+            }
+            (true, Some(Kind::Bool)) => ColumnData::Bool(
+                rows.iter()
+                    .map(|r| match &r[col] {
+                        Value::Bool(b) => *b,
+                        _ => false,
+                    })
+                    .collect(),
+            ),
+            // All-NULL column: any typed representation works since every
+            // slot is masked; Int placeholders keep the kernels applicable
+            // (each comparison is Unknown, never an error).
+            (true, None) => ColumnData::Int(vec![0; rows.len()]),
+            (false, _) => ColumnData::Other(rows.iter().map(|r| r[col].clone()).collect()),
+        };
+        Column {
+            data,
+            nulls,
+            has_nulls,
+        }
+    }
+
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls[i]
+    }
+}
+
+/// A fixed-size window of detail rows decoded to typed columns.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    len: usize,
+    pub cols: Vec<Column>,
+}
+
+impl Batch {
+    /// Decode a window of tuples (typically ≤ [`BATCH_ROWS`]) column-wise.
+    /// Column types are re-derived per batch: a column is `Int` only when
+    /// every non-NULL value in *this* window is an `Int`, and so on.
+    pub fn decode(rows: &[Tuple]) -> Batch {
+        let ncols = if rows.is_empty() { 0 } else { rows[0].len() };
+        Self::decode_cols(rows, &vec![true; ncols])
+    }
+
+    /// [`decode`](Self::decode) restricted to the columns marked in
+    /// `needed`. Columns a scan's kernels never read stay as empty
+    /// placeholders, so decode cost is proportional to the columns the
+    /// plan actually touches, not the detail schema width. Reading a
+    /// non-decoded column's `nulls` panics — marking bugs fail loudly
+    /// rather than returning wrong answers.
+    pub fn decode_cols(rows: &[Tuple], needed: &[bool]) -> Batch {
+        let len = rows.len();
+        let ncols = if len == 0 { 0 } else { rows[0].len() };
+        let cols = (0..ncols)
+            .map(|c| {
+                if needed.get(c).copied().unwrap_or(true) {
+                    Column::decode(rows, c)
+                } else {
+                    Column {
+                        data: ColumnData::Other(Vec::new()),
+                        nulls: Vec::new(),
+                        has_nulls: false,
+                    }
+                }
+            })
+            .collect();
+        Batch { len, cols }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Operand of a compiled comparison: a base-scope column (resolved to a
+/// constant per probing base tuple), a detail-scope column (a batch
+/// vector), or a literal.
+#[derive(Debug, Clone)]
+pub enum BatchOperand {
+    Base(usize),
+    Detail(usize),
+    Lit(Value),
+}
+
+/// One compiled comparison `left op right`.
+#[derive(Debug, Clone)]
+pub struct BatchCmp {
+    pub op: CmpOp,
+    pub left: BatchOperand,
+    pub right: BatchOperand,
+}
+
+/// A conjunction of comparisons compiled from a [`BoundPredicate`], ready
+/// for masked evaluation over a [`Batch`].
+#[derive(Debug, Clone)]
+pub struct BatchPredicate {
+    cmps: Vec<BatchCmp>,
+}
+
+impl BatchPredicate {
+    /// Compile a bound predicate (scope 0 = base, scope 1 = detail) into a
+    /// kernel-evaluable conjunction. Returns `None` for any shape the
+    /// kernels don't cover (OR/NOT/IS NULL, computed operands): the caller
+    /// keeps the exact row path for those.
+    pub fn compile(p: &BoundPredicate) -> Option<BatchPredicate> {
+        let mut cmps = Vec::new();
+        if !collect_conjuncts(p, &mut cmps) {
+            return None;
+        }
+        Some(BatchPredicate { cmps })
+    }
+
+    /// Mark every detail-scope column this predicate reads, so the caller
+    /// can decode only those (see [`Batch::decode_cols`]).
+    pub fn mark_detail_columns(&self, needed: &mut [bool]) {
+        for cmp in &self.cmps {
+            for op in [&cmp.left, &cmp.right] {
+                if let BatchOperand::Detail(i) = op {
+                    needed[*i] = true;
+                }
+            }
+        }
+    }
+
+    /// True when no comparison reads a base-scope column, i.e. the mask for
+    /// a batch can be computed once and shared across all probing base
+    /// tuples.
+    pub fn detail_only(&self) -> bool {
+        self.cmps.iter().all(|c| {
+            !matches!(c.left, BatchOperand::Base(_)) && !matches!(c.right, BatchOperand::Base(_))
+        })
+    }
+
+    /// Evaluate the conjunction over `batch`, AND-ing each comparison into
+    /// `mask` (`mask[i]` = all conjuncts `True` at row `i`). Returns `false`
+    /// when the batch's column types (or the base row's value types) cannot
+    /// guarantee error-free evaluation — the caller must then use the row
+    /// path, which reproduces exact error behavior.
+    pub fn eval_mask(
+        &self,
+        batch: &Batch,
+        base_row: Option<&[Value]>,
+        mask: &mut Vec<bool>,
+    ) -> bool {
+        mask.clear();
+        mask.resize(batch.len(), true);
+        for cmp in &self.cmps {
+            let l = match resolve(&cmp.left, batch, base_row) {
+                Some(o) => o,
+                None => return false,
+            };
+            let r = match resolve(&cmp.right, batch, base_row) {
+                Some(o) => o,
+                None => return false,
+            };
+            let ok = match (l, r) {
+                (Operand::Const(a), Operand::Const(b)) => cmp_const_const(cmp.op, a, b, mask),
+                (Operand::Col(c), Operand::Const(v)) => cmp_col_const(cmp.op, c, v, mask),
+                (Operand::Const(v), Operand::Col(c)) => cmp_col_const(cmp.op.flip(), c, v, mask),
+                (Operand::Col(a), Operand::Col(b)) => cmp_col_col(cmp.op, a, b, mask),
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn collect_conjuncts(p: &BoundPredicate, out: &mut Vec<BatchCmp>) -> bool {
+    match p {
+        BoundPredicate::And(a, b) => collect_conjuncts(a, out) && collect_conjuncts(b, out),
+        BoundPredicate::Literal(Truth::True) => true,
+        BoundPredicate::Cmp { op, left, right } => match (operand(left), operand(right)) {
+            (Some(l), Some(r)) => {
+                out.push(BatchCmp {
+                    op: *op,
+                    left: l,
+                    right: r,
+                });
+                true
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn operand(e: &BoundScalar) -> Option<BatchOperand> {
+    match e {
+        BoundScalar::Column { scope: 0, index } => Some(BatchOperand::Base(*index)),
+        BoundScalar::Column { scope: 1, index } => Some(BatchOperand::Detail(*index)),
+        BoundScalar::Literal(v) => Some(BatchOperand::Lit(v.clone())),
+        _ => None,
+    }
+}
+
+enum Operand<'a> {
+    Col(&'a Column),
+    Const(&'a Value),
+}
+
+fn resolve<'a>(
+    op: &'a BatchOperand,
+    batch: &'a Batch,
+    base_row: Option<&'a [Value]>,
+) -> Option<Operand<'a>> {
+    match op {
+        BatchOperand::Detail(i) => Some(Operand::Col(&batch.cols[*i])),
+        BatchOperand::Base(i) => base_row.map(|b| Operand::Const(&b[*i])),
+        BatchOperand::Lit(v) => Some(Operand::Const(v)),
+    }
+}
+
+#[inline]
+fn truth(op: CmpOp, ord: Ordering) -> bool {
+    op.apply(Some(ord)).passes()
+}
+
+#[inline]
+fn fill_false(mask: &mut [bool]) {
+    mask.iter_mut().for_each(|m| *m = false);
+}
+
+fn cmp_const_const(op: CmpOp, a: &Value, b: &Value, mask: &mut [bool]) -> bool {
+    match a.sql_cmp(b) {
+        // The row path would raise TypeMismatch for every pair.
+        Err(_) => false,
+        Ok(None) => {
+            fill_false(mask);
+            true
+        }
+        Ok(Some(ord)) => {
+            if !truth(op, ord) {
+                fill_false(mask);
+            }
+            true
+        }
+    }
+}
+
+/// AND `col op c` into `mask` row-wise, mirroring `Value::sql_cmp` per
+/// type pair: Int/Int via `i64` ordering, anything-Float via widened
+/// `f64::total_cmp`, Str via byte-wise ordering, Bool via `bool` ordering.
+fn cmp_col_const(op: CmpOp, col: &Column, c: &Value, mask: &mut [bool]) -> bool {
+    if c.is_null() {
+        // NULL comparand: every row is Unknown — no error regardless of
+        // the column's type, so this is supported even for Other columns.
+        fill_false(mask);
+        return true;
+    }
+    let nulls = &col.nulls;
+    match (&col.data, c) {
+        (ColumnData::Int(vals), Value::Int(b)) => {
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m {
+                    *m = !nulls[i] && truth(op, vals[i].cmp(b));
+                }
+            }
+            true
+        }
+        (ColumnData::Int(vals), Value::Float(b)) => {
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m {
+                    *m = !nulls[i] && truth(op, (vals[i] as f64).total_cmp(b));
+                }
+            }
+            true
+        }
+        (ColumnData::Float(vals), Value::Int(b)) => {
+            let b = *b as f64;
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m {
+                    *m = !nulls[i] && truth(op, vals[i].total_cmp(&b));
+                }
+            }
+            true
+        }
+        (ColumnData::Float(vals), Value::Float(b)) => {
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m {
+                    *m = !nulls[i] && truth(op, vals[i].total_cmp(b));
+                }
+            }
+            true
+        }
+        (ColumnData::Str { values, hashes }, Value::Str(b)) => {
+            if op == CmpOp::Eq {
+                // Equality precheck on the cached hash codes: a mismatch
+                // rejects without touching the string bytes.
+                let bh = hash_str(b);
+                for (i, m) in mask.iter_mut().enumerate() {
+                    if *m {
+                        *m = !nulls[i] && hashes[i] == bh && values[i].as_ref() == b.as_ref();
+                    }
+                }
+            } else {
+                for (i, m) in mask.iter_mut().enumerate() {
+                    if *m {
+                        *m = !nulls[i] && truth(op, values[i].as_ref().cmp(b.as_ref()));
+                    }
+                }
+            }
+            true
+        }
+        (ColumnData::Bool(vals), Value::Bool(b)) => {
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m {
+                    *m = !nulls[i] && truth(op, vals[i].cmp(b));
+                }
+            }
+            true
+        }
+        // Mixed column or incomparable type pair: the row path may error
+        // (TypeMismatch) on some rows — fall back for exactness.
+        _ => false,
+    }
+}
+
+fn cmp_col_col(op: CmpOp, l: &Column, r: &Column, mask: &mut [bool]) -> bool {
+    let (ln, rn) = (&l.nulls, &r.nulls);
+    match (&l.data, &r.data) {
+        (ColumnData::Int(a), ColumnData::Int(b)) => {
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m {
+                    *m = !ln[i] && !rn[i] && truth(op, a[i].cmp(&b[i]));
+                }
+            }
+            true
+        }
+        (ColumnData::Int(a), ColumnData::Float(b)) => {
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m {
+                    *m = !ln[i] && !rn[i] && truth(op, (a[i] as f64).total_cmp(&b[i]));
+                }
+            }
+            true
+        }
+        (ColumnData::Float(a), ColumnData::Int(b)) => {
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m {
+                    *m = !ln[i] && !rn[i] && truth(op, a[i].total_cmp(&(b[i] as f64)));
+                }
+            }
+            true
+        }
+        (ColumnData::Float(a), ColumnData::Float(b)) => {
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m {
+                    *m = !ln[i] && !rn[i] && truth(op, a[i].total_cmp(&b[i]));
+                }
+            }
+            true
+        }
+        (
+            ColumnData::Str {
+                values: a,
+                hashes: ah,
+            },
+            ColumnData::Str {
+                values: b,
+                hashes: bh,
+            },
+        ) => {
+            if op == CmpOp::Eq {
+                for (i, m) in mask.iter_mut().enumerate() {
+                    if *m {
+                        *m = !ln[i] && !rn[i] && ah[i] == bh[i] && a[i].as_ref() == b[i].as_ref();
+                    }
+                }
+            } else {
+                for (i, m) in mask.iter_mut().enumerate() {
+                    if *m {
+                        *m = !ln[i] && !rn[i] && truth(op, a[i].as_ref().cmp(b[i].as_ref()));
+                    }
+                }
+            }
+            true
+        }
+        (ColumnData::Bool(a), ColumnData::Bool(b)) => {
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m {
+                    *m = !ln[i] && !rn[i] && truth(op, a[i].cmp(&b[i]));
+                }
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn tuples(rows: &[Vec<Value>]) -> Vec<Tuple> {
+        rows.iter().map(|r| r.clone().into_boxed_slice()).collect()
+    }
+
+    fn s(x: &str) -> Value {
+        Value::Str(Arc::from(x))
+    }
+
+    #[test]
+    fn decode_uniform_int_column_with_nulls() {
+        let rows = tuples(&[vec![Value::Int(1)], vec![Value::Null], vec![Value::Int(3)]]);
+        let b = Batch::decode(&rows);
+        assert_eq!(b.len(), 3);
+        match &b.cols[0].data {
+            ColumnData::Int(v) => assert_eq!(v, &vec![1, 0, 3]),
+            other => panic!("expected Int column, got {other:?}"),
+        }
+        assert_eq!(b.cols[0].nulls, vec![false, true, false]);
+        assert!(b.cols[0].has_nulls);
+    }
+
+    #[test]
+    fn decode_cols_skips_unneeded_columns() {
+        let rows = tuples(&[
+            vec![Value::Int(1), s("a"), Value::Float(0.5)],
+            vec![Value::Int(2), s("b"), Value::Float(1.5)],
+        ]);
+        let b = Batch::decode_cols(&rows, &[true, false, true]);
+        assert!(matches!(b.cols[0].data, ColumnData::Int(_)));
+        assert!(matches!(b.cols[2].data, ColumnData::Float(_)));
+        // The skipped column is an empty placeholder: kernels report it
+        // unsupported, and any null-mask access panics.
+        match &b.cols[1].data {
+            ColumnData::Other(v) => assert!(v.is_empty()),
+            other => panic!("expected placeholder Other column, got {other:?}"),
+        }
+        assert!(b.cols[1].nulls.is_empty());
+    }
+
+    #[test]
+    fn mark_detail_columns_covers_both_operands() {
+        use crate::expr::BoundPredicate as P;
+        use crate::expr::BoundScalar as S;
+        let pred = P::And(
+            Box::new(P::Cmp {
+                op: CmpOp::Lt,
+                left: S::Column { scope: 1, index: 2 },
+                right: S::Column { scope: 1, index: 0 },
+            }),
+            Box::new(P::Cmp {
+                op: CmpOp::Eq,
+                left: S::Column { scope: 0, index: 1 },
+                right: S::Literal(Value::Int(3)),
+            }),
+        );
+        let k = BatchPredicate::compile(&pred).unwrap();
+        let mut needed = vec![false; 4];
+        k.mark_detail_columns(&mut needed);
+        assert_eq!(needed, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn mixed_numeric_column_degrades_to_other() {
+        let rows = tuples(&[vec![Value::Int(1)], vec![Value::Float(2.0)]]);
+        let b = Batch::decode(&rows);
+        assert!(matches!(b.cols[0].data, ColumnData::Other(_)));
+    }
+
+    #[test]
+    fn str_hashes_match_fxhash() {
+        let rows = tuples(&[vec![s("abc")], vec![Value::Null], vec![s("xy")]]);
+        let b = Batch::decode(&rows);
+        match &b.cols[0].data {
+            ColumnData::Str { values, hashes } => {
+                assert_eq!(hashes[0], hash_str("abc"));
+                assert_eq!(hashes[2], hash_str("xy"));
+                assert_eq!(values[0].as_ref(), "abc");
+            }
+            other => panic!("expected Str column, got {other:?}"),
+        }
+    }
+
+    /// Compiled-mask evaluation must agree with the row path's
+    /// WHERE-truncation on every supported type combination.
+    #[test]
+    fn mask_matches_row_eval() {
+        use crate::expr::BoundPredicate as P;
+        use crate::expr::BoundScalar as S;
+        let pred = P::And(
+            Box::new(P::Cmp {
+                op: CmpOp::Ge,
+                left: S::Column { scope: 1, index: 0 },
+                right: S::Literal(Value::Int(2)),
+            }),
+            Box::new(P::Cmp {
+                op: CmpOp::Eq,
+                left: S::Column { scope: 0, index: 0 },
+                right: S::Column { scope: 1, index: 1 },
+            }),
+        );
+        let k = BatchPredicate::compile(&pred).expect("conjunction compiles");
+        assert!(!k.detail_only());
+        let base: Vec<Value> = vec![s("a")];
+        let rows = tuples(&[
+            vec![Value::Int(1), s("a")],
+            vec![Value::Int(2), s("a")],
+            vec![Value::Null, s("a")],
+            vec![Value::Int(5), s("b")],
+        ]);
+        let batch = Batch::decode(&rows);
+        let mut mask = Vec::new();
+        assert!(k.eval_mask(&batch, Some(&base), &mut mask));
+        let expect: Vec<bool> = rows
+            .iter()
+            .map(|r| {
+                let scopes: [&[Value]; 2] = [&base, r];
+                pred.eval(&scopes).unwrap().passes()
+            })
+            .collect();
+        assert_eq!(mask, expect);
+    }
+
+    #[test]
+    fn incomparable_types_are_unsupported() {
+        use crate::expr::BoundPredicate as P;
+        use crate::expr::BoundScalar as S;
+        let pred = P::Cmp {
+            op: CmpOp::Eq,
+            left: S::Column { scope: 1, index: 0 },
+            right: S::Literal(s("nope")),
+        };
+        let k = BatchPredicate::compile(&pred).unwrap();
+        let rows = tuples(&[vec![Value::Int(1)]]);
+        let batch = Batch::decode(&rows);
+        let mut mask = Vec::new();
+        assert!(!k.eval_mask(&batch, None, &mut mask));
+    }
+
+    #[test]
+    fn null_literal_comparand_is_all_unknown_even_for_mixed_columns() {
+        use crate::expr::BoundPredicate as P;
+        use crate::expr::BoundScalar as S;
+        let pred = P::Cmp {
+            op: CmpOp::Eq,
+            left: S::Column { scope: 1, index: 0 },
+            right: S::Literal(Value::Null),
+        };
+        let k = BatchPredicate::compile(&pred).unwrap();
+        let rows = tuples(&[vec![Value::Int(1)], vec![s("x")]]);
+        let batch = Batch::decode(&rows);
+        let mut mask = Vec::new();
+        assert!(k.eval_mask(&batch, None, &mut mask));
+        assert_eq!(mask, vec![false, false]);
+    }
+
+    #[test]
+    fn or_and_is_null_do_not_compile() {
+        use crate::expr::BoundPredicate as P;
+        use crate::expr::BoundScalar as S;
+        let cmp = P::Cmp {
+            op: CmpOp::Eq,
+            left: S::Column { scope: 1, index: 0 },
+            right: S::Literal(Value::Int(1)),
+        };
+        assert!(
+            BatchPredicate::compile(&P::Or(Box::new(cmp.clone()), Box::new(cmp.clone()))).is_none()
+        );
+        assert!(BatchPredicate::compile(&P::IsNull(S::Column { scope: 1, index: 0 })).is_none());
+        assert!(BatchPredicate::compile(&cmp).is_some());
+    }
+}

@@ -16,6 +16,16 @@ pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
 
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
+/// Hash a string's bytes with [`FxHasher`] — the precomputed hash code
+/// cached by batch decoding and the typed string key index, so repeated
+/// probes of the same interned value never rehash its bytes.
+#[inline]
+pub fn hash_str(s: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(s.as_bytes());
+    h.finish()
+}
+
 /// Fx: multiply-and-rotate word-at-a-time hashing.
 #[derive(Default, Clone)]
 pub struct FxHasher {

@@ -81,6 +81,104 @@ impl HashIndex {
     }
 }
 
+/// String-key buckets keyed by precomputed Fx hash code: each bucket
+/// holds `(key, row positions)` pairs, collisions resolved by byte
+/// compare.
+type StrBuckets = FxHashMap<u64, Vec<(std::sync::Arc<str>, Vec<u32>)>>;
+
+/// Typed single-column sidecar for a [`HashIndex`]: when every non-NULL
+/// key in the base relation is the same primitive type, probes from a
+/// matching typed batch column skip `Value` construction entirely.
+///
+/// Semantics note: [`Value`] equality treats `Int(1)` and `Float(1.0)` as
+/// equal, so a typed `Int` sidecar is only built when *no* key is a float;
+/// a probe from a non-matching column type must use the generic
+/// [`HashIndex::probe`] path, which preserves cross-type equality.
+#[derive(Debug, Clone)]
+pub enum TypedKeyIndex {
+    /// All non-NULL keys are `Int`.
+    Int(FxHashMap<i64, Vec<u32>>),
+    /// All non-NULL keys are `Str`, bucketed by precomputed Fx hash code
+    /// ([`crate::fxhash::hash_str`]); collisions resolve by byte compare.
+    Str(StrBuckets),
+}
+
+impl TypedKeyIndex {
+    /// Build over a single key column, or `None` when the column mixes
+    /// types (including Int/Float mixes) or holds floats/bools.
+    pub fn build_rows<'a>(rows: impl Iterator<Item = &'a [Value]>, col: usize) -> Option<Self> {
+        enum B {
+            Unknown,
+            Int(FxHashMap<i64, Vec<u32>>),
+            Str(StrBuckets),
+        }
+        let mut b = B::Unknown;
+        for (i, row) in rows.enumerate() {
+            match &row[col] {
+                Value::Null => continue,
+                Value::Int(k) => match &mut b {
+                    B::Unknown => {
+                        let mut m: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+                        m.entry(*k).or_default().push(i as u32);
+                        b = B::Int(m);
+                    }
+                    B::Int(m) => m.entry(*k).or_default().push(i as u32),
+                    B::Str(_) => return None,
+                },
+                Value::Str(s) => {
+                    let h = crate::fxhash::hash_str(s);
+                    let push = |m: &mut StrBuckets| {
+                        let bucket = m.entry(h).or_default();
+                        match bucket.iter_mut().find(|(v, _)| v.as_ref() == s.as_ref()) {
+                            Some((_, rows)) => rows.push(i as u32),
+                            None => bucket.push((std::sync::Arc::clone(s), vec![i as u32])),
+                        }
+                    };
+                    match &mut b {
+                        B::Unknown => {
+                            let mut m = FxHashMap::default();
+                            push(&mut m);
+                            b = B::Str(m);
+                        }
+                        B::Str(m) => push(m),
+                        B::Int(_) => return None,
+                    }
+                }
+                // Float keys would need cross-type Int equality; Bool keys
+                // are rare enough that the generic path suffices.
+                Value::Float(_) | Value::Bool(_) => return None,
+            }
+        }
+        match b {
+            B::Unknown => None,
+            B::Int(m) => Some(TypedKeyIndex::Int(m)),
+            B::Str(m) => Some(TypedKeyIndex::Str(m)),
+        }
+    }
+
+    /// Row positions for an integer probe key.
+    #[inline]
+    pub fn probe_int(&self, k: i64) -> &[u32] {
+        match self {
+            TypedKeyIndex::Int(m) => m.get(&k).map(Vec::as_slice).unwrap_or(&[]),
+            TypedKeyIndex::Str(_) => &[],
+        }
+    }
+
+    /// Row positions for a string probe with its precomputed hash code.
+    #[inline]
+    pub fn probe_str(&self, hash: u64, s: &str) -> &[u32] {
+        match self {
+            TypedKeyIndex::Str(m) => m
+                .get(&hash)
+                .and_then(|bucket| bucket.iter().find(|(v, _)| v.as_ref() == s))
+                .map(|(_, rows)| rows.as_slice())
+                .unwrap_or(&[]),
+            TypedKeyIndex::Int(_) => &[],
+        }
+    }
+}
+
 /// Sorted interval index for band conditions `lo ≤ t (< or ≤) hi`.
 ///
 /// Entries are sorted by `lo`; a stab query binary-searches the last entry
@@ -126,6 +224,14 @@ impl IntervalIndex {
     pub fn stab(&self, t: &Value, out: &mut Vec<u32>) {
         out.clear();
         let Some(t) = t.as_f64() else { return };
+        self.stab_f64(t, out);
+    }
+
+    /// [`stab`](Self::stab) with the probe value already widened to `f64` —
+    /// the batched scan calls this directly from typed Int/Float columns
+    /// without constructing a `Value`.
+    pub fn stab_f64(&self, t: f64, out: &mut Vec<u32>) {
+        out.clear();
         // Last index with lo <= t.
         let mut hi_idx = self.entries.partition_point(|e| e.0 <= t);
         while hi_idx > 0 {
@@ -223,6 +329,61 @@ mod tests {
         assert_eq!(out, vec![0, 1, 2]);
         idx.stab(&Value::Int(60), &mut out);
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn typed_int_sidecar_matches_generic_probe() {
+        let rows: Vec<Vec<Value>> = vec![
+            vec![Value::Int(1)],
+            vec![Value::Int(2)],
+            vec![Value::Null],
+            vec![Value::Int(1)],
+        ];
+        let idx = TypedKeyIndex::build_rows(rows.iter().map(|r| r.as_slice()), 0)
+            .expect("all-Int keys build a typed sidecar");
+        assert_eq!(idx.probe_int(1), &[0, 3]);
+        assert_eq!(idx.probe_int(2), &[1]);
+        assert_eq!(idx.probe_int(9), &[] as &[u32]);
+    }
+
+    #[test]
+    fn typed_sidecar_rejects_mixed_and_float_keys() {
+        let mixed: Vec<Vec<Value>> = vec![vec![Value::Int(1)], vec![Value::Str("a".into())]];
+        assert!(TypedKeyIndex::build_rows(mixed.iter().map(|r| r.as_slice()), 0).is_none());
+        // Float(1.0) equals Int(1) under Value equality; a typed Int map
+        // cannot represent that, so floats force the generic path.
+        let floats: Vec<Vec<Value>> = vec![vec![Value::Float(1.0)]];
+        assert!(TypedKeyIndex::build_rows(floats.iter().map(|r| r.as_slice()), 0).is_none());
+    }
+
+    #[test]
+    fn typed_str_sidecar_probes_by_prehashed_code() {
+        use crate::fxhash::hash_str;
+        let rows: Vec<Vec<Value>> = vec![
+            vec![Value::Str("ny".into())],
+            vec![Value::Str("sf".into())],
+            vec![Value::Str("ny".into())],
+        ];
+        let idx = TypedKeyIndex::build_rows(rows.iter().map(|r| r.as_slice()), 0).unwrap();
+        assert_eq!(idx.probe_str(hash_str("ny"), "ny"), &[0, 2]);
+        assert_eq!(idx.probe_str(hash_str("sf"), "sf"), &[1]);
+        assert_eq!(idx.probe_str(hash_str("la"), "la"), &[] as &[u32]);
+    }
+
+    #[test]
+    fn stab_f64_matches_value_stab() {
+        let idx = IntervalIndex::build(
+            vec![
+                (Value::Int(0), Value::Int(60)),
+                (Value::Int(30), Value::Int(90)),
+            ]
+            .into_iter(),
+            false,
+        );
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        idx.stab(&Value::Int(45), &mut a);
+        idx.stab_f64(45.0, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

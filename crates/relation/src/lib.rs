@@ -24,6 +24,9 @@
 //!   block-nested-loop), left outer / semi / anti joins, and hash group-by.
 //! * [`index`] — hash equi-key indexes and sorted interval indexes used by
 //!   joins and by the GMDJ evaluator in `gmdj-core`.
+//! * [`batch`] — typed column vectors decoded from rows in fixed-size
+//!   chunks, plus the vectorized comparison kernels the GMDJ detail scan
+//!   dispatches to when a probe shape can be specialized.
 //! * [`csv`] — RFC-4180-style import/export (schema-checked and
 //!   schema-inferring).
 //! * [`storage`] — paged relations behind an LRU buffer pool with
@@ -35,6 +38,7 @@
 //! all of which this representation models faithfully.
 
 pub mod agg;
+pub mod batch;
 pub mod csv;
 pub mod error;
 pub mod expr;

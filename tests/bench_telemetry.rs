@@ -25,7 +25,28 @@ fn tiny() -> BenchConfig {
         ablations: false,
         cross_policy: false,
         quick: true,
+        vectorized: true,
     }
+}
+
+/// The vectorized and row-path scans must record byte-identical counter
+/// sections — the gated projection is a semantic contract, and both legs
+/// gate against the same baseline in CI.
+#[test]
+fn vectorized_and_rowpath_counter_sections_are_byte_identical() {
+    let on = run_bench(&tiny()).unwrap();
+    let off = run_bench(&BenchConfig {
+        vectorized: false,
+        ..tiny()
+    })
+    .unwrap();
+    let sa = counter_section(&parse_json(&on.to_json()).unwrap()).unwrap();
+    let sb = counter_section(&parse_json(&off.to_json()).unwrap()).unwrap();
+    assert!(!sa.is_empty());
+    assert_eq!(sa, sb);
+    // The run ids differ so a row-path recording never shadows the
+    // canonical one.
+    assert!(off.to_json().contains("_rowpath"), "{}", off.to_json());
 }
 
 #[test]
