@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! gmdj-sql-shell [--csv name=path ...] [--tpcr SF] [--netflow N]
-//!                [--strategy S] [--threads N] [--sites N] [-e "SQL"]
+//!                [--strategy S] [--threads N] [--sites N]
+//!                [--morsel-size N] [-e "SQL"]
 //! ```
 //!
 //! Loads tables from CSV files (schema inferred) and/or generated
 //! datasets, then evaluates SQL queries — interactively from stdin or
 //! one-shot with `-e`. `SET threads = N;` / `SET sites = N;` switch the
 //! execution policy mid-session (N = 1 thread returns to sequential);
-//! answers never depend on the policy. Meta commands:
+//! `SET morsel_size = N;` sets the rows per morsel of the parallel
+//! detail scan; answers never depend on the policy. Meta commands:
 //!
 //! ```text
 //! \tables                 list tables and row counts
@@ -67,10 +69,12 @@ struct Shell {
 enum SetVar {
     Threads,
     Sites,
+    MorselSize,
 }
 
-/// Recognize `SET threads = N` / `SET sites = N` (case-insensitive; `=`
-/// optional). Returns the variable and the requested count.
+/// Recognize `SET threads = N` / `SET sites = N` / `SET morsel_size = N`
+/// (case-insensitive; `=` optional). Returns the variable and the
+/// requested count.
 fn parse_set(sql: &str) -> Option<Result<(SetVar, usize), String>> {
     let mut words = sql.split_whitespace();
     if !words.next()?.eq_ignore_ascii_case("set") {
@@ -81,12 +85,15 @@ fn parse_set(sql: &str) -> Option<Result<(SetVar, usize), String>> {
         SetVar::Threads
     } else if var.eq_ignore_ascii_case("sites") {
         SetVar::Sites
+    } else if var.eq_ignore_ascii_case("morsel_size") {
+        SetVar::MorselSize
     } else {
         return None;
     };
     let name = match var {
         SetVar::Threads => "threads",
         SetVar::Sites => "sites",
+        SetVar::MorselSize => "morsel_size",
     };
     let rest: Vec<&str> = words.collect();
     let value = match rest.as_slice() {
@@ -105,17 +112,26 @@ impl Shell {
     fn run_sql(&mut self, sql: &str) {
         if let Some(parsed) = parse_set(sql) {
             match parsed {
+                // Mode switches keep the session's morsel-size override:
+                // it is a property of how scans are scheduled, not of the
+                // mode itself.
                 Ok((SetVar::Threads, 1)) => {
-                    self.policy = ExecPolicy::sequential();
+                    self.policy =
+                        ExecPolicy::sequential().with_morsel_size(self.policy.morsel_size);
                     println!("  threads = 1 (sequential)");
                 }
                 Ok((SetVar::Threads, n)) => {
-                    self.policy = ExecPolicy::parallel(n);
+                    self.policy = ExecPolicy::parallel(n).with_morsel_size(self.policy.morsel_size);
                     println!("  threads = {n}");
                 }
                 Ok((SetVar::Sites, n)) => {
-                    self.policy = ExecPolicy::distributed(n);
+                    self.policy =
+                        ExecPolicy::distributed(n).with_morsel_size(self.policy.morsel_size);
                     println!("  sites = {n} (distributed)");
+                }
+                Ok((SetVar::MorselSize, n)) => {
+                    self.policy = self.policy.with_morsel_size(Some(n));
+                    println!("  morsel_size = {n} rows (scheduling only; answers and counters are unaffected)");
                 }
                 Err(e) => eprintln!("{e}"),
             }
@@ -156,11 +172,14 @@ impl Shell {
                     print!("{}", result.relation);
                 }
                 if self.timing {
-                    let mode = match self.policy.mode {
+                    let mut mode = match self.policy.mode {
                         ExecMode::Sequential => String::new(),
                         ExecMode::Parallel { threads } => format!(", {threads} threads"),
                         ExecMode::Distributed { sites } => format!(", {sites} sites"),
                     };
+                    if let Some(m) = self.policy.morsel_size {
+                        mode.push_str(&format!(", {m}-row morsels"));
+                    }
                     println!(
                         "(parse {:.2} ms, plan {:.2} ms, execute {:.2} ms, {} work units, strategy {}{mode})",
                         parse_wall.as_secs_f64() * 1e3,
@@ -435,6 +454,23 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--morsel-size" => {
+                let Some(v) = argv.next() else {
+                    eprintln!("--morsel-size needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match v.parse::<usize>() {
+                    Ok(0) => {
+                        eprintln!("--morsel-size must be at least 1");
+                        return ExitCode::FAILURE;
+                    }
+                    Ok(n) => policy = policy.with_morsel_size(Some(n)),
+                    Err(_) => {
+                        eprintln!("bad morsel size `{v}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "-e" => {
                 let Some(sql) = argv.next() else {
                     eprintln!("-e needs an SQL string");
@@ -451,8 +487,10 @@ fn main() -> ExitCode {
                      --strategy S      evaluation strategy (default gmdj-opt)\n\
                      --threads N       evaluate GMDJs with N worker threads\n\
                      --sites N         evaluate GMDJs distributed across N sites\n\
+                     --morsel-size N   rows per morsel of the parallel detail scan\n\
                      -e SQL            run one query and exit (repeatable)\n\n\
-                     `SET threads = N;` / `SET sites = N;` change the policy mid-session."
+                     `SET threads = N;` / `SET sites = N;` / `SET morsel_size = N;`\n\
+                     change the policy mid-session."
                 );
                 return ExitCode::SUCCESS;
             }

@@ -2,12 +2,12 @@
 //!
 //! ```text
 //! repro [--figure 2|3|4|5] [--scale F] [--seed N] [--threads N] [--full]
-//!       [--profile-json PATH] [--check-profile PATH]
+//!       [--morsel-size N] [--profile-json PATH] [--check-profile PATH]
 //! repro fuzz --seed S --cases N [--replay FILE|DIR] [--corpus-dir DIR]
 //! repro bench [--quick] [--scale F] [--seed N] [--reps N] [--warmup N]
 //!             [--out DIR] [--baseline PATH] [--check-baseline] [--bless]
 //!             [--wall-tolerance F] [--no-ablations] [--no-vectorized]
-//!             [--compare A.json B.json]
+//!             [--morsel-size N] [--compare A.json B.json]
 //! ```
 //!
 //! The `fuzz` subcommand (see `gmdj_fuzz::cli`) runs seeded random nested
@@ -45,6 +45,7 @@ struct Args {
     scale: f64,
     seed: u64,
     threads: usize,
+    morsel_size: Option<usize>,
     csv_dir: Option<String>,
     profile_json: Option<String>,
     check_profile: Option<String>,
@@ -52,11 +53,12 @@ struct Args {
 
 impl Args {
     fn policy(&self) -> ExecPolicy {
-        if self.threads > 1 {
+        let p = if self.threads > 1 {
             ExecPolicy::parallel(self.threads)
         } else {
             ExecPolicy::sequential()
-        }
+        };
+        p.with_morsel_size(self.morsel_size)
     }
 }
 
@@ -65,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = 0.05;
     let mut seed = 42;
     let mut threads = 1;
+    let mut morsel_size: Option<usize> = None;
     let mut csv_dir: Option<String> = None;
     let mut profile_json: Option<String> = None;
     let mut check_profile: Option<String> = None;
@@ -90,6 +93,14 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--threads must be at least 1".into());
                 }
             }
+            "--morsel-size" => {
+                let v = argv.next().ok_or("--morsel-size needs a value")?;
+                let rows: usize = v.parse().map_err(|_| format!("bad morsel size `{v}`"))?;
+                if rows == 0 {
+                    return Err("--morsel-size must be at least 1".into());
+                }
+                morsel_size = Some(rows);
+            }
             "--full" => scale = 1.0,
             "--csv" => {
                 csv_dir = Some(argv.next().ok_or("--csv needs a directory")?);
@@ -110,6 +121,8 @@ fn parse_args() -> Result<Args, String> {
                      --full       shorthand for --scale 1.0 (the paper's sizes)\n  \
                      --seed N     data generation seed (default 42)\n  \
                      --threads N  evaluate GMDJ strategies with N worker threads\n  \
+                     --morsel-size N  rows per morsel pulled from the parallel scan\n               \
+                     queue (pure scheduling; counters are unaffected)\n  \
                      --csv DIR    also write the measurement grid as DIR/figN.csv\n  \
                      --profile-json PATH   write a machine-readable profile (timed\n                        \
                      plan trees + counters; see schemas/profile.schema.json)\n  \
@@ -133,6 +146,7 @@ fn parse_args() -> Result<Args, String> {
         scale,
         seed,
         threads,
+        morsel_size,
         csv_dir,
         profile_json,
         check_profile,
@@ -242,6 +256,15 @@ fn bench_cmd(argv: &[String]) -> ExitCode {
                 }
                 "--no-ablations" => cfg.ablations = false,
                 "--no-vectorized" => vectorized = false,
+                "--morsel-size" => {
+                    let rows: usize = next("--morsel-size")?
+                        .parse()
+                        .map_err(|_| "bad --morsel-size")?;
+                    if rows == 0 {
+                        return Err("--morsel-size must be at least 1".into());
+                    }
+                    cfg.morsel_size = Some(rows);
+                }
                 "--compare" => {
                     let a = next("--compare")?;
                     let b = next("--compare")?;
@@ -271,6 +294,9 @@ fn bench_cmd(argv: &[String]) -> ExitCode {
                          --no-ablations       skip the ablation grid\n  \
                          --no-vectorized      force the row-path detail scan (the\n                       \
                          counters are identical either way — same baseline)\n  \
+                         --morsel-size N      rows per morsel on the grid's parallel\n                       \
+                         policies (pure scheduling; counters identical, but\n                       \
+                         the +mN label keys a separate trajectory)\n  \
                          --compare A B        compare the wall-clock of two recorded\n                       \
                          BENCH documents entry by entry and exit"
                     );

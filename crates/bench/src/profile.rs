@@ -14,7 +14,10 @@ use gmdj_core::trace::json_escape;
 use crate::{Figure, Measurement};
 
 /// Schema version written to and required from profile documents.
-pub const PROFILE_VERSION: u64 = 1;
+/// Version 2 added the page-accounting counters (`col_chunk_reads`,
+/// `row_page_reads`) to every plan node's `eval` block and `morsels` to
+/// its `kernel` block.
+pub const PROFILE_VERSION: u64 = 2;
 
 /// Render a full profile document for a set of regenerated figures.
 pub fn render_profile(figures: &[Figure], policy: &ExecPolicy, scale: f64, seed: u64) -> String {
@@ -274,8 +277,8 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-/// The ten evaluator counters every plan node carries.
-const EVAL_COUNTERS: [&str; 10] = [
+/// The twelve evaluator counters every plan node carries.
+const EVAL_COUNTERS: [&str; 12] = [
     "detail_scanned",
     "probe_candidates",
     "theta_evals",
@@ -286,6 +289,8 @@ const EVAL_COUNTERS: [&str; 10] = [
     "index_builds",
     "partitions",
     "completion_fallbacks",
+    "col_chunk_reads",
+    "row_page_reads",
 ];
 
 fn require_num(obj: &Json, key: &str, at: &str) -> Result<(), String> {
@@ -445,6 +450,8 @@ pub fn plan_from_json(node: &Json) -> Result<PlanNodeStats, String> {
     out.eval.index_builds = eval_num("index_builds")?;
     out.eval.partitions = eval_num("partitions")?;
     out.eval.completion_fallbacks = eval_num("completion_fallbacks")?;
+    out.eval.col_chunk_reads = eval_num("col_chunk_reads")?;
+    out.eval.row_page_reads = eval_num("row_page_reads")?;
     // Older persisted profiles predate the kernel-dispatch counters;
     // absent means zero, present must be complete.
     if let Some(kernel) = node.get("kernel") {
@@ -456,6 +463,7 @@ pub fn plan_from_json(node: &Json) -> Result<PlanNodeStats, String> {
                 .ok_or_else(|| format!("missing kernel.`{key}`"))
         };
         out.kernel.batches = k_num("batches")?;
+        out.kernel.morsels = k_num("morsels")?;
         out.kernel.rows_vectorized = k_num("rows_vectorized")?;
         out.kernel.rows_row_path = k_num("rows_row_path")?;
     }
@@ -523,7 +531,7 @@ mod tests {
     #[test]
     fn validation_rejects_missing_counters() {
         let doc = parse_json(
-            r#"{"version":1,"policy":"Sequential","scale":0.01,"seed":1,"figures":[
+            r#"{"version":2,"policy":"Sequential","scale":0.01,"seed":1,"figures":[
                 {"name":"f","description":"d","points":[
                     {"label":"l","outer":1,"inner":1,"measurements":[
                         {"strategy":"s","wall_us":1,"plan_us":0,"work":1,"rows":1,"plan":null}
@@ -532,11 +540,17 @@ mod tests {
         .unwrap();
         validate_profile(&doc).unwrap();
 
+        // Version 1 profiles predate the page-accounting counters.
+        let stale =
+            parse_json(r#"{"version":1,"policy":"x","scale":1,"seed":1,"figures":[{}]}"#).unwrap();
+        assert!(validate_profile(&stale)
+            .unwrap_err()
+            .contains("unsupported"));
         let bad =
             parse_json(r#"{"version":2,"policy":"x","scale":1,"seed":1,"figures":[{}]}"#).unwrap();
         assert!(validate_profile(&bad).is_err());
         let empty =
-            parse_json(r#"{"version":1,"policy":"x","scale":1,"seed":1,"figures":[]}"#).unwrap();
+            parse_json(r#"{"version":2,"policy":"x","scale":1,"seed":1,"figures":[]}"#).unwrap();
         assert!(validate_profile(&empty).unwrap_err().contains("empty"));
     }
 }

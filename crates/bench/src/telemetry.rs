@@ -38,7 +38,11 @@ use crate::{lineup, pair_cap, size_label, sizes, workload, FigureId};
 use gmdj_datagen::workloads::Workload;
 
 /// Schema version written to and required from bench documents.
-pub const BENCH_VERSION: u64 = 1;
+/// Version 2 added the page-accounting counters (`col_chunk_reads`,
+/// `row_page_reads`) to the gated counter set — entry rollups and
+/// per-plan-node trees both — and the `+m<N>` morsel-size component to
+/// policy labels.
+pub const BENCH_VERSION: u64 = 2;
 
 /// The deterministic counter set recorded per bench entry, every field an
 /// exact count read back from the run (no wall-clock anywhere). Two runs
@@ -61,7 +65,7 @@ pub struct Counters {
     pub ops_rows_in: u64,
     /// Relational-operator output rows, summed over the tree.
     pub ops_rows_out: u64,
-    // The ten evaluator counters, rolled up over the tree.
+    // The twelve evaluator counters, rolled up over the tree.
     pub detail_scanned: u64,
     pub probe_candidates: u64,
     pub theta_evals: u64,
@@ -72,18 +76,21 @@ pub struct Counters {
     pub index_builds: u64,
     pub partitions: u64,
     pub completion_fallbacks: u64,
+    pub col_chunk_reads: u64,
+    pub row_page_reads: u64,
     // Simulated network traffic, rolled up over the tree.
     pub messages: u64,
     pub broadcast_values: u64,
     pub collected_states: u64,
 }
 
-/// The 20 counter keys, alphabetically sorted — the order they are
+/// The 22 counter keys, alphabetically sorted — the order they are
 /// emitted in JSON and required by the schema.
-pub const COUNTER_KEYS: [&str; 20] = [
+pub const COUNTER_KEYS: [&str; 22] = [
     "agg_updates",
     "base_rows",
     "broadcast_values",
+    "col_chunk_reads",
     "collected_states",
     "completion_fallbacks",
     "dead_early",
@@ -97,6 +104,7 @@ pub const COUNTER_KEYS: [&str; 20] = [
     "partitions",
     "plan_nodes",
     "probe_candidates",
+    "row_page_reads",
     "rows",
     "scanned_rows",
     "theta_evals",
@@ -130,6 +138,8 @@ impl Counters {
             c.index_builds = eval.index_builds;
             c.partitions = eval.partitions;
             c.completion_fallbacks = eval.completion_fallbacks;
+            c.col_chunk_reads = eval.col_chunk_reads;
+            c.row_page_reads = eval.row_page_reads;
             c.messages = net.messages;
             c.broadcast_values = net.broadcast_values;
             c.collected_states = net.collected_states;
@@ -138,11 +148,12 @@ impl Counters {
     }
 
     /// `(key, value)` pairs in [`COUNTER_KEYS`] (sorted) order.
-    pub fn items(&self) -> [(&'static str, u64); 20] {
+    pub fn items(&self) -> [(&'static str, u64); 22] {
         [
             ("agg_updates", self.agg_updates),
             ("base_rows", self.base_rows),
             ("broadcast_values", self.broadcast_values),
+            ("col_chunk_reads", self.col_chunk_reads),
             ("collected_states", self.collected_states),
             ("completion_fallbacks", self.completion_fallbacks),
             ("dead_early", self.dead_early),
@@ -156,6 +167,7 @@ impl Counters {
             ("partitions", self.partitions),
             ("plan_nodes", self.plan_nodes),
             ("probe_candidates", self.probe_candidates),
+            ("row_page_reads", self.row_page_reads),
             ("rows", self.rows),
             ("scanned_rows", self.scanned_rows),
             ("theta_evals", self.theta_evals),
@@ -185,10 +197,11 @@ fn sum_invocations(t: &PlanNodeStats) -> u64 {
 }
 
 /// The per-node counter keys of the recorded plan tree (alphabetical).
-pub const NODE_COUNTER_KEYS: [&str; 18] = [
+pub const NODE_COUNTER_KEYS: [&str; 20] = [
     "agg_updates",
     "base_rows",
     "broadcast_values",
+    "col_chunk_reads",
     "collected_states",
     "completion_fallbacks",
     "dead_early",
@@ -201,18 +214,20 @@ pub const NODE_COUNTER_KEYS: [&str; 18] = [
     "ops_rows_out",
     "partitions",
     "probe_candidates",
+    "row_page_reads",
     "rows_out",
     "scanned_rows",
     "theta_evals",
 ];
 
-fn node_counter_items(t: &PlanNodeStats) -> [(&'static str, u64); 18] {
+fn node_counter_items(t: &PlanNodeStats) -> [(&'static str, u64); 20] {
     let e = &t.eval;
     let n = &t.network;
     [
         ("agg_updates", e.agg_updates),
         ("base_rows", e.base_rows),
         ("broadcast_values", n.broadcast_values),
+        ("col_chunk_reads", e.col_chunk_reads),
         ("collected_states", n.collected_states),
         ("completion_fallbacks", e.completion_fallbacks),
         ("dead_early", e.dead_early),
@@ -225,6 +240,7 @@ fn node_counter_items(t: &PlanNodeStats) -> [(&'static str, u64); 18] {
         ("ops_rows_out", t.ops.rows_out),
         ("partitions", e.partitions),
         ("probe_candidates", e.probe_candidates),
+        ("row_page_reads", e.row_page_reads),
         ("rows_out", t.rows_out),
         ("scanned_rows", t.scanned_rows),
         ("theta_evals", e.theta_evals),
@@ -288,6 +304,8 @@ pub fn plan_from_counter_tree(node: &Json) -> std::result::Result<PlanNodeStats,
     out.eval.index_builds = num("index_builds")?;
     out.eval.partitions = num("partitions")?;
     out.eval.completion_fallbacks = num("completion_fallbacks")?;
+    out.eval.col_chunk_reads = num("col_chunk_reads")?;
+    out.eval.row_page_reads = num("row_page_reads")?;
     out.network.messages = num("messages")?;
     out.network.broadcast_values = num("broadcast_values")?;
     out.network.collected_states = num("collected_states")?;
@@ -393,15 +411,18 @@ impl BenchEntry {
 
 /// Stable, filename-safe label for an execution policy.
 pub fn policy_label(policy: &ExecPolicy) -> String {
-    let mode = match policy.mode {
+    let mut label = match policy.mode {
         ExecMode::Sequential => "seq".to_string(),
         ExecMode::Parallel { threads } => format!("par{threads}"),
         ExecMode::Distributed { sites } => format!("dist{sites}"),
     };
-    match policy.partition_rows {
-        Some(rows) => format!("{mode}+part{rows}"),
-        None => mode,
+    if let Some(rows) = policy.partition_rows {
+        label.push_str(&format!("+part{rows}"));
     }
+    if let Some(rows) = policy.morsel_size {
+        label.push_str(&format!("+m{rows}"));
+    }
+    label
 }
 
 /// Configuration of one bench run. [`BenchConfig::quick`] is the CI /
@@ -430,6 +451,14 @@ pub struct BenchConfig {
     /// recorded in the report header informationally and never enters an
     /// entry's identity key.
     pub vectorized: bool,
+    /// Override the parallel detail scan's morsel size (rows per queue
+    /// pull) on the figure-grid policies. Pure scheduling: every gated
+    /// counter — page accounting included — is identical for any setting.
+    /// Unlike `vectorized` the label IS part of the entry key (`+mN`), so
+    /// an override records a new trajectory rather than gating against
+    /// the default baseline. The morsel-size ablation group pins its own
+    /// values and ignores this.
+    pub morsel_size: Option<usize>,
 }
 
 impl BenchConfig {
@@ -446,6 +475,7 @@ impl BenchConfig {
             cross_policy: true,
             quick: true,
             vectorized: true,
+            morsel_size: None,
         }
     }
 
@@ -583,9 +613,16 @@ fn figure_group(fig: FigureId) -> &'static str {
 /// counter equality, and chunked parallel scans split by fixed ranges, so
 /// counters do not depend on scheduling.
 pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport> {
-    // Every grid policy inherits the run's vectorization setting; only
-    // the dedicated ablation group below pins it per entry.
-    let vec_policy = |p: ExecPolicy| p.with_vectorized(cfg.vectorized);
+    // Every grid policy inherits the run's vectorization setting and
+    // morsel-size override; the dedicated ablation groups below pin
+    // their own values per entry.
+    let vec_policy = |p: ExecPolicy| {
+        let p = p.with_vectorized(cfg.vectorized);
+        match cfg.morsel_size {
+            Some(m) => p.with_morsel_size(Some(m)),
+            None => p,
+        }
+    };
     let mut entries: Vec<BenchEntry> = Vec::new();
     for &fig in &cfg.figures {
         let group = figure_group(fig);
@@ -689,6 +726,23 @@ fn run_ablations(cfg: &BenchConfig) -> Result<Vec<BenchEntry>> {
             cfg,
             "ablation/threads",
             &format!("threads-{threads}"),
+            true,
+        )?);
+    }
+    // Morsel-size sweep of the parallel work queue. Morsel size is pure
+    // scheduling, so every gated counter — page accounting included — is
+    // identical down the sweep; the wall-clock columns (and the balanced
+    // per-worker `gmdj.worker` spans behind them) are the ablation
+    // signal. Small morsels rebalance skew, the whole-relation morsel
+    // degenerates to one worker doing everything.
+    for morsel in [64usize, 1024, 4096] {
+        entries.push(measure(
+            &fig2,
+            Strategy::GmdjOptimized,
+            vec_policy(ExecPolicy::parallel(2).with_morsel_size(Some(morsel))),
+            cfg,
+            "ablation/morsel_size",
+            &format!("morsel-{morsel}"),
             true,
         )?);
     }
@@ -1286,6 +1340,7 @@ mod tests {
             cross_policy: false,
             quick: true,
             vectorized: true,
+            morsel_size: None,
         }
     }
 
@@ -1308,6 +1363,18 @@ mod tests {
         assert_eq!(
             policy_label(&ExecPolicy::sequential().with_partition_rows(Some(8))),
             "seq+part8"
+        );
+        assert_eq!(
+            policy_label(&ExecPolicy::parallel(2).with_morsel_size(Some(64))),
+            "par2+m64"
+        );
+        assert_eq!(
+            policy_label(
+                &ExecPolicy::parallel(4)
+                    .with_partition_rows(Some(8))
+                    .with_morsel_size(Some(1024))
+            ),
+            "par4+part8+m1024"
         );
     }
 

@@ -21,7 +21,8 @@
 //! make the benchmark shapes reproducible across hardware.
 
 use gmdj_relation::agg::{Accumulator, BoundAgg};
-use gmdj_relation::batch::{Batch, BatchPredicate, ColumnData, BATCH_ROWS};
+use gmdj_relation::batch::{BatchPredicate, BatchView, ColData, ColView, BATCH_ROWS};
+use gmdj_relation::columnar::{ColumnSet, COLUMN_CHUNK_ROWS};
 use gmdj_relation::error::{Error, Result};
 use gmdj_relation::expr::{BoundPredicate, BoundScalar, CmpOp, Predicate, ScalarExpr};
 use gmdj_relation::index::{HashIndex, IntervalIndex, TypedKeyIndex};
@@ -105,6 +106,18 @@ pub struct EvalStats {
     /// scan-order-dependent, so parallel and distributed scans fall back to
     /// the plain filtered form; the answer is unchanged).
     pub completion_fallbacks: u64,
+    /// Column-chunk pages read per detail scan: the paper's `k·P`
+    /// arithmetic with `P` counted per *referenced* detail column
+    /// (`ceil(|R| / chunk) × referenced_cols × partitions`). A closed form
+    /// of the spec and detail length, identical across execution policies,
+    /// vectorization settings, and morsel sizes — and strictly below
+    /// `row_page_reads` whenever the plan references fewer columns than
+    /// the detail schema holds.
+    pub col_chunk_reads: u64,
+    /// What the same detail scans would have cost under the old row
+    /// layout, where every page holds full-width rows
+    /// (`ceil(|R| / chunk) × schema_cols × partitions`).
+    pub row_page_reads: u64,
 }
 
 impl EvalStats {
@@ -120,9 +133,13 @@ impl EvalStats {
         self.index_builds += other.index_builds;
         self.partitions += other.partitions;
         self.completion_fallbacks += other.completion_fallbacks;
+        self.col_chunk_reads += other.col_chunk_reads;
+        self.row_page_reads += other.row_page_reads;
     }
 
-    /// A single scalar "work" figure: the dominant per-tuple costs.
+    /// A single scalar "work" figure: the dominant per-tuple costs. The
+    /// page-read counters are deliberately excluded: they restate
+    /// `detail_scanned` in page units, not additional work.
     pub fn work(&self) -> u64 {
         self.detail_scanned + self.probe_candidates + self.theta_evals + self.agg_updates
     }
@@ -141,11 +158,13 @@ impl EvalStats {
             index_builds: self.index_builds - earlier.index_builds,
             partitions: self.partitions - earlier.partitions,
             completion_fallbacks: self.completion_fallbacks - earlier.completion_fallbacks,
+            col_chunk_reads: self.col_chunk_reads - earlier.col_chunk_reads,
+            row_page_reads: self.row_page_reads - earlier.row_page_reads,
         }
     }
 
     /// The counters as named trace-span fields, in declaration order.
-    pub fn trace_fields(&self) -> [(&'static str, u64); 10] {
+    pub fn trace_fields(&self) -> [(&'static str, u64); 12] {
         [
             ("detail_scanned", self.detail_scanned),
             ("probe_candidates", self.probe_candidates),
@@ -157,6 +176,8 @@ impl EvalStats {
             ("index_builds", self.index_builds),
             ("partitions", self.partitions),
             ("completion_fallbacks", self.completion_fallbacks),
+            ("col_chunk_reads", self.col_chunk_reads),
+            ("row_page_reads", self.row_page_reads),
         ]
     }
 }
@@ -174,12 +195,16 @@ impl EvalStats {
 /// tuple (the kernel decision can differ per base row's value types).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelStats {
-    /// Columnar batches decoded from the detail relation.
+    /// Columnar windows viewed from the detail relation's stored columns.
     pub batches: u64,
     /// Work units processed through batched kernels.
     pub rows_vectorized: u64,
     /// Work units that fell back to row-at-a-time evaluation.
     pub rows_row_path: u64,
+    /// Scheduling work units: one per detail scan call. Sequential scans
+    /// count one morsel per partition (the whole relation is one morsel);
+    /// the parallel morsel queue counts one per pulled morsel.
+    pub morsels: u64,
 }
 
 impl KernelStats {
@@ -188,6 +213,7 @@ impl KernelStats {
         self.batches += other.batches;
         self.rows_vectorized += other.rows_vectorized;
         self.rows_row_path += other.rows_row_path;
+        self.morsels += other.morsels;
     }
 
     /// Field-wise difference `self − earlier`.
@@ -196,15 +222,17 @@ impl KernelStats {
             batches: self.batches - earlier.batches,
             rows_vectorized: self.rows_vectorized - earlier.rows_vectorized,
             rows_row_path: self.rows_row_path - earlier.rows_row_path,
+            morsels: self.morsels - earlier.morsels,
         }
     }
 
     /// The counters as named trace-span fields, in declaration order.
-    pub fn trace_fields(&self) -> [(&'static str, u64); 3] {
+    pub fn trace_fields(&self) -> [(&'static str, u64); 4] {
         [
             ("batches", self.batches),
             ("rows_vectorized", self.rows_vectorized),
             ("rows_row_path", self.rows_row_path),
+            ("morsels", self.morsels),
         ]
     }
 }
@@ -310,6 +338,12 @@ pub fn eval_gmdj_filtered_full(
     };
 
     let partition = opts.partition_rows.unwrap_or(usize::MAX).max(1);
+    // Page accounting: each partition pass reads every referenced detail
+    // column's chunks once. Computed in closed form up front so the
+    // counters are identical for every execution policy and morsel size.
+    let io_pages = detail.len().div_ceil(COLUMN_CHUNK_ROWS) as u64;
+    let io_referenced = referenced_detail_cols(spec, base.schema(), detail.schema())? as u64;
+    let io_schema_cols = detail.schema().len() as u64;
     let mut out_rows: Vec<Tuple> = Vec::new();
     let mut start = 0usize;
     while start < base.len() || (base.is_empty() && start == 0) {
@@ -317,6 +351,8 @@ pub fn eval_gmdj_filtered_full(
         let chunk = &base.rows()[start..end];
         let before = *stats;
         let span = crate::trace::Span::begin(sink, "gmdj.partition");
+        stats.col_chunk_reads += io_pages * io_referenced;
+        stats.row_page_reads += io_pages * io_schema_cols;
         run_partition(
             chunk,
             base.schema(),
@@ -340,6 +376,68 @@ pub fn eval_gmdj_filtered_full(
         }
     }
     Ok(Relation::from_parts(result_schema, out_rows))
+}
+
+/// The number of distinct detail columns a spec's detail scan reads: every
+/// scope-1 column in each block's θ plus each aggregate input. This is
+/// independent of the chosen access path — an index-enforced conjunct's
+/// columns plus the residual's columns are exactly θ's columns — so the
+/// page accounting derived from it matches across probe strategies,
+/// execution policies, and morsel sizes.
+pub(crate) fn referenced_detail_cols(
+    spec: &GmdjSpec,
+    base_schema: &Schema,
+    detail_schema: &Schema,
+) -> Result<usize> {
+    fn mark_scalar(e: &BoundScalar, needed: &mut [bool]) {
+        match e {
+            BoundScalar::Column { scope: 1, index } => needed[*index] = true,
+            BoundScalar::Column { .. } | BoundScalar::Literal(_) => {}
+            BoundScalar::Binary { left, right, .. } => {
+                mark_scalar(left, needed);
+                mark_scalar(right, needed);
+            }
+            BoundScalar::Case {
+                branches,
+                otherwise,
+            } => {
+                for (p, v) in branches {
+                    mark_pred(p, needed);
+                    mark_scalar(v, needed);
+                }
+                if let Some(o) = otherwise {
+                    mark_scalar(o, needed);
+                }
+            }
+        }
+    }
+    fn mark_pred(p: &BoundPredicate, needed: &mut [bool]) {
+        match p {
+            BoundPredicate::Literal(_) => {}
+            BoundPredicate::Cmp { left, right, .. } => {
+                mark_scalar(left, needed);
+                mark_scalar(right, needed);
+            }
+            BoundPredicate::IsNull(e) | BoundPredicate::IsNotNull(e) => mark_scalar(e, needed),
+            BoundPredicate::And(a, b) | BoundPredicate::Or(a, b) => {
+                mark_pred(a, needed);
+                mark_pred(b, needed);
+            }
+            BoundPredicate::Not(a) => mark_pred(a, needed),
+        }
+    }
+    let mut needed = vec![false; detail_schema.len()];
+    for block in &spec.blocks {
+        let theta = block.theta.bind(&[base_schema, detail_schema])?;
+        mark_pred(&theta, &mut needed);
+        for agg in &block.aggs {
+            let bound = agg.bind(&[base_schema, detail_schema])?;
+            if let Some(input) = &bound.input {
+                mark_scalar(input, &mut needed);
+            }
+        }
+    }
+    Ok(needed.iter().filter(|&&n| n).count())
 }
 
 /// Fresh accumulators for `n` base tuples under `plans` (row-major: all of
@@ -508,15 +606,22 @@ pub(crate) fn kernel_summary(plans: &[BlockPlan]) -> String {
         .join(",")
 }
 
-/// The probe loop without completion, batched: decode the detail slice
-/// into typed columnar windows of [`BATCH_ROWS`] rows and dispatch each
-/// block's planned kernel, falling back to row-at-a-time evaluation for
-/// any block × batch whose types cannot guarantee identical semantics
-/// (including identical errors). Every [`EvalStats`] counter is
-/// maintained exactly as [`scan_detail_plain`] would.
+/// The probe loop without completion, vectorized: view the stored detail
+/// columns in windows of [`BATCH_ROWS`] rows over `range` and dispatch
+/// each block's planned kernel, falling back to row-at-a-time evaluation
+/// for any block × window whose types cannot guarantee identical
+/// semantics (including identical errors). There is no per-query decode:
+/// kernels borrow column slices straight from storage, and full rows are
+/// late-materialized into a scratch buffer only where row semantics are
+/// required — at most once per detail position. Every [`EvalStats`]
+/// counter is maintained exactly as [`scan_detail_plain`] would.
+///
+/// One call is one scheduling morsel: the sequential path calls this once
+/// per partition, the parallel morsel queue once per pulled morsel.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn scan_detail_vectorized(
-    chunk: &[Tuple],
+    cols: &ColumnSet,
+    range: std::ops::Range<usize>,
     plans: &[BlockPlan],
     base_rows: &[Tuple],
     total_aggs: usize,
@@ -527,68 +632,33 @@ pub(crate) fn scan_detail_vectorized(
 ) -> Result<()> {
     let before = *kernel;
     let span = crate::trace::Span::begin(sink, "gmdj.kernel").with_detail(kernel_summary(plans));
+    kernel.morsels += 1;
     let mut mask: Vec<bool> = Vec::new();
     let mut stab_scratch: Vec<u32> = Vec::new();
     let mut key_scratch: Vec<Value> = Vec::new();
     let mut sel_scratch: Vec<u32> = Vec::new();
     let mut int_scratch: Vec<i64> = Vec::new();
     let mut float_scratch: Vec<f64> = Vec::new();
+    // Lazily materialized row for the row-semantics fallbacks, keyed by
+    // the global detail row index it currently holds.
+    let mut row_scratch: Vec<Value> = Vec::new();
+    let mut scratch_at: usize = usize::MAX;
     // Flattened per-row candidate lists (Hash/Interval): offsets[i]..
     // offsets[i+1] indexes row i's candidates in `cand_flat`.
     let mut cand_flat: Vec<u32> = Vec::new();
     let mut cand_offsets: Vec<u32> = Vec::new();
-    // Decode only the columns some kernel actually reads: typed probe
-    // keys, the interval stab column, detail operands of shareable
-    // residual kernels, and batched aggregate inputs. Everything else
-    // stays a placeholder, so decode cost tracks plan width, not schema
-    // width.
-    let ncols = chunk.first().map(|r| r.len()).unwrap_or(0);
-    let mut needed = vec![false; ncols];
-    // An empty chunk has no windows (and no known width) — skip marking.
-    for plan in plans.iter().filter(|_| ncols > 0) {
-        match &plan.access {
-            Access::Hash {
-                detail_cols, typed, ..
-            } => {
-                if typed.is_some() {
-                    needed[detail_cols[0]] = true;
-                }
-                if plan.residual_detail_only {
-                    if let Some(k) = &plan.residual_kernel {
-                        k.mark_detail_columns(&mut needed);
-                    }
-                }
-            }
-            Access::Interval { detail_col, .. } => {
-                needed[*detail_col] = true;
-                if plan.residual_detail_only {
-                    if let Some(k) = &plan.residual_kernel {
-                        k.mark_detail_columns(&mut needed);
-                    }
-                }
-            }
-            Access::Scan => {
-                if let Some(k) = &plan.residual_kernel {
-                    k.mark_detail_columns(&mut needed);
-                    for agg in &plan.aggs {
-                        if let Some(BoundScalar::Column { scope: 1, index }) = &agg.input {
-                            needed[*index] = true;
-                        }
-                    }
-                }
-            }
-        }
-    }
-    for window in chunk.chunks(BATCH_ROWS) {
-        let batch = Batch::decode_cols(window, &needed);
+    let mut win_start = range.start;
+    while win_start < range.end {
+        let win_len = (range.end - win_start).min(BATCH_ROWS);
+        let view = BatchView::new(cols, win_start, win_len);
         kernel.batches += 1;
-        stats.detail_scanned += window.len() as u64;
+        stats.detail_scanned += win_len as u64;
         for plan in plans {
             // Shared per-candidate body: counters and residual handling
             // mirror the row path; `theta_evals` counts per (base, detail)
             // pair even when a detail-only mask was computed once per row.
             macro_rules! process_candidates {
-                ($cands:expr, $i:expr, $r:expr, $have_mask:expr) => {{
+                ($cands:expr, $i:expr, $have_mask:expr) => {{
                     for &b_idx in $cands {
                         let b_idx = b_idx as usize;
                         stats.probe_candidates += 1;
@@ -600,12 +670,29 @@ pub(crate) fn scan_detail_vectorized(
                                 if $have_mask {
                                     mask[$i]
                                 } else {
-                                    res.eval(&[b_row, $r])?.passes()
+                                    let r = scratch_row(
+                                        cols,
+                                        win_start + $i,
+                                        &mut row_scratch,
+                                        &mut scratch_at,
+                                    );
+                                    res.eval(&[b_row, r])?.passes()
                                 }
                             }
                         };
                         if passes {
-                            update_aggs(plan, b_idx, total_aggs, accs, b_row, $r, stats)?;
+                            update_aggs_at(
+                                plan,
+                                b_idx,
+                                total_aggs,
+                                accs,
+                                b_row,
+                                cols,
+                                win_start + $i,
+                                &mut row_scratch,
+                                &mut scratch_at,
+                                stats,
+                            )?;
                         }
                     }
                 }};
@@ -619,65 +706,69 @@ pub(crate) fn scan_detail_vectorized(
                 } => {
                     // Pass 1: probe every row, flattening the candidate
                     // lists so mask profitability is known before pass 2.
+                    let keycol = typed.as_ref().map(|_| view.col(detail_cols[0]));
                     cand_flat.clear();
                     cand_offsets.clear();
                     cand_offsets.push(0);
-                    for (i, r) in window.iter().enumerate() {
-                        let r: &[Value] = r;
-                        let cands =
-                            probe_hash(index, typed, detail_cols, &batch, i, r, &mut key_scratch);
+                    for i in 0..win_len {
+                        let cands = probe_hash(
+                            index,
+                            typed,
+                            keycol.as_ref(),
+                            detail_cols,
+                            cols,
+                            i,
+                            win_start + i,
+                            &mut key_scratch,
+                        );
                         cand_flat.extend_from_slice(cands);
                         cand_offsets.push(cand_flat.len() as u32);
                     }
-                    let have_mask =
-                        shared_mask(plan, &batch, cand_flat.len(), window.len(), &mut mask);
+                    let have_mask = shared_mask(plan, &view, cand_flat.len(), win_len, &mut mask);
                     if plan.residual.is_none() || have_mask {
-                        kernel.rows_vectorized += window.len() as u64;
+                        kernel.rows_vectorized += win_len as u64;
                     } else {
-                        kernel.rows_row_path += window.len() as u64;
+                        kernel.rows_row_path += win_len as u64;
                     }
-                    for (i, r) in window.iter().enumerate() {
-                        let r: &[Value] = r;
+                    for i in 0..win_len {
                         let cands =
                             &cand_flat[cand_offsets[i] as usize..cand_offsets[i + 1] as usize];
-                        process_candidates!(cands, i, r, have_mask);
+                        process_candidates!(cands, i, have_mask);
                     }
                 }
                 Access::Interval { index, detail_col } => {
-                    let col = &batch.cols[*detail_col];
+                    let col = view.col(*detail_col);
                     cand_flat.clear();
                     cand_offsets.clear();
                     cand_offsets.push(0);
-                    for (i, r) in window.iter().enumerate() {
-                        let r: &[Value] = r;
+                    for i in 0..win_len {
                         if col.nulls[i] {
                             stab_scratch.clear();
                         } else {
                             match &col.data {
-                                ColumnData::Int(vals) => {
+                                ColData::Int(vals) => {
                                     index.stab_f64(vals[i] as f64, &mut stab_scratch)
                                 }
-                                ColumnData::Float(vals) => {
-                                    index.stab_f64(vals[i], &mut stab_scratch)
+                                ColData::Float(vals) => index.stab_f64(vals[i], &mut stab_scratch),
+                                _ => {
+                                    let v = cols.value_at(win_start + i, *detail_col);
+                                    index.stab(&v, &mut stab_scratch)
                                 }
-                                _ => index.stab(&r[*detail_col], &mut stab_scratch),
                             }
                         }
                         cand_flat.extend_from_slice(&stab_scratch);
                         cand_offsets.push(cand_flat.len() as u32);
                     }
-                    let have_mask =
-                        shared_mask(plan, &batch, cand_flat.len(), window.len(), &mut mask);
+                    let have_mask = shared_mask(plan, &view, cand_flat.len(), win_len, &mut mask);
                     if plan.residual.is_none() || have_mask {
-                        kernel.rows_vectorized += window.len() as u64;
+                        kernel.rows_vectorized += win_len as u64;
                     } else {
-                        kernel.rows_row_path += window.len() as u64;
+                        kernel.rows_row_path += win_len as u64;
                     }
-                    for (i, r) in window.iter().enumerate() {
-                        let r: &[Value] = r;
+                    for i in 0..win_len {
                         let cands =
                             &cand_flat[cand_offsets[i] as usize..cand_offsets[i + 1] as usize];
-                        process_candidates!(cands, i, r, have_mask);
+                        process_candidates!(cands, i, have_mask);
                     }
                 }
                 Access::Scan => {
@@ -685,19 +776,19 @@ pub(crate) fn scan_detail_vectorized(
                         .residual
                         .as_ref()
                         .expect("scan access always has residual");
-                    // Base-outer within the batch: per-accumulator update
+                    // Base-outer within the window: per-accumulator update
                     // order stays detail-row order, so float sums are
                     // bit-identical to the row path.
                     for (b_idx, b_row) in base_rows.iter().enumerate() {
                         let b_row: &[Value] = b_row;
                         let masked = match &plan.residual_kernel {
-                            Some(k) => k.eval_mask(&batch, Some(b_row), &mut mask),
+                            Some(k) => k.eval_mask(&view, Some(b_row), &mut mask),
                             None => false,
                         };
-                        stats.probe_candidates += window.len() as u64;
-                        stats.theta_evals += window.len() as u64;
+                        stats.probe_candidates += win_len as u64;
+                        stats.theta_evals += win_len as u64;
                         if masked {
-                            kernel.rows_vectorized += window.len() as u64;
+                            kernel.rows_vectorized += win_len as u64;
                             sel_scratch.clear();
                             sel_scratch.extend(
                                 mask.iter()
@@ -712,20 +803,39 @@ pub(crate) fn scan_detail_vectorized(
                                     total_aggs,
                                     accs,
                                     b_row,
-                                    &batch,
-                                    window,
+                                    &view,
+                                    cols,
+                                    win_start,
                                     &sel_scratch,
                                     stats,
                                     &mut int_scratch,
                                     &mut float_scratch,
+                                    &mut row_scratch,
+                                    &mut scratch_at,
                                 )?;
                             }
                         } else {
-                            kernel.rows_row_path += window.len() as u64;
-                            for r in window {
-                                let r: &[Value] = r;
-                                if res.eval(&[b_row, r])?.passes() {
-                                    update_aggs(plan, b_idx, total_aggs, accs, b_row, r, stats)?;
+                            kernel.rows_row_path += win_len as u64;
+                            for i in 0..win_len {
+                                let row = win_start + i;
+                                let passes = {
+                                    let r =
+                                        scratch_row(cols, row, &mut row_scratch, &mut scratch_at);
+                                    res.eval(&[b_row, r])?.passes()
+                                };
+                                if passes {
+                                    update_aggs_at(
+                                        plan,
+                                        b_idx,
+                                        total_aggs,
+                                        accs,
+                                        b_row,
+                                        cols,
+                                        row,
+                                        &mut row_scratch,
+                                        &mut scratch_at,
+                                        stats,
+                                    )?;
                                 }
                             }
                         }
@@ -733,10 +843,68 @@ pub(crate) fn scan_detail_vectorized(
                 }
             }
         }
+        win_start += win_len;
     }
     let mut span = span;
     span.fields(kernel.minus(&before).trace_fields());
     span.finish();
+    Ok(())
+}
+
+/// Late-materialize the detail row at global index `row` into `scratch`
+/// (reusing the previous fill when the index has not moved — a row is
+/// rebuilt at most once however many candidates touch it).
+#[inline]
+fn scratch_row<'a>(
+    cols: &ColumnSet,
+    row: usize,
+    scratch: &'a mut Vec<Value>,
+    at: &mut usize,
+) -> &'a [Value] {
+    if *at != row {
+        cols.fill_row(row, scratch);
+        *at = row;
+    }
+    scratch
+}
+
+/// Fold one detail row into one base tuple's accumulators, reading
+/// aggregate inputs straight from the stored columns: column inputs skip
+/// expression evaluation entirely, and only computed expressions
+/// late-materialize the full row. Mirrors [`BoundAgg::update`] exactly
+/// (`COUNT(*)` folds a non-NULL marker; column inputs fold the cell
+/// value, NULL where masked).
+#[allow(clippy::too_many_arguments)]
+fn update_aggs_at(
+    plan: &BlockPlan,
+    b_idx: usize,
+    total_aggs: usize,
+    accs: &mut [Accumulator],
+    b_row: &[Value],
+    cols: &ColumnSet,
+    row: usize,
+    row_scratch: &mut Vec<Value>,
+    scratch_at: &mut usize,
+    stats: &mut EvalStats,
+) -> Result<()> {
+    let base = b_idx * total_aggs + plan.agg_offset;
+    for (k, agg) in plan.aggs.iter().enumerate() {
+        let acc = &mut accs[base + k];
+        match &agg.input {
+            None => acc.update(&Value::Int(1)),
+            Some(BoundScalar::Column { scope: 1, index }) => {
+                acc.update(&cols.value_at(row, *index));
+            }
+            Some(BoundScalar::Column { scope: 0, index }) => acc.update(&b_row[*index]),
+            Some(BoundScalar::Literal(v)) => acc.update(v),
+            Some(e) => {
+                let r = scratch_row(cols, row, row_scratch, scratch_at);
+                let v = e.eval(&[b_row, r])?;
+                acc.update(&v);
+            }
+        }
+        stats.agg_updates += 1;
+    }
     Ok(())
 }
 
@@ -752,56 +920,68 @@ pub(crate) fn scan_detail_vectorized(
 /// [`EvalStats`]; only [`KernelStats`] and wall-clock move.
 fn shared_mask(
     plan: &BlockPlan,
-    batch: &Batch,
+    view: &BatchView<'_>,
     candidates: usize,
     window_rows: usize,
     mask: &mut Vec<bool>,
 ) -> bool {
     match &plan.residual_kernel {
         Some(k) if plan.residual_detail_only && candidates * 4 >= window_rows => {
-            k.eval_mask(batch, None, mask)
+            k.eval_mask(view, None, mask)
         }
         _ => false,
     }
 }
 
 /// Hash-probe one detail row, preferring the typed sidecar when the
-/// batch column's type matches it; otherwise the generic slice probe
-/// through a reused scratch key (no allocation either way). Cross-type
-/// numeric equality (`Int(1) = Float(1.0)`) only ever reaches the
-/// generic path: the sidecar is not built over float keys and is not
-/// consulted for non-matching column types.
+/// stored column's type matches it; otherwise the generic slice probe
+/// through a reused scratch key. String probes never rehash: the
+/// dictionary's cached per-distinct-value hash is forwarded to the
+/// sidecar, so a probe costs a code lookup plus (on hash hit) one bytes
+/// compare. Cross-type numeric equality (`Int(1) = Float(1.0)`) only
+/// ever reaches the generic path: the sidecar is not built over float
+/// keys and is not consulted for non-matching column types.
+#[allow(clippy::too_many_arguments)]
 fn probe_hash<'a>(
     index: &'a HashIndex,
     typed: &'a Option<TypedKeyIndex>,
+    keycol: Option<&ColView<'_>>,
     detail_cols: &[usize],
-    batch: &Batch,
+    cols: &ColumnSet,
     i: usize,
-    r: &[Value],
+    row: usize,
     key_scratch: &mut Vec<Value>,
 ) -> &'a [u32] {
-    if let Some(t) = typed {
-        let col = &batch.cols[detail_cols[0]];
-        if col.nulls[i] {
+    if let (Some(t), Some(col)) = (typed.as_ref(), keycol) {
+        if col.is_null(i) {
             return &[];
         }
         match (&col.data, t) {
-            (ColumnData::Int(vals), TypedKeyIndex::Int(_)) => return t.probe_int(vals[i]),
-            (ColumnData::Str { values, hashes }, TypedKeyIndex::Str(_)) => {
-                return t.probe_str(hashes[i], &values[i])
+            (ColData::Int(vals), TypedKeyIndex::Int(_)) => return t.probe_int(vals[i]),
+            (
+                ColData::Str {
+                    codes,
+                    dict,
+                    dict_hashes,
+                },
+                TypedKeyIndex::Str(_),
+            ) => {
+                let d = codes[i] as usize;
+                return t.probe_str(dict_hashes[d], &dict[d]);
             }
             _ => {}
         }
     }
     key_scratch.clear();
-    key_scratch.extend(detail_cols.iter().map(|&c| r[c].clone()));
+    key_scratch.extend(detail_cols.iter().map(|&c| cols.value_at(row, c)));
     index.probe(key_scratch)
 }
 
-/// Fold the selected batch rows into one base tuple's accumulators.
+/// Fold the selected window rows into one base tuple's accumulators.
 /// Typed columns use the batched [`Accumulator`] updates; base-constant
-/// and literal inputs skip expression evaluation; anything else (computed
-/// expressions, Str/Bool/mixed columns) folds row by row. `agg_updates`
+/// and literal inputs skip expression evaluation; other stored columns
+/// fold the cell value row by row; only computed expressions
+/// late-materialize full rows through the shared scratch. `agg_updates`
 /// counts one per aggregate per selected row, exactly like the row path.
 #[allow(clippy::too_many_arguments)]
 fn update_aggs_batched(
@@ -810,12 +990,15 @@ fn update_aggs_batched(
     total_aggs: usize,
     accs: &mut [Accumulator],
     b_row: &[Value],
-    batch: &Batch,
-    window: &[Tuple],
+    view: &BatchView<'_>,
+    cols: &ColumnSet,
+    win_start: usize,
     sel: &[u32],
     stats: &mut EvalStats,
     int_scratch: &mut Vec<i64>,
     float_scratch: &mut Vec<f64>,
+    row_scratch: &mut Vec<Value>,
+    scratch_at: &mut usize,
 ) -> Result<()> {
     let base = b_idx * total_aggs + plan.agg_offset;
     for (k, agg) in plan.aggs.iter().enumerate() {
@@ -823,29 +1006,29 @@ fn update_aggs_batched(
         match &agg.input {
             None => acc.add_count_star(sel.len() as i64),
             Some(BoundScalar::Column { scope: 1, index }) => {
-                let col = &batch.cols[*index];
+                let col = view.col(*index);
                 match &col.data {
-                    ColumnData::Int(vals) => {
+                    ColData::Int(vals) => {
                         int_scratch.clear();
                         int_scratch.extend(
                             sel.iter()
-                                .filter(|&&i| !col.nulls[i as usize])
+                                .filter(|&&i| !col.is_null(i as usize))
                                 .map(|&i| vals[i as usize]),
                         );
                         acc.update_ints(int_scratch);
                     }
-                    ColumnData::Float(vals) => {
+                    ColData::Float(vals) => {
                         float_scratch.clear();
                         float_scratch.extend(
                             sel.iter()
-                                .filter(|&&i| !col.nulls[i as usize])
+                                .filter(|&&i| !col.is_null(i as usize))
                                 .map(|&i| vals[i as usize]),
                         );
                         acc.update_floats(float_scratch);
                     }
                     _ => {
                         for &i in sel {
-                            acc.update(&window[i as usize][*index]);
+                            acc.update(&cols.value_at(win_start + i as usize, *index));
                         }
                     }
                 }
@@ -863,7 +1046,8 @@ fn update_aggs_batched(
             }
             Some(e) => {
                 for &i in sel {
-                    let r: &[Value] = &window[i as usize];
+                    let row = win_start + i as usize;
+                    let r = scratch_row(cols, row, row_scratch, scratch_at);
                     let v = e.eval(&[b_row, r])?;
                     acc.update(&v);
                 }
@@ -900,7 +1084,8 @@ fn run_partition(
     if opts.vectorized && completion.is_none() {
         let mut accs = new_accumulators(&blocks, base_rows.len(), total_aggs);
         scan_detail_vectorized(
-            detail.rows(),
+            detail.cols(),
+            0..detail.len(),
             &blocks,
             base_rows,
             total_aggs,

@@ -11,9 +11,10 @@
 //! * **Sequential** — the reference single-scan evaluator
 //!   ([`crate::eval::eval_gmdj_filtered`]), including base-tuple
 //!   completion (Theorems 4.1/4.2) when a [`CompletionPlan`] is supplied.
-//! * **Parallel { threads }** — the detail relation is chunked across OS
-//!   threads; each worker folds its chunk into a private accumulator
-//!   matrix and the chunks are merged exactly
+//! * **Parallel { threads }** — the detail relation is dealt out as
+//!   morsels from a shared atomic cursor; `threads` OS workers pull
+//!   morsels until the queue runs dry, each folding into a private
+//!   accumulator matrix, and the workers are merged exactly
 //!   ([`Accumulator::merge`](gmdj_relation::agg::Accumulator::merge)), so
 //!   results are bit-identical to sequential for every aggregate.
 //! * **Distributed { sites }** — the detail relation is horizontally
@@ -48,10 +49,12 @@
 //! back and prefer sequential execution when completion is expected to
 //! prune aggressively.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use gmdj_relation::agg::Accumulator;
+use gmdj_relation::columnar::COLUMN_CHUNK_ROWS;
 use gmdj_relation::error::{Error, Result};
 use gmdj_relation::expr::Predicate;
 use gmdj_relation::ops::OpStats;
@@ -61,8 +64,8 @@ use crate::completion::CompletionPlan;
 use crate::distributed::NetworkStats;
 use crate::eval::{
     eval_gmdj_filtered_full, materialize_filtered, new_accumulators, plan_blocks,
-    scan_detail_plain, scan_detail_vectorized, EvalStats, GmdjOptions, Keep, KernelStats,
-    ProbeStrategy,
+    referenced_detail_cols, scan_detail_plain, scan_detail_vectorized, EvalStats, GmdjOptions,
+    Keep, KernelStats, ProbeStrategy,
 };
 use crate::metrics;
 use crate::spec::GmdjSpec;
@@ -87,6 +90,12 @@ pub enum ExecMode {
     },
 }
 
+/// Default morsel size for the parallel detail scan, in detail rows.
+/// Four column chunks: big enough that queue traffic (one atomic
+/// `fetch_add` per morsel) is noise, small enough that skewed morsels
+/// rebalance across workers.
+pub const DEFAULT_MORSEL_ROWS: usize = 4096;
+
 /// How a plan executes: the one policy object threaded through plan
 /// walking, GMDJ evaluation, and the relational operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +113,12 @@ pub struct ExecPolicy {
     /// and bit-exact with the row path; switching this off is an
     /// ablation axis, not a semantic choice.
     pub vectorized: bool,
+    /// Morsel size (detail rows) for the parallel scan's work queue.
+    /// `None` uses [`DEFAULT_MORSEL_ROWS`]. Morsel size is pure
+    /// scheduling: every gated [`EvalStats`] counter and the result
+    /// multiset are identical for every setting — it only moves where
+    /// worker time is spent, which is what the bench ablation measures.
+    pub morsel_size: Option<usize>,
 }
 
 impl Default for ExecPolicy {
@@ -113,6 +128,7 @@ impl Default for ExecPolicy {
             probe: ProbeStrategy::default(),
             partition_rows: None,
             vectorized: true,
+            morsel_size: None,
         }
     }
 }
@@ -157,8 +173,21 @@ impl ExecPolicy {
         self
     }
 
-    /// Reject degenerate modes (`threads == 0`, `sites == 0`).
+    /// Override the parallel scan's morsel size (detail rows per queue
+    /// pull). `None` restores [`DEFAULT_MORSEL_ROWS`].
+    pub fn with_morsel_size(mut self, rows: Option<usize>) -> Self {
+        self.morsel_size = rows;
+        self
+    }
+
+    /// Reject degenerate modes (`threads == 0`, `sites == 0`,
+    /// `morsel_size == Some(0)`).
     pub fn validate(&self) -> Result<()> {
+        if self.morsel_size == Some(0) {
+            return Err(Error::invalid(
+                "ExecPolicy::morsel_size must be at least one row",
+            ));
+        }
         match self.mode {
             ExecMode::Parallel { threads: 0 } => Err(Error::invalid(
                 "ExecMode::Parallel requires at least one thread",
@@ -371,8 +400,8 @@ impl PlanNodeStats {
         let k = &self.kernel;
         if *k != KernelStats::default() {
             out.push_str(&format!(
-                " kernel[batches={} vec={} row={}]",
-                k.batches, k.rows_vectorized, k.rows_row_path
+                " kernel[batches={} morsels={} vec={} row={}]",
+                k.batches, k.morsels, k.rows_vectorized, k.rows_row_path
             ));
         }
         if self.network != NetworkStats::default() {
@@ -409,8 +438,9 @@ impl PlanNodeStats {
              \"eval\":{{\"detail_scanned\":{},\"probe_candidates\":{},\
              \"theta_evals\":{},\"agg_updates\":{},\"base_rows\":{},\
              \"dead_early\":{},\"done_early\":{},\"index_builds\":{},\
-             \"partitions\":{},\"completion_fallbacks\":{}}},\
-             \"kernel\":{{\"batches\":{},\"rows_vectorized\":{},\
+             \"partitions\":{},\"completion_fallbacks\":{},\
+             \"col_chunk_reads\":{},\"row_page_reads\":{}}},\
+             \"kernel\":{{\"batches\":{},\"morsels\":{},\"rows_vectorized\":{},\
              \"rows_row_path\":{}}},\
              \"network\":{{\"broadcast_values\":{},\"collected_states\":{},\
              \"messages\":{}}},\"children\":[",
@@ -434,7 +464,10 @@ impl PlanNodeStats {
             e.index_builds,
             e.partitions,
             e.completion_fallbacks,
+            e.col_chunk_reads,
+            e.row_page_reads,
             self.kernel.batches,
+            self.kernel.morsels,
             self.kernel.rows_vectorized,
             self.kernel.rows_row_path,
             n.broadcast_values,
@@ -640,6 +673,14 @@ impl Runtime {
         };
         let total_aggs = spec.agg_count();
 
+        // Logical column-chunk I/O, closed-form like the sequential
+        // evaluator: every partition pass reads each referenced detail
+        // column's chunks once, however the scan is divided across
+        // morsels, workers, or sites.
+        let io_pages = detail.len().div_ceil(COLUMN_CHUNK_ROWS) as u64;
+        let io_referenced = referenced_detail_cols(spec, base.schema(), detail.schema())? as u64;
+        let io_schema_cols = detail.schema().len() as u64;
+
         let partition = self.policy.partition_rows.unwrap_or(usize::MAX).max(1);
         let mut out_rows: Vec<Tuple> = Vec::new();
         let mut start = 0usize;
@@ -650,6 +691,8 @@ impl Runtime {
             let pspan = Span::begin(self.sink.as_ref(), "gmdj.partition");
             node.eval.partitions += 1;
             node.eval.base_rows += base_rows.len() as u64;
+            node.eval.col_chunk_reads += io_pages * io_referenced;
+            node.eval.row_page_reads += io_pages * io_schema_cols;
 
             let mut cx = PartitionCx {
                 base: base_rows,
@@ -657,6 +700,11 @@ impl Runtime {
                 detail,
                 spec,
                 opts: self.policy.gmdj_options(),
+                morsel_rows: self
+                    .policy
+                    .morsel_size
+                    .unwrap_or(DEFAULT_MORSEL_ROWS)
+                    .max(1),
                 total_aggs,
                 stats: &mut node.eval,
                 kernel: &mut node.kernel,
@@ -701,6 +749,7 @@ struct PartitionCx<'a> {
     detail: &'a Relation,
     spec: &'a GmdjSpec,
     opts: GmdjOptions,
+    morsel_rows: usize,
     total_aggs: usize,
     stats: &'a mut EvalStats,
     kernel: &'a mut KernelStats,
@@ -709,11 +758,16 @@ struct PartitionCx<'a> {
 }
 
 impl PartitionCx<'_> {
-    /// Chunk the detail across `threads` scoped workers, each folding its
-    /// chunk into a private accumulator matrix; merge exactly. Worker
-    /// panics and errors both surface as `Err` — never a process abort.
-    /// Each chunk is emitted as a `gmdj.worker` span carrying the
-    /// worker's private counter delta, so summed worker spans reconcile
+    /// Morsel-driven parallel scan: a shared atomic cursor deals the
+    /// detail out in morsels of `morsel_rows`; `threads` scoped workers
+    /// pull morsels until the queue runs dry, each folding into a private
+    /// accumulator matrix; merge exactly in worker order. Pull-based
+    /// scheduling is self-balancing — a worker stuck on a skewed morsel
+    /// simply pulls fewer, instead of stranding the rest of a
+    /// statically-assigned range. Worker panics and errors both surface
+    /// as `Err` — never a process abort. Each worker is emitted as a
+    /// `gmdj.worker` span carrying its private counter delta plus the
+    /// rows and morsels it pulled, so summed worker spans reconcile
     /// exactly with the merged scan counters.
     fn scan_parallel(&mut self, threads: usize) -> Result<ScanOutcome> {
         let plans = plan_blocks(
@@ -724,53 +778,78 @@ impl PartitionCx<'_> {
             &self.opts,
             self.stats,
         )?;
-        let detail_rows = self.detail.rows();
-        // Small inputs are not worth the spawn overhead — and a single
-        // chunk keeps the merge trivially exact.
-        let workers = if detail_rows.len() < 2 * threads {
-            1
-        } else {
-            threads
-        };
-        let chunk_len = detail_rows.len().div_ceil(workers).max(1);
+        let detail = self.detail;
+        let detail_len = detail.len();
+        let morsel = self.morsel_rows.min(detail_len.max(1));
+        // No point spawning workers that can never pull a morsel; an
+        // empty detail keeps one worker so the merge stays uniform.
+        let n_morsels = detail_len.div_ceil(morsel).max(1);
+        let workers = threads.min(n_morsels).max(1);
+        let cursor = AtomicUsize::new(0);
 
         let base_rows = self.base;
         let total_aggs = self.total_aggs;
         let sink = self.sink;
         let vectorized = self.opts.vectorized;
+        // The row-path twin scans late-materialized tuples; build the row
+        // view once, outside the scope, so workers share one cache.
+        let detail_rows: Option<&[Tuple]> = if vectorized {
+            None
+        } else {
+            Some(detail.rows())
+        };
         type WorkerResult = Result<(Vec<Accumulator>, EvalStats, KernelStats, u64)>;
         let results: Vec<WorkerResult> = std::thread::scope(|scope| {
             let plans = &plans;
-            let handles: Vec<_> = detail_rows
-                .chunks(chunk_len)
-                .enumerate()
-                .map(|(i, chunk)| {
+            let cursor = &cursor;
+            let handles: Vec<_> = (0..workers)
+                .map(|i| {
                     scope.spawn(move || -> WorkerResult {
                         let mut wspan =
                             Span::begin(sink, "gmdj.worker").with_detail(format!("worker{i}"));
                         let mut accs = new_accumulators(plans, base_rows.len(), total_aggs);
                         let mut local = EvalStats::default();
                         let mut local_kernel = KernelStats::default();
-                        // Chunked scans never carry a completion plan
-                        // (it fell back above), so the vectorized path
-                        // is always eligible here.
-                        if vectorized {
-                            scan_detail_vectorized(
-                                chunk,
-                                plans,
-                                base_rows,
-                                total_aggs,
-                                &mut accs,
-                                &mut local,
-                                &mut local_kernel,
-                                sink,
-                            )?;
-                        } else {
-                            scan_detail_plain(
-                                chunk, plans, base_rows, total_aggs, &mut accs, &mut local,
-                            )?;
+                        let mut rows_pulled = 0u64;
+                        let mut morsels_pulled = 0u64;
+                        loop {
+                            let start = cursor.fetch_add(morsel, Ordering::Relaxed);
+                            if start >= detail_len {
+                                break;
+                            }
+                            let end = (start + morsel).min(detail_len);
+                            // Chunked scans never carry a completion plan
+                            // (it fell back above), so the vectorized
+                            // path is always eligible here.
+                            if vectorized {
+                                scan_detail_vectorized(
+                                    detail.cols(),
+                                    start..end,
+                                    plans,
+                                    base_rows,
+                                    total_aggs,
+                                    &mut accs,
+                                    &mut local,
+                                    &mut local_kernel,
+                                    sink,
+                                )?;
+                            } else {
+                                let rows = detail_rows.expect("row twin pre-materializes");
+                                scan_detail_plain(
+                                    &rows[start..end],
+                                    plans,
+                                    base_rows,
+                                    total_aggs,
+                                    &mut accs,
+                                    &mut local,
+                                )?;
+                                local_kernel.morsels += 1;
+                            }
+                            rows_pulled += (end - start) as u64;
+                            morsels_pulled += 1;
                         }
-                        wspan.field("chunk_rows", chunk.len() as u64);
+                        wspan.field("chunk_rows", rows_pulled);
+                        wspan.field("morsels", morsels_pulled);
                         wspan.fields(local.trace_fields());
                         let dur = wspan.finish();
                         Ok((accs, local, local_kernel, dur.as_nanos() as u64))
@@ -811,7 +890,7 @@ impl PartitionCx<'_> {
     /// accumulator state back, merge exactly at the coordinator. Each
     /// site round-trip is one `site.roundtrip` span carrying the site's
     /// evaluator and network deltas.
-    fn scan_distributed(&mut self, fragments: &[Vec<Tuple>]) -> Result<ScanOutcome> {
+    fn scan_distributed(&mut self, fragments: &[Relation]) -> Result<ScanOutcome> {
         let mut merged: Option<Vec<Accumulator>> = None;
         let mut worker_max_ns = 0u64;
         let mut worker_sum_ns = 0u64;
@@ -839,7 +918,8 @@ impl PartitionCx<'_> {
             let mut local = EvalStats::default();
             if self.opts.vectorized {
                 scan_detail_vectorized(
-                    frag,
+                    frag.cols(),
+                    0..frag.len(),
                     &plans,
                     self.base,
                     self.total_aggs,
@@ -850,13 +930,14 @@ impl PartitionCx<'_> {
                 )?;
             } else {
                 scan_detail_plain(
-                    frag,
+                    frag.rows(),
                     &plans,
                     self.base,
                     self.total_aggs,
                     &mut accs,
                     &mut local,
                 )?;
+                self.kernel.morsels += 1;
             }
             self.stats.merge(&local);
             // Wave 2: accumulator states back to the coordinator. State
@@ -890,14 +971,25 @@ impl PartitionCx<'_> {
 
 /// Round-robin horizontal fragmentation of the detail relation — in a
 /// real warehouse each site already holds its fragment; round-robin keeps
-/// the simulation deterministic.
-fn round_robin_fragments(detail: &Relation, sites: usize) -> Vec<Vec<Tuple>> {
+/// the simulation deterministic. Fragments are gathered column-wise into
+/// full columnar relations (sharing each string column's dictionary with
+/// the parent), so every site scans its fragment through the same
+/// vectorized kernels as local execution.
+fn round_robin_fragments(detail: &Relation, sites: usize) -> Vec<Relation> {
     let sites = sites.max(1);
-    let mut fragments: Vec<Vec<Tuple>> = vec![Vec::new(); sites];
-    for (i, r) in detail.rows().iter().enumerate() {
-        fragments[i % sites].push(r.clone());
+    let mut picks: Vec<Vec<usize>> = vec![Vec::new(); sites];
+    for i in 0..detail.len() {
+        picks[i % sites].push(i);
     }
-    fragments
+    picks
+        .into_iter()
+        .map(|idx| {
+            Relation::from_columns(
+                detail.schema().clone(),
+                Arc::new(detail.cols().gather(&idx)),
+            )
+        })
+        .collect()
 }
 
 /// Turn a worker panic payload into an error value instead of poisoning
@@ -1031,6 +1123,75 @@ mod tests {
         assert_eq!(node.eval.partitions, 2);
         assert_eq!(node.eval.detail_scanned, 12);
         assert_eq!(node.eval.base_rows, 3);
+    }
+
+    #[test]
+    fn morsel_queue_adapts_workers_and_reconciles_spans() {
+        use crate::trace::CollectingSink;
+        let mut s1 = EvalStats::default();
+        let expected = eval_gmdj(
+            &hours(),
+            &flows(),
+            &example_2_1_spec(),
+            &GmdjOptions::default(),
+            &mut s1,
+        )
+        .unwrap();
+        // 6 detail rows at 4-row morsels → 2 morsels, so only 2 of the 8
+        // requested workers are spawned; together they scan every row
+        // exactly once and the gated counters match sequential in full.
+        let sink = Arc::new(CollectingSink::new());
+        let rt = Runtime::with_sink(
+            ExecPolicy::parallel(8).with_morsel_size(Some(4)),
+            sink.clone(),
+        );
+        let mut node = PlanNodeStats::new("GMDJ");
+        let out = rt
+            .eval_gmdj(&hours(), &flows(), &example_2_1_spec(), &mut node)
+            .unwrap();
+        assert!(out.multiset_eq(&expected));
+        assert_eq!(node.eval, s1);
+        assert_eq!(sink.by_name("gmdj.worker").len(), 2);
+        assert_eq!(sink.sum_field("gmdj.worker", "chunk_rows"), 6);
+        assert_eq!(sink.sum_field("gmdj.worker", "morsels"), 2);
+        assert_eq!(node.kernel.morsels, 2);
+
+        // A whole-relation morsel degenerates to one worker doing all the
+        // work — the skew the queue exists to avoid — without touching
+        // anything gated.
+        let sink = Arc::new(CollectingSink::new());
+        let rt = Runtime::with_sink(
+            ExecPolicy::parallel(8).with_morsel_size(Some(usize::MAX)),
+            sink.clone(),
+        );
+        let mut node = PlanNodeStats::new("GMDJ");
+        let out = rt
+            .eval_gmdj(&hours(), &flows(), &example_2_1_spec(), &mut node)
+            .unwrap();
+        assert!(out.multiset_eq(&expected));
+        assert_eq!(node.eval, s1);
+        assert_eq!(sink.by_name("gmdj.worker").len(), 1);
+        assert_eq!(sink.sum_field("gmdj.worker", "chunk_rows"), 6);
+        assert_eq!(node.kernel.morsels, 1);
+
+        // Single-row morsels: 6 morsels shared by the 3 requested
+        // workers; each morsel is pulled exactly once no matter how the
+        // workers race.
+        let sink = Arc::new(CollectingSink::new());
+        let rt = Runtime::with_sink(
+            ExecPolicy::parallel(3).with_morsel_size(Some(1)),
+            sink.clone(),
+        );
+        let mut node = PlanNodeStats::new("GMDJ");
+        let out = rt
+            .eval_gmdj(&hours(), &flows(), &example_2_1_spec(), &mut node)
+            .unwrap();
+        assert!(out.multiset_eq(&expected));
+        assert_eq!(node.eval, s1);
+        assert_eq!(sink.by_name("gmdj.worker").len(), 3);
+        assert_eq!(sink.sum_field("gmdj.worker", "morsels"), 6);
+        assert_eq!(sink.sum_field("gmdj.worker", "chunk_rows"), 6);
+        assert_eq!(node.kernel.morsels, 6);
     }
 
     #[test]

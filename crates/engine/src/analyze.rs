@@ -43,8 +43,12 @@ pub struct AnalyzeReport {
 impl AnalyzeReport {
     /// Human-readable report: header lines plus the annotated tree.
     pub fn render(&self) -> String {
+        let morsel = match self.policy.morsel_size {
+            Some(m) => format!("  morsel: {m} rows"),
+            None => String::new(),
+        };
         let mut out = format!(
-            "strategy: {}  mode: {:?}\nplan: {:.3}ms  execute: {:.3}ms  rows: {}  work: {}\n",
+            "strategy: {}  mode: {:?}{morsel}\nplan: {:.3}ms  execute: {:.3}ms  rows: {}  work: {}\n",
             self.strategy,
             self.policy.mode,
             self.plan_wall.as_secs_f64() * 1e3,
@@ -82,8 +86,12 @@ impl AnalyzeReport {
             Some(c) => format!("{c:.1}"),
             None => "null".to_string(),
         };
+        let morsel = match self.policy.morsel_size {
+            Some(m) => m.to_string(),
+            None => "null".to_string(),
+        };
         format!(
-            "{{\"strategy\":\"{}\",\"mode\":\"{}\",\"plan_us\":{},\"execute_us\":{},\"rows\":{},\"work\":{},\"predicted_cost\":{predicted},\"plan\":{}}}",
+            "{{\"strategy\":\"{}\",\"mode\":\"{}\",\"morsel_size\":{morsel},\"plan_us\":{},\"execute_us\":{},\"rows\":{},\"work\":{},\"predicted_cost\":{predicted},\"plan\":{}}}",
             json_escape(self.strategy),
             json_escape(&format!("{:?}", self.policy.mode)),
             self.plan_wall.as_micros(),

@@ -11,7 +11,10 @@
 //! vectorized batch kernels on and off — and the two runs must agree on
 //! the result multiset, the gated [`EvalStats`] counters, and error
 //! behavior (see `gmdj_relation::batch` for the kernels' exactness
-//! contract).
+//! contract). A second sweep re-runs each policy under morsel sizes
+//! {1, 7, 64, whole-relation}: morsel size is pure scheduling, so any
+//! visible difference — result rows or gated counters, page accounting
+//! included — is a bug.
 //!
 //! [`EvalStats`]: gmdj_core::eval::EvalStats
 
@@ -209,6 +212,69 @@ pub fn check_case(case: &FuzzCase, opts: &CheckOptions) -> CheckReport {
                             policy_label(policy)
                         ),
                     });
+                }
+                // Morsel-size sweep: scheduling granularity must never
+                // leak into anything gated. Each size diffs against the
+                // default-morsel run above on multiset, gated counters,
+                // and error behavior.
+                for morsel in [1usize, 7, 64, usize::MAX] {
+                    let swept = run_with_policy(
+                        &query,
+                        &catalog,
+                        strategy,
+                        policy.with_morsel_size(Some(morsel)),
+                    );
+                    let sweep_detail = match (&result, &swept) {
+                        (Ok(v), Ok(m)) => {
+                            if !v.relation.multiset_eq(&m.relation) {
+                                Some(format!(
+                                    "default morsel ({} rows):\n{}\nmorsel={morsel} ({} rows):\n{}",
+                                    v.relation.len(),
+                                    v.relation,
+                                    m.relation.len(),
+                                    m.relation
+                                ))
+                            } else {
+                                match (&v.plan_stats, &m.plan_stats) {
+                                    (Some(vs), Some(ms))
+                                        if vs.total_eval() != ms.total_eval() =>
+                                    {
+                                        Some(format!(
+                                            "gated counters drifted: default {:?} vs morsel={morsel} {:?}",
+                                            vs.total_eval(),
+                                            ms.total_eval()
+                                        ))
+                                    }
+                                    _ => None,
+                                }
+                            }
+                        }
+                        (Ok(_), Err(e)) => Some(format!(
+                            "morsel={morsel} errored while default succeeded: {e}"
+                        )),
+                        (Err(e), Ok(_)) => Some(format!(
+                            "default errored while morsel={morsel} succeeded: {e}"
+                        )),
+                        (Err(a), Err(b)) => {
+                            let (a, b) = (a.to_string(), b.to_string());
+                            (a != b).then(|| {
+                                format!("errors differ: default {a:?} vs morsel={morsel} {b:?}")
+                            })
+                        }
+                    };
+                    if let Some(detail) = sweep_detail {
+                        report.divergences.push(Divergence {
+                            strategy,
+                            policy,
+                            oracle_rows: oracle.len(),
+                            actual_rows: result.as_ref().ok().map(|r| r.relation.len()),
+                            detail: format!(
+                                "{} under {}: morsel size changed observable results\n{detail}",
+                                strategy.label(),
+                                policy_label(policy)
+                            ),
+                        });
+                    }
                 }
             }
             match result {

@@ -1,195 +1,82 @@
-//! Columnar batches and vectorized predicate kernels for the detail scan.
+//! Vectorized predicate kernels over borrowed column slices.
 //!
 //! The GMDJ hot loop is a single pass over the detail relation (paper
-//! Section 2.2). The row-at-a-time representation pays enum dispatch, a
-//! per-row key allocation, and `Arc<str>` rehashing on every probe. This
-//! module decodes detail tuples into typed column vectors in fixed-size
-//! chunks of [`BATCH_ROWS`] rows and evaluates comparison conjunctions as
-//! typed kernels over those vectors.
+//! Section 2.2). Since relations are stored natively columnar
+//! ([`crate::columnar`]), the scan no longer decodes tuples per query: a
+//! [`BatchView`] *borrows* a [`BATCH_ROWS`]-sized window of the stored
+//! column vectors, and the comparison kernels run directly over those
+//! slices. String columns arrive dictionary encoded — an equality kernel
+//! compares one cached hash per row and only then the dictionary bytes.
 //!
-//! Correctness contract: a kernel may only run when the batch's column
+//! Correctness contract: a kernel may only run when the stored column
 //! types *guarantee* the row-at-a-time path could not error; anything it
 //! cannot guarantee (mixed-type columns, non-conjunctive predicates,
 //! incomparable operand types) reports "unsupported" and the caller falls
 //! back to the exact row path. A computed mask is the WHERE-truncation of
 //! Kleene 3VL: a bit is set iff every conjunct evaluates to `True`.
+//! Because column typing is now relation-global rather than re-derived per
+//! window, kernel applicability is identical for every window of the same
+//! relation.
 
 use std::cmp::Ordering;
 use std::sync::Arc;
 
+use crate::columnar::{ColumnSet, ColumnStore, COLUMN_CHUNK_ROWS};
 use crate::expr::{BoundPredicate, BoundScalar, CmpOp};
 use crate::fxhash::hash_str;
-use crate::relation::Tuple;
 use crate::value::{Truth, Value};
 
-/// Number of detail rows decoded per batch.
-pub const BATCH_ROWS: usize = 1024;
+/// Number of detail rows per kernel window. Equal to the column-chunk page
+/// size so one batch touches exactly one page per referenced column.
+pub const BATCH_ROWS: usize = COLUMN_CHUNK_ROWS;
 
-/// Typed storage for one column of a batch. Slots that are NULL in the
-/// source hold a placeholder (0 / 0.0 / "" / false) and are masked by
-/// [`Column::nulls`].
-#[derive(Debug, Clone)]
-pub enum ColumnData {
-    Int(Vec<i64>),
-    Float(Vec<f64>),
-    /// String values plus their precomputed Fx hash codes, so repeated
-    /// probes of the same interned value never rehash its bytes.
+/// Borrowed typed data of one column window. For `Str`, `codes` is the
+/// window slice while `dict` / `dict_hashes` are the full per-column
+/// dictionary, indexed by code.
+#[derive(Debug, Clone, Copy)]
+pub enum ColData<'a> {
+    Int(&'a [i64]),
+    Float(&'a [f64]),
     Str {
-        values: Vec<Arc<str>>,
-        hashes: Vec<u64>,
+        codes: &'a [u32],
+        dict: &'a [Arc<str>],
+        dict_hashes: &'a [u64],
     },
-    Bool(Vec<bool>),
+    Bool(&'a [bool]),
     /// Mixed-typed column: kernels do not apply, rows fall back.
-    Other(Vec<Value>),
+    Other(&'a [Value]),
 }
 
-/// One decoded column: typed data plus a null mask.
-#[derive(Debug, Clone)]
-pub struct Column {
-    pub data: ColumnData,
-    /// `nulls[i]` is true when row `i` is NULL in this column.
-    pub nulls: Vec<bool>,
+/// One borrowed column window: typed data plus the matching null-mask
+/// slice.
+#[derive(Debug, Clone, Copy)]
+pub struct ColView<'a> {
+    pub data: ColData<'a>,
+    /// `nulls[i]` is true when row `i` of the window is NULL.
+    pub nulls: &'a [bool],
     pub has_nulls: bool,
 }
 
-impl Column {
-    fn decode(rows: &[Tuple], col: usize) -> Column {
-        #[derive(PartialEq, Clone, Copy)]
-        enum Kind {
-            Int,
-            Float,
-            Str,
-            Bool,
-        }
-        let mut kind: Option<Kind> = None;
-        let mut uniform = true;
-        for r in rows {
-            let k = match &r[col] {
-                Value::Null => continue,
-                Value::Int(_) => Kind::Int,
-                Value::Float(_) => Kind::Float,
-                Value::Str(_) => Kind::Str,
-                Value::Bool(_) => Kind::Bool,
-            };
-            match kind {
-                None => kind = Some(k),
-                Some(prev) if prev == k => {}
-                Some(_) => {
-                    uniform = false;
-                    break;
-                }
-            }
-        }
-        let mut nulls = Vec::with_capacity(rows.len());
-        let mut has_nulls = false;
-        for r in rows {
-            let n = r[col].is_null();
-            has_nulls |= n;
-            nulls.push(n);
-        }
-        // NOTE: no Int→Float promotion — a mixed numeric column degrades to
-        // Other so integer SUM/compare semantics never go through f64.
-        let data = match (uniform, kind) {
-            (true, Some(Kind::Int)) => ColumnData::Int(
-                rows.iter()
-                    .map(|r| match &r[col] {
-                        Value::Int(i) => *i,
-                        _ => 0,
-                    })
-                    .collect(),
-            ),
-            (true, Some(Kind::Float)) => ColumnData::Float(
-                rows.iter()
-                    .map(|r| match &r[col] {
-                        Value::Float(f) => *f,
-                        _ => 0.0,
-                    })
-                    .collect(),
-            ),
-            (true, Some(Kind::Str)) => {
-                let empty: Arc<str> = Arc::from("");
-                let mut values = Vec::with_capacity(rows.len());
-                let mut hashes = Vec::with_capacity(rows.len());
-                for r in rows {
-                    match &r[col] {
-                        Value::Str(s) => {
-                            hashes.push(hash_str(s));
-                            values.push(Arc::clone(s));
-                        }
-                        _ => {
-                            hashes.push(0);
-                            values.push(Arc::clone(&empty));
-                        }
-                    }
-                }
-                ColumnData::Str { values, hashes }
-            }
-            (true, Some(Kind::Bool)) => ColumnData::Bool(
-                rows.iter()
-                    .map(|r| match &r[col] {
-                        Value::Bool(b) => *b,
-                        _ => false,
-                    })
-                    .collect(),
-            ),
-            // All-NULL column: any typed representation works since every
-            // slot is masked; Int placeholders keep the kernels applicable
-            // (each comparison is Unknown, never an error).
-            (true, None) => ColumnData::Int(vec![0; rows.len()]),
-            (false, _) => ColumnData::Other(rows.iter().map(|r| r[col].clone()).collect()),
-        };
-        Column {
-            data,
-            nulls,
-            has_nulls,
-        }
-    }
-
+impl<'a> ColView<'a> {
     #[inline]
     pub fn is_null(&self, i: usize) -> bool {
         self.nulls[i]
     }
 }
 
-/// A fixed-size window of detail rows decoded to typed columns.
-#[derive(Debug, Clone)]
-pub struct Batch {
+/// A window of detail rows viewed column-wise, borrowed from storage.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchView<'a> {
+    cols: &'a ColumnSet,
+    start: usize,
     len: usize,
-    pub cols: Vec<Column>,
 }
 
-impl Batch {
-    /// Decode a window of tuples (typically ≤ [`BATCH_ROWS`]) column-wise.
-    /// Column types are re-derived per batch: a column is `Int` only when
-    /// every non-NULL value in *this* window is an `Int`, and so on.
-    pub fn decode(rows: &[Tuple]) -> Batch {
-        let ncols = if rows.is_empty() { 0 } else { rows[0].len() };
-        Self::decode_cols(rows, &vec![true; ncols])
-    }
-
-    /// [`decode`](Self::decode) restricted to the columns marked in
-    /// `needed`. Columns a scan's kernels never read stay as empty
-    /// placeholders, so decode cost is proportional to the columns the
-    /// plan actually touches, not the detail schema width. Reading a
-    /// non-decoded column's `nulls` panics — marking bugs fail loudly
-    /// rather than returning wrong answers.
-    pub fn decode_cols(rows: &[Tuple], needed: &[bool]) -> Batch {
-        let len = rows.len();
-        let ncols = if len == 0 { 0 } else { rows[0].len() };
-        let cols = (0..ncols)
-            .map(|c| {
-                if needed.get(c).copied().unwrap_or(true) {
-                    Column::decode(rows, c)
-                } else {
-                    Column {
-                        data: ColumnData::Other(Vec::new()),
-                        nulls: Vec::new(),
-                        has_nulls: false,
-                    }
-                }
-            })
-            .collect();
-        Batch { len, cols }
+impl<'a> BatchView<'a> {
+    /// Borrow rows `start .. start + len` of `cols`.
+    pub fn new(cols: &'a ColumnSet, start: usize, len: usize) -> BatchView<'a> {
+        debug_assert!(start + len <= cols.len());
+        BatchView { cols, start, len }
     }
 
     #[inline]
@@ -201,11 +88,37 @@ impl Batch {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Borrow one column's window.
+    pub fn col(&self, i: usize) -> ColView<'a> {
+        let sc = self.cols.col(i);
+        let r = self.start..self.start + self.len;
+        let data = match &sc.data {
+            ColumnStore::Int(v) => ColData::Int(&v[r.clone()]),
+            ColumnStore::Float(v) => ColData::Float(&v[r.clone()]),
+            ColumnStore::Bool(v) => ColData::Bool(&v[r.clone()]),
+            ColumnStore::Str {
+                codes,
+                dict,
+                dict_hashes,
+            } => ColData::Str {
+                codes: &codes[r.clone()],
+                dict,
+                dict_hashes,
+            },
+            ColumnStore::Other(v) => ColData::Other(&v[r.clone()]),
+        };
+        ColView {
+            data,
+            nulls: &sc.nulls[r],
+            has_nulls: sc.has_nulls,
+        }
+    }
 }
 
 /// Operand of a compiled comparison: a base-scope column (resolved to a
-/// constant per probing base tuple), a detail-scope column (a batch
-/// vector), or a literal.
+/// constant per probing base tuple), a detail-scope column (a stored
+/// column window), or a literal.
 #[derive(Debug, Clone)]
 pub enum BatchOperand {
     Base(usize),
@@ -222,7 +135,7 @@ pub struct BatchCmp {
 }
 
 /// A conjunction of comparisons compiled from a [`BoundPredicate`], ready
-/// for masked evaluation over a [`Batch`].
+/// for masked evaluation over a [`BatchView`].
 #[derive(Debug, Clone)]
 pub struct BatchPredicate {
     cmps: Vec<BatchCmp>,
@@ -241,20 +154,8 @@ impl BatchPredicate {
         Some(BatchPredicate { cmps })
     }
 
-    /// Mark every detail-scope column this predicate reads, so the caller
-    /// can decode only those (see [`Batch::decode_cols`]).
-    pub fn mark_detail_columns(&self, needed: &mut [bool]) {
-        for cmp in &self.cmps {
-            for op in [&cmp.left, &cmp.right] {
-                if let BatchOperand::Detail(i) = op {
-                    needed[*i] = true;
-                }
-            }
-        }
-    }
-
     /// True when no comparison reads a base-scope column, i.e. the mask for
-    /// a batch can be computed once and shared across all probing base
+    /// a window can be computed once and shared across all probing base
     /// tuples.
     pub fn detail_only(&self) -> bool {
         self.cmps.iter().all(|c| {
@@ -262,33 +163,33 @@ impl BatchPredicate {
         })
     }
 
-    /// Evaluate the conjunction over `batch`, AND-ing each comparison into
+    /// Evaluate the conjunction over `view`, AND-ing each comparison into
     /// `mask` (`mask[i]` = all conjuncts `True` at row `i`). Returns `false`
-    /// when the batch's column types (or the base row's value types) cannot
+    /// when the stored column types (or the base row's value types) cannot
     /// guarantee error-free evaluation — the caller must then use the row
     /// path, which reproduces exact error behavior.
     pub fn eval_mask(
         &self,
-        batch: &Batch,
+        view: &BatchView<'_>,
         base_row: Option<&[Value]>,
         mask: &mut Vec<bool>,
     ) -> bool {
         mask.clear();
-        mask.resize(batch.len(), true);
+        mask.resize(view.len(), true);
         for cmp in &self.cmps {
-            let l = match resolve(&cmp.left, batch, base_row) {
+            let l = match resolve(&cmp.left, view, base_row) {
                 Some(o) => o,
                 None => return false,
             };
-            let r = match resolve(&cmp.right, batch, base_row) {
+            let r = match resolve(&cmp.right, view, base_row) {
                 Some(o) => o,
                 None => return false,
             };
             let ok = match (l, r) {
                 (Operand::Const(a), Operand::Const(b)) => cmp_const_const(cmp.op, a, b, mask),
-                (Operand::Col(c), Operand::Const(v)) => cmp_col_const(cmp.op, c, v, mask),
-                (Operand::Const(v), Operand::Col(c)) => cmp_col_const(cmp.op.flip(), c, v, mask),
-                (Operand::Col(a), Operand::Col(b)) => cmp_col_col(cmp.op, a, b, mask),
+                (Operand::Col(c), Operand::Const(v)) => cmp_col_const(cmp.op, &c, v, mask),
+                (Operand::Const(v), Operand::Col(c)) => cmp_col_const(cmp.op.flip(), &c, v, mask),
+                (Operand::Col(a), Operand::Col(b)) => cmp_col_col(cmp.op, &a, &b, mask),
             };
             if !ok {
                 return false;
@@ -327,17 +228,17 @@ fn operand(e: &BoundScalar) -> Option<BatchOperand> {
 }
 
 enum Operand<'a> {
-    Col(&'a Column),
+    Col(ColView<'a>),
     Const(&'a Value),
 }
 
 fn resolve<'a>(
     op: &'a BatchOperand,
-    batch: &'a Batch,
+    view: &BatchView<'a>,
     base_row: Option<&'a [Value]>,
 ) -> Option<Operand<'a>> {
     match op {
-        BatchOperand::Detail(i) => Some(Operand::Col(&batch.cols[*i])),
+        BatchOperand::Detail(i) => Some(Operand::Col(view.col(*i))),
         BatchOperand::Base(i) => base_row.map(|b| Operand::Const(&b[*i])),
         BatchOperand::Lit(v) => Some(Operand::Const(v)),
     }
@@ -372,17 +273,19 @@ fn cmp_const_const(op: CmpOp, a: &Value, b: &Value, mask: &mut [bool]) -> bool {
 
 /// AND `col op c` into `mask` row-wise, mirroring `Value::sql_cmp` per
 /// type pair: Int/Int via `i64` ordering, anything-Float via widened
-/// `f64::total_cmp`, Str via byte-wise ordering, Bool via `bool` ordering.
-fn cmp_col_const(op: CmpOp, col: &Column, c: &Value, mask: &mut [bool]) -> bool {
+/// `f64::total_cmp`, Str via byte-wise ordering on the dictionary entry
+/// (equality prechecks the cached dictionary hash), Bool via `bool`
+/// ordering.
+fn cmp_col_const(op: CmpOp, col: &ColView<'_>, c: &Value, mask: &mut [bool]) -> bool {
     if c.is_null() {
         // NULL comparand: every row is Unknown — no error regardless of
         // the column's type, so this is supported even for Other columns.
         fill_false(mask);
         return true;
     }
-    let nulls = &col.nulls;
+    let nulls = col.nulls;
     match (&col.data, c) {
-        (ColumnData::Int(vals), Value::Int(b)) => {
+        (ColData::Int(vals), Value::Int(b)) => {
             for (i, m) in mask.iter_mut().enumerate() {
                 if *m {
                     *m = !nulls[i] && truth(op, vals[i].cmp(b));
@@ -390,7 +293,7 @@ fn cmp_col_const(op: CmpOp, col: &Column, c: &Value, mask: &mut [bool]) -> bool 
             }
             true
         }
-        (ColumnData::Int(vals), Value::Float(b)) => {
+        (ColData::Int(vals), Value::Float(b)) => {
             for (i, m) in mask.iter_mut().enumerate() {
                 if *m {
                     *m = !nulls[i] && truth(op, (vals[i] as f64).total_cmp(b));
@@ -398,7 +301,7 @@ fn cmp_col_const(op: CmpOp, col: &Column, c: &Value, mask: &mut [bool]) -> bool 
             }
             true
         }
-        (ColumnData::Float(vals), Value::Int(b)) => {
+        (ColData::Float(vals), Value::Int(b)) => {
             let b = *b as f64;
             for (i, m) in mask.iter_mut().enumerate() {
                 if *m {
@@ -407,7 +310,7 @@ fn cmp_col_const(op: CmpOp, col: &Column, c: &Value, mask: &mut [bool]) -> bool 
             }
             true
         }
-        (ColumnData::Float(vals), Value::Float(b)) => {
+        (ColData::Float(vals), Value::Float(b)) => {
             for (i, m) in mask.iter_mut().enumerate() {
                 if *m {
                     *m = !nulls[i] && truth(op, vals[i].total_cmp(b));
@@ -415,26 +318,35 @@ fn cmp_col_const(op: CmpOp, col: &Column, c: &Value, mask: &mut [bool]) -> bool 
             }
             true
         }
-        (ColumnData::Str { values, hashes }, Value::Str(b)) => {
+        (
+            ColData::Str {
+                codes,
+                dict,
+                dict_hashes,
+            },
+            Value::Str(b),
+        ) => {
             if op == CmpOp::Eq {
-                // Equality precheck on the cached hash codes: a mismatch
-                // rejects without touching the string bytes.
+                // Hash the comparand once; each row rejects on one cached
+                // dictionary hash before ever touching string bytes.
                 let bh = hash_str(b);
                 for (i, m) in mask.iter_mut().enumerate() {
                     if *m {
-                        *m = !nulls[i] && hashes[i] == bh && values[i].as_ref() == b.as_ref();
+                        let d = codes[i] as usize;
+                        *m = !nulls[i] && dict_hashes[d] == bh && dict[d].as_ref() == b.as_ref();
                     }
                 }
             } else {
                 for (i, m) in mask.iter_mut().enumerate() {
                     if *m {
-                        *m = !nulls[i] && truth(op, values[i].as_ref().cmp(b.as_ref()));
+                        *m = !nulls[i]
+                            && truth(op, dict[codes[i] as usize].as_ref().cmp(b.as_ref()));
                     }
                 }
             }
             true
         }
-        (ColumnData::Bool(vals), Value::Bool(b)) => {
+        (ColData::Bool(vals), Value::Bool(b)) => {
             for (i, m) in mask.iter_mut().enumerate() {
                 if *m {
                     *m = !nulls[i] && truth(op, vals[i].cmp(b));
@@ -448,10 +360,10 @@ fn cmp_col_const(op: CmpOp, col: &Column, c: &Value, mask: &mut [bool]) -> bool 
     }
 }
 
-fn cmp_col_col(op: CmpOp, l: &Column, r: &Column, mask: &mut [bool]) -> bool {
-    let (ln, rn) = (&l.nulls, &r.nulls);
+fn cmp_col_col(op: CmpOp, l: &ColView<'_>, r: &ColView<'_>, mask: &mut [bool]) -> bool {
+    let (ln, rn) = (l.nulls, r.nulls);
     match (&l.data, &r.data) {
-        (ColumnData::Int(a), ColumnData::Int(b)) => {
+        (ColData::Int(a), ColData::Int(b)) => {
             for (i, m) in mask.iter_mut().enumerate() {
                 if *m {
                     *m = !ln[i] && !rn[i] && truth(op, a[i].cmp(&b[i]));
@@ -459,7 +371,7 @@ fn cmp_col_col(op: CmpOp, l: &Column, r: &Column, mask: &mut [bool]) -> bool {
             }
             true
         }
-        (ColumnData::Int(a), ColumnData::Float(b)) => {
+        (ColData::Int(a), ColData::Float(b)) => {
             for (i, m) in mask.iter_mut().enumerate() {
                 if *m {
                     *m = !ln[i] && !rn[i] && truth(op, (a[i] as f64).total_cmp(&b[i]));
@@ -467,7 +379,7 @@ fn cmp_col_col(op: CmpOp, l: &Column, r: &Column, mask: &mut [bool]) -> bool {
             }
             true
         }
-        (ColumnData::Float(a), ColumnData::Int(b)) => {
+        (ColData::Float(a), ColData::Int(b)) => {
             for (i, m) in mask.iter_mut().enumerate() {
                 if *m {
                     *m = !ln[i] && !rn[i] && truth(op, a[i].total_cmp(&(b[i] as f64)));
@@ -475,7 +387,7 @@ fn cmp_col_col(op: CmpOp, l: &Column, r: &Column, mask: &mut [bool]) -> bool {
             }
             true
         }
-        (ColumnData::Float(a), ColumnData::Float(b)) => {
+        (ColData::Float(a), ColData::Float(b)) => {
             for (i, m) in mask.iter_mut().enumerate() {
                 if *m {
                     *m = !ln[i] && !rn[i] && truth(op, a[i].total_cmp(&b[i]));
@@ -484,31 +396,41 @@ fn cmp_col_col(op: CmpOp, l: &Column, r: &Column, mask: &mut [bool]) -> bool {
             true
         }
         (
-            ColumnData::Str {
-                values: a,
-                hashes: ah,
+            ColData::Str {
+                codes: ac,
+                dict: ad,
+                dict_hashes: ah,
             },
-            ColumnData::Str {
-                values: b,
-                hashes: bh,
+            ColData::Str {
+                codes: bc,
+                dict: bd,
+                dict_hashes: bh,
             },
         ) => {
+            // Codes from different columns index different dictionaries and
+            // are never directly comparable; equality prechecks the two
+            // cached dictionary hashes instead.
             if op == CmpOp::Eq {
                 for (i, m) in mask.iter_mut().enumerate() {
                     if *m {
-                        *m = !ln[i] && !rn[i] && ah[i] == bh[i] && a[i].as_ref() == b[i].as_ref();
+                        let (da, db) = (ac[i] as usize, bc[i] as usize);
+                        *m = !ln[i]
+                            && !rn[i]
+                            && ah[da] == bh[db]
+                            && ad[da].as_ref() == bd[db].as_ref();
                     }
                 }
             } else {
                 for (i, m) in mask.iter_mut().enumerate() {
                     if *m {
-                        *m = !ln[i] && !rn[i] && truth(op, a[i].as_ref().cmp(b[i].as_ref()));
+                        let (da, db) = (ac[i] as usize, bc[i] as usize);
+                        *m = !ln[i] && !rn[i] && truth(op, ad[da].as_ref().cmp(bd[db].as_ref()));
                     }
                 }
             }
             true
         }
-        (ColumnData::Bool(a), ColumnData::Bool(b)) => {
+        (ColData::Bool(a), ColData::Bool(b)) => {
             for (i, m) in mask.iter_mut().enumerate() {
                 if *m {
                     *m = !ln[i] && !rn[i] && truth(op, a[i].cmp(&b[i]));
@@ -523,6 +445,7 @@ fn cmp_col_col(op: CmpOp, l: &Column, r: &Column, mask: &mut [bool]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::relation::Tuple;
     use crate::value::Value;
 
     fn tuples(rows: &[Vec<Value>]) -> Vec<Tuple> {
@@ -533,77 +456,86 @@ mod tests {
         Value::Str(Arc::from(x))
     }
 
-    #[test]
-    fn decode_uniform_int_column_with_nulls() {
-        let rows = tuples(&[vec![Value::Int(1)], vec![Value::Null], vec![Value::Int(3)]]);
-        let b = Batch::decode(&rows);
-        assert_eq!(b.len(), 3);
-        match &b.cols[0].data {
-            ColumnData::Int(v) => assert_eq!(v, &vec![1, 0, 3]),
-            other => panic!("expected Int column, got {other:?}"),
-        }
-        assert_eq!(b.cols[0].nulls, vec![false, true, false]);
-        assert!(b.cols[0].has_nulls);
+    fn encode(rows: &[Vec<Value>]) -> ColumnSet {
+        let ts = tuples(rows);
+        let width = ts.first().map_or(0, |t| t.len());
+        ColumnSet::encode(&ts, width)
     }
 
     #[test]
-    fn decode_cols_skips_unneeded_columns() {
-        let rows = tuples(&[
-            vec![Value::Int(1), s("a"), Value::Float(0.5)],
-            vec![Value::Int(2), s("b"), Value::Float(1.5)],
+    fn view_windows_share_relation_global_typing() {
+        let cs = encode(&[
+            vec![Value::Int(1), s("a")],
+            vec![Value::Null, s("b")],
+            vec![Value::Int(3), s("a")],
         ]);
-        let b = Batch::decode_cols(&rows, &[true, false, true]);
-        assert!(matches!(b.cols[0].data, ColumnData::Int(_)));
-        assert!(matches!(b.cols[2].data, ColumnData::Float(_)));
-        // The skipped column is an empty placeholder: kernels report it
-        // unsupported, and any null-mask access panics.
-        match &b.cols[1].data {
-            ColumnData::Other(v) => assert!(v.is_empty()),
-            other => panic!("expected placeholder Other column, got {other:?}"),
+        let v = BatchView::new(&cs, 1, 2);
+        assert_eq!(v.len(), 2);
+        match v.col(0).data {
+            ColData::Int(vals) => assert_eq!(vals, &[0, 3]),
+            other => panic!("expected Int window, got {other:?}"),
         }
-        assert!(b.cols[1].nulls.is_empty());
+        assert_eq!(v.col(0).nulls, &[true, false]);
+        match v.col(1).data {
+            ColData::Str { codes, dict, .. } => {
+                assert_eq!(codes, &[1, 0]);
+                assert_eq!(dict.len(), 2);
+            }
+            other => panic!("expected Str window, got {other:?}"),
+        }
     }
 
     #[test]
-    fn mark_detail_columns_covers_both_operands() {
+    fn str_equality_uses_dictionary_hashes() {
         use crate::expr::BoundPredicate as P;
         use crate::expr::BoundScalar as S;
-        let pred = P::And(
-            Box::new(P::Cmp {
-                op: CmpOp::Lt,
-                left: S::Column { scope: 1, index: 2 },
-                right: S::Column { scope: 1, index: 0 },
-            }),
-            Box::new(P::Cmp {
-                op: CmpOp::Eq,
-                left: S::Column { scope: 0, index: 1 },
-                right: S::Literal(Value::Int(3)),
-            }),
-        );
+        let pred = P::Cmp {
+            op: CmpOp::Eq,
+            left: S::Column { scope: 1, index: 0 },
+            right: S::Literal(s("GET")),
+        };
         let k = BatchPredicate::compile(&pred).unwrap();
-        let mut needed = vec![false; 4];
-        k.mark_detail_columns(&mut needed);
-        assert_eq!(needed, vec![true, false, true, false]);
+        let cs = encode(&[
+            vec![s("GET")],
+            vec![s("POST")],
+            vec![Value::Null],
+            vec![s("GET")],
+        ]);
+        let view = BatchView::new(&cs, 0, cs.len());
+        let mut mask = Vec::new();
+        assert!(k.eval_mask(&view, None, &mut mask));
+        assert_eq!(mask, vec![true, false, false, true]);
     }
 
     #[test]
-    fn mixed_numeric_column_degrades_to_other() {
-        let rows = tuples(&[vec![Value::Int(1)], vec![Value::Float(2.0)]]);
-        let b = Batch::decode(&rows);
-        assert!(matches!(b.cols[0].data, ColumnData::Other(_)));
-    }
-
-    #[test]
-    fn str_hashes_match_fxhash() {
-        let rows = tuples(&[vec![s("abc")], vec![Value::Null], vec![s("xy")]]);
-        let b = Batch::decode(&rows);
-        match &b.cols[0].data {
-            ColumnData::Str { values, hashes } => {
-                assert_eq!(hashes[0], hash_str("abc"));
-                assert_eq!(hashes[2], hash_str("xy"));
-                assert_eq!(values[0].as_ref(), "abc");
-            }
-            other => panic!("expected Str column, got {other:?}"),
+    fn cross_column_str_compare_goes_through_dictionaries() {
+        use crate::expr::BoundPredicate as P;
+        use crate::expr::BoundScalar as S;
+        for op in [CmpOp::Eq, CmpOp::Lt] {
+            let pred = P::Cmp {
+                op,
+                left: S::Column { scope: 1, index: 0 },
+                right: S::Column { scope: 1, index: 1 },
+            };
+            let k = BatchPredicate::compile(&pred).unwrap();
+            let rows = vec![
+                vec![s("a"), s("a")],
+                vec![s("a"), s("b")],
+                vec![s("b"), s("a")],
+                vec![Value::Null, s("a")],
+            ];
+            let cs = encode(&rows);
+            let view = BatchView::new(&cs, 0, cs.len());
+            let mut mask = Vec::new();
+            assert!(k.eval_mask(&view, None, &mut mask));
+            let expect: Vec<bool> = rows
+                .iter()
+                .map(|r| {
+                    let scopes: [&[Value]; 2] = [&[], r];
+                    pred.eval(&scopes).unwrap().passes()
+                })
+                .collect();
+            assert_eq!(mask, expect, "op {op:?}");
         }
     }
 
@@ -628,15 +560,16 @@ mod tests {
         let k = BatchPredicate::compile(&pred).expect("conjunction compiles");
         assert!(!k.detail_only());
         let base: Vec<Value> = vec![s("a")];
-        let rows = tuples(&[
+        let rows = vec![
             vec![Value::Int(1), s("a")],
             vec![Value::Int(2), s("a")],
             vec![Value::Null, s("a")],
             vec![Value::Int(5), s("b")],
-        ]);
-        let batch = Batch::decode(&rows);
+        ];
+        let cs = encode(&rows);
+        let view = BatchView::new(&cs, 0, cs.len());
         let mut mask = Vec::new();
-        assert!(k.eval_mask(&batch, Some(&base), &mut mask));
+        assert!(k.eval_mask(&view, Some(&base), &mut mask));
         let expect: Vec<bool> = rows
             .iter()
             .map(|r| {
@@ -657,10 +590,10 @@ mod tests {
             right: S::Literal(s("nope")),
         };
         let k = BatchPredicate::compile(&pred).unwrap();
-        let rows = tuples(&[vec![Value::Int(1)]]);
-        let batch = Batch::decode(&rows);
+        let cs = encode(&[vec![Value::Int(1)]]);
+        let view = BatchView::new(&cs, 0, 1);
         let mut mask = Vec::new();
-        assert!(!k.eval_mask(&batch, None, &mut mask));
+        assert!(!k.eval_mask(&view, None, &mut mask));
     }
 
     #[test]
@@ -673,10 +606,11 @@ mod tests {
             right: S::Literal(Value::Null),
         };
         let k = BatchPredicate::compile(&pred).unwrap();
-        let rows = tuples(&[vec![Value::Int(1)], vec![s("x")]]);
-        let batch = Batch::decode(&rows);
+        let cs = encode(&[vec![Value::Int(1)], vec![s("x")]]);
+        assert!(matches!(cs.col(0).data, ColumnStore::Other(_)));
+        let view = BatchView::new(&cs, 0, 2);
         let mut mask = Vec::new();
-        assert!(k.eval_mask(&batch, None, &mut mask));
+        assert!(k.eval_mask(&view, None, &mut mask));
         assert_eq!(mask, vec![false, false]);
     }
 

@@ -24,21 +24,28 @@
 //!   block-nested-loop), left outer / semi / anti joins, and hash group-by.
 //! * [`index`] — hash equi-key indexes and sorted interval indexes used by
 //!   joins and by the GMDJ evaluator in `gmdj-core`.
-//! * [`batch`] — typed column vectors decoded from rows in fixed-size
-//!   chunks, plus the vectorized comparison kernels the GMDJ detail scan
-//!   dispatches to when a probe shape can be specialized.
+//! * [`columnar`] — the native storage format: typed column vectors with
+//!   validity bitmaps and dictionary-encoded strings, shared by `Arc`
+//!   across clones and renames.
+//! * [`batch`] — vectorized comparison kernels over borrowed windows of
+//!   the stored columns, dispatched by the GMDJ detail scan whenever a
+//!   probe shape can be specialized.
 //! * [`csv`] — RFC-4180-style import/export (schema-checked and
 //!   schema-inferring).
-//! * [`storage`] — paged relations behind an LRU buffer pool with
-//!   logical/physical read counters, the paper's page-I/O cost model made
-//!   executable.
+//! * [`storage`] — column-chunk paged relations behind a buffer pool
+//!   (LRU, optionally scan-resistant) with logical/physical read counters,
+//!   the paper's page-I/O cost model made executable.
 //!
-//! The substrate deliberately stays row-oriented and simple: the paper's
-//! experiments are dominated by scan, probe, and predicate-evaluation costs,
-//! all of which this representation models faithfully.
+//! The substrate is natively columnar: the paper's experiments are
+//! dominated by scan, probe, and predicate-evaluation costs, and the
+//! vectorized kernels read storage directly with zero per-query decode.
+//! Row-at-a-time tuples remain available as a late-materialization view
+//! ([`Relation::rows`]) for the oracle paths, completion plans, and CSV
+//! ingest.
 
 pub mod agg;
 pub mod batch;
+pub mod columnar;
 pub mod csv;
 pub mod error;
 pub mod expr;

@@ -1,8 +1,9 @@
-//! Multiset relations (SQL bag semantics).
+//! Multiset relations (SQL bag semantics), stored natively columnar.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use crate::columnar::ColumnSet;
 use crate::error::{Error, Result};
 use crate::schema::Schema;
 use crate::value::Value;
@@ -16,10 +17,29 @@ pub type Tuple = Box<[Value]>;
 /// SQL relations are bags, not sets; duplicate elimination is an explicit
 /// operator ([`crate::ops::distinct`]). All operators in this workspace
 /// preserve multiset semantics.
-#[derive(Debug, Clone)]
+///
+/// The native representation is columnar ([`ColumnSet`]): typed column
+/// vectors with validity bitmaps and dictionary-encoded strings, shared by
+/// `Arc` across clones and renames. Row-at-a-time access ([`Relation::rows`])
+/// is a *late-materialization view*, rebuilt lazily and cached — it exists
+/// for the row-path oracle, completion plans, CSV ingest, and display, not
+/// for the vectorized scan, which borrows column slices directly.
+#[derive(Debug)]
 pub struct Relation {
     schema: Arc<Schema>,
-    rows: Vec<Tuple>,
+    cols: Arc<ColumnSet>,
+    rows: OnceLock<Vec<Tuple>>,
+}
+
+impl Clone for Relation {
+    /// Cloning shares the columns and drops the materialized-row cache.
+    fn clone(&self) -> Self {
+        Relation {
+            schema: Arc::clone(&self.schema),
+            cols: Arc::clone(&self.cols),
+            rows: OnceLock::new(),
+        }
+    }
 }
 
 impl Relation {
@@ -33,22 +53,41 @@ impl Relation {
                 });
             }
         }
-        Ok(Relation { schema, rows })
+        Ok(Relation::from_parts(schema, rows))
     }
 
-    /// Construct without validation. Callers must guarantee arity; this is
-    /// the hot path used by operators that build rows against a known
-    /// schema.
+    /// Construct without validation, encoding the rows into columns.
+    /// Callers must guarantee arity; this is the path used by operators
+    /// that build rows against a known schema. The input rows are dropped
+    /// after encoding — columnar is the only persistent representation.
     pub fn from_parts(schema: Arc<Schema>, rows: Vec<Tuple>) -> Self {
         debug_assert!(rows.iter().all(|r| r.len() == schema.len()));
-        Relation { schema, rows }
+        let cols = ColumnSet::encode(&rows, schema.len());
+        Relation {
+            schema,
+            cols: Arc::new(cols),
+            rows: OnceLock::new(),
+        }
+    }
+
+    /// Construct directly from an encoded column set (fragment gathers,
+    /// narrow storage scans).
+    pub fn from_columns(schema: Arc<Schema>, cols: Arc<ColumnSet>) -> Self {
+        debug_assert_eq!(schema.len(), cols.width());
+        Relation {
+            schema,
+            cols,
+            rows: OnceLock::new(),
+        }
     }
 
     /// The empty relation over a schema.
     pub fn empty(schema: Arc<Schema>) -> Self {
+        let cols = Arc::new(ColumnSet::empty(schema.len()));
         Relation {
             schema,
-            rows: Vec::new(),
+            cols,
+            rows: OnceLock::new(),
         }
     }
 
@@ -57,38 +96,57 @@ impl Relation {
         &self.schema
     }
 
-    /// Row accessor.
+    /// Columnar body accessor — the native representation.
+    pub fn cols(&self) -> &ColumnSet {
+        &self.cols
+    }
+
+    /// Shared handle on the column store, for views that page or fragment
+    /// the relation without copying it (paged storage, fragments).
+    pub fn cols_arc(&self) -> Arc<ColumnSet> {
+        Arc::clone(&self.cols)
+    }
+
+    /// Row accessor: the late-materialization view. The first call rebuilds
+    /// boxed tuples from the columns and caches them for the lifetime of
+    /// this `Relation` value (clones start with a cold cache).
     pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+        self.rows.get_or_init(|| self.cols.materialize())
     }
 
     /// Number of tuples (with duplicates).
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.cols.len()
     }
 
     /// True when there are no tuples.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.cols.is_empty()
     }
 
-    /// Consume into rows.
+    /// Consume into rows (materializing if no cached view exists).
     pub fn into_rows(self) -> Vec<Tuple> {
-        self.rows
-    }
-
-    /// Re-qualify every attribute: the paper's renaming `Flow → F`.
-    pub fn renamed(&self, qualifier: &str) -> Relation {
-        Relation {
-            schema: self.schema.with_qualifier(qualifier),
-            rows: self.rows.clone(),
+        match self.rows.into_inner() {
+            Some(rows) => rows,
+            None => self.cols.materialize(),
         }
     }
 
-    /// Re-qualify without cloning rows.
+    /// Re-qualify every attribute: the paper's renaming `Flow → F`. The
+    /// columnar body is shared, so this is O(schema).
+    pub fn renamed(&self, qualifier: &str) -> Relation {
+        Relation {
+            schema: self.schema.with_qualifier(qualifier),
+            cols: Arc::clone(&self.cols),
+            rows: OnceLock::new(),
+        }
+    }
+
+    /// Re-qualify without touching the body.
     pub fn into_renamed(self, qualifier: &str) -> Relation {
         Relation {
             schema: self.schema.with_qualifier(qualifier),
+            cols: self.cols,
             rows: self.rows,
         }
     }
@@ -98,11 +156,11 @@ impl Relation {
     /// the same arity; qualifiers are ignored (derived plans produce
     /// differently-qualified but equivalent outputs).
     pub fn multiset_eq(&self, other: &Relation) -> bool {
-        if self.schema.len() != other.schema.len() || self.rows.len() != other.rows.len() {
+        if self.schema.len() != other.schema.len() || self.len() != other.len() {
             return false;
         }
-        let mut a: Vec<&Tuple> = self.rows.iter().collect();
-        let mut b: Vec<&Tuple> = other.rows.iter().collect();
+        let mut a: Vec<&Tuple> = self.rows().iter().collect();
+        let mut b: Vec<&Tuple> = other.rows().iter().collect();
         let cmp = |x: &&Tuple, y: &&Tuple| {
             for (u, v) in x.iter().zip(y.iter()) {
                 let o = u.total_cmp(v);
@@ -122,7 +180,7 @@ impl Relation {
     /// Rows sorted under the total order — deterministic output for
     /// examples and golden tests.
     pub fn sorted_rows(&self) -> Vec<Tuple> {
-        let mut rows = self.rows.clone();
+        let mut rows = self.rows().to_vec();
         rows.sort_by(|x, y| {
             for (u, v) in x.iter().zip(y.iter()) {
                 let o = u.total_cmp(v);
@@ -142,7 +200,7 @@ impl fmt::Display for Relation {
         let headers: Vec<String> = self.schema.qualified_names();
         let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
         let rendered: Vec<Vec<String>> = self
-            .rows
+            .rows()
             .iter()
             .map(|r| r.iter().map(|v| v.to_string()).collect())
             .collect();
@@ -173,7 +231,7 @@ impl fmt::Display for Relation {
             writeln!(f)?;
         }
         rule(f)?;
-        writeln!(f, "({} rows)", self.rows.len())
+        writeln!(f, "({} rows)", self.len())
     }
 }
 
@@ -303,5 +361,31 @@ mod tests {
         assert!(s.contains("T.a"));
         assert!(s.contains("NULL"));
         assert!(s.contains("(1 rows)"));
+    }
+
+    #[test]
+    fn row_view_round_trips_through_columns() {
+        let mixed = RelationBuilder::new("M")
+            .column("i", DataType::Int)
+            .column("s", DataType::Str)
+            .column("f", DataType::Float)
+            .row(vec![1.into(), "a".into(), 1.5.into()])
+            .row(vec![Value::Null, "b".into(), Value::Null])
+            .row(vec![3.into(), Value::Null, 2.5.into()])
+            .build()
+            .unwrap();
+        let rows = mixed.rows().to_vec();
+        let rebuilt = Relation::new(Arc::clone(mixed.schema()), rows).unwrap();
+        assert!(mixed.multiset_eq(&rebuilt));
+        assert_eq!(mixed.into_rows().len(), 3);
+    }
+
+    #[test]
+    fn clones_and_renames_share_the_columnar_body() {
+        let a = rel(vec![vec![1.into(), 2.into()], vec![3.into(), 4.into()]]);
+        let b = a.clone();
+        let c = a.renamed("X");
+        assert!(std::ptr::eq(a.cols(), b.cols()));
+        assert!(std::ptr::eq(a.cols(), c.cols()));
     }
 }

@@ -1,36 +1,54 @@
-//! Paged storage with an LRU buffer pool — the I/O cost model behind the
-//! paper's evaluation.
+//! Column-chunk paged storage with a scan-aware buffer pool — the I/O
+//! cost model behind the paper's evaluation.
 //!
 //! The paper argues costs in terms of *scans of the detail relation* and
 //! claims that "simple memory management techniques allow us to avoid
 //! unnecessary buffer thrashing and compute the GMDJ at a well-defined
-//! cost" (Section 2.3). This module makes those statements measurable:
-//! relations are split into fixed-size pages, every access goes through a
-//! [`BufferPool`] with LRU replacement, and [`IoStats`] separates logical
-//! page touches from physical reads (misses).
+//! cost" (Section 2.3). This module makes those statements measurable on
+//! the native columnar layout: a relation is split per column into
+//! fixed-size chunks, one chunk of one column is one page ([`PageId`]
+//! carries the column dimension), every access goes through a
+//! [`BufferPool`], and [`IoStats`] separates logical page touches from
+//! physical reads (misses).
 //!
 //! The arithmetic the paper relies on falls out directly:
 //!
 //! * a **sequential scan** of a relation with `P` pages through a pool of
-//!   `B < P` frames misses all `P` pages, every time (LRU is defenceless
-//!   against cyclic sequential access);
+//!   `B < P` LRU frames misses all `P` pages, every time (LRU is
+//!   defenceless against cyclic sequential access);
 //! * the **memory-partitioned GMDJ** (k base partitions) performs `k`
 //!   detail scans: exactly `k·P` physical reads — the "well-defined
 //!   cost";
 //! * a **tuple-iteration nested loop** re-scans the detail per outer
 //!   tuple: `n·P` physical reads — the thrashing the GMDJ avoids.
+//!
+//! The columnar layout adds two levers the row layout did not have:
+//!
+//! * a **narrow scan** ([`StorageManager::scan_columns`]) touches only
+//!   the chunks of the referenced columns — a query reading `c` of `w`
+//!   columns pays `c/w` of the pages, and a pool too small for the full
+//!   width can still hold the referenced columns entirely;
+//! * a **scan-resistance hint** ([`BufferPool::with_scan_resistance`]):
+//!   sequential accesses evict the most recently used frame instead of
+//!   the least, so a cyclic scan stops flooding the pool and re-scans
+//!   keep hitting the stable prefix that stayed resident.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
+use crate::columnar::ColumnSet;
 use crate::error::{Error, Result};
 use crate::fxhash::FxHashSet;
-use crate::relation::{Relation, Tuple};
+use crate::relation::Relation;
 use crate::schema::Schema;
 
-/// Identifier of one page of one registered table.
+/// Identifier of one chunk of one column of one registered table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PageId {
     pub table: u32,
+    /// Column whose chunk this page holds — the columnar dimension.
+    pub column: u32,
+    /// Chunk index down the column.
     pub page: u32,
 }
 
@@ -45,30 +63,62 @@ pub struct IoStats {
     pub hits: u64,
 }
 
-/// A fixed-capacity LRU buffer pool over page identifiers.
+/// A fixed-capacity buffer pool over page identifiers. Random accesses
+/// replace LRU; sequential accesses may opt into MRU replacement via
+/// [`BufferPool::with_scan_resistance`].
 #[derive(Debug)]
 pub struct BufferPool {
     capacity: usize,
+    /// Front = least recently used, back = most recently used.
     lru: VecDeque<PageId>,
     resident: FxHashSet<PageId>,
+    scan_resistant: bool,
     /// Counters (reset with [`BufferPool::reset_stats`]).
     pub stats: IoStats,
 }
 
 impl BufferPool {
-    /// Pool with space for `capacity` pages (min 1).
+    /// Pool with space for `capacity` pages (min 1), plain LRU.
     pub fn new(capacity: usize) -> Self {
         BufferPool {
             capacity: capacity.max(1),
             lru: VecDeque::new(),
             resident: FxHashSet::default(),
+            scan_resistant: false,
             stats: IoStats::default(),
         }
+    }
+
+    /// Toggle the scan-resistance hint: when on,
+    /// [`BufferPool::access_sequential`] evicts the *most* recently used
+    /// frame on a miss, so one cyclic scan cannot flood the pool and
+    /// re-scans keep hitting the frames that stayed put. Random accesses
+    /// ([`BufferPool::access`]) always stay LRU.
+    pub fn with_scan_resistance(mut self, on: bool) -> Self {
+        self.scan_resistant = on;
+        self
+    }
+
+    /// Whether the scan-resistance hint is on.
+    pub fn scan_resistant(&self) -> bool {
+        self.scan_resistant
     }
 
     /// Touch a page: returns true on a hit. Misses evict the least
     /// recently used frame.
     pub fn access(&mut self, pid: PageId) -> bool {
+        self.touch(pid, false)
+    }
+
+    /// Touch a page as part of a sequential scan. Identical to
+    /// [`BufferPool::access`] unless the pool is scan-resistant, in which
+    /// case a miss evicts the most recently used frame (the page the scan
+    /// itself just pulled in) instead of flooding the whole pool.
+    pub fn access_sequential(&mut self, pid: PageId) -> bool {
+        self.touch(pid, self.scan_resistant)
+    }
+
+    fn touch(&mut self, pid: PageId, evict_mru: bool) -> bool {
         self.stats.logical_reads += 1;
         if self.resident.contains(&pid) {
             self.stats.hits += 1;
@@ -81,7 +131,12 @@ impl BufferPool {
         }
         self.stats.physical_reads += 1;
         if self.resident.len() >= self.capacity {
-            if let Some(victim) = self.lru.pop_front() {
+            let victim = if evict_mru {
+                self.lru.pop_back()
+            } else {
+                self.lru.pop_front()
+            };
+            if let Some(victim) = victim {
                 self.resident.remove(&victim);
             }
         }
@@ -106,45 +161,57 @@ impl BufferPool {
     }
 }
 
-/// An immutable relation split into fixed-size pages.
+/// An immutable relation paged per column: chunk `p` of column `c` is one
+/// page. The tuples themselves are never copied — the table shares the
+/// relation's column store and pages it logically.
 #[derive(Debug, Clone)]
 pub struct PagedTable {
-    schema: std::sync::Arc<Schema>,
-    pages: Vec<Box<[Tuple]>>,
-    rows: usize,
+    schema: Arc<Schema>,
+    cols: Arc<ColumnSet>,
+    chunk_rows: usize,
 }
 
 impl PagedTable {
-    /// Page a relation at `rows_per_page` tuples per page.
-    pub fn new(relation: &Relation, rows_per_page: usize) -> Result<Self> {
-        let rpp = rows_per_page.max(1);
-        if rows_per_page == 0 {
-            return Err(Error::invalid("rows_per_page must be positive"));
+    /// Page a relation at `rows_per_chunk` tuples per column chunk.
+    pub fn new(relation: &Relation, rows_per_chunk: usize) -> Result<Self> {
+        if rows_per_chunk == 0 {
+            return Err(Error::invalid("rows_per_chunk must be positive"));
         }
-        let pages = relation
-            .rows()
-            .chunks(rpp)
-            .map(|c| c.to_vec().into_boxed_slice())
-            .collect();
         Ok(PagedTable {
             schema: relation.schema().clone(),
-            pages,
-            rows: relation.len(),
+            cols: relation.cols_arc(),
+            chunk_rows: rows_per_chunk,
         })
     }
 
-    /// Number of pages.
+    /// Number of chunks down each column.
+    pub fn chunk_count(&self) -> usize {
+        self.cols.len().div_ceil(self.chunk_rows)
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols.width()
+    }
+
+    /// Number of pages: chunks × columns. A narrow reader never touches
+    /// most of them — that asymmetry is the point of the layout.
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.chunk_count() * self.width()
     }
 
     /// Number of tuples.
     pub fn row_count(&self) -> usize {
-        self.rows
+        self.cols.len()
+    }
+
+    /// Rows per column chunk.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
     }
 
     /// The schema.
-    pub fn schema(&self) -> &std::sync::Arc<Schema> {
+    pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
     }
 }
@@ -153,16 +220,25 @@ impl PagedTable {
 #[derive(Debug)]
 pub struct StorageManager {
     tables: Vec<(String, PagedTable)>,
-    /// The shared pool; public so callers can inspect or reset counters.
+    /// The shared pool; public so callers can inspect or reset counters,
+    /// or swap in a scan-resistant pool.
     pub pool: BufferPool,
 }
 
 impl StorageManager {
-    /// Manager with a pool of `pool_pages` frames.
+    /// Manager with a plain LRU pool of `pool_pages` frames.
     pub fn new(pool_pages: usize) -> Self {
         StorageManager {
             tables: Vec::new(),
             pool: BufferPool::new(pool_pages),
+        }
+    }
+
+    /// Manager whose pool has the scan-resistance hint on.
+    pub fn new_scan_resistant(pool_pages: usize) -> Self {
+        StorageManager {
+            tables: Vec::new(),
+            pool: BufferPool::new(pool_pages).with_scan_resistance(true),
         }
     }
 
@@ -171,9 +247,9 @@ impl StorageManager {
         &mut self,
         name: impl Into<String>,
         relation: &Relation,
-        rows_per_page: usize,
+        rows_per_chunk: usize,
     ) -> Result<u32> {
-        let table = PagedTable::new(relation, rows_per_page)?;
+        let table = PagedTable::new(relation, rows_per_chunk)?;
         self.tables.push((name.into(), table));
         Ok(self.tables.len() as u32 - 1)
     }
@@ -197,41 +273,83 @@ impl StorageManager {
             .ok_or_else(|| Error::invalid(format!("unknown table id {id}")))
     }
 
-    /// Sequentially scan a table through the pool, materializing it as a
-    /// relation. Every page is touched once in order — the access pattern
-    /// of the GMDJ's detail scan.
+    /// Sequentially scan every column of a table through the pool,
+    /// returning a relation that shares the column store. Chunk-major:
+    /// all columns of chunk 0, then chunk 1 — the access pattern of the
+    /// GMDJ's full-width detail scan.
     pub fn sequential_scan(&mut self, id: u32) -> Result<Relation> {
-        let table = self
-            .tables
-            .get(id as usize)
-            .map(|(_, t)| t)
-            .ok_or_else(|| Error::invalid(format!("unknown table id {id}")))?;
-        let mut rows = Vec::with_capacity(table.rows);
-        let pages: Vec<usize> = (0..table.pages.len()).collect();
-        let schema = table.schema.clone();
-        for p in pages {
-            self.pool.access(PageId {
-                table: id,
-                page: p as u32,
-            });
-            // (Re-borrow to appease the borrow checker after pool access.)
-            let t = &self.tables[id as usize].1;
-            rows.extend(t.pages[p].iter().cloned());
+        let t = self.table(id)?;
+        let (schema, cols, chunk_rows) = (t.schema.clone(), t.cols.clone(), t.chunk_rows);
+        let chunks = cols.len().div_ceil(chunk_rows);
+        for chunk in 0..chunks {
+            for column in 0..cols.width() {
+                self.pool.access_sequential(PageId {
+                    table: id,
+                    column: column as u32,
+                    page: chunk as u32,
+                });
+            }
         }
-        Ok(Relation::from_parts(schema, rows))
+        Ok(Relation::from_columns(schema, cols))
     }
 
-    /// Touch the page containing row `row` of a table — the access
-    /// pattern of an index probe into an unclustered table.
-    pub fn touch_row(&mut self, id: u32, row: usize, rows_per_page: usize) {
-        let page = (row / rows_per_page.max(1)) as u32;
-        self.pool.access(PageId { table: id, page });
+    /// Sequentially scan only the named columns — the narrow scan a
+    /// projection-aware reader issues. Touches one page per (referenced
+    /// column, chunk) and returns the projected relation; unreferenced
+    /// columns cost nothing.
+    pub fn scan_columns(&mut self, id: u32, columns: &[usize]) -> Result<Relation> {
+        let t = self.table(id)?;
+        let (schema, cols, chunk_rows) = (t.schema.clone(), t.cols.clone(), t.chunk_rows);
+        for &c in columns {
+            if c >= cols.width() {
+                return Err(Error::invalid(format!(
+                    "scan_columns: column {c} out of range (width {})",
+                    cols.width()
+                )));
+            }
+        }
+        let chunks = cols.len().div_ceil(chunk_rows);
+        for chunk in 0..chunks {
+            for &column in columns {
+                self.pool.access_sequential(PageId {
+                    table: id,
+                    column: column as u32,
+                    page: chunk as u32,
+                });
+            }
+        }
+        let fields = columns
+            .iter()
+            .map(|&c| schema.field(c).clone())
+            .collect::<Vec<_>>();
+        Ok(Relation::from_columns(
+            Schema::new(fields),
+            Arc::new(cols.project(columns)),
+        ))
+    }
+
+    /// Touch the pages containing row `row` of a table — the access
+    /// pattern of an index probe into an unclustered table. Row access
+    /// materializes across the full width, so every column's chunk is
+    /// touched.
+    pub fn touch_row(&mut self, id: u32, row: usize) {
+        let Ok(t) = self.table(id) else { return };
+        let (width, chunk_rows) = (t.cols.width(), t.chunk_rows);
+        let page = (row / chunk_rows) as u32;
+        for column in 0..width {
+            self.pool.access(PageId {
+                table: id,
+                column: column as u32,
+                page,
+            });
+        }
     }
 }
 
-/// Physical reads of `scans` consecutive sequential scans of a `pages`-page
-/// table through a `pool` -frame LRU pool — the closed form the tests pin
-/// the simulation against.
+/// Physical reads of `scans` consecutive sequential scans of `pages`
+/// pages through a `pool`-frame plain-LRU pool — the closed form the
+/// tests pin the simulation against. (The scan-resistant pool has no such
+/// cliff: see `scan_resistance_stops_sequential_flooding`.)
 pub fn sequential_scan_cost(pages: u64, pool: u64, scans: u64) -> u64 {
     if scans == 0 {
         return 0;
@@ -260,12 +378,29 @@ mod tests {
         b.build().unwrap()
     }
 
+    /// Two columns, so the page grid has a width axis to exercise.
+    fn rel2(n: usize) -> Relation {
+        let mut b = RelationBuilder::new("T")
+            .column("x", DataType::Int)
+            .column("y", DataType::Float);
+        for i in 0..n {
+            b = b.row(vec![(i as i64).into(), (i as f64 * 0.5).into()]);
+        }
+        b.build().unwrap()
+    }
+
     #[test]
     fn paging_splits_rows() {
         let t = PagedTable::new(&rel(25), 10).unwrap();
+        assert_eq!(t.chunk_count(), 3);
         assert_eq!(t.page_count(), 3);
         assert_eq!(t.row_count(), 25);
         assert!(PagedTable::new(&rel(5), 0).is_err());
+        // The page grid is chunks × columns.
+        let wide = PagedTable::new(&rel2(25), 10).unwrap();
+        assert_eq!(wide.chunk_count(), 3);
+        assert_eq!(wide.width(), 2);
+        assert_eq!(wide.page_count(), 6);
     }
 
     #[test]
@@ -276,6 +411,30 @@ mod tests {
         assert!(back.multiset_eq(&rel(25)));
         assert_eq!(sm.pool.stats.logical_reads, 3);
         assert_eq!(sm.pool.stats.physical_reads, 3); // cold pool
+    }
+
+    #[test]
+    fn full_width_scan_touches_every_column_chunk() {
+        let mut sm = StorageManager::new(6);
+        let id = sm.register("t", &rel2(25), 10).unwrap();
+        let back = sm.sequential_scan(id).unwrap();
+        assert!(back.multiset_eq(&rel2(25)));
+        assert_eq!(sm.pool.stats.logical_reads, 6); // 3 chunks × 2 columns
+        assert_eq!(sm.pool.stats.physical_reads, 6);
+    }
+
+    #[test]
+    fn narrow_scan_touches_only_referenced_columns() {
+        let mut sm = StorageManager::new(6);
+        let id = sm.register("t", &rel2(25), 10).unwrap();
+        let narrow = sm.scan_columns(id, &[0]).unwrap();
+        assert_eq!(narrow.schema().len(), 1);
+        assert_eq!(narrow.len(), 25);
+        assert_eq!(narrow.cols().value_at(7, 0), crate::value::Value::Int(7));
+        // 3 chunks of one column; the Float column cost nothing.
+        assert_eq!(sm.pool.stats.logical_reads, 3);
+        assert_eq!(sm.pool.stats.physical_reads, 3);
+        assert!(sm.scan_columns(id, &[2]).is_err());
     }
 
     #[test]
@@ -308,6 +467,47 @@ mod tests {
         assert_eq!(sm.pool.stats.hits, 0);
     }
 
+    #[test]
+    fn scan_resistance_stops_sequential_flooding() {
+        // Same 5-pages-through-4-frames cycle, but with the MRU hint on:
+        // the first scan faults 5 pages; after that a stable 3-page
+        // prefix stays resident and each lap misses only the rotating
+        // remainder — 8 total misses instead of LRU's 20.
+        let mut sm = StorageManager::new_scan_resistant(4);
+        let id = sm.register("t", &rel(50), 10).unwrap();
+        for _ in 0..4 {
+            sm.sequential_scan(id).unwrap();
+        }
+        assert!(sm.pool.scan_resistant());
+        assert_eq!(sm.pool.stats.physical_reads, 8);
+        assert_eq!(sm.pool.stats.hits, 12);
+        assert!(sm.pool.stats.physical_reads < sequential_scan_cost(5, 4, 4));
+    }
+
+    #[test]
+    fn rescan_misses_vanish_when_pool_fits_referenced_columns() {
+        // A pool far too small for the full width (10 pages through 5
+        // frames) still holds the *referenced* column entirely (5 pages):
+        // the narrow re-scan misses nothing, while the full-width re-scan
+        // keeps paying. This is the layout's whole argument in one test.
+        let mut sm = StorageManager::new_scan_resistant(5);
+        let id = sm.register("t", &rel2(50), 10).unwrap(); // 5 chunks × 2 cols
+        sm.sequential_scan(id).unwrap();
+        sm.pool.reset_stats();
+        sm.sequential_scan(id).unwrap();
+        let full_rescan_misses = sm.pool.stats.physical_reads;
+        assert!(full_rescan_misses > 0, "full width cannot fit 5 frames");
+
+        let mut sm = StorageManager::new_scan_resistant(5);
+        let id = sm.register("t", &rel2(50), 10).unwrap();
+        sm.scan_columns(id, &[0]).unwrap();
+        assert_eq!(sm.pool.stats.physical_reads, 5); // cold fill
+        sm.pool.reset_stats();
+        sm.scan_columns(id, &[0]).unwrap();
+        assert_eq!(sm.pool.stats.physical_reads, 0, "re-scan is all hits");
+        assert_eq!(sm.pool.stats.hits, 5);
+    }
+
     /// The paper's cost comparison in page I/O: a tuple-iteration nested
     /// loop re-scans the detail per outer tuple; the k-partitioned GMDJ
     /// scans it k times; the in-memory GMDJ once.
@@ -330,17 +530,26 @@ mod tests {
     fn touch_row_maps_rows_to_pages() {
         let mut sm = StorageManager::new(2);
         let id = sm.register("t", &rel(30), 10).unwrap();
-        sm.touch_row(id, 0, 10);
-        sm.touch_row(id, 9, 10); // same page → hit
-        sm.touch_row(id, 10, 10); // next page → miss
+        sm.touch_row(id, 0);
+        sm.touch_row(id, 9); // same page → hit
+        sm.touch_row(id, 10); // next page → miss
         assert_eq!(sm.pool.stats.physical_reads, 2);
         assert_eq!(sm.pool.stats.hits, 1);
+        // A wide table pays one touch per column of the row's chunk.
+        let mut sm = StorageManager::new(4);
+        let id = sm.register("t", &rel2(30), 10).unwrap();
+        sm.touch_row(id, 0);
+        assert_eq!(sm.pool.stats.logical_reads, 2);
     }
 
     #[test]
     fn lru_evicts_least_recently_used() {
         let mut pool = BufferPool::new(2);
-        let pid = |p| PageId { table: 0, page: p };
+        let pid = |p| PageId {
+            table: 0,
+            column: 0,
+            page: p,
+        };
         assert!(!pool.access(pid(1)));
         assert!(!pool.access(pid(2)));
         assert!(pool.access(pid(1))); // refresh 1 → LRU order: 2, 1
@@ -351,13 +560,38 @@ mod tests {
     }
 
     #[test]
+    fn random_access_stays_lru_even_when_scan_resistant() {
+        // The MRU hint only applies to accesses declared sequential;
+        // probe-style `access` keeps LRU semantics.
+        let mut pool = BufferPool::new(2).with_scan_resistance(true);
+        let pid = |p| PageId {
+            table: 0,
+            column: 0,
+            page: p,
+        };
+        pool.access(pid(1));
+        pool.access(pid(2));
+        pool.access(pid(3)); // LRU evicts 1
+        assert!(pool.access(pid(2)), "2 stayed resident");
+        assert!(!pool.access(pid(1)), "1 was the LRU victim");
+    }
+
+    #[test]
     fn stats_reset_preserves_residency() {
         let mut pool = BufferPool::new(4);
-        pool.access(PageId { table: 0, page: 0 });
+        pool.access(PageId {
+            table: 0,
+            column: 0,
+            page: 0,
+        });
         pool.reset_stats();
         assert_eq!(pool.stats, IoStats::default());
         assert!(
-            pool.access(PageId { table: 0, page: 0 }),
+            pool.access(PageId {
+                table: 0,
+                column: 0,
+                page: 0,
+            }),
             "page stayed resident"
         );
     }

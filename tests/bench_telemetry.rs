@@ -26,6 +26,7 @@ fn tiny() -> BenchConfig {
         cross_policy: false,
         quick: true,
         vectorized: true,
+        morsel_size: None,
     }
 }
 
@@ -93,7 +94,7 @@ fn generated_report_validates_and_corruptions_are_rejected() {
     let corruptions = [
         // Wrong version.
         (
-            json.replacen("\"version\":1", "\"version\":999", 1),
+            json.replacen("\"version\":2", "\"version\":999", 1),
             "version",
         ),
         // A counter key deleted from the first entry.
@@ -243,6 +244,7 @@ fn checked_in_baseline_is_schema_valid() {
         "fig5",
         "ablation/probe",
         "ablation/threads",
+        "ablation/morsel_size",
     ] {
         assert!(section.contains(group), "baseline lacks {group}");
     }
@@ -254,4 +256,24 @@ fn checked_in_baseline_is_schema_valid() {
             assert!(counters.get(key).is_some(), "baseline entry missing {key}");
         }
     }
+    // The columnar payoff, recorded: every workload whose scan touched
+    // pages at all references fewer columns than the full detail schema,
+    // so its column-chunk reads are strictly below the row layout's
+    // full-width page reads.
+    let mut narrowed = 0;
+    for e in entries {
+        let counters = e.get("counters").unwrap();
+        let num = |k: &str| counters.get(k).and_then(Json::as_num).unwrap() as u64;
+        let (col, row) = (num("col_chunk_reads"), num("row_page_reads"));
+        if row > 0 {
+            assert!(
+                col < row,
+                "baseline entry {} {} reads as many column chunks ({col}) as row pages ({row})",
+                e.get("group").and_then(Json::as_str).unwrap_or("?"),
+                e.get("label").and_then(Json::as_str).unwrap_or("?"),
+            );
+            narrowed += 1;
+        }
+    }
+    assert!(narrowed > 0, "no entry recorded page accounting");
 }
