@@ -11,7 +11,10 @@
 //! one-shot with `-e`. `SET threads = N;` / `SET sites = N;` switch the
 //! execution policy mid-session (N = 1 thread returns to sequential);
 //! `SET morsel_size = N;` sets the rows per morsel of the parallel
-//! detail scan; answers never depend on the policy. Meta commands:
+//! detail scan; answers never depend on the policy.
+//! `SET stats_addr = HOST:PORT;` starts the HTTP stats endpoint
+//! ([`gmdj_core::serve`]) for the session (`off` stops it). Meta
+//! commands:
 //!
 //! ```text
 //! \tables                 list tables and row counts
@@ -22,6 +25,9 @@
 //! \compare SQL            run under every strategy and compare
 //! \metrics [json]         dump the process metrics registry — key-sorted
 //!                         Prometheus text, or JSON with p50/p95/p99
+//!                         plus a `queries` progress section
+//! \queries [json]         active queries + cumulative progress totals
+//! \flight                 dump the flight recorder's retained trace tail
 //! \timing on|off          toggle the parse/plan/execute breakdown
 //! \q                      quit
 //! ```
@@ -32,8 +38,10 @@ use std::sync::Arc;
 
 use gmdj_core::exec::{MemoryCatalog, TableProvider};
 use gmdj_core::metrics;
+use gmdj_core::progress;
 use gmdj_core::runtime::{ExecMode, ExecPolicy};
-use gmdj_core::trace::{CollectingSink, Span};
+use gmdj_core::serve::StatsServer;
+use gmdj_core::trace::{self, CollectingSink, Span};
 use gmdj_datagen::netflow::{NetflowConfig, NetflowData};
 use gmdj_datagen::tpcr::{TpcrConfig, TpcrData};
 use gmdj_engine::analyze::explain_analyze;
@@ -62,6 +70,9 @@ struct Shell {
     strategy: Strategy,
     policy: ExecPolicy,
     timing: bool,
+    /// The HTTP stats endpoint, when `SET stats_addr` started one.
+    /// Dropping it (shell exit or `SET stats_addr = off`) stops it.
+    stats: Option<StatsServer>,
 }
 
 /// The shell's session variables.
@@ -108,8 +119,61 @@ fn parse_set(sql: &str) -> Option<Result<(SetVar, usize), String>> {
     })
 }
 
+/// Recognize `SET stats_addr = HOST:PORT` / `SET stats_addr = off`.
+/// Handled apart from [`parse_set`]'s numeric session variables because
+/// its value is an address, and setting it has a side effect (starting
+/// or stopping the HTTP stats endpoint).
+fn parse_set_stats_addr(sql: &str) -> Option<Result<String, String>> {
+    let mut words = sql.split_whitespace();
+    if !words.next()?.eq_ignore_ascii_case("set") {
+        return None;
+    }
+    if !words.next()?.eq_ignore_ascii_case("stats_addr") {
+        return None;
+    }
+    let rest: Vec<&str> = words.collect();
+    match rest.as_slice() {
+        ["=", v] => Some(Ok(v.to_string())),
+        [v] => Some(Ok(v.strip_prefix('=').unwrap_or(v).to_string())),
+        _ => Some(Err("usage: SET stats_addr = HOST:PORT (or off)".to_string())),
+    }
+}
+
 impl Shell {
+    fn set_stats_addr(&mut self, value: &str) {
+        if value.eq_ignore_ascii_case("off") {
+            match self.stats.take() {
+                Some(server) => {
+                    let addr = server.local_addr();
+                    server.shutdown();
+                    println!("  stats endpoint on {addr} stopped");
+                }
+                None => println!("  stats endpoint not running"),
+            }
+            return;
+        }
+        // Bind before replacing, so a bad address keeps any running
+        // endpoint alive.
+        match StatsServer::start(value) {
+            Ok(server) => {
+                println!(
+                    "  stats endpoint: http://{}/metrics /queries /flight /healthz",
+                    server.local_addr()
+                );
+                self.stats = Some(server);
+            }
+            Err(e) => eprintln!("cannot bind stats endpoint on `{value}`: {e}"),
+        }
+    }
+
     fn run_sql(&mut self, sql: &str) {
+        if let Some(parsed) = parse_set_stats_addr(sql) {
+            match parsed {
+                Ok(value) => self.set_stats_addr(&value),
+                Err(e) => eprintln!("{e}"),
+            }
+            return;
+        }
         if let Some(parsed) = parse_set(sql) {
             match parsed {
                 // Mode switches keep the session's morsel-size override:
@@ -310,9 +374,53 @@ impl Shell {
             // and byte-stable for a given registry state — diffable
             // across runs and snapshot-testable.
             "\\metrics" => match rest {
-                "json" => println!("{}", metrics::global().render_json()),
+                "json" => {
+                    // The registry document plus a `queries` section
+                    // from the progress registry: splice before the
+                    // closing brace so the render stays one object.
+                    let m = metrics::global().render_json();
+                    let body = m.strip_suffix('}').unwrap_or(&m);
+                    println!("{body},\"queries\":{}}}", progress::global().render_json());
+                }
                 _ => print!("{}", metrics::global().render_prometheus()),
             },
+            "\\queries" => {
+                if rest == "json" {
+                    println!("{}", progress::global().render_json());
+                } else {
+                    let (active, totals) = progress::global().snapshot();
+                    if active.is_empty() {
+                        println!("  no active queries");
+                    }
+                    for q in &active {
+                        let eta = if q.eta_ms > 0 {
+                            format!(", eta {} ms", q.eta_ms)
+                        } else {
+                            String::new()
+                        };
+                        println!(
+                            "  #{} [{} {} {}] {}/{} morsels, {} rows, {} ms{eta}  {}",
+                            q.id,
+                            q.strategy,
+                            q.policy,
+                            q.phase,
+                            q.morsels_done,
+                            q.morsels_total,
+                            q.rows_done,
+                            q.elapsed_ms,
+                            q.sql
+                        );
+                    }
+                    println!(
+                        "  totals: {} started, {} finished, {} morsels, {} rows",
+                        totals.queries_started,
+                        totals.queries_finished,
+                        totals.morsels_done,
+                        totals.rows_done
+                    );
+                }
+            }
+            "\\flight" => println!("{}", trace::flight().dump_json()),
             "\\dot" => match gmdj_sql::parse_query(rest) {
                 Ok(q) => {
                     match gmdj_core::translate::subquery_to_gmdj(&q, &self.catalog) {
@@ -330,7 +438,7 @@ impl Shell {
                 self.timing = rest != "off";
                 println!("  timing {}", if self.timing { "on" } else { "off" });
             }
-            other => eprintln!("unknown meta command `{other}` (try \\tables, \\strategy, \\explain, \\analyze, \\compare, \\metrics, \\timing, \\q)"),
+            other => eprintln!("unknown meta command `{other}` (try \\tables, \\strategy, \\explain, \\analyze, \\compare, \\metrics, \\queries, \\flight, \\timing, \\q)"),
         }
         true
     }
@@ -490,7 +598,8 @@ fn main() -> ExitCode {
                      --morsel-size N   rows per morsel of the parallel detail scan\n\
                      -e SQL            run one query and exit (repeatable)\n\n\
                      `SET threads = N;` / `SET sites = N;` / `SET morsel_size = N;`\n\
-                     change the policy mid-session."
+                     change the policy mid-session; `SET stats_addr = HOST:PORT;`\n\
+                     starts the HTTP stats endpoint (`off` stops it)."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -506,6 +615,7 @@ fn main() -> ExitCode {
         strategy,
         policy,
         timing: true,
+        stats: None,
     };
     if !one_shot.is_empty() {
         for sql in one_shot {
@@ -514,7 +624,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    println!("gmdj-sql-shell — \\q to quit, \\tables, \\strategy, \\explain, \\analyze, \\dot, \\compare, \\metrics");
+    println!("gmdj-sql-shell — \\q to quit, \\tables, \\strategy, \\explain, \\analyze, \\dot, \\compare, \\metrics, \\queries, \\flight");
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {

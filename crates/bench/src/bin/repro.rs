@@ -3,11 +3,12 @@
 //! ```text
 //! repro [--figure 2|3|4|5] [--scale F] [--seed N] [--threads N] [--full]
 //!       [--morsel-size N] [--profile-json PATH] [--check-profile PATH]
+//!       [--stats-addr HOST:PORT] [--flight-dump PATH] [--no-flight]
 //! repro fuzz --seed S --cases N [--replay FILE|DIR] [--corpus-dir DIR]
 //! repro bench [--quick] [--scale F] [--seed N] [--reps N] [--warmup N]
 //!             [--out DIR] [--baseline PATH] [--check-baseline] [--bless]
 //!             [--wall-tolerance F] [--no-ablations] [--no-vectorized]
-//!             [--morsel-size N] [--compare A.json B.json]
+//!             [--morsel-size N] [--no-flight] [--compare A.json B.json]
 //! ```
 //!
 //! The `fuzz` subcommand (see `gmdj_fuzz::cli`) runs seeded random nested
@@ -34,11 +35,20 @@
 //! (wall-clock, work counters, and the timed per-node plan trees) in the
 //! format of `schemas/profile.schema.json`; `--check-profile PATH`
 //! parses + validates an existing profile and exits, for CI.
+//!
+//! Observability: `--stats-addr HOST:PORT` serves the live HTTP stats
+//! endpoint (`/metrics`, `/queries`, `/flight`, `/healthz` — see
+//! `gmdj_core::serve`) for the duration of the run; `--flight-dump PATH`
+//! writes the flight recorder's retained trace tail as JSON on exit;
+//! `--no-flight` disables the always-on flight recorder (the overhead
+//! ablation of EXPERIMENTS.md).
 
 use std::process::ExitCode;
 
 use gmdj_bench::{profile, render_table, run_figure_with, shape, FigureId};
 use gmdj_core::runtime::ExecPolicy;
+use gmdj_core::serve::StatsServer;
+use gmdj_core::trace;
 
 struct Args {
     figures: Vec<FigureId>,
@@ -49,6 +59,9 @@ struct Args {
     csv_dir: Option<String>,
     profile_json: Option<String>,
     check_profile: Option<String>,
+    stats_addr: Option<String>,
+    flight_dump: Option<String>,
+    no_flight: bool,
 }
 
 impl Args {
@@ -71,6 +84,9 @@ fn parse_args() -> Result<Args, String> {
     let mut csv_dir: Option<String> = None;
     let mut profile_json: Option<String> = None;
     let mut check_profile: Option<String> = None;
+    let mut stats_addr: Option<String> = None;
+    let mut flight_dump: Option<String> = None;
+    let mut no_flight = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -111,6 +127,13 @@ fn parse_args() -> Result<Args, String> {
             "--check-profile" => {
                 check_profile = Some(argv.next().ok_or("--check-profile needs a path")?);
             }
+            "--stats-addr" => {
+                stats_addr = Some(argv.next().ok_or("--stats-addr needs HOST:PORT")?);
+            }
+            "--flight-dump" => {
+                flight_dump = Some(argv.next().ok_or("--flight-dump needs a path")?);
+            }
+            "--no-flight" => no_flight = true,
             "--help" | "-h" => {
                 println!(
                     "repro — regenerate the figures of 'Efficient Computation of \
@@ -126,7 +149,11 @@ fn parse_args() -> Result<Args, String> {
                      --csv DIR    also write the measurement grid as DIR/figN.csv\n  \
                      --profile-json PATH   write a machine-readable profile (timed\n                        \
                      plan trees + counters; see schemas/profile.schema.json)\n  \
-                     --check-profile PATH  validate an existing profile and exit\n\n\
+                     --check-profile PATH  validate an existing profile and exit\n  \
+                     --stats-addr H:P      serve live /metrics /queries /flight /healthz\n                        \
+                     over HTTP for the duration of the run\n  \
+                     --flight-dump PATH    write the flight recorder's trace tail on exit\n  \
+                     --no-flight           disable the always-on flight recorder\n\n\
                      subcommands:\n  \
                      fuzz         differential fuzzing of the subquery pipeline\n               \
                      (repro fuzz --help for its options)\n  \
@@ -150,6 +177,9 @@ fn parse_args() -> Result<Args, String> {
         csv_dir,
         profile_json,
         check_profile,
+        stats_addr,
+        flight_dump,
+        no_flight,
     })
 }
 
@@ -256,6 +286,7 @@ fn bench_cmd(argv: &[String]) -> ExitCode {
                 }
                 "--no-ablations" => cfg.ablations = false,
                 "--no-vectorized" => vectorized = false,
+                "--no-flight" => trace::flight().set_enabled(false),
                 "--morsel-size" => {
                     let rows: usize = next("--morsel-size")?
                         .parse()
@@ -294,6 +325,9 @@ fn bench_cmd(argv: &[String]) -> ExitCode {
                          --no-ablations       skip the ablation grid\n  \
                          --no-vectorized      force the row-path detail scan (the\n                       \
                          counters are identical either way — same baseline)\n  \
+                         --no-flight          disable the always-on flight recorder\n                       \
+                         (the overhead ablation of EXPERIMENTS.md; gated\n                       \
+                         counters are identical either way)\n  \
                          --morsel-size N      rows per morsel on the grid's parallel\n                       \
                          policies (pure scheduling; counters identical, but\n                       \
                          the +mN label keys a separate trajectory)\n  \
@@ -434,6 +468,26 @@ fn main() -> ExitCode {
     if let Some(path) = &args.check_profile {
         return check_profile_file(path);
     }
+    if args.no_flight {
+        trace::flight().set_enabled(false);
+    }
+    // Held for the duration of the run; dropped (and joined) on exit.
+    let _stats = match &args.stats_addr {
+        Some(addr) => match StatsServer::start(addr) {
+            Ok(server) => {
+                eprintln!(
+                    "stats endpoint: http://{}/metrics /queries /flight /healthz",
+                    server.local_addr()
+                );
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("error: cannot bind stats endpoint on `{addr}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     println!(
         "Reproducing Akinde & Böhlen (ICDE 2003), scale {} of the paper's sizes, seed {}, {} thread(s)\n",
         args.scale, args.seed, args.threads
@@ -470,6 +524,13 @@ fn main() -> ExitCode {
         }
         if let Err(e) = std::fs::write(path, &doc) {
             eprintln!("profile write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &args.flight_dump {
+        if let Err(e) = std::fs::write(path, trace::flight().dump_json()) {
+            eprintln!("flight dump failed: {e}");
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {path}");

@@ -8,6 +8,7 @@
 //! on the hand-rolled [`Json`] parser below — CI regenerates a profile
 //! and validates it on every push).
 
+use gmdj_core::progress::{self, QUERIES_VERSION};
 use gmdj_core::runtime::{ExecPolicy, PlanNodeStats};
 use gmdj_core::trace::json_escape;
 
@@ -16,17 +17,28 @@ use crate::{Figure, Measurement};
 /// Schema version written to and required from profile documents.
 /// Version 2 added the page-accounting counters (`col_chunk_reads`,
 /// `row_page_reads`) to every plan node's `eval` block and `morsels` to
-/// its `kernel` block.
-pub const PROFILE_VERSION: u64 = 2;
+/// its `kernel` block. Version 3 added the top-level `progress` object
+/// (the cumulative totals of [`gmdj_core::progress`]'s query registry).
+pub const PROFILE_VERSION: u64 = 3;
 
 /// Render a full profile document for a set of regenerated figures.
 pub fn render_profile(figures: &[Figure], policy: &ExecPolicy, scale: f64, seed: u64) -> String {
+    // Cumulative progress-registry totals for every query this process
+    // ran (the figures' runs all report into the global registry).
+    let (_, totals) = progress::global().snapshot();
     let mut out = format!(
-        "{{\"version\":{},\"policy\":\"{}\",\"scale\":{},\"seed\":{},\"figures\":[",
+        "{{\"version\":{},\"policy\":\"{}\",\"scale\":{},\"seed\":{},\
+         \"progress\":{{\"queries_started\":{},\"queries_finished\":{},\
+         \"rows_done\":{},\"morsels_done\":{},\"morsels_total\":{}}},\"figures\":[",
         PROFILE_VERSION,
         json_escape(&format!("{:?}", policy.mode)),
         scale,
-        seed
+        seed,
+        totals.queries_started,
+        totals.queries_finished,
+        totals.rows_done,
+        totals.morsels_done,
+        totals.morsels_total
     );
     for (i, fig) in figures.iter().enumerate() {
         if i > 0 {
@@ -293,6 +305,15 @@ const EVAL_COUNTERS: [&str; 12] = [
     "row_page_reads",
 ];
 
+/// The cumulative totals a `progress` / `totals` object carries.
+const PROGRESS_TOTALS: [&str; 5] = [
+    "queries_started",
+    "queries_finished",
+    "rows_done",
+    "morsels_done",
+    "morsels_total",
+];
+
 fn require_num(obj: &Json, key: &str, at: &str) -> Result<(), String> {
     obj.get(key)
         .and_then(Json::as_num)
@@ -362,6 +383,12 @@ pub fn validate_profile(doc: &Json) -> Result<(), String> {
     require_str(doc, "policy", "profile")?;
     require_num(doc, "scale", "profile")?;
     require_num(doc, "seed", "profile")?;
+    let progress = doc
+        .get("progress")
+        .ok_or("missing `progress` object (added in version 3)")?;
+    for key in PROGRESS_TOTALS {
+        require_num(progress, key, "profile.progress")?;
+    }
     let figures = doc
         .get("figures")
         .and_then(Json::as_arr)
@@ -399,6 +426,54 @@ pub fn validate_profile(doc: &Json) -> Result<(), String> {
                 }
             }
         }
+    }
+    Ok(())
+}
+
+/// Validate a queries/progress document (the shell's `\queries json`,
+/// the HTTP `/queries` endpoint, `schemas/queries.schema.json`).
+/// Checks the field inventory and the live progress invariant
+/// `morsels_done ≤ morsels_total` on every active entry.
+pub fn validate_queries(doc: &Json) -> Result<(), String> {
+    let version = doc
+        .get("version")
+        .and_then(Json::as_num)
+        .ok_or("missing numeric `version`")?;
+    if version != QUERIES_VERSION as f64 {
+        return Err(format!("unsupported queries version {version}"));
+    }
+    let active = doc
+        .get("active")
+        .and_then(Json::as_arr)
+        .ok_or("missing `active` array")?;
+    for (i, q) in active.iter().enumerate() {
+        let at = format!("active[{i}]");
+        for key in ["sql", "strategy", "policy", "phase"] {
+            require_str(q, key, &at)?;
+        }
+        for key in [
+            "id",
+            "elapsed_ms",
+            "rows_done",
+            "morsels_done",
+            "morsels_total",
+            "eta_ms",
+            "predicted_cost",
+            "eta_cost_ms",
+        ] {
+            require_num(q, key, &at)?;
+        }
+        let done = q.get("morsels_done").and_then(Json::as_num).unwrap_or(0.0);
+        let total = q.get("morsels_total").and_then(Json::as_num).unwrap_or(0.0);
+        if done > total {
+            return Err(format!(
+                "{at}: morsels_done {done} exceeds morsels_total {total}"
+            ));
+        }
+    }
+    let totals = doc.get("totals").ok_or("missing `totals` object")?;
+    for key in PROGRESS_TOTALS {
+        require_num(totals, key, "totals")?;
     }
     Ok(())
 }
@@ -528,29 +603,82 @@ mod tests {
         assert_eq!(back.children[0].scanned_rows, 10);
     }
 
+    const PROGRESS: &str = r#""progress":{"queries_started":4,"queries_finished":4,
+        "rows_done":100,"morsels_done":8,"morsels_total":8}"#;
+
     #[test]
     fn validation_rejects_missing_counters() {
-        let doc = parse_json(
-            r#"{"version":2,"policy":"Sequential","scale":0.01,"seed":1,"figures":[
-                {"name":"f","description":"d","points":[
-                    {"label":"l","outer":1,"inner":1,"measurements":[
-                        {"strategy":"s","wall_us":1,"plan_us":0,"work":1,"rows":1,"plan":null}
-                    ]}]}]}"#,
-        )
+        let doc = parse_json(&format!(
+            r#"{{"version":3,"policy":"Sequential","scale":0.01,"seed":1,{PROGRESS},"figures":[
+                {{"name":"f","description":"d","points":[
+                    {{"label":"l","outer":1,"inner":1,"measurements":[
+                        {{"strategy":"s","wall_us":1,"plan_us":0,"work":1,"rows":1,"plan":null}}
+                    ]}}]}}]}}"#,
+        ))
         .unwrap();
         validate_profile(&doc).unwrap();
 
-        // Version 1 profiles predate the page-accounting counters.
-        let stale =
-            parse_json(r#"{"version":1,"policy":"x","scale":1,"seed":1,"figures":[{}]}"#).unwrap();
-        assert!(validate_profile(&stale)
+        // Version 2 profiles predate the `progress` section.
+        for stale_version in [1, 2] {
+            let stale = parse_json(&format!(
+                r#"{{"version":{stale_version},"policy":"x","scale":1,"seed":1,"figures":[{{}}]}}"#
+            ))
+            .unwrap();
+            assert!(validate_profile(&stale)
+                .unwrap_err()
+                .contains("unsupported"));
+        }
+        let no_progress =
+            parse_json(r#"{"version":3,"policy":"x","scale":1,"seed":1,"figures":[{}]}"#).unwrap();
+        assert!(validate_profile(&no_progress)
+            .unwrap_err()
+            .contains("progress"));
+        let bad = parse_json(&format!(
+            r#"{{"version":3,"policy":"x","scale":1,"seed":1,{PROGRESS},"figures":[{{}}]}}"#
+        ))
+        .unwrap();
+        assert!(validate_profile(&bad).is_err());
+        let empty = parse_json(&format!(
+            r#"{{"version":3,"policy":"x","scale":1,"seed":1,{PROGRESS},"figures":[]}}"#
+        ))
+        .unwrap();
+        assert!(validate_profile(&empty).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn queries_document_validates_and_corruption_is_caught() {
+        // The live render of the global registry is always valid.
+        let doc = parse_json(&progress::global().render_json()).unwrap();
+        validate_queries(&doc).unwrap();
+
+        let ok = parse_json(
+            r#"{"version":1,"active":[{"id":1,"sql":"q","strategy":"gmdj-opt",
+                "policy":"par4","phase":"GMDJ","elapsed_ms":10,"rows_done":5,
+                "morsels_done":2,"morsels_total":4,"eta_ms":10,
+                "predicted_cost":100,"eta_cost_ms":12}],
+                "totals":{"queries_started":1,"queries_finished":0,
+                "rows_done":5,"morsels_done":2,"morsels_total":4}}"#,
+        )
+        .unwrap();
+        validate_queries(&ok).unwrap();
+
+        // morsels_done > morsels_total violates the progress invariant.
+        let over = parse_json(
+            r#"{"version":1,"active":[{"id":1,"sql":"q","strategy":"s",
+                "policy":"p","phase":"","elapsed_ms":0,"rows_done":0,
+                "morsels_done":9,"morsels_total":4,"eta_ms":0,
+                "predicted_cost":0,"eta_cost_ms":0}],
+                "totals":{"queries_started":1,"queries_finished":0,
+                "rows_done":0,"morsels_done":9,"morsels_total":4}}"#,
+        )
+        .unwrap();
+        assert!(validate_queries(&over).unwrap_err().contains("exceeds"));
+
+        let stale = parse_json(r#"{"version":99,"active":[],"totals":{}}"#).unwrap();
+        assert!(validate_queries(&stale)
             .unwrap_err()
             .contains("unsupported"));
-        let bad =
-            parse_json(r#"{"version":2,"policy":"x","scale":1,"seed":1,"figures":[{}]}"#).unwrap();
-        assert!(validate_profile(&bad).is_err());
-        let empty =
-            parse_json(r#"{"version":2,"policy":"x","scale":1,"seed":1,"figures":[]}"#).unwrap();
-        assert!(validate_profile(&empty).unwrap_err().contains("empty"));
+        let no_totals = parse_json(r#"{"version":1,"active":[]}"#).unwrap();
+        assert!(validate_queries(&no_totals).unwrap_err().contains("totals"));
     }
 }

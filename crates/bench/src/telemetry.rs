@@ -29,7 +29,7 @@
 use gmdj_core::cost;
 use gmdj_core::eval::ProbeStrategy;
 use gmdj_core::metrics;
-use gmdj_core::runtime::{ExecMode, ExecPolicy, PlanNodeStats};
+use gmdj_core::runtime::{ExecPolicy, PlanNodeStats};
 use gmdj_engine::strategy::{run_with_policy, RunResult, Strategy};
 use gmdj_relation::error::{Error, Result};
 
@@ -409,20 +409,10 @@ impl BenchEntry {
     }
 }
 
-/// Stable, filename-safe label for an execution policy.
+/// Stable, filename-safe label for an execution policy (delegates to
+/// [`ExecPolicy::label`], which the progress registry also uses).
 pub fn policy_label(policy: &ExecPolicy) -> String {
-    let mut label = match policy.mode {
-        ExecMode::Sequential => "seq".to_string(),
-        ExecMode::Parallel { threads } => format!("par{threads}"),
-        ExecMode::Distributed { sites } => format!("dist{sites}"),
-    };
-    if let Some(rows) = policy.partition_rows {
-        label.push_str(&format!("+part{rows}"));
-    }
-    if let Some(rows) = policy.morsel_size {
-        label.push_str(&format!("+m{rows}"));
-    }
-    label
+    policy.label()
 }
 
 /// Configuration of one bench run. [`BenchConfig::quick`] is the CI /

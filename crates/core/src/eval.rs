@@ -306,11 +306,16 @@ pub fn eval_gmdj_filtered_traced(
         stats,
         &mut kernel,
         sink,
+        None,
     )
 }
 
 /// [`eval_gmdj_filtered_traced`] additionally reporting which physical
-/// scan path ran via [`KernelStats`] (batched kernels vs row fallback).
+/// scan path ran via [`KernelStats`] (batched kernels vs row fallback),
+/// and optionally feeding live query progress: the sequential scan
+/// schedules one progress morsel per base-partition detail pass, ticked
+/// (with the partition's exact scanned-row delta) as each pass
+/// completes.
 #[allow(clippy::too_many_arguments)]
 pub fn eval_gmdj_filtered_full(
     base: &Relation,
@@ -323,6 +328,7 @@ pub fn eval_gmdj_filtered_full(
     stats: &mut EvalStats,
     kernel: &mut KernelStats,
     sink: &dyn crate::trace::TraceSink,
+    progress: Option<&crate::progress::QueryProgress>,
 ) -> Result<Relation> {
     if completion.is_some() && selection.is_none() {
         return Err(Error::invalid("completion plan requires a selection"));
@@ -370,6 +376,12 @@ pub fn eval_gmdj_filtered_full(
         let mut span = span;
         span.fields(stats.minus(&before).trace_fields());
         span.finish();
+        if let Some(p) = progress {
+            // One progress morsel per partition pass; rows are the
+            // pass's exact scanned delta (completion may truncate it).
+            p.add_morsels_done(1);
+            p.add_rows(stats.detail_scanned - before.detail_scanned);
+        }
         start = end;
         if base.is_empty() {
             break;

@@ -20,6 +20,7 @@ use gmdj_relation::relation::Relation;
 use crate::distributed::NetworkStats;
 use crate::eval::{EvalStats, GmdjOptions};
 use crate::plan::GmdjExpr;
+use crate::progress::QueryProgress;
 use crate::runtime::{ExecPolicy, PlanNodeStats, Runtime};
 use crate::trace::{NullSink, Span, TraceSink};
 use crate::translate::SchemaInfo;
@@ -60,6 +61,10 @@ pub struct ExecContext {
     /// Span sink: `plan.node` spans plus everything the [`Runtime`]
     /// emits beneath them. Defaults to [`NullSink`].
     pub sink: Arc<dyn TraceSink>,
+    /// Live progress handle fed by the runtime's scan loops and phased
+    /// by plan-node labels as the executor walks the tree. `None` when
+    /// the query is not registered with [`crate::progress`].
+    pub progress: Option<Arc<QueryProgress>>,
 }
 
 impl Default for ExecContext {
@@ -70,6 +75,7 @@ impl Default for ExecContext {
             network: NetworkStats::default(),
             plan_stats: None,
             sink: Arc::new(NullSink),
+            progress: None,
         }
     }
 }
@@ -102,6 +108,12 @@ impl ExecContext {
         self.sink = sink;
         self
     }
+
+    /// Builder-style: feed live progress into `progress`.
+    pub fn with_progress(mut self, progress: Arc<QueryProgress>) -> Self {
+        self.progress = Some(progress);
+        self
+    }
 }
 
 /// Evaluate a GMDJ expression under the context's policy, recording a
@@ -112,7 +124,10 @@ pub fn execute(
     ctx: &mut ExecContext,
 ) -> Result<Relation> {
     ctx.policy.validate()?;
-    let runtime = Runtime::with_sink(ctx.policy, ctx.sink.clone());
+    let mut runtime = Runtime::with_sink(ctx.policy, ctx.sink.clone());
+    if let Some(p) = &ctx.progress {
+        runtime = runtime.with_progress(p.clone());
+    }
     let (rel, tree) = execute_node(expr, tables, &runtime)?;
     ctx.stats.merge(&tree.total_eval());
     ctx.network.merge(&tree.total_network());
@@ -132,11 +147,33 @@ fn unary_node(label: &str, rows_in: usize, out: &Relation, child: PlanNodeStats)
 /// Run one plan node, recording inclusive wall-clock (children included;
 /// [`PlanNodeStats::self_time_ns`] recovers self-time) and emitting a
 /// `plan.node` span per node.
+/// The plan-node phase label progress reports while a node (or its
+/// subtree) is executing — cheap static names, set pre-order so the
+/// live phase is the node most recently entered.
+fn phase_label(expr: &GmdjExpr) -> &'static str {
+    match expr {
+        GmdjExpr::Table { .. } => "Table",
+        GmdjExpr::Select { .. } => "Select",
+        GmdjExpr::Project { .. } => "Project",
+        GmdjExpr::AggProject { .. } => "AggProject",
+        GmdjExpr::Join { .. } => "Join",
+        GmdjExpr::DropComputed { .. } => "DropComputed",
+        GmdjExpr::GroupBy { .. } => "GroupBy",
+        GmdjExpr::OrderBy { .. } => "OrderBy",
+        GmdjExpr::Limit { .. } => "Limit",
+        GmdjExpr::Gmdj { .. } => "GMDJ",
+        GmdjExpr::FilteredGmdj { .. } => "FilteredGMDJ",
+    }
+}
+
 fn execute_node(
     expr: &GmdjExpr,
     tables: &dyn TableProvider,
     runtime: &Runtime,
 ) -> Result<(Relation, PlanNodeStats)> {
+    if let Some(p) = runtime.progress() {
+        p.set_phase(phase_label(expr));
+    }
     let span = Span::begin(runtime.sink().as_ref(), "plan.node");
     let start = Instant::now();
     let (rel, mut node) = run_node(expr, tables, runtime)?;
@@ -229,6 +266,11 @@ fn run_node(
             let (b, b_node) = execute_node(base, tables, runtime)?;
             let (d, d_node) = execute_node(detail, tables, runtime)?;
             let mut node = PlanNodeStats::new("GMDJ");
+            // The scan is the node's own work, after its children — put
+            // the phase back on this node for the duration.
+            if let Some(p) = runtime.progress() {
+                p.set_phase("GMDJ");
+            }
             let out = runtime.eval_gmdj(&b, &d, spec, &mut node)?;
             node.rows_out = out.len() as u64;
             node.children.push(b_node);
@@ -246,6 +288,9 @@ fn run_node(
             let (b, b_node) = execute_node(base, tables, runtime)?;
             let (d, d_node) = execute_node(detail, tables, runtime)?;
             let mut node = PlanNodeStats::new("FilteredGMDJ");
+            if let Some(p) = runtime.progress() {
+                p.set_phase("FilteredGMDJ");
+            }
             let out = runtime.eval(
                 &b,
                 &d,

@@ -81,7 +81,9 @@ pub mod exec;
 pub mod metrics;
 pub mod optimize;
 pub mod plan;
+pub mod progress;
 pub mod runtime;
+pub mod serve;
 pub mod spec;
 pub mod trace;
 pub mod translate;
@@ -94,7 +96,11 @@ pub use exec::{execute, ExecContext, TableProvider};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use optimize::optimize;
 pub use plan::GmdjExpr;
+pub use progress::{ProgressRegistry, ProgressTicket, QueryProgress, QuerySnapshot};
 pub use runtime::{ExecMode, ExecPolicy, PlanNodeStats, Runtime};
+pub use serve::StatsServer;
 pub use spec::{AggBlock, GmdjSpec};
-pub use trace::{CollectingSink, JsonLinesSink, NullSink, Span, TraceEvent, TraceSink};
+pub use trace::{
+    CollectingSink, FlightRecorder, JsonLinesSink, NullSink, Span, TeeSink, TraceEvent, TraceSink,
+};
 pub use translate::subquery_to_gmdj;

@@ -128,6 +128,7 @@ impl Histogram {
 #[derive(Debug, Default)]
 struct Inner {
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
     histograms: BTreeMap<String, Histogram>,
 }
 
@@ -151,6 +152,42 @@ impl MetricsRegistry {
         }
         let mut inner = self.inner.lock().expect("metrics poisoned");
         *inner.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Set the named gauge to an absolute value (created on first use).
+    /// Unlike counters, gauges move both ways — they model levels
+    /// (`queries_active`, ring-buffer loss) rather than totals.
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Add `delta` (possibly negative) to the named gauge.
+    pub fn gauge_add(&self, name: &str, delta: i64) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        let g = inner.gauges.entry(name.to_string()).or_insert(0);
+        *g = g.saturating_add(delta);
+    }
+
+    /// Increment the named gauge by one.
+    pub fn gauge_inc(&self, name: &str) {
+        self.gauge_add(name, 1);
+    }
+
+    /// Decrement the named gauge by one.
+    pub fn gauge_dec(&self, name: &str) {
+        self.gauge_add(name, -1);
+    }
+
+    /// Current value of a gauge (zero if never set).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.inner
+            .lock()
+            .expect("metrics poisoned")
+            .gauges
+            .get(name)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Record one observation into the named histogram.
@@ -199,6 +236,7 @@ impl MetricsRegistry {
     pub fn reset(&self) {
         let mut inner = self.inner.lock().expect("metrics poisoned");
         inner.counters.clear();
+        inner.gauges.clear();
         inner.histograms.clear();
     }
 
@@ -216,6 +254,15 @@ impl MetricsRegistry {
             let family = base_name(name);
             if last_family.as_deref() != Some(family) {
                 out.push_str(&format!("# TYPE {family} counter\n"));
+                last_family = Some(family.to_string());
+            }
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        last_family = None;
+        for (name, v) in &inner.gauges {
+            let family = base_name(name);
+            if last_family.as_deref() != Some(family) {
+                out.push_str(&format!("# TYPE {family} gauge\n"));
                 last_family = Some(family.to_string());
             }
             out.push_str(&format!("{name} {v}\n"));
@@ -241,11 +288,19 @@ impl MetricsRegistry {
         out
     }
 
-    /// JSON rendering: `{"counters": {...}, "histograms": {...}}`.
+    /// JSON rendering:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
     pub fn render_json(&self) -> String {
         let inner = self.inner.lock().expect("metrics poisoned");
         let mut out = String::from("{\"counters\":{");
         for (i, (name, v)) in inner.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", crate::trace::json_escape(name)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in inner.gauges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -401,12 +456,56 @@ mod tests {
     }
 
     #[test]
+    fn gauges_move_both_ways_and_render() {
+        let m = MetricsRegistry::new();
+        m.gauge_set("queries_active", 3);
+        m.gauge_inc("queries_active");
+        m.gauge_dec("queries_active");
+        m.gauge_add("queries_active", -2);
+        assert_eq!(m.gauge("queries_active"), 1);
+        assert_eq!(m.gauge("missing"), 0);
+        m.gauge_set("flight_recorder_dropped_events", 7);
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE queries_active gauge"), "{text}");
+        assert!(text.contains("queries_active 1"), "{text}");
+        assert!(text.contains("flight_recorder_dropped_events 7"), "{text}");
+        // Gauges render after counters, key-sorted, byte-stable.
+        assert_eq!(text, m.render_prometheus());
+        let json = m.render_json();
+        assert!(
+            json.contains("\"gauges\":{\"flight_recorder_dropped_events\":7,\"queries_active\":1}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn gauge_type_lines_dedupe_per_family() {
+        let m = MetricsRegistry::new();
+        m.gauge_set("pool_size", 1);
+        m.gauge_set("pool_size{kind=\"a\"}", 2);
+        let text = m.render_prometheus();
+        assert_eq!(text.matches("# TYPE pool_size gauge").count(), 1);
+    }
+
+    #[test]
+    fn json_shape_keeps_counters_first() {
+        let m = MetricsRegistry::new();
+        m.inc("a_total", 1);
+        m.gauge_set("g", -4);
+        let json = m.render_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("},\"gauges\":{\"g\":-4},\"histograms\":{"));
+    }
+
+    #[test]
     fn reset_clears_everything() {
         let m = MetricsRegistry::new();
         m.inc("x", 1);
+        m.gauge_set("g", 2);
         m.observe("y", 1);
         m.reset();
         assert_eq!(m.counter("x"), 0);
+        assert_eq!(m.gauge("g"), 0);
         assert!(m.histogram("y").is_none());
         assert!(m.counter_names().is_empty());
     }

@@ -68,6 +68,7 @@ use crate::eval::{
     Keep, KernelStats, ProbeStrategy,
 };
 use crate::metrics;
+use crate::progress::QueryProgress;
 use crate::spec::GmdjSpec;
 use crate::trace::{NullSink, Span, TraceSink};
 
@@ -178,6 +179,24 @@ impl ExecPolicy {
     pub fn with_morsel_size(mut self, rows: Option<usize>) -> Self {
         self.morsel_size = rows;
         self
+    }
+
+    /// Stable, filename-safe label: `seq`, `par4`, `dist2`, with
+    /// `+partN` / `+mN` suffixes for the memory budget and morsel size.
+    /// Used by bench artifact names and the progress registry.
+    pub fn label(&self) -> String {
+        let mut label = match self.mode {
+            ExecMode::Sequential => "seq".to_string(),
+            ExecMode::Parallel { threads } => format!("par{threads}"),
+            ExecMode::Distributed { sites } => format!("dist{sites}"),
+        };
+        if let Some(rows) = self.partition_rows {
+            label.push_str(&format!("+part{rows}"));
+        }
+        if let Some(rows) = self.morsel_size {
+            label.push_str(&format!("+m{rows}"));
+        }
+        label
     }
 
     /// Reject degenerate modes (`threads == 0`, `sites == 0`,
@@ -495,6 +514,7 @@ impl PlanNodeStats {
 pub struct Runtime {
     policy: ExecPolicy,
     sink: Arc<dyn TraceSink>,
+    progress: Option<Arc<QueryProgress>>,
 }
 
 impl Default for Runtime {
@@ -502,6 +522,7 @@ impl Default for Runtime {
         Runtime {
             policy: ExecPolicy::default(),
             sink: Arc::new(NullSink),
+            progress: None,
         }
     }
 }
@@ -512,12 +533,26 @@ impl Runtime {
         Runtime {
             policy,
             sink: Arc::new(NullSink),
+            progress: None,
         }
     }
 
     /// A runtime executing under `policy`, emitting spans into `sink`.
     pub fn with_sink(policy: ExecPolicy, sink: Arc<dyn TraceSink>) -> Self {
-        Runtime { policy, sink }
+        Runtime {
+            policy,
+            sink,
+            progress: None,
+        }
+    }
+
+    /// Attach a live progress handle: every evaluation announces its
+    /// closed-form morsel schedule up front and the scan loops tick
+    /// completed morsels/rows into it (relaxed atomics; see
+    /// [`crate::progress`]).
+    pub fn with_progress(mut self, progress: Arc<QueryProgress>) -> Self {
+        self.progress = Some(progress);
+        self
     }
 
     /// The default sequential runtime.
@@ -533,6 +568,41 @@ impl Runtime {
     /// The trace sink this runtime emits spans into.
     pub fn sink(&self) -> &Arc<dyn TraceSink> {
         &self.sink
+    }
+
+    /// The progress handle evaluations feed, if one is attached.
+    pub fn progress(&self) -> Option<&Arc<QueryProgress>> {
+        self.progress.as_ref()
+    }
+
+    /// Closed-form number of scheduling morsels one evaluation will
+    /// complete — known before any worker starts, which is what makes
+    /// progress a true fraction. Per base partition: the sequential scan
+    /// runs one detail pass, the parallel queue deals
+    /// `ceil(detail / morsel)` morsels (zero for an empty detail: the
+    /// workers break before pulling), and the distributed coordinator
+    /// round-trips every site once.
+    fn scheduled_morsels(&self, base_len: usize, detail_len: usize) -> u64 {
+        let partition = self.policy.partition_rows.unwrap_or(usize::MAX).max(1);
+        let partitions = if base_len == 0 {
+            1
+        } else {
+            base_len.div_ceil(partition)
+        } as u64;
+        let per_partition = match self.policy.mode {
+            ExecMode::Sequential => 1,
+            ExecMode::Parallel { .. } => {
+                let morsel = self
+                    .policy
+                    .morsel_size
+                    .unwrap_or(DEFAULT_MORSEL_ROWS)
+                    .max(1)
+                    .min(detail_len.max(1));
+                detail_len.div_ceil(morsel) as u64
+            }
+            ExecMode::Distributed { sites } => sites.max(1) as u64,
+        };
+        partitions * per_partition
     }
 
     /// Plain GMDJ: `MD(base, detail, spec)` under the policy. Work
@@ -567,6 +637,9 @@ impl Runtime {
         node: &mut PlanNodeStats,
     ) -> Result<Relation> {
         self.policy.validate()?;
+        if let Some(p) = &self.progress {
+            p.add_morsels_total(self.scheduled_morsels(base.len(), detail.len()));
+        }
         let eval_before = node.eval;
         let net_before = node.network;
         let span = Span::begin(self.sink.as_ref(), "gmdj.eval");
@@ -582,6 +655,7 @@ impl Runtime {
                 &mut node.eval,
                 &mut node.kernel,
                 self.sink.as_ref(),
+                self.progress.as_deref(),
             ),
             ExecMode::Parallel { threads } => self.eval_chunked(
                 base,
@@ -710,6 +784,7 @@ impl Runtime {
                 kernel: &mut node.kernel,
                 network: &mut node.network,
                 sink: self.sink.as_ref(),
+                progress: self.progress.as_deref(),
             };
             let outcome = scan(&mut cx)?;
             node.worker_wall_max_ns += outcome.worker_max_ns;
@@ -755,6 +830,7 @@ struct PartitionCx<'a> {
     kernel: &'a mut KernelStats,
     network: &'a mut NetworkStats,
     sink: &'a dyn TraceSink,
+    progress: Option<&'a QueryProgress>,
 }
 
 impl PartitionCx<'_> {
@@ -790,6 +866,7 @@ impl PartitionCx<'_> {
         let base_rows = self.base;
         let total_aggs = self.total_aggs;
         let sink = self.sink;
+        let progress = self.progress;
         let vectorized = self.opts.vectorized;
         // The row-path twin scans late-materialized tuples; build the row
         // view once, outside the scope, so workers share one cache.
@@ -847,6 +924,10 @@ impl PartitionCx<'_> {
                             }
                             rows_pulled += (end - start) as u64;
                             morsels_pulled += 1;
+                            if let Some(p) = progress {
+                                p.add_morsels_done(1);
+                                p.add_rows((end - start) as u64);
+                            }
                         }
                         wspan.field("chunk_rows", rows_pulled);
                         wspan.field("morsels", morsels_pulled);
@@ -950,6 +1031,11 @@ impl PartitionCx<'_> {
             sspan.fields(self.stats.minus(&eval_before).trace_fields());
             sspan.fields(self.network.minus(&net_before).trace_fields());
             sspan.finish();
+            if let Some(p) = self.progress {
+                // One progress morsel per site round-trip.
+                p.add_morsels_done(1);
+                p.add_rows(frag.len() as u64);
+            }
             match &mut merged {
                 None => merged = Some(accs),
                 Some(m) => {
@@ -993,13 +1079,15 @@ fn round_robin_fragments(detail: &Relation, sites: usize) -> Vec<Relation> {
 }
 
 /// Turn a worker panic payload into an error value instead of poisoning
-/// the whole process.
+/// the whole process. The flight recorder's tail goes to stderr so the
+/// spans leading up to the panic survive the unwind.
 fn worker_panic_error(payload: &(dyn std::any::Any + Send)) -> Error {
     let msg = payload
         .downcast_ref::<&str>()
         .map(|s| (*s).to_string())
         .or_else(|| payload.downcast_ref::<String>().cloned())
         .unwrap_or_else(|| "unknown panic payload".to_string());
+    crate::trace::flight_dump_on_failure("worker panic");
     Error::invalid(format!("parallel GMDJ worker panicked: {msg}"))
 }
 
@@ -1317,6 +1405,47 @@ mod tests {
             .eval_gmdj(&hours(), &flows(), &example_2_1_spec(), &mut node)
             .unwrap_err();
         assert!(err.to_string().contains("at least one site"), "{err}");
+    }
+
+    #[test]
+    fn progress_schedule_reconciles_under_every_mode() {
+        use crate::progress::ProgressRegistry;
+        let reg: &'static ProgressRegistry = Box::leak(Box::new(ProgressRegistry::new()));
+        for policy in [
+            ExecPolicy::sequential(),
+            ExecPolicy::sequential().with_partition_rows(Some(2)),
+            ExecPolicy::parallel(3).with_morsel_size(Some(2)),
+            ExecPolicy::parallel(2).with_partition_rows(Some(1)),
+            ExecPolicy::distributed(2),
+            ExecPolicy::distributed(3).with_partition_rows(Some(2)),
+        ] {
+            let ticket = reg.register("q", "s", "p");
+            let progress = ticket.progress();
+            let rt = Runtime::new(policy).with_progress(progress.clone());
+            let mut node = PlanNodeStats::new("GMDJ");
+            rt.eval_gmdj(&hours(), &flows(), &example_2_1_spec(), &mut node)
+                .unwrap();
+            // Announced schedule fully consumed, never exceeded; rows
+            // reconcile exactly with the gated scan counter.
+            assert!(progress.morsels_total() > 0, "{policy:?}");
+            assert_eq!(
+                progress.morsels_done(),
+                progress.morsels_total(),
+                "{policy:?}"
+            );
+            assert_eq!(progress.rows_done(), node.eval.detail_scanned, "{policy:?}");
+        }
+        // Empty detail under the morsel queue: zero morsels scheduled,
+        // zero pulled — the invariant holds degenerately.
+        let empty_detail = Relation::from_parts(flows().schema().clone(), vec![]);
+        let ticket = reg.register("q", "s", "p");
+        let progress = ticket.progress();
+        let rt = Runtime::new(ExecPolicy::parallel(4)).with_progress(progress.clone());
+        let mut node = PlanNodeStats::new("GMDJ");
+        rt.eval_gmdj(&hours(), &empty_detail, &example_2_1_spec(), &mut node)
+            .unwrap();
+        assert_eq!(progress.morsels_total(), 0);
+        assert_eq!(progress.morsels_done(), 0);
     }
 
     #[test]

@@ -34,7 +34,8 @@ use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Process-wide monotonic epoch: all span start offsets are relative to
@@ -230,6 +231,198 @@ impl Drop for JsonLinesSink {
     }
 }
 
+/// Default ring capacity of the process-wide [`flight`] recorder.
+pub const FLIGHT_CAPACITY: usize = 4096;
+
+/// How many trailing events an automatic failure dump writes to stderr
+/// (the full ring stays available via `\flight` / `--flight-dump`).
+const FAILURE_DUMP_TAIL: usize = 64;
+
+#[derive(Debug, Default)]
+struct FlightRing {
+    buf: Vec<TraceEvent>,
+    /// Next write position once the ring is full.
+    next: usize,
+}
+
+/// An always-on, fixed-capacity ring buffer of the most recent spans —
+/// the engine's flight recorder. Recording is lock-light (one short
+/// mutex hold per completed span; spans are per-morsel / per-partition,
+/// never per-row) and never allocates once the ring is warm, so it stays
+/// on for every query. When the ring wraps, the overwrite counter makes
+/// the loss visible instead of silent: [`FlightRecorder::dropped`] and
+/// the `flight_recorder_dropped_events` gauge report how many events
+/// fell off the front.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: Mutex<FlightRing>,
+    capacity: usize,
+    enabled: AtomicBool,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder {
+            ring: Mutex::new(FlightRing::default()),
+            capacity: capacity.max(1),
+            enabled: AtomicBool::new(true),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity (maximum retained events).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Turn recording on/off (off makes `record` a no-op; the retained
+    /// events stay readable). Used by the overhead ablation in `repro
+    /// bench --no-flight`.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Events overwritten since process start (0 while under capacity).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Retained events oldest-first, plus the overwrite count at the
+    /// time of the snapshot.
+    pub fn snapshot(&self) -> (Vec<TraceEvent>, u64) {
+        let ring = self.ring.lock().expect("flight recorder poisoned");
+        let mut events = Vec::with_capacity(ring.buf.len());
+        if ring.buf.len() == self.capacity {
+            events.extend_from_slice(&ring.buf[ring.next..]);
+            events.extend_from_slice(&ring.buf[..ring.next]);
+        } else {
+            events.extend_from_slice(&ring.buf);
+        }
+        drop(ring);
+        (events, self.dropped())
+    }
+
+    /// Dump the ring as one JSON document:
+    /// `{"capacity":…,"dropped":…,"events":[…]}` (events oldest-first).
+    pub fn dump_json(&self) -> String {
+        let (events, dropped) = self.snapshot();
+        let mut out = String::with_capacity(events.len() * 96 + 64);
+        out.push_str(&format!(
+            "{{\"capacity\":{},\"dropped\":{dropped},\"events\":[",
+            self.capacity
+        ));
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn record(&self, event: TraceEvent) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("flight recorder poisoned");
+        if ring.buf.len() < self.capacity {
+            ring.buf.push(event);
+        } else {
+            let next = ring.next;
+            ring.buf[next] = event;
+            ring.next = (next + 1) % self.capacity;
+            drop(ring);
+            let dropped = self.dropped.fetch_add(1, Ordering::Relaxed) + 1;
+            if std::ptr::eq(self, Arc::as_ptr(flight())) {
+                crate::metrics::global()
+                    .gauge_set("flight_recorder_dropped_events", dropped as i64);
+            }
+        }
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+}
+
+/// The process-wide flight recorder. Query entry points tee their trace
+/// sink into this ring (see [`tee_flight`]), so the last
+/// [`FLIGHT_CAPACITY`] spans are always available for postmortems even
+/// when the caller traces into [`NullSink`].
+pub fn flight() -> &'static Arc<FlightRecorder> {
+    static FLIGHT: OnceLock<Arc<FlightRecorder>> = OnceLock::new();
+    FLIGHT.get_or_init(|| Arc::new(FlightRecorder::with_capacity(FLIGHT_CAPACITY)))
+}
+
+/// Wrap a sink so every event also lands in the process [`flight`]
+/// recorder. Apply once at the query entry point — wrapping an
+/// already-teed sink would double-record into the ring.
+pub fn tee_flight(sink: Arc<dyn TraceSink>) -> Arc<dyn TraceSink> {
+    Arc::new(TeeSink::new(sink, flight().clone()))
+}
+
+/// Dump the flight recorder's tail to stderr, once per process (repeated
+/// failures — e.g. a fuzz batch that compares deliberate errors — don't
+/// spam). The full ring remains available via `--flight-dump`.
+pub fn flight_dump_on_failure(reason: &str) {
+    static DUMPED: AtomicBool = AtomicBool::new(false);
+    if DUMPED.swap(true, Ordering::Relaxed) {
+        return;
+    }
+    let (events, dropped) = flight().snapshot();
+    let tail_start = events.len().saturating_sub(FAILURE_DUMP_TAIL);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"reason\":\"{}\",\"dropped\":{dropped},\"omitted\":{},\"events\":[",
+        json_escape(reason),
+        tail_start
+    ));
+    for (i, e) in events[tail_start..].iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&e.to_json());
+    }
+    out.push_str("]}");
+    eprintln!("gmdj flight recorder ({reason}): {out}");
+}
+
+/// A sink forwarding every event to two sinks (trace fan-out). Used to
+/// keep the user's sink and the [`flight`] ring fed from one span
+/// stream.
+#[derive(Debug, Clone)]
+pub struct TeeSink {
+    primary: Arc<dyn TraceSink>,
+    secondary: Arc<dyn TraceSink>,
+}
+
+impl TeeSink {
+    /// Tee into `primary` and `secondary`.
+    pub fn new(primary: Arc<dyn TraceSink>, secondary: Arc<dyn TraceSink>) -> Self {
+        TeeSink { primary, secondary }
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn record(&self, event: TraceEvent) {
+        if self.secondary.is_enabled() {
+            self.secondary.record(event.clone());
+        }
+        if self.primary.is_enabled() {
+            self.primary.record(event);
+        }
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.primary.is_enabled() || self.secondary.is_enabled()
+    }
+}
+
 /// An open span. Construct with [`Span::begin`], attach counter deltas
 /// with [`Span::field`], and close with [`Span::finish`] — which records
 /// the event (when the sink is enabled) and returns the measured
@@ -408,5 +601,78 @@ mod tests {
     fn escaping_covers_control_characters() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    fn event(name: &'static str, start_ns: u64) -> TraceEvent {
+        TraceEvent {
+            name,
+            detail: String::new(),
+            start_ns,
+            dur_ns: 1,
+            fields: vec![],
+        }
+    }
+
+    #[test]
+    fn flight_recorder_retains_a_suffix_with_visible_loss() {
+        let fr = FlightRecorder::with_capacity(3);
+        for i in 0..5u64 {
+            fr.record(event("e", i));
+        }
+        let (events, dropped) = fr.snapshot();
+        assert_eq!(dropped, 2);
+        assert_eq!(
+            events.iter().map(|e| e.start_ns).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "ring keeps the newest events oldest-first"
+        );
+        let json = fr.dump_json();
+        assert!(json.starts_with("{\"capacity\":3,\"dropped\":2,\"events\":["));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn flight_recorder_below_capacity_is_lossless() {
+        let fr = FlightRecorder::with_capacity(8);
+        for i in 0..5u64 {
+            fr.record(event("e", i));
+        }
+        let (events, dropped) = fr.snapshot();
+        assert_eq!(dropped, 0);
+        assert_eq!(events.len(), 5);
+    }
+
+    #[test]
+    fn flight_recorder_can_be_disabled() {
+        let fr = FlightRecorder::with_capacity(4);
+        fr.set_enabled(false);
+        assert!(!fr.is_enabled());
+        fr.record(event("e", 0));
+        assert_eq!(fr.snapshot().0.len(), 0);
+        fr.set_enabled(true);
+        fr.record(event("e", 1));
+        assert_eq!(fr.snapshot().0.len(), 1);
+    }
+
+    #[test]
+    fn tee_sink_feeds_both_sinks() {
+        let a = Arc::new(CollectingSink::new());
+        let b = Arc::new(FlightRecorder::with_capacity(8));
+        let tee = TeeSink::new(a.clone(), b.clone());
+        assert!(tee.is_enabled());
+        Span::begin(&tee, "x").finish();
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.snapshot().0.len(), 1);
+        // A disabled leg is skipped without disabling the tee.
+        b.set_enabled(false);
+        Span::begin(&tee, "y").finish();
+        assert_eq!(a.events().len(), 2);
+        assert_eq!(b.snapshot().0.len(), 1);
+    }
+
+    #[test]
+    fn global_flight_recorder_is_always_on() {
+        assert!(flight().is_enabled());
+        assert_eq!(flight().capacity(), FLIGHT_CAPACITY);
     }
 }

@@ -8,8 +8,9 @@ use gmdj_core::eval::{EvalStats, ProbeStrategy};
 use gmdj_core::exec::{execute, ExecContext, TableProvider};
 use gmdj_core::metrics;
 use gmdj_core::optimize::{optimize_with, OptFlags};
+use gmdj_core::progress::{self, QueryProgress};
 use gmdj_core::runtime::{ExecPolicy, PlanNodeStats};
-use gmdj_core::trace::{NullSink, Span, TraceSink};
+use gmdj_core::trace::{self, NullSink, Span, TraceSink};
 use gmdj_core::translate::subquery_to_gmdj;
 use gmdj_relation::error::Result;
 use gmdj_relation::relation::Relation;
@@ -156,6 +157,13 @@ pub fn run_with_policy_traced(
     policy: ExecPolicy,
     sink: Arc<dyn TraceSink>,
 ) -> Result<RunResult> {
+    // Every query's spans also land in the always-on flight recorder
+    // (teed exactly once, here at the entry point), and every query is
+    // visible in the progress registry for its lifetime — the ticket
+    // deregisters on drop, including the error paths below.
+    let sink = trace::tee_flight(sink);
+    let ticket = progress::global().register(query.to_string(), strategy.label(), policy.label());
+    let progress = ticket.progress();
     let result = match strategy {
         Strategy::NaiveNestedLoop => run_reference(
             query,
@@ -194,6 +202,7 @@ pub fn run_with_policy_traced(
             false,
             policy.with_probe(ProbeStrategy::Auto),
             &sink,
+            &progress,
         ),
         Strategy::GmdjOptimized => run_gmdj(
             query,
@@ -201,6 +210,7 @@ pub fn run_with_policy_traced(
             true,
             policy.with_probe(ProbeStrategy::Auto),
             &sink,
+            &progress,
         ),
         Strategy::GmdjOptimizedNoProbeIndex => run_gmdj(
             query,
@@ -208,6 +218,7 @@ pub fn run_with_policy_traced(
             true,
             policy.with_probe(ProbeStrategy::ForceScan),
             &sink,
+            &progress,
         ),
         Strategy::GmdjBasicNoProbeIndex => run_gmdj(
             query,
@@ -215,9 +226,19 @@ pub fn run_with_policy_traced(
             false,
             policy.with_probe(ProbeStrategy::ForceScan),
             &sink,
+            &progress,
         ),
-        Strategy::GmdjCostBased => run_gmdj_cost_based(query, catalog, policy, &sink),
-    }?;
+        Strategy::GmdjCostBased => run_gmdj_cost_based(query, catalog, policy, &sink, &progress),
+    };
+    let result = match result {
+        Ok(r) => r,
+        Err(e) => {
+            // Preserve the trace tail for post-mortem before the error
+            // propagates (first failure in the process wins).
+            trace::flight_dump_on_failure("query error");
+            return Err(e);
+        }
+    };
     let m = metrics::global();
     m.inc("queries_total", 1);
     m.inc(
@@ -236,8 +257,11 @@ fn execute_planned(
     policy: ExecPolicy,
     plan_wall: Duration,
     sink: &Arc<dyn TraceSink>,
+    progress: &Arc<QueryProgress>,
 ) -> Result<RunResult> {
-    let mut ctx = ExecContext::with_policy(policy).with_sink(sink.clone());
+    let mut ctx = ExecContext::with_policy(policy)
+        .with_sink(sink.clone())
+        .with_progress(progress.clone());
     let span = Span::begin(sink.as_ref(), "query.execute");
     let relation = execute(plan, catalog, &mut ctx)?;
     let mut span = span;
@@ -257,10 +281,12 @@ fn run_gmdj_cost_based(
     catalog: &dyn TableProvider,
     policy: ExecPolicy,
     sink: &Arc<dyn TraceSink>,
+    progress: &Arc<QueryProgress>,
 ) -> Result<RunResult> {
     let plan_span = Span::begin(sink.as_ref(), "query.plan");
     let plan = subquery_to_gmdj(query, catalog)?;
-    let (best, _estimate) = gmdj_core::cost::cost_based_optimize(&plan, catalog)?;
+    let (best, estimate) = gmdj_core::cost::cost_based_optimize(&plan, catalog)?;
+    progress.set_prediction(estimate.cost.total(), estimate.cost.io);
     let plan_wall = plan_span.finish();
     execute_planned(
         &best,
@@ -268,6 +294,7 @@ fn run_gmdj_cost_based(
         policy.with_probe(ProbeStrategy::Auto),
         plan_wall,
         sink,
+        progress,
     )
 }
 
@@ -317,6 +344,7 @@ fn run_gmdj(
     optimized: bool,
     policy: ExecPolicy,
     sink: &Arc<dyn TraceSink>,
+    progress: &Arc<QueryProgress>,
 ) -> Result<RunResult> {
     let plan_span = Span::begin(sink.as_ref(), "query.plan");
     let plan = subquery_to_gmdj(query, catalog)?;
@@ -325,8 +353,13 @@ fn run_gmdj(
     } else {
         plan
     };
+    // The ETA cross-check in progress snapshots compares morsel
+    // throughput against the cost model's io prediction for this plan.
+    if let Ok(est) = gmdj_core::cost::estimate(&plan, catalog) {
+        progress.set_prediction(est.cost.total(), est.cost.io);
+    }
     let plan_wall = plan_span.finish();
-    execute_planned(&plan, catalog, policy, plan_wall, sink)
+    execute_planned(&plan, catalog, policy, plan_wall, sink, progress)
 }
 
 /// Translate + optimize and return the plan text — EXPLAIN for the GMDJ

@@ -9,14 +9,22 @@
 //! * The Runtime feeds the process-wide metrics registry.
 //! * `repro --profile-json` output parses and validates against the
 //!   checked-in schema, and the plan trees survive a JSON round-trip.
+//! * Query progress reconciles exactly: `morsels_done == morsels_total`
+//!   at completion under Sequential, Parallel and Distributed, matched
+//!   against the `gmdj.partition` / `gmdj.worker` / `site.roundtrip`
+//!   span stream.
+//! * The flight recorder retains an exact suffix of what a
+//!   [`CollectingSink`] sees for the same run — lossless below capacity,
+//!   overwrite-counted above it.
 
 use std::sync::Arc;
 
 use gmdj_bench::{profile, run_figure_with, FigureId};
 use gmdj_core::metrics;
-use gmdj_core::runtime::{ExecPolicy, PlanNodeStats, Runtime};
+use gmdj_core::progress::ProgressRegistry;
+use gmdj_core::runtime::{ExecMode, ExecPolicy, PlanNodeStats, Runtime};
 use gmdj_core::spec::{AggBlock, GmdjSpec};
-use gmdj_core::trace::CollectingSink;
+use gmdj_core::trace::{CollectingSink, FlightRecorder, TeeSink, TraceEvent, TraceSink};
 use gmdj_relation::agg::NamedAgg;
 use gmdj_relation::expr::col;
 use gmdj_relation::relation::{Relation, RelationBuilder};
@@ -156,6 +164,84 @@ fn runtime_reports_into_the_global_metrics_registry() {
         prom.contains("# TYPE gmdj_eval_latency_us histogram"),
         "{prom}"
     );
+}
+
+#[test]
+fn progress_reconciles_with_the_span_stream_under_every_mode() {
+    let registry: &'static ProgressRegistry = Box::leak(Box::new(ProgressRegistry::new()));
+    let policies = [
+        ExecPolicy::sequential(),
+        ExecPolicy::sequential().with_partition_rows(Some(2)),
+        ExecPolicy::parallel(3).with_morsel_size(Some(8)),
+        ExecPolicy::parallel(2)
+            .with_partition_rows(Some(2))
+            .with_morsel_size(Some(16)),
+        ExecPolicy::distributed(2),
+        ExecPolicy::distributed(3).with_partition_rows(Some(3)),
+    ];
+    for policy in policies {
+        let sink = Arc::new(CollectingSink::new());
+        let ticket = registry.register("MD(B, F, sum)", "runtime", policy.label());
+        let progress = ticket.progress();
+        let mut node = PlanNodeStats::new("GMDJ");
+        Runtime::with_sink(policy, sink.clone())
+            .with_progress(progress.clone())
+            .eval_gmdj(&base(), &detail(), &spec(), &mut node)
+            .unwrap();
+
+        // End state: the announced closed-form schedule was met exactly
+        // and the row ticks equal the evaluator's own scan counter.
+        let snap = progress.snapshot();
+        assert!(snap.morsels_total > 0, "{policy:?}");
+        assert_eq!(snap.morsels_done, snap.morsels_total, "{policy:?}");
+        assert_eq!(snap.rows_done, node.eval.detail_scanned, "{policy:?}");
+
+        // The ticks reconcile with the mode's span stream: partitions
+        // (Sequential), pulled morsels summed over `gmdj.worker` spans
+        // (Parallel), site round-trips (Distributed).
+        let spans = match policy.mode {
+            ExecMode::Sequential => sink.by_name("gmdj.partition").len() as u64,
+            ExecMode::Parallel { .. } => sink.sum_field("gmdj.worker", "morsels"),
+            ExecMode::Distributed { .. } => sink.by_name("site.roundtrip").len() as u64,
+        };
+        assert_eq!(snap.morsels_done, spans, "{policy:?}");
+    }
+    // Every ticket dropped: nothing left active, finals folded in.
+    let (active, totals) = registry.snapshot();
+    assert!(active.is_empty());
+    assert_eq!(totals.queries_started, policies.len() as u64);
+    assert_eq!(totals.queries_finished, policies.len() as u64);
+    assert_eq!(totals.morsels_done, totals.morsels_total);
+}
+
+#[test]
+fn flight_recorder_retains_exact_suffix_of_the_span_stream() {
+    // Single-threaded policy: the tee feeds both sinks in one record
+    // call, so the ring's order matches the collecting sink's exactly.
+    let policy = ExecPolicy::sequential().with_partition_rows(Some(1));
+    let run = |flight: Arc<FlightRecorder>| -> (Vec<TraceEvent>, Vec<TraceEvent>, u64) {
+        let collecting = Arc::new(CollectingSink::new());
+        let tee: Arc<dyn TraceSink> = Arc::new(TeeSink::new(collecting.clone(), flight.clone()));
+        let mut node = PlanNodeStats::new("GMDJ");
+        Runtime::with_sink(policy, tee)
+            .eval_gmdj(&base(), &detail(), &spec(), &mut node)
+            .unwrap();
+        let (retained, dropped) = flight.snapshot();
+        (collecting.events(), retained, dropped)
+    };
+
+    // Below capacity: lossless — the ring holds the entire stream.
+    let (all, retained, dropped) = run(Arc::new(FlightRecorder::with_capacity(4096)));
+    assert!(all.len() > 4, "the partition-per-row run emits many spans");
+    assert_eq!(dropped, 0);
+    assert_eq!(retained, all);
+
+    // Above capacity: exactly the stream's suffix survives, and the
+    // overwrite counter accounts for every event that fell off.
+    let (all, retained, dropped) = run(Arc::new(FlightRecorder::with_capacity(4)));
+    assert_eq!(retained.len(), 4);
+    assert_eq!(dropped as usize, all.len() - 4);
+    assert_eq!(retained.as_slice(), &all[all.len() - 4..]);
 }
 
 #[test]
