@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! repro [--figure 2|3|4|5] [--scale F] [--seed N] [--threads N] [--full]
-//!       [--morsel-size N] [--profile-json PATH] [--check-profile PATH]
-//!       [--stats-addr HOST:PORT] [--flight-dump PATH] [--no-flight]
+//!       [--real-sites N] [--morsel-size N] [--profile-json PATH]
+//!       [--check-profile PATH] [--stats-addr HOST:PORT]
+//!       [--flight-dump PATH] [--no-flight]
 //! repro fuzz --seed S --cases N [--replay FILE|DIR] [--corpus-dir DIR]
 //! repro bench [--quick] [--scale F] [--seed N] [--reps N] [--warmup N]
 //!             [--out DIR] [--baseline PATH] [--check-baseline] [--bless]
 //!             [--wall-tolerance F] [--no-ablations] [--no-vectorized]
-//!             [--morsel-size N] [--no-flight] [--compare A.json B.json]
+//!             [--real-sites] [--morsel-size N] [--no-flight]
+//!             [--compare A.json B.json]
 //! ```
 //!
 //! The `fuzz` subcommand (see `gmdj_fuzz::cli`) runs seeded random nested
@@ -55,6 +57,7 @@ struct Args {
     scale: f64,
     seed: u64,
     threads: usize,
+    real_sites: usize,
     morsel_size: Option<usize>,
     csv_dir: Option<String>,
     profile_json: Option<String>,
@@ -66,7 +69,9 @@ struct Args {
 
 impl Args {
     fn policy(&self) -> ExecPolicy {
-        let p = if self.threads > 1 {
+        let p = if self.real_sites > 0 {
+            ExecPolicy::distributed(self.real_sites).with_real_sites(true)
+        } else if self.threads > 1 {
             ExecPolicy::parallel(self.threads)
         } else {
             ExecPolicy::sequential()
@@ -80,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = 0.05;
     let mut seed = 42;
     let mut threads = 1;
+    let mut real_sites = 0usize;
     let mut morsel_size: Option<usize> = None;
     let mut csv_dir: Option<String> = None;
     let mut profile_json: Option<String> = None;
@@ -107,6 +113,13 @@ fn parse_args() -> Result<Args, String> {
                 threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
                 if threads == 0 {
                     return Err("--threads must be at least 1".into());
+                }
+            }
+            "--real-sites" => {
+                let v = argv.next().ok_or("--real-sites needs a site count")?;
+                real_sites = v.parse().map_err(|_| format!("bad site count `{v}`"))?;
+                if real_sites == 0 {
+                    return Err("--real-sites must be at least 1".into());
                 }
             }
             "--morsel-size" => {
@@ -144,6 +157,9 @@ fn parse_args() -> Result<Args, String> {
                      --full       shorthand for --scale 1.0 (the paper's sizes)\n  \
                      --seed N     data generation seed (default 42)\n  \
                      --threads N  evaluate GMDJ strategies with N worker threads\n  \
+                     --real-sites N   evaluate GMDJ strategies distributed over N\n               \
+                     socket-backed loopback sites (answers and gated\n               \
+                     counters identical to the in-process simulation)\n  \
                      --morsel-size N  rows per morsel pulled from the parallel scan\n               \
                      queue (pure scheduling; counters are unaffected)\n  \
                      --csv DIR    also write the measurement grid as DIR/figN.csv\n  \
@@ -173,6 +189,7 @@ fn parse_args() -> Result<Args, String> {
         scale,
         seed,
         threads,
+        real_sites,
         morsel_size,
         csv_dir,
         profile_json,
@@ -286,6 +303,7 @@ fn bench_cmd(argv: &[String]) -> ExitCode {
                 }
                 "--no-ablations" => cfg.ablations = false,
                 "--no-vectorized" => vectorized = false,
+                "--real-sites" => cfg.real_sites = true,
                 "--no-flight" => trace::flight().set_enabled(false),
                 "--morsel-size" => {
                     let rows: usize = next("--morsel-size")?
@@ -325,6 +343,9 @@ fn bench_cmd(argv: &[String]) -> ExitCode {
                          --no-ablations       skip the ablation grid\n  \
                          --no-vectorized      force the row-path detail scan (the\n                       \
                          counters are identical either way — same baseline)\n  \
+                         --real-sites         run distributed-policy cells over real\n                       \
+                         socket-backed loopback sites (gated counters\n                       \
+                         identical — same baseline, _realsites run id)\n  \
                          --no-flight          disable the always-on flight recorder\n                       \
                          (the overhead ablation of EXPERIMENTS.md; gated\n                       \
                          counters are identical either way)\n  \
@@ -488,10 +509,17 @@ fn main() -> ExitCode {
         },
         None => None,
     };
-    println!(
-        "Reproducing Akinde & Böhlen (ICDE 2003), scale {} of the paper's sizes, seed {}, {} thread(s)\n",
-        args.scale, args.seed, args.threads
-    );
+    if args.real_sites > 0 {
+        println!(
+            "Reproducing Akinde & Böhlen (ICDE 2003), scale {} of the paper's sizes, seed {}, {} socket site(s)\n",
+            args.scale, args.seed, args.real_sites
+        );
+    } else {
+        println!(
+            "Reproducing Akinde & Böhlen (ICDE 2003), scale {} of the paper's sizes, seed {}, {} thread(s)\n",
+            args.scale, args.seed, args.threads
+        );
+    }
     let policy = args.policy();
     let mut all_passed = true;
     let mut figures = Vec::new();

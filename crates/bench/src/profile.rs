@@ -19,7 +19,10 @@ use crate::{Figure, Measurement};
 /// `row_page_reads`) to every plan node's `eval` block and `morsels` to
 /// its `kernel` block. Version 3 added the top-level `progress` object
 /// (the cumulative totals of [`gmdj_core::progress`]'s query registry).
-pub const PROFILE_VERSION: u64 = 3;
+/// Version 4 added the measured wire-byte counters (`bytes_sent`,
+/// `bytes_received`) to every plan node's `network` block — zero except
+/// under the socket site transport (`ExecPolicy::real_sites`).
+pub const PROFILE_VERSION: u64 = 4;
 
 /// Render a full profile document for a set of regenerated figures.
 pub fn render_profile(figures: &[Figure], policy: &ExecPolicy, scale: f64, seed: u64) -> String {
@@ -351,7 +354,13 @@ fn validate_plan(node: &Json, at: &str) -> Result<(), String> {
     let network = node
         .get("network")
         .ok_or_else(|| format!("{at}: missing `network`"))?;
-    for key in ["broadcast_values", "collected_states", "messages"] {
+    for key in [
+        "broadcast_values",
+        "bytes_received",
+        "bytes_sent",
+        "collected_states",
+        "messages",
+    ] {
         require_num(network, key, &format!("{at}.network"))?;
     }
     let ops = node
@@ -551,6 +560,8 @@ pub fn plan_from_json(node: &Json) -> Result<PlanNodeStats, String> {
             .ok_or_else(|| format!("missing network.`{key}`"))
     };
     out.network.broadcast_values = net_num("broadcast_values")?;
+    out.network.bytes_received = net_num("bytes_received")?;
+    out.network.bytes_sent = net_num("bytes_sent")?;
     out.network.collected_states = net_num("collected_states")?;
     out.network.messages = net_num("messages")?;
     for c in node
@@ -609,7 +620,7 @@ mod tests {
     #[test]
     fn validation_rejects_missing_counters() {
         let doc = parse_json(&format!(
-            r#"{{"version":3,"policy":"Sequential","scale":0.01,"seed":1,{PROGRESS},"figures":[
+            r#"{{"version":4,"policy":"Sequential","scale":0.01,"seed":1,{PROGRESS},"figures":[
                 {{"name":"f","description":"d","points":[
                     {{"label":"l","outer":1,"inner":1,"measurements":[
                         {{"strategy":"s","wall_us":1,"plan_us":0,"work":1,"rows":1,"plan":null}}
@@ -618,8 +629,9 @@ mod tests {
         .unwrap();
         validate_profile(&doc).unwrap();
 
-        // Version 2 profiles predate the `progress` section.
-        for stale_version in [1, 2] {
+        // Version ≤2 profiles predate the `progress` section, version 3
+        // the network byte counters.
+        for stale_version in [1, 2, 3] {
             let stale = parse_json(&format!(
                 r#"{{"version":{stale_version},"policy":"x","scale":1,"seed":1,"figures":[{{}}]}}"#
             ))
@@ -629,17 +641,17 @@ mod tests {
                 .contains("unsupported"));
         }
         let no_progress =
-            parse_json(r#"{"version":3,"policy":"x","scale":1,"seed":1,"figures":[{}]}"#).unwrap();
+            parse_json(r#"{"version":4,"policy":"x","scale":1,"seed":1,"figures":[{}]}"#).unwrap();
         assert!(validate_profile(&no_progress)
             .unwrap_err()
             .contains("progress"));
         let bad = parse_json(&format!(
-            r#"{{"version":3,"policy":"x","scale":1,"seed":1,{PROGRESS},"figures":[{{}}]}}"#
+            r#"{{"version":4,"policy":"x","scale":1,"seed":1,{PROGRESS},"figures":[{{}}]}}"#
         ))
         .unwrap();
         assert!(validate_profile(&bad).is_err());
         let empty = parse_json(&format!(
-            r#"{{"version":3,"policy":"x","scale":1,"seed":1,{PROGRESS},"figures":[]}}"#
+            r#"{{"version":4,"policy":"x","scale":1,"seed":1,{PROGRESS},"figures":[]}}"#
         ))
         .unwrap();
         assert!(validate_profile(&empty).unwrap_err().contains("empty"));

@@ -78,7 +78,9 @@ pub struct Counters {
     pub completion_fallbacks: u64,
     pub col_chunk_reads: u64,
     pub row_page_reads: u64,
-    // Simulated network traffic, rolled up over the tree.
+    // Closed-form network traffic (transport-independent value counts;
+    // the measured byte counters are deliberately NOT extracted here —
+    // they differ between transports and must never gate).
     pub messages: u64,
     pub broadcast_values: u64,
     pub collected_states: u64,
@@ -449,6 +451,14 @@ pub struct BenchConfig {
     /// the default baseline. The morsel-size ablation group pins its own
     /// values and ignores this.
     pub morsel_size: Option<usize>,
+    /// Run the distributed-policy cells over real socket-backed loopback
+    /// sites instead of the in-process transport. Like `vectorized`,
+    /// this is a physical-path choice that must not move any gated
+    /// counter (the sites run the identical evaluation; only the
+    /// ungated byte counters and wall-clock change), so it is recorded
+    /// in the header and the run id but never enters an entry's key —
+    /// a real-sites run gates against the same baseline.
+    pub real_sites: bool,
 }
 
 impl BenchConfig {
@@ -466,6 +476,7 @@ impl BenchConfig {
             quick: true,
             vectorized: true,
             morsel_size: None,
+            real_sites: false,
         }
     }
 
@@ -480,19 +491,20 @@ impl BenchConfig {
         }
     }
 
-    /// Deterministic run identifier: `BENCH_<run_id>.json`. Row-path runs
-    /// get a distinct id so a vectorized-off leg never overwrites the
-    /// canonical recording.
+    /// Deterministic run identifier: `BENCH_<run_id>.json`. Row-path and
+    /// real-sites runs get distinct ids so those legs never overwrite
+    /// the canonical recording.
     pub fn run_id(&self) -> String {
         format!(
-            "{}_seed{}{}",
+            "{}_seed{}{}{}",
             if self.quick {
                 "quick".into()
             } else {
                 format!("s{}", self.scale)
             },
             self.seed,
-            if self.vectorized { "" } else { "_rowpath" }
+            if self.vectorized { "" } else { "_rowpath" },
+            if self.real_sites { "_realsites" } else { "" }
         )
     }
 }
@@ -513,7 +525,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut out = format!(
             "{{\"version\":{},\"run\":\"{}\",\"mode\":\"{}\",\"scale\":{},\"seed\":{},\
-             \"warmup\":{},\"reps\":{},\"vectorized\":{},\"entries\":[",
+             \"warmup\":{},\"reps\":{},\"vectorized\":{},\"real_sites\":{},\"entries\":[",
             BENCH_VERSION,
             self.config.run_id(),
             if self.config.quick { "quick" } else { "full" },
@@ -522,6 +534,7 @@ impl BenchReport {
             self.config.warmup,
             self.config.reps,
             self.config.vectorized,
+            self.config.real_sites,
         );
         for (i, e) in self.entries.iter().enumerate() {
             if i > 0 {
@@ -607,7 +620,9 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport> {
     // morsel-size override; the dedicated ablation groups below pin
     // their own values per entry.
     let vec_policy = |p: ExecPolicy| {
-        let p = p.with_vectorized(cfg.vectorized);
+        let p = p
+            .with_vectorized(cfg.vectorized)
+            .with_real_sites(cfg.real_sites);
         match cfg.morsel_size {
             Some(m) => p.with_morsel_size(Some(m)),
             None => p,
@@ -670,7 +685,10 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport> {
 /// The ablation grid: the DESIGN.md design choices measured in isolation
 /// (mirroring `benches/ablations.rs`, but deterministic and recorded).
 fn run_ablations(cfg: &BenchConfig) -> Result<Vec<BenchEntry>> {
-    let vec_policy = |p: ExecPolicy| p.with_vectorized(cfg.vectorized);
+    let vec_policy = |p: ExecPolicy| {
+        p.with_vectorized(cfg.vectorized)
+            .with_real_sites(cfg.real_sites)
+    };
     let mut entries = Vec::new();
     let (outer2, inner2) = sizes(FigureId::Fig2, cfg.scale)[0];
     let fig2 = workload(FigureId::Fig2, outer2, inner2, cfg.seed);
@@ -841,10 +859,14 @@ pub fn validate_bench(doc: &Json) -> std::result::Result<(), String> {
         require_num(doc, key, "bench")?;
     }
     // Informational and absent from pre-kernel recordings; when present
-    // it must be a boolean. Never part of an entry's identity.
+    // they must be booleans. Never part of an entry's identity.
     match doc.get("vectorized") {
         None | Some(Json::Bool(_)) => {}
         _ => return Err("bench: `vectorized` must be a boolean".into()),
+    }
+    match doc.get("real_sites") {
+        None | Some(Json::Bool(_)) => {}
+        _ => return Err("bench: `real_sites` must be a boolean".into()),
     }
     let entries = doc
         .get("entries")
@@ -1331,6 +1353,7 @@ mod tests {
             quick: true,
             vectorized: true,
             morsel_size: None,
+            real_sites: false,
         }
     }
 

@@ -36,11 +36,18 @@ use gmdj_relation::error::{Error, Result};
 use gmdj_relation::relation::{Relation, Tuple};
 use gmdj_relation::value::Value;
 
-use crate::eval::{eval_gmdj, EvalStats, GmdjOptions};
+use crate::eval::{
+    eval_gmdj, new_accumulators, plan_blocks, scan_detail_plain, scan_detail_vectorized, EvalStats,
+    GmdjOptions, KernelStats,
+};
 use crate::spec::GmdjSpec;
 
-/// Simulated network accounting (values, not bytes: the unit is one
-/// [`Value`] or one accumulator state shipped).
+/// Network accounting. The closed-form counters (`broadcast_values`,
+/// `collected_states`, `messages`) are transport-independent: they count
+/// logical units ([`Value`]s, accumulator states, protocol frames) and
+/// are byte-identical between the in-process simulation and real socket
+/// sites. The `bytes_*` counters are physical: actual bytes moved over
+/// the wire, zero under the in-process transport.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetworkStats {
     /// Values broadcast from the coordinator to the sites (base tuples ×
@@ -48,12 +55,24 @@ pub struct NetworkStats {
     pub broadcast_values: u64,
     /// Partial-aggregate states shipped back from the sites.
     pub collected_states: u64,
-    /// Round trips (one per site, all in parallel — two message waves).
+    /// Data-bearing protocol frames, **two per site round-trip**: the
+    /// broadcast wave out (base partition + spec) and the state wave
+    /// back (partial accumulator matrix). The socket transport counts
+    /// exactly these two frames per successful round-trip; its
+    /// handshake frames are transport overhead and land only in the
+    /// byte counters.
     pub messages: u64,
+    /// Bytes written to the sites by the socket transport (handshake,
+    /// broadcast frames, across all attempts). Zero in-process.
+    pub bytes_sent: u64,
+    /// Bytes read back from the sites by the socket transport. Zero
+    /// in-process.
+    pub bytes_received: u64,
 }
 
 impl NetworkStats {
-    /// Total shipped units.
+    /// Total shipped logical units (values + states; bytes excluded —
+    /// they measure the same traffic in a different unit).
     pub fn total(&self) -> u64 {
         self.broadcast_values + self.collected_states
     }
@@ -64,6 +83,8 @@ impl NetworkStats {
         self.broadcast_values += other.broadcast_values;
         self.collected_states += other.collected_states;
         self.messages += other.messages;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
     }
 
     /// Field-wise difference `self − earlier`: the traffic delta
@@ -73,13 +94,17 @@ impl NetworkStats {
             broadcast_values: self.broadcast_values - earlier.broadcast_values,
             collected_states: self.collected_states - earlier.collected_states,
             messages: self.messages - earlier.messages,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            bytes_received: self.bytes_received - earlier.bytes_received,
         }
     }
 
     /// The counters as named trace-span fields.
-    pub fn trace_fields(&self) -> [(&'static str, u64); 3] {
+    pub fn trace_fields(&self) -> [(&'static str, u64); 5] {
         [
             ("broadcast_values", self.broadcast_values),
+            ("bytes_received", self.bytes_received),
+            ("bytes_sent", self.bytes_sent),
             ("collected_states", self.collected_states),
             ("messages", self.messages),
         ]
@@ -258,6 +283,173 @@ fn absorb_partial(acc: &mut Accumulator, func: gmdj_relation::agg::AggFunc, v: &
         // (NULL partials over empty fragments are skipped by `update`).
         AggFunc::Sum | AggFunc::Min | AggFunc::Max => acc.update(v),
         AggFunc::Avg | AggFunc::CountDistinct => unreachable!("rejected before evaluation"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Site transports: how the unified runtime reaches its sites
+// ---------------------------------------------------------------------
+
+/// One coordinator→site evaluation request: the broadcast wave. The base
+/// partition and the spec travel to the site; the detail fragment does
+/// not — the site already owns it (in a distributed warehouse each site
+/// holds the detail tuples it produced), which is precisely why GMDJ
+/// traffic is independent of detail cardinality.
+#[derive(Debug)]
+pub struct SiteEvalRequest<'a> {
+    /// Base partition rows (at most `ExecPolicy::partition_rows`).
+    pub base: &'a [Tuple],
+    /// Schema of the base partition.
+    pub base_schema: &'a gmdj_relation::schema::Schema,
+    /// The GMDJ to evaluate locally.
+    pub spec: &'a GmdjSpec,
+    /// Evaluator options (probe choice, vectorization).
+    pub opts: &'a GmdjOptions,
+    /// Aggregates per base row, `spec.agg_count()`.
+    pub total_aggs: usize,
+}
+
+/// One site→coordinator reply: the state wave. Partial accumulator state
+/// (not finalized values), which is what makes the coordinator merge
+/// exact for every aggregate including AVG and COUNT DISTINCT.
+#[derive(Debug)]
+pub struct SiteEvalResponse {
+    /// `base.len() × total_aggs` partial accumulators, row-major.
+    pub accs: Vec<Accumulator>,
+    /// The site's local evaluator counters (probe index builds
+    /// included), merged into the coordinator's running totals.
+    pub stats: EvalStats,
+    /// The site's kernel dispatch mix.
+    pub kernel: KernelStats,
+    /// Detail rows in the site's fragment (progress accounting).
+    pub fragment_rows: u64,
+    /// Bytes the transport wrote for this round-trip (all attempts).
+    /// Zero for the in-process transport.
+    pub bytes_sent: u64,
+    /// Bytes the transport read back. Zero in-process.
+    pub bytes_received: u64,
+    /// Attempts the round-trip took (1 = no retries).
+    pub attempts: u64,
+}
+
+/// How the distributed runtime reaches site `0..site_count()`. The
+/// in-process implementation calls [`eval_site_fragment`] directly; the
+/// socket implementation ([`crate::wire::TcpSites`]) speaks the
+/// length-prefixed frame protocol to a listener that calls the same
+/// function — which is what keeps every gated counter byte-identical
+/// between the two transports.
+pub trait SiteTransport {
+    /// Number of sites this transport fans out to.
+    fn site_count(&self) -> usize;
+    /// Span detail for site `site`'s `site.roundtrip` span.
+    fn site_label(&self, site: usize) -> String;
+    /// One two-wave round-trip: ship the request, evaluate at the site,
+    /// return the partial state matrix. Must either succeed, or fail
+    /// with a diagnostic naming the site — never hang.
+    fn eval_partition(
+        &mut self,
+        site: usize,
+        req: &SiteEvalRequest<'_>,
+    ) -> Result<SiteEvalResponse>;
+}
+
+/// The site-local evaluation both transports share: plan probe blocks
+/// over the broadcast base partition, scan the owned fragment, return
+/// partial accumulator state. Counter semantics are identical to the
+/// sequential evaluator's inner loop; `stats.index_builds` counts per
+/// (partition, site) because every site builds its own probe indexes
+/// over the broadcast partition.
+pub(crate) fn eval_site_fragment(
+    base: &[Tuple],
+    base_schema: &gmdj_relation::schema::Schema,
+    fragment: &Relation,
+    spec: &GmdjSpec,
+    opts: &GmdjOptions,
+    total_aggs: usize,
+    sink: &dyn crate::trace::TraceSink,
+) -> Result<(Vec<Accumulator>, EvalStats, KernelStats)> {
+    let mut stats = EvalStats::default();
+    let mut kernel = KernelStats::default();
+    let plans = plan_blocks(base, base_schema, fragment.schema(), spec, opts, &mut stats)?;
+    let mut accs = new_accumulators(&plans, base.len(), total_aggs);
+    if opts.vectorized {
+        scan_detail_vectorized(
+            fragment.cols(),
+            0..fragment.len(),
+            &plans,
+            base,
+            total_aggs,
+            &mut accs,
+            &mut stats,
+            &mut kernel,
+            sink,
+        )?;
+    } else {
+        scan_detail_plain(
+            fragment.rows(),
+            &plans,
+            base,
+            total_aggs,
+            &mut accs,
+            &mut stats,
+        )?;
+        kernel.morsels += 1;
+    }
+    Ok((accs, stats, kernel))
+}
+
+/// The in-process transport: sites are plain function calls over
+/// fragments held by the coordinator. This is the default for
+/// `ExecMode::Distributed` — a deterministic simulation with the exact
+/// counter semantics of the real protocol and zero byte traffic.
+pub struct InProcessSites {
+    fragments: Vec<Relation>,
+    sink: std::sync::Arc<dyn crate::trace::TraceSink>,
+}
+
+impl InProcessSites {
+    /// One site per fragment, tracing kernel spans into `sink`.
+    pub fn new(
+        fragments: Vec<Relation>,
+        sink: std::sync::Arc<dyn crate::trace::TraceSink>,
+    ) -> Self {
+        InProcessSites { fragments, sink }
+    }
+}
+
+impl SiteTransport for InProcessSites {
+    fn site_count(&self) -> usize {
+        self.fragments.len()
+    }
+
+    fn site_label(&self, site: usize) -> String {
+        format!("site{site}")
+    }
+
+    fn eval_partition(
+        &mut self,
+        site: usize,
+        req: &SiteEvalRequest<'_>,
+    ) -> Result<SiteEvalResponse> {
+        let frag = &self.fragments[site];
+        let (accs, stats, kernel) = eval_site_fragment(
+            req.base,
+            req.base_schema,
+            frag,
+            req.spec,
+            req.opts,
+            req.total_aggs,
+            self.sink.as_ref(),
+        )?;
+        Ok(SiteEvalResponse {
+            accs,
+            stats,
+            kernel,
+            fragment_rows: frag.len() as u64,
+            bytes_sent: 0,
+            bytes_received: 0,
+            attempts: 1,
+        })
     }
 }
 

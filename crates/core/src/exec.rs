@@ -53,8 +53,10 @@ pub struct ExecContext {
     pub policy: ExecPolicy,
     /// Evaluator work counters rolled up across the plan.
     pub stats: EvalStats,
-    /// Simulated network traffic rolled up across the plan (distributed
-    /// mode; zero otherwise).
+    /// Network traffic rolled up across the plan (distributed mode; zero
+    /// otherwise). Value counts are closed-form for both transports;
+    /// byte counts are measured and nonzero only over real sockets
+    /// (`ExecPolicy::real_sites`).
     pub network: NetworkStats,
     /// Per-plan-node statistics tree of the most recent [`execute`] call.
     pub plan_stats: Option<PlanNodeStats>,

@@ -87,6 +87,7 @@ pub mod serve;
 pub mod spec;
 pub mod trace;
 pub mod translate;
+pub mod wire;
 
 pub use completion::{derive_completion, CompletionPlan, DeadRule};
 pub use cost::{cost_based_optimize, estimate, observed_cost, Cost, Estimate, StatsProvider};

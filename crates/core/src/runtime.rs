@@ -61,7 +61,7 @@ use gmdj_relation::ops::OpStats;
 use gmdj_relation::relation::{Relation, Tuple};
 
 use crate::completion::CompletionPlan;
-use crate::distributed::NetworkStats;
+use crate::distributed::{InProcessSites, NetworkStats, SiteEvalRequest, SiteTransport};
 use crate::eval::{
     eval_gmdj_filtered_full, materialize_filtered, new_accumulators, plan_blocks,
     referenced_detail_cols, scan_detail_plain, scan_detail_vectorized, EvalStats, GmdjOptions,
@@ -120,6 +120,14 @@ pub struct ExecPolicy {
     /// multiset are identical for every setting — it only moves where
     /// worker time is spent, which is what the bench ablation measures.
     pub morsel_size: Option<usize>,
+    /// Run `ExecMode::Distributed` over real socket-backed sites
+    /// ([`crate::wire`]) instead of the in-process transport. Pure
+    /// transport choice: sites evaluate the identical kernel path, so
+    /// every gated counter and the result multiset are unchanged — only
+    /// the `bytes_sent` / `bytes_received` counters (zero in-process)
+    /// and wall-clock move. Deliberately absent from [`Self::label`],
+    /// which keys bench baseline entries.
+    pub real_sites: bool,
 }
 
 impl Default for ExecPolicy {
@@ -130,6 +138,7 @@ impl Default for ExecPolicy {
             partition_rows: None,
             vectorized: true,
             morsel_size: None,
+            real_sites: false,
         }
     }
 }
@@ -178,6 +187,12 @@ impl ExecPolicy {
     /// pull). `None` restores [`DEFAULT_MORSEL_ROWS`].
     pub fn with_morsel_size(mut self, rows: Option<usize>) -> Self {
         self.morsel_size = rows;
+        self
+    }
+
+    /// Choose the socket transport for `ExecMode::Distributed` sites.
+    pub fn with_real_sites(mut self, real: bool) -> Self {
+        self.real_sites = real;
         self
     }
 
@@ -253,7 +268,9 @@ pub struct PlanNodeStats {
     /// settings, while the kernel mix is a property of the physical path
     /// taken.
     pub kernel: KernelStats,
-    /// Simulated network traffic at this node (distributed mode).
+    /// Network traffic at this node (distributed mode): closed-form
+    /// value counts for both transports, measured wire bytes under
+    /// `ExecPolicy::real_sites`.
     pub network: NetworkStats,
     /// Wall-clock time executing this node, children included.
     pub elapsed_ns: u64,
@@ -429,6 +446,13 @@ impl PlanNodeStats {
                 self.network.total(),
                 self.network.messages
             ));
+            // Wire bytes appear only under the socket transport.
+            if self.network.bytes_sent + self.network.bytes_received > 0 {
+                out.push_str(&format!(
+                    " bytes[sent={} recv={}]",
+                    self.network.bytes_sent, self.network.bytes_received
+                ));
+            }
         }
         if self.worker_wall_sum_ns > 0 {
             out.push_str(&format!(
@@ -461,7 +485,8 @@ impl PlanNodeStats {
              \"col_chunk_reads\":{},\"row_page_reads\":{}}},\
              \"kernel\":{{\"batches\":{},\"morsels\":{},\"rows_vectorized\":{},\
              \"rows_row_path\":{}}},\
-             \"network\":{{\"broadcast_values\":{},\"collected_states\":{},\
+             \"network\":{{\"broadcast_values\":{},\"bytes_received\":{},\
+             \"bytes_sent\":{},\"collected_states\":{},\
              \"messages\":{}}},\"children\":[",
             crate::trace::json_escape(&self.label),
             self.rows_out,
@@ -490,6 +515,8 @@ impl PlanNodeStats {
             self.kernel.rows_vectorized,
             self.kernel.rows_row_path,
             n.broadcast_values,
+            n.bytes_received,
+            n.bytes_sent,
             n.collected_states,
             n.messages,
         );
@@ -669,16 +696,37 @@ impl Runtime {
             ),
             ExecMode::Distributed { sites } => {
                 let fragments = round_robin_fragments(detail, sites);
-                self.eval_chunked(
-                    base,
-                    detail,
-                    spec,
-                    selection,
-                    keep,
-                    completion,
-                    node,
-                    |cx| cx.scan_distributed(&fragments),
-                )
+                if self.policy.real_sites {
+                    // Real sites: each fragment is owned by a socket
+                    // site executor from the start (the paper's model —
+                    // detail tuples live at the site that produced them;
+                    // only base tuples and accumulator states cross the
+                    // wire).
+                    let cluster = crate::wire::SiteCluster::spawn(fragments)?;
+                    let mut transport = crate::wire::TcpSites::new(cluster.addrs().to_vec());
+                    self.eval_chunked(
+                        base,
+                        detail,
+                        spec,
+                        selection,
+                        keep,
+                        completion,
+                        node,
+                        |cx| cx.scan_sites(&mut transport),
+                    )
+                } else {
+                    let mut transport = InProcessSites::new(fragments, self.sink.clone());
+                    self.eval_chunked(
+                        base,
+                        detail,
+                        spec,
+                        selection,
+                        keep,
+                        completion,
+                        node,
+                        |cx| cx.scan_sites(&mut transport),
+                    )
+                }
             }
         }?;
         let eval_delta = node.eval.minus(&eval_before);
@@ -703,6 +751,8 @@ impl Runtime {
         m.inc("network_broadcast_values_total", net_delta.broadcast_values);
         m.inc("network_collected_states_total", net_delta.collected_states);
         m.inc("network_messages_total", net_delta.messages);
+        m.inc("network_bytes_sent_total", net_delta.bytes_sent);
+        m.inc("network_bytes_received_total", net_delta.bytes_received);
         m.observe("gmdj_eval_latency_us", dur.as_micros() as u64);
         Ok(result)
     }
@@ -966,65 +1016,47 @@ impl PartitionCx<'_> {
         })
     }
 
-    /// Two-wave coordinator protocol over pre-fragmented detail: broadcast
-    /// the base partition, let each site scan its fragment locally, ship
-    /// accumulator state back, merge exactly at the coordinator. Each
-    /// site round-trip is one `site.roundtrip` span carrying the site's
-    /// evaluator and network deltas.
-    fn scan_distributed(&mut self, fragments: &[Relation]) -> Result<ScanOutcome> {
+    /// Two-wave coordinator protocol over a [`SiteTransport`]: broadcast
+    /// the base partition (plus the GMDJ spec and options), let each site
+    /// scan its fragment locally, ship accumulator *state* back, merge
+    /// exactly at the coordinator. Each site round-trip is one
+    /// `site.roundtrip` span carrying the site's evaluator and network
+    /// deltas. Both transports run the identical site-local evaluation —
+    /// each site builds its own probe indexes over the broadcast base
+    /// partition, so `index_builds` counts per (partition, site) here
+    /// where sequential counts per partition — which keeps every gated
+    /// counter byte-identical between the in-process and socket paths;
+    /// only `bytes_sent` / `bytes_received` (zero in-process, measured
+    /// on the wire) differ.
+    fn scan_sites(&mut self, transport: &mut dyn SiteTransport) -> Result<ScanOutcome> {
         let mut merged: Option<Vec<Accumulator>> = None;
         let mut worker_max_ns = 0u64;
         let mut worker_sum_ns = 0u64;
-        for (site, frag) in fragments.iter().enumerate() {
+        let req = SiteEvalRequest {
+            base: self.base,
+            base_schema: self.base_schema,
+            spec: self.spec,
+            opts: &self.opts,
+            total_aggs: self.total_aggs,
+        };
+        for site in 0..transport.site_count() {
             let eval_before = *self.stats;
             let net_before = *self.network;
             let mut sspan =
-                Span::begin(self.sink, "site.roundtrip").with_detail(format!("site{site}"));
+                Span::begin(self.sink, "site.roundtrip").with_detail(transport.site_label(site));
             let start = Instant::now();
             // Wave 1: base values (and the spec) to this site.
             self.network.messages += 1;
             self.network.broadcast_values += (self.base.len() * self.base_schema.len()) as u64;
-            // Each site builds its own probe indexes over the broadcast
-            // base partition, so index_builds counts per (partition, site)
-            // here where sequential counts per partition.
-            let plans = plan_blocks(
-                self.base,
-                self.base_schema,
-                self.detail.schema(),
-                self.spec,
-                &self.opts,
-                self.stats,
-            )?;
-            let mut accs = new_accumulators(&plans, self.base.len(), self.total_aggs);
-            let mut local = EvalStats::default();
-            if self.opts.vectorized {
-                scan_detail_vectorized(
-                    frag.cols(),
-                    0..frag.len(),
-                    &plans,
-                    self.base,
-                    self.total_aggs,
-                    &mut accs,
-                    &mut local,
-                    self.kernel,
-                    self.sink,
-                )?;
-            } else {
-                scan_detail_plain(
-                    frag.rows(),
-                    &plans,
-                    self.base,
-                    self.total_aggs,
-                    &mut accs,
-                    &mut local,
-                )?;
-                self.kernel.morsels += 1;
-            }
-            self.stats.merge(&local);
+            let resp = transport.eval_partition(site, &req)?;
+            self.stats.merge(&resp.stats);
+            self.kernel.merge(&resp.kernel);
             // Wave 2: accumulator states back to the coordinator. State
             // shipping is what lets AVG / COUNT DISTINCT distribute.
             self.network.messages += 1;
             self.network.collected_states += (self.base.len() * self.total_aggs) as u64;
+            self.network.bytes_sent += resp.bytes_sent;
+            self.network.bytes_received += resp.bytes_received;
             let wall_ns = start.elapsed().as_nanos() as u64;
             worker_max_ns = worker_max_ns.max(wall_ns);
             worker_sum_ns += wall_ns;
@@ -1034,12 +1066,12 @@ impl PartitionCx<'_> {
             if let Some(p) = self.progress {
                 // One progress morsel per site round-trip.
                 p.add_morsels_done(1);
-                p.add_rows(frag.len() as u64);
+                p.add_rows(resp.fragment_rows);
             }
             match &mut merged {
-                None => merged = Some(accs),
+                None => merged = Some(resp.accs),
                 Some(m) => {
-                    for (m, a) in m.iter_mut().zip(&accs) {
+                    for (m, a) in m.iter_mut().zip(&resp.accs) {
                         m.merge(a);
                     }
                 }

@@ -21,7 +21,7 @@
 //! | `gmdj.eval` | GMDJ evaluation (any mode) | full [`EvalStats`](crate::eval::EvalStats) + network deltas |
 //! | `gmdj.partition` | base partition scan | per-partition stats delta |
 //! | `gmdj.worker` | parallel worker chunk | per-chunk scan-counter delta, `chunk_rows` |
-//! | `site.roundtrip` | distributed site round-trip | per-site scan + network delta |
+//! | `site.roundtrip` | distributed site round-trip | per-site scan + network delta (incl. wire bytes under real sites; detail names the site, `siteN@addr` over sockets) |
 //! | `plan.node` | plan-operator execution | `rows_out`, `scanned_rows` |
 //! | `query.plan` | translation + optimization | — |
 //! | `query.execute` | plan execution | — |

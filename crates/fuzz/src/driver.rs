@@ -14,7 +14,10 @@
 //! contract). A second sweep re-runs each policy under morsel sizes
 //! {1, 7, 64, whole-relation}: morsel size is pure scheduling, so any
 //! visible difference — result rows or gated counters, page accounting
-//! included — is a bug.
+//! included — is a bug. Distributed policies additionally run a third
+//! twin over real socket-backed loopback sites (`gmdj_core::wire`): the
+//! transport must not change the multiset, the gated counters, or the
+//! closed-form network value counts.
 //!
 //! [`EvalStats`]: gmdj_core::eval::EvalStats
 
@@ -270,6 +273,81 @@ pub fn check_case(case: &FuzzCase, opts: &CheckOptions) -> CheckReport {
                             actual_rows: result.as_ref().ok().map(|r| r.relation.len()),
                             detail: format!(
                                 "{} under {}: morsel size changed observable results\n{detail}",
+                                strategy.label(),
+                                policy_label(policy)
+                            ),
+                        });
+                    }
+                }
+                // Real-sites twin check: distributed policies re-run over
+                // socket-backed loopback sites. Both transports drive the
+                // identical per-fragment evaluation, so the result multiset,
+                // the gated counters, AND the closed-form network value
+                // counts (broadcast_values / collected_states / messages)
+                // must match exactly — only the byte counters are allowed
+                // to differ (zero in-process, measured on the wire).
+                if matches!(
+                    policy.mode,
+                    gmdj_core::runtime::ExecMode::Distributed { .. }
+                ) {
+                    let real =
+                        run_with_policy(&query, &catalog, strategy, policy.with_real_sites(true));
+                    let real_detail = match (&result, &real) {
+                        (Ok(v), Ok(r)) => {
+                            if !v.relation.multiset_eq(&r.relation) {
+                                Some(format!(
+                                    "in-process ({} rows):\n{}\nreal sites ({} rows):\n{}",
+                                    v.relation.len(),
+                                    v.relation,
+                                    r.relation.len(),
+                                    r.relation
+                                ))
+                            } else {
+                                match (&v.plan_stats, &r.plan_stats) {
+                                    (Some(vs), Some(rs)) if vs.total_eval() != rs.total_eval() => {
+                                        Some(format!(
+                                            "gated counters drifted: in-process {:?} vs real sites {:?}",
+                                            vs.total_eval(),
+                                            rs.total_eval()
+                                        ))
+                                    }
+                                    (Some(vs), Some(rs)) => {
+                                        let (a, b) = (vs.total_network(), rs.total_network());
+                                        let a = (a.broadcast_values, a.collected_states, a.messages);
+                                        let b = (b.broadcast_values, b.collected_states, b.messages);
+                                        (a != b).then(|| {
+                                            format!(
+                                                "network value counts drifted \
+                                                 (broadcast_values, collected_states, messages): \
+                                                 in-process {a:?} vs real sites {b:?}"
+                                            )
+                                        })
+                                    }
+                                    _ => None,
+                                }
+                            }
+                        }
+                        (Ok(_), Err(e)) => Some(format!(
+                            "real sites errored while in-process succeeded: {e}"
+                        )),
+                        (Err(e), Ok(_)) => Some(format!(
+                            "in-process errored while real sites succeeded: {e}"
+                        )),
+                        (Err(a), Err(b)) => {
+                            let (a, b) = (a.to_string(), b.to_string());
+                            (a != b).then(|| {
+                                format!("errors differ: in-process {a:?} vs real sites {b:?}")
+                            })
+                        }
+                    };
+                    if let Some(detail) = real_detail {
+                        report.divergences.push(Divergence {
+                            strategy,
+                            policy,
+                            oracle_rows: oracle.len(),
+                            actual_rows: result.as_ref().ok().map(|r| r.relation.len()),
+                            detail: format!(
+                                "{} under {}: in-process and socket transports disagree\n{detail}",
                                 strategy.label(),
                                 policy_label(policy)
                             ),

@@ -150,8 +150,10 @@ impl BoundAgg {
     }
 }
 
-/// Incremental aggregate state.
-#[derive(Debug, Clone)]
+/// Incremental aggregate state. `PartialEq` compares the exact state
+/// (set contents for COUNT DISTINCT, bit-wise floats for SUM/AVG), which
+/// is what the wire-protocol round-trip tests assert.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Accumulator {
     CountStar {
         n: i64,
