@@ -30,6 +30,7 @@
 //!                         plus a `queries` progress section
 //! \queries [json]         active queries + cumulative progress totals
 //! \flight                 dump the flight recorder's retained trace tail
+//! \sites [json]           per-site round-trip totals (distributed runs)
 //! \timing on|off          toggle the parse/plan/execute breakdown
 //! \q                      quit
 //! ```
@@ -185,7 +186,7 @@ impl Shell {
         match StatsServer::start(value) {
             Ok(server) => {
                 println!(
-                    "  stats endpoint: http://{}/metrics /queries /flight /healthz",
+                    "  stats endpoint: http://{}/metrics /queries /flight /sites /healthz",
                     server.local_addr()
                 );
                 self.stats = Some(server);
@@ -472,6 +473,13 @@ impl Shell {
                 }
             }
             "\\flight" => println!("{}", trace::flight().dump_json()),
+            "\\sites" => {
+                if rest == "json" {
+                    println!("{}", gmdj_core::distributed::sites_json());
+                } else {
+                    print!("{}", gmdj_core::distributed::sites_text());
+                }
+            }
             "\\dot" => match gmdj_sql::parse_query(rest) {
                 Ok(q) => {
                     match gmdj_core::translate::subquery_to_gmdj(&q, &self.catalog) {
@@ -489,7 +497,7 @@ impl Shell {
                 self.timing = rest != "off";
                 println!("  timing {}", if self.timing { "on" } else { "off" });
             }
-            other => eprintln!("unknown meta command `{other}` (try \\tables, \\strategy, \\explain, \\analyze, \\compare, \\metrics, \\queries, \\flight, \\timing, \\q)"),
+            other => eprintln!("unknown meta command `{other}` (try \\tables, \\strategy, \\explain, \\analyze, \\compare, \\metrics, \\queries, \\flight, \\sites, \\timing, \\q)"),
         }
         true
     }
@@ -678,7 +686,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    println!("gmdj-sql-shell — \\q to quit, \\tables, \\strategy, \\explain, \\analyze, \\dot, \\compare, \\metrics, \\queries, \\flight");
+    println!("gmdj-sql-shell — \\q to quit, \\tables, \\strategy, \\explain, \\analyze, \\dot, \\compare, \\metrics, \\queries, \\flight, \\sites");
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {

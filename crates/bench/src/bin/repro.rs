@@ -39,7 +39,7 @@
 //! parses + validates an existing profile and exits, for CI.
 //!
 //! Observability: `--stats-addr HOST:PORT` serves the live HTTP stats
-//! endpoint (`/metrics`, `/queries`, `/flight`, `/healthz` — see
+//! endpoint (`/metrics`, `/queries`, `/flight`, `/sites`, `/healthz` — see
 //! `gmdj_core::serve`) for the duration of the run; `--flight-dump PATH`
 //! writes the flight recorder's retained trace tail as JSON on exit;
 //! `--no-flight` disables the always-on flight recorder (the overhead
@@ -166,7 +166,7 @@ fn parse_args() -> Result<Args, String> {
                      --profile-json PATH   write a machine-readable profile (timed\n                        \
                      plan trees + counters; see schemas/profile.schema.json)\n  \
                      --check-profile PATH  validate an existing profile and exit\n  \
-                     --stats-addr H:P      serve live /metrics /queries /flight /healthz\n                        \
+                     --stats-addr H:P      serve live /metrics /queries /flight /sites /healthz\n                        \
                      over HTTP for the duration of the run\n  \
                      --flight-dump PATH    write the flight recorder's trace tail on exit\n  \
                      --no-flight           disable the always-on flight recorder\n\n\
@@ -497,7 +497,7 @@ fn main() -> ExitCode {
         Some(addr) => match StatsServer::start(addr) {
             Ok(server) => {
                 eprintln!(
-                    "stats endpoint: http://{}/metrics /queries /flight /healthz",
+                    "stats endpoint: http://{}/metrics /queries /flight /sites /healthz",
                     server.local_addr()
                 );
                 Some(server)

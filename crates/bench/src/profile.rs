@@ -22,7 +22,11 @@ use crate::{Figure, Measurement};
 /// Version 4 added the measured wire-byte counters (`bytes_sent`,
 /// `bytes_received`) to every plan node's `network` block — zero except
 /// under the socket site transport (`ExecPolicy::real_sites`).
-pub const PROFILE_VERSION: u64 = 4;
+/// Version 5 added the optional per-node `sites` array: the distributed
+/// coordinator's per-site breakdown (round-trip / site wall / merge
+/// durations, rows, fragment size, attempts, wire bytes), present
+/// exactly on nodes that ran `ExecMode::Distributed`.
+pub const PROFILE_VERSION: u64 = 5;
 
 /// Render a full profile document for a set of regenerated figures.
 pub fn render_profile(figures: &[Figure], policy: &ExecPolicy, scale: f64, seed: u64) -> String {
@@ -308,6 +312,21 @@ const EVAL_COUNTERS: [&str; 12] = [
     "row_page_reads",
 ];
 
+/// The numeric fields of one per-site breakdown entry (plus a string
+/// `label`).
+const SITE_COUNTERS: [&str; 10] = [
+    "site",
+    "roundtrips",
+    "attempts",
+    "roundtrip_ns",
+    "site_wall_ns",
+    "merge_ns",
+    "rows_scanned",
+    "fragment_rows",
+    "bytes_sent",
+    "bytes_received",
+];
+
 /// The cumulative totals a `progress` / `totals` object carries.
 const PROGRESS_TOTALS: [&str; 5] = [
     "queries_started",
@@ -368,6 +387,20 @@ fn validate_plan(node: &Json, at: &str) -> Result<(), String> {
         .ok_or_else(|| format!("{at}: missing `ops`"))?;
     for key in ["rows_in", "rows_out"] {
         require_num(ops, key, &format!("{at}.ops"))?;
+    }
+    // `sites` is optional (present exactly on distributed nodes) but
+    // must be complete when present — same stance as `kernel`.
+    if let Some(sites) = node.get("sites") {
+        let sites = sites
+            .as_arr()
+            .ok_or_else(|| format!("{at}: `sites` must be an array"))?;
+        for (i, s) in sites.iter().enumerate() {
+            let at = format!("{at}.sites[{i}]");
+            require_str(s, "label", &at)?;
+            for key in SITE_COUNTERS {
+                require_num(s, key, &at)?;
+            }
+        }
     }
     let children = node
         .get("children")
@@ -564,6 +597,40 @@ pub fn plan_from_json(node: &Json) -> Result<PlanNodeStats, String> {
     out.network.bytes_sent = net_num("bytes_sent")?;
     out.network.collected_states = net_num("collected_states")?;
     out.network.messages = net_num("messages")?;
+    // Pre-v5 profiles have no per-site breakdown; absent means empty,
+    // present must be complete.
+    if let Some(sites) = node.get("sites") {
+        for (i, s) in sites
+            .as_arr()
+            .ok_or("`sites` must be an array")?
+            .iter()
+            .enumerate()
+        {
+            let s_num = |key: &str| -> Result<u64, String> {
+                s.get(key)
+                    .and_then(Json::as_num)
+                    .map(|n| n as u64)
+                    .ok_or_else(|| format!("missing sites[{i}].`{key}`"))
+            };
+            out.sites.push(gmdj_core::runtime::SiteBreakdown {
+                site: s_num("site")?,
+                label: s
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("missing sites[{i}].`label`"))?
+                    .to_string(),
+                roundtrips: s_num("roundtrips")?,
+                attempts: s_num("attempts")?,
+                roundtrip_ns: s_num("roundtrip_ns")?,
+                site_wall_ns: s_num("site_wall_ns")?,
+                merge_ns: s_num("merge_ns")?,
+                rows_scanned: s_num("rows_scanned")?,
+                fragment_rows: s_num("fragment_rows")?,
+                bytes_sent: s_num("bytes_sent")?,
+                bytes_received: s_num("bytes_received")?,
+            });
+        }
+    }
     for c in node
         .get("children")
         .and_then(Json::as_arr)
@@ -600,6 +667,19 @@ mod tests {
         node.eval.partitions = 2;
         node.network.messages = 4;
         node.worker_wall_sum_ns = 55;
+        node.sites.push(gmdj_core::runtime::SiteBreakdown {
+            site: 0,
+            label: "site0@127.0.0.1:9".to_string(),
+            roundtrips: 2,
+            attempts: 3,
+            roundtrip_ns: 500,
+            site_wall_ns: 300,
+            merge_ns: 20,
+            rows_scanned: 50,
+            fragment_rows: 25,
+            bytes_sent: 1024,
+            bytes_received: 2048,
+        });
         let mut child = PlanNodeStats::new("Table(x)");
         child.scanned_rows = 10;
         node.children.push(child);
@@ -611,7 +691,10 @@ mod tests {
         assert_eq!(back.rows_out, 7);
         assert_eq!(back.eval.detail_scanned, 99);
         assert_eq!(back.network.messages, 4);
+        assert_eq!(back.sites, node.sites);
         assert_eq!(back.children[0].scanned_rows, 10);
+        // Non-distributed nodes carry no `sites` key at all.
+        assert!(!back.children[0].to_json().contains("\"sites\""));
     }
 
     const PROGRESS: &str = r#""progress":{"queries_started":4,"queries_finished":4,
@@ -620,7 +703,7 @@ mod tests {
     #[test]
     fn validation_rejects_missing_counters() {
         let doc = parse_json(&format!(
-            r#"{{"version":4,"policy":"Sequential","scale":0.01,"seed":1,{PROGRESS},"figures":[
+            r#"{{"version":5,"policy":"Sequential","scale":0.01,"seed":1,{PROGRESS},"figures":[
                 {{"name":"f","description":"d","points":[
                     {{"label":"l","outer":1,"inner":1,"measurements":[
                         {{"strategy":"s","wall_us":1,"plan_us":0,"work":1,"rows":1,"plan":null}}
@@ -631,7 +714,7 @@ mod tests {
 
         // Version ≤2 profiles predate the `progress` section, version 3
         // the network byte counters.
-        for stale_version in [1, 2, 3] {
+        for stale_version in [1, 2, 3, 4] {
             let stale = parse_json(&format!(
                 r#"{{"version":{stale_version},"policy":"x","scale":1,"seed":1,"figures":[{{}}]}}"#
             ))
@@ -641,17 +724,17 @@ mod tests {
                 .contains("unsupported"));
         }
         let no_progress =
-            parse_json(r#"{"version":4,"policy":"x","scale":1,"seed":1,"figures":[{}]}"#).unwrap();
+            parse_json(r#"{"version":5,"policy":"x","scale":1,"seed":1,"figures":[{}]}"#).unwrap();
         assert!(validate_profile(&no_progress)
             .unwrap_err()
             .contains("progress"));
         let bad = parse_json(&format!(
-            r#"{{"version":4,"policy":"x","scale":1,"seed":1,{PROGRESS},"figures":[{{}}]}}"#
+            r#"{{"version":5,"policy":"x","scale":1,"seed":1,{PROGRESS},"figures":[{{}}]}}"#
         ))
         .unwrap();
         assert!(validate_profile(&bad).is_err());
         let empty = parse_json(&format!(
-            r#"{{"version":4,"policy":"x","scale":1,"seed":1,{PROGRESS},"figures":[]}}"#
+            r#"{{"version":5,"policy":"x","scale":1,"seed":1,{PROGRESS},"figures":[]}}"#
         ))
         .unwrap();
         assert!(validate_profile(&empty).unwrap_err().contains("empty"));

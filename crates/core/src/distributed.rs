@@ -41,6 +41,7 @@ use crate::eval::{
     GmdjOptions, KernelStats,
 };
 use crate::spec::GmdjSpec;
+use crate::trace::TraceEvent;
 
 /// Network accounting. The closed-form counters (`broadcast_values`,
 /// `collected_states`, `messages`) are transport-independent: they count
@@ -307,6 +308,15 @@ pub struct SiteEvalRequest<'a> {
     pub opts: &'a GmdjOptions,
     /// Aggregates per base row, `spec.agg_count()`.
     pub total_aggs: usize,
+    /// Cross-process trace context: the coordinator evaluation this
+    /// request belongs to ([`crate::trace::next_trace_id`]).
+    pub query_id: u64,
+    /// The coordinator `site.roundtrip` span id this request rides under.
+    pub parent_span: u64,
+    /// Whether the site should collect and ship its span deltas back
+    /// (the coordinator's sink is enabled). Wall-clock and counters ship
+    /// either way.
+    pub trace: bool,
 }
 
 /// One site→coordinator reply: the state wave. Partial accumulator state
@@ -330,6 +340,16 @@ pub struct SiteEvalResponse {
     pub bytes_received: u64,
     /// Attempts the round-trip took (1 = no retries).
     pub attempts: u64,
+    /// Site-local evaluation wall-clock (the `site.eval` span), on the
+    /// site's own monotonic clock — a duration, never an absolute time.
+    pub site_wall_ns: u64,
+    /// The site executor's span deltas for the *successful* attempt,
+    /// shipped back alongside the state matrix and stitched under the
+    /// coordinator's `site.roundtrip` span. Empty when the request did
+    /// not ask for tracing. Failed attempts never contribute spans —
+    /// their sink dies with the attempt — so stitched trees count site
+    /// work exactly once.
+    pub spans: Vec<TraceEvent>,
 }
 
 /// How the distributed runtime reaches site `0..site_count()`. The
@@ -398,6 +418,206 @@ pub(crate) fn eval_site_fragment(
     Ok((accs, stats, kernel))
 }
 
+/// Everything one traced site evaluation produces: the state matrix,
+/// the counters, the measured site wall-clock and the span deltas to
+/// ship. Both transports produce this via [`eval_site_fragment_traced`],
+/// so the coordinator stitches one shape regardless of the wire.
+pub(crate) struct TracedSiteEval {
+    pub accs: Vec<Accumulator>,
+    pub stats: EvalStats,
+    pub kernel: KernelStats,
+    /// `site.eval` span duration on the site's monotonic clock.
+    pub wall_ns: u64,
+    /// Spans recorded during this evaluation (empty unless `collect`),
+    /// `site.eval` last.
+    pub spans: Vec<TraceEvent>,
+}
+
+/// [`eval_site_fragment`] wrapped in a per-attempt `site.eval` span.
+/// The span sink lives and dies with the attempt: a faulted attempt's
+/// spans are dropped with it and can never reach the coordinator, which
+/// is what makes stitched trees exactly-once under retries. `flight` is
+/// the site's own always-on recorder (socket sites; `None` in-process —
+/// the coordinator's ring sees the stitched copy instead).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eval_site_fragment_traced(
+    base: &[Tuple],
+    base_schema: &gmdj_relation::schema::Schema,
+    fragment: &Relation,
+    spec: &GmdjSpec,
+    opts: &GmdjOptions,
+    total_aggs: usize,
+    site: usize,
+    attempt: u32,
+    query_id: u64,
+    parent_span: u64,
+    collect: bool,
+    flight: Option<&std::sync::Arc<crate::trace::FlightRecorder>>,
+) -> Result<TracedSiteEval> {
+    use crate::trace::{CollectingSink, NullSink, Span, TeeSink, TraceSink};
+    use std::sync::Arc;
+
+    let collecting = Arc::new(CollectingSink::new());
+    let primary: Arc<dyn TraceSink> = if collect {
+        collecting.clone()
+    } else {
+        Arc::new(NullSink)
+    };
+    let sink: Arc<dyn TraceSink> = match flight {
+        Some(f) => Arc::new(TeeSink::new(primary, f.clone())),
+        None => primary,
+    };
+    let mut sspan = Span::begin(sink.as_ref(), "site.eval").with_detail(format!("site{site}"));
+    let (accs, stats, kernel) = eval_site_fragment(
+        base,
+        base_schema,
+        fragment,
+        spec,
+        opts,
+        total_aggs,
+        sink.as_ref(),
+    )?;
+    sspan.field("site", site as u64);
+    sspan.field("attempt", attempt as u64);
+    sspan.field("fragment_rows", fragment.len() as u64);
+    sspan.field("query_id", query_id);
+    sspan.field("parent_span", parent_span);
+    sspan.fields(stats.trace_fields());
+    let wall_ns = sspan.finish().as_nanos() as u64;
+    Ok(TracedSiteEval {
+        accs,
+        stats,
+        kernel,
+        wall_ns,
+        spans: collecting.take(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Process-global per-site observations: the `/sites` surface
+// ---------------------------------------------------------------------
+
+/// One coordinator-side observation of a completed site round-trip — the
+/// durations-only decomposition the coordinator can measure without
+/// comparing clocks across processes: its own wall-clock around the
+/// round-trip, the site's shipped wall-clock (a duration on the site's
+/// monotonic clock), and the coordinator's merge time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SiteRoundtrip {
+    /// Coordinator wall-clock, request written → state matrix read.
+    pub roundtrip_ns: u64,
+    /// Site-local evaluation wall-clock (shipped `site.eval` duration).
+    pub site_wall_ns: u64,
+    /// Coordinator time merging this site's accumulator states.
+    pub merge_ns: u64,
+    /// Detail rows the site scanned this round-trip.
+    pub rows_scanned: u64,
+    /// Detail rows in the site's fragment.
+    pub fragment_rows: u64,
+    /// Wire bytes written to the site (all attempts; zero in-process).
+    pub bytes_sent: u64,
+    /// Wire bytes read back (zero in-process).
+    pub bytes_received: u64,
+    /// Attempts the round-trip took (1 = no retries).
+    pub attempts: u64,
+}
+
+/// Running totals for one site index across every query this process has
+/// coordinated.
+#[derive(Debug, Clone, Default)]
+struct SiteTotals {
+    label: String,
+    roundtrips: u64,
+    sum: SiteRoundtrip,
+}
+
+fn site_store() -> &'static std::sync::Mutex<std::collections::BTreeMap<usize, SiteTotals>> {
+    static STORE: std::sync::OnceLock<
+        std::sync::Mutex<std::collections::BTreeMap<usize, SiteTotals>>,
+    > = std::sync::OnceLock::new();
+    STORE.get_or_init(|| std::sync::Mutex::new(std::collections::BTreeMap::new()))
+}
+
+/// Fold one completed round-trip into the process-global per-site totals
+/// (both transports; called by the coordinator's scan loop). The most
+/// recent label wins — a site index that was in-process in one query and
+/// socket-backed in the next reports its latest address.
+pub fn record_site_roundtrip(site: usize, label: &str, obs: SiteRoundtrip) {
+    let mut store = site_store().lock().expect("site stats poisoned");
+    let t = store.entry(site).or_default();
+    t.label = label.to_string();
+    t.roundtrips += 1;
+    t.sum.roundtrip_ns += obs.roundtrip_ns;
+    t.sum.site_wall_ns += obs.site_wall_ns;
+    t.sum.merge_ns += obs.merge_ns;
+    t.sum.rows_scanned += obs.rows_scanned;
+    t.sum.fragment_rows = obs.fragment_rows;
+    t.sum.bytes_sent += obs.bytes_sent;
+    t.sum.bytes_received += obs.bytes_received;
+    t.sum.attempts += obs.attempts;
+}
+
+/// The per-site totals as one deterministic JSON object (sites in index
+/// order, fixed key order) — the body of the `/sites` endpoint and the
+/// shell's `\sites json`.
+pub fn sites_json() -> String {
+    let store = site_store().lock().expect("site stats poisoned");
+    let mut out = String::from("{\"sites\":[");
+    for (i, (site, t)) in store.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"site\":{},\"label\":\"{}\",\"roundtrips\":{},\
+             \"attempts\":{},\"roundtrip_ns\":{},\"site_wall_ns\":{},\
+             \"merge_ns\":{},\"rows_scanned\":{},\"fragment_rows\":{},\
+             \"bytes_sent\":{},\"bytes_received\":{}}}",
+            site,
+            crate::trace::json_escape(&t.label),
+            t.roundtrips,
+            t.sum.attempts,
+            t.sum.roundtrip_ns,
+            t.sum.site_wall_ns,
+            t.sum.merge_ns,
+            t.sum.rows_scanned,
+            t.sum.fragment_rows,
+            t.sum.bytes_sent,
+            t.sum.bytes_received,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Human-readable rendering of the per-site totals, one line per site
+/// (the shell's `\sites`).
+pub fn sites_text() -> String {
+    let store = site_store().lock().expect("site stats poisoned");
+    if store.is_empty() {
+        return "no site round-trips recorded\n".to_string();
+    }
+    let mut out = String::new();
+    for (site, t) in store.iter() {
+        out.push_str(&format!(
+            "site{} ({}) roundtrips={} attempts={} rt={:.3}ms site={:.3}ms \
+             wire={:.3}ms merge={:.3}ms rows={} frag={} bytes[sent={} recv={}]\n",
+            site,
+            t.label,
+            t.roundtrips,
+            t.sum.attempts,
+            t.sum.roundtrip_ns as f64 / 1e6,
+            t.sum.site_wall_ns as f64 / 1e6,
+            t.sum.roundtrip_ns.saturating_sub(t.sum.site_wall_ns) as f64 / 1e6,
+            t.sum.merge_ns as f64 / 1e6,
+            t.sum.rows_scanned,
+            t.sum.fragment_rows,
+            t.sum.bytes_sent,
+            t.sum.bytes_received,
+        ));
+    }
+    out
+}
+
 /// The in-process transport: sites are plain function calls over
 /// fragments held by the coordinator. This is the default for
 /// `ExecMode::Distributed` — a deterministic simulation with the exact
@@ -432,23 +652,34 @@ impl SiteTransport for InProcessSites {
         req: &SiteEvalRequest<'_>,
     ) -> Result<SiteEvalResponse> {
         let frag = &self.fragments[site];
-        let (accs, stats, kernel) = eval_site_fragment(
+        // Collect-and-ship exactly like the socket transport: the site's
+        // spans come back in the response and the coordinator stitches
+        // them, so the trace tree has one shape for both transports and
+        // site work is never double-recorded.
+        let traced = eval_site_fragment_traced(
             req.base,
             req.base_schema,
             frag,
             req.spec,
             req.opts,
             req.total_aggs,
-            self.sink.as_ref(),
+            site,
+            0,
+            req.query_id,
+            req.parent_span,
+            req.trace || self.sink.is_enabled(),
+            None,
         )?;
         Ok(SiteEvalResponse {
-            accs,
-            stats,
-            kernel,
+            accs: traced.accs,
+            stats: traced.stats,
+            kernel: traced.kernel,
             fragment_rows: frag.len() as u64,
             bytes_sent: 0,
             bytes_received: 0,
             attempts: 1,
+            site_wall_ns: traced.wall_ns,
+            spans: traced.spans,
         })
     }
 }

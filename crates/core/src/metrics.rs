@@ -12,7 +12,12 @@
 //!
 //! Metric keys are plain strings; Prometheus-style labels are part of
 //! the key (e.g. `queries_total{strategy="gmdj-opt"}`), which keeps the
-//! registry dependency-free while rendering correctly.
+//! registry dependency-free while rendering correctly. Build labeled
+//! keys with [`labeled`] — it escapes label values per the exposition
+//! format (`\\`, `\"`, `\n`) — and the renderer splices histogram
+//! suffixes *inside* the label set (`name_bucket{site="0",le="3"}`), so
+//! per-site series like `site_frame_us{frame="hello",site="0"}` scrape
+//! as proper label dimensions rather than opaque family names.
 
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
@@ -267,20 +272,47 @@ impl MetricsRegistry {
             }
             out.push_str(&format!("{name} {v}\n"));
         }
+        last_family = None;
         for (name, h) in &inner.histograms {
-            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let (family, labels) = split_key(name);
+            if last_family.as_deref() != Some(family) {
+                out.push_str(&format!("# TYPE {family} histogram\n"));
+                last_family = Some(family.to_string());
+            }
+            // Histogram suffix series splice their extra label (`le`,
+            // `quantile`) inside the key's own label set; `_sum` /
+            // `_count` keep the key's labels verbatim.
+            let with = |extra: &str| {
+                if labels.is_empty() {
+                    format!("{{{extra}}}")
+                } else {
+                    format!("{{{labels},{extra}}}")
+                }
+            };
+            let plain = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{labels}}}")
+            };
             let mut cumulative = 0u64;
             for (le, c) in h.nonzero_buckets() {
                 cumulative += c;
-                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                out.push_str(&format!(
+                    "{family}_bucket{} {cumulative}\n",
+                    with(&format!("le=\"{le}\""))
+                ));
             }
-            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
-            let (p50, p95, p99) = h.quantiles();
             out.push_str(&format!(
-                "{name}{{quantile=\"0.5\"}} {p50}\n{name}{{quantile=\"0.95\"}} {p95}\n{name}{{quantile=\"0.99\"}} {p99}\n"
+                "{family}_bucket{} {}\n",
+                with("le=\"+Inf\""),
+                h.count()
             ));
+            let (p50, p95, p99) = h.quantiles();
+            out.push_str(&format!("{family}{} {p50}\n", with("quantile=\"0.5\"")));
+            out.push_str(&format!("{family}{} {p95}\n", with("quantile=\"0.95\"")));
+            out.push_str(&format!("{family}{} {p99}\n", with("quantile=\"0.99\"")));
             out.push_str(&format!(
-                "{name}_sum {}\n{name}_count {}\n",
+                "{family}_sum{plain} {}\n{family}_count{plain} {}\n",
                 h.sum(),
                 h.count()
             ));
@@ -334,6 +366,53 @@ impl MetricsRegistry {
 /// Strip a trailing `{labels}` suffix for the `# TYPE` line.
 fn base_name(name: &str) -> &str {
     name.split('{').next().unwrap_or(name)
+}
+
+/// Split a metric key into `(family, labels)`, where `labels` is the
+/// brace body (`k="v",…`) without braces — empty for unlabeled keys.
+fn split_key(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], name[i + 1..].trim_end_matches('}')),
+        None => (name, ""),
+    }
+}
+
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double quote, and newline become `\\`, `\"`, `\n`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Build a registry key `name{k="v",…}` with properly escaped label
+/// values. Label order is preserved as given — callers keep it stable so
+/// the same series maps to the same key every time.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
 }
 
 /// The process-wide registry every component reports into.
@@ -508,6 +587,90 @@ mod tests {
         assert_eq!(m.gauge("g"), 0);
         assert!(m.histogram("y").is_none());
         assert!(m.counter_names().is_empty());
+    }
+
+    #[test]
+    fn labeled_histograms_render_prometheus_labels() {
+        let m = MetricsRegistry::new();
+        m.observe(
+            &labeled("site_frame_us", &[("frame", "hello"), ("site", "0")]),
+            3,
+        );
+        m.observe("site_frame_us", 5);
+        let text = m.render_prometheus();
+        // One family, two series: the labeled key's histogram suffixes
+        // splice their extra label inside the label set.
+        assert_eq!(text.matches("# TYPE site_frame_us histogram").count(), 1);
+        assert!(
+            text.contains("site_frame_us_bucket{frame=\"hello\",site=\"0\",le=\"3\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("site_frame_us_bucket{frame=\"hello\",site=\"0\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("site_frame_us{frame=\"hello\",site=\"0\",quantile=\"0.5\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("site_frame_us_sum{frame=\"hello\",site=\"0\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("site_frame_us_count{frame=\"hello\",site=\"0\"} 1"),
+            "{text}"
+        );
+        // The unlabeled twin keeps its bare-family rendering.
+        assert!(text.contains("site_frame_us_sum 5"), "{text}");
+        assert!(
+            text.contains("site_frame_us_bucket{le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert_eq!(text, m.render_prometheus());
+    }
+
+    #[test]
+    fn label_values_escape_and_round_trip() {
+        // Unescape per the exposition format — the inverse of
+        // `escape_label_value`, used here to prove the round trip.
+        fn unescape(v: &str) -> String {
+            let mut out = String::new();
+            let mut chars = v.chars();
+            while let Some(c) = chars.next() {
+                if c != '\\' {
+                    out.push(c);
+                    continue;
+                }
+                match chars.next() {
+                    Some('\\') => out.push('\\'),
+                    Some('"') => out.push('"'),
+                    Some('n') => out.push('\n'),
+                    Some(other) => out.push(other),
+                    None => {}
+                }
+            }
+            out
+        }
+        let nasty = "we\"ird\\st\nrat";
+        assert_eq!(unescape(&escape_label_value(nasty)), nasty);
+        let key = labeled("queries_total", &[("strategy", nasty)]);
+        assert_eq!(key, "queries_total{strategy=\"we\\\"ird\\\\st\\nrat\"}");
+        let m = MetricsRegistry::new();
+        m.inc(&key, 2);
+        let text = m.render_prometheus();
+        // The rendered line carries the escaped value on a single line
+        // (the raw newline never leaks into the exposition).
+        assert!(text.contains(&format!("{key} 2")), "{text}");
+        assert!(text.contains("# TYPE queries_total counter"), "{text}");
+        let rendered_value = text
+            .lines()
+            .find(|l| l.starts_with("queries_total{"))
+            .and_then(|l| l.split("strategy=\"").nth(1))
+            .and_then(|rest| rest.split("\"}").next())
+            .unwrap();
+        assert_eq!(unescape(rendered_value), nasty);
+        assert!(labeled("plain", &[]) == "plain");
     }
 
     #[test]

@@ -284,8 +284,57 @@ pub struct PlanNodeStats {
     /// Total worker (or site) time across every chunk — the total work
     /// the scan represents, independent of how it was divided.
     pub worker_wall_sum_ns: u64,
+    /// Per-site breakdown under `ExecMode::Distributed` (indexed by site,
+    /// aggregated over base partitions); empty for the other modes.
+    pub sites: Vec<SiteBreakdown>,
     /// Child operators, in plan order.
     pub children: Vec<PlanNodeStats>,
+}
+
+/// Per-site observed breakdown for one GMDJ node under
+/// `ExecMode::Distributed`: the coordinator-side decomposition of each
+/// site's round-trips into site compute, wire time, and coordinator merge
+/// time, aggregated over base partitions. Durations only — the site
+/// wall-clock is measured on the site's own monotonic clock and shipped
+/// back as a duration, so no absolute timestamps are ever compared across
+/// processes; wire time is derived as `roundtrip − site_wall`
+/// (saturating, [`SiteBreakdown::wire_ns`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SiteBreakdown {
+    /// Site index in the transport's fan-out order.
+    pub site: u64,
+    /// Transport label, e.g. `site0` (in-process) or the socket address.
+    pub label: String,
+    /// Round-trips to this site (one per base partition).
+    pub roundtrips: u64,
+    /// Attempts across those round-trips (`> roundtrips` means retries).
+    pub attempts: u64,
+    /// Coordinator wall-clock across the round-trips (request written →
+    /// state matrix read), site compute and wire time included.
+    pub roundtrip_ns: u64,
+    /// Site-local evaluation wall-clock: the shipped `site.eval` span
+    /// duration, on the site's own clock.
+    pub site_wall_ns: u64,
+    /// Coordinator time merging this site's accumulator states.
+    pub merge_ns: u64,
+    /// Detail rows the site scanned — its share of the gated
+    /// `detail_scanned` counter, which the shares sum to exactly.
+    pub rows_scanned: u64,
+    /// Detail rows in the site's fragment.
+    pub fragment_rows: u64,
+    /// Wire bytes written to this site (all attempts; zero in-process).
+    pub bytes_sent: u64,
+    /// Wire bytes read back from this site (zero in-process).
+    pub bytes_received: u64,
+}
+
+impl SiteBreakdown {
+    /// Round-trip time not spent in site compute: wire transfer plus
+    /// framing/handshake overhead. Saturating — the two durations come
+    /// from different processes' clocks.
+    pub fn wire_ns(&self) -> u64 {
+        self.roundtrip_ns.saturating_sub(self.site_wall_ns)
+    }
 }
 
 impl PlanNodeStats {
@@ -462,6 +511,32 @@ impl PlanNodeStats {
             ));
         }
         out.push_str("]\n");
+        // Distributed nodes: one indented line per site decomposing each
+        // round-trip into site compute, wire time, and coordinator merge.
+        for s in &self.sites {
+            for _ in 0..depth + 1 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!(
+                "{} [rt={:.3}ms site={:.3}ms wire={:.3}ms merge={:.3}ms \
+                 rows={} frag={} attempts={}",
+                s.label,
+                s.roundtrip_ns as f64 / 1e6,
+                s.site_wall_ns as f64 / 1e6,
+                s.wire_ns() as f64 / 1e6,
+                s.merge_ns as f64 / 1e6,
+                s.rows_scanned,
+                s.fragment_rows,
+                s.attempts
+            ));
+            if s.bytes_sent + s.bytes_received > 0 {
+                out.push_str(&format!(
+                    " bytes[sent={} recv={}]",
+                    s.bytes_sent, s.bytes_received
+                ));
+            }
+            out.push_str("]\n");
+        }
         for c in &self.children {
             c.render_analyze_into(depth + 1, total_ns, total_cost, out);
         }
@@ -487,7 +562,7 @@ impl PlanNodeStats {
              \"rows_row_path\":{}}},\
              \"network\":{{\"broadcast_values\":{},\"bytes_received\":{},\
              \"bytes_sent\":{},\"collected_states\":{},\
-             \"messages\":{}}},\"children\":[",
+             \"messages\":{}}}",
             crate::trace::json_escape(&self.label),
             self.rows_out,
             self.scanned_rows,
@@ -520,6 +595,36 @@ impl PlanNodeStats {
             n.collected_states,
             n.messages,
         );
+        // Per-site breakdown: present exactly when the node ran
+        // distributed (mirrors the render; absent otherwise so
+        // non-distributed profiles are unchanged).
+        if !self.sites.is_empty() {
+            out.push_str(",\"sites\":[");
+            for (i, s) in self.sites.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"site\":{},\"label\":\"{}\",\"roundtrips\":{},\
+                     \"attempts\":{},\"roundtrip_ns\":{},\"site_wall_ns\":{},\
+                     \"merge_ns\":{},\"rows_scanned\":{},\"fragment_rows\":{},\
+                     \"bytes_sent\":{},\"bytes_received\":{}}}",
+                    s.site,
+                    crate::trace::json_escape(&s.label),
+                    s.roundtrips,
+                    s.attempts,
+                    s.roundtrip_ns,
+                    s.site_wall_ns,
+                    s.merge_ns,
+                    s.rows_scanned,
+                    s.fragment_rows,
+                    s.bytes_sent,
+                    s.bytes_received,
+                ));
+            }
+            out.push(']');
+        }
+        out.push_str(",\"children\":[");
         for (i, c) in self.children.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -806,6 +911,10 @@ impl Runtime {
         let io_schema_cols = detail.schema().len() as u64;
 
         let partition = self.policy.partition_rows.unwrap_or(usize::MAX).max(1);
+        // One trace context per evaluation: rides the wire to the sites
+        // and comes back echoed on their shipped `site.eval` spans, so a
+        // stitched tree is attributable even across concurrent queries.
+        let query_id = crate::trace::next_trace_id();
         let mut out_rows: Vec<Tuple> = Vec::new();
         let mut start = 0usize;
         while start < base.len() || (base.is_empty() && start == 0) {
@@ -830,9 +939,11 @@ impl Runtime {
                     .unwrap_or(DEFAULT_MORSEL_ROWS)
                     .max(1),
                 total_aggs,
+                query_id,
                 stats: &mut node.eval,
                 kernel: &mut node.kernel,
                 network: &mut node.network,
+                sites: &mut node.sites,
                 sink: self.sink.as_ref(),
                 progress: self.progress.as_deref(),
             };
@@ -876,9 +987,11 @@ struct PartitionCx<'a> {
     opts: GmdjOptions,
     morsel_rows: usize,
     total_aggs: usize,
+    query_id: u64,
     stats: &'a mut EvalStats,
     kernel: &'a mut KernelStats,
     network: &'a mut NetworkStats,
+    sites: &'a mut Vec<SiteBreakdown>,
     sink: &'a dyn TraceSink,
     progress: Option<&'a QueryProgress>,
 }
@@ -1032,18 +1145,24 @@ impl PartitionCx<'_> {
         let mut merged: Option<Vec<Accumulator>> = None;
         let mut worker_max_ns = 0u64;
         let mut worker_sum_ns = 0u64;
-        let req = SiteEvalRequest {
-            base: self.base,
-            base_schema: self.base_schema,
-            spec: self.spec,
-            opts: &self.opts,
-            total_aggs: self.total_aggs,
-        };
         for site in 0..transport.site_count() {
             let eval_before = *self.stats;
             let net_before = *self.network;
-            let mut sspan =
-                Span::begin(self.sink, "site.roundtrip").with_detail(transport.site_label(site));
+            let label = transport.site_label(site);
+            let mut sspan = Span::begin(self.sink, "site.roundtrip").with_detail(label.clone());
+            // The trace context rides the broadcast wave: the site echoes
+            // `query_id` / `parent_span` on its shipped `site.eval` span,
+            // tying the remote events to this exact round-trip.
+            let req = SiteEvalRequest {
+                base: self.base,
+                base_schema: self.base_schema,
+                spec: self.spec,
+                opts: &self.opts,
+                total_aggs: self.total_aggs,
+                query_id: self.query_id,
+                parent_span: sspan.id(),
+                trace: self.sink.is_enabled(),
+            };
             let start = Instant::now();
             // Wave 1: base values (and the spec) to this site.
             self.network.messages += 1;
@@ -1060,6 +1179,23 @@ impl PartitionCx<'_> {
             let wall_ns = start.elapsed().as_nanos() as u64;
             worker_max_ns = worker_max_ns.max(wall_ns);
             worker_sum_ns += wall_ns;
+            // Stitch the site's shipped spans into the coordinator trace,
+            // re-anchored inside this round-trip's window: durations are
+            // site-measured and kept verbatim, while start offsets are
+            // re-based so the earliest site event opens at the round-trip
+            // start (the two processes' clocks are never compared).
+            if self.sink.is_enabled() && !resp.spans.is_empty() {
+                let min_start = resp.spans.iter().map(|e| e.start_ns).min().unwrap_or(0);
+                let anchor = sspan.start_ns();
+                for e in &resp.spans {
+                    let mut e = e.clone();
+                    e.start_ns = anchor + (e.start_ns - min_start);
+                    self.sink.record(e);
+                }
+            }
+            sspan.field("site", site as u64);
+            sspan.field("attempt", resp.attempts);
+            sspan.field("wall_ns", resp.site_wall_ns);
             sspan.fields(self.stats.minus(&eval_before).trace_fields());
             sspan.fields(self.network.minus(&net_before).trace_fields());
             sspan.finish();
@@ -1068,6 +1204,7 @@ impl PartitionCx<'_> {
                 p.add_morsels_done(1);
                 p.add_rows(resp.fragment_rows);
             }
+            let merge_start = Instant::now();
             match &mut merged {
                 None => merged = Some(resp.accs),
                 Some(m) => {
@@ -1076,6 +1213,36 @@ impl PartitionCx<'_> {
                     }
                 }
             }
+            let merge_ns = merge_start.elapsed().as_nanos() as u64;
+            if self.sites.len() <= site {
+                self.sites.resize_with(site + 1, SiteBreakdown::default);
+            }
+            let b = &mut self.sites[site];
+            b.site = site as u64;
+            b.label = label.clone();
+            b.roundtrips += 1;
+            b.attempts += resp.attempts;
+            b.roundtrip_ns += wall_ns;
+            b.site_wall_ns += resp.site_wall_ns;
+            b.merge_ns += merge_ns;
+            b.rows_scanned += resp.stats.detail_scanned;
+            b.fragment_rows = resp.fragment_rows;
+            b.bytes_sent += resp.bytes_sent;
+            b.bytes_received += resp.bytes_received;
+            crate::distributed::record_site_roundtrip(
+                site,
+                &label,
+                crate::distributed::SiteRoundtrip {
+                    roundtrip_ns: wall_ns,
+                    site_wall_ns: resp.site_wall_ns,
+                    merge_ns,
+                    rows_scanned: resp.stats.detail_scanned,
+                    fragment_rows: resp.fragment_rows,
+                    bytes_sent: resp.bytes_sent,
+                    bytes_received: resp.bytes_received,
+                    attempts: resp.attempts,
+                },
+            );
         }
         let accs = merged
             .ok_or_else(|| Error::invalid("ExecMode::Distributed requires at least one site"))?;

@@ -11,6 +11,7 @@
 //! | `GET /metrics` | Prometheus text | [`crate::metrics::global`] |
 //! | `GET /queries` | active-query progress JSON | [`crate::progress::global`] |
 //! | `GET /flight` | flight-recorder ring dump JSON | [`crate::trace::flight`] |
+//! | `GET /sites` | per-site round-trip totals JSON | [`crate::distributed::sites_json`] |
 //! | `GET /healthz` | `ok` | — |
 //!
 //! Started via `repro --stats-addr 127.0.0.1:PORT` or `SET stats_addr`
@@ -164,6 +165,11 @@ fn route(path: &str) -> (&'static str, &'static str, String) {
             "application/json",
             crate::trace::flight().dump_json(),
         ),
+        "/sites" => (
+            "200 OK",
+            "application/json",
+            crate::distributed::sites_json(),
+        ),
         "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
         _ => (
             "404 Not Found",
@@ -214,6 +220,11 @@ mod tests {
         let (head, body) = get(addr, "/flight");
         assert!(head.starts_with("HTTP/1.0 200 OK"));
         assert!(body.starts_with("{\"capacity\":"), "{body}");
+
+        let (head, body) = get(addr, "/sites");
+        assert!(head.starts_with("HTTP/1.0 200 OK"));
+        assert!(head.contains("application/json"));
+        assert!(body.starts_with("{\"sites\":["), "{body}");
 
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.0 404"), "{head}");

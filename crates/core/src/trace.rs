@@ -22,13 +22,19 @@
 //! | `gmdj.partition` | base partition scan | per-partition stats delta |
 //! | `gmdj.worker` | parallel worker chunk | per-chunk scan-counter delta, `chunk_rows` |
 //! | `site.roundtrip` | distributed site round-trip | per-site scan + network delta (incl. wire bytes under real sites; detail names the site, `siteN@addr` over sockets) |
+//! | `site.eval` | site-local evaluation (one per round-trip) | site-side [`EvalStats`](crate::eval::EvalStats) delta, `site`, `attempt`, `fragment_rows` |
 //! | `plan.node` | plan-operator execution | `rows_out`, `scanned_rows` |
 //! | `query.plan` | translation + optimization | — |
 //! | `query.execute` | plan execution | — |
 //!
 //! Start offsets are nanoseconds since a process-wide epoch (the first
 //! time any span is opened), so events from different threads and
-//! queries order on one timeline.
+//! queries order on one timeline. Events never cross a process boundary
+//! with their offsets intact: site executors ship span *deltas* (names,
+//! details, durations, counter fields) over the wire, and the
+//! coordinator re-anchors them onto its own epoch when stitching (see
+//! [`crate::wire`]) — monotonic clocks are per-process, so only
+//! durations are comparable across sites.
 
 use std::fmt;
 use std::fs::File;
@@ -102,6 +108,84 @@ impl TraceEvent {
         out.push('}');
         out
     }
+}
+
+/// Every span name and counter-field key that may cross the process
+/// boundary. [`TraceEvent`] stores both as `&'static str`, so the wire
+/// decoder ([`crate::wire`]) re-interns incoming strings against this
+/// table — a frame carrying an unknown name is a decode error (strict,
+/// like the rest of the protocol), never a silent allocation leak into
+/// the static lifetime.
+pub const WIRE_INTERN_TABLE: &[&str] = &[
+    // Span names (module table above).
+    "gmdj.eval",
+    "gmdj.partition",
+    "gmdj.worker",
+    "gmdj.kernel",
+    "site.roundtrip",
+    "site.eval",
+    "plan.node",
+    "query.plan",
+    "query.execute",
+    "query.parse",
+    // EvalStats counter deltas.
+    "detail_scanned",
+    "probe_candidates",
+    "theta_evals",
+    "agg_updates",
+    "base_rows",
+    "dead_early",
+    "done_early",
+    "index_builds",
+    "partitions",
+    "completion_fallbacks",
+    "col_chunk_reads",
+    "row_page_reads",
+    // NetworkStats counter deltas.
+    "broadcast_values",
+    "bytes_received",
+    "bytes_sent",
+    "collected_states",
+    "messages",
+    // KernelStats counter deltas.
+    "batches",
+    "rows_vectorized",
+    "rows_row_path",
+    "morsels",
+    // Span-specific fields.
+    "chunk_rows",
+    "rows_out",
+    "scanned_rows",
+    "site",
+    "attempt",
+    "fragment_rows",
+    "wall_ns",
+    // Cross-process trace context (carried in wire frames).
+    "query_id",
+    "parent_span",
+];
+
+/// Re-intern a wire string against [`WIRE_INTERN_TABLE`]. `None` means
+/// the name is not one this build emits — the decoder rejects the frame.
+pub fn intern_static(s: &str) -> Option<&'static str> {
+    WIRE_INTERN_TABLE.iter().find(|&&k| k == s).copied()
+}
+
+/// Nanoseconds since the process trace epoch — the scale every span
+/// start offset uses, and the coordinator's anchor when re-basing
+/// shipped site events onto its own timeline.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Fresh process-unique trace id (nonzero, monotonically increasing).
+/// Used for the cross-process trace context: the coordinator stamps each
+/// runtime evaluation with one id (`query_id`) and each `site.roundtrip`
+/// span with another (`parent_span`), and both ride the wire so site-side
+/// flight-recorder events name the coordinator span they belong to.
+pub fn next_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Escape a string for inclusion in a JSON string literal.
@@ -392,6 +476,33 @@ pub fn flight_dump_on_failure(reason: &str) {
     eprintln!("gmdj flight recorder ({reason}): {out}");
 }
 
+/// Dump a *remote* flight-recorder tail — shipped over the wire by a
+/// failing site — to stderr, once per process. The remote twin of
+/// [`flight_dump_on_failure`], gated separately so one distributed
+/// failure produces both the coordinator's tail and the failing
+/// site's, side by side.
+pub fn flight_dump_remote(reason: &str, dropped: u64, events: &[TraceEvent]) {
+    static DUMPED: AtomicBool = AtomicBool::new(false);
+    if DUMPED.swap(true, Ordering::Relaxed) {
+        return;
+    }
+    let tail_start = events.len().saturating_sub(FAILURE_DUMP_TAIL);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"reason\":\"{}\",\"dropped\":{dropped},\"omitted\":{},\"events\":[",
+        json_escape(reason),
+        tail_start
+    ));
+    for (i, e) in events[tail_start..].iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&e.to_json());
+    }
+    out.push_str("]}");
+    eprintln!("gmdj site flight recorder ({reason}): {out}");
+}
+
 /// A sink forwarding every event to two sinks (trace fan-out). Used to
 /// keep the user's sink and the [`flight`] ring fed from one span
 /// stream.
@@ -434,6 +545,7 @@ pub struct Span<'a> {
     detail: String,
     start: Instant,
     start_ns: u64,
+    id: u64,
     fields: Vec<(&'static str, u64)>,
 }
 
@@ -448,8 +560,23 @@ impl<'a> Span<'a> {
             detail: String::new(),
             start,
             start_ns: start.duration_since(epoch).as_nanos() as u64,
+            id: next_trace_id(),
             fields: Vec::new(),
         }
+    }
+
+    /// Nanoseconds since the process trace epoch at span open — the
+    /// anchor for re-basing shipped site events inside this span's
+    /// window when stitching a cross-process trace.
+    pub fn start_ns(&self) -> u64 {
+        self.start_ns
+    }
+
+    /// Process-unique id of this span ([`next_trace_id`]) — the
+    /// `parent_span` value a coordinator puts on the wire so site-side
+    /// events can name the `site.roundtrip` they belong to.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Attach a free-form qualifier (plan-node label, strategy name …).
@@ -674,5 +801,22 @@ mod tests {
     fn global_flight_recorder_is_always_on() {
         assert!(flight().is_enabled());
         assert_eq!(flight().capacity(), FLIGHT_CAPACITY);
+    }
+
+    #[test]
+    fn intern_table_covers_every_emitted_name_and_rejects_strangers() {
+        // Every span name in the module table round-trips to the same
+        // static, as do the counter families that ride on them.
+        for name in ["site.eval", "gmdj.kernel", "detail_scanned", "wall_ns"] {
+            let interned = intern_static(name).expect(name);
+            assert_eq!(interned, name);
+        }
+        assert_eq!(intern_static("no.such.span"), None);
+        assert_eq!(intern_static(""), None);
+        // No duplicates: interning must be unambiguous.
+        let mut sorted = WIRE_INTERN_TABLE.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), WIRE_INTERN_TABLE.len());
     }
 }

@@ -22,10 +22,28 @@
 //!
 //! Frame types: `Hello` / `HelloAck` (handshake, site id echo),
 //! `EvalRequest` (broadcast wave: base partition + spec + options +
-//! attempt number), `StateMatrix` (state wave: partial accumulators +
-//! site counters + a byte-count echo of the request the site read), and
+//! the cross-process trace context — query id, parent `site.roundtrip`
+//! span id, attempt number), `StateMatrix` (state wave: partial
+//! accumulators + site counters + the site's `site.eval` wall-clock and
+//! span deltas + a byte-count echo of the request the site read),
 //! `Error` (site-local evaluation failure — **not** retryable; the same
-//! query would fail everywhere).
+//! query would fail everywhere), and `FlightRequest` / `FlightTail`
+//! (post-mortem fetch of a site's flight-recorder tail, used by the
+//! coordinator after retry exhaustion).
+//!
+//! # Cross-process tracing
+//!
+//! Site executors run each attempt under their own `CollectingSink`
+//! (plus a per-site always-on [`crate::trace::FlightRecorder`]), and the
+//! `StateMatrix` wave carries the successful attempt's span deltas back.
+//! Span start offsets are site-monotonic and meaningless on the
+//! coordinator's clock, so the coordinator re-anchors them inside its
+//! `site.roundtrip` window when stitching (durations only — no absolute
+//! timestamps cross the boundary). A failed attempt's sink dies with the
+//! attempt, so its spans can never reach the stitched tree: retried site
+//! work is counted exactly once. Decoded span names and field keys are
+//! re-interned against [`crate::trace::WIRE_INTERN_TABLE`]; unknown
+//! strings are decode errors.
 //!
 //! Decoding is strict: bad magic, unknown version or frame type,
 //! lengths beyond [`MAX_FRAME_LEN`], truncated payloads, expression
@@ -40,8 +58,10 @@
 //! `StateMatrix` | `Error` → close, every socket read/write bounded by
 //! `io_timeout`. Connect failures, I/O timeouts and decode errors are
 //! *retryable*: the coordinator backs off linearly and retries up to
-//! `max_attempts` times, then fails the query with a diagnostic naming
-//! the site and address (dumping the flight recorder first). A remote
+//! `max_attempts` times, then fails the query with a diagnostic carrying
+//! the full per-attempt error chain (error, elapsed, backoff applied) —
+//! after fetching the failing site's flight-recorder tail over the wire
+//! and dumping it next to the coordinator's own. A remote
 //! `Error` frame is *non-retryable* — it is a deterministic evaluation
 //! error, not a transport fault. Faults injected via [`FaultPlan`] are
 //! keyed on the attempt number carried in the request, which makes
@@ -53,7 +73,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use gmdj_relation::agg::{Accumulator, AggFunc, NamedAgg};
 use gmdj_relation::error::{Error, Result};
@@ -62,16 +82,23 @@ use gmdj_relation::relation::{Relation, Tuple};
 use gmdj_relation::schema::{ColumnRef, DataType, Field, Schema};
 use gmdj_relation::value::{Truth, Value};
 
-use crate::distributed::{eval_site_fragment, SiteEvalRequest, SiteEvalResponse, SiteTransport};
+use crate::distributed::{
+    eval_site_fragment_traced, SiteEvalRequest, SiteEvalResponse, SiteTransport,
+};
 use crate::eval::{EvalStats, GmdjOptions, KernelStats, ProbeStrategy};
 use crate::metrics;
 use crate::spec::{AggBlock, GmdjSpec};
-use crate::trace::NullSink;
+use crate::trace::{intern_static, FlightRecorder, TraceEvent, FLIGHT_CAPACITY};
 
 /// Frame magic: the first four bytes of every frame.
 pub const WIRE_MAGIC: [u8; 4] = *b"GMDJ";
 /// Protocol version; bumped on any frame-layout change.
-pub const WIRE_VERSION: u16 = 1;
+///
+/// * v1 — PR 8: handshake + two-wave eval protocol.
+/// * v2 — trace context in `EvalRequest` (query id, parent span id,
+///   trace flag), site wall-clock + span deltas in `StateMatrix`, and
+///   the `FlightRequest` / `FlightTail` post-mortem frames.
+pub const WIRE_VERSION: u16 = 2;
 /// Upper bound on a frame payload. A garbled length prefix beyond this
 /// is rejected before any allocation.
 pub const MAX_FRAME_LEN: u32 = 64 << 20;
@@ -83,6 +110,12 @@ const FT_HELLO_ACK: u8 = 2;
 const FT_EVAL_REQUEST: u8 = 3;
 const FT_STATE_MATRIX: u8 = 4;
 const FT_ERROR: u8 = 5;
+const FT_FLIGHT_REQUEST: u8 = 6;
+const FT_FLIGHT_TAIL: u8 = 7;
+
+/// How many trailing flight-recorder events a site ships in a
+/// `FlightTail` (matches the coordinator's own failure-dump tail).
+const FLIGHT_TAIL_EVENTS: usize = 64;
 
 // ---------------------------------------------------------------------
 // Configuration and fault injection (process-global, like the metrics
@@ -260,6 +293,14 @@ pub struct EvalRequestFrame {
     /// 0-based attempt number (rides along so site-side fault injection
     /// is deterministic per attempt).
     pub attempt: u32,
+    /// Coordinator evaluation id this request belongs to (trace context).
+    pub query_id: u64,
+    /// The coordinator `site.roundtrip` span id this request rides under
+    /// (trace context; site-side spans echo it back as a field).
+    pub parent_span: u64,
+    /// Whether the site should collect its span deltas and ship them in
+    /// the `StateMatrix` wave. Counters and wall-clock ship either way.
+    pub trace: bool,
     /// Probe plan selection.
     pub probe: ProbeStrategy,
     /// Base-partition memory budget (forwarded verbatim so site-side
@@ -289,6 +330,13 @@ pub struct StateMatrixFrame {
     pub stats: EvalStats,
     /// Site-local kernel dispatch mix.
     pub kernel: KernelStats,
+    /// The site's `site.eval` wall-clock in nanoseconds — a duration on
+    /// the site's own monotonic clock, never an absolute timestamp.
+    pub site_wall_ns: u64,
+    /// Span deltas from the successful attempt (empty unless the request
+    /// asked for tracing). Start offsets are site-monotonic; the
+    /// coordinator re-anchors them when stitching.
+    pub spans: Vec<TraceEvent>,
     /// `base_rows × total_aggs` partial accumulators, row-major.
     pub accs: Vec<Accumulator>,
 }
@@ -306,6 +354,16 @@ pub enum Frame {
     StateMatrix(Box<StateMatrixFrame>),
     /// Site → client: deterministic evaluation failure (non-retryable).
     Error { message: String },
+    /// Client → site: fetch the site's flight-recorder tail (post-mortem
+    /// after retry exhaustion; never part of the eval path, so injected
+    /// eval faults cannot block it).
+    FlightRequest { site: u32 },
+    /// Site → client: the trailing flight-recorder events, plus how many
+    /// older events were dropped or omitted before the tail.
+    FlightTail {
+        dropped: u64,
+        events: Vec<TraceEvent>,
+    },
 }
 
 impl Frame {
@@ -316,6 +374,8 @@ impl Frame {
             Frame::EvalRequest(_) => FT_EVAL_REQUEST,
             Frame::StateMatrix(_) => FT_STATE_MATRIX,
             Frame::Error { .. } => FT_ERROR,
+            Frame::FlightRequest { .. } => FT_FLIGHT_REQUEST,
+            Frame::FlightTail { .. } => FT_FLIGHT_TAIL,
         }
     }
 }
@@ -896,13 +956,64 @@ fn dec_kernel_stats(r: &mut Reader) -> std::result::Result<KernelStats, WireErro
     })
 }
 
+fn enc_trace_event(out: &mut Vec<u8>, e: &TraceEvent) {
+    put_str(out, e.name);
+    put_str(out, &e.detail);
+    put_u64(out, e.start_ns);
+    put_u64(out, e.dur_ns);
+    put_u32(out, e.fields.len() as u32);
+    for (k, v) in &e.fields {
+        put_str(out, k);
+        put_u64(out, *v);
+    }
+}
+
+/// Decode one shipped span. Names and field keys are re-interned against
+/// [`crate::trace::WIRE_INTERN_TABLE`] — an unknown string is a protocol
+/// error, never a leak into the static lifetime.
+fn dec_trace_event(r: &mut Reader) -> std::result::Result<TraceEvent, WireError> {
+    let name = r.str()?;
+    let name = intern_static(&name)
+        .ok_or_else(|| WireError::protocol(format!("unknown span name {name:?}")))?;
+    let detail = r.str()?;
+    let start_ns = r.u64()?;
+    let dur_ns = r.u64()?;
+    let n = r.count()?;
+    let mut fields = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = r.str()?;
+        let key = intern_static(&key)
+            .ok_or_else(|| WireError::protocol(format!("unknown span field {key:?}")))?;
+        fields.push((key, r.u64()?));
+    }
+    Ok(TraceEvent {
+        name,
+        detail,
+        start_ns,
+        dur_ns,
+        fields,
+    })
+}
+
 fn enc_payload(frame: &Frame) -> Vec<u8> {
     let mut out = Vec::new();
     match frame {
-        Frame::Hello { site } | Frame::HelloAck { site } => put_u32(&mut out, *site),
+        Frame::Hello { site } | Frame::HelloAck { site } | Frame::FlightRequest { site } => {
+            put_u32(&mut out, *site)
+        }
         Frame::Error { message } => put_str(&mut out, message),
+        Frame::FlightTail { dropped, events } => {
+            put_u64(&mut out, *dropped);
+            put_u32(&mut out, events.len() as u32);
+            for e in events {
+                enc_trace_event(&mut out, e);
+            }
+        }
         Frame::EvalRequest(req) => {
             put_u32(&mut out, req.attempt);
+            put_u64(&mut out, req.query_id);
+            put_u64(&mut out, req.parent_span);
+            out.push(req.trace as u8);
             out.push(match req.probe {
                 ProbeStrategy::Auto => 0,
                 ProbeStrategy::ForceScan => 1,
@@ -936,6 +1047,11 @@ fn enc_payload(frame: &Frame) -> Vec<u8> {
             put_u64(&mut out, sm.fragment_rows);
             enc_eval_stats(&mut out, &sm.stats);
             enc_kernel_stats(&mut out, &sm.kernel);
+            put_u64(&mut out, sm.site_wall_ns);
+            put_u32(&mut out, sm.spans.len() as u32);
+            for e in &sm.spans {
+                enc_trace_event(&mut out, e);
+            }
             put_u32(&mut out, sm.accs.len() as u32);
             for a in &sm.accs {
                 enc_accumulator(&mut out, a);
@@ -951,8 +1067,21 @@ fn dec_payload(frame_type: u8, payload: &[u8]) -> std::result::Result<Frame, Wir
         FT_HELLO => Frame::Hello { site: r.u32()? },
         FT_HELLO_ACK => Frame::HelloAck { site: r.u32()? },
         FT_ERROR => Frame::Error { message: r.str()? },
+        FT_FLIGHT_REQUEST => Frame::FlightRequest { site: r.u32()? },
+        FT_FLIGHT_TAIL => {
+            let dropped = r.u64()?;
+            let n = r.count()?;
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                events.push(dec_trace_event(&mut r)?);
+            }
+            Frame::FlightTail { dropped, events }
+        }
         FT_EVAL_REQUEST => {
             let attempt = r.u32()?;
+            let query_id = r.u64()?;
+            let parent_span = r.u64()?;
+            let trace = r.bool()?;
             let probe = match r.u8()? {
                 0 => ProbeStrategy::Auto,
                 1 => ProbeStrategy::ForceScan,
@@ -986,6 +1115,9 @@ fn dec_payload(frame_type: u8, payload: &[u8]) -> std::result::Result<Frame, Wir
             let spec = dec_spec(&mut r)?;
             Frame::EvalRequest(Box::new(EvalRequestFrame {
                 attempt,
+                query_id,
+                parent_span,
+                trace,
                 probe,
                 partition_rows,
                 vectorized,
@@ -1000,6 +1132,12 @@ fn dec_payload(frame_type: u8, payload: &[u8]) -> std::result::Result<Frame, Wir
             let fragment_rows = r.u64()?;
             let stats = dec_eval_stats(&mut r)?;
             let kernel = dec_kernel_stats(&mut r)?;
+            let site_wall_ns = r.u64()?;
+            let nspans = r.count()?;
+            let mut spans = Vec::with_capacity(nspans);
+            for _ in 0..nspans {
+                spans.push(dec_trace_event(&mut r)?);
+            }
             let naccs = r.count()?;
             let mut accs = Vec::with_capacity(naccs);
             for _ in 0..naccs {
@@ -1010,6 +1148,8 @@ fn dec_payload(frame_type: u8, payload: &[u8]) -> std::result::Result<Frame, Wir
                 fragment_rows,
                 stats,
                 kernel,
+                site_wall_ns,
+                spans,
                 accs,
             }))
         }
@@ -1157,6 +1297,10 @@ impl Drop for SiteCluster {
 }
 
 fn serve_site(site: usize, fragment: Relation, listener: TcpListener, stop: Arc<AtomicBool>) {
+    // The site's own always-on flight recorder. It outlives individual
+    // connections and attempts, so the tail is still there when a
+    // coordinator comes back post-mortem with a `FlightRequest`.
+    let flight = Arc::new(FlightRecorder::with_capacity(FLIGHT_CAPACITY));
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
@@ -1164,7 +1308,7 @@ fn serve_site(site: usize, fragment: Relation, listener: TcpListener, stop: Arc<
         let Ok(stream) = conn else { continue };
         // Connection-level failures (including injected faults) drop the
         // connection; the coordinator's retry loop owns recovery.
-        let _ = handle_site_conn(site, &fragment, stream);
+        let _ = handle_site_conn(site, &fragment, stream, &flight);
     }
 }
 
@@ -1172,6 +1316,7 @@ fn handle_site_conn(
     site: usize,
     fragment: &Relation,
     mut stream: TcpStream,
+    flight: &Arc<FlightRecorder>,
 ) -> std::result::Result<(), WireError> {
     let cfg = config();
     stream.set_read_timeout(Some(cfg.io_timeout))?;
@@ -1194,8 +1339,33 @@ fn handle_site_conn(
     write_frame(&mut stream, &Frame::HelloAck { site: site as u32 })?;
 
     let (frame, request_bytes) = read_frame(&mut stream)?;
-    let Frame::EvalRequest(req) = frame else {
-        return Err(WireError::protocol("expected EvalRequest"));
+    let req = match frame {
+        Frame::EvalRequest(req) => req,
+        Frame::FlightRequest { site: want } => {
+            // Post-mortem path: ship the recorder tail and close. Eval
+            // faults are keyed on EvalRequest attempts and cannot fire
+            // here.
+            if want != site as u32 {
+                let _ = write_frame(
+                    &mut stream,
+                    &Frame::Error {
+                        message: format!("flight request for site{want} reached site{site}"),
+                    },
+                );
+                return Ok(());
+            }
+            let (events, dropped) = flight.snapshot();
+            let tail_start = events.len().saturating_sub(FLIGHT_TAIL_EVENTS);
+            write_frame(
+                &mut stream,
+                &Frame::FlightTail {
+                    dropped: dropped + tail_start as u64,
+                    events: events[tail_start..].to_vec(),
+                },
+            )?;
+            return Ok(());
+        }
+        _ => return Err(WireError::protocol("expected EvalRequest")),
     };
 
     let fault = active_fault(site, req.attempt);
@@ -1211,21 +1381,28 @@ fn handle_site_conn(
         partition_rows: req.partition_rows.map(|n| n as usize),
         vectorized: req.vectorized,
     };
-    let response = match eval_site_fragment(
+    let response = match eval_site_fragment_traced(
         &req.base_rows,
         &schema,
         fragment,
         &req.spec,
         &opts,
         req.total_aggs as usize,
-        &NullSink,
+        site,
+        req.attempt,
+        req.query_id,
+        req.parent_span,
+        req.trace,
+        Some(flight),
     ) {
-        Ok((accs, stats, kernel)) => Frame::StateMatrix(Box::new(StateMatrixFrame {
+        Ok(traced) => Frame::StateMatrix(Box::new(StateMatrixFrame {
             request_bytes,
             fragment_rows: fragment.len() as u64,
-            stats,
-            kernel,
-            accs,
+            stats: traced.stats,
+            kernel: traced.kernel,
+            site_wall_ns: traced.wall_ns,
+            spans: traced.spans,
+            accs: traced.accs,
         })),
         Err(e) => Frame::Error {
             message: e.to_string(),
@@ -1290,14 +1467,27 @@ impl SiteTransport for TcpSites {
         req: &SiteEvalRequest<'_>,
     ) -> Result<SiteEvalResponse> {
         let addr = self.addrs[site];
+        let m = metrics::global();
         let mut bytes_sent = 0u64;
         let mut bytes_received = 0u64;
-        let mut last = String::new();
+        // Per-attempt error chain: what failed, how long the attempt
+        // took, and the backoff that preceded it — the whole history
+        // lands in the exhaustion diagnostic, not just the last error.
+        let mut history: Vec<String> = Vec::new();
         for attempt in 0..self.cfg.max_attempts {
+            let mut backoff_ms = 0u64;
             if attempt > 0 {
-                metrics::global().inc("site_retries_total", 1);
-                thread::sleep(self.cfg.backoff * attempt);
+                m.inc("site_retries_total", 1);
+                m.inc(&format!("site_retries_total{{site=\"{site}\"}}"), 1);
+                let backoff = self.cfg.backoff * attempt;
+                backoff_ms = backoff.as_millis() as u64;
+                m.inc(
+                    &format!("site_backoff_ms_total{{site=\"{site}\"}}"),
+                    backoff_ms,
+                );
+                thread::sleep(backoff);
             }
+            let started = Instant::now();
             match round_trip(
                 addr,
                 site,
@@ -1311,10 +1501,23 @@ impl SiteTransport for TcpSites {
                     resp.bytes_sent = bytes_sent;
                     resp.bytes_received = bytes_received;
                     resp.attempts = attempt as u64 + 1;
+                    m.inc(
+                        &format!("site_bytes_sent_total{{site=\"{site}\"}}"),
+                        bytes_sent,
+                    );
+                    m.inc(
+                        &format!("site_bytes_received_total{{site=\"{site}\"}}"),
+                        bytes_received,
+                    );
                     return Ok(resp);
                 }
                 Err(e) if e.retryable => {
-                    last = e.message;
+                    history.push(format!(
+                        "attempt {attempt}: {} (elapsed {}ms, backoff {}ms)",
+                        e.message,
+                        started.elapsed().as_millis(),
+                        backoff_ms
+                    ));
                     continue;
                 }
                 Err(e) => {
@@ -1325,12 +1528,67 @@ impl SiteTransport for TcpSites {
                 }
             }
         }
-        crate::trace::flight_dump_on_failure(&format!("site{site} ({addr}) retries exhausted"));
+        // Retries exhausted: fetch the *failing site's* flight-recorder
+        // tail over the wire and dump it next to the coordinator's own,
+        // then fail with the full per-attempt error chain.
+        let chain = history.join("; ");
+        match fetch_flight_tail(addr, site, &self.cfg) {
+            Ok((dropped, events)) => crate::trace::flight_dump_remote(
+                &format!("site{site} ({addr}) retries exhausted"),
+                dropped,
+                &events,
+            ),
+            Err(e) => eprintln!(
+                "gmdj: site{site} ({addr}) flight-tail fetch failed after retry exhaustion: {e}"
+            ),
+        }
+        crate::trace::flight_dump_on_failure(&format!(
+            "site{site} ({addr}) retries exhausted: {chain}"
+        ));
         Err(Error::invalid(format!(
-            "site{site} ({addr}) failed after {} attempts: {last}",
+            "site{site} ({addr}) failed after {} attempts: {chain}",
             self.cfg.max_attempts
         )))
     }
+}
+
+/// Post-mortem fetch of a site's flight-recorder tail (fresh connection,
+/// outside the eval path — injected eval faults cannot block it).
+fn fetch_flight_tail(
+    addr: SocketAddr,
+    site: usize,
+    cfg: &WireConfig,
+) -> std::result::Result<(u64, Vec<TraceEvent>), WireError> {
+    let mut stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)?;
+    stream.set_read_timeout(Some(cfg.io_timeout))?;
+    stream.set_write_timeout(Some(cfg.io_timeout))?;
+    stream.set_nodelay(true)?;
+    write_frame(&mut stream, &Frame::Hello { site: site as u32 })?;
+    match read_frame(&mut stream)?.0 {
+        Frame::HelloAck { site: s } if s == site as u32 => {}
+        other => {
+            return Err(WireError::protocol(format!(
+                "expected HelloAck, got {other:?}"
+            )))
+        }
+    }
+    write_frame(&mut stream, &Frame::FlightRequest { site: site as u32 })?;
+    match read_frame(&mut stream)?.0 {
+        Frame::FlightTail { dropped, events } => Ok((dropped, events)),
+        Frame::Error { message } => Err(WireError::fatal(message)),
+        other => Err(WireError::protocol(format!(
+            "expected FlightTail, got {other:?}"
+        ))),
+    }
+}
+
+/// Record one frame round-trip latency into the labeled per-site
+/// histogram family `site_frame_us{frame="…",site="N"}`.
+fn observe_frame_latency(frame: &str, site: usize, started: Instant) {
+    metrics::global().observe(
+        &format!("site_frame_us{{frame=\"{frame}\",site=\"{site}\"}}"),
+        started.elapsed().as_micros() as u64,
+    );
 }
 
 /// One attempt: connect, handshake, broadcast, collect. Byte counters
@@ -1351,9 +1609,11 @@ fn round_trip(
     stream.set_write_timeout(Some(cfg.io_timeout))?;
     stream.set_nodelay(true)?;
 
+    let t_hello = Instant::now();
     *bytes_sent += write_frame(&mut stream, &Frame::Hello { site: site as u32 })?;
     let (ack, n) = read_frame(&mut stream)?;
     *bytes_received += n;
+    observe_frame_latency("hello", site, t_hello);
     match ack {
         Frame::HelloAck { site: s } if s == site as u32 => {}
         Frame::Error { message } => return Err(WireError::fatal(message)),
@@ -1366,6 +1626,9 @@ fn round_trip(
 
     let request = Frame::EvalRequest(Box::new(EvalRequestFrame {
         attempt,
+        query_id: req.query_id,
+        parent_span: req.parent_span,
+        trace: req.trace,
         probe: req.opts.probe,
         partition_rows: req.opts.partition_rows.map(|n| n as u64),
         vectorized: req.opts.vectorized,
@@ -1374,11 +1637,15 @@ fn round_trip(
         base_rows: req.base.to_vec(),
         spec: req.spec.clone(),
     }));
+    let t_eval = Instant::now();
     let request_bytes = write_frame(&mut stream, &request)?;
     *bytes_sent += request_bytes;
+    observe_frame_latency("eval_request", site, t_eval);
 
+    let t_state = Instant::now();
     let (response, n) = read_frame(&mut stream)?;
     *bytes_received += n;
+    observe_frame_latency("state_matrix", site, t_state);
     match response {
         Frame::StateMatrix(sm) => {
             if sm.request_bytes != request_bytes {
@@ -1404,6 +1671,8 @@ fn round_trip(
                 bytes_sent: 0,     // filled by the retry loop
                 bytes_received: 0, // filled by the retry loop
                 attempts: 0,       // filled by the retry loop
+                site_wall_ns: sm.site_wall_ns,
+                spans: sm.spans,
             })
         }
         Frame::Error { message } => Err(WireError::fatal(format!(
@@ -1452,6 +1721,9 @@ mod tests {
         let spec = GmdjSpec::new(vec![AggBlock::count(col("F.T").ge(col("B.Lo")), "cnt")]);
         let frame = Frame::EvalRequest(Box::new(EvalRequestFrame {
             attempt: 2,
+            query_id: 41,
+            parent_span: 97,
+            trace: true,
             probe: ProbeStrategy::Auto,
             partition_rows: Some(8),
             vectorized: true,
@@ -1459,6 +1731,72 @@ mod tests {
             base_fields: vec![Field::new("B", "Lo", DataType::Int)],
             base_rows: vec![vec![Value::Int(5)].into_boxed_slice()],
             spec,
+        }));
+        let bytes = encode_frame(&frame);
+        assert_eq!(decode_frame(&bytes).unwrap(), frame);
+    }
+
+    fn sample_event() -> TraceEvent {
+        TraceEvent {
+            name: "site.eval",
+            detail: "site3".into(),
+            start_ns: 120,
+            dur_ns: 999,
+            fields: vec![("site", 3), ("attempt", 1), ("detail_scanned", 40)],
+        }
+    }
+
+    #[test]
+    fn flight_tail_round_trips_with_interned_names() {
+        let frame = Frame::FlightTail {
+            dropped: 7,
+            events: vec![sample_event()],
+        };
+        let bytes = encode_frame(&frame);
+        let decoded = decode_frame(&bytes).unwrap();
+        assert_eq!(decoded, frame);
+        // The decoded name is re-interned, not a leaked allocation.
+        let Frame::FlightTail { events, .. } = decoded else {
+            unreachable!()
+        };
+        assert!(
+            std::ptr::eq(events[0].name.as_ptr(), "site.eval".as_ptr())
+                || events[0].name == "site.eval"
+        );
+    }
+
+    #[test]
+    fn unknown_span_names_are_decode_errors() {
+        // Hand-build a FlightTail whose event name is not in the intern
+        // table: strict decode must reject it.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 0); // dropped
+        put_u32(&mut payload, 1); // one event
+        put_str(&mut payload, "no.such.span");
+        put_str(&mut payload, "");
+        put_u64(&mut payload, 0);
+        put_u64(&mut payload, 0);
+        put_u32(&mut payload, 0);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WIRE_MAGIC);
+        bytes.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        bytes.push(FT_FLIGHT_TAIL);
+        put_u32(&mut bytes, payload.len() as u32);
+        bytes.extend_from_slice(&payload);
+        let err = decode_frame(&bytes).unwrap_err();
+        assert!(err.message.contains("unknown span name"), "{}", err.message);
+    }
+
+    #[test]
+    fn state_matrix_ships_wall_clock_and_spans() {
+        let frame = Frame::StateMatrix(Box::new(StateMatrixFrame {
+            request_bytes: 100,
+            fragment_rows: 9,
+            stats: EvalStats::default(),
+            kernel: KernelStats::default(),
+            site_wall_ns: 1234,
+            spans: vec![sample_event()],
+            accs: vec![Accumulator::CountStar { n: 4 }],
         }));
         let bytes = encode_frame(&frame);
         assert_eq!(decode_frame(&bytes).unwrap(), frame);

@@ -19,17 +19,21 @@
 //! straggler rather than waiting it out.
 
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::sync::Mutex;
 use std::thread;
 use std::time::Duration;
 
 use gmdj_algebra::ast::{NestedPredicate, QueryExpr, SubqueryPred};
 use gmdj_core::exec::MemoryCatalog;
-use gmdj_core::runtime::ExecPolicy;
+use gmdj_core::runtime::{ExecPolicy, PlanNodeStats, Runtime};
+use gmdj_core::spec::{AggBlock, GmdjSpec};
+use gmdj_core::trace::CollectingSink;
 use gmdj_core::wire::{self, Fault, FaultPlan, FaultWindow, WireConfig};
 use gmdj_engine::strategy::{run_with_policy, Strategy};
+use gmdj_relation::agg::NamedAgg;
 use gmdj_relation::expr::col;
-use gmdj_relation::relation::Relation;
+use gmdj_relation::relation::{Relation, RelationBuilder};
 use gmdj_relation::schema::{DataType, Schema};
 use gmdj_relation::value::Value;
 
@@ -337,6 +341,112 @@ fn recovery_is_visible_in_metrics_and_byte_counters() {
         assert_eq!(clean_net.broadcast_values, net.broadcast_values);
         assert_eq!(clean_net.collected_states, net.collected_states);
         assert_eq!(clean_net.messages, net.messages);
+    });
+}
+
+/// Core-level workload for the stitched-trace cases: driving the
+/// runtime directly (no engine wrapper) lets each case install its own
+/// `CollectingSink` and inspect the coordinator's stitched span tree.
+fn trace_workload() -> (Relation, Relation, GmdjSpec) {
+    let mut b = RelationBuilder::new("B").column("Lo", DataType::Int);
+    for lo in [0, 10, 20, 30] {
+        b = b.row(vec![lo.into()]);
+    }
+    let mut d = RelationBuilder::new("F")
+        .column("T", DataType::Int)
+        .column("V", DataType::Int);
+    for t in 0..24 {
+        d = d.row(vec![(t * 2).into(), (t % 5).into()]);
+    }
+    let spec = GmdjSpec::new(vec![AggBlock::new(
+        col("F.T").ge(col("B.Lo")),
+        vec![NamedAgg::sum(col("F.V"), "s")],
+    )]);
+    (b.build().unwrap(), d.build().unwrap(), spec)
+}
+
+/// The stitched trace under every fault: a failed attempt's site-side
+/// spans die with that attempt's sink, so the coordinator tree carries
+/// spans from the successful attempt only — exactly once per round-trip
+/// — and a retry-exhausted site contributes no stitched spans at all.
+#[test]
+fn failed_attempts_never_reach_the_stitched_trace() {
+    with_watchdog("stitched_trace", || {
+        let _lock = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (base, detail, spec) = trace_workload();
+        let policy = ExecPolicy::distributed(2).with_real_sites(true);
+        let faults = [
+            Fault::CrashBeforeEval,
+            Fault::CrashAfterEval,
+            Fault::TruncateFrame,
+            Fault::Delay { ms: DELAY_MS },
+            Fault::GarbleLengthPrefix,
+        ];
+        for fault in faults {
+            // Recovery window: site 1 fails attempt 0, succeeds on 1.
+            {
+                let _guard =
+                    chaos_setup(FaultPlan::new().fault(1, fault, FaultWindow::FirstAttemptOnly));
+                let sink = Arc::new(CollectingSink::new());
+                let mut node = PlanNodeStats::new("GMDJ");
+                Runtime::with_sink(policy, sink.clone())
+                    .eval_gmdj(&base, &detail, &spec, &mut node)
+                    .unwrap_or_else(|e| panic!("{fault:?}/retry did not recover: {e}"));
+
+                let evals = sink.by_name("site.eval");
+                let roundtrips = sink.by_name("site.roundtrip");
+                assert_eq!(
+                    evals.len(),
+                    roundtrips.len(),
+                    "{fault:?}: expected exactly one stitched site.eval per round-trip"
+                );
+                // Each stitched span names a distinct coordinator
+                // round-trip — a double stitch would repeat a parent id.
+                let mut parents: Vec<u64> = evals
+                    .iter()
+                    .map(|e| {
+                        e.field("parent_span")
+                            .expect("stitched span carries parent")
+                    })
+                    .collect();
+                parents.sort_unstable();
+                parents.dedup();
+                assert_eq!(parents.len(), evals.len(), "{fault:?}: duplicated stitch");
+                for ev in &evals {
+                    let site = ev.field("site").unwrap();
+                    let attempt = ev.field("attempt").unwrap();
+                    if site == 1 {
+                        assert_eq!(
+                            attempt, 1,
+                            "{fault:?}: the faulted site's stitched span must come from \
+                             the retry, never the failed attempt"
+                        );
+                    } else {
+                        assert_eq!(attempt, 0, "{fault:?}: clean site retried unexpectedly");
+                    }
+                }
+            }
+            // Exhaustion window: the faulted site never ships spans.
+            {
+                let _guard = chaos_setup(FaultPlan::new().fault(1, fault, FaultWindow::Always));
+                let sink = Arc::new(CollectingSink::new());
+                let mut node = PlanNodeStats::new("GMDJ");
+                let err = Runtime::with_sink(policy, sink.clone())
+                    .eval_gmdj(&base, &detail, &spec, &mut node)
+                    .err()
+                    .unwrap_or_else(|| panic!("{fault:?}/always must exhaust into an error"));
+                let msg = err.to_string();
+                assert!(msg.contains("site1"), "{fault:?}: {msg}");
+                assert!(msg.contains("attempts"), "{fault:?}: {msg}");
+                for ev in sink.by_name("site.eval") {
+                    assert_ne!(
+                        ev.field("site"),
+                        Some(1),
+                        "{fault:?}: a retry-exhausted site must not contribute stitched spans"
+                    );
+                }
+            }
+        }
     });
 }
 

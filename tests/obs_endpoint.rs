@@ -135,6 +135,52 @@ fn endpoint_serves_valid_documents_while_queries_run() {
         profile::validate_queries(&doc).expect("queries body matches its schema");
     }
 
+    // /sites — after a distributed run, the per-site totals document
+    // carries an entry per site whose numbers are live and well-formed.
+    run_with_policy(
+        &query(),
+        &catalog(),
+        Strategy::GmdjOptimized,
+        ExecPolicy::distributed(2).with_real_sites(true),
+    )
+    .expect("distributed warm-up query succeeds");
+    let (status, body) = get(addr, "/sites");
+    assert!(status.starts_with("HTTP/1.0 200"), "{status}");
+    let doc = profile::parse_json(&body).expect("sites body is JSON");
+    let entries = doc
+        .get("sites")
+        .and_then(profile::Json::as_arr)
+        .expect("sites array present");
+    assert!(entries.len() >= 2, "distributed(2) feeds two sites: {body}");
+    for entry in entries {
+        for key in [
+            "site",
+            "roundtrips",
+            "attempts",
+            "roundtrip_ns",
+            "site_wall_ns",
+            "merge_ns",
+            "rows_scanned",
+            "fragment_rows",
+            "bytes_sent",
+            "bytes_received",
+        ] {
+            assert!(
+                entry.get(key).and_then(profile::Json::as_num).is_some(),
+                "missing `{key}` in {body}"
+            );
+        }
+        assert!(entry.get("label").and_then(profile::Json::as_str).is_some());
+        assert!(
+            entry
+                .get("roundtrips")
+                .and_then(profile::Json::as_num)
+                .unwrap()
+                >= 1.0,
+            "{body}"
+        );
+    }
+
     // /flight — a well-formed ring dump with the documented keys.
     let (status, body) = get(addr, "/flight");
     assert!(status.starts_with("HTTP/1.0 200"), "{status}");

@@ -143,6 +143,214 @@ fn distributed_network_accounting_matches_closed_form() {
     }
 }
 
+/// The cross-process trace contract, both transports: the span deltas a
+/// site ships back reconcile **exactly** with what the coordinator rolls
+/// up — same counters on the stitched `site.eval` spans, on the
+/// `site.roundtrip` deltas, in the per-site breakdown, and in the node
+/// totals. No transport-dependent drift, no double counting.
+#[test]
+fn shipped_site_spans_reconcile_exactly_with_coordinator_rollups() {
+    let eval_keys = [
+        "detail_scanned",
+        "probe_candidates",
+        "theta_evals",
+        "agg_updates",
+        "dead_early",
+        "done_early",
+        "index_builds",
+        "completion_fallbacks",
+    ];
+    for policy in [
+        ExecPolicy::distributed(2),
+        ExecPolicy::distributed(3).with_partition_rows(Some(2)),
+        ExecPolicy::distributed(2).with_real_sites(true),
+        ExecPolicy::distributed(3)
+            .with_partition_rows(Some(2))
+            .with_real_sites(true),
+    ] {
+        let sites = match policy.mode {
+            ExecMode::Distributed { sites } => sites,
+            _ => unreachable!(),
+        };
+        let sink = Arc::new(CollectingSink::new());
+        let mut node = PlanNodeStats::new("GMDJ");
+        Runtime::with_sink(policy, sink.clone())
+            .eval_gmdj(&base(), &detail(), &spec(), &mut node)
+            .unwrap();
+
+        // Exactly one stitched site.eval per coordinator round-trip.
+        let evals = sink.by_name("site.eval");
+        let roundtrips = sink.by_name("site.roundtrip");
+        assert_eq!(evals.len(), roundtrips.len(), "{policy:?}");
+        assert!(!evals.is_empty(), "{policy:?}");
+
+        // One query id spans the whole evaluation; every stitched span
+        // names a distinct round-trip parent.
+        let qid = evals[0].field("query_id").unwrap();
+        let mut parents: Vec<u64> = evals
+            .iter()
+            .map(|e| {
+                assert_eq!(e.field("query_id"), Some(qid), "{policy:?}");
+                e.field("parent_span").unwrap()
+            })
+            .collect();
+        parents.sort_unstable();
+        parents.dedup();
+        assert_eq!(parents.len(), evals.len(), "{policy:?}: duplicated stitch");
+
+        // Shipped deltas == coordinator-merged deltas == node totals,
+        // key by key. (partitions / base_rows / chunk reads are
+        // coordinator-side closed forms; sites never count them.)
+        for key in eval_keys {
+            let shipped = sink.sum_field("site.eval", key);
+            let merged = sink.sum_field("site.roundtrip", key);
+            assert_eq!(shipped, merged, "{policy:?}: `{key}` drifted in transit");
+            assert_eq!(
+                merged,
+                node.eval
+                    .trace_fields()
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .unwrap()
+                    .1,
+                "{policy:?}: `{key}` rollup diverged"
+            );
+        }
+        for (key, want) in node.network.trace_fields() {
+            assert_eq!(
+                sink.sum_field("site.roundtrip", key),
+                want,
+                "{policy:?}: network `{key}` diverged"
+            );
+        }
+
+        // The per-site breakdown agrees with all of the above.
+        assert_eq!(node.sites.len(), sites, "{policy:?}");
+        let rt_total: u64 = node.sites.iter().map(|s| s.roundtrips).sum();
+        assert_eq!(rt_total as usize, roundtrips.len(), "{policy:?}");
+        let scanned: u64 = node.sites.iter().map(|s| s.rows_scanned).sum();
+        assert_eq!(scanned, node.eval.detail_scanned, "{policy:?}");
+        let sent: u64 = node.sites.iter().map(|s| s.bytes_sent).sum();
+        let recv: u64 = node.sites.iter().map(|s| s.bytes_received).sum();
+        assert_eq!(sent, node.network.bytes_sent, "{policy:?}");
+        assert_eq!(recv, node.network.bytes_received, "{policy:?}");
+        let wall: u64 = node.sites.iter().map(|s| s.site_wall_ns).sum();
+        assert_eq!(
+            wall,
+            sink.sum_field("site.roundtrip", "wall_ns"),
+            "{policy:?}"
+        );
+        assert_eq!(
+            wall,
+            evals.iter().map(|e| e.dur_ns).sum::<u64>(),
+            "{policy:?}: shipped site.eval durations are the site wall-clock"
+        );
+        for s in &node.sites {
+            assert_eq!(s.attempts, s.roundtrips, "{policy:?}: clean run retried");
+            assert!(s.roundtrip_ns >= s.site_wall_ns + s.wire_ns(), "{policy:?}");
+        }
+        // The socket transport measures real bytes; in-process ships none.
+        if policy.real_sites {
+            assert!(sent > 0 && recv > 0, "{policy:?}");
+        } else {
+            assert_eq!(sent, 0, "{policy:?}");
+            assert_eq!(recv, 0, "{policy:?}");
+        }
+
+        // EXPLAIN ANALYZE renders one breakdown line per site.
+        let text = node.render_analyze();
+        for s in &node.sites {
+            assert!(text.contains(&s.label), "{policy:?}: {text}");
+        }
+        assert!(text.contains("rt="), "{text}");
+        assert!(text.contains("wire="), "{text}");
+        assert!(text.contains("merge="), "{text}");
+    }
+}
+
+/// Same reconciliation one layer up: every GMDJ strategy the engine can
+/// route through the distributed runtime reports a per-site breakdown in
+/// its plan stats whose totals match the rolled-up counters — over real
+/// sockets and in-process alike.
+#[test]
+fn every_strategy_reports_a_reconciled_site_breakdown() {
+    use gmdj_algebra::ast::{NestedPredicate, QueryExpr, SubqueryPred};
+    use gmdj_core::exec::MemoryCatalog;
+    use gmdj_engine::strategy::{run_with_policy, Strategy};
+    use gmdj_relation::expr::col;
+    use gmdj_relation::schema::Schema;
+    use gmdj_relation::value::Value;
+
+    fn collect_site_nodes(root: &PlanNodeStats) -> Vec<&PlanNodeStats> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            if !n.sites.is_empty() {
+                out.push(n);
+            }
+            stack.extend(n.children.iter());
+        }
+        out
+    }
+
+    let b_schema = Schema::qualified("B", &[("a", DataType::Int), ("b", DataType::Int)]);
+    let b_rows = (0..10)
+        .map(|i| vec![Value::Int(i % 4), Value::Int(i % 3)].into_boxed_slice())
+        .collect();
+    let r_schema = Schema::qualified("R", &[("a", DataType::Int), ("b", DataType::Int)]);
+    let r_rows = (0..30)
+        .map(|i| vec![Value::Int(i % 6), Value::Int(i % 5)].into_boxed_slice())
+        .collect();
+    let catalog = MemoryCatalog::new()
+        .with("B", Relation::from_parts(b_schema, b_rows))
+        .with("R", Relation::from_parts(r_schema, r_rows));
+    let query =
+        QueryExpr::table("B", "B").select(NestedPredicate::Subquery(SubqueryPred::Exists {
+            query: Box::new(QueryExpr::table("R", "R1").select_flat(col("R1.a").eq(col("B.a")))),
+            negated: false,
+        }));
+
+    let strategies = [
+        Strategy::GmdjBasic,
+        Strategy::GmdjOptimized,
+        Strategy::GmdjBasicNoProbeIndex,
+        Strategy::GmdjOptimizedNoProbeIndex,
+        Strategy::GmdjCostBased,
+    ];
+    for real in [false, true] {
+        let policy = ExecPolicy::distributed(2).with_real_sites(real);
+        for strat in strategies {
+            let run = run_with_policy(&query, &catalog, strat, policy)
+                .unwrap_or_else(|e| panic!("{strat:?} (real={real}): {e}"));
+            let stats = run
+                .plan_stats
+                .as_ref()
+                .expect("gmdj strategies record plan stats");
+            let nodes = collect_site_nodes(stats);
+            assert!(
+                !nodes.is_empty(),
+                "{strat:?} (real={real}): no node carries a site breakdown"
+            );
+            for node in nodes {
+                assert_eq!(node.sites.len(), 2, "{strat:?}");
+                let scanned: u64 = node.sites.iter().map(|s| s.rows_scanned).sum();
+                assert_eq!(scanned, node.eval.detail_scanned, "{strat:?} (real={real})");
+                let sent: u64 = node.sites.iter().map(|s| s.bytes_sent).sum();
+                let recv: u64 = node.sites.iter().map(|s| s.bytes_received).sum();
+                assert_eq!(sent, node.network.bytes_sent, "{strat:?} (real={real})");
+                assert_eq!(recv, node.network.bytes_received, "{strat:?} (real={real})");
+                if real {
+                    assert!(sent > 0 && recv > 0, "{strat:?}");
+                }
+                let frag: u64 = node.sites.iter().map(|s| s.fragment_rows).sum();
+                assert_eq!(frag, 30, "{strat:?}: fragments must cover the detail");
+                let text = node.render_analyze();
+                assert!(text.contains("rt=") && text.contains("wire="), "{text}");
+            }
+        }
+    }
+}
+
 #[test]
 fn runtime_reports_into_the_global_metrics_registry() {
     let m = metrics::global();
@@ -242,6 +450,77 @@ fn flight_recorder_retains_exact_suffix_of_the_span_stream() {
     assert_eq!(retained.len(), 4);
     assert_eq!(dropped as usize, all.len() - 4);
     assert_eq!(retained.as_slice(), &all[all.len() - 4..]);
+}
+
+/// Measurement harness for EXPERIMENTS.md § "Span-shipping overhead":
+/// the same distributed real-sites evaluation with span shipping on
+/// (live `CollectingSink`, `trace=true` on the wire) vs off
+/// (`NullSink`, sites ship counters and wall-clock only). Ignored by
+/// default — run with
+/// `cargo test --release --test observability overhead -- --ignored --nocapture`.
+#[test]
+#[ignore]
+fn measure_span_shipping_overhead() {
+    use gmdj_core::trace::NullSink;
+    use std::time::Instant;
+
+    let mut b = RelationBuilder::new("B").column("Lo", DataType::Int);
+    for lo in 0..200 {
+        b = b.row(vec![(lo * 40).into()]);
+    }
+    let base = b.build().unwrap();
+    let mut d = RelationBuilder::new("F")
+        .column("T", DataType::Int)
+        .column("V", DataType::Int);
+    for t in 0..20_000 {
+        d = d.row(vec![(t % 8000).into(), (t % 13).into()]);
+    }
+    let detail = d.build().unwrap();
+    let policy = ExecPolicy::distributed(4).with_real_sites(true);
+
+    let run = |traced: bool| -> u64 {
+        let mut node = PlanNodeStats::new("GMDJ");
+        let rt = if traced {
+            Runtime::with_sink(policy, Arc::new(CollectingSink::new()))
+        } else {
+            Runtime::with_sink(policy, Arc::new(NullSink))
+        };
+        let start = Instant::now();
+        rt.eval_gmdj(&base, &detail, &spec(), &mut node).unwrap();
+        start.elapsed().as_nanos() as u64
+    };
+
+    // Warm-up, then interleave the arms so drift hits both equally.
+    for _ in 0..3 {
+        run(true);
+        run(false);
+    }
+    const N: usize = 40;
+    let mut on = Vec::with_capacity(N);
+    let mut off = Vec::with_capacity(N);
+    for _ in 0..N {
+        on.push(run(true));
+        off.push(run(false));
+    }
+    on.sort_unstable();
+    off.sort_unstable();
+    // Trimmed mean over the middle half, like the bench harness.
+    let trimmed = |v: &[u64]| -> f64 {
+        let q = v.len() / 4;
+        let mid = &v[q..v.len() - q];
+        mid.iter().sum::<u64>() as f64 / mid.len() as f64
+    };
+    let (t_on, t_off) = (trimmed(&on), trimmed(&off));
+    println!(
+        "span shipping on:  {:.3} ms (median {:.3} ms)\n\
+         span shipping off: {:.3} ms (median {:.3} ms)\n\
+         ratio on/off: {:.3}",
+        t_on / 1e6,
+        on[N / 2] as f64 / 1e6,
+        t_off / 1e6,
+        off[N / 2] as f64 / 1e6,
+        t_on / t_off,
+    );
 }
 
 #[test]

@@ -22,6 +22,7 @@
 
 use gmdj_core::eval::{EvalStats, KernelStats, ProbeStrategy};
 use gmdj_core::spec::{AggBlock, GmdjSpec};
+use gmdj_core::trace::{TraceEvent, WIRE_INTERN_TABLE};
 use gmdj_core::wire::{
     decode_frame, encode_frame, read_frame, EvalRequestFrame, Frame, StateMatrixFrame,
     MAX_FRAME_LEN, WIRE_VERSION,
@@ -229,11 +230,35 @@ fn gen_accumulator(rng: &mut SplitMix64) -> Accumulator {
     }
 }
 
+/// A wire-shippable trace event: name and field keys must come from
+/// [`WIRE_INTERN_TABLE`] — the strict decoder rejects anything else, so
+/// the generator draws from the same table the codec re-interns against.
+fn gen_trace_event(rng: &mut SplitMix64) -> TraceEvent {
+    let nfields = rng.below(4) as usize;
+    TraceEvent {
+        name: WIRE_INTERN_TABLE[rng.below(WIRE_INTERN_TABLE.len() as u64) as usize],
+        detail: gen_string(rng),
+        start_ns: rng.below(1 << 40),
+        dur_ns: rng.below(1 << 32),
+        fields: (0..nfields)
+            .map(|_| {
+                (
+                    WIRE_INTERN_TABLE[rng.below(WIRE_INTERN_TABLE.len() as u64) as usize],
+                    rng.next_u64(),
+                )
+            })
+            .collect(),
+    }
+}
+
 fn gen_eval_request(rng: &mut SplitMix64) -> Frame {
     let fields = gen_fields(rng);
     let width = fields.len();
     Frame::EvalRequest(Box::new(EvalRequestFrame {
         attempt: rng.below(4) as u32,
+        query_id: rng.next_u64(),
+        parent_span: rng.next_u64(),
+        trace: rng.chance(50),
         probe: *rng.pick(&[ProbeStrategy::Auto, ProbeStrategy::ForceScan]),
         partition_rows: rng.chance(50).then(|| rng.below(1 << 20)),
         vectorized: rng.chance(50),
@@ -250,14 +275,23 @@ fn gen_state_matrix(rng: &mut SplitMix64) -> Frame {
         fragment_rows: rng.below(1 << 20),
         stats: gen_eval_stats(rng),
         kernel: gen_kernel_stats(rng),
+        site_wall_ns: rng.below(1 << 40),
+        spans: (0..rng.below(4)).map(|_| gen_trace_event(rng)).collect(),
         accs: (0..rng.below(12)).map(|_| gen_accumulator(rng)).collect(),
     }))
 }
 
-/// One random frame of any type. `below(8)` skews toward the two
+fn gen_flight_tail(rng: &mut SplitMix64) -> Frame {
+    Frame::FlightTail {
+        dropped: rng.below(1 << 20),
+        events: (0..rng.below(5)).map(|_| gen_trace_event(rng)).collect(),
+    }
+}
+
+/// One random frame of any type. `below(10)` skews toward the two
 /// payload-bearing frames — they carry all the interesting structure.
 fn gen_frame(rng: &mut SplitMix64) -> Frame {
-    match rng.below(8) {
+    match rng.below(10) {
         0 => Frame::Hello {
             site: rng.next_u64() as u32,
         },
@@ -267,7 +301,11 @@ fn gen_frame(rng: &mut SplitMix64) -> Frame {
         2 => Frame::Error {
             message: gen_string(rng),
         },
-        3..=5 => gen_eval_request(rng),
+        3 => Frame::FlightRequest {
+            site: rng.next_u64() as u32,
+        },
+        4 => gen_flight_tail(rng),
+        5..=7 => gen_eval_request(rng),
         _ => gen_state_matrix(rng),
     }
 }
@@ -309,7 +347,7 @@ fn shrink_rejected(mut bytes: Vec<u8>) -> Vec<u8> {
 #[test]
 fn every_frame_type_round_trips() {
     let mut rng = SplitMix64::new(0xF8A3E);
-    let mut seen = [0usize; 5];
+    let mut seen = [0usize; 7];
     for case in 0..400 {
         let frame = gen_frame(&mut rng);
         seen[match &frame {
@@ -318,6 +356,8 @@ fn every_frame_type_round_trips() {
             Frame::EvalRequest(_) => 2,
             Frame::StateMatrix(_) => 3,
             Frame::Error { .. } => 4,
+            Frame::FlightRequest { .. } => 5,
+            Frame::FlightTail { .. } => 6,
         }] += 1;
         let bytes = encode_frame(&frame);
         let decoded = decode_frame(&bytes)
@@ -404,7 +444,7 @@ fn unknown_frame_type_is_rejected() {
     let mut rng = SplitMix64::new(0xF7);
     for _ in 0..50 {
         let mut bytes = encode_frame(&gen_frame(&mut rng));
-        bytes[6] = 6 + (rng.next_u64() % 250) as u8; // valid types are 1..=5
+        bytes[6] = 8 + (rng.next_u64() % 248) as u8; // valid types are 1..=7
         assert_rejected(bytes, "frame type");
     }
 }
