@@ -29,6 +29,7 @@
 //!                         Prometheus text, or JSON with p50/p95/p99
 //!                         plus a `queries` progress section
 //! \queries [json]         active queries + cumulative progress totals
+//! \cache [clear]          plan-cache occupancy and hit/miss totals
 //! \flight                 dump the flight recorder's retained trace tail
 //! \sites [json]           per-site round-trip totals (distributed runs)
 //! \timing on|off          toggle the parse/plan/execute breakdown
@@ -451,10 +452,11 @@ impl Shell {
                             String::new()
                         };
                         println!(
-                            "  #{} [{} {} {}] {}/{} morsels, {} rows, {} ms{eta}  {}",
+                            "  #{} [{} {} {} {}] {}/{} morsels, {} rows, {} ms{eta}  {}",
                             q.id,
                             q.strategy,
                             q.policy,
+                            q.state,
                             q.phase,
                             q.morsels_done,
                             q.morsels_total,
@@ -469,6 +471,24 @@ impl Shell {
                         totals.queries_finished,
                         totals.morsels_done,
                         totals.rows_done
+                    );
+                }
+            }
+            "\\cache" => {
+                if rest == "clear" {
+                    gmdj_engine::plan_cache::clear();
+                    println!("  plan cache cleared");
+                } else {
+                    let s = gmdj_engine::plan_cache::stats();
+                    let total = s.hits + s.misses;
+                    let rate = if total > 0 {
+                        format!("{:.1}%", 100.0 * s.hits as f64 / total as f64)
+                    } else {
+                        "n/a".to_string()
+                    };
+                    println!(
+                        "  plan cache: {}/{} plans, {} hits, {} misses (hit rate {rate})",
+                        s.len, s.cap, s.hits, s.misses
                     );
                 }
             }
@@ -497,7 +517,7 @@ impl Shell {
                 self.timing = rest != "off";
                 println!("  timing {}", if self.timing { "on" } else { "off" });
             }
-            other => eprintln!("unknown meta command `{other}` (try \\tables, \\strategy, \\explain, \\analyze, \\compare, \\metrics, \\queries, \\flight, \\sites, \\timing, \\q)"),
+            other => eprintln!("unknown meta command `{other}` (try \\tables, \\strategy, \\explain, \\analyze, \\compare, \\metrics, \\queries, \\cache, \\flight, \\sites, \\timing, \\q)"),
         }
         true
     }
@@ -686,7 +706,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    println!("gmdj-sql-shell — \\q to quit, \\tables, \\strategy, \\explain, \\analyze, \\dot, \\compare, \\metrics, \\queries, \\flight, \\sites");
+    println!("gmdj-sql-shell — \\q to quit, \\tables, \\strategy, \\explain, \\analyze, \\dot, \\compare, \\metrics, \\queries, \\cache, \\flight, \\sites");
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {

@@ -302,6 +302,16 @@ fn bench_cmd(argv: &[String]) -> ExitCode {
                         .map_err(|_| "bad --wall-tolerance")?;
                 }
                 "--no-ablations" => cfg.ablations = false,
+                "--concurrent" => cfg.concurrent = Some(8),
+                other if other.starts_with("--concurrent=") => {
+                    let n: usize = other["--concurrent=".len()..]
+                        .parse()
+                        .map_err(|_| "bad --concurrent=N")?;
+                    if n == 0 {
+                        return Err("--concurrent=N needs at least 1 query".into());
+                    }
+                    cfg.concurrent = Some(n);
+                }
                 "--no-vectorized" => vectorized = false,
                 "--real-sites" => cfg.real_sites = true,
                 "--no-flight" => trace::flight().set_enabled(false),
@@ -341,6 +351,12 @@ fn bench_cmd(argv: &[String]) -> ExitCode {
                          --wall-tolerance F   warn threshold on trimmed-mean wall-clock\n                       \
                          (fraction, default 0.25 = +25%)\n  \
                          --no-ablations       skip the ablation grid\n  \
+                         --concurrent[=N]     additionally run the concurrent-load group:\n                       \
+                         N (default 8) identical GMDJs submitted serially\n                       \
+                         vs concurrently through a shared-scan pool,\n                       \
+                         recording latency quantiles, queries/sec and the\n                       \
+                         shared-scan pass counters (own blessed section;\n                       \
+                         grid entries and their baseline are untouched)\n  \
                          --no-vectorized      force the row-path detail scan (the\n                       \
                          counters are identical either way — same baseline)\n  \
                          --real-sites         run distributed-policy cells over real\n                       \
@@ -430,7 +446,30 @@ fn bench_cmd(argv: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        if let Err(e) = std::fs::write(&baseline_path, &json) {
+        // A concurrent run blessed over an existing baseline splices only
+        // its concurrent section in, keeping every recorded grid entry
+        // byte-identical: wall stats are machine-dependent, so rewriting
+        // the whole file would churn 94 entries for an orthogonal
+        // addition.
+        let blessed = match (&report.concurrent, std::fs::read_to_string(&baseline_path)) {
+            (Some(conc), Ok(existing)) => {
+                match gmdj_bench::telemetry::splice_concurrent(&existing, &conc.to_json()) {
+                    Some(spliced) => spliced,
+                    None => {
+                        eprintln!("error: baseline {baseline_path} is not a spliceable document");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            _ => json.clone(),
+        };
+        if let Err(e) =
+            profile::parse_json(&blessed).and_then(|d| gmdj_bench::telemetry::validate_bench(&d))
+        {
+            eprintln!("internal error: blessed baseline would be invalid: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&baseline_path, &blessed) {
             eprintln!("error: cannot write {baseline_path}: {e}");
             return ExitCode::FAILURE;
         }

@@ -490,7 +490,7 @@ pub fn validate_queries(doc: &Json) -> Result<(), String> {
         .ok_or("missing `active` array")?;
     for (i, q) in active.iter().enumerate() {
         let at = format!("active[{i}]");
-        for key in ["sql", "strategy", "policy", "phase"] {
+        for key in ["sql", "strategy", "policy", "state", "phase"] {
             require_str(q, key, &at)?;
         }
         for key in [
@@ -747,8 +747,8 @@ mod tests {
         validate_queries(&doc).unwrap();
 
         let ok = parse_json(
-            r#"{"version":1,"active":[{"id":1,"sql":"q","strategy":"gmdj-opt",
-                "policy":"par4","phase":"GMDJ","elapsed_ms":10,"rows_done":5,
+            r#"{"version":2,"active":[{"id":1,"sql":"q","strategy":"gmdj-opt",
+                "policy":"par4","state":"running","phase":"GMDJ","elapsed_ms":10,"rows_done":5,
                 "morsels_done":2,"morsels_total":4,"eta_ms":10,
                 "predicted_cost":100,"eta_cost_ms":12}],
                 "totals":{"queries_started":1,"queries_finished":0,
@@ -759,8 +759,8 @@ mod tests {
 
         // morsels_done > morsels_total violates the progress invariant.
         let over = parse_json(
-            r#"{"version":1,"active":[{"id":1,"sql":"q","strategy":"s",
-                "policy":"p","phase":"","elapsed_ms":0,"rows_done":0,
+            r#"{"version":2,"active":[{"id":1,"sql":"q","strategy":"s",
+                "policy":"p","state":"queued","phase":"","elapsed_ms":0,"rows_done":0,
                 "morsels_done":9,"morsels_total":4,"eta_ms":0,
                 "predicted_cost":0,"eta_cost_ms":0}],
                 "totals":{"queries_started":1,"queries_finished":0,
@@ -773,7 +773,7 @@ mod tests {
         assert!(validate_queries(&stale)
             .unwrap_err()
             .contains("unsupported"));
-        let no_totals = parse_json(r#"{"version":1,"active":[]}"#).unwrap();
+        let no_totals = parse_json(r#"{"version":2,"active":[]}"#).unwrap();
         assert!(validate_queries(&no_totals).unwrap_err().contains("totals"));
     }
 }

@@ -26,11 +26,15 @@
 //! counter trees pairwise — naming the regressed node and its cost-model
 //! figure ([`gmdj_core::cost::observed_cost`]) before and after.
 
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
 use gmdj_core::cost;
 use gmdj_core::eval::ProbeStrategy;
-use gmdj_core::metrics;
+use gmdj_core::metrics::{self, Histogram};
 use gmdj_core::runtime::{ExecPolicy, PlanNodeStats};
-use gmdj_engine::strategy::{run_with_policy, RunResult, Strategy};
+use gmdj_core::shared::{SharedScanConfig, SharedScanPool};
+use gmdj_engine::strategy::{run_with_policy, run_with_policy_pooled, RunResult, Strategy};
 use gmdj_relation::error::{Error, Result};
 
 use crate::profile::Json;
@@ -459,6 +463,14 @@ pub struct BenchConfig {
     /// in the header and the run id but never enters an entry's key —
     /// a real-sites run gates against the same baseline.
     pub real_sites: bool,
+    /// `Some(n)`: additionally run the concurrent-load group — `n`
+    /// identical GMDJ queries submitted serially (standalone) and then
+    /// concurrently through a [`SharedScanPool`], recording per-query
+    /// latency quantiles, queries/sec, the speedup, and the shared-scan
+    /// pass counters. The grid entries are untouched (sharing engages
+    /// only on the pooled leg), so the existing baseline entries stay
+    /// byte-identical; the section gets its own blessed record.
+    pub concurrent: Option<usize>,
 }
 
 impl BenchConfig {
@@ -477,6 +489,7 @@ impl BenchConfig {
             vectorized: true,
             morsel_size: None,
             real_sites: false,
+            concurrent: None,
         }
     }
 
@@ -496,7 +509,7 @@ impl BenchConfig {
     /// the canonical recording.
     pub fn run_id(&self) -> String {
         format!(
-            "{}_seed{}{}{}",
+            "{}_seed{}{}{}{}",
             if self.quick {
                 "quick".into()
             } else {
@@ -504,7 +517,11 @@ impl BenchConfig {
             },
             self.seed,
             if self.vectorized { "" } else { "_rowpath" },
-            if self.real_sites { "_realsites" } else { "" }
+            if self.real_sites { "_realsites" } else { "" },
+            match self.concurrent {
+                Some(n) => format!("_conc{n}"),
+                None => String::new(),
+            }
         )
     }
 }
@@ -518,6 +535,8 @@ pub struct BenchReport {
     /// [`metrics`] registry `(count, p50, p95, p99)` — wall-bound, not
     /// gated.
     pub latency: Option<(u64, u64, u64, u64)>,
+    /// The concurrent-load group ([`BenchConfig::concurrent`]).
+    pub concurrent: Option<ConcurrentReport>,
 }
 
 impl BenchReport {
@@ -549,8 +568,99 @@ impl BenchReport {
             )),
             None => out.push_str("null"),
         }
+        if let Some(conc) = &self.concurrent {
+            out.push_str(",\"concurrent\":");
+            out.push_str(&conc.to_json());
+        }
         out.push('}');
         out
+    }
+}
+
+/// The concurrent-load group: `queries` identical GMDJs over one detail
+/// table, measured submitted serially (standalone runs, back to back) and
+/// then concurrently through a [`SharedScanPool`] where they coalesce
+/// into shared passes. The per-query work counters are identical between
+/// the legs (logical accounting — that is the correctness claim) and
+/// deterministic, so they gate; the pass counters prove the physical
+/// amortization (detail chunks paid once per pass, not once per query);
+/// wall-clock, latency quantiles, queries/sec and the speedup are
+/// machine-bound and informational.
+#[derive(Debug, Clone)]
+pub struct ConcurrentReport {
+    /// Queries per wave (`--concurrent`'s N).
+    pub queries: usize,
+    /// Measured waves.
+    pub reps: u32,
+    pub group: String,
+    pub label: String,
+    pub strategy: &'static str,
+    pub policy: String,
+    /// Per-query gated counters — asserted identical across every query
+    /// of both legs and every rep before being recorded.
+    pub counters: Counters,
+    /// `shared_scan_passes_total` delta over the measured waves
+    /// (deterministic: one pass per plan GMDJ node per wave).
+    pub shared_scan_passes: u64,
+    /// `shared_scan_queries_served_total` delta — `queries ×` the pass
+    /// count; the `passes < served` gap IS the shared work.
+    pub shared_scan_queries_served: u64,
+    /// Whole-wave wall-clock, serial leg (N standalone runs back to
+    /// back).
+    pub serial_wall: WallStats,
+    /// Whole-wave wall-clock, pooled leg (N concurrent submissions).
+    pub shared_wall: WallStats,
+    /// Per-query latency `(p50, p95, p99)` µs, serial leg.
+    pub serial_latency_us: (u64, u64, u64),
+    /// Per-query latency `(p50, p95, p99)` µs, pooled leg.
+    pub shared_latency_us: (u64, u64, u64),
+    /// Queries per second from the trimmed-mean wave wall-clock.
+    pub serial_qps: f64,
+    /// Queries per second from the trimmed-mean wave wall-clock.
+    pub shared_qps: f64,
+    /// `shared_qps / serial_qps`.
+    pub speedup: f64,
+}
+
+impl ConcurrentReport {
+    /// Render the `"concurrent"` report section.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"queries\":{},\"reps\":{},\"group\":\"{}\",\"label\":\"{}\",\
+             \"strategy\":\"{}\",\"policy\":\"{}\",\"counters\":{},\
+             \"shared_scan_passes\":{},\"shared_scan_queries_served\":{},\
+             \"serial_wall\":{{\"max_us\":{},\"min_us\":{},\"reps\":{},\"trimmed_mean_us\":{}}},\
+             \"shared_wall\":{{\"max_us\":{},\"min_us\":{},\"reps\":{},\"trimmed_mean_us\":{}}},\
+             \"serial_latency\":{{\"p50\":{},\"p95\":{},\"p99\":{}}},\
+             \"shared_latency\":{{\"p50\":{},\"p95\":{},\"p99\":{}}},\
+             \"serial_qps\":{:.1},\"shared_qps\":{:.1},\"speedup\":{:.3}}}",
+            self.queries,
+            self.reps,
+            gmdj_core::trace::json_escape(&self.group),
+            gmdj_core::trace::json_escape(&self.label),
+            self.strategy,
+            self.policy,
+            self.counters.to_json(),
+            self.shared_scan_passes,
+            self.shared_scan_queries_served,
+            self.serial_wall.max_us,
+            self.serial_wall.min_us,
+            self.serial_wall.reps,
+            self.serial_wall.trimmed_mean_us,
+            self.shared_wall.max_us,
+            self.shared_wall.min_us,
+            self.shared_wall.reps,
+            self.shared_wall.trimmed_mean_us,
+            self.serial_latency_us.0,
+            self.serial_latency_us.1,
+            self.serial_latency_us.2,
+            self.shared_latency_us.0,
+            self.shared_latency_us.1,
+            self.shared_latency_us.2,
+            self.serial_qps,
+            self.shared_qps,
+            self.speedup,
+        )
     }
 }
 
@@ -671,6 +781,10 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport> {
     if cfg.ablations {
         entries.extend(run_ablations(cfg)?);
     }
+    let concurrent = match cfg.concurrent {
+        Some(n) => Some(run_concurrent(cfg, n)?),
+        None => None,
+    };
     let latency = metrics::global().histogram("query_latency_us").map(|h| {
         let (p50, p95, p99) = h.quantiles();
         (h.count(), p50, p95, p99)
@@ -679,6 +793,188 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport> {
         config: cfg.clone(),
         entries,
         latency,
+        concurrent,
+    })
+}
+
+/// Counter-equality check across every query of both concurrent legs:
+/// the shared pass must do exactly the standalone per-query work.
+fn check_concurrent_counters(
+    recorded: &mut Option<Counters>,
+    counters: Counters,
+    leg: &str,
+) -> Result<()> {
+    match recorded {
+        None => {
+            *recorded = Some(counters);
+            Ok(())
+        }
+        Some(prev) if *prev != counters => Err(Error::invalid(format!(
+            "concurrent group: {leg} per-query counters diverge \
+             (shared execution must be counter-identical to standalone): \
+             {prev:?} vs {counters:?}"
+        ))),
+        Some(_) => Ok(()),
+    }
+}
+
+/// The concurrent-load group: `n` identical GMDJ queries over one detail
+/// table, measured (a) submitted serially as standalone runs and (b)
+/// submitted concurrently through a [`SharedScanPool`] sized to coalesce
+/// the whole wave into shared passes. Hard-errors if any query's gated
+/// counters differ between legs, if the waves did not fully coalesce
+/// (`served != passes × n`), or if sharing paid no passes at all.
+fn run_concurrent(cfg: &BenchConfig, n: usize) -> Result<ConcurrentReport> {
+    let n = n.max(1);
+    // The largest Fig2 point at a boosted scale: a single-detail-table
+    // GMDJ plan where the detail scan dominates — the workload the
+    // sharing claim is about. The grid's quick tier keeps relations tiny
+    // so 94 entries stay fast; here one workload is reused across every
+    // wave, so it can afford to be large enough that per-wave fixed costs
+    // (thread spawns, per-query prepare) do not swamp the shared scan.
+    let conc_scale = (cfg.scale * 25.0).min(1.0);
+    let (outer, inner) = *sizes(FigureId::Fig2, conc_scale)
+        .last()
+        .expect("fig2 has size points");
+    let w = workload(FigureId::Fig2, outer, inner, cfg.seed);
+    let label = size_label(FigureId::Fig2, outer, inner);
+    let strategy = Strategy::GmdjOptimized;
+    let policy = {
+        let p = ExecPolicy::parallel(2).with_vectorized(cfg.vectorized);
+        match cfg.morsel_size {
+            Some(m) => p.with_morsel_size(Some(m)),
+            None => p,
+        }
+    };
+    // A generous window plus target_batch = n: the barrier-released wave
+    // coalesces completely, so pass counts are closed-form.
+    let pool = Arc::new(SharedScanPool::new(SharedScanConfig {
+        window: Duration::from_millis(500),
+        target_batch: n,
+        threads: 4,
+        morsel_rows: gmdj_core::runtime::DEFAULT_MORSEL_ROWS,
+    }));
+    let reps = cfg.reps.max(1);
+    let mut recorded: Option<Counters> = None;
+
+    // Serial leg: the same n queries, standalone, back to back.
+    for _ in 0..cfg.warmup {
+        run_with_policy(&w.query, &w.catalog, strategy, policy)?;
+    }
+    let mut serial_hist = Histogram::default();
+    let mut serial_walls: Vec<u64> = Vec::with_capacity(reps as usize);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..n {
+            let r = run_with_policy(&w.query, &w.catalog, strategy, policy)?;
+            serial_hist.observe(r.wall.as_micros() as u64);
+            check_concurrent_counters(&mut recorded, Counters::from_run(&r), "serial")?;
+        }
+        serial_walls.push(t0.elapsed().as_micros() as u64);
+    }
+
+    // Pooled leg: one barrier-released wave of n submitter threads per
+    // rep, all coalescing through the pool.
+    let pooled_wave = |hist: Option<&mut Histogram>,
+                       recorded: &mut Option<Counters>|
+     -> Result<u64> {
+        let barrier = Barrier::new(n);
+        let t0 = Instant::now();
+        let runs: Vec<Result<(RunResult, Duration)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    let (w, pool, barrier, policy) = (&w, pool.clone(), &barrier, policy);
+                    scope.spawn(move || -> Result<(RunResult, Duration)> {
+                        barrier.wait();
+                        let t = Instant::now();
+                        let r =
+                            run_with_policy_pooled(&w.query, &w.catalog, strategy, policy, pool)?;
+                        Ok((r, t.elapsed()))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err(Error::invalid("concurrent submitter panicked")))
+                })
+                .collect()
+        });
+        let wave_us = t0.elapsed().as_micros() as u64;
+        let mut hist = hist;
+        for run in runs {
+            let (r, latency) = run?;
+            if let Some(h) = hist.as_deref_mut() {
+                h.observe(latency.as_micros() as u64);
+            }
+            check_concurrent_counters(recorded, Counters::from_run(&r), "shared")?;
+        }
+        Ok(wave_us)
+    };
+    for _ in 0..cfg.warmup {
+        pooled_wave(None, &mut recorded)?;
+    }
+    let m = metrics::global();
+    let passes_before = m.counter("shared_scan_passes_total");
+    let served_before = m.counter("shared_scan_queries_served_total");
+    let mut shared_hist = Histogram::default();
+    let mut shared_walls: Vec<u64> = Vec::with_capacity(reps as usize);
+    for _ in 0..reps {
+        shared_walls.push(pooled_wave(Some(&mut shared_hist), &mut recorded)?);
+    }
+    let shared_scan_passes = m.counter("shared_scan_passes_total") - passes_before;
+    let shared_scan_queries_served = m.counter("shared_scan_queries_served_total") - served_before;
+    if shared_scan_passes == 0 {
+        return Err(Error::invalid(
+            "concurrent group: pooled leg paid no shared-scan passes",
+        ));
+    }
+    if shared_scan_queries_served != shared_scan_passes * n as u64 {
+        return Err(Error::invalid(format!(
+            "concurrent group: waves did not fully coalesce: \
+             {shared_scan_passes} passes served {shared_scan_queries_served} queries \
+             (expected passes × {n})"
+        )));
+    }
+    if n > 1 && shared_scan_passes >= shared_scan_queries_served {
+        return Err(Error::invalid(
+            "concurrent group: shared_scan_passes must stay below queries served",
+        ));
+    }
+
+    let serial_wall = wall_stats(serial_walls);
+    let shared_wall = wall_stats(shared_walls);
+    let qps = |wall: &WallStats| {
+        if wall.trimmed_mean_us == 0 {
+            0.0
+        } else {
+            n as f64 * 1e6 / wall.trimmed_mean_us as f64
+        }
+    };
+    let serial_qps = qps(&serial_wall);
+    let shared_qps = qps(&shared_wall);
+    Ok(ConcurrentReport {
+        queries: n,
+        reps,
+        group: "concurrent/fig2".to_string(),
+        label,
+        strategy: strategy.label(),
+        policy: policy_label(&policy),
+        counters: recorded.expect("at least one measured query"),
+        shared_scan_passes,
+        shared_scan_queries_served,
+        serial_latency_us: serial_hist.quantiles(),
+        shared_latency_us: shared_hist.quantiles(),
+        serial_wall,
+        shared_wall,
+        serial_qps,
+        shared_qps,
+        speedup: if serial_qps > 0.0 && shared_qps > 0.0 {
+            shared_qps / serial_qps
+        } else {
+            0.0
+        },
     })
 }
 
@@ -914,6 +1210,70 @@ pub fn validate_bench(doc: &Json) -> std::result::Result<(), String> {
             }
         }
         _ => return Err("bench: `latency` must be an object or null".into()),
+    }
+    match doc.get("concurrent") {
+        None => {}
+        Some(c @ Json::Obj(_)) => validate_concurrent(c)?,
+        _ => return Err("bench: `concurrent` must be an object".into()),
+    }
+    Ok(())
+}
+
+/// Validate the optional `concurrent` section, including the closed-form
+/// sharing invariant: with more than one query per wave, detail passes
+/// must be strictly fewer than queries served — chunk reads are paid
+/// once per pass, not once per query.
+fn validate_concurrent(c: &Json) -> std::result::Result<(), String> {
+    let at = "bench.concurrent";
+    for key in ["group", "label", "strategy", "policy"] {
+        require_str(c, key, at)?;
+    }
+    for key in [
+        "queries",
+        "reps",
+        "shared_scan_passes",
+        "shared_scan_queries_served",
+        "serial_qps",
+        "shared_qps",
+        "speedup",
+    ] {
+        require_num(c, key, at)?;
+    }
+    let counters = c
+        .get("counters")
+        .ok_or_else(|| format!("{at}: missing `counters`"))?;
+    for key in COUNTER_KEYS {
+        require_num(counters, key, &format!("{at}.counters"))?;
+    }
+    for wall_key in ["serial_wall", "shared_wall"] {
+        let wall = c
+            .get(wall_key)
+            .ok_or_else(|| format!("{at}: missing `{wall_key}`"))?;
+        for key in ["max_us", "min_us", "reps", "trimmed_mean_us"] {
+            require_num(wall, key, &format!("{at}.{wall_key}"))?;
+        }
+    }
+    for lat_key in ["serial_latency", "shared_latency"] {
+        let lat = c
+            .get(lat_key)
+            .ok_or_else(|| format!("{at}: missing `{lat_key}`"))?;
+        for key in ["p50", "p95", "p99"] {
+            require_num(lat, key, &format!("{at}.{lat_key}"))?;
+        }
+    }
+    let queries = require_num(c, "queries", at)? as u64;
+    let passes = require_num(c, "shared_scan_passes", at)? as u64;
+    let served = require_num(c, "shared_scan_queries_served", at)? as u64;
+    if served != passes * queries {
+        return Err(format!(
+            "{at}: queries served ({served}) must equal passes ({passes}) × queries ({queries})"
+        ));
+    }
+    if queries > 1 && passes >= served {
+        return Err(format!(
+            "{at}: shared_scan_passes ({passes}) must be strictly below \
+             queries served ({served}) — detail chunks are paid once per pass"
+        ));
     }
     Ok(())
 }
@@ -1244,7 +1604,84 @@ pub fn compare_reports(
             cmp.new_entries.push(key.clone());
         }
     }
+
+    // The concurrent section gates only when the current run recorded
+    // one (`--concurrent`): runs without the flag still compare cleanly
+    // against a baseline that has the section.
+    match (current.get("concurrent"), baseline.get("concurrent")) {
+        (Some(c @ Json::Obj(_)), Some(b @ Json::Obj(_))) => {
+            let key = "concurrent section";
+            for field in ["group", "label", "strategy", "policy"] {
+                let bv = require_str(b, field, "baseline.concurrent")?;
+                let cv = require_str(c, field, "current.concurrent")?;
+                if bv != cv {
+                    cmp.drifts
+                        .push(format!("{key}: `{field}` baseline={bv} current={cv}"));
+                }
+            }
+            for field in [
+                "queries",
+                "reps",
+                "shared_scan_passes",
+                "shared_scan_queries_served",
+            ] {
+                let bv = require_num(b, field, "baseline.concurrent")? as u64;
+                let cv = require_num(c, field, "current.concurrent")? as u64;
+                if bv != cv {
+                    cmp.drifts
+                        .push(format!("{key}: `{field}` drifted {bv} -> {cv}"));
+                }
+            }
+            let mut changed: Vec<String> = Vec::new();
+            for counter in COUNTER_KEYS {
+                let bv = b
+                    .get("counters")
+                    .and_then(|o| o.get(counter))
+                    .and_then(Json::as_num);
+                let cv = c
+                    .get("counters")
+                    .and_then(|o| o.get(counter))
+                    .and_then(Json::as_num);
+                if bv != cv {
+                    changed.push(format!(
+                        "{counter} {} -> {}",
+                        bv.map(|v| (v as u64).to_string())
+                            .unwrap_or_else(|| "?".into()),
+                        cv.map(|v| (v as u64).to_string())
+                            .unwrap_or_else(|| "?".into()),
+                    ));
+                }
+            }
+            if !changed.is_empty() {
+                cmp.drifts
+                    .push(format!("{key}: counter drift: {}", changed.join(", ")));
+            }
+        }
+        (Some(Json::Obj(_)), None) => {
+            cmp.new_entries.push("concurrent section".into());
+        }
+        (None, _) => {}
+        _ => return Err("`concurrent` must be an object when present".into()),
+    }
     Ok(cmp)
+}
+
+/// Splice a freshly measured `concurrent` section into an existing
+/// baseline document, leaving every other byte of the baseline —
+/// including its wall-clock numbers — untouched. This is how
+/// `repro bench --concurrent --bless` records the concurrent group
+/// without re-blessing (and thus re-noising) the existing entries.
+/// Returns `None` if the baseline does not end in a JSON object.
+pub fn splice_concurrent(baseline_text: &str, section_json: &str) -> Option<String> {
+    let trimmed = baseline_text.trim_end();
+    let body = trimmed.strip_suffix('}')?;
+    // Replace an already-present section (it is always the last member,
+    // emitted after `latency`).
+    let body = match body.rfind(",\"concurrent\":") {
+        Some(i) => &body[..i],
+        None => body,
+    };
+    Some(format!("{body},\"concurrent\":{section_json}}}"))
 }
 
 /// Per-entry wall-clock comparison of two bench documents (`repro bench
@@ -1354,6 +1791,7 @@ mod tests {
             vectorized: true,
             morsel_size: None,
             real_sites: false,
+            concurrent: None,
         }
     }
 

@@ -55,7 +55,7 @@ pub enum Keep {
 }
 
 /// Evaluation options.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GmdjOptions {
     /// Probe plan selection.
     pub probe: ProbeStrategy,
@@ -551,6 +551,49 @@ pub(crate) fn scan_detail_plain(
         }
     }
     Ok(())
+}
+
+/// One query's slice of a shared multi-query window dispatch: route one
+/// detail window through this query's planned kernels (vectorized) or its
+/// row-path probe loop, maintaining its private counters exactly as a
+/// standalone morsel pull would. The shared-scan executor
+/// ([`crate::shared`]) calls this once per (query, window), so N coalesced
+/// GMDJs pay one pass over the detail columns while keeping per-query
+/// accounting identical to standalone execution.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_detail_window(
+    detail: &Relation,
+    detail_rows: Option<&[Tuple]>,
+    range: std::ops::Range<usize>,
+    vectorized: bool,
+    plans: &[BlockPlan],
+    base_rows: &[Tuple],
+    total_aggs: usize,
+    accs: &mut [Accumulator],
+    stats: &mut EvalStats,
+    kernel: &mut KernelStats,
+    sink: &dyn crate::trace::TraceSink,
+) -> Result<()> {
+    if vectorized {
+        scan_detail_vectorized(
+            detail.cols(),
+            range,
+            plans,
+            base_rows,
+            total_aggs,
+            accs,
+            stats,
+            kernel,
+            sink,
+        )
+    } else {
+        let rows = detail_rows.ok_or_else(|| {
+            Error::invalid("row-path window dispatch requires a materialized row view")
+        })?;
+        scan_detail_plain(&rows[range], plans, base_rows, total_aggs, accs, stats)?;
+        kernel.morsels += 1;
+        Ok(())
+    }
 }
 
 /// Status of a base tuple during the scan.

@@ -18,7 +18,7 @@ use gmdj_relation::ops;
 use gmdj_relation::relation::Relation;
 
 use crate::distributed::NetworkStats;
-use crate::eval::{EvalStats, GmdjOptions};
+use crate::eval::{EvalStats, GmdjOptions, Keep};
 use crate::plan::GmdjExpr;
 use crate::progress::QueryProgress;
 use crate::runtime::{ExecPolicy, PlanNodeStats, Runtime};
@@ -30,6 +30,15 @@ use crate::translate::SchemaInfo;
 pub trait TableProvider {
     /// The named base relation.
     fn table(&self, name: &str) -> Result<&Relation>;
+
+    /// A stable identity for plan caching: two calls returning the same
+    /// `Some(key)` promise the provider's table set (names, schemas,
+    /// contents) is unchanged between them, so a plan translated against
+    /// the first call is valid against the second. `None` (the default)
+    /// opts the provider out of plan caching entirely.
+    fn plan_cache_key(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Every [`TableProvider`] can answer the translation's schema questions.
@@ -67,6 +76,11 @@ pub struct ExecContext {
     /// by plan-node labels as the executor walks the tree. `None` when
     /// the query is not registered with [`crate::progress`].
     pub progress: Option<Arc<QueryProgress>>,
+    /// Cross-query shared-scan pool: when attached, (filtered) GMDJ
+    /// nodes are submitted through it so concurrent plans over the same
+    /// detail table coalesce into one shared morsel pass (see
+    /// [`crate::shared`]). `None` keeps standalone evaluation.
+    pub shared: Option<Arc<crate::shared::SharedScanPool>>,
 }
 
 impl Default for ExecContext {
@@ -78,6 +92,7 @@ impl Default for ExecContext {
             plan_stats: None,
             sink: Arc::new(NullSink),
             progress: None,
+            shared: None,
         }
     }
 }
@@ -116,6 +131,12 @@ impl ExecContext {
         self.progress = Some(progress);
         self
     }
+
+    /// Builder-style: submit GMDJ nodes through a shared-scan pool.
+    pub fn with_shared(mut self, pool: Arc<crate::shared::SharedScanPool>) -> Self {
+        self.shared = Some(pool);
+        self
+    }
 }
 
 /// Evaluate a GMDJ expression under the context's policy, recording a
@@ -129,6 +150,9 @@ pub fn execute(
     let mut runtime = Runtime::with_sink(ctx.policy, ctx.sink.clone());
     if let Some(p) = &ctx.progress {
         runtime = runtime.with_progress(p.clone());
+    }
+    if let Some(pool) = &ctx.shared {
+        runtime = runtime.with_shared_pool(pool.clone());
     }
     let (rel, tree) = execute_node(expr, tables, &runtime)?;
     ctx.stats.merge(&tree.total_eval());
@@ -273,7 +297,7 @@ fn run_node(
             if let Some(p) = runtime.progress() {
                 p.set_phase("GMDJ");
             }
-            let out = runtime.eval_gmdj(&b, &d, spec, &mut node)?;
+            let out = runtime.submit(&b, &d, spec, None, Keep::All, None, &mut node)?;
             node.rows_out = out.len() as u64;
             node.children.push(b_node);
             node.children.push(d_node);
@@ -293,7 +317,7 @@ fn run_node(
             if let Some(p) = runtime.progress() {
                 p.set_phase("FilteredGMDJ");
             }
-            let out = runtime.eval(
+            let out = runtime.submit(
                 &b,
                 &d,
                 spec,
@@ -311,9 +335,30 @@ fn run_node(
 }
 
 /// A trivial catalog over owned relations, for tests and examples.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemoryCatalog {
     tables: Vec<(String, Relation)>,
+    /// Process-unique content epoch: re-drawn on every mutation, so a
+    /// given value pins one exact (catalog, contents) state for plan
+    /// caching. Never reused across catalogs.
+    epoch: u64,
+}
+
+/// Each distinct catalog state gets a fresh epoch — a plan cached
+/// against one epoch can never be served for a different catalog or a
+/// mutated one.
+fn next_catalog_epoch() -> u64 {
+    static EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+impl Default for MemoryCatalog {
+    fn default() -> Self {
+        MemoryCatalog {
+            tables: Vec::new(),
+            epoch: next_catalog_epoch(),
+        }
+    }
 }
 
 impl MemoryCatalog {
@@ -330,6 +375,7 @@ impl MemoryCatalog {
         } else {
             self.tables.push((name, relation));
         }
+        self.epoch = next_catalog_epoch();
     }
 
     /// Builder-style registration.
@@ -353,6 +399,10 @@ impl TableProvider for MemoryCatalog {
             .ok_or_else(|| Error::UnknownTable {
                 name: name.to_string(),
             })
+    }
+
+    fn plan_cache_key(&self) -> Option<u64> {
+        Some(self.epoch)
     }
 }
 

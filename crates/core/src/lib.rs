@@ -31,6 +31,10 @@
 //!   distributed) is the single entry point for GMDJ evaluation, and the
 //!   executor records a per-plan-node [`PlanNodeStats`] tree the cost
 //!   model can read back.
+//! * [`shared`] — **cross-query shared detail scans**: concurrently
+//!   submitted GMDJs over the same detail table coalesce (extended
+//!   Prop. 4.1) into one morsel-driven pass that feeds every query's
+//!   private accumulators, paying detail chunk reads once per pass.
 //!
 //! # Example: a subquery, translated and evaluated
 //!
@@ -84,6 +88,7 @@ pub mod plan;
 pub mod progress;
 pub mod runtime;
 pub mod serve;
+pub mod shared;
 pub mod spec;
 pub mod trace;
 pub mod translate;
@@ -100,6 +105,7 @@ pub use plan::GmdjExpr;
 pub use progress::{ProgressRegistry, ProgressTicket, QueryProgress, QuerySnapshot};
 pub use runtime::{ExecMode, ExecPolicy, PlanNodeStats, Runtime};
 pub use serve::StatsServer;
+pub use shared::{SharedScanConfig, SharedScanPool};
 pub use spec::{AggBlock, GmdjSpec};
 pub use trace::{
     CollectingSink, FlightRecorder, JsonLinesSink, NullSink, Span, TeeSink, TraceEvent, TraceSink,

@@ -39,7 +39,9 @@ use std::time::Instant;
 use crate::trace::json_escape;
 
 /// Schema version of the queries/progress JSON render.
-pub const QUERIES_VERSION: u64 = 1;
+/// v2: every entry carries a `state` field (`queued` → `coalescing` →
+/// `running`) so submitted-but-not-started queries are visible.
+pub const QUERIES_VERSION: u64 = 2;
 
 /// Identifier of one registered query, unique within the process.
 pub type QueryId = u64;
@@ -64,6 +66,10 @@ pub struct QueryProgress {
     /// cross-check denominator for `eta_cost_ms`.
     predicted_io: AtomicU64,
     phase: Mutex<String>,
+    /// Submission lifecycle: `queued` (registered, not yet executing),
+    /// `coalescing` (waiting in a shared-scan batch window — see
+    /// [`crate::shared`]), `running` (plan walking / scanning).
+    state: Mutex<String>,
 }
 
 impl QueryProgress {
@@ -113,6 +119,20 @@ impl QueryProgress {
         }
     }
 
+    /// Set the submission lifecycle state (`queued` / `coalescing` /
+    /// `running`).
+    pub fn set_state(&self, state: &str) {
+        if let Ok(mut s) = self.state.lock() {
+            s.clear();
+            s.push_str(state);
+        }
+    }
+
+    /// Current submission lifecycle state.
+    pub fn state(&self) -> String {
+        self.state.lock().map(|s| s.clone()).unwrap_or_default()
+    }
+
     /// Rows scanned so far.
     pub fn rows_done(&self) -> u64 {
         self.rows_done.load(Ordering::Relaxed)
@@ -154,6 +174,7 @@ impl QueryProgress {
             sql: self.sql.clone(),
             strategy: self.strategy.clone(),
             policy: self.policy.clone(),
+            state: self.state(),
             phase: self.phase.lock().map(|p| p.clone()).unwrap_or_default(),
             elapsed_ms: elapsed_ms.round() as u64,
             rows_done: rows,
@@ -175,6 +196,7 @@ pub struct QuerySnapshot {
     pub sql: String,
     pub strategy: String,
     pub policy: String,
+    pub state: String,
     pub phase: String,
     pub elapsed_ms: u64,
     pub rows_done: u64,
@@ -191,13 +213,14 @@ impl QuerySnapshot {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"id\":{},\"sql\":\"{}\",\"strategy\":\"{}\",\"policy\":\"{}\",\
-             \"phase\":\"{}\",\"elapsed_ms\":{},\"rows_done\":{},\
+             \"state\":\"{}\",\"phase\":\"{}\",\"elapsed_ms\":{},\"rows_done\":{},\
              \"morsels_done\":{},\"morsels_total\":{},\"eta_ms\":{},\
              \"predicted_cost\":{},\"eta_cost_ms\":{}}}",
             self.id,
             json_escape(&self.sql),
             json_escape(&self.strategy),
             json_escape(&self.policy),
+            json_escape(&self.state),
             json_escape(&self.phase),
             self.elapsed_ms,
             self.rows_done,
@@ -265,6 +288,7 @@ impl ProgressRegistry {
             predicted_cost: AtomicU64::new(0),
             predicted_io: AtomicU64::new(0),
             phase: Mutex::new(String::new()),
+            state: Mutex::new("queued".to_string()),
         });
         inner.active.push(progress.clone());
         inner.finished.queries_started += 1;
@@ -418,6 +442,20 @@ mod tests {
         assert_eq!(totals.morsels_done, 4);
         assert_eq!(totals.morsels_total, 10);
         assert_eq!(totals.rows_done, 4096);
+    }
+
+    #[test]
+    fn state_starts_queued_and_tracks_lifecycle() {
+        let reg = leak(ProgressRegistry::new());
+        let t = reg.register("q", "s", "p");
+        let p = t.progress();
+        assert_eq!(p.state(), "queued");
+        assert_eq!(p.snapshot().state, "queued");
+        p.set_state("coalescing");
+        assert_eq!(p.snapshot().state, "coalescing");
+        p.set_state("running");
+        let json = reg.render_json();
+        assert!(json.contains("\"state\":\"running\""), "{json}");
     }
 
     #[test]

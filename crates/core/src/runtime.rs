@@ -647,6 +647,7 @@ pub struct Runtime {
     policy: ExecPolicy,
     sink: Arc<dyn TraceSink>,
     progress: Option<Arc<QueryProgress>>,
+    shared: Option<Arc<crate::shared::SharedScanPool>>,
 }
 
 impl Default for Runtime {
@@ -655,6 +656,7 @@ impl Default for Runtime {
             policy: ExecPolicy::default(),
             sink: Arc::new(NullSink),
             progress: None,
+            shared: None,
         }
     }
 }
@@ -666,6 +668,7 @@ impl Runtime {
             policy,
             sink: Arc::new(NullSink),
             progress: None,
+            shared: None,
         }
     }
 
@@ -675,6 +678,7 @@ impl Runtime {
             policy,
             sink,
             progress: None,
+            shared: None,
         }
     }
 
@@ -685,6 +689,20 @@ impl Runtime {
     pub fn with_progress(mut self, progress: Arc<QueryProgress>) -> Self {
         self.progress = Some(progress);
         self
+    }
+
+    /// Attach a cross-query shared-scan pool: [`Runtime::submit`] routes
+    /// shareable evaluations through it so concurrently submitted GMDJs
+    /// over the same detail table coalesce into one morsel pass (see
+    /// [`crate::shared`]). [`Runtime::eval`] is unaffected.
+    pub fn with_shared_pool(mut self, pool: Arc<crate::shared::SharedScanPool>) -> Self {
+        self.shared = Some(pool);
+        self
+    }
+
+    /// The shared-scan pool submissions coalesce through, if attached.
+    pub fn shared_pool(&self) -> Option<&Arc<crate::shared::SharedScanPool>> {
+        self.shared.as_ref()
     }
 
     /// The default sequential runtime.
@@ -860,6 +878,91 @@ impl Runtime {
         m.inc("network_bytes_received_total", net_delta.bytes_received);
         m.observe("gmdj_eval_latency_us", dur.as_micros() as u64);
         Ok(result)
+    }
+
+    /// Concurrent submission entry point: like [`Runtime::eval`], but
+    /// when a shared-scan pool is attached ([`Runtime::with_shared_pool`])
+    /// and the policy is shareable (in-process, unpartitioned), the
+    /// evaluation routes through the pool where concurrently submitted
+    /// GMDJs over the same detail table coalesce — per the extended
+    /// Prop. 4.1 — into one shared morsel-driven detail pass (see
+    /// [`crate::shared`]). Without a pool, or for distributed /
+    /// memory-partitioned policies, this is exactly [`Runtime::eval`]:
+    /// standalone execution stays byte-identical and sharing only
+    /// engages on concurrent submission.
+    ///
+    /// The per-query counters recorded into `node` are identical to what
+    /// `eval` would record (logical accounting); the physical
+    /// amortization shows up only in the pool's `shared_scan_*` metrics
+    /// and the `gmdj.shared_scan` span.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit(
+        &self,
+        base: &Relation,
+        detail: &Relation,
+        spec: &GmdjSpec,
+        selection: Option<&Predicate>,
+        keep: Keep,
+        completion: Option<&CompletionPlan>,
+        node: &mut PlanNodeStats,
+    ) -> Result<Relation> {
+        let pool = match &self.shared {
+            Some(pool)
+                if !matches!(self.policy.mode, ExecMode::Distributed { .. })
+                    && self.policy.partition_rows.is_none() =>
+            {
+                pool
+            }
+            _ => return self.eval(base, detail, spec, selection, keep, completion, node),
+        };
+        self.policy.validate()?;
+        if completion.is_some() && selection.is_none() {
+            return Err(Error::invalid("completion plan requires a selection"));
+        }
+        let sched = pool.scheduled_morsels(detail.len());
+        if let Some(p) = &self.progress {
+            p.add_morsels_total(sched);
+            p.set_state("coalescing");
+        }
+        let span = Span::begin(self.sink.as_ref(), "gmdj.eval");
+        let out = pool.submit(
+            base,
+            detail,
+            spec,
+            selection,
+            keep,
+            &self.policy.gmdj_options(),
+            completion.is_some(),
+            self.sink.as_ref(),
+        );
+        if let Some(p) = &self.progress {
+            p.set_state("running");
+        }
+        let out = out?;
+        if let Some(p) = &self.progress {
+            p.add_morsels_done(sched);
+            p.add_rows(detail.len() as u64);
+        }
+        node.eval.merge(&out.eval);
+        node.kernel.merge(&out.kernel);
+        node.worker_wall_max_ns = node.worker_wall_max_ns.max(out.worker_max_ns);
+        node.worker_wall_sum_ns += out.worker_sum_ns;
+        let mut span = span;
+        span.fields(out.eval.trace_fields());
+        span.field("shared_queries", out.pass_queries);
+        let dur = span.finish();
+        node.invocations += 1;
+        node.elapsed_ns += dur.as_nanos() as u64;
+
+        let m = metrics::global();
+        m.inc("gmdj_evals_total", 1);
+        m.inc("gmdj_detail_scanned_total", out.eval.detail_scanned);
+        m.inc("gmdj_probe_candidates_total", out.eval.probe_candidates);
+        m.inc("gmdj_theta_evals_total", out.eval.theta_evals);
+        m.inc("gmdj_agg_updates_total", out.eval.agg_updates);
+        m.inc("completion_fallbacks_total", out.eval.completion_fallbacks);
+        m.observe("gmdj_eval_latency_us", dur.as_micros() as u64);
+        Ok(out.relation)
     }
 
     /// Shared driver for the merge-based modes: partition the base by the

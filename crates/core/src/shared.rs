@@ -1,0 +1,832 @@
+//! Cross-query shared detail scans (extended Prop. 4.1).
+//!
+//! The paper coalesces GMDJs over the same detail table *within* one
+//! query; this module extends the same argument *across* concurrently
+//! submitted queries. Accumulator arrays are per-query private state, so
+//! any number of independent GMDJs over one detail relation can ride a
+//! single morsel-driven pass: each pulled window is dispatched to every
+//! query's membership predicates and accumulator updates
+//! ([`crate::eval::scan_detail_window`]), then results demultiplex back
+//! to per-query waiters. The physical wins: detail chunks are read once
+//! per pass instead of once per query, and *structurally identical*
+//! queries in one batch collapse to a single evaluation fanned out to
+//! all members (the degenerate case of Prop. 4.1 block merging). The
+//! logical accounting stays per-query, so every gated [`EvalStats`]
+//! counter is identical to a standalone run of the same query.
+//!
+//! # Coalescing protocol
+//!
+//! [`SharedScanPool::submit`] keys arrivals on detail-table identity
+//! (the columnar storage `Arc` pointer — [`Relation::cols_arc`] is shared
+//! across renames, so the same stored table coalesces under any
+//! qualifier). The first arrival for a key becomes the *leader*: it waits
+//! out a short coalescing window (released early once
+//! [`SharedScanConfig::target_batch`] queries are queued), drains the
+//! batch, runs one shared pass, and delivers each query's result.
+//! Arrivals during an in-flight pass elect the next leader and coalesce
+//! behind it — i.e. they queue behind the running scan rather than start
+//! a competing one on the same table.
+//!
+//! # Correctness
+//!
+//! Per query the shared pass performs exactly the standalone chunked
+//! evaluation: its own probe plans ([`crate::eval::plan_blocks`]), its
+//! own private per-worker accumulators merged in worker order
+//! ([`gmdj_relation::agg::Accumulator::merge`] is exact), its own
+//! selection/projection materialization. Sharing only changes *when*
+//! windows are visited — and window scheduling is provably invisible
+//! (the fuzz harness's morsel-size sweep gates this) — so results are
+//! bit-identical and per-query counters match standalone execution.
+//!
+//! # Observability
+//!
+//! Each pass emits a `gmdj.shared_scan` span and maintains the gated
+//! counters `shared_scan_passes_total` / `shared_scan_queries_served_total`
+//! plus the `shared_scan_queries` log₂ histogram (queries per pass) in the
+//! global [`metrics`] registry. The closed-form invariant: detail chunk
+//! reads are paid once per *pass*, so under any actual sharing
+//! `shared_scan_passes_total < shared_scan_queries_served_total`, while
+//! the per-query `col_chunk_reads` counters still sum as if each query
+//! had scanned alone (logical accounting).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use gmdj_relation::agg::Accumulator;
+use gmdj_relation::columnar::COLUMN_CHUNK_ROWS;
+use gmdj_relation::error::{Error, Result};
+use gmdj_relation::expr::{BoundPredicate, Predicate};
+use gmdj_relation::relation::{Relation, Tuple};
+use gmdj_relation::schema::Schema;
+
+use crate::eval::{
+    materialize_filtered, new_accumulators, plan_blocks, referenced_detail_cols,
+    scan_detail_window, BlockPlan, EvalStats, GmdjOptions, Keep, KernelStats,
+};
+use crate::metrics;
+use crate::runtime::DEFAULT_MORSEL_ROWS;
+use crate::spec::GmdjSpec;
+use crate::trace::{Span, TraceSink};
+
+/// Tuning knobs for the coalescing queue and the shared pass.
+#[derive(Debug, Clone)]
+pub struct SharedScanConfig {
+    /// How long the batch leader holds the door open for more arrivals.
+    pub window: Duration,
+    /// Release the window early once this many queries are queued.
+    pub target_batch: usize,
+    /// Worker threads for the shared morsel-driven pass.
+    pub threads: usize,
+    /// Morsel size (detail rows) for the shared pass's work queue. Pure
+    /// scheduling — per-query counters and results are identical for
+    /// every setting.
+    pub morsel_rows: usize,
+}
+
+impl Default for SharedScanConfig {
+    fn default() -> Self {
+        SharedScanConfig {
+            window: Duration::from_millis(2),
+            target_batch: 8,
+            threads: 4,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+        }
+    }
+}
+
+/// What a shared pass hands back to each waiter: the query's result plus
+/// its private counters, exactly as a standalone evaluation would have
+/// recorded them.
+#[derive(Debug)]
+pub struct SharedOutput {
+    /// The query's (filtered, projected) GMDJ answer.
+    pub relation: Relation,
+    /// This query's evaluator counters (logical accounting: identical to
+    /// a standalone run of the same query).
+    pub eval: EvalStats,
+    /// This query's kernel counters.
+    pub kernel: KernelStats,
+    /// Critical-path worker wall-clock of the shared pass.
+    pub worker_max_ns: u64,
+    /// Summed worker wall-clock of the shared pass.
+    pub worker_sum_ns: u64,
+    /// How many queries shared the pass that produced this result.
+    pub pass_queries: u64,
+}
+
+/// One enqueued query: everything the leader needs to evaluate it, plus
+/// the slot its waiter blocks on.
+#[derive(Debug)]
+struct SharedRequest {
+    base: Relation,
+    detail: Relation,
+    spec: GmdjSpec,
+    selection: Option<Predicate>,
+    keep: Keep,
+    opts: GmdjOptions,
+    /// The submitter carried a completion plan; chunked scans fall back
+    /// to the plain filtered form (same answer) and record it.
+    completion_fallback: bool,
+    slot: Arc<ResultSlot>,
+}
+
+/// Rendezvous for one query's result.
+#[derive(Debug, Default)]
+struct ResultSlot {
+    ready: Mutex<Option<Result<SharedOutput>>>,
+    cv: Condvar,
+}
+
+impl ResultSlot {
+    fn deliver(&self, result: Result<SharedOutput>) {
+        let mut ready = self.ready.lock().expect("shared-scan slot poisoned");
+        *ready = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<SharedOutput> {
+        let mut ready = self.ready.lock().expect("shared-scan slot poisoned");
+        loop {
+            if let Some(result) = ready.take() {
+                return result;
+            }
+            ready = self.cv.wait(ready).expect("shared-scan slot poisoned");
+        }
+    }
+}
+
+/// Identity of a detail table for coalescing: the columnar storage's
+/// `Arc` pointer plus the row count. Renamed views share the storage
+/// `Arc`, so the same stored table coalesces under any qualifier.
+type DetailKey = (usize, usize);
+
+fn detail_key(detail: &Relation) -> DetailKey {
+    (
+        Arc::as_ptr(&detail.cols_arc()) as *const () as usize,
+        detail.len(),
+    )
+}
+
+#[derive(Debug, Default)]
+struct TableQueue {
+    pending: Vec<SharedRequest>,
+    /// A leader is currently inside the coalescing window for this key.
+    /// Cleared at drain time, so arrivals during the in-flight pass
+    /// elect the next leader.
+    leader: bool,
+}
+
+#[derive(Debug, Default)]
+struct PoolState {
+    queues: HashMap<DetailKey, TableQueue>,
+}
+
+/// The concurrent submission layer: a process- or session-scoped pool
+/// that merges concurrently submitted GMDJs over the same detail table
+/// into one shared morsel-driven pass. Attach to a
+/// [`Runtime`](crate::runtime::Runtime) via
+/// [`with_shared_pool`](crate::runtime::Runtime::with_shared_pool); only
+/// the explicit `submit` path engages sharing — standalone evaluation is
+/// untouched.
+#[derive(Debug, Default)]
+pub struct SharedScanPool {
+    cfg: SharedScanConfig,
+    state: Mutex<PoolState>,
+    arrivals: Condvar,
+}
+
+impl SharedScanPool {
+    /// A pool with the given tuning.
+    pub fn new(cfg: SharedScanConfig) -> Self {
+        SharedScanPool {
+            cfg,
+            state: Mutex::new(PoolState::default()),
+            arrivals: Condvar::new(),
+        }
+    }
+
+    /// The pool's tuning knobs.
+    pub fn config(&self) -> &SharedScanConfig {
+        &self.cfg
+    }
+
+    /// Closed-form number of morsels one shared pass deals for a detail
+    /// relation of `detail_len` rows (the coarse progress unit each
+    /// submitted query announces).
+    pub fn scheduled_morsels(&self, detail_len: usize) -> u64 {
+        let morsel = self.cfg.morsel_rows.max(1).min(detail_len.max(1));
+        detail_len.div_ceil(morsel).max(1) as u64
+    }
+
+    /// Submit one (filtered) GMDJ for coalesced evaluation and block
+    /// until its result is demultiplexed back. Queries arriving within
+    /// the coalescing window (or queued behind an in-flight pass) over
+    /// the same detail table share one detail scan.
+    ///
+    /// `sink` receives the `gmdj.shared_scan` span if this caller ends up
+    /// leading the pass.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit(
+        &self,
+        base: &Relation,
+        detail: &Relation,
+        spec: &GmdjSpec,
+        selection: Option<&Predicate>,
+        keep: Keep,
+        opts: &GmdjOptions,
+        completion_fallback: bool,
+        sink: &dyn TraceSink,
+    ) -> Result<SharedOutput> {
+        let key = detail_key(detail);
+        let slot = Arc::new(ResultSlot::default());
+        let request = SharedRequest {
+            // Storage-sharing clones: fresh row-view caches so enqueueing
+            // never deep-copies a materialized row vector.
+            base: Relation::from_columns(base.schema().clone(), base.cols_arc()),
+            detail: Relation::from_columns(detail.schema().clone(), detail.cols_arc()),
+            spec: spec.clone(),
+            selection: selection.cloned(),
+            keep,
+            opts: opts.clone(),
+            completion_fallback,
+            slot: slot.clone(),
+        };
+        let leads = {
+            let mut state = self.state.lock().expect("shared-scan pool poisoned");
+            let queue = state.queues.entry(key).or_default();
+            queue.pending.push(request);
+            if queue.leader {
+                // A leader is collecting: wake it so an early-release
+                // target is noticed immediately.
+                self.arrivals.notify_all();
+                false
+            } else {
+                queue.leader = true;
+                true
+            }
+        };
+        if leads {
+            let deadline = Instant::now() + self.cfg.window;
+            let mut state = self.state.lock().expect("shared-scan pool poisoned");
+            loop {
+                let queued = state.queues.get(&key).map_or(0, |q| q.pending.len());
+                if queued >= self.cfg.target_batch.max(1) {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self
+                    .arrivals
+                    .wait_timeout(state, deadline - now)
+                    .expect("shared-scan pool poisoned");
+                state = guard;
+            }
+            let batch = {
+                let queue = state
+                    .queues
+                    .get_mut(&key)
+                    .expect("leader's queue disappeared");
+                queue.leader = false;
+                std::mem::take(&mut queue.pending)
+            };
+            drop(state);
+            self.run_pass(batch, sink);
+        }
+        slot.wait()
+    }
+
+    /// Execute one shared pass over a drained batch and deliver each
+    /// query's result to its waiter.
+    fn run_pass(&self, batch: Vec<SharedRequest>, sink: &dyn TraceSink) {
+        let queries = batch.len() as u64;
+        let mut span = Span::begin(sink, "gmdj.shared_scan");
+        let results = self.execute_batch(&batch, sink);
+        span.field("queries", queries);
+        span.field(
+            "detail_rows",
+            batch.first().map_or(0, |r| r.detail.len() as u64),
+        );
+        span.finish();
+        let m = metrics::global();
+        m.inc("shared_scan_passes_total", 1);
+        m.inc("shared_scan_queries_served_total", queries);
+        m.observe("shared_scan_queries", queries);
+        for (request, result) in batch.iter().zip(results) {
+            request.slot.deliver(result);
+        }
+    }
+
+    /// One shared morsel-driven detail pass feeding every query's private
+    /// accumulators — the multi-query generalization of the runtime's
+    /// parallel partition scan.
+    fn execute_batch(
+        &self,
+        batch: &[SharedRequest],
+        sink: &dyn TraceSink,
+    ) -> Vec<Result<SharedOutput>> {
+        // All queued requests share one detail identity by construction.
+        let detail = &batch[0].detail;
+        let detail_len = detail.len();
+        let io_pages = detail_len.div_ceil(COLUMN_CHUNK_ROWS) as u64;
+        let io_schema_cols = detail.schema().len() as u64;
+
+        let mut outputs: Vec<Option<Result<SharedOutput>>> = batch.iter().map(|_| None).collect();
+        // Structurally identical queries in one batch collapse to a single
+        // evaluation whose output fans out to every member — the
+        // degenerate case of Prop. 4.1 block merging (two identical
+        // blocks are one block). Under a concurrent load of clones this
+        // is where the throughput win comes from: one probe/θ/accumulate
+        // stream serves the whole group. Distinct queries keep their own
+        // plans and accumulators within the same pass.
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for i in 0..batch.len() {
+            match groups
+                .iter_mut()
+                .find(|g| same_query(&batch[g[0]], &batch[i]))
+            {
+                Some(g) => g.push(i),
+                None => groups.push(vec![i]),
+            }
+        }
+        // Per-group preparation mirrors the standalone chunked evaluator
+        // (one base partition: the runtime refuses partitioned policies
+        // on the shared path). A group whose planning fails gets its
+        // error; the pass proceeds for the rest.
+        let mut prepped: Vec<PreparedQuery> = Vec::with_capacity(groups.len());
+        for group in groups {
+            match PreparedQuery::prepare(&batch[group[0]], detail, io_pages, io_schema_cols) {
+                Ok(mut p) => {
+                    p.members = group;
+                    prepped.push(p);
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    for &i in &group {
+                        outputs[i] = Some(Err(Error::invalid(msg.clone())));
+                    }
+                }
+            }
+        }
+
+        let morsel = self.cfg.morsel_rows.max(1).min(detail_len.max(1));
+        let n_morsels = detail_len.div_ceil(morsel).max(1);
+        let workers = self.cfg.threads.min(n_morsels).max(1);
+        let cursor = AtomicUsize::new(0);
+        // The row-path twin scans late-materialized tuples; build the row
+        // view once so every query and worker shares one cache.
+        let any_row_path = prepped.iter().any(|p| !p.vectorized);
+        let detail_rows: Option<&[Tuple]> = if any_row_path {
+            Some(detail.rows())
+        } else {
+            None
+        };
+
+        // Per worker: one private (accumulators, stats, kernel) triple
+        // per query, merged afterwards in worker order per query — the
+        // same exact-merge discipline as the single-query parallel scan.
+        type WorkerState = (Vec<Vec<Accumulator>>, Vec<EvalStats>, Vec<KernelStats>);
+        type WorkerResult = Result<(WorkerState, u64)>;
+        let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+            let prepped = &prepped;
+            let cursor = &cursor;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || -> WorkerResult {
+                        let mut wspan = Span::begin(sink, "gmdj.worker")
+                            .with_detail(format!("shared-worker{w}"));
+                        let mut accs: Vec<Vec<Accumulator>> = prepped
+                            .iter()
+                            .map(|p| new_accumulators(&p.plans, p.base_rows.len(), p.total_aggs))
+                            .collect();
+                        let mut stats: Vec<EvalStats> =
+                            prepped.iter().map(|_| EvalStats::default()).collect();
+                        let mut kernels: Vec<KernelStats> =
+                            prepped.iter().map(|_| KernelStats::default()).collect();
+                        let mut rows_pulled = 0u64;
+                        let mut morsels_pulled = 0u64;
+                        loop {
+                            let start = cursor.fetch_add(morsel, Ordering::Relaxed);
+                            if start >= detail_len {
+                                break;
+                            }
+                            let end = (start + morsel).min(detail_len);
+                            for (q, p) in prepped.iter().enumerate() {
+                                scan_detail_window(
+                                    detail,
+                                    detail_rows,
+                                    start..end,
+                                    p.vectorized,
+                                    &p.plans,
+                                    p.base_rows,
+                                    p.total_aggs,
+                                    &mut accs[q],
+                                    &mut stats[q],
+                                    &mut kernels[q],
+                                    sink,
+                                )?;
+                            }
+                            rows_pulled += (end - start) as u64;
+                            morsels_pulled += 1;
+                        }
+                        wspan.field("chunk_rows", rows_pulled);
+                        wspan.field("morsels", morsels_pulled);
+                        wspan.field("queries", prepped.len() as u64);
+                        let dur = wspan.finish();
+                        Ok(((accs, stats, kernels), dur.as_nanos() as u64))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|payload| Err(shared_worker_panic_error(&payload)))
+                })
+                .collect()
+        });
+
+        let mut merged: Vec<Vec<Accumulator>> = prepped
+            .iter()
+            .map(|p| new_accumulators(&p.plans, p.base_rows.len(), p.total_aggs))
+            .collect();
+        let mut worker_max_ns = 0u64;
+        let mut worker_sum_ns = 0u64;
+        let mut scan_error: Option<Error> = None;
+        for result in results {
+            match result {
+                Ok(((accs, stats, kernels), wall_ns)) => {
+                    worker_max_ns = worker_max_ns.max(wall_ns);
+                    worker_sum_ns += wall_ns;
+                    for (q, p) in prepped.iter_mut().enumerate() {
+                        p.eval.merge(&stats[q]);
+                        p.kernel.merge(&kernels[q]);
+                        for (m, a) in merged[q].iter_mut().zip(&accs[q]) {
+                            m.merge(a);
+                        }
+                    }
+                }
+                Err(e) => scan_error = Some(e),
+            }
+        }
+        if let Some(e) = scan_error {
+            // A failed worker poisons the whole pass: every query that
+            // made it into the scan shares the error (the scan loop is
+            // query-interleaved, so partial state is not attributable).
+            let msg = e.to_string();
+            for p in &prepped {
+                for &i in &p.members {
+                    outputs[i] = Some(Err(Error::invalid(msg.clone())));
+                }
+            }
+            return outputs.into_iter().flatten().collect();
+        }
+
+        let pass_queries = batch.len() as u64;
+        for (q, p) in prepped.into_iter().enumerate() {
+            let mut out_rows: Vec<Tuple> = Vec::new();
+            match materialize_filtered(
+                p.base_rows,
+                &merged[q],
+                p.total_aggs,
+                p.bound_selection.as_ref(),
+                p.keep,
+                &mut out_rows,
+            ) {
+                Ok(()) => {
+                    // Fan the group's one answer out to every member; the
+                    // counters delivered are the evaluation's actual
+                    // counters, which (the queries being identical) are
+                    // each member's standalone counters.
+                    for &i in &p.members {
+                        outputs[i] = Some(Ok(SharedOutput {
+                            relation: Relation::from_parts(
+                                p.result_schema.clone(),
+                                out_rows.clone(),
+                            ),
+                            eval: p.eval,
+                            kernel: p.kernel,
+                            worker_max_ns,
+                            worker_sum_ns,
+                            pass_queries,
+                        }));
+                    }
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    for &i in &p.members {
+                        outputs[i] = Some(Err(Error::invalid(msg.clone())));
+                    }
+                }
+            }
+        }
+        outputs.into_iter().flatten().collect()
+    }
+}
+
+/// Structural identity for in-batch query dedup: same base storage and
+/// schema, same (l⃗, θ⃗) spec, selection, projection, and options. The
+/// detail side is already identical by queue construction.
+fn same_query(a: &SharedRequest, b: &SharedRequest) -> bool {
+    Arc::ptr_eq(&a.base.cols_arc(), &b.base.cols_arc())
+        && a.base.schema() == b.base.schema()
+        && a.spec == b.spec
+        && a.selection == b.selection
+        && a.keep == b.keep
+        && a.opts == b.opts
+        && a.completion_fallback == b.completion_fallback
+}
+
+/// One distinct query's compiled state for a shared pass: probe plans,
+/// bound selection, and the counters pre-charged exactly as the
+/// standalone chunked evaluator charges them (partition bookkeeping +
+/// closed-form page accounting + plan-time index builds). `members`
+/// lists every batch index this evaluation serves (≥ 2 when identical
+/// queries were deduplicated).
+struct PreparedQuery<'a> {
+    members: Vec<usize>,
+    plans: Vec<BlockPlan>,
+    base_rows: &'a [Tuple],
+    total_aggs: usize,
+    vectorized: bool,
+    keep: Keep,
+    bound_selection: Option<BoundPredicate>,
+    result_schema: Arc<Schema>,
+    eval: EvalStats,
+    kernel: KernelStats,
+}
+
+impl<'a> PreparedQuery<'a> {
+    fn prepare(
+        request: &'a SharedRequest,
+        detail: &Relation,
+        io_pages: u64,
+        io_schema_cols: u64,
+    ) -> Result<PreparedQuery<'a>> {
+        let mut eval = EvalStats::default();
+        if request.completion_fallback {
+            eval.completion_fallbacks += 1;
+        }
+        let out_schema = request.spec.output_schema(request.base.schema());
+        let result_schema = match request.keep {
+            Keep::All => out_schema.clone(),
+            Keep::BaseOnly => request.base.schema().clone(),
+        };
+        let bound_selection = match &request.selection {
+            Some(p) => Some(p.bind(&[&out_schema])?),
+            None => None,
+        };
+        let total_aggs = request.spec.agg_count();
+        let io_referenced =
+            referenced_detail_cols(&request.spec, request.base.schema(), detail.schema())? as u64;
+        eval.partitions += 1;
+        eval.base_rows += request.base.len() as u64;
+        eval.col_chunk_reads += io_pages * io_referenced;
+        eval.row_page_reads += io_pages * io_schema_cols;
+        let base_rows = request.base.rows();
+        let plans = plan_blocks(
+            base_rows,
+            request.base.schema(),
+            detail.schema(),
+            &request.spec,
+            &request.opts,
+            &mut eval,
+        )?;
+        Ok(PreparedQuery {
+            members: Vec::new(),
+            plans,
+            base_rows,
+            total_aggs,
+            vectorized: request.opts.vectorized,
+            keep: request.keep,
+            bound_selection,
+            result_schema,
+            eval,
+            kernel: KernelStats::default(),
+        })
+    }
+}
+
+/// Turn a shared-pass worker panic into an error value (same discipline
+/// as the single-query parallel scan).
+fn shared_worker_panic_error(payload: &(dyn std::any::Any + Send)) -> Error {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic payload".to_string());
+    crate::trace::flight_dump_on_failure("shared-scan worker panic");
+    Error::invalid(format!("shared-scan worker panicked: {msg}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{ExecPolicy, PlanNodeStats, Runtime};
+    use crate::spec::AggBlock;
+    use gmdj_relation::expr::col;
+    use gmdj_relation::relation::RelationBuilder;
+    use gmdj_relation::schema::DataType;
+    use gmdj_relation::value::Value;
+
+    fn hours() -> Relation {
+        RelationBuilder::new("H")
+            .column("HourDsc", DataType::Int)
+            .column("StartInterval", DataType::Int)
+            .column("EndInterval", DataType::Int)
+            .row(vec![1.into(), 0.into(), 60.into()])
+            .row(vec![2.into(), 61.into(), 120.into()])
+            .row(vec![3.into(), 121.into(), 180.into()])
+            .build()
+            .unwrap()
+    }
+
+    fn flows() -> Relation {
+        RelationBuilder::new("F")
+            .column("StartTime", DataType::Int)
+            .column("NumBytes", DataType::Int)
+            .row(vec![10.into(), 5.into()])
+            .row(vec![43.into(), 12.into()])
+            .row(vec![70.into(), 7.into()])
+            .row(vec![86.into(), 36.into()])
+            .row(vec![130.into(), 2.into()])
+            .row(vec![Value::Null, 9.into()])
+            .build()
+            .unwrap()
+    }
+
+    fn in_hour_count() -> GmdjSpec {
+        GmdjSpec::new(vec![AggBlock::count(
+            col("F.StartTime")
+                .ge(col("H.StartInterval"))
+                .and(col("F.StartTime").lt(col("H.EndInterval"))),
+            "cnt",
+        )])
+    }
+
+    fn sum_bytes() -> GmdjSpec {
+        GmdjSpec::new(vec![AggBlock::new(
+            col("F.StartTime")
+                .ge(col("H.StartInterval"))
+                .and(col("F.StartTime").lt(col("H.EndInterval"))),
+            vec![gmdj_relation::agg::NamedAgg::sum(
+                col("F.NumBytes"),
+                "total",
+            )],
+        )])
+    }
+
+    fn pool(target: usize) -> Arc<SharedScanPool> {
+        Arc::new(SharedScanPool::new(SharedScanConfig {
+            window: Duration::from_millis(500),
+            target_batch: target,
+            threads: 2,
+            morsel_rows: 2,
+        }))
+    }
+
+    /// N identical clones submitted concurrently coalesce into one pass
+    /// and every clone's answer and counters match standalone execution.
+    #[test]
+    fn concurrent_clones_share_one_pass_and_match_standalone() {
+        let base = hours();
+        let detail = flows();
+        let spec = in_hour_count();
+
+        let standalone = Runtime::new(ExecPolicy::parallel(2));
+        let mut reference_node = PlanNodeStats::new("GMDJ");
+        let expected = standalone
+            .eval_gmdj(&base, &detail, &spec, &mut reference_node)
+            .unwrap();
+
+        let m = metrics::global();
+        let passes_before = m.counter("shared_scan_passes_total");
+        let served_before = m.counter("shared_scan_queries_served_total");
+
+        let p = pool(3);
+        let results: Vec<Result<SharedOutput>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let (p, base, detail, spec) = (p.clone(), &base, &detail, &spec);
+                    scope.spawn(move || {
+                        p.submit(
+                            base,
+                            detail,
+                            &spec.clone(),
+                            None,
+                            Keep::All,
+                            &GmdjOptions::default(),
+                            false,
+                            &crate::trace::NullSink,
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for result in results {
+            let out = result.unwrap();
+            assert!(out.relation.multiset_eq(&expected));
+            assert_eq!(out.eval, reference_node.eval, "per-query counters drift");
+            assert_eq!(out.pass_queries, 3);
+        }
+        assert_eq!(m.counter("shared_scan_passes_total") - passes_before, 1);
+        assert_eq!(
+            m.counter("shared_scan_queries_served_total") - served_before,
+            3
+        );
+    }
+
+    /// Distinct queries over the same detail table coalesce too, each
+    /// getting its own answer.
+    #[test]
+    fn distinct_queries_demultiplex_correctly() {
+        let base = hours();
+        let detail = flows();
+        let specs = [in_hour_count(), sum_bytes()];
+
+        let standalone = Runtime::new(ExecPolicy::parallel(2));
+        let expected: Vec<Relation> = specs
+            .iter()
+            .map(|s| {
+                let mut node = PlanNodeStats::new("GMDJ");
+                standalone.eval_gmdj(&base, &detail, s, &mut node).unwrap()
+            })
+            .collect();
+
+        let p = pool(2);
+        let results: Vec<(usize, Relation)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| {
+                    let (p, base, detail) = (p.clone(), &base, &detail);
+                    scope.spawn(move || {
+                        let out = p
+                            .submit(
+                                base,
+                                detail,
+                                spec,
+                                None,
+                                Keep::All,
+                                &GmdjOptions::default(),
+                                false,
+                                &crate::trace::NullSink,
+                            )
+                            .unwrap();
+                        (i, out.relation)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, relation) in results {
+            assert!(
+                relation.multiset_eq(&expected[i]),
+                "query {i} got the wrong demultiplexed result"
+            );
+        }
+    }
+
+    /// A solo submission past the window still completes (pass of one).
+    #[test]
+    fn solo_submission_runs_a_pass_of_one() {
+        let base = hours();
+        let detail = flows();
+        let spec = in_hour_count();
+        let p = Arc::new(SharedScanPool::new(SharedScanConfig {
+            window: Duration::from_millis(1),
+            target_batch: 8,
+            threads: 2,
+            morsel_rows: 1024,
+        }));
+        let out = p
+            .submit(
+                &base,
+                &detail,
+                &spec,
+                None,
+                Keep::All,
+                &GmdjOptions::default(),
+                false,
+                &crate::trace::NullSink,
+            )
+            .unwrap();
+        assert_eq!(out.pass_queries, 1);
+        assert_eq!(out.relation.len(), base.len());
+    }
+
+    /// Different detail tables never coalesce: each keys its own queue.
+    #[test]
+    fn different_detail_tables_do_not_coalesce() {
+        let detail_a = flows();
+        let detail_b = flows();
+        assert_ne!(detail_key(&detail_a), detail_key(&detail_b));
+        // Renames share storage: same key.
+        let renamed = detail_a.renamed("F2");
+        assert_eq!(detail_key(&detail_a), detail_key(&renamed));
+    }
+}

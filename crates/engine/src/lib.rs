@@ -57,6 +57,7 @@
 
 pub mod analyze;
 pub mod olap;
+pub mod plan_cache;
 pub mod reference;
 pub mod strategy;
 pub mod unnest;
@@ -65,5 +66,5 @@ pub use analyze::{explain_analyze, AnalyzeReport};
 pub use gmdj_core::exec::MemoryCatalog as Catalog;
 pub use olap::{Aggregation, OlapQuery};
 pub use reference::{RefOptions, RefStats};
-pub use strategy::{run, run_with_policy_traced, RunResult, Strategy};
+pub use strategy::{run, run_with_policy_pooled, run_with_policy_traced, RunResult, Strategy};
 pub use unnest::UnnestOptions;

@@ -10,6 +10,7 @@ use gmdj_core::metrics;
 use gmdj_core::optimize::{optimize_with, OptFlags};
 use gmdj_core::progress::{self, QueryProgress};
 use gmdj_core::runtime::{ExecPolicy, PlanNodeStats};
+use gmdj_core::shared::SharedScanPool;
 use gmdj_core::trace::{self, NullSink, Span, TraceSink};
 use gmdj_core::translate::subquery_to_gmdj;
 use gmdj_relation::error::Result;
@@ -140,6 +141,30 @@ pub fn run_with_policy(
     run_with_policy_traced(query, catalog, strategy, policy, Arc::new(NullSink))
 }
 
+/// [`run_with_policy`] routed through a cross-query shared-scan pool:
+/// (filtered) GMDJ nodes are submitted to `pool`, so runs of this
+/// function issued concurrently from several threads coalesce their
+/// detail scans when they hit the same detail table (see
+/// [`gmdj_core::shared`]). Results and per-query counters are identical
+/// to [`run_with_policy`] — only physical scan sharing differs. The
+/// reference and unnest strategies have no GMDJ and ignore the pool.
+pub fn run_with_policy_pooled(
+    query: &QueryExpr,
+    catalog: &dyn TableProvider,
+    strategy: Strategy,
+    policy: ExecPolicy,
+    pool: Arc<SharedScanPool>,
+) -> Result<RunResult> {
+    run_traced_inner(
+        query,
+        catalog,
+        strategy,
+        policy,
+        Arc::new(NullSink),
+        Some(pool),
+    )
+}
+
 /// Run a nested query expression under a strategy and an execution
 /// policy. The policy's mode and memory budget apply to every GMDJ
 /// strategy; the probe choice stays with the strategy (it is the ablation
@@ -157,13 +182,29 @@ pub fn run_with_policy_traced(
     policy: ExecPolicy,
     sink: Arc<dyn TraceSink>,
 ) -> Result<RunResult> {
+    run_traced_inner(query, catalog, strategy, policy, sink, None)
+}
+
+fn run_traced_inner(
+    query: &QueryExpr,
+    catalog: &dyn TableProvider,
+    strategy: Strategy,
+    policy: ExecPolicy,
+    sink: Arc<dyn TraceSink>,
+    pool: Option<Arc<SharedScanPool>>,
+) -> Result<RunResult> {
     // Every query's spans also land in the always-on flight recorder
     // (teed exactly once, here at the entry point), and every query is
     // visible in the progress registry for its lifetime — the ticket
-    // deregisters on drop, including the error paths below.
+    // deregisters on drop, including the error paths below. The ticket
+    // starts in state `queued`; execution flips it to `running` here
+    // (and the runtime to `coalescing` while parked in a shared-scan
+    // batch window).
     let sink = trace::tee_flight(sink);
     let ticket = progress::global().register(query.to_string(), strategy.label(), policy.label());
     let progress = ticket.progress();
+    progress.set_state("running");
+    let pool = pool.as_ref();
     let result = match strategy {
         Strategy::NaiveNestedLoop => run_reference(
             query,
@@ -203,6 +244,7 @@ pub fn run_with_policy_traced(
             policy.with_probe(ProbeStrategy::Auto),
             &sink,
             &progress,
+            pool,
         ),
         Strategy::GmdjOptimized => run_gmdj(
             query,
@@ -211,6 +253,7 @@ pub fn run_with_policy_traced(
             policy.with_probe(ProbeStrategy::Auto),
             &sink,
             &progress,
+            pool,
         ),
         Strategy::GmdjOptimizedNoProbeIndex => run_gmdj(
             query,
@@ -219,6 +262,7 @@ pub fn run_with_policy_traced(
             policy.with_probe(ProbeStrategy::ForceScan),
             &sink,
             &progress,
+            pool,
         ),
         Strategy::GmdjBasicNoProbeIndex => run_gmdj(
             query,
@@ -227,8 +271,11 @@ pub fn run_with_policy_traced(
             policy.with_probe(ProbeStrategy::ForceScan),
             &sink,
             &progress,
+            pool,
         ),
-        Strategy::GmdjCostBased => run_gmdj_cost_based(query, catalog, policy, &sink, &progress),
+        Strategy::GmdjCostBased => {
+            run_gmdj_cost_based(query, catalog, policy, &sink, &progress, pool)
+        }
     };
     let result = match result {
         Ok(r) => r,
@@ -258,10 +305,14 @@ fn execute_planned(
     plan_wall: Duration,
     sink: &Arc<dyn TraceSink>,
     progress: &Arc<QueryProgress>,
+    pool: Option<&Arc<SharedScanPool>>,
 ) -> Result<RunResult> {
     let mut ctx = ExecContext::with_policy(policy)
         .with_sink(sink.clone())
         .with_progress(progress.clone());
+    if let Some(pool) = pool {
+        ctx = ctx.with_shared(pool.clone());
+    }
     let span = Span::begin(sink.as_ref(), "query.execute");
     let relation = execute(plan, catalog, &mut ctx)?;
     let mut span = span;
@@ -282,9 +333,10 @@ fn run_gmdj_cost_based(
     policy: ExecPolicy,
     sink: &Arc<dyn TraceSink>,
     progress: &Arc<QueryProgress>,
+    pool: Option<&Arc<SharedScanPool>>,
 ) -> Result<RunResult> {
     let plan_span = Span::begin(sink.as_ref(), "query.plan");
-    let plan = subquery_to_gmdj(query, catalog)?;
+    let plan = crate::plan_cache::cached_translate(query, catalog)?;
     let (best, estimate) = gmdj_core::cost::cost_based_optimize(&plan, catalog)?;
     progress.set_prediction(estimate.cost.total(), estimate.cost.io);
     let plan_wall = plan_span.finish();
@@ -295,6 +347,7 @@ fn run_gmdj_cost_based(
         plan_wall,
         sink,
         progress,
+        pool,
     )
 }
 
@@ -345,9 +398,10 @@ fn run_gmdj(
     policy: ExecPolicy,
     sink: &Arc<dyn TraceSink>,
     progress: &Arc<QueryProgress>,
+    pool: Option<&Arc<SharedScanPool>>,
 ) -> Result<RunResult> {
     let plan_span = Span::begin(sink.as_ref(), "query.plan");
-    let plan = subquery_to_gmdj(query, catalog)?;
+    let plan = crate::plan_cache::cached_translate(query, catalog)?;
     let plan = if optimized {
         optimize_with(&plan, &OptFlags::default())
     } else {
@@ -359,7 +413,7 @@ fn run_gmdj(
         progress.set_prediction(est.cost.total(), est.cost.io);
     }
     let plan_wall = plan_span.finish();
-    execute_planned(&plan, catalog, policy, plan_wall, sink, progress)
+    execute_planned(&plan, catalog, policy, plan_wall, sink, progress, pool)
 }
 
 /// Translate + optimize and return the plan text — EXPLAIN for the GMDJ

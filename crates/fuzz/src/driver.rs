@@ -17,15 +17,23 @@
 //! included — is a bug. Distributed policies additionally run a third
 //! twin over real socket-backed loopback sites (`gmdj_core::wire`): the
 //! transport must not change the multiset, the gated counters, or the
-//! closed-form network value counts.
+//! closed-form network value counts. A fourth twin submits the same
+//! query from two concurrent clients through a coalescing
+//! [`SharedScanPool`]: cross-query scan sharing (and its identical-query
+//! dedup) must be invisible — each client's multiset, gated counters,
+//! and error text must match the standalone run exactly.
 //!
 //! [`EvalStats`]: gmdj_core::eval::EvalStats
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use gmdj_core::runtime::ExecPolicy;
+use gmdj_core::shared::{SharedScanConfig, SharedScanPool};
 use gmdj_core::trace::CollectingSink;
-use gmdj_engine::strategy::{run_with_policy, run_with_policy_traced, Strategy};
+use gmdj_engine::strategy::{
+    run_with_policy, run_with_policy_pooled, run_with_policy_traced, Strategy,
+};
 use gmdj_relation::relation::Relation;
 
 use crate::spec::FuzzCase;
@@ -352,6 +360,91 @@ pub fn check_case(case: &FuzzCase, opts: &CheckOptions) -> CheckReport {
                                 policy_label(policy)
                             ),
                         });
+                    }
+                }
+                // Shared-pool twin check: the same query submitted by two
+                // concurrent clients through a coalescing pool (which will
+                // merge them into one shared pass and deduplicate the
+                // identical pair). Each client's multiset, gated counters,
+                // and error text must match the standalone run — sharing
+                // is an execution detail, never an observable one. One
+                // policy suffices: the pool engages for any
+                // non-distributed, unpartitioned policy the same way.
+                if policy == ExecPolicy::parallel(2) {
+                    let pool = Arc::new(SharedScanPool::new(SharedScanConfig {
+                        window: Duration::from_millis(500),
+                        target_batch: 2,
+                        threads: 2,
+                        morsel_rows: 7,
+                    }));
+                    let pooled: Vec<_> = std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..2)
+                            .map(|_| {
+                                let (query, catalog, pool) = (&query, &catalog, pool.clone());
+                                scope.spawn(move || {
+                                    run_with_policy_pooled(query, catalog, strategy, policy, pool)
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("pooled submitter panicked"))
+                            .collect()
+                    });
+                    for (client, p) in pooled.iter().enumerate() {
+                        let pool_detail = match (&result, p) {
+                            (Ok(v), Ok(s)) => {
+                                if !v.relation.multiset_eq(&s.relation) {
+                                    Some(format!(
+                                        "standalone ({} rows):\n{}\nshared pool ({} rows):\n{}",
+                                        v.relation.len(),
+                                        v.relation,
+                                        s.relation.len(),
+                                        s.relation
+                                    ))
+                                } else {
+                                    match (&v.plan_stats, &s.plan_stats) {
+                                        (Some(vs), Some(ss))
+                                            if vs.total_eval() != ss.total_eval() =>
+                                        {
+                                            Some(format!(
+                                                "gated counters drifted: standalone {:?} \
+                                                 vs shared pool {:?}",
+                                                vs.total_eval(),
+                                                ss.total_eval()
+                                            ))
+                                        }
+                                        _ => None,
+                                    }
+                                }
+                            }
+                            (Ok(_), Err(e)) => Some(format!(
+                                "shared pool errored while standalone succeeded: {e}"
+                            )),
+                            (Err(e), Ok(_)) => Some(format!(
+                                "standalone errored while shared pool succeeded: {e}"
+                            )),
+                            (Err(a), Err(b)) => {
+                                let (a, b) = (a.to_string(), b.to_string());
+                                (a != b).then(|| {
+                                    format!("errors differ: standalone {a:?} vs shared pool {b:?}")
+                                })
+                            }
+                        };
+                        if let Some(detail) = pool_detail {
+                            report.divergences.push(Divergence {
+                                strategy,
+                                policy,
+                                oracle_rows: oracle.len(),
+                                actual_rows: result.as_ref().ok().map(|r| r.relation.len()),
+                                detail: format!(
+                                    "{} under {}: shared-scan pool client {client} disagrees \
+                                     with standalone execution\n{detail}",
+                                    strategy.label(),
+                                    policy_label(policy)
+                                ),
+                            });
+                        }
                     }
                 }
             }

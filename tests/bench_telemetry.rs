@@ -28,6 +28,7 @@ fn tiny() -> BenchConfig {
         vectorized: true,
         real_sites: false,
         morsel_size: None,
+        concurrent: None,
     }
 }
 
